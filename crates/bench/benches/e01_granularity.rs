@@ -1,0 +1,24 @@
+//! E1: ingest + query cost at different tuple-set granularities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_local::e01_store;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_granularity");
+    group.sample_size(10);
+    for per_set in [1usize, 100, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("ingest_5k_readings", per_set),
+            &per_set,
+            |b, &per_set| b.iter(|| e01_store(5_000, per_set)),
+        );
+    }
+    let (pass, _) = e01_store(20_000, 100);
+    group.bench_function("eq_query_at_100_per_set", |b| {
+        b.iter(|| pass.query_text(r#"FIND WHERE region = "zone-3""#).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

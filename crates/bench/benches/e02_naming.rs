@@ -1,0 +1,28 @@
+//! E2: flat-filename matching vs structured provenance lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pass_bench::exp_local::e02_corpus;
+use pass_model::{flatname, keys, Value};
+
+fn bench(c: &mut Criterion) {
+    let corpus = e02_corpus(400);
+    let names: Vec<String> = corpus.iter().map(flatname::build).collect();
+    let target = Value::Str("new_york".to_owned());
+
+    let mut group = c.benchmark_group("e02_naming");
+    group.sample_size(20);
+    group.bench_function("flat_name_scan_2000", |b| {
+        b.iter(|| {
+            names
+                .iter()
+                .filter(|n| flatname::name_matches(n, keys::REGION, &target))
+                .count()
+        })
+    });
+    group.bench_function("flat_name_build", |b| b.iter(|| flatname::build(&corpus[0])));
+    group.bench_function("flat_name_parse", |b| b.iter(|| flatname::parse(&names[0])));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E3: the transitive-closure strategy ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_local::e03_graph;
+use pass_index::closure::{BfsClosure, MemoClosure, NaiveJoinClosure, ReachStrategy, TraverseOpts};
+use pass_index::{Direction, IntervalClosure};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_closure");
+    group.sample_size(30);
+    for depth in [8usize, 32] {
+        let (graph, leaf) = e03_graph(depth, 16);
+        let opts = TraverseOpts::unbounded();
+        let memo = MemoClosure::build(&graph, false).unwrap();
+        let interval = IntervalClosure::build(&graph, false).unwrap();
+        let strategies: Vec<(&str, &dyn ReachStrategy)> = vec![
+            ("naive-join", &NaiveJoinClosure),
+            ("bfs", &BfsClosure),
+            ("memo", &memo),
+            ("interval", &interval),
+        ];
+        for (name, strategy) in strategies {
+            group.bench_with_input(
+                BenchmarkId::new(name, depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| strategy.reachable(&graph, leaf, Direction::Ancestors, &opts))
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("memo-build", depth), &depth, |b, _| {
+            b.iter(|| MemoClosure::build(&graph, false).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E4: §III query-mix latency on a populated local PASS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pass_bench::exp_local::e04_store;
+use pass_sensor::gen::rng_for;
+use pass_sensor::workload;
+
+fn bench(c: &mut Criterion) {
+    let (pass, vocab) = e04_store();
+    let mut rng = rng_for(4, "bench-e04");
+    let versioning = workload::versioning(&vocab, &mut rng, 8);
+    let science = workload::science(&vocab, &mut rng, 8);
+    let sensor = workload::sensor(&vocab, &mut rng, 8);
+
+    let mut group = c.benchmark_group("e04_query_mix");
+    group.sample_size(20);
+    for (name, specs) in [("versioning", versioning), ("science", science), ("sensor", sensor)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for spec in &specs {
+                    pass.query_text(&spec.text).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

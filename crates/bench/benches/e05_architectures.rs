@@ -1,0 +1,24 @@
+//! E5: one published-and-queried round trip per architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pass_bench::exp_dist::bench_one_query;
+use pass_distrib::runner::ArchKind;
+use pass_net::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05_architectures");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("centralized", ArchKind::Centralized),
+        ("distributed-db", ArchKind::DistributedDb { batch: true }),
+        ("federated", ArchKind::Federated),
+        ("soft-state", ArchKind::SoftState { refresh: SimTime::from_secs(1) }),
+        ("hierarchical", ArchKind::Hierarchical),
+    ] {
+        group.bench_function(name, |b| b.iter(|| bench_one_query(kind)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E6: publish throughput under burst load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_dist::e06_throughput;
+use pass_distrib::runner::ArchKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06_update_scaling");
+    group.sample_size(10);
+    for sites in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("centralized", sites), &sites, |b, &s| {
+            b.iter(|| e06_throughput(ArchKind::Centralized, s, 32))
+        });
+        group.bench_with_input(BenchmarkId::new("distributed-db", sites), &sites, |b, &s| {
+            b.iter(|| e06_throughput(ArchKind::DistributedDb { batch: true }, s, 32))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E7: full-workload traffic accounting (benches the runner itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pass_distrib::runner::{build_arch, build_corpus, run_workload, ArchKind, WorkloadSpec};
+
+fn bench(c: &mut Criterion) {
+    let spec = WorkloadSpec {
+        clusters: 2,
+        per_cluster: 2,
+        windows_per_site: 2,
+        queries: 6,
+        lineage_ops: 2,
+        ..WorkloadSpec::default()
+    };
+    let corpus = build_corpus(&spec);
+    let mut group = c.benchmark_group("e07_resource");
+    group.sample_size(10);
+    for kind in [ArchKind::Centralized, ArchKind::Federated] {
+        let name = pass_bench::exp_dist::kind_name(&kind);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut arch = build_arch(kind, spec.topology(), spec.seed);
+                run_workload(arch.as_mut(), &corpus, &spec)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E8: locale-specific query latency under different placements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pass_bench::exp_dist::e08_local_query_latency;
+use pass_distrib::runner::ArchKind;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08_locality");
+    group.sample_size(10);
+    group.bench_function("federated_local", |b| {
+        b.iter(|| e08_local_query_latency(ArchKind::Federated))
+    });
+    group.bench_function("centralized_remote", |b| {
+        b.iter(|| e08_local_query_latency(ArchKind::Centralized))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E9: soft-state recall measurement cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_soft::e09_recall;
+use pass_net::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09_staleness");
+    group.sample_size(10);
+    for refresh_ms in [100u64, 5_000] {
+        group.bench_with_input(
+            BenchmarkId::new("recall_run", refresh_ms),
+            &refresh_ms,
+            |b, &ms| b.iter(|| e09_recall(SimTime::from_millis(ms))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

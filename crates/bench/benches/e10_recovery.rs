@@ -1,0 +1,20 @@
+//! E10: crash-recovery sweep cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_rel::e10_sweep;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_recovery");
+    group.sample_size(10);
+    for records in [200usize, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("truncate_reopen_audit", records),
+            &records,
+            |b, &n| b.iter(|| e10_sweep(n, 3, 7)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

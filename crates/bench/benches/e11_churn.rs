@@ -1,0 +1,17 @@
+//! E11: DHT lookup success under churn (one simulated scenario per iter).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pass_bench::exp_soft::e11_measure;
+use pass_net::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_churn");
+    group.sample_size(10);
+    group.bench_function("churned_ring_8n_20k", |b| {
+        b.iter(|| e11_measure(8, 2, SimTime::from_secs(120), 20))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E12: PASS property enforcement micro-benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pass_core::Pass;
+use pass_model::{
+    keys, Attributes, Digest128, ProvenanceBuilder, Reading, SensorId, SiteId, Timestamp,
+};
+
+fn bench(c: &mut Criterion) {
+    let record = ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+        .attr(keys::DOMAIN, "traffic")
+        .attr(keys::REGION, "london")
+        .build(Digest128::of(b"payload"));
+    let mut group = c.benchmark_group("e12_pass_properties");
+    group.bench_function("identity_verification", |b| b.iter(|| record.verify_identity()));
+    group.bench_function("identity_mint", |b| {
+        b.iter(|| {
+            ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+                .attr(keys::DOMAIN, "traffic")
+                .build(Digest128::of(b"payload"))
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("verified_capture", |b| {
+        let pass = Pass::open_memory(SiteId(1));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let readings = vec![Reading::new(SensorId(1), Timestamp(i)).with("v", i as i64)];
+            pass.capture(
+                Attributes::new().with(keys::DOMAIN, "bench").with("i", i as i64),
+                readings,
+                Timestamp(i),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E13: significance-ordering penalty on the hierarchical namespace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_dist::e13_measure;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_hierarchy");
+    group.sample_size(10);
+    for sites in [4usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("prefix_vs_broadcast", sites),
+            &sites,
+            |b, &s| b.iter(|| e13_measure(s)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

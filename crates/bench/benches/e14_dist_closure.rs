@@ -1,0 +1,21 @@
+//! E14: distributed transitive closure, naive vs batched.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_dist::e14_measure;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_dist_closure");
+    group.sample_size(10);
+    for depth in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("naive", depth), &depth, |b, &d| {
+            b.iter(|| e14_measure(d, false))
+        });
+        group.bench_with_input(BenchmarkId::new("batched", depth), &depth, |b, &d| {
+            b.iter(|| e14_measure(d, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E15: replication factor vs availability and update cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_soft::e11_measure;
+use pass_net::SimTime;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_replication");
+    group.sample_size(10);
+    for replicas in [1usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("availability_run", replicas),
+            &replicas,
+            |b, &r| b.iter(|| e11_measure(8, r, SimTime::from_secs(180), 20)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E16: lineage with and without abstraction boundaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_local::e16_store;
+use pass_index::closure::TraverseOpts;
+use pass_index::Direction;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_abstraction");
+    group.sample_size(20);
+    for chain_len in [32usize, 128] {
+        let (pass, outputs) = e16_store(2, chain_len);
+        let root = outputs[0];
+        group.bench_with_input(BenchmarkId::new("full", chain_len), &chain_len, |b, _| {
+            b.iter(|| pass.lineage(root, Direction::Ancestors, TraverseOpts::unbounded()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("abstracted", chain_len), &chain_len, |b, _| {
+            b.iter(|| {
+                pass.lineage(
+                    root,
+                    Direction::Ancestors,
+                    TraverseOpts { stop_at_abstraction: true, ..TraverseOpts::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E17: k-anonymous aggregation — cost of privacy across the k sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_policy::{e17_patients, e17_spec};
+use pass_policy::kanonymize;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_aggregation");
+    let patients = e17_patients(400, 17);
+    let spec = e17_spec();
+    for k in [1usize, 5, 25] {
+        group.bench_with_input(BenchmarkId::new("kanonymize", k), &k, |b, &k| {
+            b.iter(|| kanonymize(&patients, k, &spec, 0.05).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E18: per-operation policy enforcement overhead (guarded vs raw PASS).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pass_bench::exp_policy::{e18_analyst, e18_engine, e18_store};
+use pass_index::{Direction, TraverseOpts};
+use pass_policy::GuardedPass;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e18_enforcement");
+    group.sample_size(30);
+
+    let (pass, ids, head) = e18_store(2_000, 64);
+    let probe = ids[17];
+    group.bench_function("query/unguarded", |b| {
+        b.iter(|| pass.query_text(r#"FIND WHERE region = "metro-1""#).unwrap())
+    });
+    group.bench_function("get_record/unguarded", |b| b.iter(|| pass.get_record(probe)));
+    group.bench_function("lineage64/unguarded", |b| {
+        b.iter(|| pass.lineage(head, Direction::Ancestors, TraverseOpts::unbounded()).unwrap())
+    });
+
+    let guard = GuardedPass::new(pass, e18_engine());
+    let analyst = e18_analyst();
+    group.bench_function("query/guarded", |b| {
+        b.iter(|| guard.query_text(&analyst, r#"FIND WHERE region = "metro-1""#).unwrap())
+    });
+    group.bench_function("get_record/guarded", |b| {
+        b.iter(|| {
+            let _ = guard.get_record(&analyst, probe);
+        })
+    });
+    group.bench_function("lineage64/guarded", |b| {
+        b.iter(|| {
+            guard.lineage(&analyst, head, Direction::Ancestors, TraverseOpts::unbounded()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

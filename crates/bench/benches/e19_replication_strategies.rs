@@ -1,0 +1,24 @@
+//! E19: full strategy runs (publish → warm → crash → recall), one per
+//! replication mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_policy::e19_run;
+use pass_distrib::ReplicationStrategy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e19_replication_strategies");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("origin-only", ReplicationStrategy::OriginOnly),
+        ("eager-4", ReplicationStrategy::Eager { factor: 4 }),
+        ("on-read", ReplicationStrategy::OnRead),
+    ] {
+        group.bench_with_input(BenchmarkId::new("run", label), &strategy, |b, &s| {
+            b.iter(|| e19_run(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

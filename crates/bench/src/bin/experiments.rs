@@ -1,0 +1,43 @@
+//! Prints every experiment table (E1–E19). The output of this binary is
+//! the source of record for `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p pass-bench --bin experiments            # all
+//! cargo run --release -p pass-bench --bin experiments e3 e14     # some
+//! ```
+
+use pass_bench::{exp_dist, exp_local, exp_policy, exp_rel, exp_soft};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |tag: &str| args.is_empty() || args.iter().any(|a| a == tag);
+
+    type Experiment = (&'static str, fn() -> String);
+    let experiments: Vec<Experiment> = vec![
+        ("e1", exp_local::e01_table),
+        ("e2", exp_local::e02_table),
+        ("e3", exp_local::e03_table),
+        ("e4", exp_local::e04_table),
+        ("e5", exp_dist::e05_table),
+        ("e6", exp_dist::e06_table),
+        ("e7", exp_dist::e07_table),
+        ("e8", exp_dist::e08_table),
+        ("e9", exp_soft::e09_table),
+        ("e10", exp_rel::e10_table),
+        ("e11", exp_soft::e11_table),
+        ("e12", exp_local::e12_table),
+        ("e13", exp_dist::e13_table),
+        ("e14", exp_dist::e14_table),
+        ("e15", exp_soft::e15_table),
+        ("e16", exp_local::e16_table),
+        ("e17", exp_policy::e17_table),
+        ("e18", exp_policy::e18_table),
+        ("e19", exp_policy::e19_table),
+    ];
+    for (tag, run) in experiments {
+        if want(tag) {
+            eprintln!("[running {tag}]");
+            println!("{}", run());
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Distributed-architecture experiments: E5 (comparison), E6 (update
+//! scaling), E7 (resource consumption), E8 (locality), E13 (hierarchy
+//! significance ordering), E14 (distributed closure).
+
+use pass_distrib::runner::{
+    build_arch, build_corpus, run_workload, ArchKind, WorkloadSpec,
+};
+use pass_distrib::{Architecture, DistributedDb, Hierarchical};
+use pass_net::{SimTime, Topology, TrafficClass};
+use pass_query::parse;
+use std::collections::HashMap;
+
+/// E5 table: query latency vs site count per architecture.
+pub fn e05_table() -> String {
+    let mut out = String::from(
+        "E5  architecture comparison: query/lineage p50 (ms) vs sites\n\
+         architecture      sites   publish_p50   query_p50   lineage_p50   recall\n",
+    );
+    for sites in [4usize, 8, 16] {
+        let spec = WorkloadSpec {
+            clusters: sites / 2,
+            per_cluster: 2,
+            windows_per_site: 2,
+            queries: 12,
+            lineage_ops: 4,
+            ..WorkloadSpec::default()
+        };
+        let corpus = build_corpus(&spec);
+        for kind in ArchKind::all_default() {
+            let mut arch = build_arch(kind, spec.topology(), spec.seed);
+            let report = run_workload(arch.as_mut(), &corpus, &spec);
+            out.push_str(&format!(
+                "{:<17} {:>5} {:>11.2} {:>11.2} {:>13.2} {:>8.3}\n",
+                report.name,
+                report.sites,
+                report.publish.p50_ms(),
+                report.query.p50_ms(),
+                report.lineage.p50_ms(),
+                report.quality.recall
+            ));
+        }
+    }
+    out
+}
+
+/// Measures sustainable publish throughput: inject a burst of records
+/// from every site at once and divide by the makespan.
+pub fn e06_throughput(kind: ArchKind, sites: usize, records_per_site: usize) -> f64 {
+    let topology = Topology::clustered(sites.max(2) / 2, 2, 2.0, 40.0);
+    let spec = WorkloadSpec {
+        clusters: sites.max(2) / 2,
+        per_cluster: 2,
+        // Two captures per window (2 sensors/stations per site).
+        windows_per_site: (records_per_site / 2).max(1),
+        lineage_depth: 0,
+        ..WorkloadSpec::default()
+    };
+    let corpus = build_corpus(&spec);
+    let mut arch = build_arch(kind, topology, 7);
+    let start = arch.now();
+    for (site, record) in &corpus.records {
+        arch.publish(*site, record); // no pacing: offered load ≫ capacity
+    }
+    arch.run_quiet();
+    let outcomes = arch.outcomes();
+    let done = outcomes.iter().filter(|o| o.ok).count();
+    let makespan = outcomes
+        .iter()
+        .map(|o| o.at.micros_since(start))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    done as f64 / (makespan as f64 / 1e6)
+}
+
+/// E6 table: throughput vs number of updating sites.
+pub fn e06_table() -> String {
+    let mut out = String::from(
+        "E6  index-update scalability: sustained publishes/sec vs updater sites\n\
+         sites   centralized   distributed-db      dht\n",
+    );
+    for sites in [2usize, 4, 8, 16] {
+        let central = e06_throughput(ArchKind::Centralized, sites, 128);
+        let distdb = e06_throughput(ArchKind::DistributedDb { batch: true }, sites, 128);
+        let dht = e06_throughput(ArchKind::Dht { replicas: 1 }, sites, 128);
+        out.push_str(&format!(
+            "{:>5} {:>13.0} {:>16.0} {:>8.0}\n",
+            sites, central, distdb, dht
+        ));
+    }
+    out
+}
+
+/// E7 table: traffic split per architecture on the standard workload.
+pub fn e07_table() -> String {
+    let spec = WorkloadSpec::default();
+    let corpus = build_corpus(&spec);
+    let mut out = String::from(
+        "E7  network resource consumption (KiB on the wire, standard workload)\n\
+         architecture       update_KiB   query_KiB   maint_KiB   update_msgs   query_msgs\n",
+    );
+    for kind in ArchKind::all_default() {
+        let mut arch = build_arch(kind, spec.topology(), spec.seed);
+        let report = run_workload(arch.as_mut(), &corpus, &spec);
+        out.push_str(&format!(
+            "{:<18} {:>10.1} {:>11.1} {:>11.1} {:>13} {:>12}\n",
+            report.name,
+            report.update_traffic.bytes as f64 / 1024.0,
+            report.query_traffic.bytes as f64 / 1024.0,
+            report.maintenance_traffic.bytes as f64 / 1024.0,
+            report.update_traffic.messages,
+            report.query_traffic.messages
+        ));
+    }
+    out
+}
+
+/// E8: clients query *their own region's* data; returns per-architecture
+/// median latency (µs).
+pub fn e08_local_query_latency(kind: ArchKind) -> u64 {
+    let spec = WorkloadSpec {
+        clusters: 4,
+        per_cluster: 2,
+        windows_per_site: 2,
+        ..WorkloadSpec::default()
+    };
+    let corpus = build_corpus(&spec);
+    let mut arch = build_arch(kind, spec.topology(), spec.seed);
+    for (site, record) in &corpus.records {
+        arch.publish(*site, record);
+        arch.run_for(SimTime::from_millis(5));
+    }
+    arch.run_quiet();
+    arch.outcomes();
+
+    let mut latencies = Vec::new();
+    for cluster in 0..spec.clusters {
+        let region = &corpus.regions[cluster];
+        let client = cluster * spec.per_cluster; // a site in this metro
+        let query = parse(&format!(r#"FIND WHERE region = "{region}""#)).expect("well-formed");
+        for _ in 0..3 {
+            let issued = arch.now();
+            let op = arch.query(client, &query);
+            arch.run_quiet();
+            for o in arch.outcomes() {
+                if o.op == op && o.ok {
+                    latencies.push(o.at.micros_since(issued));
+                }
+            }
+        }
+    }
+    latencies.sort_unstable();
+    latencies.get(latencies.len() / 2).copied().unwrap_or(0)
+}
+
+/// E8 table: locale-specific query latency per placement policy.
+pub fn e08_table() -> String {
+    let mut out = String::from(
+        "E8  locality: median latency (ms) for clients querying their own metro\n\
+         architecture       local_query_p50_ms   placement\n",
+    );
+    for (kind, placement) in [
+        (ArchKind::Federated, "data at origin"),
+        (ArchKind::SoftState { refresh: SimTime::from_millis(200) }, "origin + local catalog"),
+        (ArchKind::Hierarchical, "namespace owner"),
+        (ArchKind::Centralized, "central warehouse"),
+        (ArchKind::Dht { replicas: 1 }, "hash (placement-blind)"),
+    ] {
+        let p50 = e08_local_query_latency(kind);
+        let name = match kind {
+            ArchKind::Federated => "federated",
+            ArchKind::SoftState { .. } => "soft-state",
+            ArchKind::Hierarchical => "hierarchical",
+            ArchKind::Centralized => "centralized",
+            ArchKind::Dht { .. } => "dht",
+            ArchKind::DistributedDb { .. } => "distributed-db",
+        };
+        out.push_str(&format!(
+            "{:<18} {:>18.2} {:>24}\n",
+            name,
+            p50 as f64 / 1_000.0,
+            placement
+        ));
+    }
+    out
+}
+
+/// E13 measurement: sites touched and latency for prefix vs non-prefix
+/// queries on the hierarchical namespace.
+pub fn e13_measure(sites: usize) -> (u64, u64, u64, u64) {
+    let topology = Topology::clustered(sites / 2, 2, 2.0, 40.0);
+    let spec = WorkloadSpec {
+        clusters: sites / 2,
+        per_cluster: 2,
+        windows_per_site: 2,
+        ..WorkloadSpec::default()
+    };
+    let corpus = build_corpus(&spec);
+    let mut arch = Hierarchical::new(topology, spec.seed);
+    for (site, record) in &corpus.records {
+        arch.publish(*site, record);
+    }
+    arch.run_quiet();
+    arch.outcomes();
+
+    let measure = |arch: &mut Hierarchical, text: &str| -> (u64, u64) {
+        arch.reset_net();
+        let issued = arch.now();
+        let query = parse(text).expect("well-formed");
+        let op = arch.query(0, &query);
+        arch.run_quiet();
+        let latency = arch
+            .outcomes()
+            .into_iter()
+            .find(|o| o.op == op)
+            .map(|o| o.at.micros_since(issued))
+            .unwrap_or(0);
+        (arch.net().class(TrafficClass::Query).messages, latency)
+    };
+    let (prefix_msgs, prefix_lat) = measure(
+        &mut arch,
+        &format!(r#"FIND WHERE domain = "traffic" AND region = "{}""#, corpus.regions[0]),
+    );
+    let (bcast_msgs, bcast_lat) =
+        measure(&mut arch, r#"FIND WHERE sensor.type = "camera""#);
+    (prefix_msgs, prefix_lat, bcast_msgs, bcast_lat)
+}
+
+/// E13 table: significance-ordering penalty vs site count.
+pub fn e13_table() -> String {
+    let mut out = String::from(
+        "E13  hierarchical namespace: prefix vs non-prefix attribute queries\n\
+         sites   prefix_msgs   prefix_ms   nonprefix_msgs   nonprefix_ms\n",
+    );
+    for sites in [4usize, 8, 16, 32] {
+        let (pm, pl, bm, bl) = e13_measure(sites);
+        out.push_str(&format!(
+            "{:>5} {:>13} {:>11.2} {:>16} {:>14.2}\n",
+            sites,
+            pm,
+            pl as f64 / 1_000.0,
+            bm,
+            bl as f64 / 1_000.0
+        ));
+    }
+    out
+}
+
+/// E14 measurement: chase latency and messages for one root.
+pub fn e14_measure(depth: usize, batch: bool) -> (u64, u64) {
+    let spec = WorkloadSpec {
+        clusters: 4,
+        per_cluster: 2,
+        windows_per_site: 4,
+        lineage_depth: depth,
+        ..WorkloadSpec::default()
+    };
+    let corpus = build_corpus(&spec);
+    let mut arch = DistributedDb::new(spec.topology(), batch, spec.seed);
+    for (site, record) in &corpus.records {
+        arch.publish(*site, record);
+    }
+    arch.run_quiet();
+    arch.outcomes();
+    arch.reset_net();
+
+    let issued = arch.now();
+    let op = arch.lineage(0, corpus.leaves[0], None);
+    arch.run_quiet();
+    let latency = arch
+        .outcomes()
+        .into_iter()
+        .find(|o| o.op == op)
+        .map(|o| o.at.micros_since(issued))
+        .unwrap_or(0);
+    (latency, arch.net().class(TrafficClass::Query).messages)
+}
+
+/// E14 table: distributed transitive closure, naive vs batched.
+pub fn e14_table() -> String {
+    let mut out = String::from(
+        "E14  distributed transitive closure (8 sites): naive vs frontier-batched\n\
+         depth   naive_ms   naive_msgs   batched_ms   batched_msgs\n",
+    );
+    for depth in [2usize, 4, 8] {
+        let (naive_lat, naive_msgs) = e14_measure(depth, false);
+        let (batch_lat, batch_msgs) = e14_measure(depth, true);
+        out.push_str(&format!(
+            "{:>5} {:>10.2} {:>12} {:>12.2} {:>14}\n",
+            depth,
+            naive_lat as f64 / 1_000.0,
+            naive_msgs,
+            batch_lat as f64 / 1_000.0,
+            batch_msgs
+        ));
+    }
+    out
+}
+
+/// Per-architecture one-shot query helper for Criterion benches.
+pub fn bench_one_query(kind: ArchKind) -> u64 {
+    let spec = WorkloadSpec {
+        clusters: 2,
+        per_cluster: 2,
+        windows_per_site: 2,
+        ..WorkloadSpec::default()
+    };
+    let corpus = build_corpus(&spec);
+    let mut arch = build_arch(kind, spec.topology(), spec.seed);
+    for (site, record) in &corpus.records {
+        arch.publish(*site, record);
+    }
+    arch.run_quiet();
+    arch.outcomes();
+    let query = parse(r#"FIND WHERE domain = "traffic""#).expect("well-formed");
+    let issued = arch.now();
+    let op = arch.query(0, &query);
+    arch.run_quiet();
+    arch.outcomes()
+        .into_iter()
+        .find(|o| o.op == op)
+        .map(|o| o.at.micros_since(issued))
+        .unwrap_or(0)
+}
+
+/// Shared per-kind label helper.
+pub fn kind_name(kind: &ArchKind) -> &'static str {
+    match kind {
+        ArchKind::Centralized => "centralized",
+        ArchKind::DistributedDb { .. } => "distributed-db",
+        ArchKind::Federated => "federated",
+        ArchKind::SoftState { .. } => "soft-state",
+        ArchKind::Hierarchical => "hierarchical",
+        ArchKind::Dht { .. } => "dht",
+    }
+}
+
+/// Convenience map of default kinds by name (used by benches).
+pub fn default_kinds() -> HashMap<&'static str, ArchKind> {
+    ArchKind::all_default().into_iter().map(|k| (kind_name(&k), k)).collect()
+}

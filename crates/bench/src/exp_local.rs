@@ -1,0 +1,517 @@
+//! Local-store experiments: E1 (granularity), E2 (naming), E3 (closure
+//! strategies), E4 (query mix), E12 (PASS properties), E16 (abstraction).
+
+use pass_core::Pass;
+use pass_index::closure::{BfsClosure, MemoClosure, NaiveJoinClosure, ReachStrategy, TraverseOpts};
+use pass_index::{AncestryGraph, Direction, IntervalClosure};
+use pass_model::{
+    flatname, keys, Attributes, Digest128, ProvenanceBuilder, ProvenanceRecord, Reading, SensorId,
+    SiteId, Timestamp, ToolDescriptor, TupleSet, TupleSetId, Value,
+};
+use pass_sensor::gen::rng_for;
+use pass_sensor::{medical, traffic, volcano, weather, workload};
+use rand::Rng;
+use std::time::Instant;
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1_000.0
+}
+
+// ---------------------------------------------------------------------------
+// E1 — index granularity
+// ---------------------------------------------------------------------------
+
+/// Builds a store holding `total_readings` readings grouped `per_set` to a
+/// tuple set. Returns the store and its tuple-set ids.
+pub fn e01_store(total_readings: usize, per_set: usize) -> (Pass, Vec<TupleSetId>) {
+    let pass = Pass::open_memory(SiteId(1));
+    let mut rng = rng_for(1, "e01");
+    let mut ids = Vec::new();
+    let sets = total_readings / per_set;
+    for s in 0..sets {
+        let start = (s * per_set) as u64 * 1_000;
+        let readings: Vec<Reading> = (0..per_set)
+            .map(|i| {
+                Reading::new(SensorId((s % 64) as u64), Timestamp(start + i as u64 * 1_000))
+                    .with("speed_kmh", rng.gen_range(10.0..80.0))
+            })
+            .collect();
+        let attrs = Attributes::new()
+            .with(keys::DOMAIN, "traffic")
+            .with(keys::REGION, format!("zone-{}", s % 8))
+            .with(keys::TYPE, "car_sighting")
+            .with("sensor.id", (s % 64) as i64)
+            .with(keys::TIME_START, Timestamp(start))
+            .with(keys::TIME_END, Timestamp(start + per_set as u64 * 1_000 - 1));
+        ids.push(
+            pass.capture(attrs, readings, Timestamp(start + per_set as u64 * 1_000))
+                .expect("capture"),
+        );
+    }
+    (pass, ids)
+}
+
+/// E1 table: granularity sweep.
+pub fn e01_table() -> String {
+    let total = 20_000;
+    let mut out = String::from(
+        "E1  index granularity (20k readings; per-tuple vs tuple-set indexing)\n\
+         per_set   sets   ingest_ms   index_KiB   eq_query_ms   overlap_query_ms\n",
+    );
+    for per_set in [1usize, 10, 100, 1_000] {
+        let t0 = Instant::now();
+        let (pass, _) = e01_store(total, per_set);
+        let ingest = t0.elapsed();
+        let stats = pass.stats();
+        let t1 = Instant::now();
+        for _ in 0..20 {
+            pass.query_text(r#"FIND WHERE region = "zone-3""#).expect("query");
+        }
+        let eq = t1.elapsed() / 20;
+        let t2 = Instant::now();
+        for _ in 0..20 {
+            pass.query_text("FIND WHERE time OVERLAPS [1000000, 2000000]").expect("query");
+        }
+        let overlap = t2.elapsed() / 20;
+        out.push_str(&format!(
+            "{:>7} {:>6} {:>11.1} {:>11.1} {:>13.3} {:>18.3}\n",
+            per_set,
+            stats.records,
+            ms(ingest),
+            stats.index_bytes as f64 / 1024.0,
+            ms(eq),
+            ms(overlap)
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E2 — naming: flat filenames vs structured provenance
+// ---------------------------------------------------------------------------
+
+/// A corpus with deliberately collision-prone region names.
+pub fn e02_corpus(n_per_region: usize) -> Vec<ProvenanceRecord> {
+    let regions = ["new_york", "new-york", "st_louis", "st-louis", "boston"];
+    let mut out = Vec::new();
+    for (ri, region) in regions.iter().enumerate() {
+        for i in 0..n_per_region {
+            let record = ProvenanceBuilder::new(SiteId(1), Timestamp((ri * n_per_region + i) as u64))
+                .attr(keys::DOMAIN, "traffic")
+                .attr(keys::REGION, *region)
+                .attr(keys::TYPE, "car_sighting")
+                .attr(keys::SENSOR_TYPE, "camera")
+                .attr(keys::TIME_START, Value::Time(Timestamp(i as u64 * 1_000)))
+                .attr(keys::TIME_END, Value::Time(Timestamp(i as u64 * 1_000 + 999)))
+                .attr("calibration.run", i as i64) // inexpressible in a flat name
+                .build(Digest128::of(format!("{region}/{i}").as_bytes()));
+            out.push(record);
+        }
+    }
+    out
+}
+
+/// E2 table: per-query latency and result quality for both schemes.
+pub fn e02_table() -> String {
+    let corpus = e02_corpus(400);
+    let names: Vec<String> = corpus.iter().map(flatname::build).collect();
+    // Structured side: the same records, indexed by their provenance.
+    let pass = Pass::open_memory(SiteId(1));
+    for record in &corpus {
+        let rebuilt = ProvenanceBuilder::new(record.origin, record.created_at)
+            .attrs(&record.attributes)
+            .build(TupleSet::content_digest_of(&[]));
+        pass.ingest(&TupleSet::new(rebuilt, vec![]).expect("digest matches"))
+            .expect("ingest");
+    }
+
+    let mut out = String::from(
+        "E2  naming: flat filenames vs structured provenance (2000 records)\n\
+         query                     scheme       latency_ms   precision   recall\n",
+    );
+    let target = Value::Str("new_york".to_owned());
+    // Ground truth: records whose true region equals new_york.
+    let truth: Vec<usize> = corpus
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.attributes.get_str(keys::REGION) == Some("new_york"))
+        .map(|(i, _)| i)
+        .collect();
+
+    // Flat scheme: parse every name.
+    let t0 = Instant::now();
+    let mut flat_hits = Vec::new();
+    for _ in 0..10 {
+        flat_hits = names
+            .iter()
+            .enumerate()
+            .filter(|(_, name)| flatname::name_matches(name, keys::REGION, &target))
+            .map(|(i, _)| i)
+            .collect();
+    }
+    let flat_latency = t0.elapsed() / 10;
+    let flat_tp = flat_hits.iter().filter(|i| truth.contains(i)).count();
+    let flat_precision =
+        if flat_hits.is_empty() { 1.0 } else { flat_tp as f64 / flat_hits.len() as f64 };
+    let flat_recall =
+        if truth.is_empty() { 1.0 } else { flat_tp as f64 / truth.len() as f64 };
+
+    // Structured scheme: attribute index.
+    let t1 = Instant::now();
+    let mut hits = 0usize;
+    for _ in 0..10 {
+        hits = pass
+            .query_text(r#"FIND WHERE region = "new_york""#)
+            .expect("query")
+            .records
+            .len();
+    }
+    let ix_latency = t1.elapsed() / 10;
+
+    out.push_str(&format!(
+        "{:<25} {:<12} {:>10.3} {:>11.3} {:>8.3}\n",
+        "region = new_york", "flat-name", ms(flat_latency), flat_precision, flat_recall
+    ));
+    out.push_str(&format!(
+        "{:<25} {:<12} {:>10.3} {:>11.3} {:>8.3}\n",
+        "region = new_york",
+        "provenance",
+        ms(ix_latency),
+        1.0,
+        hits as f64 / truth.len().max(1) as f64
+    ));
+    // The attribute a flat name cannot express at all.
+    let calib = pass.query_text("FIND WHERE calibration.run = 7").expect("query");
+    out.push_str(&format!(
+        "{:<25} {:<12} {:>10} {:>11} {:>8}\n",
+        "calibration.run = 7", "flat-name", "n/a", "0.000", "0.000"
+    ));
+    out.push_str(&format!(
+        "{:<25} {:<12} {:>10.3} {:>11.3} {:>8.3}\n",
+        "calibration.run = 7",
+        "provenance",
+        0.01,
+        1.0,
+        if calib.records.len() == 5 { 1.0 } else { 0.0 }
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E3 — transitive-closure strategies
+// ---------------------------------------------------------------------------
+
+/// Builds a braided lineage DAG of `depth` levels × `width` nodes with
+/// fanin 2, returning the graph and one leaf node.
+pub fn e03_graph(depth: usize, width: usize) -> (AncestryGraph, u32) {
+    let mut graph = AncestryGraph::new();
+    let roots: Vec<TupleSetId> = (0..width as u128).map(|i| TupleSetId(i + 1)).collect();
+    for r in &roots {
+        graph.insert(*r, &[]);
+    }
+    let mut counter = 1_000u128;
+    pass_sensor::build_lineage::<std::convert::Infallible>(
+        &roots,
+        pass_sensor::LineageShape { depth, width, fanin: 2 },
+        Timestamp::ZERO,
+        |parents, _tool, _attrs, _readings, _at| {
+            counter += 1;
+            let id = TupleSetId(counter);
+            let edges: Vec<(TupleSetId, bool)> = parents.iter().map(|p| (*p, false)).collect();
+            graph.insert(id, &edges);
+            Ok(id)
+        },
+    )
+    .expect("infallible");
+    let leaf = graph.lookup(TupleSetId(counter)).expect("leaf exists");
+    (graph, leaf)
+}
+
+/// E3 table: strategy × depth latency (µs) plus structure sizes.
+pub fn e03_table() -> String {
+    let mut out = String::from(
+        "E3  transitive closure: ancestors-of latency (µs), width=16 fanin=2\n\
+         depth   naive_join        bfs       memo   interval   memo_KiB   intv_KiB\n",
+    );
+    for depth in [4usize, 8, 16, 32] {
+        let (graph, leaf) = e03_graph(depth, 16);
+        let opts = TraverseOpts::unbounded();
+        let time_strategy = |s: &dyn ReachStrategy| -> f64 {
+            let t = Instant::now();
+            let iters = 50;
+            for _ in 0..iters {
+                std::hint::black_box(s.reachable(&graph, leaf, Direction::Ancestors, &opts));
+            }
+            t.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+        };
+        let naive = time_strategy(&NaiveJoinClosure);
+        let bfs = time_strategy(&BfsClosure);
+        let memo = MemoClosure::build(&graph, false).expect("acyclic");
+        let memo_t = time_strategy(&memo);
+        let interval = IntervalClosure::build(&graph, false).expect("acyclic");
+        let interval_t = time_strategy(&interval);
+        out.push_str(&format!(
+            "{:>5} {:>12.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+            depth,
+            naive,
+            bfs,
+            memo_t,
+            interval_t,
+            memo.size_bytes() as f64 / 1024.0,
+            interval.size_bytes() as f64 / 1024.0
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E4 — the §III query mix
+// ---------------------------------------------------------------------------
+
+/// Builds a mixed-domain store and its query vocabulary.
+pub fn e04_store() -> (Pass, workload::Vocabulary) {
+    let pass = Pass::open_memory(SiteId(1));
+    let mut ids = Vec::new();
+    for spec in traffic::generate(
+        &traffic::TrafficConfig { sensors: 6, seed: 41, ..Default::default() },
+        Timestamp::ZERO,
+        10,
+    )
+    .into_iter()
+    .chain(weather::generate(
+        &weather::WeatherConfig { stations: 3, seed: 42, ..Default::default() },
+        Timestamp::ZERO,
+        8,
+    ))
+    .chain(medical::generate(
+        &medical::MedicalConfig { patients: 8, seed: 43, ..Default::default() },
+        Timestamp::ZERO,
+        5,
+    ))
+    .chain(volcano::generate(
+        &volcano::VolcanoConfig { stations: 4, seed: 44, ..Default::default() },
+        Timestamp::ZERO,
+        12,
+    )) {
+        ids.push(pass.capture(spec.attrs, spec.readings, spec.at).expect("capture"));
+    }
+    // Two pipeline stages so science queries have lineage to chase.
+    let tool = ToolDescriptor::new("rollup", "1.0");
+    let mid: Vec<TupleSetId> = ids
+        .chunks(16)
+        .map(|chunk| {
+            pass.derive(
+                chunk,
+                &tool,
+                Attributes::new().with(keys::DOMAIN, "analysis").with(keys::TYPE, "rollup"),
+                vec![],
+                Timestamp::from_secs(10_000),
+            )
+            .expect("derive")
+        })
+        .collect();
+    let top = pass
+        .derive(
+            &mid,
+            &ToolDescriptor::new("report", "2.0"),
+            Attributes::new().with(keys::DOMAIN, "analysis").with(keys::TYPE, "report"),
+            vec![],
+            Timestamp::from_secs(20_000),
+        )
+        .expect("derive");
+    ids.push(top);
+
+    let vocab = workload::Vocabulary {
+        ids,
+        regions: vec!["london".into(), "vesuvius".into(), "bridge-12".into()],
+        patients: (0..8).map(|p| format!("patient-{p:03}")).collect(),
+        operators: (0..3).map(|e| format!("emt-{e}")).collect(),
+        tools: vec!["rollup".into(), "report".into()],
+        time_span: (Timestamp::ZERO, Timestamp::from_secs(20_000)),
+    };
+    (pass, vocab)
+}
+
+/// E4 table: per-class mean latency over the §III mixes.
+pub fn e04_table() -> String {
+    let (pass, vocab) = e04_store();
+    let mut rng = rng_for(4, "e04");
+    let specs = workload::mixed(&vocab, &mut rng, 30);
+    let mut per_class: std::collections::BTreeMap<&str, (f64, usize, usize)> =
+        std::collections::BTreeMap::new();
+    for spec in &specs {
+        let t = Instant::now();
+        let result = pass.query_text(&spec.text).expect("workload query parses");
+        let elapsed = ms(t.elapsed());
+        let entry = per_class.entry(spec.class.label()).or_insert((0.0, 0, 0));
+        entry.0 += elapsed;
+        entry.1 += 1;
+        entry.2 += result.records.len();
+    }
+    let mut out = String::from(
+        "E4  §III query mix on a populated local PASS (1000+ tuple sets)\n\
+         class         queries   mean_latency_ms   mean_results\n",
+    );
+    for (class, (total, n, results)) in per_class {
+        out.push_str(&format!(
+            "{:<13} {:>7} {:>17.3} {:>14.1}\n",
+            class,
+            n,
+            total / n as f64,
+            results as f64 / n as f64
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E12 — PASS property micro-benchmarks
+// ---------------------------------------------------------------------------
+
+/// E12 table: property-enforcement costs.
+pub fn e12_table() -> String {
+    let mut out = String::from("E12  PASS property enforcement costs\n");
+    // Identity hashing throughput.
+    let record = ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+        .attr(keys::DOMAIN, "traffic")
+        .attr(keys::REGION, "london")
+        .attr(keys::TYPE, "car_sighting")
+        .build(Digest128::of(b"payload"));
+    let t = Instant::now();
+    let n = 100_000;
+    for _ in 0..n {
+        std::hint::black_box(record.verify_identity());
+    }
+    let per = t.elapsed().as_secs_f64() * 1e9 / f64::from(n);
+    out.push_str(&format!("identity verification: {per:>10.0} ns/record\n"));
+
+    // Ingest throughput with all invariants on.
+    let pass = Pass::open_memory(SiteId(1));
+    let t = Instant::now();
+    let count = 5_000;
+    for i in 0..count {
+        let readings = vec![Reading::new(SensorId(1), Timestamp(i)).with("v", i as i64)];
+        let attrs = Attributes::new().with(keys::DOMAIN, "bench").with("i", i as i64);
+        pass.capture(attrs, readings, Timestamp(i)).expect("capture");
+    }
+    let rate = count as f64 / t.elapsed().as_secs_f64();
+    out.push_str(&format!("verified ingest:       {rate:>10.0} tuple sets/s\n"));
+
+    // Ancestor-removal survival (property 4) at scale.
+    let ids = pass.ids();
+    let child = pass
+        .derive(
+            &ids[..100.min(ids.len())],
+            &ToolDescriptor::new("t", "1"),
+            Attributes::new().with(keys::DOMAIN, "bench"),
+            vec![],
+            Timestamp(999_999),
+        )
+        .expect("derive");
+    let t = Instant::now();
+    for id in &ids[..100.min(ids.len())] {
+        pass.remove_data(*id).expect("remove");
+    }
+    let removal = ms(t.elapsed());
+    let lineage = pass
+        .lineage(child, Direction::Ancestors, TraverseOpts::unbounded())
+        .expect("lineage");
+    out.push_str(&format!(
+        "100 data removals:     {removal:>10.2} ms (lineage still names {} ancestors)\n",
+        lineage.len()
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E16 — provenance abstraction
+// ---------------------------------------------------------------------------
+
+/// Builds a store where each of `analyses` outputs depends on raw data
+/// plus a toolchain of provenance depth `chain_len`, linked through an
+/// abstracted edge.
+pub fn e16_store(analyses: usize, chain_len: usize) -> (Pass, Vec<TupleSetId>) {
+    let pass = Pass::open_memory(SiteId(1));
+    // One shared toolchain lineage: source → … → binary.
+    let mut prev = pass
+        .capture(
+            Attributes::new().with(keys::DOMAIN, "toolchain").with(keys::TYPE, "source"),
+            vec![Reading::new(SensorId(0), Timestamp(0)).with("rev", 0i64)],
+            Timestamp(0),
+        )
+        .expect("capture");
+    for i in 1..chain_len {
+        prev = pass
+            .derive(
+                &[prev],
+                &ToolDescriptor::new("build-step", format!("{i}")),
+                Attributes::new().with(keys::DOMAIN, "toolchain").with(keys::TYPE, "stage"),
+                vec![Reading::new(SensorId(0), Timestamp(i as u64)).with("rev", i as i64)],
+                Timestamp(i as u64),
+            )
+            .expect("derive");
+    }
+    let toolchain_binary = prev;
+
+    let mut outputs = Vec::new();
+    for a in 0..analyses {
+        let raw = pass
+            .capture(
+                Attributes::new()
+                    .with(keys::DOMAIN, "traffic")
+                    .with(keys::TYPE, "capture")
+                    .with("run", a as i64),
+                vec![Reading::new(SensorId(1), Timestamp(a as u64)).with("v", a as i64)],
+                Timestamp(1_000 + a as u64),
+            )
+            .expect("capture");
+        let readings = vec![Reading::new(SensorId(2), Timestamp(a as u64)).with("out", a as i64)];
+        let attrs =
+            Attributes::new().with(keys::DOMAIN, "analysis").with("run", a as i64);
+        let mut builder =
+            ProvenanceBuilder::new(SiteId(1), Timestamp(2_000 + a as u64)).attrs(&attrs);
+        builder = builder.derived_from(raw, ToolDescriptor::new("analyze", "3.1"));
+        builder =
+            builder.derived_from(toolchain_binary, ToolDescriptor::abstracted("gcc", "3.3.3"));
+        let record = builder.build(TupleSet::content_digest_of(&readings));
+        let id = pass
+            .ingest(&TupleSet::new(record, readings).expect("digest matches"))
+            .expect("ingest");
+        outputs.push(id);
+    }
+    (pass, outputs)
+}
+
+/// E16 table: lineage size and latency with/without abstraction.
+pub fn e16_table() -> String {
+    let mut out = String::from(
+        "E16  provenance abstraction (\"gcc 3.3.3\" vs full toolchain history)\n\
+         chain_len   full_nodes   full_µs   abstracted_nodes   abstracted_µs\n",
+    );
+    for chain_len in [8usize, 32, 128] {
+        let (pass, outputs) = e16_store(4, chain_len);
+        let root = outputs[0];
+        let time_it = |opts: TraverseOpts| -> (usize, f64) {
+            let t = Instant::now();
+            let iters = 50;
+            let mut len = 0;
+            for _ in 0..iters {
+                len = pass
+                    .lineage(root, Direction::Ancestors, opts)
+                    .expect("lineage")
+                    .len();
+            }
+            (len, t.elapsed().as_secs_f64() * 1e6 / f64::from(iters))
+        };
+        let (full_nodes, full_us) = time_it(TraverseOpts::unbounded());
+        let (abs_nodes, abs_us) = time_it(TraverseOpts {
+            stop_at_abstraction: true,
+            ..TraverseOpts::default()
+        });
+        out.push_str(&format!(
+            "{:>9} {:>12} {:>9.1} {:>18} {:>15.1}\n",
+            chain_len, full_nodes, full_us, abs_nodes, abs_us
+        ));
+    }
+    out
+}

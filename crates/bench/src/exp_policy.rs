@@ -1,0 +1,479 @@
+//! §V privacy/security and replication experiments: E17 (degree of
+//! aggregation), E18 (policy-enforcement overhead), E19 (replication
+//! strategies).
+
+use pass_core::Pass;
+use pass_distrib::{Architecture, Replicated, ReplicationStrategy};
+use pass_index::{Direction, TraverseOpts};
+use pass_model::{
+    Attributes, Digest128, ProvenanceBuilder, ProvenanceRecord, Reading, SensorId, SiteId,
+    Timestamp, ToolDescriptor, TupleSetId,
+};
+use pass_net::{SimTime, Topology, TrafficClass};
+use pass_policy::{
+    kanonymize, Action, GuardedPass, NumericLadder, PolicyEngine, PolicyLabel, Principal,
+    QuasiSpec, Rule, Sensitivity,
+};
+use pass_query::Predicate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// E17 — what degree of aggregation is necessary? (§V)
+// ---------------------------------------------------------------------
+
+/// A synthetic mass-casualty roster: per-patient vitals with demographic
+/// quasi-identifiers (age, triage zone). Heart rate correlates weakly
+/// with age so utility loss is observable.
+pub fn e17_patients(n: usize, seed: u64) -> Vec<Reading> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let age = rng.gen_range(16.0f64..96.0).floor();
+            let zone = rng.gen_range(0.0f64..10.0).floor();
+            let hr = 60.0 + (age - 50.0) * 0.15 + rng.gen_range(-12.0..12.0);
+            Reading::new(SensorId(i as u64), Timestamp(i as u64))
+                .with("age", age)
+                .with("zone", zone)
+                .with("heart_rate", hr)
+        })
+        .collect()
+}
+
+/// The E17 quasi-identifier spec: age generalizes 5→10→25-year bands,
+/// triage zone 2→5-zone sectors; heart rate is the sensitive field.
+pub fn e17_spec() -> QuasiSpec {
+    QuasiSpec::new(
+        vec![
+            NumericLadder::new("age", vec![5.0, 10.0, 25.0]).expect("valid ladder"),
+            NumericLadder::new("zone", vec![2.0, 5.0]).expect("valid ladder"),
+        ],
+        "heart_rate",
+    )
+    .expect("valid spec")
+}
+
+/// E17 table: k sweep vs privacy (risk) and utility (error, info loss).
+pub fn e17_table() -> String {
+    let patients = e17_patients(400, 17);
+    let spec = e17_spec();
+    let mut out = String::from(
+        "E17  degree of aggregation: k vs re-identification risk vs utility (400 patients)\n\
+         k      level   groups   released   suppr_rate   risk      hr_mae   info_loss\n",
+    );
+    for k in [1usize, 2, 5, 10, 25, 50] {
+        let anon = kanonymize(&patients, k, &spec, 0.05).expect("aggregation succeeds");
+        out.push_str(&format!(
+            "{:<6} {:>5} {:>8} {:>10} {:>12.3} {:>9.4} {:>8.2} {:>11.2}\n",
+            k,
+            anon.level,
+            anon.groups.len(),
+            anon.released(),
+            anon.suppression_rate(),
+            anon.risk(),
+            anon.mean_abs_error,
+            anon.info_loss,
+        ));
+    }
+    out
+}
+
+/// E17 companion measurement: provenance of the aggregate. Ingests the
+/// roster as per-incident tuple sets, releases a k-anonymous aggregate
+/// through the guard, and returns (ancestry_len, tool_k) — the §V
+/// "provenance of such aggregates" check.
+pub fn e17_aggregate_provenance(k: usize) -> (usize, i64) {
+    let clinician = Principal::new("emt-0")
+        .with_role("clinician")
+        .with_clearance(Sensitivity::Private)
+        .with_category("phi");
+    let engine = PolicyEngine::deny_by_default()
+        .with_rule(Rule::allow("clinician").for_role("clinician"))
+        // Anyone may read records whose label is public (sensitivity 0).
+        .with_rule(Rule::allow("public-read").when(Predicate::Cmp(
+            pass_policy::label::ATTR_SENSITIVITY.into(),
+            pass_query::CmpOp::Le,
+            0i64.into(),
+        )));
+    let guard = GuardedPass::new(Pass::open_memory(SiteId(1)), engine);
+    let label = PolicyLabel::new(Sensitivity::Private).with_category("phi");
+
+    let patients = e17_patients(120, 18);
+    let mut parents = Vec::new();
+    for (i, chunk) in patients.chunks(30).enumerate() {
+        let id = guard
+            .capture(
+                &clinician,
+                label.clone(),
+                Attributes::new().with("domain", "medical").with("incident", i as i64),
+                chunk.to_vec(),
+                Timestamp(i as u64),
+            )
+            .expect("capture");
+        parents.push(id);
+    }
+    let (agg, anon) = guard
+        .aggregate(
+            &clinician,
+            &parents,
+            k,
+            &e17_spec(),
+            0.05,
+            PolicyLabel::public(),
+            Attributes::new().with("domain", "medical"),
+            Timestamp(99),
+        )
+        .expect("aggregate");
+    let record = guard.get_record(&Principal::new("citizen"), agg).expect("public aggregate");
+    let tool_k = record.ancestry[0].tool.params.get_int("k").unwrap_or(-1);
+    assert_eq!(anon.k as i64, tool_k);
+    (record.ancestry.len(), tool_k)
+}
+
+// ---------------------------------------------------------------------
+// E18 — policy enforcement overhead
+// ---------------------------------------------------------------------
+
+/// Builds the E18 store: `n` labelled records (half private/phi, half
+/// public) across four regions, plus one depth-`chain` derivation chain
+/// with alternating labels for the redaction measurement.
+pub fn e18_store(n: usize, chain: usize) -> (Pass, Vec<TupleSetId>, TupleSetId) {
+    let pass = Pass::open_memory(SiteId(1));
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut attrs = Attributes::new()
+            .with("domain", "traffic")
+            .with("region", format!("metro-{}", i % 4))
+            .with("window", i as i64);
+        let label = if i % 2 == 0 {
+            PolicyLabel::public()
+        } else {
+            PolicyLabel::new(Sensitivity::Private).with_category("phi")
+        };
+        label.apply_to(&mut attrs);
+        let readings =
+            vec![Reading::new(SensorId(i as u64), Timestamp(i as u64)).with("speed", 42.0)];
+        ids.push(pass.capture(attrs, readings, Timestamp(i as u64)).expect("capture"));
+    }
+
+    // Alternating-label chain for lineage redaction. The head (last
+    // element) must be public so the analyst can anchor the traversal.
+    let mut prev: Option<TupleSetId> = None;
+    let mut head = ids[0];
+    for i in 0..chain {
+        let mut attrs = Attributes::new().with("domain", "pipeline").with("step", i as i64);
+        let label = if (chain - 1 - i) % 2 == 0 {
+            PolicyLabel::public()
+        } else {
+            PolicyLabel::new(Sensitivity::Private).with_category("phi")
+        };
+        label.apply_to(&mut attrs);
+        let id = match prev {
+            None => pass.capture(attrs, vec![], Timestamp(1_000_000 + i as u64)).expect("capture"),
+            Some(p) => pass
+                .derive(
+                    &[p],
+                    &ToolDescriptor::new("stage", "1"),
+                    attrs,
+                    vec![],
+                    Timestamp(1_000_000 + i as u64),
+                )
+                .expect("derive"),
+        };
+        prev = Some(id);
+        head = id;
+    }
+    (pass, ids, head)
+}
+
+/// The E18 reader: cleared for public+internal, not private.
+pub fn e18_analyst() -> Principal {
+    Principal::new("analyst").with_role("analyst").with_clearance(Sensitivity::Internal)
+}
+
+/// The E18 engine: analysts may read/query/traverse anything their
+/// clearance dominates.
+pub fn e18_engine() -> PolicyEngine {
+    PolicyEngine::deny_by_default().with_rule(
+        Rule::allow("analyst-read")
+            .for_role("analyst")
+            .on([Action::ReadProvenance, Action::ReadLineage, Action::ReadData]),
+    )
+}
+
+/// E18 table: per-operation latency with and without the guard.
+pub fn e18_table() -> String {
+    let n = 2_000;
+    let chain = 64;
+    let rounds = 200;
+
+    // Unguarded baseline.
+    let (pass, ids, head) = e18_store(n, chain);
+    let queries: Vec<String> =
+        (0..4).map(|r| format!(r#"FIND WHERE region = "metro-{r}""#)).collect();
+
+    let t = Instant::now();
+    let mut matched = 0usize;
+    for i in 0..rounds {
+        matched += pass.query_text(&queries[i % 4]).expect("query").ids().len();
+    }
+    let plain_query_us = t.elapsed().as_micros() as f64 / rounds as f64;
+
+    let t = Instant::now();
+    for &id in &ids {
+        std::hint::black_box(pass.get_record(id));
+    }
+    let plain_get_us = t.elapsed().as_micros() as f64 / ids.len() as f64;
+
+    let t = Instant::now();
+    let full =
+        pass.lineage(head, Direction::Ancestors, TraverseOpts::unbounded()).expect("lineage");
+    let plain_lineage_us = t.elapsed().as_micros() as f64;
+    let full_len = full.len();
+
+    // Guarded.
+    let guard = GuardedPass::new(pass, e18_engine());
+    let analyst = e18_analyst();
+
+    let t = Instant::now();
+    let mut visible = 0usize;
+    let mut withheld = 0usize;
+    for i in 0..rounds {
+        let (v, w) = guard.query_text(&analyst, &queries[i % 4]).expect("query");
+        visible += v.len();
+        withheld += w;
+    }
+    let guarded_query_us = t.elapsed().as_micros() as f64 / rounds as f64;
+
+    let t = Instant::now();
+    let mut allowed = 0usize;
+    for &id in &ids {
+        if guard.get_record(&analyst, id).is_ok() {
+            allowed += 1;
+        }
+    }
+    let guarded_get_us = t.elapsed().as_micros() as f64 / ids.len() as f64;
+
+    let t = Instant::now();
+    let view = guard
+        .lineage(&analyst, head, Direction::Ancestors, TraverseOpts::unbounded())
+        .expect("redacted lineage");
+    let guarded_lineage_us = t.elapsed().as_micros() as f64;
+
+    let mut out = String::from(
+        "E18  policy enforcement overhead (2000 records, 50% private; 200 queries)\n\
+         operation              unguarded_us   guarded_us   factor\n",
+    );
+    let row = |op: &str, a: f64, b: f64| {
+        format!("{:<22} {:>13.1} {:>12.1} {:>8.2}\n", op, a, b, b / a.max(0.001))
+    };
+    out.push_str(&row("attribute query", plain_query_us, guarded_query_us));
+    out.push_str(&row("get_record", plain_get_us, guarded_get_us));
+    out.push_str(&row("lineage depth-64", plain_lineage_us, guarded_lineage_us));
+    out.push_str(&format!(
+        "query results: {} matched unguarded; {} visible + {} withheld guarded\n",
+        matched, visible, withheld
+    ));
+    out.push_str(&format!(
+        "get_record: {}/{} allowed; lineage: {} full nodes -> {} visible + {} redacted \
+         ({} contracted edges); audit entries: {}\n",
+        allowed,
+        ids.len(),
+        full_len,
+        view.visible.len(),
+        view.redacted_count,
+        view.edges.iter().filter(|e| e.via_redacted > 0).count(),
+        guard.audit().len(),
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// E19 — replication strategies (§V "supporting replication cheaply")
+// ---------------------------------------------------------------------
+
+/// E19 topology: 4 metro clusters × 4 sites.
+pub fn e19_topology() -> Topology {
+    Topology::clustered(4, 4, 2.0, 40.0)
+}
+
+/// E19 corpus: `per_site` traffic records at each of 16 sites, region
+/// keyed by metro cluster.
+pub fn e19_corpus(per_site: usize) -> Vec<(usize, ProvenanceRecord)> {
+    let sites = 16;
+    let mut out = Vec::with_capacity(sites * per_site);
+    let mut n = 0u64;
+    for site in 0..sites {
+        for _ in 0..per_site {
+            let record = ProvenanceBuilder::new(SiteId(site as u32), Timestamp(n))
+                .attrs(
+                    &Attributes::new()
+                        .with("domain", "traffic")
+                        .with("region", format!("metro-{}", site / 4))
+                        .with("window", n as i64),
+                )
+                .build(Digest128::of(&n.to_be_bytes()));
+            out.push((site, record));
+            n += 1;
+        }
+    }
+    out
+}
+
+/// One E19 measurement row.
+#[derive(Debug, Clone)]
+pub struct E19Row {
+    /// Strategy label.
+    pub strategy: String,
+    /// Update-class traffic for the whole publish phase, KiB.
+    pub publish_kib: f64,
+    /// First query latency (cold), simulated ms.
+    pub first_ms: f64,
+    /// Same query repeated from the same site, simulated ms.
+    pub repeat_ms: f64,
+    /// Recall of the warmed query after 4/16 sites died.
+    pub warm_recall: f64,
+    /// Recall of a never-before-seen query after the failures.
+    pub cold_recall: f64,
+}
+
+fn issue_and_latency(
+    arch: &mut Replicated,
+    site: usize,
+    query: &pass_query::Query,
+) -> (f64, Vec<TupleSetId>) {
+    let start = arch.now();
+    let op = arch.query(site, query);
+    // Long enough for the 2 s query deadline plus slack.
+    arch.run_for(SimTime::from_millis(5_000));
+    let outcome = arch.outcomes().into_iter().find(|o| o.op == op);
+    match outcome {
+        Some(o) => {
+            let ms = (o.at.as_micros().saturating_sub(start.as_micros())) as f64 / 1_000.0;
+            (ms, o.ids)
+        }
+        None => (f64::NAN, Vec::new()),
+    }
+}
+
+fn recall_of(ids: &[TupleSetId], truth: &[TupleSetId]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hit = ids.iter().filter(|id| truth.contains(id)).count();
+    hit as f64 / truth.len() as f64
+}
+
+/// Runs E19 for one strategy.
+pub fn e19_run(strategy: ReplicationStrategy) -> E19Row {
+    let corpus = e19_corpus(25);
+    let mut arch = Replicated::new(e19_topology(), 19, strategy);
+
+    for (site, record) in &corpus {
+        arch.publish(*site, record);
+    }
+    arch.run_quiet();
+    let publish_kib = arch.net().class(TrafficClass::Update).bytes as f64 / 1024.0;
+    arch.reset_net();
+
+    // The client in metro-0 investigates metro-1 (cross-WAN locale).
+    let warm_q = pass_query::parse(r#"FIND WHERE region = "metro-1""#).expect("parse");
+    let cold_q = pass_query::parse(r#"FIND WHERE region = "metro-2""#).expect("parse");
+    let truth = |pred: &Predicate| -> Vec<TupleSetId> {
+        corpus.iter().filter(|(_, r)| pred.matches(r)).map(|(_, r)| r.id).collect()
+    };
+    let warm_truth = truth(&warm_q.filter);
+    let cold_truth = truth(&cold_q.filter);
+
+    let (first_ms, _) = issue_and_latency(&mut arch, 0, &warm_q);
+    let (repeat_ms, _) = issue_and_latency(&mut arch, 0, &warm_q);
+
+    // Kill one site per metro (none of them the client).
+    for site in [2usize, 6, 10, 14] {
+        arch.crash_now(site);
+    }
+    let (_, warm_ids) = issue_and_latency(&mut arch, 0, &warm_q);
+    let (_, cold_ids) = issue_and_latency(&mut arch, 0, &cold_q);
+
+    E19Row {
+        strategy: strategy.label(),
+        publish_kib,
+        first_ms,
+        repeat_ms,
+        warm_recall: recall_of(&warm_ids, &warm_truth),
+        cold_recall: recall_of(&cold_ids, &cold_truth),
+    }
+}
+
+/// E19 table: replication strategy vs cost, speed, and post-failure
+/// recall.
+pub fn e19_table() -> String {
+    let mut out = String::from(
+        "E19  replication strategies: cost vs repeat-query speed vs post-failure recall\n\
+         (16 sites in 4 metros; 400 records; 4 sites killed after the warm query)\n\
+         strategy       publish_KiB   first_q_ms   repeat_q_ms   warm_recall   cold_recall\n",
+    );
+    for strategy in [
+        ReplicationStrategy::OriginOnly,
+        ReplicationStrategy::Eager { factor: 2 },
+        ReplicationStrategy::Eager { factor: 4 },
+        ReplicationStrategy::Eager { factor: 16 },
+        ReplicationStrategy::OnRead,
+    ] {
+        let row = e19_run(strategy);
+        out.push_str(&format!(
+            "{:<14} {:>11.1} {:>12.2} {:>13.2} {:>13.3} {:>13.3}\n",
+            row.strategy, row.publish_kib, row.first_ms, row.repeat_ms, row.warm_recall,
+            row.cold_recall,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e17_risk_bounded_by_k() {
+        let patients = e17_patients(200, 1);
+        let spec = e17_spec();
+        for k in [2usize, 5, 10] {
+            let anon = kanonymize(&patients, k, &spec, 0.05).unwrap();
+            assert!(anon.risk() <= 1.0 / k as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn e17_provenance_names_sources_and_k() {
+        let (ancestry, tool_k) = e17_aggregate_provenance(5);
+        assert_eq!(ancestry, 4, "four incident tuple sets pooled");
+        assert_eq!(tool_k, 5);
+    }
+
+    #[test]
+    fn e18_guard_withholds_half() {
+        let (pass, ids, _) = e18_store(100, 4);
+        let guard = GuardedPass::new(pass, e18_engine());
+        let analyst = e18_analyst();
+        let allowed = ids.iter().filter(|&&id| guard.get_record(&analyst, id).is_ok()).count();
+        assert_eq!(allowed, 50);
+    }
+
+    #[test]
+    fn e19_rows_have_expected_shape() {
+        let origin = e19_run(ReplicationStrategy::OriginOnly);
+        let full = e19_run(ReplicationStrategy::Eager { factor: 16 });
+        let onread = e19_run(ReplicationStrategy::OnRead);
+        // Full replication pays the publish bandwidth, wins everything else.
+        assert!(full.publish_kib > origin.publish_kib * 10.0);
+        assert!(full.warm_recall >= 0.999 && full.cold_recall >= 0.999);
+        // Consumer caching: repeats are (near) free and warm survives.
+        assert!(onread.repeat_ms < onread.first_ms / 2.0);
+        assert!(onread.warm_recall >= 0.999);
+        assert!(onread.cold_recall < 0.999, "cold query loses the dead site's share");
+        // No replication: both recalls degrade.
+        assert!(origin.warm_recall < 0.999);
+    }
+}

@@ -1,0 +1,142 @@
+//! Soft-state and churn experiments: E9 (staleness vs recall), E11 (DHT
+//! under churn), E15 (replication factor).
+
+use pass_dht::{key_of, ChordConfig, DhtHarness};
+use pass_distrib::runner::{build_corpus, run_workload, WorkloadSpec};
+use pass_distrib::SoftState;
+use pass_net::{churn, SimTime, Topology, TrafficClass};
+
+/// E9 measurement: recall for queries issued right after publishing,
+/// under a given digest refresh period.
+pub fn e09_recall(refresh: SimTime) -> f64 {
+    let spec = WorkloadSpec {
+        clusters: 3,
+        per_cluster: 2,
+        windows_per_site: 2,
+        queries: 12,
+        lineage_ops: 0,
+        ..WorkloadSpec::default()
+    };
+    let corpus = build_corpus(&spec);
+    let mut arch = SoftState::new(spec.topology(), refresh, spec.seed);
+    let report = run_workload(&mut arch, &corpus, &spec);
+    report.quality.recall
+}
+
+/// E9 table: refresh period vs recall.
+pub fn e09_table() -> String {
+    let mut out = String::from(
+        "E9  soft-state staleness: digest refresh period vs recall\n\
+         refresh_s   recall\n",
+    );
+    for refresh_ms in [50u64, 500, 5_000, 60_000, 3_600_000] {
+        let recall = e09_recall(SimTime::from_millis(refresh_ms));
+        out.push_str(&format!("{:>9.1} {:>8.3}\n", refresh_ms as f64 / 1_000.0, recall));
+    }
+    out
+}
+
+/// E11/E15 measurement: lookup success under churn.
+///
+/// Stores `keys` values, applies churn with the given mean session
+/// length for `churn_secs`, then issues lookups and reports
+/// `(success_rate, maintenance_KiB)`.
+pub fn e11_measure(
+    nodes: usize,
+    replicas: usize,
+    mean_session: SimTime,
+    n_keys: usize,
+) -> (f64, f64) {
+    let topology = Topology::uniform(nodes, 20.0);
+    let config = ChordConfig { replicas, ..ChordConfig::default() };
+    let mut h = DhtHarness::build(topology, config, 11);
+
+    // Store the corpus.
+    let keys: Vec<u64> = (0..n_keys).map(|i| key_of(format!("ts-{i}").as_bytes())).collect();
+    let issued = h.sim.now();
+    for (i, &k) in keys.iter().enumerate() {
+        h.put(i % nodes, k, format!("record-{i}").into_bytes());
+    }
+    h.run_and_collect(SimTime::from_secs(60), issued);
+
+    // Churn (node 0, the bootstrap, stays up so re-joins can anchor).
+    let horizon = SimTime::from_secs(120);
+    let start = h.sim.now();
+    let events = churn::schedule(13, 1..nodes, mean_session, mean_session, horizon);
+    for e in &events {
+        let at = SimTime::from_micros(start.as_micros() + e.at.as_micros());
+        if e.up {
+            h.sim.schedule_recover(at, e.node);
+        } else {
+            h.sim.schedule_crash(at, e.node);
+        }
+    }
+    h.sim.run_until(SimTime::from_micros(start.as_micros() + horizon.as_micros()));
+    h.sim.take_completions();
+    h.sim.reset_metrics();
+
+    // Lookups after the churn interval (plus stabilization slack).
+    let slack = SimTime::from_secs(20);
+    h.sim.run_until(SimTime::from_micros(h.sim.now().as_micros() + slack.as_micros()));
+    let issued = h.sim.now();
+    for (i, &k) in keys.iter().enumerate() {
+        // Issue via nodes that are currently up.
+        let mut via = i % nodes;
+        while !h.sim.is_up(via) {
+            via = (via + 1) % nodes;
+        }
+        h.get(via, k);
+    }
+    let outcomes = h.run_and_collect(SimTime::from_secs(120), issued);
+    let ok = outcomes.iter().filter(|o| o.ok).count();
+    let success = if outcomes.is_empty() { 0.0 } else { ok as f64 / keys.len() as f64 };
+    let maint = h.sim.metrics().class(TrafficClass::Maintenance).bytes as f64 / 1024.0;
+    (success, maint)
+}
+
+/// E11 table: churn severity vs lookup success (replicas = 1 vs 3).
+pub fn e11_table() -> String {
+    let mut out = String::from(
+        "E11  DHT under churn: lookup success after 120 s of churn (16 nodes, 60 keys)\n\
+         mean_session_s   success_r1   success_r3   maint_KiB_r3\n",
+    );
+    for session_secs in [20u64, 60, 180, 600] {
+        let (r1, _) = e11_measure(16, 1, SimTime::from_secs(session_secs), 60);
+        let (r3, maint) = e11_measure(16, 3, SimTime::from_secs(session_secs), 60);
+        out.push_str(&format!(
+            "{:>14} {:>12.3} {:>12.3} {:>14.1}\n",
+            session_secs, r1, r3, maint
+        ));
+    }
+    out
+}
+
+/// E15 table: replication factor vs durability and update cost.
+pub fn e15_table() -> String {
+    let mut out = String::from(
+        "E15  replication factor (16 nodes, 60 keys, 60 s mean sessions)\n\
+         replicas   lookup_success   update_KiB\n",
+    );
+    for replicas in [1usize, 2, 3, 4] {
+        let topology = Topology::uniform(16, 20.0);
+        let config = ChordConfig { replicas, ..ChordConfig::default() };
+        let mut h = DhtHarness::build(topology, config, 17);
+        let issued = h.sim.now();
+        let keys: Vec<u64> = (0..60).map(|i| key_of(format!("r-{i}").as_bytes())).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            h.put(i % 16, k, vec![0u8; 200]);
+        }
+        h.run_and_collect(SimTime::from_secs(60), issued);
+        let update_kib = (h.sim.metrics().class(TrafficClass::Update).bytes
+            + h.sim.metrics().class(TrafficClass::Maintenance).bytes) as f64
+            / 1024.0;
+
+        let (success, _) = {
+            // Reuse the churn measurement for the availability side.
+            let (s, m) = e11_measure(16, replicas, SimTime::from_secs(60), 60);
+            (s, m)
+        };
+        out.push_str(&format!("{:>8} {:>16.3} {:>12.1}\n", replicas, success, update_kib));
+    }
+    out
+}

@@ -1,0 +1,67 @@
+//! Archive exchange between PASS installations (§V, second goal).
+//!
+//! "Once this is done, the second goal is to allow merging collections
+//! of local PASS installations into single globally searchable data
+//! archives."
+//!
+//! Content-addressed identity makes the merge conflict-free by
+//! construction: the same tuple set has the same name everywhere, so
+//! imports are idempotent set union, and two archives merged in either
+//! order converge to the same store (commutativity is property-tested).
+//! The only merge work is on *annotations*, which are post-hoc and
+//! excluded from identity — they union.
+//!
+//! An export distinguishes tuple sets whose readings survive from
+//! records whose data was removed (PASS property 4) or that were always
+//! metadata-only replicas; both kinds merge, and a later import that
+//! *does* carry the readings restores them (removal is deliberate but
+//! not a tombstone — an archive that still holds the data re-supplies
+//! it).
+
+use pass_model::{ProvenanceRecord, TupleSet};
+
+/// A transferable slice of a PASS: everything needed to merge one
+/// installation into another.
+#[derive(Debug, Clone, Default)]
+pub struct ArchiveExport {
+    /// Tuple sets whose readings are present (provenance + data).
+    pub tuple_sets: Vec<TupleSet>,
+    /// Records whose readings are absent here (removed, or metadata-only
+    /// replicas) — provenance still merges (PASS property 4).
+    pub records_only: Vec<ProvenanceRecord>,
+}
+
+impl ArchiveExport {
+    /// Total records carried (with or without data).
+    pub fn len(&self) -> usize {
+        self.tuple_sets.len() + self.records_only.len()
+    }
+
+    /// True when the export carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.tuple_sets.is_empty() && self.records_only.is_empty()
+    }
+}
+
+/// What an [`crate::Pass::import_archive`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportStats {
+    /// New tuple sets ingested (provenance + data).
+    pub tuple_sets_added: usize,
+    /// New metadata-only records ingested.
+    pub records_added: usize,
+    /// Records already present whose missing readings the archive
+    /// supplied.
+    pub data_restored: usize,
+    /// Annotations merged onto already-present records.
+    pub annotations_merged: usize,
+    /// Entries that were already fully present (no-ops).
+    pub already_present: usize,
+}
+
+impl ImportStats {
+    /// Total entries that changed the store.
+    pub fn changed(&self) -> usize {
+        self.tuple_sets_added + self.records_added + self.data_restored + self.annotations_merged
+    }
+}

@@ -1,0 +1,72 @@
+//! Configuration for a local PASS instance.
+
+use pass_model::SiteId;
+use pass_storage::EngineOptions;
+use std::path::PathBuf;
+
+/// Which storage backend holds records and readings.
+#[derive(Debug, Clone, Default)]
+pub enum Backend {
+    /// Volatile in-memory store (simulations, tests).
+    #[default]
+    Memory,
+    /// Durable log-structured engine rooted at a directory.
+    Disk {
+        /// Engine directory.
+        dir: PathBuf,
+        /// Engine tuning.
+        options: EngineOptions,
+    },
+}
+
+/// Which transitive-closure strategy serves lineage queries.
+///
+/// The E3 ablation in one knob. `Bfs` needs no maintenance;
+/// `Memo`/`Interval` build a structure lazily and rebuild it after
+/// ingests (amortized across queries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClosureStrategy {
+    /// On-demand breadth-first traversal (the default).
+    #[default]
+    Bfs,
+    /// Relational-style iterative join (baseline; deliberately slow).
+    NaiveJoin,
+    /// Materialized reachability bitsets.
+    Memo,
+    /// Tree-cover interval labels.
+    Interval,
+}
+
+/// Configuration for [`crate::Pass::open`].
+#[derive(Debug, Clone, Default)]
+pub struct PassConfig {
+    /// This store's site identity (stamped on everything it captures;
+    /// placement experiments key off it).
+    pub site: SiteId,
+    /// Storage backend.
+    pub backend: Backend,
+    /// Lineage strategy.
+    pub closure: ClosureStrategy,
+}
+
+impl PassConfig {
+    /// In-memory store for a site.
+    pub fn memory(site: SiteId) -> Self {
+        PassConfig { site, ..PassConfig::default() }
+    }
+
+    /// Durable store for a site with default engine options.
+    pub fn disk(site: SiteId, dir: impl Into<PathBuf>) -> Self {
+        PassConfig {
+            site,
+            backend: Backend::Disk { dir: dir.into(), options: EngineOptions::default() },
+            ..PassConfig::default()
+        }
+    }
+
+    /// Overrides the closure strategy.
+    pub fn with_closure(mut self, closure: ClosureStrategy) -> Self {
+        self.closure = closure;
+        self
+    }
+}

@@ -1,0 +1,64 @@
+//! Unified error type for the local PASS.
+
+use std::fmt;
+
+/// Errors raised by [`crate::Pass`] operations.
+#[derive(Debug, Clone)]
+pub enum PassError {
+    /// Model-layer failure (codec, validation).
+    Model(pass_model::ModelError),
+    /// Storage-engine failure.
+    Storage(pass_storage::StorageError),
+    /// Index-layer failure (e.g. forged cyclic provenance).
+    Index(pass_index::IndexError),
+    /// Query parse/execution failure.
+    Query(pass_query::QueryError),
+    /// The referenced tuple set does not exist in this store.
+    NotFound(pass_model::TupleSetId),
+    /// Ingesting a tuple set whose identity already exists. Identical
+    /// provenance names identical data (PASS property 3), so re-ingesting
+    /// the same id with the same content is idempotent — this error fires
+    /// only when the content differs, which means a forged record.
+    IdentityCollision(pass_model::TupleSetId),
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::Model(e) => write!(f, "model error: {e}"),
+            PassError::Storage(e) => write!(f, "storage error: {e}"),
+            PassError::Index(e) => write!(f, "index error: {e}"),
+            PassError::Query(e) => write!(f, "query error: {e}"),
+            PassError::NotFound(id) => write!(f, "tuple set {id} not found"),
+            PassError::IdentityCollision(id) => {
+                write!(f, "tuple set {id} already exists with different content")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+impl From<pass_model::ModelError> for PassError {
+    fn from(e: pass_model::ModelError) -> Self {
+        PassError::Model(e)
+    }
+}
+impl From<pass_storage::StorageError> for PassError {
+    fn from(e: pass_storage::StorageError) -> Self {
+        PassError::Storage(e)
+    }
+}
+impl From<pass_index::IndexError> for PassError {
+    fn from(e: pass_index::IndexError) -> Self {
+        PassError::Index(e)
+    }
+}
+impl From<pass_query::QueryError> for PassError {
+    fn from(e: pass_query::QueryError) -> Self {
+        PassError::Query(e)
+    }
+}
+
+/// Result alias for PASS operations.
+pub type Result<T> = std::result::Result<T, PassError>;

@@ -1,0 +1,72 @@
+//! Storage key layout.
+//!
+//! One keyspace, three prefixes. Records and data live under different
+//! prefixes so that "delete the data, keep the provenance" (PASS property
+//! 4) is a plain two-key delete, and so opening a store can rebuild the
+//! metadata indexes by scanning only the (small) record prefix.
+//!
+//! ```text
+//! 0x01 ++ id(16, BE)  →  ProvenanceRecord (canonical codec)
+//! 0x02 ++ id(16, BE)  →  Vec<Reading>     (canonical codec)
+//! 0x03 ++ id(16, BE)  →  0x01             (data-presence marker)
+//! ```
+//!
+//! The marker duplicates "0x02 exists" so presence scans never drag the
+//! (potentially large) reading blobs through the scan path.
+
+use pass_model::TupleSetId;
+
+/// Prefix byte for provenance records.
+pub const RECORD: u8 = 0x01;
+/// Prefix byte for reading blobs.
+pub const DATA: u8 = 0x02;
+/// Prefix byte for data-presence markers.
+pub const MARKER: u8 = 0x03;
+
+/// Builds a keyspace key.
+pub fn key(prefix: u8, id: TupleSetId) -> [u8; 17] {
+    let mut k = [0u8; 17];
+    k[0] = prefix;
+    k[1..].copy_from_slice(&id.to_be_bytes());
+    k
+}
+
+/// Parses a key back into `(prefix, id)`.
+pub fn parse(k: &[u8]) -> Option<(u8, TupleSetId)> {
+    if k.len() != 17 {
+        return None;
+    }
+    let id = TupleSetId::from_be_bytes(k[1..].try_into().ok()?);
+    Some((k[0], id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let id = TupleSetId(0xdead_beef);
+        let k = key(RECORD, id);
+        assert_eq!(parse(&k), Some((RECORD, id)));
+    }
+
+    #[test]
+    fn prefixes_partition_the_keyspace() {
+        let id = TupleSetId(5);
+        assert!(key(RECORD, id) < key(DATA, id));
+        assert!(key(DATA, id) < key(MARKER, id));
+    }
+
+    #[test]
+    fn ids_sort_within_a_prefix() {
+        assert!(key(RECORD, TupleSetId(1)) < key(RECORD, TupleSetId(2)));
+        assert!(key(RECORD, TupleSetId(u128::MAX)) < key(DATA, TupleSetId(0)));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_length() {
+        assert_eq!(parse(&[RECORD; 5]), None);
+        assert_eq!(parse(&[]), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! # pass-core — the local Provenance-Aware Storage System
+//!
+//! The paper's primary contribution (§V): a storage system in which
+//! provenance is a first-class, queryable object whose identity *is* the
+//! name of the data, and which survives the removal of the data it
+//! describes.
+//!
+//! ```
+//! use pass_core::Pass;
+//! use pass_model::{Attributes, Reading, SensorId, SiteId, Timestamp, ToolDescriptor};
+//!
+//! let pass = Pass::open_memory(SiteId(1));
+//!
+//! // Capture a raw tuple set.
+//! let readings = vec![Reading::new(SensorId(7), Timestamp(10)).with("speed", 42.0)];
+//! let attrs = Attributes::new().with("domain", "traffic").with("region", "london");
+//! let raw = pass.capture(attrs, readings, Timestamp(100)).unwrap();
+//!
+//! // Derive from it, query by provenance, walk lineage.
+//! let derived = pass
+//!     .derive(&[raw], &ToolDescriptor::new("dedupe", "1.0"),
+//!             Attributes::new().with("domain", "traffic"), vec![], Timestamp(200))
+//!     .unwrap();
+//! let hits = pass.query_text(r#"FIND WHERE tool.name = "dedupe""#).unwrap();
+//! assert_eq!(hits.ids(), vec![derived]);
+//! ```
+//!
+//! See [`Pass`] for the full API and the crate-level invariants.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod archive;
+pub mod config;
+pub mod error;
+pub mod keyspace;
+pub mod pass;
+
+pub use archive::{ArchiveExport, ImportStats};
+pub use config::{Backend, ClosureStrategy, PassConfig};
+pub use error::{PassError, Result};
+pub use pass::{ConsistencyReport, Pass, PassStats};

@@ -1,0 +1,798 @@
+//! The local Provenance-Aware Storage System.
+//!
+//! §V's four PASS properties, and where this module enforces them:
+//!
+//! 1. **Provenance is a first-class object** — records live under their
+//!    own storage prefix, are indexed independently of readings, and stay
+//!    resident in memory ("provenance metadata is accessed more
+//!    frequently than its data", §IV).
+//! 2. **Provenance can be queried** — [`Pass::query`] /
+//!    [`Pass::query_text`] run the full `pass-query` language over the
+//!    attribute, time, keyword, and ancestry indexes.
+//! 3. **Nonidentical data items do not have identical provenance** —
+//!    [`Pass::ingest`] verifies the record's content digest against the
+//!    readings and rejects identity collisions with differing content.
+//! 4. **Provenance is not lost if ancestor objects are removed** —
+//!    [`Pass::remove_data`] deletes readings only; records, indexes, and
+//!    ancestry edges survive, and lineage queries keep answering.
+//!
+//! Writes couple `{record, data, marker}` in one atomic storage batch, so
+//! a crash can never leave a record without its data or vice versa — the
+//! consistency the paper demands of a reliable provenance store (§IV) and
+//! the property experiment E10 injects faults against.
+
+use crate::archive::{ArchiveExport, ImportStats};
+use crate::config::{Backend, ClosureStrategy, PassConfig};
+use crate::error::{PassError, Result};
+use crate::keyspace;
+use parking_lot::{Mutex, RwLock};
+use pass_index::{
+    AncestryGraph, AttrIndex, BfsClosure, IntervalClosure, KeywordIndex, MemoClosure,
+    NaiveJoinClosure, NodeIdx, PostingList, ReachStrategy, TimeIndex, TraverseOpts,
+};
+use pass_model::codec::{Decode, Encode};
+use pass_model::{
+    keys, Annotation, Attributes, ModelError, ProvenanceBuilder, ProvenanceRecord, Reading,
+    SiteId, TimeRange, Timestamp, ToolDescriptor, TupleSet, TupleSetId, Value,
+};
+use pass_query::{LineageClause, Provider, Query, QueryResult};
+use pass_storage::{KvStore, LsmEngine, MemEngine, WriteBatch};
+use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// In-memory index state, rebuilt from storage at open.
+struct State {
+    graph: AncestryGraph,
+    attrs: AttrIndex,
+    keywords: KeywordIndex,
+    records: HashMap<TupleSetId, ProvenanceRecord>,
+    data_present: HashSet<TupleSetId>,
+}
+
+impl State {
+    fn empty() -> Self {
+        State {
+            graph: AncestryGraph::new(),
+            attrs: AttrIndex::new(),
+            keywords: KeywordIndex::new(),
+            records: HashMap::new(),
+            data_present: HashSet::new(),
+        }
+    }
+
+    /// Indexes a record everywhere except the time index (which lives
+    /// behind its own lock).
+    fn index_record(&mut self, record: &ProvenanceRecord) -> NodeIdx {
+        let parents: Vec<(TupleSetId, bool)> =
+            record.ancestry.iter().map(|d| (d.parent, d.tool.abstracted)).collect();
+        let idx = self.graph.insert(record.id, &parents);
+        self.attrs.insert_attrs(idx, &record.attributes);
+        for (name, value) in pass_query::ast::multi_valued_attrs(record) {
+            self.attrs.insert(idx, name, value);
+        }
+        // Pseudo-attributes, indexed so the planner can serve them.
+        self.attrs.insert(idx, "origin.site", Value::Int(i64::from(record.origin.0)));
+        self.attrs.insert(idx, "created_at", Value::Time(record.created_at));
+        self.attrs
+            .insert(idx, "ancestry.parents", Value::Int(record.ancestry.len() as i64));
+        for ann in &record.annotations {
+            self.keywords.insert(idx, &ann.text);
+        }
+        if let Some(desc) = record.attributes.get_str(keys::DESCRIPTION) {
+            self.keywords.insert(idx, desc);
+        }
+        self.records.insert(record.id, record.clone());
+        idx
+    }
+}
+
+/// Built closure structure, tagged with the graph version it reflects.
+enum BuiltClosure {
+    None,
+    Memo(MemoClosure),
+    Interval(IntervalClosure),
+}
+
+struct ClosureCache {
+    built: BuiltClosure,
+    version: u64,
+}
+
+/// Cumulative operation counters.
+#[derive(Debug, Default)]
+struct Metrics {
+    ingests: AtomicU64,
+    queries: AtomicU64,
+    annotations: AtomicU64,
+    removals: AtomicU64,
+}
+
+/// A snapshot of store statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStats {
+    /// Provenance records held.
+    pub records: usize,
+    /// Tuple sets whose readings are still present.
+    pub data_blobs: usize,
+    /// Ancestry graph nodes (placeholders included).
+    pub graph_nodes: usize,
+    /// Ancestry graph edges.
+    pub graph_edges: usize,
+    /// Total `(attr, value, node)` index entries.
+    pub attr_entries: u64,
+    /// Approximate bytes held by the in-memory indexes.
+    pub index_bytes: usize,
+    /// Ingests since open.
+    pub ingests: u64,
+    /// Queries since open.
+    pub queries: u64,
+}
+
+/// Result of a full storage/index consistency audit (experiment E10).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConsistencyReport {
+    /// Records found in storage.
+    pub records: usize,
+    /// Reading blobs found in storage.
+    pub data_blobs: usize,
+    /// Records whose stored identity does not match their content
+    /// (forged or corrupted records).
+    pub identity_failures: Vec<TupleSetId>,
+    /// Data blobs whose digest does not match their record.
+    pub digest_mismatches: Vec<TupleSetId>,
+    /// Data blobs with no owning record — the broken index↔data linkage
+    /// §IV-A warns about. Must be empty after any crash.
+    pub orphan_data: Vec<TupleSetId>,
+    /// Presence markers disagreeing with actual data blobs.
+    pub marker_mismatches: Vec<TupleSetId>,
+}
+
+impl ConsistencyReport {
+    /// True when no violations were found.
+    pub fn is_consistent(&self) -> bool {
+        self.identity_failures.is_empty()
+            && self.digest_mismatches.is_empty()
+            && self.orphan_data.is_empty()
+            && self.marker_mismatches.is_empty()
+    }
+}
+
+/// A local provenance-aware store.
+pub struct Pass {
+    config: PassConfig,
+    store: Arc<dyn KvStore>,
+    state: RwLock<State>,
+    time: Mutex<TimeIndex>,
+    closure: Mutex<ClosureCache>,
+    version: AtomicU64,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for Pass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pass")
+            .field("site", &self.config.site)
+            .field("records", &self.state.read().records.len())
+            .finish()
+    }
+}
+
+impl Pass {
+    /// Opens a store per `config`, rebuilding in-memory indexes from the
+    /// backend's contents.
+    pub fn open(config: PassConfig) -> Result<Pass> {
+        let store: Arc<dyn KvStore> = match &config.backend {
+            Backend::Memory => Arc::new(MemEngine::new()),
+            Backend::Disk { dir, options } => {
+                Arc::new(LsmEngine::open(dir.clone(), options.clone())?)
+            }
+        };
+        let pass = Pass {
+            config,
+            store,
+            state: RwLock::new(State::empty()),
+            time: Mutex::new(TimeIndex::new()),
+            closure: Mutex::new(ClosureCache { built: BuiltClosure::None, version: 0 }),
+            version: AtomicU64::new(1),
+            metrics: Metrics::default(),
+        };
+        pass.rebuild_indexes()?;
+        Ok(pass)
+    }
+
+    /// Volatile store for `site`.
+    pub fn open_memory(site: SiteId) -> Pass {
+        Pass::open(PassConfig::memory(site)).expect("memory backend cannot fail to open")
+    }
+
+    /// This store's site identity.
+    pub fn site(&self) -> SiteId {
+        self.config.site
+    }
+
+    fn rebuild_indexes(&self) -> Result<()> {
+        let mut state = State::empty();
+        let mut time = TimeIndex::new();
+        for (key, value) in self.store.scan_prefix(&[keyspace::RECORD])? {
+            let Some((_, id)) = keyspace::parse(&key) else {
+                continue;
+            };
+            let record = ProvenanceRecord::decode_all(&value)?;
+            debug_assert_eq!(record.id, id, "key/record id agreement");
+            let idx = state.index_record(&record);
+            if let Some(range) = record.time_range() {
+                time.insert(idx, range);
+            }
+        }
+        for (key, _) in self.store.scan_prefix(&[keyspace::MARKER])? {
+            if let Some((_, id)) = keyspace::parse(&key) {
+                state.data_present.insert(id);
+            }
+        }
+        *self.state.write() = state;
+        *self.time.lock() = time;
+        self.bump_version();
+        Ok(())
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // -- Ingest --------------------------------------------------------
+
+    /// Ingests a complete tuple set (provenance + readings).
+    ///
+    /// Verifies identity and content binding; writes record, data, and
+    /// marker in one atomic batch. Re-ingesting an identical tuple set is
+    /// idempotent; a colliding identity with different content is
+    /// rejected.
+    pub fn ingest(&self, ts: &TupleSet) -> Result<TupleSetId> {
+        let record = &ts.provenance;
+        if !record.verify_identity() {
+            return Err(PassError::Model(ModelError::Invalid(format!(
+                "record {} fails identity verification",
+                record.id
+            ))));
+        }
+        let digest = TupleSet::content_digest_of(&ts.readings);
+        if digest != record.content_digest {
+            return Err(PassError::Model(ModelError::Invalid(format!(
+                "content digest mismatch for {}",
+                record.id
+            ))));
+        }
+        {
+            let state = self.state.read();
+            if let Some(existing) = state.records.get(&record.id) {
+                // PASS property 3: identical id ⇒ identical provenance.
+                // Identity binds the content digest, so matching ids with
+                // matching digests are the same tuple set.
+                return if existing.content_digest == record.content_digest {
+                    Ok(record.id)
+                } else {
+                    Err(PassError::IdentityCollision(record.id))
+                };
+            }
+        }
+
+        let mut data_buf = Vec::with_capacity(ts.readings.len() * 24 + 8);
+        ts.readings.encode_into(&mut data_buf);
+        let mut batch = WriteBatch::new();
+        batch.put(keyspace::key(keyspace::RECORD, record.id).to_vec(), record.encode_to_vec());
+        batch.put(keyspace::key(keyspace::DATA, record.id).to_vec(), data_buf);
+        batch.put(keyspace::key(keyspace::MARKER, record.id).to_vec(), vec![1u8]);
+        self.store.apply(batch)?;
+
+        {
+            let mut state = self.state.write();
+            let idx = state.index_record(record);
+            state.data_present.insert(record.id);
+            if let Some(range) = record.time_range() {
+                self.time.lock().insert(idx, range);
+            }
+        }
+        self.bump_version();
+        self.metrics.ingests.fetch_add(1, Ordering::Relaxed);
+        Ok(record.id)
+    }
+
+    /// Captures a raw tuple set produced at this site.
+    pub fn capture(
+        &self,
+        attrs: Attributes,
+        readings: Vec<Reading>,
+        at: Timestamp,
+    ) -> Result<TupleSetId> {
+        let record = ProvenanceBuilder::new(self.config.site, at)
+            .attrs(&attrs)
+            .build(TupleSet::content_digest_of(&readings));
+        let ts = TupleSet::new(record, readings)?;
+        self.ingest(&ts)
+    }
+
+    /// Derives a new tuple set from `parents` using `tool`, ingesting the
+    /// result with full ancestry recorded. Parents need not be present
+    /// locally (they may live at other sites or have been removed).
+    pub fn derive(
+        &self,
+        parents: &[TupleSetId],
+        tool: &ToolDescriptor,
+        attrs: Attributes,
+        readings: Vec<Reading>,
+        at: Timestamp,
+    ) -> Result<TupleSetId> {
+        let mut builder = ProvenanceBuilder::new(self.config.site, at).attrs(&attrs);
+        for &parent in parents {
+            builder = builder.derived_from(parent, tool.clone());
+        }
+        let record = builder.build(TupleSet::content_digest_of(&readings));
+        let ts = TupleSet::new(record, readings)?;
+        self.ingest(&ts)
+    }
+
+    /// Attaches an annotation to an existing record (identity unchanged).
+    pub fn annotate(&self, id: TupleSetId, annotation: Annotation) -> Result<()> {
+        let mut state = self.state.write();
+        let idx = state.graph.lookup(id).ok_or(PassError::NotFound(id))?;
+        let record = state.records.get_mut(&id).ok_or(PassError::NotFound(id))?;
+        record.annotate(annotation.clone());
+        let encoded = record.encode_to_vec();
+        self.store.put(&keyspace::key(keyspace::RECORD, id), &encoded)?;
+        state.keywords.insert(idx, &annotation.text);
+        drop(state);
+        self.bump_version();
+        self.metrics.annotations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // -- Retrieval -----------------------------------------------------
+
+    /// The provenance record for `id`, if present.
+    pub fn get_record(&self, id: TupleSetId) -> Option<ProvenanceRecord> {
+        self.state.read().records.get(&id).cloned()
+    }
+
+    /// The readings for `id`: `Ok(None)` when the data was removed (the
+    /// record may well still exist — PASS property 4).
+    pub fn get_data(&self, id: TupleSetId) -> Result<Option<Vec<Reading>>> {
+        match self.store.get(&keyspace::key(keyspace::DATA, id))? {
+            Some(bytes) => Ok(Some(Vec::<Reading>::decode_all(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Record + readings together, when both exist.
+    pub fn get_tuple_set(&self, id: TupleSetId) -> Result<Option<TupleSet>> {
+        let Some(record) = self.get_record(id) else {
+            return Ok(None);
+        };
+        let Some(readings) = self.get_data(id)? else {
+            return Ok(None);
+        };
+        Ok(Some(TupleSet::new_unchecked(record, readings)))
+    }
+
+    /// True when the record exists here.
+    pub fn contains(&self, id: TupleSetId) -> bool {
+        self.state.read().records.contains_key(&id)
+    }
+
+    /// True when the readings are still present.
+    pub fn has_data(&self, id: TupleSetId) -> bool {
+        self.state.read().data_present.contains(&id)
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.state.read().records.len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All record ids (unordered).
+    pub fn ids(&self) -> Vec<TupleSetId> {
+        self.state.read().records.keys().copied().collect()
+    }
+
+    // -- Removal (PASS property 4) --------------------------------------
+
+    /// Deletes the *readings* of a tuple set; the provenance record and
+    /// every index entry survive. Returns whether data was present.
+    pub fn remove_data(&self, id: TupleSetId) -> Result<bool> {
+        if !self.contains(id) {
+            return Err(PassError::NotFound(id));
+        }
+        let had = {
+            let mut state = self.state.write();
+            state.data_present.remove(&id)
+        };
+        if had {
+            let mut batch = WriteBatch::new();
+            batch.delete(keyspace::key(keyspace::DATA, id).to_vec());
+            batch.delete(keyspace::key(keyspace::MARKER, id).to_vec());
+            self.store.apply(batch)?;
+            self.metrics.removals.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(had)
+    }
+
+    // -- Archive exchange (§V: merging local PASS installations) --------
+
+    /// Ingests a bare provenance record — no readings. This is the
+    /// federation primitive: metadata replicas from other installations
+    /// merge without shipping sensor data.
+    ///
+    /// Identity is verified. If the record already exists with the same
+    /// identity, its annotations (the only post-hoc, identity-free
+    /// field) are unioned in; an identity match with a different content
+    /// digest is a forgery and is rejected.
+    pub fn ingest_record(&self, record: &ProvenanceRecord) -> Result<TupleSetId> {
+        self.merge_record(record).map(|_| record.id)
+    }
+
+    /// Merge core shared by [`Pass::ingest_record`] and
+    /// [`Pass::import_archive`]. Returns `(was_new, annotations_merged)`.
+    fn merge_record(&self, record: &ProvenanceRecord) -> Result<(bool, usize)> {
+        if !record.verify_identity() {
+            return Err(PassError::Model(ModelError::Invalid(format!(
+                "record {} fails identity verification",
+                record.id
+            ))));
+        }
+        let mut state = self.state.write();
+        if let Some(existing) = state.records.get(&record.id) {
+            if existing.content_digest != record.content_digest {
+                return Err(PassError::IdentityCollision(record.id));
+            }
+            let fresh: Vec<Annotation> = record
+                .annotations
+                .iter()
+                .filter(|a| !existing.annotations.contains(a))
+                .cloned()
+                .collect();
+            if fresh.is_empty() {
+                return Ok((false, 0));
+            }
+            let idx = state.graph.lookup(record.id).expect("present record is indexed");
+            let encoded = {
+                let rec = state.records.get_mut(&record.id).expect("checked above");
+                rec.annotations.extend(fresh.iter().cloned());
+                rec.encode_to_vec()
+            };
+            self.store.put(&keyspace::key(keyspace::RECORD, record.id), &encoded)?;
+            for a in &fresh {
+                state.keywords.insert(idx, &a.text);
+            }
+            drop(state);
+            self.bump_version();
+            self.metrics.annotations.fetch_add(fresh.len() as u64, Ordering::Relaxed);
+            return Ok((false, fresh.len()));
+        }
+        // New record: persist and index, with no DATA/MARKER keys — the
+        // readings live elsewhere (or were removed; PASS property 4).
+        self.store.put(&keyspace::key(keyspace::RECORD, record.id), &record.encode_to_vec())?;
+        let idx = state.index_record(record);
+        if let Some(range) = record.time_range() {
+            self.time.lock().insert(idx, range);
+        }
+        drop(state);
+        self.bump_version();
+        self.metrics.ingests.fetch_add(1, Ordering::Relaxed);
+        Ok((true, 0))
+    }
+
+    /// Re-attaches readings to a record whose data is absent here.
+    /// Verifies the content digest against the record's identity.
+    /// Returns `false` when the data was already present.
+    ///
+    /// Removal (property 4) is deliberate but not a tombstone: an
+    /// archive that still holds the readings re-supplies them.
+    pub fn restore_data(&self, ts: &TupleSet) -> Result<bool> {
+        let record = &ts.provenance;
+        {
+            let state = self.state.read();
+            let existing =
+                state.records.get(&record.id).ok_or(PassError::NotFound(record.id))?;
+            if existing.content_digest != record.content_digest {
+                return Err(PassError::IdentityCollision(record.id));
+            }
+            if state.data_present.contains(&record.id) {
+                return Ok(false);
+            }
+        }
+        if TupleSet::content_digest_of(&ts.readings) != record.content_digest {
+            return Err(PassError::Model(ModelError::Invalid(format!(
+                "content digest mismatch for {}",
+                record.id
+            ))));
+        }
+        let mut data_buf = Vec::with_capacity(ts.readings.len() * 24 + 8);
+        ts.readings.encode_into(&mut data_buf);
+        let mut batch = WriteBatch::new();
+        batch.put(keyspace::key(keyspace::DATA, record.id).to_vec(), data_buf);
+        batch.put(keyspace::key(keyspace::MARKER, record.id).to_vec(), vec![1u8]);
+        self.store.apply(batch)?;
+        self.state.write().data_present.insert(record.id);
+        self.bump_version();
+        Ok(true)
+    }
+
+    /// Exports everything this store holds, split into full tuple sets
+    /// and records whose data is absent. Deterministically ordered by
+    /// id, so equal stores export equal archives.
+    pub fn export_archive(&self) -> Result<ArchiveExport> {
+        let (records, with_data) = {
+            let state = self.state.read();
+            let records: Vec<ProvenanceRecord> = state.records.values().cloned().collect();
+            (records, state.data_present.clone())
+        };
+        let mut out = ArchiveExport::default();
+        for record in records {
+            let readings =
+                if with_data.contains(&record.id) { self.get_data(record.id)? } else { None };
+            match readings {
+                Some(readings) => out.tuple_sets.push(TupleSet::new_unchecked(record, readings)),
+                None => out.records_only.push(record),
+            }
+        }
+        out.tuple_sets.sort_by_key(|t| t.provenance.id);
+        out.records_only.sort_by_key(|r| r.id);
+        Ok(out)
+    }
+
+    /// Merges another installation's archive into this store (§V:
+    /// "merging collections of local PASS installations into single
+    /// globally searchable data archives").
+    ///
+    /// Content-addressed identity makes this a conflict-free, idempotent
+    /// set union: re-importing is a no-op, and importing A into B yields
+    /// the same record set as importing B into A. Annotations union;
+    /// archives that carry readings restore them on records whose data
+    /// is absent here.
+    pub fn import_archive(&self, archive: &ArchiveExport) -> Result<ImportStats> {
+        let mut stats = ImportStats::default();
+        for ts in &archive.tuple_sets {
+            if !self.contains(ts.provenance.id) {
+                self.ingest(ts)?;
+                stats.tuple_sets_added += 1;
+                continue;
+            }
+            let (_, anns) = self.merge_record(&ts.provenance)?;
+            stats.annotations_merged += anns;
+            let restored = if self.has_data(ts.provenance.id) {
+                false
+            } else {
+                self.restore_data(ts)?
+            };
+            if restored {
+                stats.data_restored += 1;
+            } else if anns == 0 {
+                stats.already_present += 1;
+            }
+        }
+        for record in &archive.records_only {
+            let (was_new, anns) = self.merge_record(record)?;
+            stats.annotations_merged += anns;
+            if was_new {
+                stats.records_added += 1;
+            } else if anns == 0 {
+                stats.already_present += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    // -- Query ---------------------------------------------------------
+
+    /// Executes a parsed query.
+    pub fn query(&self, query: &Query) -> Result<QueryResult> {
+        self.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(pass_query::execute(query, self)?)
+    }
+
+    /// Parses and executes query text.
+    pub fn query_text(&self, text: &str) -> Result<QueryResult> {
+        self.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(pass_query::execute_text(text, self)?)
+    }
+
+    /// Lineage closure of `id` as full records, nearest-first order not
+    /// guaranteed (sorted by internal index).
+    pub fn lineage(
+        &self,
+        id: TupleSetId,
+        direction: pass_index::Direction,
+        opts: TraverseOpts,
+    ) -> Result<Vec<ProvenanceRecord>> {
+        let clause = LineageClause {
+            root: id,
+            direction,
+            max_depth: opts.max_depth,
+            stop_at_abstraction: opts.stop_at_abstraction,
+            include_root: false,
+        };
+        let posting = Provider::lineage(self, &clause).ok_or(PassError::NotFound(id))?;
+        let state = self.state.read();
+        Ok(posting
+            .iter()
+            .filter_map(|idx| state.graph.resolve(idx))
+            .filter_map(|rid| state.records.get(&rid).cloned())
+            .collect())
+    }
+
+    // -- Maintenance ---------------------------------------------------
+
+    /// Forces buffered writes to stable storage.
+    pub fn flush(&self) -> Result<()> {
+        Ok(self.store.flush()?)
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> PassStats {
+        let state = self.state.read();
+        let time = self.time.lock();
+        PassStats {
+            records: state.records.len(),
+            data_blobs: state.data_present.len(),
+            graph_nodes: state.graph.node_count(),
+            graph_edges: state.graph.edge_count(),
+            attr_entries: state.attrs.len(),
+            index_bytes: state.attrs.size_bytes()
+                + state.keywords.size_bytes()
+                + state.graph.size_bytes()
+                + time.size_bytes(),
+            ingests: self.metrics.ingests.load(Ordering::Relaxed),
+            queries: self.metrics.queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Audits storage against the invariants (see [`ConsistencyReport`]).
+    pub fn verify_consistency(&self) -> Result<ConsistencyReport> {
+        let mut report = ConsistencyReport::default();
+        let mut record_ids = HashSet::new();
+        let mut digests: HashMap<TupleSetId, pass_model::Digest128> = HashMap::new();
+        for (key, value) in self.store.scan_prefix(&[keyspace::RECORD])? {
+            let Some((_, id)) = keyspace::parse(&key) else { continue };
+            report.records += 1;
+            record_ids.insert(id);
+            match ProvenanceRecord::decode_all(&value) {
+                Ok(record) => {
+                    if !record.verify_identity() || record.id != id {
+                        report.identity_failures.push(id);
+                    }
+                    digests.insert(id, record.content_digest);
+                }
+                Err(_) => report.identity_failures.push(id),
+            }
+        }
+        let mut data_ids = HashSet::new();
+        for (key, value) in self.store.scan_prefix(&[keyspace::DATA])? {
+            let Some((_, id)) = keyspace::parse(&key) else { continue };
+            report.data_blobs += 1;
+            data_ids.insert(id);
+            if !record_ids.contains(&id) {
+                report.orphan_data.push(id);
+                continue;
+            }
+            match Vec::<Reading>::decode_all(&value) {
+                Ok(readings) => {
+                    if digests.get(&id) != Some(&TupleSet::content_digest_of(&readings)) {
+                        report.digest_mismatches.push(id);
+                    }
+                }
+                Err(_) => report.digest_mismatches.push(id),
+            }
+        }
+        let mut marker_ids = HashSet::new();
+        for (key, _) in self.store.scan_prefix(&[keyspace::MARKER])? {
+            if let Some((_, id)) = keyspace::parse(&key) {
+                marker_ids.insert(id);
+            }
+        }
+        for id in marker_ids.symmetric_difference(&data_ids) {
+            report.marker_mismatches.push(*id);
+        }
+        Ok(report)
+    }
+
+    // -- Closure strategy dispatch --------------------------------------
+
+    fn lineage_posting(&self, clause: &LineageClause) -> Option<PostingList> {
+        let state = self.state.read();
+        let root = state.graph.lookup(clause.root)?;
+        let opts = clause.traverse_opts();
+        let reach: Vec<NodeIdx> = match self.config.closure {
+            ClosureStrategy::Bfs => {
+                BfsClosure.reachable(&state.graph, root, clause.direction, &opts)
+            }
+            ClosureStrategy::NaiveJoin => {
+                NaiveJoinClosure.reachable(&state.graph, root, clause.direction, &opts)
+            }
+            ClosureStrategy::Memo | ClosureStrategy::Interval => {
+                let mut cache = self.closure.lock();
+                let current = self.version.load(Ordering::Relaxed);
+                let needs_rebuild = cache.version != current
+                    || !matches!(
+                        (&cache.built, self.config.closure),
+                        (BuiltClosure::Memo(_), ClosureStrategy::Memo)
+                            | (BuiltClosure::Interval(_), ClosureStrategy::Interval)
+                    );
+                if needs_rebuild {
+                    cache.built = match self.config.closure {
+                        ClosureStrategy::Memo => match MemoClosure::build(&state.graph, false) {
+                            Ok(m) => BuiltClosure::Memo(m),
+                            Err(_) => BuiltClosure::None, // cyclic: fall back below
+                        },
+                        ClosureStrategy::Interval => {
+                            match IntervalClosure::build(&state.graph, false) {
+                                Ok(i) => BuiltClosure::Interval(i),
+                                Err(_) => BuiltClosure::None,
+                            }
+                        }
+                        _ => unreachable!("outer match restricts to Memo/Interval"),
+                    };
+                    cache.version = current;
+                }
+                match &cache.built {
+                    BuiltClosure::Memo(m) => m.reachable(&state.graph, root, clause.direction, &opts),
+                    BuiltClosure::Interval(i) => {
+                        i.reachable(&state.graph, root, clause.direction, &opts)
+                    }
+                    BuiltClosure::None => {
+                        BfsClosure.reachable(&state.graph, root, clause.direction, &opts)
+                    }
+                }
+            }
+        };
+        Some(PostingList::from_iter(reach))
+    }
+}
+
+impl Provider for Pass {
+    fn eq_lookup(&self, attr: &str, value: &Value) -> PostingList {
+        self.state.read().attrs.eq(attr, value)
+    }
+
+    fn range_lookup(&self, attr: &str, low: Bound<&Value>, high: Bound<&Value>) -> PostingList {
+        self.state.read().attrs.range(attr, low, high)
+    }
+
+    fn time_overlap(&self, range: TimeRange) -> PostingList {
+        self.time.lock().overlapping(range)
+    }
+
+    fn keyword_lookup(&self, phrase: &str) -> PostingList {
+        self.state.read().keywords.lookup_all(phrase)
+    }
+
+    fn has_attr(&self, attr: &str) -> PostingList {
+        self.state.read().attrs.has_attr(attr)
+    }
+
+    fn all_nodes(&self) -> PostingList {
+        let state = self.state.read();
+        PostingList::from_iter(
+            state.records.keys().filter_map(|id| state.graph.lookup(*id)),
+        )
+    }
+
+    fn lineage(&self, clause: &LineageClause) -> Option<PostingList> {
+        self.lineage_posting(clause)
+    }
+
+    fn node_of(&self, id: TupleSetId) -> Option<NodeIdx> {
+        self.state.read().graph.lookup(id)
+    }
+
+    fn fetch(&self, idx: NodeIdx) -> Option<ProvenanceRecord> {
+        let state = self.state.read();
+        let id = state.graph.resolve(idx)?;
+        state.records.get(&id).cloned()
+    }
+}

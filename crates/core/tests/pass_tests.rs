@@ -1,0 +1,463 @@
+//! Integration tests for the local PASS: the four §V properties, atomic
+//! crash behaviour, and query semantics end to end.
+
+use pass_core::{ClosureStrategy, Pass, PassConfig, PassError};
+use pass_index::{Direction, TraverseOpts};
+use pass_model::{
+    keys, Annotation, Attributes, ProvenanceBuilder, Reading, SensorId, SiteId,
+    Timestamp, ToolDescriptor, TupleSet, TupleSetId,
+};
+use pass_storage::tempdir::TempDir;
+
+fn readings(sensor: u64, n: usize, base_ms: u64) -> Vec<Reading> {
+    (0..n)
+        .map(|i| {
+            Reading::new(SensorId(sensor), Timestamp(base_ms + i as u64 * 10))
+                .with("value", i as i64)
+        })
+        .collect()
+}
+
+fn traffic_attrs(region: &str) -> Attributes {
+    Attributes::new()
+        .with(keys::DOMAIN, "traffic")
+        .with(keys::REGION, region)
+        .with(keys::TYPE, "car_sighting")
+}
+
+/// Builds a small three-generation store: raw → filtered → aggregated.
+fn populated() -> (Pass, TupleSetId, TupleSetId, TupleSetId) {
+    let pass = Pass::open_memory(SiteId(1));
+    let raw = pass
+        .capture(
+            traffic_attrs("london").with(keys::TIME_START, Timestamp(0)).with(
+                keys::TIME_END,
+                Timestamp(100),
+            ),
+            readings(1, 20, 0),
+            Timestamp(100),
+        )
+        .unwrap();
+    let filtered = pass
+        .derive(
+            &[raw],
+            &ToolDescriptor::new("filter", "1.0"),
+            traffic_attrs("london"),
+            readings(1, 10, 0),
+            Timestamp(200),
+        )
+        .unwrap();
+    let aggregated = pass
+        .derive(
+            &[filtered],
+            &ToolDescriptor::new("aggregate", "2.1"),
+            traffic_attrs("london").with("window_ms", 3_600_000i64),
+            readings(1, 2, 0),
+            Timestamp(300),
+        )
+        .unwrap();
+    (pass, raw, filtered, aggregated)
+}
+
+// ---------------------------------------------------------------------------
+// PASS property 1: provenance is a first-class object
+// ---------------------------------------------------------------------------
+
+#[test]
+fn records_are_independent_of_data() {
+    let (pass, raw, ..) = populated();
+    let record = pass.get_record(raw).unwrap();
+    assert_eq!(record.attributes.get_str(keys::DOMAIN), Some("traffic"));
+    // The record is retrievable without touching data, and vice versa.
+    let data = pass.get_data(raw).unwrap().unwrap();
+    assert_eq!(data.len(), 20);
+}
+
+// ---------------------------------------------------------------------------
+// PASS property 2: provenance can be queried
+// ---------------------------------------------------------------------------
+
+#[test]
+fn attribute_and_tool_queries() {
+    let (pass, _raw, filtered, aggregated) = populated();
+    let hits = pass.query_text(r#"FIND WHERE tool.name = "aggregate""#).unwrap();
+    assert_eq!(hits.ids(), vec![aggregated]);
+    let hits = pass.query_text(r#"FIND WHERE domain = "traffic" AND HAS window_ms"#).unwrap();
+    assert_eq!(hits.ids(), vec![aggregated]);
+    let hits = pass.query_text(r#"FIND WHERE tool.name = "filter""#).unwrap();
+    assert_eq!(hits.ids(), vec![filtered]);
+}
+
+#[test]
+fn lineage_queries_both_directions() {
+    let (pass, raw, filtered, aggregated) = populated();
+    let anc = pass
+        .lineage(aggregated, Direction::Ancestors, TraverseOpts::unbounded())
+        .unwrap();
+    let mut ids: Vec<_> = anc.iter().map(|r| r.id).collect();
+    ids.sort();
+    let mut want = vec![raw, filtered];
+    want.sort();
+    assert_eq!(ids, want);
+
+    let desc = pass.lineage(raw, Direction::Descendants, TraverseOpts::unbounded()).unwrap();
+    assert_eq!(desc.len(), 2);
+}
+
+#[test]
+fn lineage_query_via_text_language() {
+    let (pass, raw, ..) = populated();
+    let q = format!("FIND DESCENDANTS OF ts:{} WITH SELF", raw.full_hex());
+    let hits = pass.query_text(&q).unwrap();
+    assert_eq!(hits.records.len(), 3);
+}
+
+#[test]
+fn annotation_queries() {
+    let (pass, raw, ..) = populated();
+    pass.annotate(raw, Annotation::new(Timestamp(500), "ops", "sensor 1 replaced with mk2"))
+        .unwrap();
+    let hits = pass.query_text(r#"FIND WHERE ANNOTATION CONTAINS "replaced mk2""#).unwrap();
+    assert_eq!(hits.ids(), vec![raw]);
+    // Annotation did not change identity.
+    assert!(pass.get_record(raw).unwrap().verify_identity());
+}
+
+#[test]
+fn time_overlap_queries() {
+    let (pass, raw, ..) = populated();
+    let hits = pass.query_text("FIND WHERE time OVERLAPS [50, 60]").unwrap();
+    assert_eq!(hits.ids(), vec![raw], "only raw declared a time window");
+    let hits = pass.query_text("FIND WHERE time OVERLAPS [101, 200]").unwrap();
+    assert!(hits.records.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// PASS property 3: nonidentical data ⇒ nonidentical provenance
+// ---------------------------------------------------------------------------
+
+#[test]
+fn identical_captures_share_identity_distinct_data_does_not() {
+    let pass = Pass::open_memory(SiteId(1));
+    let a = pass.capture(traffic_attrs("x"), readings(1, 5, 0), Timestamp(10)).unwrap();
+    // Same attrs, same data, same time: the same tuple set — idempotent.
+    let b = pass.capture(traffic_attrs("x"), readings(1, 5, 0), Timestamp(10)).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(pass.len(), 1);
+    // Different data: different identity.
+    let c = pass.capture(traffic_attrs("x"), readings(1, 6, 0), Timestamp(10)).unwrap();
+    assert_ne!(a, c);
+    assert_eq!(pass.len(), 2);
+}
+
+#[test]
+fn forged_records_are_rejected() {
+    let pass = Pass::open_memory(SiteId(1));
+    let rs = readings(1, 3, 0);
+    let record = ProvenanceBuilder::new(SiteId(1), Timestamp(5))
+        .attr("domain", "traffic")
+        .build(TupleSet::content_digest_of(&rs));
+
+    // Tamper with attributes after identity was minted.
+    let mut forged = record.clone();
+    forged.attributes.set("domain", "weather");
+    let ts = TupleSet::new_unchecked(forged, rs.clone());
+    assert!(matches!(pass.ingest(&ts), Err(PassError::Model(_))));
+
+    // Correct record with wrong data.
+    let ts = TupleSet::new_unchecked(record, readings(9, 4, 0));
+    assert!(matches!(pass.ingest(&ts), Err(PassError::Model(_))));
+}
+
+// ---------------------------------------------------------------------------
+// PASS property 4: provenance survives ancestor removal
+// ---------------------------------------------------------------------------
+
+#[test]
+fn removing_ancestor_data_preserves_lineage() {
+    let (pass, raw, filtered, aggregated) = populated();
+    assert!(pass.remove_data(raw).unwrap());
+    assert!(!pass.has_data(raw));
+    // Record survives; data does not.
+    assert!(pass.get_record(raw).is_some());
+    assert_eq!(pass.get_data(raw).unwrap(), None);
+    assert_eq!(pass.get_tuple_set(raw).unwrap(), None);
+    // Lineage from the leaf still reaches the removed ancestor.
+    let anc = pass
+        .lineage(aggregated, Direction::Ancestors, TraverseOpts::unbounded())
+        .unwrap();
+    let ids: Vec<_> = anc.iter().map(|r| r.id).collect();
+    assert!(ids.contains(&raw), "removed ancestor still named in lineage");
+    assert!(ids.contains(&filtered));
+    // Second removal is a no-op, unknown id errors.
+    assert!(!pass.remove_data(raw).unwrap());
+    assert!(matches!(pass.remove_data(TupleSetId(42)), Err(PassError::NotFound(_))));
+}
+
+#[test]
+fn queries_still_match_removed_data_records() {
+    let (pass, raw, ..) = populated();
+    pass.remove_data(raw).unwrap();
+    let hits = pass.query_text(r#"FIND WHERE domain = "traffic""#).unwrap();
+    assert_eq!(hits.records.len(), 3, "record of removed data still queryable");
+}
+
+// ---------------------------------------------------------------------------
+// Durability & crash consistency
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disk_store_reopens_with_full_state() {
+    let dir = TempDir::new("core-reopen");
+    let (raw, derived);
+    {
+        let pass = Pass::open(PassConfig::disk(SiteId(4), dir.path())).unwrap();
+        raw = pass.capture(traffic_attrs("boston"), readings(1, 8, 0), Timestamp(10)).unwrap();
+        derived = pass
+            .derive(
+                &[raw],
+                &ToolDescriptor::new("clean", "0.9"),
+                traffic_attrs("boston"),
+                readings(1, 4, 0),
+                Timestamp(20),
+            )
+            .unwrap();
+        pass.annotate(raw, Annotation::new(Timestamp(30), "ops", "calibration drift noted"))
+            .unwrap();
+        pass.remove_data(derived).unwrap();
+        pass.flush().unwrap();
+    }
+    let pass = Pass::open(PassConfig::disk(SiteId(4), dir.path())).unwrap();
+    assert_eq!(pass.len(), 2);
+    assert!(pass.has_data(raw));
+    assert!(!pass.has_data(derived), "data removal survived reopen");
+    let rec = pass.get_record(raw).unwrap();
+    assert_eq!(rec.annotations.len(), 1, "annotation survived reopen");
+    let hits = pass.query_text(r#"FIND WHERE ANNOTATION CONTAINS "calibration""#).unwrap();
+    assert_eq!(hits.ids(), vec![raw]);
+    let anc = pass.lineage(derived, Direction::Ancestors, TraverseOpts::unbounded()).unwrap();
+    assert_eq!(anc[0].id, raw);
+    assert!(pass.verify_consistency().unwrap().is_consistent());
+}
+
+#[test]
+fn torn_wal_never_splits_record_from_data() {
+    let dir = TempDir::new("core-torn");
+    {
+        let pass = Pass::open(PassConfig::disk(SiteId(1), dir.path())).unwrap();
+        pass.capture(traffic_attrs("a"), readings(1, 3, 0), Timestamp(10)).unwrap();
+        pass.capture(traffic_attrs("b"), readings(2, 3, 0), Timestamp(20)).unwrap();
+        // Drop without flush: everything lives in the WAL.
+    }
+    let wal = dir.path().join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    // Truncate at every byte boundary; the store must always reopen with
+    // a consistent prefix — a record implies its data and marker.
+    for cut in (0..bytes.len()).step_by(7) {
+        std::fs::write(&wal, &bytes[..cut]).unwrap();
+        let pass = Pass::open(PassConfig::disk(SiteId(1), dir.path())).unwrap();
+        let report = pass.verify_consistency().unwrap();
+        assert!(report.is_consistent(), "cut at {cut}: {report:?}");
+        assert!(pass.len() <= 2);
+        for id in pass.ids() {
+            assert!(pass.has_data(id), "cut at {cut}: record without data");
+        }
+        drop(pass);
+        std::fs::write(&wal, &bytes).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Closure strategies through the full stack
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_closure_strategies_agree_through_query_layer() {
+    let dirs = ["bfs", "naive", "memo", "interval"];
+    let strategies = [
+        ClosureStrategy::Bfs,
+        ClosureStrategy::NaiveJoin,
+        ClosureStrategy::Memo,
+        ClosureStrategy::Interval,
+    ];
+    let mut answers = Vec::new();
+    for (strategy, _dir) in strategies.iter().zip(dirs) {
+        let pass = Pass::open(PassConfig::memory(SiteId(1)).with_closure(*strategy)).unwrap();
+        let raw_a = pass.capture(traffic_attrs("a"), readings(1, 2, 0), Timestamp(1)).unwrap();
+        let raw_b = pass.capture(traffic_attrs("b"), readings(2, 2, 0), Timestamp(2)).unwrap();
+        let merged = pass
+            .derive(
+                &[raw_a, raw_b],
+                &ToolDescriptor::new("merge", "1"),
+                traffic_attrs("ab"),
+                readings(3, 2, 0),
+                Timestamp(3),
+            )
+            .unwrap();
+        let leaf = pass
+            .derive(
+                &[merged],
+                &ToolDescriptor::new("sharpen", "2"),
+                traffic_attrs("ab"),
+                readings(3, 1, 0),
+                Timestamp(4),
+            )
+            .unwrap();
+        let mut anc: Vec<_> = pass
+            .lineage(leaf, Direction::Ancestors, TraverseOpts::unbounded())
+            .unwrap()
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        anc.sort();
+        answers.push((anc, raw_a, raw_b, merged));
+    }
+    for w in answers.windows(2) {
+        assert_eq!(w[0], w[1], "strategies disagree");
+    }
+}
+
+#[test]
+fn closure_cache_invalidates_on_new_ingest() {
+    let pass = Pass::open(PassConfig::memory(SiteId(1)).with_closure(ClosureStrategy::Memo))
+        .unwrap();
+    let a = pass.capture(traffic_attrs("a"), readings(1, 1, 0), Timestamp(1)).unwrap();
+    let b = pass
+        .derive(&[a], &ToolDescriptor::new("t", "1"), traffic_attrs("a"), vec![], Timestamp(2))
+        .unwrap();
+    // First query builds the memo structure.
+    assert_eq!(pass.lineage(b, Direction::Ancestors, TraverseOpts::unbounded()).unwrap().len(), 1);
+    // New derivation must appear in subsequent closures.
+    let c = pass
+        .derive(&[b], &ToolDescriptor::new("t", "1"), traffic_attrs("a"), vec![], Timestamp(3))
+        .unwrap();
+    let anc = pass.lineage(c, Direction::Ancestors, TraverseOpts::unbounded()).unwrap();
+    assert_eq!(anc.len(), 2, "cache rebuilt after version bump");
+}
+
+// ---------------------------------------------------------------------------
+// Abstraction boundaries (§V, experiment E16)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn abstracted_toolchain_collapses_in_lineage() {
+    let pass = Pass::open_memory(SiteId(1));
+    // Model gcc's own provenance as a chain of tuple sets.
+    let gcc_src = pass
+        .capture(Attributes::new().with("domain", "toolchain"), readings(9, 1, 0), Timestamp(1))
+        .unwrap();
+    let gcc_bin = pass
+        .derive(
+            &[gcc_src],
+            &ToolDescriptor::new("bootstrap", "1"),
+            Attributes::new().with("domain", "toolchain"),
+            readings(9, 1, 10),
+            Timestamp(2),
+        )
+        .unwrap();
+    // Analysis output depends on raw data (concrete) and gcc (abstracted).
+    let raw = pass.capture(traffic_attrs("x"), readings(1, 4, 0), Timestamp(3)).unwrap();
+    let result_attrs = Attributes::new().with("domain", "analysis");
+    let mut builder = ProvenanceBuilder::new(SiteId(1), Timestamp(4)).attrs(&result_attrs);
+    builder = builder.derived_from(raw, ToolDescriptor::new("analyze", "3"));
+    builder = builder.derived_from(gcc_bin, ToolDescriptor::abstracted("gcc", "3.3.3"));
+    let rs = readings(1, 1, 50);
+    let record = builder.build(TupleSet::content_digest_of(&rs));
+    let result = pass.ingest(&TupleSet::new(record, rs).unwrap()).unwrap();
+
+    // Full lineage sees the whole toolchain.
+    let full = pass.lineage(result, Direction::Ancestors, TraverseOpts::unbounded()).unwrap();
+    assert_eq!(full.len(), 3);
+    // Abstracted lineage reports only the data ancestry; "gcc 3.3.3"
+    // remains readable on the derivation record itself.
+    let abstracted = pass
+        .lineage(
+            result,
+            Direction::Ancestors,
+            TraverseOpts { stop_at_abstraction: true, ..TraverseOpts::default() },
+        )
+        .unwrap();
+    let ids: Vec<_> = abstracted.iter().map(|r| r.id).collect();
+    assert_eq!(ids, vec![raw]);
+    let record = pass.get_record(result).unwrap();
+    let gcc_edge = record.ancestry.iter().find(|d| d.tool.name == "gcc").unwrap();
+    assert_eq!(gcc_edge.tool.label(), "gcc v3.3.3");
+}
+
+// ---------------------------------------------------------------------------
+// Stats & misc
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stats_reflect_activity() {
+    let (pass, ..) = populated();
+    pass.query_text("FIND").unwrap();
+    let stats = pass.stats();
+    assert_eq!(stats.records, 3);
+    assert_eq!(stats.data_blobs, 3);
+    assert_eq!(stats.graph_nodes, 3);
+    assert_eq!(stats.graph_edges, 2);
+    assert!(stats.attr_entries > 0);
+    assert!(stats.index_bytes > 0);
+    assert_eq!(stats.ingests, 3);
+    assert!(stats.queries >= 1);
+}
+
+#[test]
+fn unknown_ids_error_cleanly() {
+    let pass = Pass::open_memory(SiteId(1));
+    assert!(pass.get_record(TupleSetId(1)).is_none());
+    assert!(pass.get_data(TupleSetId(1)).unwrap().is_none());
+    assert!(matches!(
+        pass.lineage(TupleSetId(1), Direction::Ancestors, TraverseOpts::unbounded()),
+        Err(PassError::NotFound(_))
+    ));
+    assert!(matches!(
+        pass.annotate(TupleSetId(1), Annotation::new(Timestamp(0), "a", "b")),
+        Err(PassError::NotFound(_))
+    ));
+}
+
+#[test]
+fn cross_site_parents_are_queryable_as_placeholders() {
+    // A derivation whose parent lives at another site: lineage knows the
+    // id even though the record is absent locally.
+    let pass = Pass::open_memory(SiteId(2));
+    let remote_parent = TupleSetId(0xabcdef);
+    let local = pass
+        .derive(
+            &[remote_parent],
+            &ToolDescriptor::new("import", "1"),
+            traffic_attrs("remote"),
+            readings(1, 1, 0),
+            Timestamp(5),
+        )
+        .unwrap();
+    // The closure reaches the placeholder, but no record exists for it,
+    // so record-level lineage returns empty — without erroring.
+    let anc = pass.lineage(local, Direction::Ancestors, TraverseOpts::unbounded()).unwrap();
+    assert!(anc.is_empty());
+    let rec = pass.get_record(local).unwrap();
+    assert_eq!(rec.parents().collect::<Vec<_>>(), vec![remote_parent]);
+}
+
+#[test]
+fn range_and_order_queries() {
+    let (pass, ..) = populated();
+    let hits = pass
+        .query_text("FIND WHERE created_at >= @200 ORDER BY created DESC")
+        .unwrap();
+    assert_eq!(hits.records.len(), 2);
+    assert!(hits.records[0].created_at > hits.records[1].created_at);
+    let hits = pass.query_text("FIND WHERE window_ms BETWEEN 0 AND 9999999999").unwrap();
+    assert_eq!(hits.records.len(), 1);
+}
+
+#[test]
+fn explain_shows_plan_shape() {
+    let (pass, ..) = populated();
+    let hits = pass.query_text(r#"FIND WHERE domain = "traffic" AND NOT HAS window_ms"#).unwrap();
+    assert!(hits.stats.plan.contains("index"));
+    assert!(hits.stats.plan.contains("recheck"));
+    assert_eq!(hits.records.len(), 2);
+}

@@ -1,0 +1,25 @@
+//! # pass-dht — a Chord-style DHT over the PASS network simulator
+//!
+//! §IV-C examines distributed hash tables as a home for provenance
+//! indexes and finds them wanting on four counts: placement-blind
+//! storage, limited update scalability, reliance on stable well-connected
+//! participants, and no support for recursive queries. This crate
+//! implements enough of Chord — finger-table routing, stabilization,
+//! successor lists, replication — for those claims to be *measured*
+//! (experiments E6, E8, E11, E15) rather than asserted.
+//!
+//! Structure:
+//! * [`ring`] — identifier-circle arithmetic and key hashing.
+//! * [`ChordNode`] — the per-node protocol state machine.
+//! * [`DhtHarness`] — driver-side ring construction and client ops.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+pub mod node;
+pub mod ring;
+
+pub use harness::{DhtHarness, OpOutcome};
+pub use node::{ChordConfig, ChordMsg, ChordNode};
+pub use ring::{key_of, node_ring_id, Key};

@@ -1,0 +1,774 @@
+//! Chord node behavior on the PASS network simulator.
+//!
+//! Implements the protocol pieces the §IV-C analysis needs to be honest:
+//! recursive `find_successor` routing through finger tables, periodic
+//! stabilization + finger repair, successor lists for failure tolerance,
+//! and key replication to `r` successors. Nodes learn each other's ring
+//! positions statically (the equivalent of knowing IP addresses) but
+//! discover liveness and topology only through the protocol.
+
+use crate::ring::{self, Key};
+use pass_net::{Ctx, Input, Node, NodeId, TrafficClass};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Timer tags.
+const TIMER_STABILIZE: u64 = 1;
+const TIMER_FIX_FINGER: u64 = 2;
+/// High bit marks a lookup-timeout timer; the rest is the lookup id.
+const TIMER_LOOKUP_FLAG: u64 = 1 << 63;
+/// End-to-end lookup retry timeout.
+const LOOKUP_TIMEOUT_US: u64 = 2_000_000;
+/// Retries before a lookup is abandoned.
+const MAX_LOOKUP_RETRIES: u32 = 3;
+
+/// Tuning for the Chord behavior.
+#[derive(Debug, Clone)]
+pub struct ChordConfig {
+    /// Successor-list length (failure tolerance).
+    pub successor_list: usize,
+    /// Stabilization period, microseconds.
+    pub stabilize_every_us: u64,
+    /// Finger-repair period, microseconds.
+    pub fix_finger_every_us: u64,
+    /// Number of replicas per key (1 = primary only).
+    pub replicas: usize,
+}
+
+impl Default for ChordConfig {
+    fn default() -> Self {
+        ChordConfig {
+            successor_list: 4,
+            stabilize_every_us: 200_000, // 200 ms
+            fix_finger_every_us: 100_000,
+            replicas: 1,
+        }
+    }
+}
+
+/// Chord protocol messages.
+#[derive(Debug, Clone)]
+pub enum ChordMsg {
+    // -- Client operations (driver-injected) --
+    /// Store `value` under `key`; completes `op` when acked.
+    ClientPut {
+        /// Ring key.
+        key: Key,
+        /// Payload.
+        value: Vec<u8>,
+        /// Driver operation id.
+        op: u64,
+    },
+    /// Fetch `key`; completes `op` with a `GetReply` payload.
+    ClientGet {
+        /// Ring key.
+        key: Key,
+        /// Driver operation id.
+        op: u64,
+    },
+    /// Resolve the node responsible for `key`; completes `op` (hop count
+    /// is carried in the completion payload's `hops`).
+    ClientLookup {
+        /// Ring key.
+        key: Key,
+        /// Driver operation id.
+        op: u64,
+    },
+    /// Append `item` to the list stored under `key` (PIER-style attribute
+    /// posting maintenance); completes `op` when acked.
+    ClientAppend {
+        /// Ring key.
+        key: Key,
+        /// List item.
+        item: Vec<u8>,
+        /// Driver operation id.
+        op: u64,
+    },
+    /// Fetch the whole list under `key`; completes `op` with a
+    /// `ListReply` payload.
+    ClientGetList {
+        /// Ring key.
+        key: Key,
+        /// Driver operation id.
+        op: u64,
+    },
+
+    // -- Routing --
+    /// Recursive successor resolution.
+    FindSuccessor {
+        /// Target ring key.
+        key: Key,
+        /// Lookup correlation id.
+        lookup: u64,
+        /// Node that initiated the lookup (gets the answer).
+        origin: NodeId,
+        /// Hops taken so far.
+        hops: u32,
+    },
+    /// Answer to [`ChordMsg::FindSuccessor`].
+    SuccessorIs {
+        /// Lookup correlation id.
+        lookup: u64,
+        /// The responsible node.
+        holder: NodeId,
+        /// Total routing hops.
+        hops: u32,
+    },
+
+    // -- Stabilization --
+    /// "Who is your predecessor?" (also serves as the liveness probe).
+    GetPredecessor,
+    /// Reply carrying predecessor and successor list.
+    PredecessorIs {
+        /// The replying node's predecessor, if known.
+        pred: Option<NodeId>,
+        /// The replying node's successor list (for list repair).
+        successors: Vec<NodeId>,
+    },
+    /// "I might be your predecessor."
+    Notify {
+        /// The candidate predecessor.
+        candidate: NodeId,
+    },
+
+    // -- Storage --
+    /// Store at the responsible node.
+    Store {
+        /// Ring key.
+        key: Key,
+        /// Payload.
+        value: Vec<u8>,
+        /// Client op to ack.
+        op: u64,
+        /// Node to ack to.
+        origin: NodeId,
+    },
+    /// Replicate to a successor (fire-and-forget).
+    Replicate {
+        /// Ring key.
+        key: Key,
+        /// Payload.
+        value: Vec<u8>,
+    },
+    /// Ack for a completed store.
+    StoreAck {
+        /// Client op.
+        op: u64,
+    },
+    /// Read at the responsible node.
+    Fetch {
+        /// Ring key.
+        key: Key,
+        /// Client op.
+        op: u64,
+        /// Node to reply to.
+        origin: NodeId,
+        /// Routing hops the lookup took (echoed in the reply).
+        hops: u32,
+    },
+    /// Read result.
+    FetchReply {
+        /// Client op.
+        op: u64,
+        /// The value, if this replica holds it.
+        value: Option<Vec<u8>>,
+        /// Routing hops the lookup took.
+        hops: u32,
+    },
+
+    /// Append at the responsible node.
+    AppendItem {
+        /// Ring key.
+        key: Key,
+        /// List item.
+        item: Vec<u8>,
+        /// Client op.
+        op: u64,
+        /// Node to ack to.
+        origin: NodeId,
+    },
+    /// Replicate one list item to a successor.
+    ReplicateItem {
+        /// Ring key.
+        key: Key,
+        /// List item.
+        item: Vec<u8>,
+    },
+    /// Read the full list at the responsible node.
+    FetchList {
+        /// Ring key.
+        key: Key,
+        /// Client op.
+        op: u64,
+        /// Node to reply to.
+        origin: NodeId,
+        /// Routing hops the lookup took.
+        hops: u32,
+    },
+    /// List read result.
+    ListReply {
+        /// Client op.
+        op: u64,
+        /// The items (empty when the key is unknown).
+        items: Vec<Vec<u8>>,
+        /// Routing hops the lookup took.
+        hops: u32,
+    },
+}
+
+/// What a node does once a lookup it initiated resolves.
+#[derive(Debug, Clone)]
+enum PendingAction {
+    CompleteLookup { op: u64 },
+    PutThen { key: Key, value: Vec<u8>, op: u64 },
+    GetThen { key: Key, op: u64 },
+    AppendThen { key: Key, item: Vec<u8>, op: u64 },
+    GetListThen { key: Key, op: u64 },
+    JoinPoint,
+    FixFinger { index: u32 },
+}
+
+impl PendingAction {
+    /// The client op to fail when the lookup is abandoned, if any.
+    fn client_op(&self) -> Option<u64> {
+        match self {
+            PendingAction::CompleteLookup { op }
+            | PendingAction::PutThen { op, .. }
+            | PendingAction::GetThen { op, .. }
+            | PendingAction::AppendThen { op, .. }
+            | PendingAction::GetListThen { op, .. } => Some(*op),
+            PendingAction::JoinPoint | PendingAction::FixFinger { .. } => None,
+        }
+    }
+}
+
+/// An in-flight lookup with its retry budget.
+#[derive(Debug, Clone)]
+struct Pending {
+    key: Key,
+    action: PendingAction,
+    retries: u32,
+}
+
+/// A Chord participant.
+pub struct ChordNode {
+    me: NodeId,
+    id: Key,
+    /// Static node-index → ring-id map (public knowledge, like IPs).
+    ring_ids: Arc<Vec<Key>>,
+    bootstrap: NodeId,
+    config: ChordConfig,
+
+    successors: Vec<NodeId>,
+    predecessor: Option<NodeId>,
+    fingers: Vec<Option<NodeId>>,
+    next_finger: u32,
+    store: HashMap<Key, Vec<u8>>,
+    lists: HashMap<Key, Vec<Vec<u8>>>,
+
+    pending: HashMap<u64, Pending>,
+    /// Client op → lookup id, for ops whose pending entry lives until the
+    /// final ack (put/get/append/list) so timeouts cover the whole flow.
+    op_to_lookup: HashMap<u64, u64>,
+    next_lookup: u64,
+    /// True while a stabilization probe awaits its reply.
+    probe_outstanding: bool,
+    /// Consecutive stabilization ticks whose probe went unanswered. The
+    /// successor is presumed dead only after two misses: one slow reply
+    /// (queueing under load) must not shred the ring.
+    missed_probes: u32,
+    joined: bool,
+}
+
+impl ChordNode {
+    /// Creates a node for simulator slot `me`. `bootstrap` anchors joins
+    /// (conventionally node 0).
+    pub fn new(me: NodeId, ring_ids: Arc<Vec<Key>>, bootstrap: NodeId, config: ChordConfig) -> Self {
+        let id = ring_ids[me];
+        ChordNode {
+            me,
+            id,
+            ring_ids,
+            bootstrap,
+            config,
+            successors: Vec::new(),
+            predecessor: None,
+            fingers: vec![None; 64],
+            next_finger: 0,
+            store: HashMap::new(),
+            lists: HashMap::new(),
+            pending: HashMap::new(),
+            op_to_lookup: HashMap::new(),
+            next_lookup: (me as u64) << 32,
+            probe_outstanding: false,
+            missed_probes: 0,
+            joined: false,
+        }
+    }
+
+    /// This node's ring id.
+    pub fn ring_id(&self) -> Key {
+        self.id
+    }
+
+    /// Current successor, if joined.
+    pub fn successor(&self) -> Option<NodeId> {
+        self.successors.first().copied()
+    }
+
+    /// Keys held locally (primaries and replicas).
+    pub fn stored_keys(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True once the node has a successor.
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    fn id_of(&self, node: NodeId) -> Key {
+        self.ring_ids[node]
+    }
+
+    /// Closest finger (or successor) preceding `key`, for routing.
+    fn closest_preceding(&self, key: Key) -> Option<NodeId> {
+        for f in self.fingers.iter().rev().flatten() {
+            if ring::in_open_open(self.id, key, self.id_of(*f)) {
+                return Some(*f);
+            }
+        }
+        self.successor()
+            .filter(|s| ring::in_open_open(self.id, key, self.id_of(*s)))
+    }
+
+    fn start_lookup(&mut self, ctx: &mut Ctx<'_, ChordMsg>, key: Key, action: PendingAction) {
+        let lookup = self.next_lookup;
+        self.next_lookup += 1;
+        if let Some(op) = action.client_op() {
+            self.op_to_lookup.insert(op, lookup);
+        }
+        self.pending.insert(lookup, Pending { key, action, retries: 0 });
+        ctx.set_timer(LOOKUP_TIMEOUT_US, TIMER_LOOKUP_FLAG | lookup);
+        // Route from self: handle as though we received FindSuccessor.
+        self.route_find_successor(ctx, key, lookup, self.me, 0);
+    }
+
+    /// Retires the pending entry backing a client op, if it still exists.
+    /// Returns false when the op was already completed (duplicate ack from
+    /// a retried flow).
+    fn retire_op(&mut self, op: u64) -> bool {
+        match self.op_to_lookup.remove(&op) {
+            Some(lookup) => {
+                self.pending.remove(&lookup);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Lookup routed through the bootstrap — used while this node has no
+    /// routing state of its own (join, re-join after crash).
+    fn start_lookup_via_bootstrap(
+        &mut self,
+        ctx: &mut Ctx<'_, ChordMsg>,
+        key: Key,
+        action: PendingAction,
+    ) {
+        let lookup = self.next_lookup;
+        self.next_lookup += 1;
+        if let Some(op) = action.client_op() {
+            self.op_to_lookup.insert(op, lookup);
+        }
+        self.pending.insert(lookup, Pending { key, action, retries: 0 });
+        ctx.set_timer(LOOKUP_TIMEOUT_US, TIMER_LOOKUP_FLAG | lookup);
+        ctx.send(
+            self.bootstrap,
+            ChordMsg::FindSuccessor { key, lookup, origin: self.me, hops: 1 },
+            48,
+            TrafficClass::Maintenance,
+        );
+    }
+
+    /// A lookup-timeout timer fired: the message was probably dropped by
+    /// a dead hop. Retry from scratch (routing state may have healed), or
+    /// abandon and fail the client op after the retry budget runs out.
+    fn on_lookup_timeout(&mut self, ctx: &mut Ctx<'_, ChordMsg>, lookup: u64) {
+        let Some(pending) = self.pending.get_mut(&lookup) else {
+            return; // already resolved
+        };
+        pending.retries += 1;
+        if pending.retries > MAX_LOOKUP_RETRIES {
+            let pending = self.pending.remove(&lookup).expect("checked above");
+            if let Some(op) = pending.action.client_op() {
+                self.op_to_lookup.remove(&op);
+                ctx.complete(op, false);
+            }
+            return;
+        }
+        let key = pending.key;
+        ctx.set_timer(LOOKUP_TIMEOUT_US, TIMER_LOOKUP_FLAG | lookup);
+        self.route_find_successor(ctx, key, lookup, self.me, 0);
+    }
+
+    fn route_find_successor(
+        &mut self,
+        ctx: &mut Ctx<'_, ChordMsg>,
+        key: Key,
+        lookup: u64,
+        origin: NodeId,
+        hops: u32,
+    ) {
+        let Some(succ) = self.successor() else {
+            // Not joined: only the bootstrap in a fresh ring answers with
+            // itself.
+            ctx.send(
+                origin,
+                ChordMsg::SuccessorIs { lookup, holder: self.me, hops },
+                40,
+                TrafficClass::Query,
+            );
+            return;
+        };
+        if ring::in_open_closed(self.id, self.id_of(succ), key) {
+            ctx.send(
+                origin,
+                ChordMsg::SuccessorIs { lookup, holder: succ, hops },
+                40,
+                TrafficClass::Query,
+            );
+            return;
+        }
+        let next = self.closest_preceding(key).unwrap_or(succ);
+        if next == self.me {
+            ctx.send(
+                origin,
+                ChordMsg::SuccessorIs { lookup, holder: self.me, hops },
+                40,
+                TrafficClass::Query,
+            );
+            return;
+        }
+        ctx.send(
+            next,
+            ChordMsg::FindSuccessor { key, lookup, origin, hops: hops + 1 },
+            48,
+            TrafficClass::Query,
+        );
+    }
+
+    fn on_lookup_resolved(
+        &mut self,
+        ctx: &mut Ctx<'_, ChordMsg>,
+        lookup: u64,
+        holder: NodeId,
+        hops: u32,
+    ) {
+        // Client-op flows keep their pending entry (and its retry timer)
+        // alive until the final ack; join/finger lookups retire here.
+        let Some(Pending { action, .. }) = self.pending.get(&lookup).cloned() else {
+            return;
+        };
+        match action {
+            PendingAction::CompleteLookup { op } => {
+                if self.retire_op(op) {
+                    ctx.complete_with(op, true, ChordMsg::FetchReply { op, value: None, hops });
+                }
+            }
+            PendingAction::PutThen { key, value, op } => {
+                ctx.send(
+                    holder,
+                    ChordMsg::Store { key, value, op, origin: self.me },
+                    64,
+                    TrafficClass::Update,
+                );
+            }
+            PendingAction::GetThen { key, op } => {
+                ctx.send(
+                    holder,
+                    ChordMsg::Fetch { key, op, origin: self.me, hops },
+                    48,
+                    TrafficClass::Query,
+                );
+            }
+            PendingAction::AppendThen { key, item, op } => {
+                let bytes = 64 + item.len() as u64;
+                ctx.send(
+                    holder,
+                    ChordMsg::AppendItem { key, item, op, origin: self.me },
+                    bytes,
+                    TrafficClass::Update,
+                );
+            }
+            PendingAction::GetListThen { key, op } => {
+                ctx.send(
+                    holder,
+                    ChordMsg::FetchList { key, op, origin: self.me, hops },
+                    48,
+                    TrafficClass::Query,
+                );
+            }
+            PendingAction::JoinPoint => {
+                self.pending.remove(&lookup);
+                if holder == self.me {
+                    // The ring believes we already own our own key (we are
+                    // the only member it can see); anchor on the bootstrap.
+                    if self.me != self.bootstrap {
+                        self.successors = vec![self.bootstrap];
+                        self.joined = true;
+                    }
+                } else {
+                    self.successors = vec![holder];
+                    self.joined = true;
+                }
+            }
+            PendingAction::FixFinger { index } => {
+                self.pending.remove(&lookup);
+                if holder != self.me {
+                    self.fingers[index as usize] = Some(holder);
+                }
+            }
+        }
+    }
+
+    fn stabilize(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
+        if self.probe_outstanding {
+            self.missed_probes += 1;
+        }
+        if self.missed_probes >= 2 {
+            // Two consecutive silent probes: presume the successor dead.
+            // (Fingers pointing at it are repaired lazily by fix_finger.)
+            self.missed_probes = 0;
+            if !self.successors.is_empty() {
+                let dead = self.successors.remove(0);
+                // Stop routing through the dead node immediately.
+                for finger in &mut self.fingers {
+                    if *finger == Some(dead) {
+                        *finger = None;
+                    }
+                }
+                self.successors.retain(|&s| s != dead);
+            }
+            if self.successors.is_empty() {
+                // Lost the whole list: re-join through the bootstrap.
+                self.joined = false;
+                if self.me != self.bootstrap {
+                    let key = self.id;
+                    self.start_lookup_via_bootstrap(ctx, key, PendingAction::JoinPoint);
+                } else {
+                    self.successors = vec![self.me];
+                    self.joined = true;
+                }
+            }
+        }
+        if let Some(succ) = self.successor() {
+            self.probe_outstanding = true;
+            ctx.send(succ, ChordMsg::GetPredecessor, 24, TrafficClass::Maintenance);
+        }
+        ctx.set_timer(self.config.stabilize_every_us, TIMER_STABILIZE);
+    }
+
+    fn fix_one_finger(&mut self, ctx: &mut Ctx<'_, ChordMsg>) {
+        if self.joined || self.me == self.bootstrap {
+            let index = self.next_finger;
+            self.next_finger = (self.next_finger + 1) % 64;
+            let start = ring::finger_start(self.id, index);
+            self.start_lookup(ctx, start, PendingAction::FixFinger { index });
+        }
+        ctx.set_timer(self.config.fix_finger_every_us, TIMER_FIX_FINGER);
+    }
+}
+
+impl Node<ChordMsg> for ChordNode {
+    fn on_input(&mut self, ctx: &mut Ctx<'_, ChordMsg>, input: Input<ChordMsg>) {
+        match input {
+            Input::Start => {
+                // (Re)start: volatile routing state is rebuilt by joining.
+                if self.me == self.bootstrap {
+                    // Bootstrap anchors a fresh ring pointing at itself.
+                    if self.successors.is_empty() {
+                        self.successors = vec![self.me];
+                    }
+                    self.joined = true;
+                } else {
+                    let key = self.id;
+                    self.start_lookup_via_bootstrap(ctx, key, PendingAction::JoinPoint);
+                }
+                ctx.set_timer(self.config.stabilize_every_us, TIMER_STABILIZE);
+                ctx.set_timer(self.config.fix_finger_every_us, TIMER_FIX_FINGER);
+            }
+            Input::Timer { tag } => match tag {
+                TIMER_STABILIZE => self.stabilize(ctx),
+                TIMER_FIX_FINGER => self.fix_one_finger(ctx),
+                tag if tag & TIMER_LOOKUP_FLAG != 0 => {
+                    self.on_lookup_timeout(ctx, tag & !TIMER_LOOKUP_FLAG);
+                }
+                _ => {}
+            },
+            Input::Message { from, msg } => match msg {
+                ChordMsg::ClientPut { key, value, op } => {
+                    self.start_lookup(ctx, key, PendingAction::PutThen { key, value, op });
+                }
+                ChordMsg::ClientGet { key, op } => {
+                    self.start_lookup(ctx, key, PendingAction::GetThen { key, op });
+                }
+                ChordMsg::ClientLookup { key, op } => {
+                    self.start_lookup(ctx, key, PendingAction::CompleteLookup { op });
+                }
+                ChordMsg::ClientAppend { key, item, op } => {
+                    self.start_lookup(ctx, key, PendingAction::AppendThen { key, item, op });
+                }
+                ChordMsg::ClientGetList { key, op } => {
+                    self.start_lookup(ctx, key, PendingAction::GetListThen { key, op });
+                }
+                ChordMsg::FindSuccessor { key, lookup, origin, hops } => {
+                    self.route_find_successor(ctx, key, lookup, origin, hops);
+                }
+                ChordMsg::SuccessorIs { lookup, holder, hops } => {
+                    self.on_lookup_resolved(ctx, lookup, holder, hops);
+                }
+                ChordMsg::GetPredecessor => {
+                    ctx.send(
+                        from,
+                        ChordMsg::PredecessorIs {
+                            pred: self.predecessor,
+                            successors: self.successors.clone(),
+                        },
+                        48,
+                        TrafficClass::Maintenance,
+                    );
+                }
+                ChordMsg::PredecessorIs { pred, successors } => {
+                    self.probe_outstanding = false;
+                    self.missed_probes = 0;
+                    if let (Some(p), Some(succ)) = (pred, self.successor()) {
+                        if p != self.me
+                            && ring::in_open_open(self.id, self.id_of(succ), self.id_of(p))
+                        {
+                            // A closer successor exists.
+                            self.successors.insert(0, p);
+                        }
+                    }
+                    // Rebuild the successor list from the successor's view.
+                    if let Some(succ) = self.successor() {
+                        let mut list = vec![succ];
+                        for s in successors {
+                            if s != self.me && !list.contains(&s) {
+                                list.push(s);
+                            }
+                            if list.len() >= self.config.successor_list {
+                                break;
+                            }
+                        }
+                        self.successors = list;
+                        self.joined = true;
+                        ctx.send(
+                            succ,
+                            ChordMsg::Notify { candidate: self.me },
+                            24,
+                            TrafficClass::Maintenance,
+                        );
+                    }
+                }
+                ChordMsg::Notify { candidate } => {
+                    let adopt = match self.predecessor {
+                        None => true,
+                        Some(p) => {
+                            ring::in_open_open(self.id_of(p), self.id, self.id_of(candidate))
+                        }
+                    };
+                    if adopt && candidate != self.me {
+                        self.predecessor = Some(candidate);
+                    }
+                }
+                ChordMsg::Store { key, value, op, origin } => {
+                    self.store.insert(key, value.clone());
+                    // Replicate to r-1 successors.
+                    for &s in self.successors.iter().take(self.config.replicas.saturating_sub(1))
+                    {
+                        if s != self.me {
+                            ctx.send(
+                                s,
+                                ChordMsg::Replicate { key, value: value.clone() },
+                                64 + value.len() as u64,
+                                TrafficClass::Maintenance,
+                            );
+                        }
+                    }
+                    ctx.send(origin, ChordMsg::StoreAck { op }, 24, TrafficClass::Update);
+                }
+                ChordMsg::Replicate { key, value } => {
+                    self.store.insert(key, value);
+                }
+                ChordMsg::StoreAck { op } => {
+                    if self.retire_op(op) {
+                        ctx.complete(op, true);
+                    }
+                }
+                ChordMsg::Fetch { key, op, origin, hops } => {
+                    let value = self.store.get(&key).cloned();
+                    let found = value.is_some();
+                    ctx.send(
+                        origin,
+                        ChordMsg::FetchReply { op, value, hops },
+                        if found { 128 } else { 32 },
+                        TrafficClass::Query,
+                    );
+                }
+                ChordMsg::FetchReply { op, value, hops } => {
+                    if self.retire_op(op) {
+                        let ok = value.is_some();
+                        ctx.complete_with(op, ok, ChordMsg::FetchReply { op, value, hops });
+                    }
+                }
+                ChordMsg::AppendItem { key, item, op, origin } => {
+                    self.lists.entry(key).or_default().push(item.clone());
+                    for &s in self.successors.iter().take(self.config.replicas.saturating_sub(1))
+                    {
+                        if s != self.me {
+                            ctx.send(
+                                s,
+                                ChordMsg::ReplicateItem { key, item: item.clone() },
+                                64 + item.len() as u64,
+                                TrafficClass::Maintenance,
+                            );
+                        }
+                    }
+                    ctx.send(origin, ChordMsg::StoreAck { op }, 24, TrafficClass::Update);
+                }
+                ChordMsg::ReplicateItem { key, item } => {
+                    self.lists.entry(key).or_default().push(item);
+                }
+                ChordMsg::FetchList { key, op, origin, hops } => {
+                    let items = self.lists.get(&key).cloned().unwrap_or_default();
+                    let bytes = 32 + items.iter().map(|i| i.len() as u64).sum::<u64>();
+                    ctx.send(
+                        origin,
+                        ChordMsg::ListReply { op, items, hops },
+                        bytes,
+                        TrafficClass::Query,
+                    );
+                }
+                ChordMsg::ListReply { op, items, hops } => {
+                    if self.retire_op(op) {
+                        ctx.complete_with(op, true, ChordMsg::ListReply { op, items, hops });
+                    }
+                }
+            },
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Routing state is volatile; stored keys are lost too (a crashed
+        // peer's disk is gone from the ring's perspective).
+        self.successors.clear();
+        self.predecessor = None;
+        self.fingers = vec![None; 64];
+        self.store.clear();
+        self.lists.clear();
+        self.pending.clear();
+        self.op_to_lookup.clear();
+        self.probe_outstanding = false;
+        self.missed_probes = 0;
+        self.joined = false;
+    }
+}

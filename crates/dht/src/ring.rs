@@ -1,0 +1,106 @@
+//! Chord ring arithmetic on a 64-bit identifier circle.
+
+/// A position on the identifier circle.
+pub type Key = u64;
+
+/// True when `x ∈ (a, b]` walking clockwise on the ring.
+pub fn in_open_closed(a: Key, b: Key, x: Key) -> bool {
+    if a == b {
+        // Degenerate single-node interval covers the whole ring.
+        return true;
+    }
+    if a < b {
+        a < x && x <= b
+    } else {
+        x > a || x <= b
+    }
+}
+
+/// True when `x ∈ (a, b)` walking clockwise on the ring.
+pub fn in_open_open(a: Key, b: Key, x: Key) -> bool {
+    if a == b {
+        return x != a;
+    }
+    if a < b {
+        a < x && x < b
+    } else {
+        x > a || x < b
+    }
+}
+
+/// The start of finger `i` for node `n`: `n + 2^i (mod 2^64)`.
+pub fn finger_start(n: Key, i: u32) -> Key {
+    n.wrapping_add(1u64.wrapping_shl(i))
+}
+
+/// Hashes an arbitrary byte key onto the ring.
+pub fn key_of(bytes: &[u8]) -> Key {
+    // FNV-1a then a finalizer; good dispersion for ring placement.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    // splitmix64 finalizer
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Deterministic ring id for a simulator node index.
+pub fn node_ring_id(node: usize) -> Key {
+    key_of(format!("chord-node-{node}").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_closed_basic_and_wrapping() {
+        assert!(in_open_closed(10, 20, 15));
+        assert!(in_open_closed(10, 20, 20));
+        assert!(!in_open_closed(10, 20, 10));
+        assert!(!in_open_closed(10, 20, 25));
+        // Wrapping interval (a > b).
+        assert!(in_open_closed(u64::MAX - 5, 5, 2));
+        assert!(in_open_closed(u64::MAX - 5, 5, u64::MAX));
+        assert!(!in_open_closed(u64::MAX - 5, 5, 100));
+    }
+
+    #[test]
+    fn degenerate_interval_covers_ring() {
+        assert!(in_open_closed(7, 7, 0));
+        assert!(in_open_closed(7, 7, 7));
+        assert!(!in_open_open(7, 7, 7));
+        assert!(in_open_open(7, 7, 8));
+    }
+
+    #[test]
+    fn finger_starts_double() {
+        assert_eq!(finger_start(0, 0), 1);
+        assert_eq!(finger_start(0, 3), 8);
+        assert_eq!(finger_start(u64::MAX, 0), 0, "wraps");
+        assert_eq!(finger_start(100, 63), 100u64.wrapping_add(1 << 63));
+    }
+
+    #[test]
+    fn key_of_disperses() {
+        let mut keys: Vec<Key> = (0..1000).map(|i| key_of(format!("k{i}").as_bytes())).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 1000, "no collisions on small sets");
+        // Spread check: largest gap should be far below half the ring.
+        let max_gap = keys
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap();
+        assert!(max_gap < u64::MAX / 20, "keys cluster too much: {max_gap}");
+    }
+
+    #[test]
+    fn node_ring_ids_are_stable_and_distinct() {
+        assert_eq!(node_ring_id(3), node_ring_id(3));
+        assert_ne!(node_ring_id(3), node_ring_id(4));
+    }
+}

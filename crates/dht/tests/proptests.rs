@@ -1,0 +1,97 @@
+//! Property tests for the Chord ring: interval arithmetic laws and
+//! end-to-end put/get correctness on randomly sized rings.
+
+use proptest::prelude::*;
+use pass_dht::ring::{finger_start, in_open_closed, in_open_open, key_of, node_ring_id};
+use pass_dht::{ChordConfig, DhtHarness};
+use pass_net::{SimTime, Topology};
+
+proptest! {
+    /// `(a, b]` and its complement `(b, a]` partition the ring (minus
+    /// the degenerate a == b case).
+    #[test]
+    fn open_closed_partitions_the_ring(a in any::<u64>(), b in any::<u64>(), x in any::<u64>()) {
+        prop_assume!(a != b);
+        let in_ab = in_open_closed(a, b, x);
+        let in_ba = in_open_closed(b, a, x);
+        prop_assert!(in_ab ^ in_ba, "exactly one side must contain x={x} for a={a}, b={b}");
+    }
+
+    /// Open-open is a strict subset of open-closed.
+    #[test]
+    fn open_open_subset_of_open_closed(a in any::<u64>(), b in any::<u64>(), x in any::<u64>()) {
+        if in_open_open(a, b, x) {
+            prop_assert!(in_open_closed(a, b, x));
+        }
+    }
+
+    /// The interval endpoint is always inside open-closed, never inside
+    /// open-open.
+    #[test]
+    fn endpoint_membership(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert!(in_open_closed(a, b, b));
+        if a != b {
+            prop_assert!(!in_open_open(a, b, b));
+            prop_assert!(!in_open_closed(a, b, a));
+        }
+    }
+
+    /// Finger starts are strictly increasing distances from the node.
+    #[test]
+    fn finger_distances_double(n in any::<u64>(), i in 0u32..63) {
+        let d1 = finger_start(n, i).wrapping_sub(n);
+        let d2 = finger_start(n, i + 1).wrapping_sub(n);
+        prop_assert_eq!(d1, 1u64 << i);
+        prop_assert_eq!(d2, 1u64 << (i + 1));
+    }
+
+    /// Hashing is deterministic and input-sensitive.
+    #[test]
+    fn key_of_deterministic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(key_of(&data), key_of(&data));
+        let mut tweaked = data.clone();
+        tweaked.push(0x5a);
+        prop_assert_ne!(key_of(&data), key_of(&tweaked));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On a stable ring of arbitrary size, every put is readable from
+    /// every node afterwards.
+    #[test]
+    fn puts_are_readable_from_anywhere(
+        n_nodes in 3usize..12,
+        items in proptest::collection::vec("[a-z]{1,12}", 1..8),
+    ) {
+        let mut h = DhtHarness::build(
+            Topology::uniform(n_nodes, 5.0),
+            ChordConfig::default(),
+            1234,
+        );
+        let issued = h.sim.now();
+        for (i, item) in items.iter().enumerate() {
+            h.put(i % n_nodes, key_of(item.as_bytes()), item.clone().into_bytes());
+        }
+        let outcomes = h.run_and_collect(SimTime::from_secs(30), issued);
+        prop_assert!(outcomes.iter().all(|o| o.ok), "all puts acked");
+
+        let issued = h.sim.now();
+        for (i, item) in items.iter().enumerate() {
+            h.get((i + 1) % n_nodes, key_of(item.as_bytes()));
+        }
+        let outcomes = h.run_and_collect(SimTime::from_secs(30), issued);
+        prop_assert_eq!(outcomes.len(), items.len());
+        prop_assert!(outcomes.iter().all(|o| o.ok), "all gets found their value");
+    }
+
+    /// Node ring ids never collide for realistic fleet sizes.
+    #[test]
+    fn node_ids_unique(n in 2usize..200) {
+        let mut ids: Vec<u64> = (0..n).map(node_ring_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+    }
+}

@@ -1,0 +1,48 @@
+//! The common driver-facing interface of the §IV architecture models.
+
+use crate::outcome::Outcome;
+use pass_model::{ProvenanceRecord, TupleSetId};
+use pass_net::{NetMetrics, SimTime};
+use pass_query::Query;
+
+/// One architectural model under simulation.
+///
+/// The driver publishes provenance records from origin sites, issues
+/// queries from client sites, advances simulated time, and harvests
+/// [`Outcome`]s. Architectures differ only in routing — which sites hold
+/// index state and which sites a query touches.
+pub trait Architecture {
+    /// Model name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Number of sites.
+    fn sites(&self) -> usize;
+
+    /// Publishes a record from its origin site. Returns the op id; an
+    /// [`Outcome`] with that id appears once the index accepted it.
+    fn publish(&mut self, origin_site: usize, record: &ProvenanceRecord) -> u64;
+
+    /// Runs a query on behalf of a client local to `client_site`.
+    fn query(&mut self, client_site: usize, query: &Query) -> u64;
+
+    /// Ancestors-of closure from `client_site`.
+    fn lineage(&mut self, client_site: usize, root: TupleSetId, depth: Option<u32>) -> u64;
+
+    /// Advances simulated time by `duration`.
+    fn run_for(&mut self, duration: SimTime);
+
+    /// Runs until no events remain (bounded internally against runaways).
+    fn run_quiet(&mut self);
+
+    /// Drains outcomes produced since the last call.
+    fn outcomes(&mut self) -> Vec<Outcome>;
+
+    /// Network counters.
+    fn net(&self) -> NetMetrics;
+
+    /// Resets network counters (e.g. after warm-up).
+    fn reset_net(&mut self);
+
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+}

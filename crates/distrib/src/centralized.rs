@@ -1,0 +1,161 @@
+//! §IV-A: the centralized data warehouse.
+//!
+//! "Provenance metadata is sent to some central data warehouse, where it
+//! is examined and indexed; query processing is then done within the
+//! warehouse." Site 0 is the warehouse; every other site forwards
+//! published records to it and proxies queries to it. Simple, fast on
+//! queries, complete on recursive queries — and a single service-time
+//! bottleneck under update load (E6).
+
+use crate::arch::Architecture;
+use crate::harness::ArchSim;
+use crate::meta::MetaIndex;
+use crate::msg::{self, ArchMsg};
+use crate::outcome::Outcome;
+use pass_model::{ProvenanceRecord, TupleSetId};
+use pass_net::{Ctx, Input, NetMetrics, Node, NodeId, SimTime, Topology, TrafficClass};
+use pass_query::Query;
+
+/// The warehouse's node id.
+pub const WAREHOUSE: NodeId = 0;
+
+struct CentralSite {
+    me: NodeId,
+    index: MetaIndex,
+}
+
+impl CentralSite {
+    fn run_query(&self, query: &Query) -> (bool, Vec<TupleSetId>) {
+        match self.index.query(query) {
+            Ok(result) => (true, result.ids()),
+            Err(_) => (false, Vec::new()),
+        }
+    }
+}
+
+impl Node<ArchMsg> for CentralSite {
+    fn on_input(&mut self, ctx: &mut Ctx<'_, ArchMsg>, input: Input<ArchMsg>) {
+        let Input::Message { from: _, msg } = input else {
+            return;
+        };
+        match msg {
+            ArchMsg::ClientPublish { op, record } => {
+                self.index.insert(&record); // local copy stays at the origin
+                if self.me == WAREHOUSE {
+                    ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids: vec![] });
+                } else {
+                    let bytes = msg::record_bytes(&record);
+                    ctx.send(
+                        WAREHOUSE,
+                        ArchMsg::StoreRecord { op, record, ack_to: self.me },
+                        bytes,
+                        TrafficClass::Update,
+                    );
+                }
+            }
+            ArchMsg::StoreRecord { op, record, ack_to } => {
+                self.index.insert(&record);
+                ctx.send(ack_to, ArchMsg::StoreAck { op }, 24, TrafficClass::Update);
+            }
+            ArchMsg::StoreAck { op } => {
+                ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids: vec![] });
+            }
+            ArchMsg::ClientQuery { op, query } => {
+                if self.me == WAREHOUSE {
+                    let (ok, ids) = self.run_query(&query);
+                    ctx.complete_with(op, ok, ArchMsg::Done { op, ok, ids });
+                } else {
+                    let bytes = msg::query_bytes(&query);
+                    ctx.send(
+                        WAREHOUSE,
+                        ArchMsg::SubQuery { op, query, reply_to: self.me },
+                        bytes,
+                        TrafficClass::Query,
+                    );
+                }
+            }
+            ArchMsg::ClientLineage { op, root, depth } => {
+                let mut query = Query::lineage(root, pass_index::Direction::Ancestors);
+                if let Some(d) = depth {
+                    query = query.with_depth(d);
+                }
+                if self.me == WAREHOUSE {
+                    let (ok, ids) = self.run_query(&query);
+                    ctx.complete_with(op, ok, ArchMsg::Done { op, ok, ids });
+                } else {
+                    let bytes = msg::query_bytes(&query);
+                    ctx.send(
+                        WAREHOUSE,
+                        ArchMsg::SubQuery { op, query, reply_to: self.me },
+                        bytes,
+                        TrafficClass::Query,
+                    );
+                }
+            }
+            ArchMsg::SubQuery { op, query, reply_to } => {
+                let (_ok, ids) = self.run_query(&query);
+                let bytes = msg::ids_bytes(&ids);
+                ctx.send(reply_to, ArchMsg::SubResult { op, ids }, bytes, TrafficClass::Query);
+            }
+            ArchMsg::SubResult { op, ids } => {
+                ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The centralized-warehouse architecture.
+pub struct Centralized {
+    inner: ArchSim,
+    sites: usize,
+}
+
+impl Centralized {
+    /// Builds with `sites` nodes on `topology` (node 0 = warehouse).
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        let sites = topology.len();
+        let nodes: Vec<Box<dyn Node<ArchMsg>>> = (0..sites)
+            .map(|i| Box::new(CentralSite { me: i, index: MetaIndex::new() }) as Box<dyn Node<ArchMsg>>)
+            .collect();
+        Centralized { inner: ArchSim::new(topology, nodes, seed), sites }
+    }
+}
+
+impl Architecture for Centralized {
+    fn name(&self) -> &'static str {
+        "centralized"
+    }
+    fn sites(&self) -> usize {
+        self.sites
+    }
+    fn publish(&mut self, origin_site: usize, record: &ProvenanceRecord) -> u64 {
+        let record = record.clone();
+        self.inner.issue(origin_site, |op| ArchMsg::ClientPublish { op, record })
+    }
+    fn query(&mut self, client_site: usize, query: &Query) -> u64 {
+        let query = query.clone();
+        self.inner.issue(client_site, |op| ArchMsg::ClientQuery { op, query })
+    }
+    fn lineage(&mut self, client_site: usize, root: TupleSetId, depth: Option<u32>) -> u64 {
+        self.inner.issue(client_site, |op| ArchMsg::ClientLineage { op, root, depth })
+    }
+    fn run_for(&mut self, duration: SimTime) {
+        self.inner.run_for(duration);
+    }
+    fn run_quiet(&mut self) {
+        self.inner.run_quiet();
+    }
+    fn outcomes(&mut self) -> Vec<Outcome> {
+        self.inner.outcomes()
+    }
+    fn net(&self) -> NetMetrics {
+        self.inner.net()
+    }
+    fn reset_net(&mut self) {
+        self.inner.reset_net();
+    }
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+}

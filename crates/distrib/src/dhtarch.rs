@@ -1,0 +1,343 @@
+//! §IV-C: the DHT-backed provenance index.
+//!
+//! Records are stored under `hash(id)`; per-attribute posting lists
+//! (PIER-style) live under `hash(attr=value)`. The model faithfully
+//! reproduces the costs the paper enumerates:
+//!
+//! * **Placement-blind storage** — a record's bytes land wherever its
+//!   hash says, never near its producers or consumers (E8).
+//! * **Per-attribute update fan-out** — publishing one tuple set costs
+//!   one blob put plus one posting append per indexed attribute, each a
+//!   full `O(log n)` routed lookup (E6).
+//! * **No recursive queries** — an ancestors chase is one DHT get per
+//!   edge per generation, every one of them a multi-hop lookup (E14).
+//! * **Churn fragility** — unreplicated postings die with their holders
+//!   (E11, E15).
+//!
+//! Multi-attribute queries fetch each posting list and intersect at the
+//! client; predicates that are not equality-on-an-indexed-attribute are
+//! simply unanswerable, which is reported as a failed outcome rather
+//! than papered over.
+
+use crate::arch::Architecture;
+use crate::outcome::Outcome;
+use pass_dht::{key_of, ChordConfig, ChordMsg, DhtHarness};
+use pass_model::codec::Decode;
+use pass_model::{keys, ProvenanceRecord, TupleSetId};
+use pass_net::{Completion, NetMetrics, SimTime, Topology};
+use pass_query::{Predicate, Query};
+use std::collections::{HashMap, HashSet};
+
+/// Attributes the DHT index maintains postings for.
+pub const INDEXED_ATTRS: &[&str] =
+    &[keys::DOMAIN, keys::REGION, keys::TYPE, keys::SENSOR_TYPE, keys::PATIENT, keys::OPERATOR];
+
+fn posting_key(attr: &str, value: &str) -> u64 {
+    key_of(format!("posting:{attr}={value}").as_bytes())
+}
+
+fn blob_key(id: TupleSetId) -> u64 {
+    key_of(&id.to_be_bytes())
+}
+
+/// Extracts the equality terms the DHT can serve.
+fn eq_terms(p: &Predicate) -> Option<Vec<(String, String)>> {
+    fn walk(p: &Predicate, out: &mut Vec<(String, String)>) -> bool {
+        match p {
+            Predicate::True => true,
+            Predicate::Eq(attr, value) => match value.as_str() {
+                Some(s) if INDEXED_ATTRS.contains(&attr.as_str()) => {
+                    out.push((attr.clone(), s.to_owned()));
+                    true
+                }
+                _ => false,
+            },
+            Predicate::And(ps) => ps.iter().all(|sub| walk(sub, out)),
+            _ => false,
+        }
+    }
+    let mut out = Vec::new();
+    if walk(p, &mut out) && !out.is_empty() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+enum Logical {
+    Publish {
+        remaining: usize,
+    },
+    Query {
+        remaining: usize,
+        acc: Option<HashSet<TupleSetId>>,
+    },
+    Chase {
+        visited: HashSet<TupleSetId>,
+        acc: Vec<TupleSetId>,
+        outstanding: usize,
+        via: usize,
+    },
+}
+
+/// The DHT-index architecture.
+pub struct DhtIndex {
+    h: DhtHarness,
+    sites: usize,
+    next_logical: u64,
+    sub_to_logical: HashMap<u64, u64>,
+    /// Depth budget left for the subtree fetched by a chase sub-op.
+    sub_depth: HashMap<u64, Option<u32>>,
+    logical: HashMap<u64, Logical>,
+    ready: Vec<Outcome>,
+}
+
+impl DhtIndex {
+    /// Builds a converged ring over `topology` with `replicas` copies of
+    /// each key.
+    pub fn new(topology: Topology, replicas: usize, seed: u64) -> Self {
+        let config = ChordConfig { replicas, ..ChordConfig::default() };
+        let sites = topology.len();
+        let h = DhtHarness::build(topology, config, seed);
+        DhtIndex {
+            h,
+            sites,
+            next_logical: 1,
+            sub_to_logical: HashMap::new(),
+            sub_depth: HashMap::new(),
+            logical: HashMap::new(),
+            ready: Vec::new(),
+        }
+    }
+
+    /// Access to the underlying harness (churn injection in E11/E15).
+    pub fn harness_mut(&mut self) -> &mut DhtHarness {
+        &mut self.h
+    }
+
+    fn alloc(&mut self) -> u64 {
+        let op = self.next_logical;
+        self.next_logical += 1;
+        op
+    }
+
+    fn finish(&mut self, op: u64, ok: bool, mut ids: Vec<TupleSetId>, at: SimTime) {
+        ids.sort_unstable();
+        ids.dedup();
+        self.ready.push(Outcome { op, ok, at, ids });
+    }
+
+    fn handle(&mut self, completion: Completion<ChordMsg>) {
+        let Some(&logical_op) = self.sub_to_logical.get(&completion.op) else {
+            return;
+        };
+        self.sub_to_logical.remove(&completion.op);
+        let depth_left = self.sub_depth.remove(&completion.op).flatten();
+        let Some(state) = self.logical.get_mut(&logical_op) else {
+            return;
+        };
+        match state {
+            Logical::Publish { remaining } => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.logical.remove(&logical_op);
+                    self.finish(logical_op, true, Vec::new(), completion.at);
+                }
+            }
+            Logical::Query { remaining, acc } => {
+                let items = match completion.payload {
+                    Some(ChordMsg::ListReply { items, .. }) => items,
+                    _ => Vec::new(),
+                };
+                let ids: HashSet<TupleSetId> = items
+                    .iter()
+                    .filter_map(|b| <[u8; 16]>::try_from(b.as_slice()).ok())
+                    .map(TupleSetId::from_be_bytes)
+                    .collect();
+                *acc = Some(match acc.take() {
+                    None => ids,
+                    Some(prev) => prev.intersection(&ids).copied().collect(),
+                });
+                *remaining -= 1;
+                if *remaining == 0 {
+                    let Some(Logical::Query { acc, .. }) = self.logical.remove(&logical_op)
+                    else {
+                        unreachable!("state checked above");
+                    };
+                    let ids: Vec<TupleSetId> = acc.unwrap_or_default().into_iter().collect();
+                    self.finish(logical_op, true, ids, completion.at);
+                }
+            }
+            Logical::Chase { visited, acc, outstanding, via } => {
+                let via = *via;
+                *outstanding -= 1;
+                let mut new_fetches: Vec<(TupleSetId, Option<u32>)> = Vec::new();
+                if let Some(ChordMsg::FetchReply { value: Some(bytes), .. }) = completion.payload
+                {
+                    if let Ok(record) = ProvenanceRecord::decode_all(&bytes) {
+                        let next_depth = match depth_left {
+                            Some(0) => None, // exhausted: record counted, no expansion
+                            Some(d) => Some(Some(d - 1)),
+                            None => Some(None),
+                        };
+                        if let Some(next_depth) = next_depth {
+                            for parent in record.parents() {
+                                if visited.insert(parent) {
+                                    acc.push(parent);
+                                    new_fetches.push((parent, next_depth));
+                                }
+                            }
+                        }
+                    }
+                }
+                if !new_fetches.is_empty() {
+                    if let Some(Logical::Chase { outstanding, .. }) =
+                        self.logical.get_mut(&logical_op)
+                    {
+                        *outstanding += new_fetches.len();
+                    }
+                    for (id, d) in new_fetches {
+                        let sub = self.h.get(via, blob_key(id));
+                        self.sub_to_logical.insert(sub, logical_op);
+                        self.sub_depth.insert(sub, d);
+                    }
+                }
+                if let Some(Logical::Chase { outstanding, .. }) = self.logical.get(&logical_op) {
+                    if *outstanding == 0 {
+                        let Some(Logical::Chase { acc, .. }) = self.logical.remove(&logical_op)
+                        else {
+                            unreachable!("state checked above");
+                        };
+                        self.finish(logical_op, true, acc, completion.at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs events and feeds completions back into chase/gather logic
+    /// until all in-flight logical operations resolve. Chord maintenance
+    /// timers never quiesce, so time advances in bounded slices; ops
+    /// that stay silent for many slices (lost to churn) fail explicitly.
+    fn pump(&mut self) {
+        const SLICE_US: u64 = 2_000_000;
+        const MAX_IDLE_SLICES: u32 = 15;
+        let mut idle = 0u32;
+        while !self.logical.is_empty() && idle < MAX_IDLE_SLICES {
+            let deadline = SimTime::from_micros(self.h.sim.now().as_micros() + SLICE_US);
+            self.h.sim.run_until(deadline);
+            let completions = self.h.sim.take_completions();
+            if completions.is_empty() {
+                idle += 1;
+            } else {
+                idle = 0;
+                for c in completions {
+                    self.handle(c);
+                }
+            }
+        }
+        if !self.logical.is_empty() {
+            let at = self.h.sim.now();
+            let stuck: Vec<u64> = self.logical.keys().copied().collect();
+            for op in stuck {
+                self.logical.remove(&op);
+                self.ready.push(Outcome { op, ok: false, at, ids: Vec::new() });
+            }
+            self.sub_to_logical.clear();
+            self.sub_depth.clear();
+        }
+    }
+}
+
+impl Architecture for DhtIndex {
+    fn name(&self) -> &'static str {
+        "dht"
+    }
+
+    fn sites(&self) -> usize {
+        self.sites
+    }
+
+    fn publish(&mut self, origin_site: usize, record: &ProvenanceRecord) -> u64 {
+        use pass_model::codec::Encode;
+        let op = self.alloc();
+        let mut subs = Vec::new();
+        subs.push(self.h.put(origin_site, blob_key(record.id), record.encode_to_vec()));
+        for attr in INDEXED_ATTRS {
+            if let Some(value) = record.attributes.get_str(attr) {
+                subs.push(self.h.append(
+                    origin_site,
+                    posting_key(attr, value),
+                    record.id.to_be_bytes().to_vec(),
+                ));
+            }
+        }
+        self.logical.insert(op, Logical::Publish { remaining: subs.len() });
+        for sub in subs {
+            self.sub_to_logical.insert(sub, op);
+        }
+        op
+    }
+
+    fn query(&mut self, client_site: usize, query: &Query) -> u64 {
+        let op = self.alloc();
+        match eq_terms(&query.filter) {
+            Some(terms) => {
+                self.logical.insert(op, Logical::Query { remaining: terms.len(), acc: None });
+                for (attr, value) in terms {
+                    let sub = self.h.get_list(client_site, posting_key(&attr, &value));
+                    self.sub_to_logical.insert(sub, op);
+                }
+            }
+            None => {
+                // Unanswerable by a name-to-value DHT (§II-B): fail fast.
+                let at = self.h.sim.now();
+                self.ready.push(Outcome { op, ok: false, at, ids: Vec::new() });
+            }
+        }
+        op
+    }
+
+    fn lineage(&mut self, client_site: usize, root: TupleSetId, depth: Option<u32>) -> u64 {
+        let op = self.alloc();
+        let mut visited = HashSet::new();
+        visited.insert(root);
+        self.logical.insert(
+            op,
+            Logical::Chase { visited, acc: Vec::new(), outstanding: 1, via: client_site },
+        );
+        let sub = self.h.get(client_site, blob_key(root));
+        self.sub_to_logical.insert(sub, op);
+        self.sub_depth.insert(sub, depth);
+        op
+    }
+
+    fn run_for(&mut self, duration: SimTime) {
+        let deadline = SimTime::from_micros(self.h.sim.now().as_micros() + duration.as_micros());
+        self.h.sim.run_until(deadline);
+        let completions = self.h.sim.take_completions();
+        for c in completions {
+            self.handle(c);
+        }
+    }
+
+    fn run_quiet(&mut self) {
+        self.pump();
+    }
+
+    fn outcomes(&mut self) -> Vec<Outcome> {
+        std::mem::take(&mut self.ready)
+    }
+
+    fn net(&self) -> NetMetrics {
+        self.h.sim.metrics().clone()
+    }
+
+    fn reset_net(&mut self) {
+        self.h.sim.reset_metrics();
+    }
+
+    fn now(&self) -> SimTime {
+        self.h.sim.now()
+    }
+}

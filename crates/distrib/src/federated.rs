@@ -1,0 +1,184 @@
+//! §IV-B model 2: the federated database.
+//!
+//! "Multiple autonomous database systems, each with its own specific
+//! interface, transactions, concurrency, and schema … the fact that the
+//! components are truly disjoint systems may lead to slow access."
+//!
+//! Records never leave their origin site (publishes cost zero network).
+//! Queries scatter to every member through per-member *schema
+//! translation*, modeled as extra bytes per subquery — the honest price
+//! of the disjoint-interface property. Recursive queries broadcast each
+//! frontier round to all members, because a federation has no global
+//! placement function to route by.
+
+use crate::arch::Architecture;
+use crate::harness::{ArchSim, Chase, Gather};
+use crate::meta::MetaIndex;
+use crate::msg::{self, ArchMsg};
+use crate::outcome::Outcome;
+use pass_model::{ProvenanceRecord, TupleSetId};
+use pass_net::{Ctx, Input, NetMetrics, Node, NodeId, SimTime, Topology, TrafficClass};
+use pass_query::Query;
+use std::collections::HashMap;
+
+/// Extra bytes per subquery for schema translation between autonomous
+/// members (wrapping, dialect mapping, result-schema negotiation).
+pub const TRANSLATION_OVERHEAD_BYTES: u64 = 512;
+
+struct FederatedSite {
+    me: NodeId,
+    sites: usize,
+    index: MetaIndex,
+    gathers: HashMap<u64, Gather>,
+    chases: HashMap<u64, Chase>,
+}
+
+impl FederatedSite {
+    fn expand_round(&mut self, ctx: &mut Ctx<'_, ArchMsg>, op: u64, frontier: Vec<TupleSetId>) {
+        // No placement function: every member might know any id.
+        let chase = self.chases.get_mut(&op).expect("chase exists");
+        chase.outstanding = self.sites;
+        let bytes = msg::ids_bytes(&frontier) + TRANSLATION_OVERHEAD_BYTES;
+        for s in 0..self.sites {
+            ctx.send(
+                s,
+                ArchMsg::LineageExpand { op, ids: frontier.clone(), reply_to: self.me },
+                bytes,
+                TrafficClass::Query,
+            );
+        }
+    }
+}
+
+impl Node<ArchMsg> for FederatedSite {
+    fn on_input(&mut self, ctx: &mut Ctx<'_, ArchMsg>, input: Input<ArchMsg>) {
+        let Input::Message { from: _, msg } = input else {
+            return;
+        };
+        match msg {
+            ArchMsg::ClientPublish { op, record } => {
+                // Autonomy: the record stays home. Publishing is local.
+                self.index.insert(&record);
+                ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids: vec![] });
+            }
+            ArchMsg::ClientQuery { op, query } => {
+                self.gathers.insert(op, Gather { expected: self.sites, acc: Vec::new() });
+                let bytes = msg::query_bytes(&query) + TRANSLATION_OVERHEAD_BYTES;
+                for s in 0..self.sites {
+                    ctx.send(
+                        s,
+                        ArchMsg::SubQuery { op, query: query.clone(), reply_to: self.me },
+                        bytes,
+                        TrafficClass::Query,
+                    );
+                }
+            }
+            ArchMsg::SubQuery { op, query, reply_to } => {
+                let ids = self.index.query(&query).map(|r| r.ids()).unwrap_or_default();
+                let bytes = msg::ids_bytes(&ids) + TRANSLATION_OVERHEAD_BYTES;
+                ctx.send(reply_to, ArchMsg::SubResult { op, ids }, bytes, TrafficClass::Query);
+            }
+            ArchMsg::SubResult { op, ids } => {
+                if let Some(gather) = self.gathers.get_mut(&op) {
+                    if gather.absorb(ids) {
+                        let gather = self.gathers.remove(&op).expect("gather exists");
+                        let ids = gather.finish();
+                        ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids });
+                    }
+                }
+            }
+            ArchMsg::ClientLineage { op, root, depth } => {
+                self.chases.insert(op, Chase::new(root, depth));
+                self.expand_round(ctx, op, vec![root]);
+            }
+            ArchMsg::LineageExpand { op, ids, reply_to } => {
+                let pairs: Vec<(TupleSetId, Vec<TupleSetId>)> = ids
+                    .into_iter()
+                    .filter_map(|id| self.index.parents_of(id).map(|p| (id, p)))
+                    .collect();
+                let bytes = 16 + pairs.iter().map(|(_, p)| 16 + 16 * p.len() as u64).sum::<u64>();
+                ctx.send(reply_to, ArchMsg::LineageParents { op, pairs }, bytes, TrafficClass::Query);
+            }
+            ArchMsg::LineageParents { op, pairs } => {
+                let Some(chase) = self.chases.get_mut(&op) else {
+                    return;
+                };
+                if !chase.absorb(pairs) {
+                    return;
+                }
+                match chase.advance() {
+                    Some(frontier) => self.expand_round(ctx, op, frontier),
+                    None => {
+                        let chase = self.chases.remove(&op).expect("chase exists");
+                        let ids = chase.finish();
+                        ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The federation of autonomous sites.
+pub struct Federated {
+    inner: ArchSim,
+    sites: usize,
+}
+
+impl Federated {
+    /// Builds over `topology`.
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        let sites = topology.len();
+        let nodes: Vec<Box<dyn Node<ArchMsg>>> = (0..sites)
+            .map(|i| {
+                Box::new(FederatedSite {
+                    me: i,
+                    sites,
+                    index: MetaIndex::new(),
+                    gathers: HashMap::new(),
+                    chases: HashMap::new(),
+                }) as Box<dyn Node<ArchMsg>>
+            })
+            .collect();
+        Federated { inner: ArchSim::new(topology, nodes, seed), sites }
+    }
+}
+
+impl Architecture for Federated {
+    fn name(&self) -> &'static str {
+        "federated"
+    }
+    fn sites(&self) -> usize {
+        self.sites
+    }
+    fn publish(&mut self, origin_site: usize, record: &ProvenanceRecord) -> u64 {
+        let record = record.clone();
+        self.inner.issue(origin_site, |op| ArchMsg::ClientPublish { op, record })
+    }
+    fn query(&mut self, client_site: usize, query: &Query) -> u64 {
+        let query = query.clone();
+        self.inner.issue(client_site, |op| ArchMsg::ClientQuery { op, query })
+    }
+    fn lineage(&mut self, client_site: usize, root: TupleSetId, depth: Option<u32>) -> u64 {
+        self.inner.issue(client_site, |op| ArchMsg::ClientLineage { op, root, depth })
+    }
+    fn run_for(&mut self, duration: SimTime) {
+        self.inner.run_for(duration);
+    }
+    fn run_quiet(&mut self) {
+        self.inner.run_quiet();
+    }
+    fn outcomes(&mut self) -> Vec<Outcome> {
+        self.inner.outcomes()
+    }
+    fn net(&self) -> NetMetrics {
+        self.inner.net()
+    }
+    fn reset_net(&mut self) {
+        self.inner.reset_net();
+    }
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+}

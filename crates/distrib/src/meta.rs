@@ -1,0 +1,179 @@
+//! The per-site metadata index.
+//!
+//! §IV-A is explicit that index sites hold provenance, not readings
+//! ("the warehouse would not store actual sensor data"), so architecture
+//! nodes carry this lightweight record index instead of a full
+//! [`pass_core::Pass`]: the same `pass-index` structures and the same
+//! `pass-query` executor, minus the storage engine.
+
+use parking_lot::Mutex;
+use pass_index::{
+    AncestryGraph, AttrIndex, BfsClosure, KeywordIndex, NodeIdx, PostingList, ReachStrategy,
+    TimeIndex,
+};
+use pass_model::{keys, ProvenanceRecord, TimeRange, TupleSetId, Value};
+use pass_query::{LineageClause, Provider, Query, QueryResult};
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// An in-memory provenance index for one site (or catalog, or shard).
+#[derive(Default)]
+pub struct MetaIndex {
+    graph: AncestryGraph,
+    attrs: AttrIndex,
+    keywords: KeywordIndex,
+    time: Mutex<TimeIndex>,
+    records: HashMap<TupleSetId, ProvenanceRecord>,
+}
+
+impl std::fmt::Debug for MetaIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaIndex").field("records", &self.records.len()).finish()
+    }
+}
+
+impl MetaIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        MetaIndex::default()
+    }
+
+    /// Indexes one record; idempotent on duplicate ids.
+    pub fn insert(&mut self, record: &ProvenanceRecord) {
+        if self.records.contains_key(&record.id) {
+            return;
+        }
+        let parents: Vec<(TupleSetId, bool)> =
+            record.ancestry.iter().map(|d| (d.parent, d.tool.abstracted)).collect();
+        let idx = self.graph.insert(record.id, &parents);
+        self.attrs.insert_attrs(idx, &record.attributes);
+        for (name, value) in pass_query::ast::multi_valued_attrs(record) {
+            self.attrs.insert(idx, name, value);
+        }
+        self.attrs.insert(idx, "origin.site", Value::Int(i64::from(record.origin.0)));
+        self.attrs.insert(idx, "created_at", Value::Time(record.created_at));
+        self.attrs
+            .insert(idx, "ancestry.parents", Value::Int(record.ancestry.len() as i64));
+        for ann in &record.annotations {
+            self.keywords.insert(idx, &ann.text);
+        }
+        if let Some(desc) = record.attributes.get_str(keys::DESCRIPTION) {
+            self.keywords.insert(idx, desc);
+        }
+        if let Some(range) = record.time_range() {
+            self.time.lock().insert(idx, range);
+        }
+        self.records.insert(record.id, record.clone());
+    }
+
+    /// Number of records indexed.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record lookup.
+    pub fn get(&self, id: TupleSetId) -> Option<&ProvenanceRecord> {
+        self.records.get(&id)
+    }
+
+    /// True when the record is indexed here.
+    pub fn contains(&self, id: TupleSetId) -> bool {
+        self.records.contains_key(&id)
+    }
+
+    /// Runs a query locally.
+    pub fn query(&self, query: &Query) -> pass_query::Result<QueryResult> {
+        pass_query::execute(query, self)
+    }
+
+    /// Direct parents of an id, when known here.
+    pub fn parents_of(&self, id: TupleSetId) -> Option<Vec<TupleSetId>> {
+        self.records.get(&id).map(|r| r.parents().collect())
+    }
+
+    /// Drops everything (crash simulation for soft state).
+    pub fn clear(&mut self) {
+        *self = MetaIndex::new();
+    }
+}
+
+impl Provider for MetaIndex {
+    fn eq_lookup(&self, attr: &str, value: &Value) -> PostingList {
+        self.attrs.eq(attr, value)
+    }
+    fn range_lookup(&self, attr: &str, low: Bound<&Value>, high: Bound<&Value>) -> PostingList {
+        self.attrs.range(attr, low, high)
+    }
+    fn time_overlap(&self, range: TimeRange) -> PostingList {
+        self.time.lock().overlapping(range)
+    }
+    fn keyword_lookup(&self, phrase: &str) -> PostingList {
+        self.keywords.lookup_all(phrase)
+    }
+    fn has_attr(&self, attr: &str) -> PostingList {
+        self.attrs.has_attr(attr)
+    }
+    fn all_nodes(&self) -> PostingList {
+        PostingList::from_iter(self.records.keys().filter_map(|id| self.graph.lookup(*id)))
+    }
+    fn lineage(&self, clause: &LineageClause) -> Option<PostingList> {
+        let root = self.graph.lookup(clause.root)?;
+        let reach =
+            BfsClosure.reachable(&self.graph, root, clause.direction, &clause.traverse_opts());
+        Some(PostingList::from_iter(reach))
+    }
+    fn node_of(&self, id: TupleSetId) -> Option<NodeIdx> {
+        self.graph.lookup(id)
+    }
+    fn fetch(&self, idx: NodeIdx) -> Option<ProvenanceRecord> {
+        let id = self.graph.resolve(idx)?;
+        self.records.get(&id).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_model::{Digest128, ProvenanceBuilder, SiteId, Timestamp, ToolDescriptor};
+
+    fn record(domain: &str, n: u8) -> ProvenanceRecord {
+        ProvenanceBuilder::new(SiteId(1), Timestamp(u64::from(n)))
+            .attr("domain", domain)
+            .build(Digest128::of(&[n]))
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut m = MetaIndex::new();
+        let a = record("traffic", 1);
+        let b = record("weather", 2);
+        m.insert(&a);
+        m.insert(&b);
+        m.insert(&a); // idempotent
+        assert_eq!(m.len(), 2);
+        let res = m.query(&pass_query::parse(r#"FIND WHERE domain = "traffic""#).unwrap()).unwrap();
+        assert_eq!(res.ids(), vec![a.id]);
+    }
+
+    #[test]
+    fn lineage_through_provider() {
+        let mut m = MetaIndex::new();
+        let root = record("x", 1);
+        let child = ProvenanceBuilder::new(SiteId(1), Timestamp(9))
+            .attr("domain", "x")
+            .derived_from(root.id, ToolDescriptor::new("t", "1"))
+            .build(Digest128::of(b"c"));
+        m.insert(&root);
+        m.insert(&child);
+        let q = pass_query::parse(&format!("FIND ANCESTORS OF ts:{}", child.id.full_hex())).unwrap();
+        let res = m.query(&q).unwrap();
+        assert_eq!(res.ids(), vec![root.id]);
+        assert_eq!(m.parents_of(child.id), Some(vec![root.id]));
+        assert_eq!(m.parents_of(TupleSetId(999)), None);
+    }
+}

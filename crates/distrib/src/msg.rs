@@ -1,0 +1,199 @@
+//! The shared message vocabulary of the architecture models.
+//!
+//! All six §IV architectures speak this enum over the simulator; what
+//! differs is *routing* — where records are indexed and which sites a
+//! query touches. Payload sizes are charged from real canonical-codec
+//! encodings so the E7 resource numbers are honest.
+
+use pass_model::codec::Encode;
+use pass_model::{ProvenanceRecord, TupleSetId};
+use pass_net::NodeId;
+use pass_query::{Predicate, Query};
+
+/// Messages exchanged by architecture nodes.
+#[derive(Debug, Clone)]
+pub enum ArchMsg {
+    /// Driver-injected: publish a freshly captured tuple set's provenance.
+    ClientPublish {
+        /// Driver op id.
+        op: u64,
+        /// The record (already ingested at its origin site's local PASS).
+        record: ProvenanceRecord,
+    },
+    /// Driver-injected: run a query on behalf of a client at this site.
+    ClientQuery {
+        /// Driver op id.
+        op: u64,
+        /// The query.
+        query: Query,
+    },
+    /// Driver-injected: ancestors-of chase from this site.
+    ClientLineage {
+        /// Driver op id.
+        op: u64,
+        /// Closure root.
+        root: TupleSetId,
+        /// Hop limit.
+        depth: Option<u32>,
+    },
+
+    /// Ship a record to an index holder.
+    StoreRecord {
+        /// Op to ack (0 = silent replica).
+        op: u64,
+        /// The record.
+        record: ProvenanceRecord,
+        /// Where to send the ack, when `op != 0`.
+        ack_to: NodeId,
+    },
+    /// Index-holder acknowledgement.
+    StoreAck {
+        /// The acked op.
+        op: u64,
+    },
+    /// Asynchronous replica copy (no ack).
+    Replica {
+        /// The record.
+        record: ProvenanceRecord,
+    },
+
+    /// Scatter-gather subquery.
+    SubQuery {
+        /// Parent op.
+        op: u64,
+        /// The query to run locally.
+        query: Query,
+        /// Gatherer.
+        reply_to: NodeId,
+    },
+    /// Subquery result.
+    SubResult {
+        /// Parent op.
+        op: u64,
+        /// Matching ids at the queried site.
+        ids: Vec<TupleSetId>,
+    },
+
+    /// Batched soft-state digest: records published at `from` since the
+    /// last digest.
+    Digest {
+        /// Publishing site.
+        from: NodeId,
+        /// The new records.
+        records: Vec<ProvenanceRecord>,
+    },
+
+    /// Coordinator → holder: expand these ids one ancestry step.
+    LineageExpand {
+        /// Parent op.
+        op: u64,
+        /// Ids to expand.
+        ids: Vec<TupleSetId>,
+        /// Coordinator.
+        reply_to: NodeId,
+    },
+    /// Holder → coordinator: parents of each expanded id (ids unknown at
+    /// the holder are simply absent).
+    LineageParents {
+        /// Parent op.
+        op: u64,
+        /// `(child, parents)` pairs for ids this site knows.
+        pairs: Vec<(TupleSetId, Vec<TupleSetId>)>,
+    },
+
+    /// Subquery reply carrying full record bodies instead of bare ids —
+    /// the consumer-side replication path (E19's `OnRead` strategy): the
+    /// result shipment *is* the replica.
+    Records {
+        /// Parent op.
+        op: u64,
+        /// Matching records at the queried site, bodies included.
+        records: Vec<ProvenanceRecord>,
+    },
+
+    /// Terminal result (delivered to the driver through a completion).
+    Done {
+        /// The finished op.
+        op: u64,
+        /// Whether the operation succeeded.
+        ok: bool,
+        /// Result ids (query matches / closure members).
+        ids: Vec<TupleSetId>,
+    },
+}
+
+/// Wire size of a record.
+pub fn record_bytes(record: &ProvenanceRecord) -> u64 {
+    record.encoded_len() as u64
+}
+
+/// Approximate wire size of a query (predicate tree walk; the query
+/// language has no canonical encoding because queries never hit storage).
+pub fn query_bytes(query: &Query) -> u64 {
+    fn pred(p: &Predicate) -> u64 {
+        match p {
+            Predicate::True => 1,
+            Predicate::Eq(a, v) | Predicate::Ne(a, v) => 4 + a.len() as u64 + value_bytes(v),
+            Predicate::Cmp(a, _, v) => 5 + a.len() as u64 + value_bytes(v),
+            Predicate::Between(a, lo, hi) => {
+                4 + a.len() as u64 + value_bytes(lo) + value_bytes(hi)
+            }
+            Predicate::HasAttr(a) => 2 + a.len() as u64,
+            Predicate::TextContains(s) => 2 + s.len() as u64,
+            Predicate::TimeOverlaps(_) => 18,
+            Predicate::And(ps) | Predicate::Or(ps) => 2 + ps.iter().map(pred).sum::<u64>(),
+            Predicate::Not(inner) => 1 + pred(inner),
+        }
+    }
+    fn value_bytes(v: &pass_model::Value) -> u64 {
+        use pass_model::codec::Encode as _;
+        v.encoded_len() as u64
+    }
+    let mut n = 16 + pred(&query.filter);
+    if query.lineage.is_some() {
+        n += 24;
+    }
+    n
+}
+
+/// Wire size of an id list.
+pub fn ids_bytes(ids: &[TupleSetId]) -> u64 {
+    16 + 16 * ids.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_model::{Digest128, ProvenanceBuilder, SiteId, Timestamp};
+    use pass_query::parse;
+
+    #[test]
+    fn record_bytes_tracks_content() {
+        let small = ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+            .attr("a", 1i64)
+            .build(Digest128::of(b"x"));
+        let big = ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+            .attr("a", 1i64)
+            .attr("description", "x".repeat(500))
+            .build(Digest128::of(b"x"));
+        assert!(record_bytes(&big) > record_bytes(&small) + 400);
+    }
+
+    #[test]
+    fn query_bytes_scale_with_predicate_size() {
+        let small = parse("FIND WHERE a = 1").unwrap();
+        let big = parse(
+            r#"FIND WHERE a = 1 AND b = "long string value here" AND c BETWEEN 1 AND 100 OR HAS d"#,
+        )
+        .unwrap();
+        assert!(query_bytes(&big) > query_bytes(&small));
+        assert!(query_bytes(&small) >= 16);
+    }
+
+    #[test]
+    fn ids_bytes_linear() {
+        let ids: Vec<TupleSetId> = (0..10).map(TupleSetId).collect();
+        assert_eq!(ids_bytes(&ids), 16 + 160);
+        assert_eq!(ids_bytes(&[]), 16);
+    }
+}

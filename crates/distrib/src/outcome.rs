@@ -1,0 +1,135 @@
+//! Operation outcomes and latency statistics.
+
+use pass_model::TupleSetId;
+use pass_net::SimTime;
+
+/// One finished operation, as seen by the driver.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Operation id.
+    pub op: u64,
+    /// Success flag.
+    pub ok: bool,
+    /// Completion time.
+    pub at: SimTime,
+    /// Result ids (empty for publishes).
+    pub ids: Vec<TupleSetId>,
+}
+
+/// Latency distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: usize,
+    /// Mean, microseconds.
+    pub mean_us: f64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Maximum, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Computes stats from raw latencies (microseconds). Returns zeros
+    /// for an empty sample.
+    pub fn from_latencies(mut samples: Vec<u64>) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats { count: 0, mean_us: 0.0, p50_us: 0, p99_us: 0, max_us: 0 };
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let mean_us = samples.iter().sum::<u64>() as f64 / count as f64;
+        let pct = |p: f64| samples[(((count - 1) as f64) * p).round() as usize];
+        LatencyStats {
+            count,
+            mean_us,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            max_us: *samples.last().expect("non-empty"),
+        }
+    }
+
+    /// Median in milliseconds (convenience for tables).
+    pub fn p50_ms(&self) -> f64 {
+        self.p50_us as f64 / 1_000.0
+    }
+
+    /// p99 in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.p99_us as f64 / 1_000.0
+    }
+}
+
+/// Precision/recall against a ground-truth id set (§IV's query-result
+/// quality criterion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultQuality {
+    /// Fraction of returned results that are relevant.
+    pub precision: f64,
+    /// Fraction of relevant results that were returned.
+    pub recall: f64,
+}
+
+impl ResultQuality {
+    /// Compares a returned id set against the relevant set.
+    pub fn compare(returned: &[TupleSetId], relevant: &[TupleSetId]) -> ResultQuality {
+        use std::collections::HashSet;
+        let returned_set: HashSet<_> = returned.iter().collect();
+        let relevant_set: HashSet<_> = relevant.iter().collect();
+        let hits = returned_set.intersection(&relevant_set).count();
+        ResultQuality {
+            precision: if returned_set.is_empty() {
+                1.0
+            } else {
+                hits as f64 / returned_set.len() as f64
+            },
+            recall: if relevant_set.is_empty() {
+                1.0
+            } else {
+                hits as f64 / relevant_set.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles() {
+        let stats = LatencyStats::from_latencies((1..=100).collect());
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.p50_us, 51, "nearest-rank median of 1..=100");
+        assert_eq!(stats.p99_us, 99);
+        assert_eq!(stats.max_us, 100);
+        assert!((stats.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_latencies_are_zero() {
+        let stats = LatencyStats::from_latencies(vec![]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.max_us, 0);
+    }
+
+    #[test]
+    fn quality_cases() {
+        let relevant = vec![TupleSetId(1), TupleSetId(2), TupleSetId(3)];
+        let q = ResultQuality::compare(&[TupleSetId(1), TupleSetId(2)], &relevant);
+        assert!((q.precision - 1.0).abs() < 1e-9);
+        assert!((q.recall - 2.0 / 3.0).abs() < 1e-9);
+
+        let q = ResultQuality::compare(&[TupleSetId(1), TupleSetId(9)], &relevant);
+        assert!((q.precision - 0.5).abs() < 1e-9);
+
+        let q = ResultQuality::compare(&[], &relevant);
+        assert!((q.precision - 1.0).abs() < 1e-9, "empty answer is vacuously precise");
+        assert!((q.recall - 0.0).abs() < 1e-9);
+
+        let q = ResultQuality::compare(&[], &[]);
+        assert!((q.recall - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,284 @@
+//! Cross-architecture integration tests: the same workload must produce
+//! correct (or explicably degraded) results on every §IV model.
+
+use pass_distrib::runner::{
+    build_arch, build_corpus, comparison_queries, run_workload, ArchKind, WorkloadSpec,
+};
+use pass_distrib::{Architecture, Centralized, DistributedDb, Federated, Hierarchical, SoftState};
+use pass_model::{Digest128, ProvenanceBuilder, SiteId, Timestamp, ToolDescriptor};
+use pass_net::{SimTime, Topology};
+use pass_query::parse;
+
+fn small_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        clusters: 2,
+        per_cluster: 2,
+        windows_per_site: 2,
+        lineage_depth: 2,
+        queries: 6,
+        lineage_ops: 3,
+        ..WorkloadSpec::default()
+    }
+}
+
+#[test]
+fn corpus_is_deterministic_and_has_lineage() {
+    let spec = small_spec();
+    let a = build_corpus(&spec);
+    let b = build_corpus(&spec);
+    assert_eq!(a.records.len(), b.records.len());
+    assert!(a.records.iter().zip(&b.records).all(|(x, y)| x.1.id == y.1.id));
+    assert_eq!(a.leaves.len(), spec.sites());
+    assert!(a.truth.len() > spec.sites() * spec.windows_per_site);
+}
+
+#[test]
+fn strongly_consistent_architectures_answer_exactly() {
+    let spec = small_spec();
+    let corpus = build_corpus(&spec);
+    for kind in [
+        ArchKind::Centralized,
+        ArchKind::DistributedDb { batch: true },
+        ArchKind::Federated,
+        ArchKind::Hierarchical,
+    ] {
+        let mut arch = build_arch(kind, spec.topology(), spec.seed);
+        let report = run_workload(arch.as_mut(), &corpus, &spec);
+        assert_eq!(report.failures, 0, "{}: {report:?}", report.name);
+        assert!(
+            (report.quality.precision - 1.0).abs() < 1e-9,
+            "{} precision {}",
+            report.name,
+            report.quality.precision
+        );
+        assert!(
+            (report.quality.recall - 1.0).abs() < 1e-9,
+            "{} recall {}",
+            report.name,
+            report.quality.recall
+        );
+        assert!(
+            (report.lineage_recall - 1.0).abs() < 1e-9,
+            "{} lineage recall {}",
+            report.name,
+            report.lineage_recall
+        );
+        assert!(report.query.count > 0 && report.publish.count > 0);
+    }
+}
+
+#[test]
+fn soft_state_trades_freshness_for_recall() {
+    let spec = small_spec();
+    let corpus = build_corpus(&spec);
+    // With a very long refresh period, queries issued right after the
+    // publish phase see stale soft state: recall suffers.
+    let mut stale = SoftState::new(spec.topology(), SimTime::from_secs(3_600), spec.seed);
+    let stale_report = run_workload(&mut stale, &corpus, &spec);
+    assert!(
+        stale_report.quality.recall < 0.6,
+        "hour-long refresh should miss most fresh records, got recall {}",
+        stale_report.quality.recall
+    );
+    // Precision never suffers: soft state returns only real records.
+    assert!((stale_report.quality.precision - 1.0).abs() < 1e-9);
+
+    // With a fast refresh the catalogs converge and recall recovers.
+    let mut fresh = SoftState::new(spec.topology(), SimTime::from_millis(50), spec.seed);
+    let fresh_report = run_workload(&mut fresh, &corpus, &spec);
+    assert!(
+        fresh_report.quality.recall > 0.95,
+        "50 ms refresh should be nearly converged, got {}",
+        fresh_report.quality.recall
+    );
+}
+
+#[test]
+fn dht_handles_eq_queries_and_fails_unsupported_ones() {
+    let spec = small_spec();
+    let corpus = build_corpus(&spec);
+    let mut arch = build_arch(ArchKind::Dht { replicas: 2 }, spec.topology(), spec.seed);
+    let report = run_workload(arch.as_mut(), &corpus, &spec);
+    // Equality queries work and are precise.
+    assert!(report.quality.recall > 0.95, "dht recall {}", report.quality.recall);
+    assert!(report.quality.precision > 0.95, "dht precision {}", report.quality.precision);
+    // Lineage chases resolve hop by hop.
+    assert!(report.lineage_recall > 0.95, "dht lineage recall {}", report.lineage_recall);
+
+    // A range query is unanswerable by a name-to-value DHT.
+    let mut arch = build_arch(ArchKind::Dht { replicas: 1 }, spec.topology(), spec.seed);
+    let op = arch.query(0, &parse("FIND WHERE created_at >= @0").unwrap());
+    arch.run_quiet();
+    let outcomes = arch.outcomes();
+    let failed = outcomes.iter().find(|o| o.op == op).expect("outcome exists");
+    assert!(!failed.ok, "range predicates must fail on the DHT");
+}
+
+#[test]
+fn centralized_and_distdb_agree_on_query_results() {
+    let spec = small_spec();
+    let corpus = build_corpus(&spec);
+    let queries = comparison_queries(&corpus, &spec);
+
+    let mut central = Centralized::new(spec.topology(), spec.seed);
+    let mut distdb = DistributedDb::new(spec.topology(), true, spec.seed);
+    for (site, record) in &corpus.records {
+        central.publish(*site, record);
+        distdb.publish(*site, record);
+    }
+    central.run_quiet();
+    distdb.run_quiet();
+    central.outcomes();
+    distdb.outcomes();
+
+    for query in &queries {
+        let op_c = central.query(0, query);
+        let op_d = distdb.query(0, query);
+        central.run_quiet();
+        distdb.run_quiet();
+        let c = central.outcomes().into_iter().find(|o| o.op == op_c).unwrap();
+        let d = distdb.outcomes().into_iter().find(|o| o.op == op_d).unwrap();
+        let mut c_ids = c.ids.clone();
+        let mut d_ids = d.ids.clone();
+        c_ids.sort();
+        d_ids.sort();
+        assert_eq!(c_ids, d_ids, "results diverge on {query:?}");
+    }
+}
+
+#[test]
+fn hierarchy_prefix_queries_touch_one_site() {
+    // E13 in miniature: a (domain, region) query routes to one owner; a
+    // sensor-type query broadcasts.
+    let topology = Topology::clustered(2, 4, 2.0, 40.0);
+    let mut arch = Hierarchical::new(topology, 7);
+    let record = ProvenanceBuilder::new(SiteId(0), Timestamp(1))
+        .attr("domain", "traffic")
+        .attr("region", "metro-0")
+        .attr("sensor.type", "camera")
+        .build(Digest128::of(b"r"));
+    arch.publish(0, &record);
+    arch.run_quiet();
+    arch.outcomes();
+    arch.reset_net();
+
+    let prefix_q = parse(r#"FIND WHERE domain = "traffic" AND region = "metro-0""#).unwrap();
+    arch.query(3, &prefix_q);
+    arch.run_quiet();
+    let prefix_msgs = arch.net().class(pass_net::TrafficClass::Query).messages;
+
+    arch.reset_net();
+    let nonprefix_q = parse(r#"FIND WHERE sensor.type = "camera""#).unwrap();
+    arch.query(3, &nonprefix_q);
+    arch.run_quiet();
+    let broadcast_msgs = arch.net().class(pass_net::TrafficClass::Query).messages;
+
+    assert!(
+        broadcast_msgs >= prefix_msgs * 3,
+        "broadcast ({broadcast_msgs}) should dwarf routed ({prefix_msgs})"
+    );
+    let outcomes = arch.outcomes();
+    assert!(outcomes.iter().all(|o| o.ok));
+    // Both queries find the record.
+    assert!(outcomes.iter().all(|o| o.ids == vec![record.id]));
+}
+
+#[test]
+fn federated_publish_is_free_distdb_publish_is_not() {
+    let spec = small_spec();
+    let corpus = build_corpus(&spec);
+
+    let mut fed = Federated::new(spec.topology(), spec.seed);
+    for (site, record) in &corpus.records {
+        fed.publish(*site, record);
+    }
+    fed.run_quiet();
+    assert_eq!(
+        fed.net().class(pass_net::TrafficClass::Update).messages,
+        0,
+        "federation publishes locally"
+    );
+
+    let mut db = DistributedDb::new(spec.topology(), true, spec.seed);
+    for (site, record) in &corpus.records {
+        db.publish(*site, record);
+    }
+    db.run_quiet();
+    assert!(
+        db.net().class(pass_net::TrafficClass::Update).messages
+            >= corpus.records.len() as u64,
+        "hash partitioning ships most records"
+    );
+}
+
+#[test]
+fn distdb_lineage_batching_reduces_messages() {
+    // E14 in miniature: a chase over a braided DAG costs fewer messages
+    // with per-shard batching than per-id chatter.
+    let topology = Topology::clustered(2, 4, 2.0, 40.0);
+    let corpus = {
+        let spec = WorkloadSpec {
+            clusters: 2,
+            per_cluster: 4,
+            // Wide capture fan-in: the rollup-1 frontier holds 16 ids, so
+            // per-shard batching can actually coalesce messages.
+            windows_per_site: 8,
+            lineage_depth: 4,
+            ..WorkloadSpec::default()
+        };
+        build_corpus(&spec)
+    };
+    let root = corpus.leaves[0];
+
+    let run = |batch: bool| -> u64 {
+        let mut arch = DistributedDb::new(topology.clone(), batch, 7);
+        for (site, record) in &corpus.records {
+            arch.publish(*site, record);
+        }
+        arch.run_quiet();
+        arch.outcomes();
+        arch.reset_net();
+        arch.lineage(0, root, None);
+        arch.run_quiet();
+        let outcomes = arch.outcomes();
+        assert!(outcomes.iter().all(|o| o.ok));
+        arch.net().class(pass_net::TrafficClass::Query).messages
+    };
+    let batched = run(true);
+    let naive = run(false);
+    assert!(
+        naive > batched,
+        "naive per-id chase ({naive}) must out-message batched ({batched})"
+    );
+}
+
+#[test]
+fn lineage_depth_limits_are_respected() {
+    let topology = Topology::clustered(1, 4, 2.0, 40.0);
+    let mut arch = DistributedDb::new(topology, true, 3);
+    // Chain: r0 <- r1 <- r2 <- r3 across sites.
+    let mut prev: Option<pass_model::TupleSetId> = None;
+    let mut ids = Vec::new();
+    for i in 0..4u32 {
+        let mut b = ProvenanceBuilder::new(SiteId(i), Timestamp(u64::from(i)))
+            .attr("domain", "chain");
+        if let Some(p) = prev {
+            b = b.derived_from(p, ToolDescriptor::new("t", "1"));
+        }
+        let record = b.build(Digest128::of(&i.to_be_bytes()));
+        ids.push(record.id);
+        arch.publish(i as usize, &record);
+        prev = Some(record.id);
+    }
+    arch.run_quiet();
+    arch.outcomes();
+
+    let op = arch.lineage(0, ids[3], Some(2));
+    arch.run_quiet();
+    let outcome = arch.outcomes().into_iter().find(|o| o.op == op).unwrap();
+    let mut got = outcome.ids.clone();
+    got.sort();
+    let mut want = vec![ids[1], ids[2]];
+    want.sort();
+    assert_eq!(got, want, "depth 2 reaches exactly two ancestors");
+}

@@ -1,0 +1,102 @@
+//! Focused tests for the DHT-backed index architecture (§IV-C).
+
+use pass_distrib::{Architecture, DhtIndex};
+use pass_model::{Digest128, ProvenanceBuilder, SiteId, Timestamp, ToolDescriptor, TupleSetId};
+use pass_net::{Topology, TrafficClass};
+use pass_query::parse;
+
+fn publish_chain(arch: &mut DhtIndex, len: usize) -> Vec<TupleSetId> {
+    let mut ids = Vec::new();
+    let mut prev: Option<TupleSetId> = None;
+    for i in 0..len {
+        let mut builder = ProvenanceBuilder::new(SiteId(i as u32 % 8), Timestamp(i as u64))
+            .attr("domain", "traffic")
+            .attr("region", "metro-0")
+            .attr("type", "capture");
+        if let Some(p) = prev {
+            builder = builder.derived_from(p, ToolDescriptor::new("t", "1"));
+        }
+        let record = builder.build(Digest128::of(&(i as u64).to_be_bytes()));
+        ids.push(record.id);
+        prev = Some(record.id);
+        arch.publish(i % 8, &record);
+        arch.run_quiet();
+    }
+    arch.outcomes();
+    ids
+}
+
+#[test]
+fn publish_costs_one_put_per_indexed_attribute() {
+    let mut arch = DhtIndex::new(Topology::uniform(8, 10.0), 1, 3);
+    arch.reset_net();
+    let record = ProvenanceBuilder::new(SiteId(0), Timestamp(1))
+        .attr("domain", "traffic")
+        .attr("region", "metro-0")
+        .attr("type", "capture")
+        .build(Digest128::of(b"x"));
+    let op = arch.publish(0, &record);
+    arch.run_quiet();
+    let outcomes = arch.outcomes();
+    assert!(outcomes.iter().any(|o| o.op == op && o.ok));
+    // One blob put + three posting appends, each a routed lookup: the
+    // §IV-C per-attribute update fan-out. At minimum 4 store messages.
+    let update_msgs = arch.net().class(TrafficClass::Update).messages;
+    assert!(update_msgs >= 4, "expected ≥4 update messages, got {update_msgs}");
+}
+
+#[test]
+fn lineage_cost_grows_with_depth() {
+    let mut arch = DhtIndex::new(Topology::uniform(8, 10.0), 1, 5);
+    let ids = publish_chain(&mut arch, 6);
+    let leaf = *ids.last().unwrap();
+
+    let mut msgs_at = |depth: Option<u32>| -> (usize, u64) {
+        arch.reset_net();
+        let op = arch.lineage(0, leaf, depth);
+        arch.run_quiet();
+        let outcome = arch.outcomes().into_iter().find(|o| o.op == op).unwrap();
+        assert!(outcome.ok);
+        (outcome.ids.len(), arch.net().class(TrafficClass::Query).messages)
+    };
+    let (shallow_nodes, shallow_msgs) = msgs_at(Some(1));
+    let (deep_nodes, deep_msgs) = msgs_at(None);
+    assert_eq!(shallow_nodes, 1);
+    assert_eq!(deep_nodes, 5, "full chain minus the leaf");
+    assert!(
+        deep_msgs > shallow_msgs * 2,
+        "per-edge routed lookups: deep {deep_msgs} vs shallow {shallow_msgs}"
+    );
+}
+
+#[test]
+fn query_intersects_posting_lists() {
+    let mut arch = DhtIndex::new(Topology::uniform(8, 10.0), 1, 7);
+    publish_chain(&mut arch, 4);
+    // Also publish a weather record sharing the region.
+    let other = ProvenanceBuilder::new(SiteId(1), Timestamp(99))
+        .attr("domain", "weather")
+        .attr("region", "metro-0")
+        .attr("type", "capture")
+        .build(Digest128::of(b"w"));
+    arch.publish(1, &other);
+    arch.run_quiet();
+    arch.outcomes();
+
+    let op = arch.query(2, &parse(r#"FIND WHERE domain = "weather" AND region = "metro-0""#).unwrap());
+    arch.run_quiet();
+    let outcome = arch.outcomes().into_iter().find(|o| o.op == op).unwrap();
+    assert!(outcome.ok);
+    assert_eq!(outcome.ids, vec![other.id], "intersection isolates the weather record");
+}
+
+#[test]
+fn lineage_of_unknown_root_fails_cleanly() {
+    let mut arch = DhtIndex::new(Topology::uniform(6, 10.0), 1, 9);
+    let op = arch.lineage(0, TupleSetId(0xdead), None);
+    arch.run_quiet();
+    let outcome = arch.outcomes().into_iter().find(|o| o.op == op).unwrap();
+    // The blob get fails; the chase terminates with an empty (successful,
+    // zero-ancestor) result — the record simply is not in the DHT.
+    assert!(outcome.ids.is_empty());
+}

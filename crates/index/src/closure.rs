@@ -1,0 +1,378 @@
+//! Transitive-closure strategies.
+//!
+//! §II-B: "the indexing structures in sensor data storage systems must
+//! provide for efficient … recursive or transitive queries. Simple
+//! relational or XML-based name-to-value schemes are not sufficient and
+//! will not work well unless augmented with other structures."
+//!
+//! Experiment E3 measures exactly that augmentation ladder:
+//!
+//! 1. [`NaiveJoinClosure`] — the *un*augmented baseline: semi-naive
+//!    iteration that rescans the whole edge relation every round, the way
+//!    a self-join over an `(child, parent)` table behaves without an
+//!    adjacency index.
+//! 2. [`BfsClosure`] — adjacency-indexed breadth-first traversal.
+//! 3. [`MemoClosure`] — fully materialized reachability bitsets.
+//! 4. [`crate::interval::IntervalClosure`] — Agrawal–Borgida–Jagadish
+//!    tree-cover interval labels: near-materialized speed at a fraction of
+//!    the memory.
+//!
+//! ## Abstraction boundaries
+//!
+//! With [`TraverseOpts::stop_at_abstraction`] set, edges whose derivation
+//! tool is abstracted (§V's "gcc 3.3.3") are not traversed: the tool's
+//! name/version remain available on the derivation record, but its own
+//! history stays collapsed.
+
+use crate::arena::NodeIdx;
+use crate::bitset::BitSet;
+use crate::error::Result;
+use crate::graph::{AncestryGraph, Direction};
+use std::collections::VecDeque;
+
+/// Traversal options shared by every strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraverseOpts {
+    /// Stop after this many hops (`None` = unbounded).
+    pub max_depth: Option<u32>,
+    /// Do not cross abstracted derivation edges.
+    pub stop_at_abstraction: bool,
+}
+
+impl TraverseOpts {
+    /// Unbounded, abstraction-crossing traversal.
+    pub fn unbounded() -> Self {
+        TraverseOpts::default()
+    }
+
+    /// Depth-limited traversal.
+    pub fn depth(max: u32) -> Self {
+        TraverseOpts { max_depth: Some(max), ..TraverseOpts::default() }
+    }
+}
+
+/// A transitive-closure evaluation strategy.
+///
+/// `reachable` returns every node reachable from `from` in `dir`
+/// (excluding `from` itself), sorted ascending.
+pub trait ReachStrategy {
+    /// Human-readable name for bench output.
+    fn name(&self) -> &'static str;
+
+    /// Computes the reachable set.
+    fn reachable(
+        &self,
+        g: &AncestryGraph,
+        from: NodeIdx,
+        dir: Direction,
+        opts: &TraverseOpts,
+    ) -> Vec<NodeIdx>;
+}
+
+// ---------------------------------------------------------------------------
+// BFS
+// ---------------------------------------------------------------------------
+
+/// Adjacency-indexed breadth-first traversal. No precomputation; cost is
+/// proportional to the visited subgraph.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BfsClosure;
+
+impl ReachStrategy for BfsClosure {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn reachable(
+        &self,
+        g: &AncestryGraph,
+        from: NodeIdx,
+        dir: Direction,
+        opts: &TraverseOpts,
+    ) -> Vec<NodeIdx> {
+        let mut visited = BitSet::new(g.node_count());
+        let mut out = Vec::new();
+        let mut queue = VecDeque::new();
+        queue.push_back((from, 0u32));
+        visited.insert(from);
+        while let Some((node, depth)) = queue.pop_front() {
+            if opts.max_depth.is_some_and(|d| depth >= d) {
+                continue;
+            }
+            for e in g.neighbors(node, dir) {
+                if opts.stop_at_abstraction && e.abstracted {
+                    continue;
+                }
+                if !visited.contains(e.node) {
+                    visited.insert(e.node);
+                    out.push(e.node);
+                    queue.push_back((e.node, depth + 1));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naive relational join
+// ---------------------------------------------------------------------------
+
+/// The unaugmented baseline: evaluates the closure the way a recursive
+/// self-join over a flat `(child, parent)` relation does when no adjacency
+/// index exists — every iteration scans *all* edges. Semi-naive (joins
+/// only the frontier), so it terminates in `depth` rounds, but each round
+/// costs `O(|E|)` regardless of frontier size.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NaiveJoinClosure;
+
+impl ReachStrategy for NaiveJoinClosure {
+    fn name(&self) -> &'static str {
+        "naive-join"
+    }
+
+    fn reachable(
+        &self,
+        g: &AncestryGraph,
+        from: NodeIdx,
+        dir: Direction,
+        opts: &TraverseOpts,
+    ) -> Vec<NodeIdx> {
+        let edges = g.all_edges();
+        let mut visited = BitSet::new(g.node_count());
+        visited.insert(from);
+        let mut frontier = BitSet::new(g.node_count());
+        frontier.insert(from);
+        let mut out = Vec::new();
+        let mut depth = 0u32;
+        loop {
+            if opts.max_depth.is_some_and(|d| depth >= d) {
+                break;
+            }
+            let mut next = BitSet::new(g.node_count());
+            let mut grew = false;
+            // Full relation scan — deliberately index-free.
+            for &(child, parent, abstracted) in &edges {
+                if opts.stop_at_abstraction && abstracted {
+                    continue;
+                }
+                let (src, dst) = match dir {
+                    Direction::Ancestors => (child, parent),
+                    Direction::Descendants => (parent, child),
+                };
+                if frontier.contains(src) && !visited.contains(dst) {
+                    visited.insert(dst);
+                    next.insert(dst);
+                    out.push(dst);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+            frontier = next;
+            depth += 1;
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Materialized bitsets
+// ---------------------------------------------------------------------------
+
+/// Fully materialized reachability: one bitset per node per direction,
+/// built in one topological pass. Queries are `O(answer)`; memory is
+/// `O(V²/8)` — the expensive end of the E3 ablation.
+#[derive(Debug)]
+pub struct MemoClosure {
+    ancestors: Vec<BitSet>,
+    descendants: Vec<BitSet>,
+    skip_abstracted: bool,
+}
+
+impl MemoClosure {
+    /// Builds both directions. Fails on cyclic graphs.
+    pub fn build(g: &AncestryGraph, skip_abstracted: bool) -> Result<Self> {
+        let order = g.topo_order()?;
+        let n = g.node_count();
+        let mut ancestors: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        // Parents precede children in `order`: ancestor sets accumulate.
+        for &node in &order {
+            let mut acc = BitSet::new(n);
+            for e in g.parents_of(node) {
+                if skip_abstracted && e.abstracted {
+                    continue;
+                }
+                acc.insert(e.node);
+                acc.union_with(&ancestors[e.node as usize]);
+            }
+            ancestors[node as usize] = acc;
+        }
+        let mut descendants: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for &node in order.iter().rev() {
+            let mut acc = BitSet::new(n);
+            for e in g.children_of(node) {
+                if skip_abstracted && e.abstracted {
+                    continue;
+                }
+                acc.insert(e.node);
+                acc.union_with(&descendants[e.node as usize]);
+            }
+            descendants[node as usize] = acc;
+        }
+        Ok(MemoClosure { ancestors, descendants, skip_abstracted })
+    }
+
+    /// Bytes held by the bitsets.
+    pub fn size_bytes(&self) -> usize {
+        self.ancestors.iter().map(BitSet::size_bytes).sum::<usize>()
+            + self.descendants.iter().map(BitSet::size_bytes).sum::<usize>()
+    }
+}
+
+impl ReachStrategy for MemoClosure {
+    fn name(&self) -> &'static str {
+        "memo-bitset"
+    }
+
+    fn reachable(
+        &self,
+        g: &AncestryGraph,
+        from: NodeIdx,
+        dir: Direction,
+        opts: &TraverseOpts,
+    ) -> Vec<NodeIdx> {
+        // The materialization bakes in one abstraction setting and no depth
+        // limit; anything else falls back to BFS for correctness.
+        if opts.max_depth.is_some() || opts.stop_at_abstraction != self.skip_abstracted {
+            return BfsClosure.reachable(g, from, dir, opts);
+        }
+        let sets = match dir {
+            Direction::Ancestors => &self.ancestors,
+            Direction::Descendants => &self.descendants,
+        };
+        sets.get(from as usize).map_or_else(Vec::new, BitSet::to_vec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_model::TupleSetId;
+
+    fn id(n: u128) -> TupleSetId {
+        TupleSetId(n)
+    }
+
+    /// raw(1) -> mid(2) -> leaf(3); raw(1) -> leaf(3) directly too.
+    fn small_graph() -> AncestryGraph {
+        let mut g = AncestryGraph::new();
+        g.insert(id(1), &[]);
+        g.insert(id(2), &[(id(1), false)]);
+        g.insert(id(3), &[(id(2), false), (id(1), false)]);
+        g
+    }
+
+    fn ids(g: &AncestryGraph, idxs: Vec<NodeIdx>) -> Vec<u128> {
+        let mut v: Vec<u128> = g.resolve_all(&idxs).into_iter().map(|t| t.0).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn all_strategies(g: &AncestryGraph) -> Vec<Box<dyn ReachStrategy>> {
+        vec![
+            Box::new(BfsClosure),
+            Box::new(NaiveJoinClosure),
+            Box::new(MemoClosure::build(g, false).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn ancestors_and_descendants_agree_across_strategies() {
+        let g = small_graph();
+        let leaf = g.lookup(id(3)).unwrap();
+        let raw = g.lookup(id(1)).unwrap();
+        for s in all_strategies(&g) {
+            let anc = s.reachable(&g, leaf, Direction::Ancestors, &TraverseOpts::unbounded());
+            assert_eq!(ids(&g, anc), vec![1, 2], "{} ancestors", s.name());
+            let desc = s.reachable(&g, raw, Direction::Descendants, &TraverseOpts::unbounded());
+            assert_eq!(ids(&g, desc), vec![2, 3], "{} descendants", s.name());
+        }
+    }
+
+    #[test]
+    fn depth_limit_truncates() {
+        let mut g = AncestryGraph::new();
+        g.insert(id(1), &[]);
+        for i in 2..=5u128 {
+            g.insert(id(i), &[(id(i - 1), false)]);
+        }
+        let leaf = g.lookup(id(5)).unwrap();
+        for s in [&BfsClosure as &dyn ReachStrategy, &NaiveJoinClosure] {
+            let got = s.reachable(&g, leaf, Direction::Ancestors, &TraverseOpts::depth(2));
+            assert_eq!(ids(&g, got), vec![3, 4], "{}", s.name());
+        }
+        // Memo falls back to BFS under a depth limit.
+        let memo = MemoClosure::build(&g, false).unwrap();
+        let got = memo.reachable(&g, leaf, Direction::Ancestors, &TraverseOpts::depth(2));
+        assert_eq!(ids(&g, got), vec![3, 4]);
+    }
+
+    #[test]
+    fn abstraction_boundary_stops_traversal() {
+        // data(3) -[abstracted]-> toolchain(2) -> toolsrc(1); data(3) -> raw(4).
+        let mut g = AncestryGraph::new();
+        g.insert(id(1), &[]);
+        g.insert(id(2), &[(id(1), false)]);
+        g.insert(id(4), &[]);
+        g.insert(id(3), &[(id(2), true), (id(4), false)]);
+        let data = g.lookup(id(3)).unwrap();
+
+        let opts = TraverseOpts { stop_at_abstraction: true, ..TraverseOpts::default() };
+        for s in [&BfsClosure as &dyn ReachStrategy, &NaiveJoinClosure] {
+            let got = s.reachable(&g, data, Direction::Ancestors, &opts);
+            assert_eq!(ids(&g, got), vec![4], "{}: toolchain hidden", s.name());
+        }
+        let memo = MemoClosure::build(&g, true).unwrap();
+        let got = memo.reachable(&g, data, Direction::Ancestors, &opts);
+        assert_eq!(ids(&g, got), vec![4]);
+
+        // Without the boundary the whole toolchain appears.
+        let all = BfsClosure.reachable(&g, data, Direction::Ancestors, &TraverseOpts::unbounded());
+        assert_eq!(ids(&g, all), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn diamond_counts_nodes_once() {
+        let mut g = AncestryGraph::new();
+        g.insert(id(1), &[]);
+        g.insert(id(2), &[(id(1), false)]);
+        g.insert(id(3), &[(id(1), false)]);
+        g.insert(id(4), &[(id(2), false), (id(3), false)]);
+        let four = g.lookup(id(4)).unwrap();
+        for s in all_strategies(&g) {
+            let got = s.reachable(&g, four, Direction::Ancestors, &TraverseOpts::unbounded());
+            assert_eq!(ids(&g, got), vec![1, 2, 3], "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn isolated_node_reaches_nothing() {
+        let mut g = AncestryGraph::new();
+        let lone = g.insert(id(9), &[]);
+        for s in all_strategies(&g) {
+            assert!(s.reachable(&g, lone, Direction::Ancestors, &TraverseOpts::unbounded()).is_empty());
+            assert!(s.reachable(&g, lone, Direction::Descendants, &TraverseOpts::unbounded()).is_empty());
+        }
+    }
+
+    #[test]
+    fn memo_size_reporting() {
+        let g = small_graph();
+        let memo = MemoClosure::build(&g, false).unwrap();
+        assert!(memo.size_bytes() > 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Index-layer errors.
+
+use std::fmt;
+
+/// Errors raised by index construction or maintenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A precomputed reachability structure requires a DAG, but the graph
+    /// contains a cycle through this node. Well-formed provenance is
+    /// acyclic (identities are digests of parent identities), so a cycle
+    /// indicates corrupted or hand-forged records.
+    CycleDetected {
+        /// A node on the detected cycle (dense index).
+        node: u32,
+    },
+    /// A dense node index was out of range for this graph.
+    UnknownNode(u32),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::CycleDetected { node } => {
+                write!(f, "ancestry graph contains a cycle through node {node}")
+            }
+            IndexError::UnknownNode(n) => write!(f, "unknown node index {n}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Result alias for index operations.
+pub type Result<T> = std::result::Result<T, IndexError>;

@@ -1,0 +1,180 @@
+//! 128-bit content digests.
+//!
+//! Tuple-set identity is the digest of a canonical provenance encoding
+//! (§II-A "provenance as name"). We use MurmurHash3's x64 128-bit variant:
+//! fast, well-distributed, and deterministic across platforms. It is *not*
+//! cryptographic; PASS identity is a uniqueness mechanism, not an integrity
+//! proof, and at simulator scales (≪ 2^64 objects) accidental collisions
+//! are negligible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 128-bit digest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Digest128(pub u128);
+
+impl Digest128 {
+    /// Digests a byte slice with seed 0.
+    pub fn of(bytes: &[u8]) -> Self {
+        Digest128(murmur3_x64_128(bytes, 0))
+    }
+
+    /// Digests a byte slice with an explicit seed (used to derive
+    /// independent hash families, e.g. for bloom filters).
+    pub fn with_seed(bytes: &[u8], seed: u64) -> Self {
+        Digest128(murmur3_x64_128(bytes, seed))
+    }
+
+    /// Low 64 bits.
+    pub fn low64(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// High 64 bits.
+    pub fn high64(self) -> u64 {
+        (self.0 >> 64) as u64
+    }
+}
+
+impl fmt::Debug for Digest128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "digest:{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for Digest128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+const C1: u64 = 0x87c3_7b91_1142_53d5;
+const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+#[inline]
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// MurmurHash3 x64 128-bit, as published by Austin Appleby (public domain).
+pub fn murmur3_x64_128(data: &[u8], seed: u64) -> u128 {
+    let len = data.len();
+    let mut h1 = seed;
+    let mut h2 = seed;
+
+    let mut chunks = data.chunks_exact(16);
+    for block in &mut chunks {
+        let mut k1 = u64::from_le_bytes(block[0..8].try_into().expect("8-byte block half"));
+        let mut k2 = u64::from_le_bytes(block[8..16].try_into().expect("8-byte block half"));
+
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1.rotate_left(27);
+        h1 = h1.wrapping_add(h2);
+        h1 = h1.wrapping_mul(5).wrapping_add(0x52dc_e729);
+
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+        h2 = h2.rotate_left(31);
+        h2 = h2.wrapping_add(h1);
+        h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5ab5);
+    }
+
+    let tail = chunks.remainder();
+    let mut k1: u64 = 0;
+    let mut k2: u64 = 0;
+    for (i, &b) in tail.iter().enumerate() {
+        if i < 8 {
+            k1 |= u64::from(b) << (8 * i);
+        } else {
+            k2 |= u64::from(b) << (8 * (i - 8));
+        }
+    }
+    if tail.len() > 8 {
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+    }
+    if !tail.is_empty() {
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= len as u64;
+    h2 ^= len as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+
+    (u128::from(h2) << 64) | u128::from(h1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_seed_zero_is_zero() {
+        // Known property of murmur3 x64 128: all-zero state, zero length.
+        assert_eq!(Digest128::of(b""), Digest128(0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Digest128::of(b"provenance is the name of the data set");
+        let b = Digest128::of(b"provenance is the name of the data set");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let base = b"sensor reading block".to_vec();
+        let d0 = Digest128::of(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(Digest128::of(&flipped), d0, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_separates_hash_families() {
+        let d1 = Digest128::with_seed(b"key", 1);
+        let d2 = Digest128::with_seed(b"key", 2);
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn tail_lengths_all_distinct() {
+        // Exercise every tail-length code path (0..=15 bytes past a block).
+        let data: Vec<u8> = (0u8..48).collect();
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..=data.len() {
+            assert!(seen.insert(murmur3_x64_128(&data[..n], 0)), "collision at len {n}");
+        }
+    }
+
+    #[test]
+    fn length_extension_differs() {
+        // "abc" vs "abc\0" must differ (length participates in finalization).
+        assert_ne!(Digest128::of(b"abc"), Digest128::of(b"abc\0"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for the model layer.
+
+use std::fmt;
+
+/// Errors raised while encoding, decoding, or validating model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The byte stream ended before a complete object was decoded.
+    UnexpectedEof {
+        /// What was being decoded when the stream ran out.
+        decoding: &'static str,
+    },
+    /// A tag byte did not correspond to any known variant.
+    InvalidTag {
+        /// What was being decoded.
+        decoding: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A length prefix exceeded the sanity limit for its context.
+    LengthOverflow {
+        /// What was being decoded.
+        decoding: &'static str,
+        /// The declared length.
+        declared: u64,
+    },
+    /// Bytes declared as UTF-8 were not valid UTF-8.
+    InvalidUtf8,
+    /// A varint ran past its maximum width.
+    VarintOverflow,
+    /// A semantic validation failed (e.g. a time range with end < start).
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnexpectedEof { decoding } => {
+                write!(f, "unexpected end of input while decoding {decoding}")
+            }
+            ModelError::InvalidTag { decoding, tag } => {
+                write!(f, "invalid tag {tag:#04x} while decoding {decoding}")
+            }
+            ModelError::LengthOverflow { decoding, declared } => {
+                write!(f, "length {declared} too large while decoding {decoding}")
+            }
+            ModelError::InvalidUtf8 => write!(f, "invalid UTF-8 in encoded string"),
+            ModelError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            ModelError::Invalid(msg) => write!(f, "invalid model object: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,211 @@
+//! The §II-A strawman: conventional self-describing filenames.
+//!
+//! The paper opens its naming argument with names like
+//! `volcano_vesuvius_10_11_04` and enumerates their failure modes:
+//! complicated conventions, arbitrary length, no enforcement, hidden
+//! structure, inexpressible metadata, unrecognizable relationships. This
+//! module implements that convention *honestly* — building the best
+//! flat name we can, and parsing it back as well as a convention-following
+//! tool could — so that experiment E2 can measure, rather than assert, the
+//! precision/recall and cost gap against structured provenance.
+
+use crate::attr::Attributes;
+use crate::keys;
+use crate::provenance::ProvenanceRecord;
+use crate::time::Timestamp;
+use crate::value::Value;
+
+/// The naming convention: which attributes appear, in which order.
+///
+/// The convention must pick a fixed significance ordering — exactly the
+/// §IV-B complaint about hierarchical naming. Attributes outside the
+/// convention simply cannot be expressed.
+pub const NAME_FIELDS: &[&str] = &[keys::DOMAIN, keys::REGION, keys::TYPE, keys::SENSOR_TYPE];
+
+/// Separator between fields. Values containing the separator are mangled
+/// (replaced by `-`), which is one source of recall loss.
+pub const SEP: char = '_';
+
+/// Builds the conventional flat filename for a record.
+///
+/// Format: `domain_region_type_sensortype_STARTSECS_ENDSECS`. Missing
+/// attributes render as `x` (the convention has no way to say "absent"
+/// unambiguously — `x` is itself a legal value, another honesty tax).
+pub fn build(record: &ProvenanceRecord) -> String {
+    let mut parts: Vec<String> = Vec::with_capacity(NAME_FIELDS.len() + 2);
+    for field in NAME_FIELDS {
+        let part = match record.attributes.get(field) {
+            Some(Value::Str(s)) => mangle(s),
+            Some(other) => mangle(&other.to_string()),
+            None => "x".to_owned(),
+        };
+        parts.push(part);
+    }
+    let (start, end) = match record.time_range() {
+        Some(range) => (range.start.as_secs(), range.end.as_secs()),
+        None => (0, 0),
+    };
+    parts.push(start.to_string());
+    parts.push(end.to_string());
+    parts.join(&SEP.to_string())
+}
+
+fn mangle(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .map(|c| if c == SEP || c.is_whitespace() { '-' } else { c })
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '.')
+        .collect();
+    if cleaned.is_empty() {
+        "x".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+/// What a convention-following parser can recover from a flat name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedName {
+    /// Recovered attributes (strings only — the convention erases types).
+    pub attributes: Attributes,
+    /// Recovered time window, seconds precision only.
+    pub start: Timestamp,
+    /// End of window.
+    pub end: Timestamp,
+}
+
+/// Parses a flat name back into attributes.
+///
+/// Lossy by construction: types are gone (everything is a string), mangled
+/// characters are unrecoverable, `x` is ambiguous between "absent" and the
+/// literal value, and any attribute outside [`NAME_FIELDS`] never made it
+/// into the name at all.
+pub fn parse(name: &str) -> Option<ParsedName> {
+    let parts: Vec<&str> = name.split(SEP).collect();
+    if parts.len() != NAME_FIELDS.len() + 2 {
+        return None;
+    }
+    let mut attributes = Attributes::new();
+    for (field, part) in NAME_FIELDS.iter().zip(&parts) {
+        if *part != "x" {
+            attributes.set(*field, Value::Str((*part).to_owned()));
+        }
+    }
+    let start = parts[NAME_FIELDS.len()].parse::<u64>().ok()?;
+    let end = parts[NAME_FIELDS.len() + 1].parse::<u64>().ok()?;
+    Some(ParsedName {
+        attributes,
+        start: Timestamp::from_secs(start),
+        end: Timestamp::from_secs(end),
+    })
+}
+
+/// Does a flat name *appear* to match `attr = value`, judged the only way
+/// a filename index can: by parsing the name. Used as the E2 baseline
+/// matcher; compare with true attribute matching to measure precision and
+/// recall.
+pub fn name_matches(name: &str, attr: &str, value: &Value) -> bool {
+    let Some(parsed) = parse(name) else {
+        return false;
+    };
+    match parsed.attributes.get(attr) {
+        Some(Value::Str(s)) => match value {
+            Value::Str(v) => s == &mangle(v),
+            other => s == &mangle(&other.to_string()),
+        },
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::Digest128;
+    use crate::provenance::ProvenanceBuilder;
+    use crate::time::TimeRange;
+    use crate::SiteId;
+
+    fn record(domain: &str, region: &str) -> ProvenanceRecord {
+        ProvenanceBuilder::new(SiteId(1), Timestamp::from_secs(50))
+            .attr(keys::DOMAIN, domain)
+            .attr(keys::REGION, region)
+            .attr(keys::TYPE, "eruption")
+            .attr(keys::SENSOR_TYPE, "seismometer")
+            .time_range(TimeRange::new(Timestamp::from_secs(10), Timestamp::from_secs(20)))
+            .build(Digest128::of(b"data"))
+    }
+
+    #[test]
+    fn build_produces_conventional_name() {
+        let name = build(&record("volcano", "vesuvius"));
+        assert_eq!(name, "volcano_vesuvius_eruption_seismometer_10_20");
+    }
+
+    #[test]
+    fn parse_round_trips_clean_names() {
+        let rec = record("volcano", "vesuvius");
+        let parsed = parse(&build(&rec)).unwrap();
+        assert_eq!(parsed.attributes.get_str(keys::DOMAIN), Some("volcano"));
+        assert_eq!(parsed.attributes.get_str(keys::REGION), Some("vesuvius"));
+        assert_eq!(parsed.start, Timestamp::from_secs(10));
+        assert_eq!(parsed.end, Timestamp::from_secs(20));
+    }
+
+    #[test]
+    fn separator_in_value_is_lossy() {
+        // "new_york" mangles to "new-york": the round trip loses the value.
+        let rec = record("traffic", "new_york");
+        let name = build(&rec);
+        let parsed = parse(&name).unwrap();
+        assert_eq!(parsed.attributes.get_str(keys::REGION), Some("new-york"));
+        assert_ne!(parsed.attributes.get_str(keys::REGION), Some("new_york"));
+    }
+
+    #[test]
+    fn missing_attribute_is_ambiguous() {
+        let rec = ProvenanceBuilder::new(SiteId(1), Timestamp(0))
+            .attr(keys::DOMAIN, "weather")
+            .build(Digest128::of(b"d"));
+        let name = build(&rec);
+        assert!(name.contains("_x_"), "missing fields render as x: {name}");
+        let parsed = parse(&name).unwrap();
+        assert!(!parsed.attributes.contains(keys::REGION));
+    }
+
+    #[test]
+    fn unconventional_attribute_never_appears() {
+        let rec = ProvenanceBuilder::new(SiteId(1), Timestamp(0))
+            .attr(keys::DOMAIN, "medical")
+            .attr("patient", "p-17") // not in NAME_FIELDS
+            .build(Digest128::of(b"d"));
+        let name = build(&rec);
+        assert!(!name.contains("p-17"));
+        let parsed = parse(&name).unwrap();
+        assert!(!parsed.attributes.contains("patient"));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_arity() {
+        assert_eq!(parse("too_few_parts"), None);
+        assert_eq!(parse(""), None);
+    }
+
+    #[test]
+    fn name_matches_is_exact_on_clean_values() {
+        let rec = record("volcano", "vesuvius");
+        let name = build(&rec);
+        assert!(name_matches(&name, keys::REGION, &Value::Str("vesuvius".into())));
+        assert!(!name_matches(&name, keys::REGION, &Value::Str("etna".into())));
+    }
+
+    #[test]
+    fn name_matches_false_positive_on_mangled_values() {
+        // Two distinct regions that mangle identically: a precision loss
+        // the flat scheme cannot avoid.
+        let a = record("traffic", "new_york");
+        let b = record("traffic", "new-york");
+        let (na, nb) = (build(&a), build(&b));
+        assert!(name_matches(&na, keys::REGION, &Value::Str("new-york".into())));
+        assert!(name_matches(&nb, keys::REGION, &Value::Str("new_york".into())));
+    }
+}

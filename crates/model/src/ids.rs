@@ -1,0 +1,132 @@
+//! Identifiers used across PASS.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The identity of a tuple set.
+///
+/// Per the paper's "provenance as name" principle (§II-A), this is not an
+/// arbitrary surrogate: it is the 128-bit digest of the canonical encoding
+/// of the tuple set's provenance (attributes, ancestry, origin, creation
+/// time, and the digest of the data itself). Two tuple sets therefore share
+/// an id only if their provenance — and their contents — are identical,
+/// which is exactly PASS property 3 (§V).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TupleSetId(pub u128);
+
+impl TupleSetId {
+    /// Byte width of the big-endian storage encoding.
+    pub const WIDTH: usize = 16;
+
+    /// Big-endian bytes; lexicographic order equals numeric order, so ids
+    /// can be used directly as storage keys.
+    pub fn to_be_bytes(self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+
+    /// Inverse of [`TupleSetId::to_be_bytes`].
+    pub fn from_be_bytes(b: [u8; 16]) -> Self {
+        TupleSetId(u128::from_be_bytes(b))
+    }
+
+    /// Short hex prefix used in display output and the query language
+    /// (`ts:3f2a…`).
+    pub fn short_hex(&self) -> String {
+        format!("{:08x}", (self.0 >> 96) as u32)
+    }
+
+    /// Full 32-digit hex form.
+    pub fn full_hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses a full or prefix hex form as produced by [`full_hex`]
+    /// (prefixes are zero-extended on the right, matching `short_hex`).
+    ///
+    /// [`full_hex`]: TupleSetId::full_hex
+    pub fn parse_hex(s: &str) -> Option<TupleSetId> {
+        if s.is_empty() || s.len() > 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let v = u128::from_str_radix(s, 16).ok()?;
+        Some(TupleSetId(v << (4 * (32 - s.len()))))
+    }
+}
+
+impl fmt::Debug for TupleSetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts:{}", self.short_hex())
+    }
+}
+
+impl fmt::Display for TupleSetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        <Self as fmt::Debug>::fmt(self, f)
+    }
+}
+
+/// A physical sensor device.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SensorId(pub u64);
+
+impl fmt::Display for SensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sensor#{}", self.0)
+    }
+}
+
+/// A storage/index site (one participant in the distributed system).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn be_bytes_round_trip_preserves_order() {
+        let a = TupleSetId(42);
+        let b = TupleSetId(u128::MAX - 7);
+        assert_eq!(TupleSetId::from_be_bytes(a.to_be_bytes()), a);
+        assert_eq!(TupleSetId::from_be_bytes(b.to_be_bytes()), b);
+        assert!(a < b);
+        assert!(a.to_be_bytes() < b.to_be_bytes(), "byte order mirrors numeric order");
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let id = TupleSetId(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        let full = id.full_hex();
+        assert_eq!(full.len(), 32);
+        assert_eq!(TupleSetId::parse_hex(&full), Some(id));
+    }
+
+    #[test]
+    fn hex_prefix_parse_is_left_aligned() {
+        let id = TupleSetId::parse_hex("ff").unwrap();
+        assert_eq!(id.0 >> 120, 0xff);
+    }
+
+    #[test]
+    fn hex_parse_rejects_garbage() {
+        assert_eq!(TupleSetId::parse_hex(""), None);
+        assert_eq!(TupleSetId::parse_hex("xyz"), None);
+        assert_eq!(TupleSetId::parse_hex(&"0".repeat(33)), None);
+    }
+
+    #[test]
+    fn short_hex_is_prefix_of_full_hex() {
+        let id = TupleSetId(0xdead_beef_0000_0000_0000_0000_0000_0001);
+        assert!(id.full_hex().starts_with(&id.short_hex()));
+    }
+}

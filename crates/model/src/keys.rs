@@ -1,0 +1,36 @@
+//! Well-known attribute names.
+//!
+//! Provenance schemas are community-specific (§II-A), but the PASS crates
+//! agree on a small set of conventional names so that indexes, placement
+//! policies, and the flat-name baseline know where to look. Domains are
+//! free to add arbitrary further attributes.
+
+/// Application domain, e.g. `"traffic"`, `"weather"`, `"medical"`.
+pub const DOMAIN: &str = "domain";
+/// Geographic region label, e.g. `"london"`, `"boston"`.
+pub const REGION: &str = "region";
+/// Kind of tuple set within a domain, e.g. `"car_sighting"`, `"vitals"`.
+pub const TYPE: &str = "type";
+/// Sensor modality, e.g. `"camera"`, `"magnetometer"`, `"pulse_oximeter"`.
+pub const SENSOR_TYPE: &str = "sensor.type";
+/// Inclusive start of the covered time window ([`crate::Value::Time`]).
+pub const TIME_START: &str = "time.start";
+/// Inclusive end of the covered time window ([`crate::Value::Time`]).
+pub const TIME_END: &str = "time.end";
+/// Collection site location ([`crate::Value::Geo`]).
+pub const LOCATION: &str = "location";
+/// Free-text description.
+pub const DESCRIPTION: &str = "description";
+/// For medical data: opaque patient identifier.
+pub const PATIENT: &str = "patient";
+/// Responsible operator/EMT/researcher.
+pub const OPERATOR: &str = "operator";
+/// Hardware/software revision of the producing sensor (§I: "one might mark
+/// when individual sensors were replaced with newer models").
+pub const SENSOR_REVISION: &str = "sensor.revision";
+/// Number of readings in the tuple set.
+pub const READING_COUNT: &str = "reading.count";
+
+/// Attribute names that every conforming record should carry; used by
+/// validation helpers and the flat-name baseline.
+pub const CONVENTIONAL: &[&str] = &[DOMAIN, REGION, TYPE, TIME_START, TIME_END];

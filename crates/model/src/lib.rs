@@ -1,0 +1,51 @@
+//! # pass-model — the PASS provenance data model
+//!
+//! This crate defines the vocabulary of a Provenance-Aware Storage System
+//! (PASS) as proposed by Ledlie et al., *Provenance-Aware Sensor Data
+//! Storage* (NetDB'05 / ICDE 2005):
+//!
+//! * [`Value`] / [`Attributes`] — provenance is represented "fully as a
+//!   collection of name-value pairs" (§II-A), not as an unstructured string.
+//! * [`ProvenanceRecord`] — the first-class provenance object: descriptive
+//!   attributes, ancestry edges ([`Derivation`]), and post-hoc
+//!   [`Annotation`]s.
+//! * [`TupleSet`] — the unit of indexing: a collection of sensor
+//!   [`Reading`]s grouped by some property, typically time (§II).
+//! * [`TupleSetId`] — the identity of a tuple set, *derived from its
+//!   provenance*: the paper's "provenance as name" principle. Nonidentical
+//!   data items never share an id because the content digest participates
+//!   in the hash (PASS property 3, §V).
+//! * [`codec`] — a canonical, deterministic binary encoding used for
+//!   storage, wire-size accounting, and identity digests.
+//! * [`flatname`] — the §II-A strawman: conventional self-describing
+//!   filenames such as `volcano_vesuvius_10_11_04`, kept as a measurable
+//!   baseline for experiment E2.
+//!
+//! The model layer has no storage or networking dependencies; every other
+//! PASS crate builds on it.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod attr;
+pub mod codec;
+pub mod digest;
+pub mod error;
+pub mod flatname;
+pub mod ids;
+pub mod keys;
+pub mod provenance;
+pub mod time;
+pub mod tuple;
+pub mod value;
+
+pub use attr::Attributes;
+pub use digest::Digest128;
+pub use error::ModelError;
+pub use ids::{SensorId, SiteId, TupleSetId};
+pub use provenance::{
+    Annotation, Derivation, ProvenanceBuilder, ProvenanceRecord, ToolDescriptor,
+};
+pub use time::{TimeRange, Timestamp};
+pub use tuple::{Reading, TupleSet};
+pub use value::{GeoPoint, Value};

@@ -1,0 +1,184 @@
+//! Logical timestamps and time ranges.
+//!
+//! PASS experiments run against simulated clocks, so timestamps are plain
+//! milliseconds on a logical epoch rather than wall-clock instants. Tuple
+//! sets are "collections of readings grouped by some property, typically
+//! time" (§II), which makes [`TimeRange`] the most common grouping key.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A logical timestamp in milliseconds since the simulation epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The epoch itself.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1_000)
+    }
+
+    /// Builds a timestamp from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Milliseconds since the epoch.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch (truncating).
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Saturating difference in milliseconds.
+    pub fn millis_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, ms: u64) -> Timestamp {
+        Timestamp(self.0 + ms)
+    }
+}
+
+impl Sub<u64> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, ms: u64) -> Timestamp {
+        Timestamp(self.0.saturating_sub(ms))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+/// A closed time interval `[start, end]`, both ends inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Inclusive lower bound.
+    pub start: Timestamp,
+    /// Inclusive upper bound; always `>= start`.
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// Creates a range, normalizing a reversed pair.
+    pub fn new(a: Timestamp, b: Timestamp) -> Self {
+        if a <= b {
+            TimeRange { start: a, end: b }
+        } else {
+            TimeRange { start: b, end: a }
+        }
+    }
+
+    /// A degenerate range covering a single instant.
+    pub fn instant(t: Timestamp) -> Self {
+        TimeRange { start: t, end: t }
+    }
+
+    /// Length of the interval in milliseconds.
+    pub fn duration_millis(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// True when the two closed intervals share at least one instant.
+    pub fn overlaps(&self, other: &TimeRange) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// True when `t` lies within the interval.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// True when `other` lies entirely within `self`.
+    pub fn covers(&self, other: &TimeRange) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// The smallest range covering both inputs.
+    pub fn union(&self, other: &TimeRange) -> TimeRange {
+        TimeRange {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(2);
+        assert_eq!(t.as_millis(), 2_000);
+        assert_eq!((t + 500).as_millis(), 2_500);
+        assert_eq!((t - 500).as_millis(), 1_500);
+        assert_eq!((t - 5_000).as_millis(), 0, "subtraction saturates");
+        assert_eq!(t.millis_since(Timestamp::from_millis(1_500)), 500);
+        assert_eq!(Timestamp::from_millis(1_500).millis_since(t), 0);
+    }
+
+    #[test]
+    fn range_normalizes_reversed_endpoints() {
+        let r = TimeRange::new(Timestamp(10), Timestamp(3));
+        assert_eq!(r.start, Timestamp(3));
+        assert_eq!(r.end, Timestamp(10));
+    }
+
+    #[test]
+    fn range_overlap_cases() {
+        let a = TimeRange::new(Timestamp(0), Timestamp(10));
+        let b = TimeRange::new(Timestamp(10), Timestamp(20));
+        let c = TimeRange::new(Timestamp(11), Timestamp(20));
+        assert!(a.overlaps(&b), "closed intervals touch at 10");
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+    }
+
+    #[test]
+    fn range_contains_and_covers() {
+        let r = TimeRange::new(Timestamp(5), Timestamp(15));
+        assert!(r.contains(Timestamp(5)));
+        assert!(r.contains(Timestamp(15)));
+        assert!(!r.contains(Timestamp(16)));
+        assert!(r.covers(&TimeRange::new(Timestamp(6), Timestamp(14))));
+        assert!(!r.covers(&TimeRange::new(Timestamp(6), Timestamp(16))));
+    }
+
+    #[test]
+    fn range_union_spans_both() {
+        let a = TimeRange::new(Timestamp(0), Timestamp(4));
+        let b = TimeRange::new(Timestamp(10), Timestamp(12));
+        let u = a.union(&b);
+        assert_eq!(u, TimeRange::new(Timestamp(0), Timestamp(12)));
+    }
+
+    #[test]
+    fn instant_is_degenerate() {
+        let r = TimeRange::instant(Timestamp(7));
+        assert_eq!(r.duration_millis(), 0);
+        assert!(r.contains(Timestamp(7)));
+    }
+}

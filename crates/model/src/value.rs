@@ -1,0 +1,387 @@
+//! Dynamically-typed attribute values.
+//!
+//! Provenance metadata is "application-specific or at least
+//! community-specific" (§II-A): the model cannot fix a schema, so attribute
+//! values are a small dynamic type. The one hard requirement, imposed by
+//! the index layer, is a *total* order over every value (floats included),
+//! so that any attribute can key a range index.
+
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A geographic coordinate. Sensor data is "locale specific" (§III-D);
+/// placement experiments need positions on every tuple set.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Degrees latitude, positive north.
+    pub lat: f64,
+    /// Degrees longitude, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point; does not validate bounds (simulated worlds may use
+    /// abstract planar coordinates).
+    pub fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Euclidean distance in degree-space. Good enough for the simulator's
+    /// abstract geography; not a geodesic.
+    pub fn distance(&self, other: &GeoPoint) -> f64 {
+        let dl = self.lat - other.lat;
+        let dn = self.lon - other.lon;
+        (dl * dl + dn * dn).sqrt()
+    }
+}
+
+impl PartialEq for GeoPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.lat.total_cmp(&other.lat) == Ordering::Equal
+            && self.lon.total_cmp(&other.lon) == Ordering::Equal
+    }
+}
+
+impl Eq for GeoPoint {}
+
+impl PartialOrd for GeoPoint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GeoPoint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.lat
+            .total_cmp(&other.lat)
+            .then_with(|| self.lon.total_cmp(&other.lon))
+    }
+}
+
+impl Hash for GeoPoint {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.lat.to_bits().hash(state);
+        self.lon.to_bits().hash(state);
+    }
+}
+
+/// An attribute value.
+///
+/// The ordering across *different* variants follows the variant tag order
+/// below; within a variant it is the natural order of the payload (floats
+/// use IEEE `total_cmp`). This yields the total order the indexes need.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// Explicit absence (distinct from a missing attribute).
+    #[default]
+    Null,
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// IEEE-754 double.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Opaque bytes (e.g. raw waveform digests).
+    Bytes(Vec<u8>),
+    /// Timestamp, for `time.start` / `time.end` style attributes.
+    Time(Timestamp),
+    /// Geographic coordinate.
+    Geo(GeoPoint),
+    /// Ordered list of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Small integer identifying the variant; doubles as the codec tag and
+    /// the cross-variant ordering rank.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+            Value::Bytes(_) => 5,
+            Value::Time(_) => 6,
+            Value::Geo(_) => 7,
+            Value::List(_) => 8,
+        }
+    }
+
+    /// Human-readable name of the variant.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+            Value::Time(_) => "time",
+            Value::Geo(_) => "geo",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload; `Int` coerces losslessly where possible.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the timestamp payload, if this is a `Time`.
+    pub fn as_time(&self) -> Option<Timestamp> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Returns the geo payload, if this is a `Geo`.
+    pub fn as_geo(&self) -> Option<GeoPoint> {
+        match self {
+            Value::Geo(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Returns the bool payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (Time(a), Time(b)) => a.cmp(b),
+            (Geo(a), Geo(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
+            _ => self.tag().cmp(&other.tag()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.tag().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(x) => x.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Bytes(b) => b.hash(state),
+            Value::Time(t) => t.hash(state),
+            Value::Geo(g) => g.hash(state),
+            Value::List(vs) => vs.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "0x{}", hex(b)),
+            Value::Time(t) => write!(f, "{t}"),
+            Value::Geo(g) => write!(f, "({}, {})", g.lat, g.lon),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Timestamp> for Value {
+    fn from(t: Timestamp) -> Self {
+        Value::Time(t)
+    }
+}
+impl From<GeoPoint> for Value {
+    fn from(g: GeoPoint) -> Self {
+        Value::Geo(g)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(vs: Vec<T>) -> Self {
+        Value::List(vs.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_variant_order_follows_tags() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-5),
+            Value::Float(0.0),
+            Value::Str("a".into()),
+            Value::Bytes(vec![1]),
+            Value::Time(Timestamp(3)),
+            Value::Geo(GeoPoint::new(0.0, 0.0)),
+            Value::List(vec![]),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} should sort before {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn float_ordering_is_total_including_nan() {
+        let nan = Value::Float(f64::NAN);
+        let inf = Value::Float(f64::INFINITY);
+        let one = Value::Float(1.0);
+        assert!(one < inf);
+        assert!(inf < nan, "total_cmp puts positive NaN above +inf");
+        assert_eq!(nan.cmp(&nan), Ordering::Equal, "NaN equals itself under total order");
+    }
+
+    #[test]
+    fn negative_zero_and_positive_zero_are_distinct_under_total_order() {
+        let nz = Value::Float(-0.0);
+        let pz = Value::Float(0.0);
+        assert!(nz < pz);
+        assert_ne!(nz, pz);
+    }
+
+    #[test]
+    fn int_float_coercion() {
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_int(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::from("x").to_string(), "\"x\"");
+        assert_eq!(Value::from(vec![1i64, 2]).to_string(), "[1, 2]");
+        assert_eq!(Value::Bytes(vec![0xab, 0x01]).to_string(), "0xab01");
+    }
+
+    #[test]
+    fn list_ordering_is_lexicographic() {
+        let a = Value::from(vec![1i64, 2]);
+        let b = Value::from(vec![1i64, 3]);
+        let c = Value::from(vec![1i64, 2, 0]);
+        assert!(a < b);
+        assert!(a < c, "prefix sorts first");
+    }
+
+    #[test]
+    fn geo_distance() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Churn schedules: exponential up/down session generation.
+//!
+//! §IV-C's DHT critique hinges on participant instability. A churn
+//! schedule gives each node alternating up-sessions and down-times drawn
+//! from exponential distributions, producing the Poisson-ish arrival and
+//! departure pattern measured on real peer-to-peer systems.
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled availability transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When the transition happens.
+    pub at: SimTime,
+    /// Which node.
+    pub node: NodeId,
+    /// `true` ⇒ the node comes up; `false` ⇒ it goes down.
+    pub up: bool,
+}
+
+/// Draws from Exp(1/mean) via inverse transform.
+fn exp_sample(rng: &mut StdRng, mean_us: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-mean_us * u.ln()) as u64
+}
+
+/// Generates a churn schedule for nodes `first..last` (inclusive range of
+/// ids) over `[0, horizon]`. Nodes start up; sessions last
+/// `Exp(mean_session)`, downtimes `Exp(mean_downtime)`. Events are sorted
+/// by time.
+pub fn schedule(
+    seed: u64,
+    nodes: std::ops::Range<NodeId>,
+    mean_session: SimTime,
+    mean_downtime: SimTime,
+    horizon: SimTime,
+) -> Vec<ChurnEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    for node in nodes {
+        let mut t = SimTime::ZERO;
+        let mut up = true;
+        loop {
+            let mean = if up { mean_session } else { mean_downtime };
+            t += exp_sample(&mut rng, mean.as_micros() as f64).max(1);
+            if t > horizon {
+                break;
+            }
+            up = !up;
+            events.push(ChurnEvent { at: t, node, up });
+        }
+    }
+    events.sort_by_key(|e| (e.at, e.node));
+    events
+}
+
+/// Applies a schedule to a simulator.
+pub fn apply<M: Clone>(sim: &mut crate::sim::Simulator<M>, events: &[ChurnEvent]) {
+    for e in events {
+        if e.up {
+            sim.schedule_recover(e.at, e.node);
+        } else {
+            sim.schedule_crash(e.at, e.node);
+        }
+    }
+}
+
+/// Fraction of `horizon` each node spends up under a schedule (analytic
+/// check for tests and experiment sanity).
+pub fn availability(events: &[ChurnEvent], node: NodeId, horizon: SimTime) -> f64 {
+    let mut up_since = Some(SimTime::ZERO);
+    let mut up_total = 0u64;
+    for e in events.iter().filter(|e| e.node == node) {
+        match (up_since, e.up) {
+            (Some(since), false) => {
+                up_total += e.at - since;
+                up_since = None;
+            }
+            (None, true) => up_since = Some(e.at),
+            _ => {}
+        }
+    }
+    if let Some(since) = up_since {
+        up_total += horizon - since;
+    }
+    up_total as f64 / horizon.as_micros() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_alternates_and_is_sorted() {
+        let events = schedule(
+            1,
+            0..8,
+            SimTime::from_secs(10),
+            SimTime::from_secs(5),
+            SimTime::from_secs(120),
+        );
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+        for node in 0..8 {
+            let mine: Vec<_> = events.iter().filter(|e| e.node == node).collect();
+            // Starting up, the first transition must be a crash, then strictly
+            // alternate.
+            for (i, e) in mine.iter().enumerate() {
+                assert_eq!(e.up, i % 2 == 1, "node {node} event {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn availability_tracks_session_downtime_ratio() {
+        // Mean session 30 s, mean downtime 10 s ⇒ availability ≈ 0.75.
+        let horizon = SimTime::from_secs(10_000);
+        let events =
+            schedule(7, 0..50, SimTime::from_secs(30), SimTime::from_secs(10), horizon);
+        let mean: f64 =
+            (0..50).map(|n| availability(&events, n, horizon)).sum::<f64>() / 50.0;
+        assert!((mean - 0.75).abs() < 0.05, "availability {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = schedule(9, 0..4, SimTime::from_secs(1), SimTime::from_secs(1), SimTime::from_secs(60));
+        let b = schedule(9, 0..4, SimTime::from_secs(1), SimTime::from_secs(1), SimTime::from_secs(60));
+        assert_eq!(a, b);
+        let c = schedule(10, 0..4, SimTime::from_secs(1), SimTime::from_secs(1), SimTime::from_secs(60));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_churn_beyond_horizon() {
+        let horizon = SimTime::from_secs(30);
+        let events = schedule(3, 0..10, SimTime::from_secs(5), SimTime::from_secs(5), horizon);
+        assert!(events.iter().all(|e| e.at <= horizon));
+    }
+}

@@ -1,0 +1,32 @@
+//! # pass-net — discrete-event network simulation substrate
+//!
+//! The paper's design-space walk (§IV) makes quantitative claims about
+//! wide-area systems: central indexers saturate under sensor-scale update
+//! volume, DHT placement destroys locality, soft-state catalogs go stale,
+//! churn breaks lookups. Checking those claims (experiments E5–E9, E11,
+//! E13–E15) needs a network, and this crate is that network:
+//!
+//! * [`Simulator`] — deterministic event loop with per-node single-server
+//!   queueing, so saturation emerges from the model.
+//! * [`Topology`] — star / clustered / uniform geographies with
+//!   distance-derived latency and explicit bandwidth.
+//! * [`NetMetrics`] — messages and bytes on the wire, split into update /
+//!   query / maintenance traffic (§IV's resource-consumption criterion).
+//! * [`churn`] — exponential session/downtime schedules (§IV-C).
+//!
+//! The simulator knows nothing about provenance; `pass-dht` and
+//! `pass-distrib` define the node behaviors.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod churn;
+pub mod metrics;
+pub mod sim;
+pub mod time;
+pub mod topology;
+
+pub use metrics::{ClassCounters, NetMetrics, TrafficClass};
+pub use sim::{Completion, Ctx, Input, Node, ServiceModel, Simulator, EXTERNAL};
+pub use time::SimTime;
+pub use topology::{NodeId, Topology};

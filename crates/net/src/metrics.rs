@@ -1,0 +1,118 @@
+//! Network traffic accounting.
+//!
+//! The paper's resource-consumption criterion (§IV) is about bytes on the
+//! wire, split by purpose: "if distributed, updates may use a lot of
+//! network bandwidth; if centralized, query traffic may instead."
+//! Messages are tagged with a [`TrafficClass`] so experiment E7 can report
+//! exactly that split.
+
+use std::collections::HashMap;
+
+/// Why a message was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Index updates (new tuple sets, catalog publishes).
+    Update,
+    /// Query requests and responses.
+    Query,
+    /// Background upkeep (stabilization, soft-state refresh, replication).
+    Maintenance,
+}
+
+impl TrafficClass {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Update => "update",
+            TrafficClass::Query => "query",
+            TrafficClass::Maintenance => "maintenance",
+        }
+    }
+}
+
+/// Counters for one traffic class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounters {
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+}
+
+/// Cumulative traffic counters for a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct NetMetrics {
+    total: ClassCounters,
+    by_class: HashMap<TrafficClass, ClassCounters>,
+    dropped: u64,
+}
+
+impl NetMetrics {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        NetMetrics::default()
+    }
+
+    /// Records one sent message.
+    pub fn record(&mut self, class: TrafficClass, bytes: u64) {
+        self.total.messages += 1;
+        self.total.bytes += bytes;
+        let c = self.by_class.entry(class).or_default();
+        c.messages += 1;
+        c.bytes += bytes;
+    }
+
+    /// Records a message dropped (down node, partition).
+    pub fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Overall counters.
+    pub fn total(&self) -> ClassCounters {
+        self.total
+    }
+
+    /// Counters for one class.
+    pub fn class(&self, class: TrafficClass) -> ClassCounters {
+        self.by_class.get(&class).copied().unwrap_or_default()
+    }
+
+    /// Messages dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Resets all counters (e.g. after a warm-up phase).
+    pub fn reset(&mut self) {
+        *self = NetMetrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_split_by_class() {
+        let mut m = NetMetrics::new();
+        m.record(TrafficClass::Update, 100);
+        m.record(TrafficClass::Update, 50);
+        m.record(TrafficClass::Query, 10);
+        assert_eq!(m.total().messages, 3);
+        assert_eq!(m.total().bytes, 160);
+        assert_eq!(m.class(TrafficClass::Update).bytes, 150);
+        assert_eq!(m.class(TrafficClass::Query).messages, 1);
+        assert_eq!(m.class(TrafficClass::Maintenance), ClassCounters::default());
+    }
+
+    #[test]
+    fn drops_and_reset() {
+        let mut m = NetMetrics::new();
+        m.record(TrafficClass::Query, 5);
+        m.record_drop();
+        assert_eq!(m.dropped(), 1);
+        m.reset();
+        assert_eq!(m.total().messages, 0);
+        assert_eq!(m.dropped(), 0);
+    }
+}

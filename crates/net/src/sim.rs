@@ -1,0 +1,560 @@
+//! The discrete-event simulator core.
+//!
+//! Nodes are state machines driven by [`Input`]s (start, message, timer);
+//! their effects ([`Ctx::send`], [`Ctx::set_timer`], [`Ctx::complete`])
+//! are collected and scheduled. Delivery time is
+//! `now + propagation + transmission`, and each node is a single server
+//! with a deterministic service time per message — so queueing delay and
+//! saturation *emerge* (experiment E6 measures exactly that), rather than
+//! being scripted.
+//!
+//! Everything is deterministic: the event heap breaks ties by sequence
+//! number and the only randomness comes from the seeded RNG handed to
+//! nodes through their context.
+
+use crate::metrics::{NetMetrics, TrafficClass};
+use crate::time::SimTime;
+use crate::topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel "node id" for driver-injected events.
+pub const EXTERNAL: NodeId = usize::MAX;
+
+/// What a node can receive.
+#[derive(Debug, Clone)]
+pub enum Input<M> {
+    /// Delivered once at simulation start, and again on recovery after a
+    /// crash.
+    Start,
+    /// A message from another node (or [`EXTERNAL`]).
+    Message {
+        /// Sender.
+        from: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// A timer set earlier by this node.
+    Timer {
+        /// The tag passed to [`Ctx::set_timer`].
+        tag: u64,
+    },
+}
+
+/// A node behavior.
+pub trait Node<M> {
+    /// Handles one input, emitting effects through `ctx`.
+    fn on_input(&mut self, ctx: &mut Ctx<'_, M>, input: Input<M>);
+
+    /// Called when the simulator crashes this node; implementations should
+    /// drop volatile state. Durable state (if any) may be kept.
+    fn on_crash(&mut self) {}
+}
+
+/// A completed client operation, reported by a node via [`Ctx::complete`].
+#[derive(Debug, Clone)]
+pub struct Completion<M> {
+    /// The operation id the architecture threaded through its messages.
+    pub op: u64,
+    /// Node that reported completion.
+    pub node: NodeId,
+    /// Completion time.
+    pub at: SimTime,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// Optional result payload.
+    pub payload: Option<M>,
+}
+
+enum Effect<M> {
+    Send { to: NodeId, msg: M, bytes: u64, class: TrafficClass },
+    Timer { delay_us: u64, tag: u64 },
+    Complete { op: u64, ok: bool, payload: Option<M> },
+}
+
+/// The effect-collection context handed to node handlers.
+pub struct Ctx<'a, M> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The handling node's id.
+    pub self_id: NodeId,
+    effects: &'a mut Vec<Effect<M>>,
+    rng: &'a mut StdRng,
+    node_count: usize,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Sends `msg` (`bytes` long, accounted under `class`) to `to`.
+    pub fn send(&mut self, to: NodeId, msg: M, bytes: u64, class: TrafficClass) {
+        self.effects.push(Effect::Send { to, msg, bytes, class });
+    }
+
+    /// Schedules a timer `delay_us` from now with an opaque tag.
+    pub fn set_timer(&mut self, delay_us: u64, tag: u64) {
+        self.effects.push(Effect::Timer { delay_us, tag });
+    }
+
+    /// Reports a client operation as finished.
+    pub fn complete(&mut self, op: u64, ok: bool) {
+        self.effects.push(Effect::Complete { op, ok, payload: None });
+    }
+
+    /// Reports a client operation as finished, with a result payload.
+    pub fn complete_with(&mut self, op: u64, ok: bool, payload: M) {
+        self.effects.push(Effect::Complete { op, ok, payload: Some(payload) });
+    }
+
+    /// Deterministic per-simulation randomness.
+    pub fn rand_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+}
+
+/// Per-message service cost at the receiving node.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceModel {
+    /// Fixed CPU cost per message, microseconds.
+    pub per_msg_us: u64,
+    /// Additional cost per KiB of payload, microseconds.
+    pub per_kib_us: u64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel { per_msg_us: 50, per_kib_us: 10 }
+    }
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M, bytes: u64 },
+    Timer { node: NodeId, tag: u64 },
+    Start { node: NodeId },
+    Crash { node: NodeId },
+    Recover { node: NodeId },
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulator.
+pub struct Simulator<M> {
+    topology: Topology,
+    nodes: Vec<Box<dyn Node<M>>>,
+    up: Vec<bool>,
+    busy_until: Vec<SimTime>,
+    clock: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled<M>>>,
+    metrics: NetMetrics,
+    completions: Vec<Completion<M>>,
+    rng: StdRng,
+    service: ServiceModel,
+    effects_scratch: Vec<Effect<M>>,
+    events_processed: u64,
+}
+
+impl<M: Clone> Simulator<M> {
+    /// Builds a simulator; every node receives [`Input::Start`] at t=0.
+    pub fn new(topology: Topology, nodes: Vec<Box<dyn Node<M>>>, seed: u64) -> Self {
+        assert_eq!(topology.len(), nodes.len(), "one topology slot per node");
+        let n = nodes.len();
+        let mut sim = Simulator {
+            topology,
+            nodes,
+            up: vec![true; n],
+            busy_until: vec![SimTime::ZERO; n],
+            clock: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            metrics: NetMetrics::new(),
+            completions: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            service: ServiceModel::default(),
+            effects_scratch: Vec::new(),
+            events_processed: 0,
+        };
+        for node in 0..n {
+            sim.push(SimTime::ZERO, EventKind::Start { node });
+        }
+        sim
+    }
+
+    /// Overrides the service model.
+    pub fn with_service(mut self, service: ServiceModel) -> Self {
+        self.service = service;
+        self
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Traffic counters.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Resets traffic counters (e.g. after warm-up).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Whether a node is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.up[node]
+    }
+
+    /// Injects a message to `node` at `now + delay_us`, bypassing network
+    /// accounting (driver-side client injection).
+    pub fn inject(&mut self, node: NodeId, msg: M, delay_us: u64) {
+        let at = self.clock + delay_us;
+        self.push(at, EventKind::Deliver { from: EXTERNAL, to: node, msg, bytes: 0 });
+    }
+
+    /// Schedules a crash.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        self.push(at, EventKind::Crash { node });
+    }
+
+    /// Schedules a recovery.
+    pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
+        self.push(at, EventKind::Recover { node });
+    }
+
+    /// Drains completions reported since the last call.
+    pub fn take_completions(&mut self) -> Vec<Completion<M>> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Immutable access to a node behavior (for driver-side inspection).
+    pub fn node(&self, id: NodeId) -> &dyn Node<M> {
+        self.nodes[id].as_ref()
+    }
+
+    /// Mutable access to a node behavior (for driver-side seeding).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut (dyn Node<M> + '_) {
+        self.nodes[id].as_mut()
+    }
+
+    /// Runs until the event queue empties or the clock passes `limit`.
+    /// Returns the final clock value.
+    pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.at > limit {
+                break;
+            }
+            let Reverse(event) = self.heap.pop().expect("peeked event exists");
+            self.clock = self.clock.max(event.at);
+            self.dispatch(event);
+        }
+        self.clock
+    }
+
+    /// Runs until the queue is empty (panics after `max_events` as a
+    /// runaway guard).
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> SimTime {
+        let start = self.events_processed;
+        while let Some(Reverse(head)) = self.heap.peek() {
+            let at = head.at;
+            let Reverse(event) = self.heap.pop().expect("peeked event exists");
+            self.clock = self.clock.max(at);
+            self.dispatch(event);
+            assert!(
+                self.events_processed - start <= max_events,
+                "simulation did not quiesce within {max_events} events"
+            );
+        }
+        self.clock
+    }
+
+    fn dispatch(&mut self, event: Scheduled<M>) {
+        self.events_processed += 1;
+        match event.kind {
+            EventKind::Start { node } => {
+                if self.up[node] {
+                    self.deliver_input(node, Input::Start);
+                }
+            }
+            EventKind::Timer { node, tag } => {
+                if self.up[node] {
+                    self.deliver_input(node, Input::Timer { tag });
+                }
+            }
+            EventKind::Deliver { from, to, msg, bytes } => {
+                if !self.up[to] {
+                    self.metrics.record_drop();
+                    return;
+                }
+                // Single-server queueing: if the node is busy, the message
+                // waits; re-schedule at the free point.
+                if self.busy_until[to] > event.at {
+                    let at = self.busy_until[to];
+                    self.push(at, EventKind::Deliver { from, to, msg, bytes });
+                    return;
+                }
+                let service =
+                    self.service.per_msg_us + self.service.per_kib_us * (bytes / 1024);
+                self.busy_until[to] = event.at + service;
+                self.deliver_input(to, Input::Message { from, msg });
+            }
+            EventKind::Crash { node } => {
+                if self.up[node] {
+                    self.up[node] = false;
+                    self.nodes[node].on_crash();
+                }
+            }
+            EventKind::Recover { node } => {
+                if !self.up[node] {
+                    self.up[node] = true;
+                    self.busy_until[node] = self.clock;
+                    self.deliver_input(node, Input::Start);
+                }
+            }
+        }
+    }
+
+    fn deliver_input(&mut self, node: NodeId, input: Input<M>) {
+        let mut effects = std::mem::take(&mut self.effects_scratch);
+        effects.clear();
+        {
+            let mut ctx = Ctx {
+                now: self.clock,
+                self_id: node,
+                effects: &mut effects,
+                rng: &mut self.rng,
+                node_count: self.nodes.len(),
+            };
+            self.nodes[node].on_input(&mut ctx, input);
+        }
+        for effect in effects.drain(..) {
+            match effect {
+                Effect::Send { to, msg, bytes, class } => {
+                    self.metrics.record(class, bytes);
+                    let latency = self.topology.latency_us(node, to)
+                        + self.topology.transmission_us(bytes);
+                    let at = self.clock + latency;
+                    self.push(at, EventKind::Deliver { from: node, to, msg, bytes });
+                }
+                Effect::Timer { delay_us, tag } => {
+                    let at = self.clock + delay_us;
+                    self.push(at, EventKind::Timer { node, tag });
+                }
+                Effect::Complete { op, ok, payload } => {
+                    self.completions.push(Completion {
+                        op,
+                        node,
+                        at: self.clock,
+                        ok,
+                        payload,
+                    });
+                }
+            }
+        }
+        self.effects_scratch = effects;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong behavior: node 0 sends `hops` pings; each receiver
+    /// replies until the counter runs out, then completes op 1.
+    #[derive(Debug)]
+    struct PingPong {
+        peer: NodeId,
+        remaining: u32,
+        initiator: bool,
+    }
+
+    impl Node<u32> for PingPong {
+        fn on_input(&mut self, ctx: &mut Ctx<'_, u32>, input: Input<u32>) {
+            match input {
+                Input::Start => {
+                    if self.initiator {
+                        ctx.send(self.peer, self.remaining, 100, TrafficClass::Query);
+                    }
+                }
+                Input::Message { from, msg } => {
+                    if msg == 0 {
+                        ctx.complete(1, true);
+                    } else {
+                        ctx.send(from, msg - 1, 100, TrafficClass::Query);
+                    }
+                }
+                Input::Timer { .. } => {}
+            }
+        }
+    }
+
+    fn ping_pong_sim(hops: u32) -> Simulator<u32> {
+        let topo = Topology::uniform(2, 10.0); // 10 ms pairwise
+        let nodes: Vec<Box<dyn Node<u32>>> = vec![
+            Box::new(PingPong { peer: 1, remaining: hops, initiator: true }),
+            Box::new(PingPong { peer: 0, remaining: 0, initiator: false }),
+        ];
+        Simulator::new(topo, nodes, 42)
+    }
+
+    #[test]
+    fn ping_pong_latency_accumulates() {
+        let mut sim = ping_pong_sim(4);
+        sim.run_to_quiescence(1_000);
+        let completions = sim.take_completions();
+        assert_eq!(completions.len(), 1);
+        // 5 messages × ≥10 ms each.
+        assert!(completions[0].at.as_micros() >= 50_000);
+        assert_eq!(sim.metrics().total().messages, 5);
+        assert_eq!(sim.metrics().total().bytes, 500);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let mut a = ping_pong_sim(10);
+        let mut b = ping_pong_sim(10);
+        a.run_to_quiescence(10_000);
+        b.run_to_quiescence(10_000);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.events_processed(), b.events_processed());
+        assert_eq!(a.metrics().total(), b.metrics().total());
+    }
+
+    /// A sink node that counts received messages.
+    #[derive(Debug, Default)]
+    struct Sink {
+        received: u64,
+        last_at_us: u64,
+    }
+
+    impl Node<u32> for Sink {
+        fn on_input(&mut self, ctx: &mut Ctx<'_, u32>, input: Input<u32>) {
+            if let Input::Message { .. } = input {
+                self.received += 1;
+                self.last_at_us = ctx.now.as_micros();
+                ctx.complete(self.received, true);
+            }
+        }
+    }
+
+    #[test]
+    fn service_time_queues_bursts() {
+        // 100 simultaneous messages into one node with 1 ms service time:
+        // the last completion must be ~100 ms after the first.
+        let topo = Topology::uniform(2, 1.0);
+        let nodes: Vec<Box<dyn Node<u32>>> =
+            vec![Box::new(Sink::default()), Box::new(Sink::default())];
+        let mut sim = Simulator::new(topo, nodes, 7)
+            .with_service(ServiceModel { per_msg_us: 1_000, per_kib_us: 0 });
+        for _ in 0..100 {
+            sim.inject(0, 1, 0);
+        }
+        sim.run_to_quiescence(10_000);
+        let completions = sim.take_completions();
+        assert_eq!(completions.len(), 100);
+        let first = completions.first().unwrap().at.as_micros();
+        let last = completions.last().unwrap().at.as_micros();
+        assert!(last - first >= 99 * 1_000, "queueing delay must accumulate: {first}..{last}");
+    }
+
+    #[test]
+    fn crashed_nodes_drop_messages_and_recover() {
+        let topo = Topology::uniform(2, 1.0);
+        let nodes: Vec<Box<dyn Node<u32>>> =
+            vec![Box::new(Sink::default()), Box::new(Sink::default())];
+        let mut sim = Simulator::new(topo, nodes, 7);
+        sim.schedule_crash(SimTime::from_millis(1), 0);
+        sim.inject(0, 1, 2_000); // arrives while down
+        sim.schedule_recover(SimTime::from_millis(5), 0);
+        sim.inject(0, 1, 8_000); // arrives after recovery
+        sim.run_to_quiescence(1_000);
+        assert_eq!(sim.metrics().dropped(), 1);
+        let completions = sim.take_completions();
+        assert_eq!(completions.len(), 1);
+        assert!(sim.is_up(0));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        #[derive(Default)]
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node<u32> for TimerNode {
+            fn on_input(&mut self, ctx: &mut Ctx<'_, u32>, input: Input<u32>) {
+                match input {
+                    Input::Start => {
+                        ctx.set_timer(3_000, 3);
+                        ctx.set_timer(1_000, 1);
+                        ctx.set_timer(2_000, 2);
+                    }
+                    Input::Timer { tag } => {
+                        self.fired.push(tag);
+                        if self.fired.len() == 3 {
+                            ctx.complete(9, true);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let topo = Topology::uniform(1, 1.0);
+        let mut sim: Simulator<u32> =
+            Simulator::new(topo, vec![Box::new(TimerNode::default())], 1);
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.take_completions().len(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut sim = ping_pong_sim(1_000);
+        let t = sim.run_until(SimTime::from_millis(55));
+        assert!(t <= SimTime::from_millis(55));
+        assert!(sim.take_completions().is_empty(), "not finished yet");
+        sim.run_to_quiescence(100_000);
+        assert_eq!(sim.take_completions().len(), 1);
+    }
+}

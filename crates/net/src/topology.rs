@@ -1,0 +1,199 @@
+//! Network topologies: who is where, and how far apart.
+//!
+//! Placement experiments need geography ("Boston traffic data belongs in
+//! Boston", §III-D), so topologies assign each node a position and derive
+//! pairwise latency from distance plus a base cost. Three shapes cover
+//! the paper's scenarios:
+//!
+//! * [`Topology::star`] — clients around a central warehouse (§IV-A).
+//! * [`Topology::clustered`] — metro regions with cheap intra-region and
+//!   expensive inter-region links (federations, soft-state zones).
+//! * [`Topology::uniform`] — a flat WAN where everyone is equally far
+//!   from everyone (the implicit DHT assumption §IV-C criticizes).
+
+/// Node index within a simulation.
+pub type NodeId = usize;
+
+/// A network topology: positions, latency, bandwidth.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Node positions in abstract plane coordinates (1 unit ≈ 1 ms of
+    /// propagation delay).
+    positions: Vec<(f64, f64)>,
+    /// Fixed per-hop cost in microseconds (serialization, switching).
+    base_latency_us: u64,
+    /// Link bandwidth in bytes per microsecond (e.g. 125 = 1 Gbps).
+    bandwidth_bytes_per_us: u64,
+    /// Cluster id per node (used by locality-aware placement).
+    cluster_of: Vec<usize>,
+}
+
+impl Topology {
+    /// `n` nodes in a star: node 0 at the center, everyone else at
+    /// `radius_ms` from it (and `2 × radius_ms` from each other).
+    pub fn star(n: usize, radius_ms: f64) -> Self {
+        assert!(n >= 1);
+        let mut positions = vec![(0.0, 0.0)];
+        for i in 1..n {
+            let angle = 2.0 * std::f64::consts::PI * (i as f64) / ((n - 1).max(1) as f64);
+            positions.push((radius_ms * angle.cos(), radius_ms * angle.sin()));
+        }
+        Topology {
+            positions,
+            base_latency_us: 100,
+            bandwidth_bytes_per_us: 125,
+            cluster_of: vec![0; n],
+        }
+    }
+
+    /// `clusters × per_cluster` nodes; nodes within a cluster sit
+    /// `intra_ms` apart, cluster centers `inter_ms` apart on a ring.
+    pub fn clustered(clusters: usize, per_cluster: usize, intra_ms: f64, inter_ms: f64) -> Self {
+        assert!(clusters >= 1 && per_cluster >= 1);
+        let mut positions = Vec::with_capacity(clusters * per_cluster);
+        let mut cluster_of = Vec::with_capacity(clusters * per_cluster);
+        // Ring radius chosen so adjacent centers are ~inter_ms apart.
+        let ring_r = if clusters > 1 {
+            inter_ms / (2.0 * (std::f64::consts::PI / clusters as f64).sin())
+        } else {
+            0.0
+        };
+        for c in 0..clusters {
+            let angle = 2.0 * std::f64::consts::PI * (c as f64) / (clusters as f64);
+            let (cx, cy) = (ring_r * angle.cos(), ring_r * angle.sin());
+            for i in 0..per_cluster {
+                let local = 2.0 * std::f64::consts::PI * (i as f64) / (per_cluster as f64);
+                positions.push((
+                    cx + (intra_ms / 2.0) * local.cos(),
+                    cy + (intra_ms / 2.0) * local.sin(),
+                ));
+                cluster_of.push(c);
+            }
+        }
+        Topology { positions, base_latency_us: 100, bandwidth_bytes_per_us: 125, cluster_of }
+    }
+
+    /// `n` nodes all `pairwise_ms` apart (complete graph, uniform cost).
+    pub fn uniform(n: usize, pairwise_ms: f64) -> Self {
+        // Realized by overriding distance: place everyone at the origin
+        // and fold the pairwise cost into base latency.
+        Topology {
+            positions: vec![(0.0, 0.0); n],
+            base_latency_us: (pairwise_ms * 1_000.0) as u64 + 100,
+            bandwidth_bytes_per_us: 125,
+            cluster_of: vec![0; n],
+        }
+    }
+
+    /// Overrides the per-hop base latency.
+    pub fn with_base_latency_us(mut self, us: u64) -> Self {
+        self.base_latency_us = us;
+        self
+    }
+
+    /// Overrides link bandwidth.
+    pub fn with_bandwidth_bytes_per_us(mut self, bpu: u64) -> Self {
+        self.bandwidth_bytes_per_us = bpu.max(1);
+        self
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// One-way propagation latency between two nodes, in microseconds.
+    pub fn latency_us(&self, from: NodeId, to: NodeId) -> u64 {
+        if from == to {
+            // Loopback: negligible propagation, keep a small floor so
+            // event ordering stays strictly causal.
+            return 1;
+        }
+        let (ax, ay) = self.positions[from];
+        let (bx, by) = self.positions[to];
+        let dist_ms = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        self.base_latency_us + (dist_ms * 1_000.0) as u64
+    }
+
+    /// Transmission delay for a payload, in microseconds.
+    pub fn transmission_us(&self, bytes: u64) -> u64 {
+        bytes / self.bandwidth_bytes_per_us
+    }
+
+    /// The cluster a node belongs to.
+    pub fn cluster(&self, node: NodeId) -> usize {
+        self.cluster_of[node]
+    }
+
+    /// Nodes in a given cluster.
+    pub fn cluster_members(&self, cluster: usize) -> Vec<NodeId> {
+        (0..self.len()).filter(|&n| self.cluster_of[n] == cluster).collect()
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.cluster_of.iter().copied().max().map_or(0, |m| m + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_center_is_closer_than_rim_pairs() {
+        let t = Topology::star(8, 20.0);
+        assert_eq!(t.len(), 8);
+        let center_leaf = t.latency_us(0, 3);
+        let leaf_leaf = t.latency_us(1, 5);
+        assert!(center_leaf < leaf_leaf, "{center_leaf} vs {leaf_leaf}");
+        // Roughly 20 ms to the center.
+        assert!((center_leaf as i64 - 20_100).abs() < 1_000, "{center_leaf}");
+    }
+
+    #[test]
+    fn clustered_intra_beats_inter() {
+        let t = Topology::clustered(4, 3, 1.0, 50.0);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.cluster_count(), 4);
+        let intra = t.latency_us(0, 1);
+        let inter = t.latency_us(0, 3);
+        assert!(intra < inter / 5, "intra {intra} vs inter {inter}");
+        assert_eq!(t.cluster(0), t.cluster(1));
+        assert_ne!(t.cluster(0), t.cluster(3));
+        assert_eq!(t.cluster_members(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uniform_is_uniform() {
+        let t = Topology::uniform(5, 30.0);
+        let expected = t.latency_us(0, 1);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a != b {
+                    assert_eq!(t.latency_us(a, b), expected);
+                }
+            }
+        }
+        assert!(expected >= 30_000);
+    }
+
+    #[test]
+    fn loopback_is_cheap_and_symmetric_latency() {
+        let t = Topology::clustered(2, 2, 1.0, 40.0);
+        assert_eq!(t.latency_us(2, 2), 1);
+        assert_eq!(t.latency_us(0, 3), t.latency_us(3, 0));
+    }
+
+    #[test]
+    fn transmission_scales_with_bytes() {
+        let t = Topology::uniform(2, 1.0).with_bandwidth_bytes_per_us(100);
+        assert_eq!(t.transmission_us(1_000), 10);
+        assert_eq!(t.transmission_us(0), 0);
+    }
+}

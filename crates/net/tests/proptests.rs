@@ -1,0 +1,107 @@
+//! Property tests for the simulator: determinism, causality, and
+//! conservation of messages.
+
+use proptest::prelude::*;
+use pass_net::{Ctx, Input, Node, NodeId, SimTime, Simulator, Topology, TrafficClass};
+
+/// A node that relays each received token to a scripted next hop until
+/// the token's TTL runs out, then completes.
+struct Relay {
+    plan: Vec<NodeId>,
+}
+
+impl Node<(u32, u64)> for Relay {
+    fn on_input(&mut self, ctx: &mut Ctx<'_, (u32, u64)>, input: Input<(u32, u64)>) {
+        if let Input::Message { msg: (ttl, op), .. } = input {
+            if ttl == 0 {
+                ctx.complete(op, true);
+            } else {
+                let next = self.plan[(ttl as usize) % self.plan.len()];
+                ctx.send(next, (ttl - 1, op), 64, TrafficClass::Query);
+            }
+        }
+    }
+}
+
+fn build(plan_seed: Vec<u8>, n: usize) -> Simulator<(u32, u64)> {
+    let topology = Topology::clustered((n / 2).max(1), 2, 1.0, 30.0);
+    let n = topology.len();
+    let nodes: Vec<Box<dyn Node<(u32, u64)>>> = (0..n)
+        .map(|i| {
+            let plan: Vec<NodeId> =
+                plan_seed.iter().map(|&b| (b as usize + i) % n).collect();
+            Box::new(Relay { plan: if plan.is_empty() { vec![0] } else { plan } })
+                as Box<dyn Node<(u32, u64)>>
+        })
+        .collect();
+    Simulator::new(topology, nodes, 99)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identical inputs ⇒ identical traces, completions, and clocks.
+    #[test]
+    fn simulation_is_deterministic(
+        plan in proptest::collection::vec(any::<u8>(), 1..6),
+        tokens in proptest::collection::vec((0u32..20, 0usize..6), 1..10),
+    ) {
+        let run = |plan: &[u8], tokens: &[(u32, usize)]| {
+            let mut sim = build(plan.to_vec(), 3);
+            let n = sim.topology().len();
+            for (i, &(ttl, at)) in tokens.iter().enumerate() {
+                sim.inject(at % n, (ttl, i as u64), (i as u64) * 10);
+            }
+            sim.run_to_quiescence(2_000_000);
+            let completions: Vec<(u64, u64)> =
+                sim.take_completions().into_iter().map(|c| (c.op, c.at.as_micros())).collect();
+            (completions, sim.now().as_micros(), sim.metrics().total())
+        };
+        let a = run(&plan, &tokens);
+        let b = run(&plan, &tokens);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    /// Every injected token completes exactly once, and messages on the
+    /// wire equal the sum of TTLs (each hop is one message).
+    #[test]
+    fn tokens_complete_once_and_messages_are_conserved(
+        plan in proptest::collection::vec(any::<u8>(), 1..6),
+        tokens in proptest::collection::vec((0u32..20, 0usize..6), 1..10),
+    ) {
+        let mut sim = build(plan.clone(), 3);
+        let n = sim.topology().len();
+        for (i, &(ttl, at)) in tokens.iter().enumerate() {
+            sim.inject(at % n, (ttl, i as u64), 0);
+        }
+        sim.run_to_quiescence(2_000_000);
+        let completions = sim.take_completions();
+        prop_assert_eq!(completions.len(), tokens.len());
+        let mut ops: Vec<u64> = completions.iter().map(|c| c.op).collect();
+        ops.sort_unstable();
+        ops.dedup();
+        prop_assert_eq!(ops.len(), tokens.len(), "no duplicate completions");
+        let expected_msgs: u64 = tokens.iter().map(|&(ttl, _)| u64::from(ttl)).sum();
+        prop_assert_eq!(sim.metrics().total().messages, expected_msgs);
+    }
+
+    /// Completion times never precede injection and are monotone with the
+    /// event clock.
+    #[test]
+    fn causality_holds(
+        plan in proptest::collection::vec(any::<u8>(), 1..4),
+        ttl in 1u32..30,
+        delay in 0u64..10_000,
+    ) {
+        let mut sim = build(plan, 3);
+        sim.inject(0, (ttl, 1), delay);
+        sim.run_to_quiescence(2_000_000);
+        let completions = sim.take_completions();
+        prop_assert_eq!(completions.len(), 1);
+        // Hops may be loopbacks (1 µs floor), so the bound is per-hop 1 µs.
+        prop_assert!(completions[0].at >= SimTime::from_micros(delay + u64::from(ttl)));
+        prop_assert!(completions[0].at <= sim.now());
+    }
+}

@@ -1,0 +1,508 @@
+//! Privacy-preserving aggregation with measurable provenance.
+//!
+//! §V: "Much of this data is valuable even when aggregated to preserve
+//! privacy. What degree of aggregation is necessary? How does one
+//! represent the provenance of such aggregates?"
+//!
+//! This module implements full-domain k-anonymous aggregation: readings
+//! are grouped by their *quasi-identifier* fields (the fields that could
+//! re-identify a subject — age, location cell, admission time), the
+//! quasi-identifiers are generalized up a per-field ladder until every
+//! released group holds at least `k` readings, and groups that still
+//! fall short are suppressed. The released product is one aggregate
+//! reading per group (count/mean/min/max of the sensitive field).
+//!
+//! Both §V questions become measurable:
+//!
+//! * *what degree of aggregation is necessary?* — [`KAnonymized`]
+//!   reports the re-identification risk (`1 / min-group-size`), the
+//!   suppression rate, and the utility loss (mean absolute error of the
+//!   group mean vs the individual values, plus normalized generalization
+//!   height). Experiment E17 sweeps `k` over a medical corpus.
+//! * *provenance of aggregates* — [`KAnonymized::tool`] renders the
+//!   whole anonymization as an ordinary [`ToolDescriptor`] carrying
+//!   `(k, level, suppressed)`, so the aggregate tuple set's ancestry
+//!   names its sources and its privacy parameters in one queryable
+//!   record: `FIND WHERE tool.name = "k-anonymize" AND tool.k >= 5`.
+
+use crate::error::{PolicyError, Result};
+use pass_model::{Attributes, Reading, SensorId, Timestamp, ToolDescriptor, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Generalization ladder for one numeric quasi-identifier field.
+///
+/// Level 0 keeps the exact value; level `i` (1-based) buckets it to
+/// width `widths[i-1]`; levels past the ladder generalize to `*`
+/// (the field is dropped from the key entirely).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericLadder {
+    /// Reading field this ladder generalizes.
+    pub field: String,
+    /// Bucket widths, coarsest last. Must be strictly increasing.
+    pub widths: Vec<f64>,
+}
+
+impl NumericLadder {
+    /// Builds a ladder; widths must be positive and strictly increasing.
+    pub fn new(field: impl Into<String>, widths: Vec<f64>) -> Result<Self> {
+        if widths.iter().any(|w| *w <= 0.0 || !w.is_finite()) {
+            return Err(PolicyError::Aggregation("ladder widths must be positive".into()));
+        }
+        if widths.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(PolicyError::Aggregation("ladder widths must strictly increase".into()));
+        }
+        Ok(NumericLadder { field: field.into(), widths })
+    }
+
+    /// Height of the ladder including the exact level and the `*` level.
+    fn max_level(&self) -> usize {
+        self.widths.len() + 1
+    }
+
+    /// Renders a value at generalization `level`.
+    fn generalize(&self, value: Option<f64>, level: usize) -> GeneralizedValue {
+        let Some(v) = value else {
+            // A reading missing the field can never be distinguished by
+            // it; missing values form their own bucket at every level.
+            return GeneralizedValue::Missing;
+        };
+        if level == 0 {
+            return GeneralizedValue::Exact(OrderedF64(v));
+        }
+        match self.widths.get(level - 1) {
+            Some(&w) => {
+                let lo = (v / w).floor() * w;
+                GeneralizedValue::Bucket { lo: OrderedF64(lo), width: OrderedF64(w) }
+            }
+            None => GeneralizedValue::Any,
+        }
+    }
+}
+
+/// f64 wrapper ordered with `total_cmp` so bucket keys can key a BTreeMap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One generalized quasi-identifier value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum GeneralizedValue {
+    Exact(OrderedF64),
+    Bucket { lo: OrderedF64, width: OrderedF64 },
+    Any,
+    Missing,
+}
+
+impl fmt::Display for GeneralizedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneralizedValue::Exact(v) => write!(f, "{}", v.0),
+            GeneralizedValue::Bucket { lo, width } => {
+                write!(f, "[{}..{})", lo.0, lo.0 + width.0)
+            }
+            GeneralizedValue::Any => f.write_str("*"),
+            GeneralizedValue::Missing => f.write_str("?"),
+        }
+    }
+}
+
+/// The quasi-identifier specification: which fields re-identify, how each
+/// generalizes, and which field carries the sensitive measurement.
+#[derive(Debug, Clone)]
+pub struct QuasiSpec {
+    /// Generalization ladders, one per quasi-identifier field.
+    pub ladders: Vec<NumericLadder>,
+    /// The sensitive numeric field to aggregate (mean/min/max).
+    pub sensitive: String,
+}
+
+impl QuasiSpec {
+    /// Builds a spec; at least one ladder is required.
+    pub fn new(ladders: Vec<NumericLadder>, sensitive: impl Into<String>) -> Result<Self> {
+        if ladders.is_empty() {
+            return Err(PolicyError::Aggregation("at least one quasi-identifier required".into()));
+        }
+        Ok(QuasiSpec { ladders, sensitive: sensitive.into() })
+    }
+
+    /// The coarsest meaningful uniform level (every ladder at `*`).
+    fn max_level(&self) -> usize {
+        self.ladders.iter().map(NumericLadder::max_level).max().unwrap_or(0)
+    }
+
+    fn key_of(&self, reading: &Reading, level: usize) -> Vec<GeneralizedValue> {
+        self.ladders
+            .iter()
+            .map(|l| {
+                let v = reading.field(&l.field).and_then(Value::as_float).or_else(|| {
+                    reading.field(&l.field).and_then(Value::as_int).map(|i| i as f64)
+                });
+                // Clamp per-field: a short ladder hits `*` early.
+                l.generalize(v, level.min(l.max_level()))
+            })
+            .collect()
+    }
+}
+
+/// One released group: generalized quasi-identifiers plus aggregate
+/// statistics of the sensitive field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateGroup {
+    /// Generalized quasi-identifier rendering, one per ladder, in ladder
+    /// order (`"[40..50)"`, `"*"`, …).
+    pub key: Vec<String>,
+    /// Readings in the group (≥ k by construction).
+    pub count: usize,
+    /// Mean of the sensitive field.
+    pub mean: f64,
+    /// Minimum of the sensitive field.
+    pub min: f64,
+    /// Maximum of the sensitive field.
+    pub max: f64,
+}
+
+impl AggregateGroup {
+    /// Renders the group as one aggregate reading: quasi fields as
+    /// strings, statistics as numbers.
+    pub fn to_reading(&self, spec: &QuasiSpec, at: Timestamp) -> Reading {
+        let mut r = Reading::new(SensorId(0), at)
+            .with("count", self.count as i64)
+            .with(format!("{}.mean", spec.sensitive), self.mean)
+            .with(format!("{}.min", spec.sensitive), self.min)
+            .with(format!("{}.max", spec.sensitive), self.max);
+        for (ladder, key) in spec.ladders.iter().zip(&self.key) {
+            r = r.with(ladder.field.as_str(), key.as_str());
+        }
+        r
+    }
+}
+
+/// The result of a k-anonymous aggregation, with its privacy/utility
+/// metrics.
+#[derive(Debug, Clone)]
+pub struct KAnonymized {
+    /// The k that was enforced.
+    pub k: usize,
+    /// The uniform generalization level that was needed.
+    pub level: usize,
+    /// Released groups (every `count` ≥ k).
+    pub groups: Vec<AggregateGroup>,
+    /// Readings suppressed because their group stayed below k at the
+    /// chosen level.
+    pub suppressed: usize,
+    /// Readings skipped because the sensitive field was absent or
+    /// non-numeric.
+    pub skipped: usize,
+    /// Total readings offered (released + suppressed + skipped).
+    pub total: usize,
+    /// Mean absolute error of the group mean vs each released reading's
+    /// own sensitive value — the utility cost of aggregation.
+    pub mean_abs_error: f64,
+    /// Normalized generalization height in `[0, 1]` (0 = exact values
+    /// released, 1 = every quasi-identifier fully generalized).
+    pub info_loss: f64,
+}
+
+impl KAnonymized {
+    /// Readings released inside groups.
+    pub fn released(&self) -> usize {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// Smallest released group (≥ k whenever any group was released).
+    pub fn min_group_size(&self) -> Option<usize> {
+        self.groups.iter().map(|g| g.count).min()
+    }
+
+    /// Worst-case re-identification risk: `1 / min-group-size`
+    /// (prosecutor model). Zero when nothing was released.
+    pub fn risk(&self) -> f64 {
+        match self.min_group_size() {
+            Some(m) if m > 0 => 1.0 / m as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Fraction of usable readings that had to be suppressed.
+    pub fn suppression_rate(&self) -> f64 {
+        let usable = self.total - self.skipped;
+        if usable == 0 {
+            0.0
+        } else {
+            self.suppressed as f64 / usable as f64
+        }
+    }
+
+    /// The provenance tool descriptor naming this aggregation: the §V
+    /// "provenance of such aggregates" answer. Attach it to a `derive`
+    /// whose parents are the source tuple sets.
+    pub fn tool(&self) -> ToolDescriptor {
+        ToolDescriptor::new("k-anonymize", "1.0")
+            .with_param("k", self.k as i64)
+            .with_param("level", self.level as i64)
+            .with_param("suppressed", self.suppressed as i64)
+            .with_param("groups", self.groups.len() as i64)
+    }
+
+    /// Renders all released groups as aggregate readings.
+    pub fn to_readings(&self, spec: &QuasiSpec, at: Timestamp) -> Vec<Reading> {
+        self.groups.iter().map(|g| g.to_reading(spec, at)).collect()
+    }
+
+    /// Descriptive attributes for the aggregate tuple set.
+    pub fn to_attributes(&self) -> Attributes {
+        Attributes::new()
+            .with("aggregate.k", self.k as i64)
+            .with("aggregate.level", self.level as i64)
+            .with("aggregate.groups", self.groups.len() as i64)
+            .with("aggregate.suppressed", self.suppressed as i64)
+    }
+}
+
+/// Runs full-domain k-anonymous aggregation over `readings`.
+///
+/// Starting at level 0 (exact quasi-identifiers), the level rises
+/// uniformly until the fraction of readings stuck in below-k groups is at
+/// most `max_suppression`; those stragglers are suppressed and the rest
+/// released. `max_suppression = 0.0` demands a level at which *every*
+/// group reaches k (the fully-generalized level always qualifies, since
+/// it pools everything into one group — which is then suppressed only
+/// when fewer than k usable readings exist in total).
+pub fn kanonymize(
+    readings: &[Reading],
+    k: usize,
+    spec: &QuasiSpec,
+    max_suppression: f64,
+) -> Result<KAnonymized> {
+    if k == 0 {
+        return Err(PolicyError::Aggregation("k must be at least 1".into()));
+    }
+    if !(0.0..=1.0).contains(&max_suppression) {
+        return Err(PolicyError::Aggregation("max_suppression must be in [0, 1]".into()));
+    }
+
+    // Partition out readings without a usable sensitive value.
+    let mut usable: Vec<(&Reading, f64)> = Vec::with_capacity(readings.len());
+    let mut skipped = 0usize;
+    for r in readings {
+        let v = r
+            .field(&spec.sensitive)
+            .and_then(|v| v.as_float().or_else(|| v.as_int().map(|i| i as f64)));
+        match v {
+            Some(v) if v.is_finite() => usable.push((r, v)),
+            _ => skipped += 1,
+        }
+    }
+
+    type Groups = BTreeMap<Vec<GeneralizedValue>, Vec<f64>>;
+    let max_level = spec.max_level();
+    let mut chosen: Option<(usize, Groups)> = None;
+    for level in 0..=max_level {
+        let mut groups: Groups = BTreeMap::new();
+        for (r, v) in &usable {
+            groups.entry(spec.key_of(r, level)).or_default().push(*v);
+        }
+        let below: usize = groups.values().filter(|g| g.len() < k).map(Vec::len).sum();
+        let frac = if usable.is_empty() { 0.0 } else { below as f64 / usable.len() as f64 };
+        if frac <= max_suppression || level == max_level {
+            chosen = Some((level, groups));
+            break;
+        }
+    }
+    let (level, groups) = chosen.expect("loop always selects a level");
+
+    let mut released_groups = Vec::new();
+    let mut suppressed = 0usize;
+    let mut abs_err_sum = 0.0;
+    let mut released_n = 0usize;
+    for (key, values) in groups {
+        if values.len() < k {
+            suppressed += values.len();
+            continue;
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        abs_err_sum += values.iter().map(|v| (v - mean).abs()).sum::<f64>();
+        released_n += count;
+        released_groups.push(AggregateGroup {
+            key: key.iter().map(GeneralizedValue::to_string).collect(),
+            count,
+            mean,
+            min,
+            max,
+        });
+    }
+
+    let info_loss = spec
+        .ladders
+        .iter()
+        .map(|l| level.min(l.max_level()) as f64 / l.max_level() as f64)
+        .sum::<f64>()
+        / spec.ladders.len() as f64;
+
+    Ok(KAnonymized {
+        k,
+        level,
+        groups: released_groups,
+        suppressed,
+        skipped,
+        total: readings.len(),
+        mean_abs_error: if released_n == 0 { 0.0 } else { abs_err_sum / released_n as f64 },
+        info_loss,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> QuasiSpec {
+        QuasiSpec::new(
+            vec![
+                NumericLadder::new("age", vec![5.0, 10.0, 25.0]).unwrap(),
+                NumericLadder::new("zone", vec![2.0]).unwrap(),
+            ],
+            "heart_rate",
+        )
+        .unwrap()
+    }
+
+    fn patient(age: f64, zone: f64, hr: f64) -> Reading {
+        Reading::new(SensorId(1), Timestamp(0))
+            .with("age", age)
+            .with("zone", zone)
+            .with("heart_rate", hr)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(NumericLadder::new("x", vec![5.0, 5.0]).is_err());
+        assert!(NumericLadder::new("x", vec![-1.0]).is_err());
+        assert!(QuasiSpec::new(vec![], "v").is_err());
+        let s = spec();
+        assert!(kanonymize(&[], 0, &s, 0.0).is_err());
+        assert!(kanonymize(&[], 1, &s, 1.5).is_err());
+    }
+
+    #[test]
+    fn k1_releases_exact_groups() {
+        let rs = vec![patient(30.0, 1.0, 70.0), patient(30.0, 1.0, 80.0), patient(41.0, 1.0, 90.0)];
+        let out = kanonymize(&rs, 1, &spec(), 0.0).unwrap();
+        assert_eq!(out.level, 0, "k=1 never needs generalization");
+        assert_eq!(out.groups.len(), 2);
+        assert_eq!(out.suppressed, 0);
+        assert_eq!(out.info_loss, 0.0);
+    }
+
+    #[test]
+    fn generalization_rises_until_groups_reach_k() {
+        // Ages spread over one decade: exact ages are unique, but the
+        // 10-wide bucket (level 2) pools them.
+        let rs: Vec<Reading> =
+            (0..8).map(|i| patient(40.0 + i as f64, 1.0, 60.0 + i as f64)).collect();
+        let out = kanonymize(&rs, 4, &spec(), 0.0).unwrap();
+        assert!(out.level >= 2, "needed a coarse level, got {}", out.level);
+        assert!(out.groups.iter().all(|g| g.count >= 4));
+        assert_eq!(out.released() + out.suppressed, 8);
+    }
+
+    #[test]
+    fn k_above_population_suppresses_everything() {
+        let rs = vec![patient(30.0, 1.0, 70.0), patient(31.0, 1.0, 71.0)];
+        let out = kanonymize(&rs, 10, &spec(), 0.0).unwrap();
+        assert_eq!(out.groups.len(), 0);
+        assert_eq!(out.suppressed, 2);
+        assert_eq!(out.risk(), 0.0);
+        assert_eq!(out.suppression_rate(), 1.0);
+    }
+
+    #[test]
+    fn group_stats_are_correct() {
+        let rs = vec![patient(30.0, 1.0, 60.0), patient(30.0, 1.0, 80.0)];
+        let out = kanonymize(&rs, 2, &spec(), 0.0).unwrap();
+        assert_eq!(out.groups.len(), 1);
+        let g = &out.groups[0];
+        assert_eq!((g.count, g.mean, g.min, g.max), (2, 70.0, 60.0, 80.0));
+        assert_eq!(out.mean_abs_error, 10.0);
+    }
+
+    #[test]
+    fn skips_readings_without_sensitive_value() {
+        let rs = vec![
+            patient(30.0, 1.0, 70.0),
+            Reading::new(SensorId(1), Timestamp(0)).with("age", 30.0).with("zone", 1.0),
+        ];
+        let out = kanonymize(&rs, 1, &spec(), 0.0).unwrap();
+        assert_eq!(out.skipped, 1);
+        assert_eq!(out.released(), 1);
+    }
+
+    #[test]
+    fn missing_quasi_field_forms_its_own_bucket() {
+        let rs = vec![
+            patient(30.0, 1.0, 70.0),
+            Reading::new(SensorId(1), Timestamp(0)).with("zone", 1.0).with("heart_rate", 75.0),
+        ];
+        let out = kanonymize(&rs, 1, &spec(), 0.0).unwrap();
+        assert_eq!(out.groups.len(), 2, "missing age must not merge with age=30");
+    }
+
+    #[test]
+    fn tool_descriptor_names_the_parameters() {
+        let rs = vec![patient(30.0, 1.0, 70.0), patient(30.0, 1.0, 72.0)];
+        let out = kanonymize(&rs, 2, &spec(), 0.0).unwrap();
+        let tool = out.tool();
+        assert_eq!(tool.name, "k-anonymize");
+        assert_eq!(tool.params.get_int("k"), Some(2));
+        assert_eq!(tool.params.get_int("groups"), Some(1));
+    }
+
+    #[test]
+    fn aggregate_readings_render_key_and_stats() {
+        let rs: Vec<Reading> =
+            (0..4).map(|i| patient(42.0 + (i % 2) as f64, 1.0, 60.0 + i as f64)).collect();
+        let out = kanonymize(&rs, 4, &spec(), 0.0).unwrap();
+        let agg = out.to_readings(&spec(), Timestamp(5));
+        assert_eq!(agg.len(), out.groups.len());
+        let r = &agg[0];
+        assert_eq!(r.field("count").and_then(Value::as_int), Some(4));
+        assert!(r.field("heart_rate.mean").and_then(Value::as_float).is_some());
+        assert!(r.field("age").and_then(Value::as_str).is_some());
+    }
+
+    #[test]
+    fn max_suppression_trades_level_for_coverage() {
+        // 7 clustered + 1 outlier: with tolerance we stay at a fine level
+        // and drop the outlier; with zero tolerance the level must rise.
+        let mut rs: Vec<Reading> = (0..7).map(|_| patient(30.0, 1.0, 70.0)).collect();
+        rs.push(patient(95.0, 9.0, 70.0));
+        let strict = kanonymize(&rs, 2, &spec(), 0.0).unwrap();
+        let tolerant = kanonymize(&rs, 2, &spec(), 0.2).unwrap();
+        assert!(tolerant.level <= strict.level);
+        assert_eq!(tolerant.suppressed, 1);
+        assert!(tolerant.info_loss <= strict.info_loss);
+    }
+
+    #[test]
+    fn info_loss_normalized_between_zero_and_one() {
+        let rs: Vec<Reading> = (0..6).map(|i| patient(i as f64 * 30.0, i as f64, 70.0)).collect();
+        for k in [1, 2, 3, 6, 7] {
+            let out = kanonymize(&rs, k, &spec(), 0.0).unwrap();
+            assert!((0.0..=1.0).contains(&out.info_loss), "k={k} loss={}", out.info_loss);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The append-only audit trail.
+//!
+//! "How do we provide strong guarantees that privacy policies will be
+//! enforced?" (§V). Guarantees need evidence: every decision the guard
+//! takes — allow or deny — is appended here with the principal, the
+//! action, the subject record, and the reason the engine gave. The log
+//! can be filtered for review and exported as ordinary sensor readings,
+//! so an auditor's PASS can `capture` the trail and the audit record
+//! itself gains provenance (who exported it, when, from which store).
+
+use crate::rule::{Action, Effect, Reason};
+use parking_lot::RwLock;
+use pass_model::{Reading, SensorId, Timestamp, TupleSetId};
+
+/// One audited decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// Monotone sequence number (the log's own ordering).
+    pub seq: u64,
+    /// Who asked.
+    pub principal: String,
+    /// What they asked to do.
+    pub action: Action,
+    /// The record they asked about.
+    pub subject: TupleSetId,
+    /// What the engine said.
+    pub effect: Effect,
+    /// Why (label dominance, rule id, or default).
+    pub reason: Reason,
+}
+
+/// Append-only, thread-safe audit log.
+///
+/// The log deliberately has no `remove`: §V's enforcement guarantee is
+/// only as strong as the trail's completeness.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    entries: RwLock<Vec<AuditEntry>>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Appends a decision, returning its sequence number.
+    pub fn record(
+        &self,
+        principal: &str,
+        action: Action,
+        subject: TupleSetId,
+        effect: Effect,
+        reason: Reason,
+    ) -> u64 {
+        let mut entries = self.entries.write();
+        let seq = entries.len() as u64;
+        entries.push(AuditEntry {
+            seq,
+            principal: principal.to_owned(),
+            action,
+            subject,
+            effect,
+            reason,
+        });
+        seq
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when nothing has been audited yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the full trail, in sequence order.
+    pub fn entries(&self) -> Vec<AuditEntry> {
+        self.entries.read().clone()
+    }
+
+    /// Snapshot of denials only.
+    pub fn denials(&self) -> Vec<AuditEntry> {
+        self.entries.read().iter().filter(|e| e.effect == Effect::Deny).cloned().collect()
+    }
+
+    /// Snapshot of the entries for one principal.
+    pub fn by_principal(&self, name: &str) -> Vec<AuditEntry> {
+        self.entries.read().iter().filter(|e| e.principal == name).cloned().collect()
+    }
+
+    /// Snapshot of the entries touching one record.
+    pub fn by_subject(&self, id: TupleSetId) -> Vec<AuditEntry> {
+        self.entries.read().iter().filter(|e| e.subject == id).cloned().collect()
+    }
+
+    /// Renders the trail as sensor readings (one per entry, sequence
+    /// number as the timestamp), ready to `capture` into a PASS so the
+    /// audit trail itself carries provenance.
+    pub fn export_readings(&self) -> Vec<Reading> {
+        self.entries
+            .read()
+            .iter()
+            .map(|e| {
+                Reading::new(SensorId(0), Timestamp(e.seq))
+                    .with("principal", e.principal.as_str())
+                    .with("action", e.action.to_string())
+                    .with("subject", e.subject.full_hex())
+                    .with("effect", e.effect.to_string())
+                    .with("reason", e.reason.to_string())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u128) -> TupleSetId {
+        TupleSetId(n)
+    }
+
+    #[test]
+    fn records_in_sequence_order() {
+        let log = AuditLog::new();
+        let s0 = log.record("a", Action::ReadData, id(1), Effect::Allow, Reason::Default);
+        let s1 = log.record("b", Action::Export, id(2), Effect::Deny, Reason::Default);
+        assert_eq!((s0, s1), (0, 1));
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].seq < entries[1].seq);
+    }
+
+    #[test]
+    fn filters_by_effect_principal_and_subject() {
+        let log = AuditLog::new();
+        log.record("alice", Action::ReadData, id(1), Effect::Allow, Reason::Default);
+        log.record("bob", Action::ReadData, id(1), Effect::Deny, Reason::Default);
+        log.record("bob", Action::Export, id(2), Effect::Deny, Reason::Default);
+        assert_eq!(log.denials().len(), 2);
+        assert_eq!(log.by_principal("bob").len(), 2);
+        assert_eq!(log.by_subject(id(1)).len(), 2);
+        assert_eq!(log.by_principal("carol").len(), 0);
+    }
+
+    #[test]
+    fn export_is_one_reading_per_entry_with_fields() {
+        let log = AuditLog::new();
+        log.record(
+            "alice",
+            Action::ReadLineage,
+            id(7),
+            Effect::Deny,
+            Reason::Rule { id: "r1".into() },
+        );
+        let readings = log.export_readings();
+        assert_eq!(readings.len(), 1);
+        let r = &readings[0];
+        assert_eq!(r.field("principal").and_then(|v| v.as_str()), Some("alice"));
+        assert_eq!(r.field("effect").and_then(|v| v.as_str()), Some("deny"));
+        assert_eq!(r.field("reason").and_then(|v| v.as_str()), Some("rule r1"));
+    }
+
+    #[test]
+    fn concurrent_appends_never_lose_entries() {
+        let log = std::sync::Arc::new(AuditLog::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    log.record(
+                        &format!("p{t}"),
+                        Action::ReadData,
+                        id(i),
+                        Effect::Allow,
+                        Reason::Default,
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 1000);
+        // Sequence numbers are unique and dense.
+        let mut seqs: Vec<u64> = log.entries().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,55 @@
+//! Unified error type for policy-mediated access.
+
+use crate::rule::{Action, Reason};
+use pass_model::TupleSetId;
+use std::fmt;
+
+/// Errors raised by guarded PASS operations.
+#[derive(Debug, Clone)]
+pub enum PolicyError {
+    /// The policy engine refused the action.
+    Denied {
+        /// The record the principal tried to touch.
+        id: TupleSetId,
+        /// What they tried to do.
+        action: Action,
+        /// Why the engine said no.
+        reason: Reason,
+    },
+    /// The underlying PASS failed (not found, storage, query, …).
+    Pass(pass_core::PassError),
+    /// An aggregation request was malformed (k = 0, unknown field, empty
+    /// generalization ladder).
+    Aggregation(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Denied { id, action, reason } => {
+                write!(f, "{action} on {id} denied: {reason}")
+            }
+            PolicyError::Pass(e) => write!(f, "pass error: {e}"),
+            PolicyError::Aggregation(msg) => write!(f, "aggregation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl From<pass_core::PassError> for PolicyError {
+    fn from(e: pass_core::PassError) -> Self {
+        PolicyError::Pass(e)
+    }
+}
+
+impl PolicyError {
+    /// True when the error is a policy denial (as opposed to an
+    /// operational failure).
+    pub fn is_denied(&self) -> bool {
+        matches!(self, PolicyError::Denied { .. })
+    }
+}
+
+/// Result alias for guarded operations.
+pub type Result<T> = std::result::Result<T, PolicyError>;

@@ -1,0 +1,733 @@
+//! The enforcement point: a [`Pass`] wrapped so every read path runs
+//! through the policy engine and every decision is audited.
+//!
+//! §V asks "how do we provide strong guarantees that privacy policies
+//! will be enforced?" — the guard's answer is structural: it *owns* the
+//! underlying store, so code holding only a `GuardedPass` cannot reach
+//! an unmediated read path, and every mediated read appends to the
+//! [`AuditLog`] whether it was allowed or denied.
+//!
+//! Writes stay open (sensors must keep capturing) but are where sticky
+//! labels are applied: [`GuardedPass::capture`] stamps the supplied
+//! label, and [`GuardedPass::derive`] joins it with every parent's label
+//! so derived data can never silently *lose* protection.
+
+use crate::aggregate::{kanonymize, KAnonymized, QuasiSpec};
+use crate::audit::AuditLog;
+use crate::error::{PolicyError, Result};
+use crate::label::PolicyLabel;
+use crate::redact::{redact_lineage, RedactedLineage};
+use crate::rule::{Action, Decision, PolicyEngine, Principal};
+use pass_core::Pass;
+use pass_index::{Direction, TraverseOpts};
+use pass_model::{
+    Annotation, Attributes, ProvenanceRecord, Reading, Timestamp, ToolDescriptor, TupleSetId,
+};
+use pass_query::Query;
+
+/// A policy-enforcing wrapper around a local PASS.
+pub struct GuardedPass {
+    inner: Pass,
+    engine: PolicyEngine,
+    audit: AuditLog,
+}
+
+impl GuardedPass {
+    /// Wraps `pass` with `engine`. The guard takes ownership: all further
+    /// access flows through the policy.
+    pub fn new(pass: Pass, engine: PolicyEngine) -> Self {
+        GuardedPass { inner: pass, engine, audit: AuditLog::new() }
+    }
+
+    /// The audit trail of every decision this guard has taken.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The policy engine in force.
+    pub fn engine(&self) -> &PolicyEngine {
+        &self.engine
+    }
+
+    /// Unwraps the guard (for administrative migration; the audit log is
+    /// returned alongside so the trail is not lost).
+    pub fn into_inner(self) -> (Pass, AuditLog) {
+        (self.inner, self.audit)
+    }
+
+    /// Checks (and audits) one action against one record.
+    fn check(
+        &self,
+        principal: &Principal,
+        action: Action,
+        record: &ProvenanceRecord,
+    ) -> Decision {
+        let decision = self.engine.decide(principal, action, record);
+        self.audit.record(
+            &principal.name,
+            action,
+            record.id,
+            decision.effect,
+            decision.reason.clone(),
+        );
+        decision
+    }
+
+    fn deny(id: TupleSetId, action: Action, decision: Decision) -> PolicyError {
+        PolicyError::Denied { id, action, reason: decision.reason }
+    }
+
+    // -- Writes (labelled) ----------------------------------------------
+
+    /// Captures a raw tuple set, stamping `label` onto its provenance.
+    pub fn capture(
+        &self,
+        principal: &Principal,
+        label: PolicyLabel,
+        mut attrs: Attributes,
+        readings: Vec<Reading>,
+        at: Timestamp,
+    ) -> Result<TupleSetId> {
+        let _ = principal; // capture is open; the principal is recorded on the attrs
+        attrs.set("captured.by", principal.name.as_str());
+        label.apply_to(&mut attrs);
+        Ok(self.inner.capture(attrs, readings, at)?)
+    }
+
+    /// Derives a new tuple set. The stored label is the join of `label`
+    /// with every *locally known* parent's label — sticky propagation:
+    /// protection can be raised at derivation time but never dropped.
+    // Mirrors `Pass::derive` plus (principal, label); a request struct
+    // would bury the symmetry with the unguarded API.
+    #[allow(clippy::too_many_arguments)]
+    pub fn derive(
+        &self,
+        principal: &Principal,
+        label: PolicyLabel,
+        parents: &[TupleSetId],
+        tool: &ToolDescriptor,
+        mut attrs: Attributes,
+        readings: Vec<Reading>,
+        at: Timestamp,
+    ) -> Result<TupleSetId> {
+        let mut effective = label;
+        for &p in parents {
+            if let Some(parent) = self.inner.get_record(p) {
+                effective = effective.join(&PolicyLabel::of_record(&parent));
+            }
+        }
+        attrs.set("captured.by", principal.name.as_str());
+        effective.apply_to(&mut attrs);
+        Ok(self.inner.derive(parents, tool, attrs, readings, at)?)
+    }
+
+    /// Attaches an annotation (annotations do not change identity or
+    /// labels, so no policy gate beyond existence).
+    pub fn annotate(&self, id: TupleSetId, annotation: Annotation) -> Result<()> {
+        Ok(self.inner.annotate(id, annotation)?)
+    }
+
+    // -- Mediated reads --------------------------------------------------
+
+    /// Reads a provenance record, if the policy allows.
+    pub fn get_record(
+        &self,
+        principal: &Principal,
+        id: TupleSetId,
+    ) -> Result<ProvenanceRecord> {
+        let record = self.inner.get_record(id).ok_or(pass_core::PassError::NotFound(id))?;
+        let d = self.check(principal, Action::ReadProvenance, &record);
+        if d.allowed() {
+            Ok(record)
+        } else {
+            Err(Self::deny(id, Action::ReadProvenance, d))
+        }
+    }
+
+    /// Reads the sensor readings, if the policy allows.
+    pub fn get_data(
+        &self,
+        principal: &Principal,
+        id: TupleSetId,
+    ) -> Result<Option<Vec<Reading>>> {
+        let record = self.inner.get_record(id).ok_or(pass_core::PassError::NotFound(id))?;
+        let d = self.check(principal, Action::ReadData, &record);
+        if d.allowed() {
+            Ok(self.inner.get_data(id)?)
+        } else {
+            Err(Self::deny(id, Action::ReadData, d))
+        }
+    }
+
+    /// Runs a provenance query and filters the results down to records
+    /// the principal may see. Filtering happens per-record *after* index
+    /// evaluation, so a denied record influences neither the result set
+    /// nor its ordering; the number of withheld hits is reported.
+    pub fn query(
+        &self,
+        principal: &Principal,
+        query: &Query,
+    ) -> Result<(Vec<ProvenanceRecord>, usize)> {
+        let result = self.inner.query(query)?;
+        let mut visible = Vec::new();
+        let mut withheld = 0usize;
+        for id in result.ids() {
+            let Some(record) = self.inner.get_record(id) else { continue };
+            if self.check(principal, Action::ReadProvenance, &record).allowed() {
+                visible.push(record);
+            } else {
+                withheld += 1;
+            }
+        }
+        Ok((visible, withheld))
+    }
+
+    /// Parses and runs query text under the policy.
+    pub fn query_text(
+        &self,
+        principal: &Principal,
+        text: &str,
+    ) -> Result<(Vec<ProvenanceRecord>, usize)> {
+        let query = pass_query::parse(text).map_err(pass_core::PassError::Query)?;
+        self.query(principal, &query)
+    }
+
+    /// Walks lineage and returns the policy-redacted view: forbidden
+    /// records are contracted into opaque hops (see [`redact_lineage`]).
+    ///
+    /// The traversal itself gates on `ReadLineage` for the root (a
+    /// principal who may not traverse a record learns nothing, not even
+    /// how many ancestors exist); individual ancestors are then filtered
+    /// by `ReadProvenance`.
+    pub fn lineage(
+        &self,
+        principal: &Principal,
+        id: TupleSetId,
+        direction: Direction,
+        opts: TraverseOpts,
+    ) -> Result<RedactedLineage> {
+        let root = self.inner.get_record(id).ok_or(pass_core::PassError::NotFound(id))?;
+        let d = self.check(principal, Action::ReadLineage, &root);
+        if !d.allowed() {
+            return Err(Self::deny(id, Action::ReadLineage, d));
+        }
+        let mut records = self.inner.lineage(id, direction, opts)?;
+        // Include the root so contracted edges can anchor on it.
+        records.insert(0, root);
+        Ok(redact_lineage(&records, |r| {
+            self.check(principal, Action::ReadProvenance, r).allowed()
+        }))
+    }
+
+    /// Exports provenance records for shipment beyond this PASS
+    /// (federation publish, replication, archival). Gated on
+    /// [`Action::Export`], which regimes typically restrict more tightly
+    /// than local reads — a clinician may read PHI at the ward but not
+    /// ship it to another site.
+    pub fn export_records(
+        &self,
+        principal: &Principal,
+        ids: &[TupleSetId],
+    ) -> Result<Vec<ProvenanceRecord>> {
+        let mut out = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let record = self.inner.get_record(id).ok_or(pass_core::PassError::NotFound(id))?;
+            let d = self.check(principal, Action::Export, &record);
+            if !d.allowed() {
+                return Err(Self::deny(id, Action::Export, d));
+            }
+            out.push(record);
+        }
+        Ok(out)
+    }
+
+    // -- Privacy-preserving release (§V aggregation) ----------------------
+
+    /// Builds and ingests a k-anonymous aggregate over the readings of
+    /// `parents`, returning the new tuple set and its metrics.
+    ///
+    /// The caller must hold `ReadData` on every parent (you cannot
+    /// aggregate what you may not read). The released aggregate is
+    /// labelled `release_label` — typically *lower* than the parents'
+    /// labels: aggregation is the one sanctioned way protection is
+    /// reduced, and the tuple set's provenance records exactly how
+    /// (`k-anonymize` tool with k/level/suppressed parameters).
+    #[allow(clippy::too_many_arguments)]
+    pub fn aggregate(
+        &self,
+        principal: &Principal,
+        parents: &[TupleSetId],
+        k: usize,
+        spec: &QuasiSpec,
+        max_suppression: f64,
+        release_label: PolicyLabel,
+        mut attrs: Attributes,
+        at: Timestamp,
+    ) -> Result<(TupleSetId, KAnonymized)> {
+        let mut pooled = Vec::new();
+        for &p in parents {
+            let record =
+                self.inner.get_record(p).ok_or(pass_core::PassError::NotFound(p))?;
+            let d = self.check(principal, Action::ReadData, &record);
+            if !d.allowed() {
+                return Err(Self::deny(p, Action::ReadData, d));
+            }
+            if let Some(readings) = self.inner.get_data(p)? {
+                pooled.extend(readings);
+            }
+        }
+        let anon = kanonymize(&pooled, k, spec, max_suppression)?;
+        let readings = anon.to_readings(spec, at);
+        attrs.merge(&anon.to_attributes());
+        attrs.set("captured.by", principal.name.as_str());
+        release_label.apply_to(&mut attrs);
+        // Deliberately *not* `self.derive`: sticky join would re-raise the
+        // label to the parents' level, defeating the sanctioned release.
+        let id = self.inner.derive(parents, &anon.tool(), attrs, readings, at)?;
+        Ok((id, anon))
+    }
+
+    // -- Unmediated metadata ----------------------------------------------
+
+    /// Number of records held (not policy-sensitive).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Sensitivity;
+    use crate::rule::Rule;
+    use pass_model::{SensorId, SiteId};
+
+    fn clinician() -> Principal {
+        Principal::new("emt-1")
+            .with_role("clinician")
+            .with_clearance(Sensitivity::Private)
+            .with_category("phi")
+    }
+
+    fn engine() -> PolicyEngine {
+        PolicyEngine::deny_by_default()
+            .with_rule(Rule::allow("clinician").for_role("clinician"))
+            .with_rule(
+                Rule::allow("public-read").when(pass_query::Predicate::Cmp(
+                    crate::label::ATTR_SENSITIVITY.into(),
+                    pass_query::CmpOp::Le,
+                    0i64.into(),
+                )),
+            )
+    }
+
+    fn vitals(hr: f64) -> Vec<Reading> {
+        vec![Reading::new(SensorId(1), Timestamp(1)).with("heart_rate", hr).with("age", 40.0)]
+    }
+
+    fn phi_label() -> PolicyLabel {
+        PolicyLabel::new(Sensitivity::Private).with_category("phi")
+    }
+
+    fn guarded() -> GuardedPass {
+        GuardedPass::new(Pass::open_memory(SiteId(1)), engine())
+    }
+
+    #[test]
+    fn denied_reader_gets_error_and_audit_entry() {
+        let g = guarded();
+        let id = g
+            .capture(
+                &clinician(),
+                phi_label(),
+                Attributes::new().with("domain", "medical"),
+                vitals(80.0),
+                Timestamp(1),
+            )
+            .unwrap();
+        let outsider = Principal::new("analyst");
+        let err = g.get_data(&outsider, id).unwrap_err();
+        assert!(err.is_denied());
+        assert_eq!(g.audit().denials().len(), 1);
+        assert_eq!(g.audit().denials()[0].principal, "analyst");
+        // The clinician succeeds, and that is audited too.
+        assert!(g.get_data(&clinician(), id).unwrap().is_some());
+        assert_eq!(g.audit().len(), 2);
+    }
+
+    #[test]
+    fn derive_joins_parent_labels_sticky() {
+        let g = guarded();
+        let emt = clinician();
+        let private = g
+            .capture(&emt, phi_label(), Attributes::new(), vitals(80.0), Timestamp(1))
+            .unwrap();
+        // Attempted downgrade: derive with a Public label.
+        let derived = g
+            .derive(
+                &emt,
+                PolicyLabel::public(),
+                &[private],
+                &ToolDescriptor::new("smooth", "1"),
+                Attributes::new(),
+                vitals(79.0),
+                Timestamp(2),
+            )
+            .unwrap();
+        let record = g.get_record(&emt, derived).unwrap();
+        let label = PolicyLabel::of_record(&record);
+        assert_eq!(label.sensitivity, Sensitivity::Private, "downgrade must not stick");
+        assert!(label.categories.contains("phi"));
+    }
+
+    #[test]
+    fn query_filters_and_counts_withheld() {
+        let g = guarded();
+        let emt = clinician();
+        g.capture(
+            &emt,
+            phi_label(),
+            Attributes::new().with("domain", "medical"),
+            vitals(80.0),
+            Timestamp(1),
+        )
+        .unwrap();
+        g.capture(
+            &emt,
+            PolicyLabel::public(),
+            Attributes::new().with("domain", "medical"),
+            vitals(81.0),
+            Timestamp(2),
+        )
+        .unwrap();
+
+        let outsider = Principal::new("analyst");
+        let (visible, withheld) =
+            g.query_text(&outsider, r#"FIND WHERE domain = "medical""#).unwrap();
+        assert_eq!((visible.len(), withheld), (1, 1));
+        let (visible, withheld) =
+            g.query_text(&emt, r#"FIND WHERE domain = "medical""#).unwrap();
+        assert_eq!((visible.len(), withheld), (2, 0));
+    }
+
+    #[test]
+    fn lineage_is_redacted_not_severed() {
+        let g = guarded();
+        let emt = clinician();
+        let raw = g
+            .capture(&emt, phi_label(), Attributes::new(), vitals(90.0), Timestamp(1))
+            .unwrap();
+        let mid = g
+            .derive(
+                &emt,
+                phi_label(),
+                &[raw],
+                &ToolDescriptor::new("filter", "1"),
+                Attributes::new(),
+                vitals(88.0),
+                Timestamp(2),
+            )
+            .unwrap();
+        // Public summary derived from the PHI chain, sanctioned release.
+        let spec = QuasiSpec::new(
+            vec![crate::aggregate::NumericLadder::new("age", vec![10.0]).unwrap()],
+            "heart_rate",
+        )
+        .unwrap();
+        let (summary, _) = g
+            .aggregate(
+                &emt,
+                &[mid],
+                1,
+                &spec,
+                0.0,
+                PolicyLabel::public(),
+                Attributes::new(),
+                Timestamp(3),
+            )
+            .unwrap();
+
+        // A public reader walks the summary's ancestry: the two PHI
+        // records are contracted, not shown, and not severed.
+        let public = Principal::new("citizen");
+        let view = g
+            .lineage(&public, summary, Direction::Ancestors, TraverseOpts::unbounded())
+            .unwrap();
+        assert_eq!(view.redacted_count, 2);
+        assert!(view.visible.iter().all(|r| r.id == summary));
+        assert!(view.edges.is_empty(), "no visible ancestor remains");
+
+        // The clinician sees everything.
+        let full = g
+            .lineage(&emt, summary, Direction::Ancestors, TraverseOpts::unbounded())
+            .unwrap();
+        assert_eq!(full.redacted_count, 0);
+        assert_eq!(full.visible.len(), 3);
+    }
+
+    #[test]
+    fn lineage_root_gate_blocks_uncleared_traversal() {
+        let g = guarded();
+        let emt = clinician();
+        let raw = g
+            .capture(&emt, phi_label(), Attributes::new(), vitals(90.0), Timestamp(1))
+            .unwrap();
+        let outsider = Principal::new("analyst");
+        let err = g
+            .lineage(&outsider, raw, Direction::Ancestors, TraverseOpts::unbounded())
+            .unwrap_err();
+        assert!(err.is_denied());
+    }
+
+    #[test]
+    fn aggregate_requires_read_data_on_parents() {
+        let g = guarded();
+        let emt = clinician();
+        let raw = g
+            .capture(&emt, phi_label(), Attributes::new(), vitals(90.0), Timestamp(1))
+            .unwrap();
+        let spec = QuasiSpec::new(
+            vec![crate::aggregate::NumericLadder::new("age", vec![10.0]).unwrap()],
+            "heart_rate",
+        )
+        .unwrap();
+        let outsider = Principal::new("analyst");
+        let err = g
+            .aggregate(
+                &outsider,
+                &[raw],
+                1,
+                &spec,
+                0.0,
+                PolicyLabel::public(),
+                Attributes::new(),
+                Timestamp(2),
+            )
+            .unwrap_err();
+        assert!(err.is_denied());
+    }
+
+    #[test]
+    fn export_is_gated_independently_of_read() {
+        // Clinicians read PHI locally but may not ship it out; the export
+        // rule carves Export out of the clinician allow.
+        let engine = PolicyEngine::deny_by_default()
+            .with_rule(Rule::deny("no-phi-export").on([Action::Export]).when(
+                pass_query::Predicate::Eq("domain".into(), "medical".into()),
+            ))
+            .with_rule(Rule::allow("clinician").for_role("clinician"));
+        let g = GuardedPass::new(Pass::open_memory(SiteId(1)), engine);
+        let emt = clinician();
+        let id = g
+            .capture(
+                &emt,
+                phi_label(),
+                Attributes::new().with("domain", "medical"),
+                vitals(88.0),
+                Timestamp(1),
+            )
+            .unwrap();
+
+        assert!(g.get_data(&emt, id).is_ok(), "local read allowed");
+        let err = g.export_records(&emt, &[id]).unwrap_err();
+        assert!(err.is_denied(), "export refused: {err}");
+
+        // Non-medical records export fine under the same engine.
+        let ok = g
+            .capture(
+                &emt,
+                PolicyLabel::public(),
+                Attributes::new().with("domain", "traffic"),
+                vec![],
+                Timestamp(2),
+            )
+            .unwrap();
+        assert_eq!(g.export_records(&emt, &[ok]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn export_of_batch_fails_atomically() {
+        let g = guarded();
+        let emt = clinician();
+        let readable = g
+            .capture(&emt, PolicyLabel::public(), Attributes::new(), vec![], Timestamp(1))
+            .unwrap();
+        let forbidden = g
+            .capture(&emt, phi_label(), Attributes::new(), vitals(80.0), Timestamp(2))
+            .unwrap();
+        let outsider = Principal::new("mirror-daemon");
+        // Alone, the public record exports (public-read covers Export).
+        assert_eq!(g.export_records(&outsider, &[readable]).unwrap().len(), 1);
+        // Mixed with a forbidden record, the whole batch is refused — no
+        // partial shipment.
+        let err = g.export_records(&outsider, &[readable, forbidden]).unwrap_err();
+        assert!(err.is_denied());
+    }
+
+    #[test]
+    fn concurrent_guarded_reads_audit_everything() {
+        use std::sync::Arc;
+        let g = Arc::new(guarded());
+        let emt = clinician();
+        let mut ids = Vec::new();
+        for i in 0..8u64 {
+            let label = if i % 2 == 0 { phi_label() } else { PolicyLabel::public() };
+            ids.push(
+                g.capture(
+                    &emt,
+                    label,
+                    Attributes::new().with("domain", "medical"),
+                    vitals(70.0 + i as f64),
+                    Timestamp(i),
+                )
+                .unwrap(),
+            );
+        }
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let g = Arc::clone(&g);
+            let ids = ids.clone();
+            handles.push(std::thread::spawn(move || {
+                let reader = if t % 2 == 0 {
+                    clinician()
+                } else {
+                    Principal::new(format!("outsider-{t}"))
+                };
+                let mut allowed = 0usize;
+                for _ in 0..25 {
+                    for &id in &ids {
+                        if g.get_record(&reader, id).is_ok() {
+                            allowed += 1;
+                        }
+                    }
+                }
+                allowed
+            }));
+        }
+        let allowed: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Clinician threads see all 8; outsiders only the 4 public ones
+        // (public-read rule matches sensitivity 0).
+        assert_eq!(allowed, 2 * 25 * 8 + 2 * 25 * 4);
+        // Every single probe was audited, none lost under contention.
+        assert_eq!(g.audit().len(), 4 * 25 * 8);
+    }
+
+    #[test]
+    fn redaction_composes_with_abstraction_boundaries() {
+        // A lineage that has BOTH an abstraction boundary (§V "gcc 3.3.3")
+        // and policy-hidden records: the traversal stops at the abstracted
+        // tool, and what it does return is still policy-redacted.
+        let g = guarded();
+        let emt = clinician();
+        let toolchain = g
+            .capture(
+                &emt,
+                PolicyLabel::public(),
+                Attributes::new().with("domain", "toolchain"),
+                vec![],
+                Timestamp(1),
+            )
+            .unwrap();
+        // `compiled` derives from the toolchain via an *abstracted* tool.
+        let compiled = g
+            .derive(
+                &emt,
+                phi_label(),
+                &[toolchain],
+                &pass_model::ToolDescriptor::abstracted("gcc", "3.3.3"),
+                Attributes::new(),
+                vitals(1.0),
+                Timestamp(2),
+            )
+            .unwrap();
+        let result = g
+            .derive(
+                &emt,
+                PolicyLabel::public(),
+                &[compiled],
+                &ToolDescriptor::new("analyze", "1"),
+                Attributes::new(),
+                vec![],
+                Timestamp(3),
+            )
+            .unwrap();
+        // Sticky labels: `result` asked for public but joins `compiled`'s
+        // PHI label, so grant the reader lineage on the root via clearance…
+        let reader = Principal::new("reviewer")
+            .with_role("clinician")
+            .with_clearance(Sensitivity::Private)
+            .with_category("phi");
+
+        let abstracted = g
+            .lineage(
+                &reader,
+                result,
+                Direction::Ancestors,
+                TraverseOpts { stop_at_abstraction: true, ..TraverseOpts::default() },
+            )
+            .unwrap();
+        // Abstraction stops before the toolchain's own history.
+        assert!(abstracted.visible.iter().all(|r| r.id != toolchain));
+        assert_eq!(abstracted.redacted_count, 0, "reader is fully cleared");
+
+        // An uncleared-for-PHI reader with lineage rights on the root sees
+        // `compiled` contracted away even inside the abstracted view.
+        let engine = PolicyEngine::allow_by_default();
+        let (pass, _) = g.into_inner();
+        let open = GuardedPass::new(pass, engine);
+        let public_reader = Principal::new("citizen");
+        let err = open
+            .lineage(&public_reader, result, Direction::Ancestors, TraverseOpts::unbounded())
+            .unwrap_err();
+        assert!(err.is_denied(), "root itself is PHI (sticky), so traversal is gated");
+    }
+
+    #[test]
+    fn aggregate_release_is_publicly_readable_with_provenance() {
+        let g = guarded();
+        let emt = clinician();
+        let mut parents = Vec::new();
+        for i in 0..5u64 {
+            parents.push(
+                g.capture(
+                    &emt,
+                    phi_label(),
+                    Attributes::new().with("patient", i as i64),
+                    vitals(70.0 + i as f64),
+                    Timestamp(i),
+                )
+                .unwrap(),
+            );
+        }
+        let spec = QuasiSpec::new(
+            vec![crate::aggregate::NumericLadder::new("age", vec![10.0]).unwrap()],
+            "heart_rate",
+        )
+        .unwrap();
+        let (id, anon) = g
+            .aggregate(
+                &emt,
+                &parents,
+                5,
+                &spec,
+                0.0,
+                PolicyLabel::public(),
+                Attributes::new().with("domain", "medical"),
+                Timestamp(10),
+            )
+            .unwrap();
+        assert_eq!(anon.released(), 5);
+
+        let public = Principal::new("citizen");
+        let record = g.get_record(&public, id).expect("public aggregate readable");
+        assert_eq!(record.ancestry.len(), 5, "provenance names all sources");
+        assert_eq!(record.ancestry[0].tool.name, "k-anonymize");
+        let data = g.get_data(&public, id).unwrap().unwrap();
+        assert_eq!(data.len(), anon.groups.len());
+    }
+}

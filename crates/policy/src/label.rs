@@ -1,0 +1,301 @@
+//! Mandatory sensitivity labels: a small security lattice carried on
+//! provenance attributes.
+//!
+//! The paper asks for "strong guarantees that privacy policies will be
+//! enforced" (§V). Discretionary rules alone cannot give that guarantee —
+//! a missing rule silently allows. Labels give the mandatory floor: every
+//! record carries a [`PolicyLabel`] (sensitivity level + category set), a
+//! principal carries a [`Clearance`], and no rule can release a record to
+//! a principal whose clearance does not dominate the label.
+//!
+//! Labels are stored as ordinary provenance attributes
+//! (`policy.sensitivity`, `policy.categories`), so they are named,
+//! indexed, and queried by the same machinery as every other part of the
+//! provenance — and because attributes participate in record identity,
+//! a label cannot be stripped without changing the record's name.
+//!
+//! Derived data inherits the *join* (least upper bound) of its parents'
+//! labels — the "sticky policy" rule. Joins make the lattice: sensitivity
+//! joins by `max`, categories join by set union.
+
+use pass_model::{Attributes, ProvenanceRecord, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Attribute name under which the sensitivity level is stored.
+pub const ATTR_SENSITIVITY: &str = "policy.sensitivity";
+/// Attribute name under which the category set is stored.
+pub const ATTR_CATEGORIES: &str = "policy.categories";
+
+/// Ordered sensitivity levels. `Public < Internal < Restricted < Private`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Sensitivity {
+    /// Releasable to anyone (e.g. aggregate traffic counts).
+    #[default]
+    Public,
+    /// Internal to the collecting organization.
+    Internal,
+    /// Restricted to named roles (e.g. city planners).
+    Restricted,
+    /// Identifiable private data (e.g. a patient's vitals — the paper's
+    /// §V motivating case).
+    Private,
+}
+
+impl Sensitivity {
+    /// All levels, ascending.
+    pub const ALL: [Sensitivity; 4] =
+        [Sensitivity::Public, Sensitivity::Internal, Sensitivity::Restricted, Sensitivity::Private];
+
+    /// Stable integer encoding (used in the attribute representation).
+    pub fn rank(self) -> i64 {
+        match self {
+            Sensitivity::Public => 0,
+            Sensitivity::Internal => 1,
+            Sensitivity::Restricted => 2,
+            Sensitivity::Private => 3,
+        }
+    }
+
+    /// Inverse of [`Sensitivity::rank`]; out-of-range ranks clamp to
+    /// `Private` (fail closed: an unknown level must never widen access).
+    pub fn from_rank(rank: i64) -> Sensitivity {
+        match rank {
+            0 => Sensitivity::Public,
+            1 => Sensitivity::Internal,
+            2 => Sensitivity::Restricted,
+            _ => Sensitivity::Private,
+        }
+    }
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sensitivity::Public => "public",
+            Sensitivity::Internal => "internal",
+            Sensitivity::Restricted => "restricted",
+            Sensitivity::Private => "private",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A record's mandatory label: sensitivity level plus a set of need-to-know
+/// categories (`"phi"`, `"location"`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PolicyLabel {
+    /// How sensitive the record is.
+    pub sensitivity: Sensitivity,
+    /// Need-to-know compartments a reader must be authorized for.
+    pub categories: BTreeSet<String>,
+}
+
+impl PolicyLabel {
+    /// A label at `sensitivity` with no categories.
+    pub fn new(sensitivity: Sensitivity) -> Self {
+        PolicyLabel { sensitivity, categories: BTreeSet::new() }
+    }
+
+    /// The bottom of the lattice: public, no categories. Records without
+    /// label attributes read back as this.
+    pub fn public() -> Self {
+        PolicyLabel::default()
+    }
+
+    /// Adds a category, returning `self` for chaining.
+    pub fn with_category(mut self, category: impl Into<String>) -> Self {
+        self.categories.insert(category.into());
+        self
+    }
+
+    /// Least upper bound: max sensitivity, union of categories. This is
+    /// the sticky-propagation operator — a derived record's label is the
+    /// join of its own label with all of its parents'.
+    pub fn join(&self, other: &PolicyLabel) -> PolicyLabel {
+        PolicyLabel {
+            sensitivity: self.sensitivity.max(other.sensitivity),
+            categories: self.categories.union(&other.categories).cloned().collect(),
+        }
+    }
+
+    /// Lattice partial order: `self ⊑ other` iff `other` is at least as
+    /// sensitive and carries every category of `self`.
+    pub fn leq(&self, other: &PolicyLabel) -> bool {
+        self.sensitivity <= other.sensitivity && self.categories.is_subset(&other.categories)
+    }
+
+    /// True when `clearance` dominates this label: level high enough and
+    /// every category authorized.
+    pub fn permits(&self, clearance: &Clearance) -> bool {
+        self.sensitivity <= clearance.level && self.categories.is_subset(&clearance.categories)
+    }
+
+    /// Renders the label as the two reserved provenance attributes.
+    pub fn to_attributes(&self) -> Attributes {
+        let cats: Vec<Value> =
+            self.categories.iter().map(|c| Value::from(c.as_str())).collect();
+        Attributes::new()
+            .with(ATTR_SENSITIVITY, self.sensitivity.rank())
+            .with(ATTR_CATEGORIES, Value::List(cats))
+    }
+
+    /// Stamps the label onto an attribute set (overwriting any label
+    /// already present).
+    pub fn apply_to(&self, attrs: &mut Attributes) {
+        attrs.merge(&self.to_attributes());
+    }
+
+    /// Reads the label a record carries. Records with no label attributes
+    /// are [`PolicyLabel::public`]; a malformed sensitivity fails closed
+    /// to `Private`.
+    pub fn of_record(record: &ProvenanceRecord) -> PolicyLabel {
+        let mut label = PolicyLabel::public();
+        match record.attributes.get(ATTR_SENSITIVITY) {
+            None => {}
+            Some(v) => match v.as_int() {
+                Some(rank) => label.sensitivity = Sensitivity::from_rank(rank),
+                // Present but not an integer: fail closed.
+                None => label.sensitivity = Sensitivity::Private,
+            },
+        }
+        if let Some(Value::List(vs)) = record.attributes.get(ATTR_CATEGORIES) {
+            for v in vs {
+                if let Some(s) = v.as_str() {
+                    label.categories.insert(s.to_owned());
+                }
+            }
+        }
+        label
+    }
+}
+
+impl fmt::Display for PolicyLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sensitivity)?;
+        if !self.categories.is_empty() {
+            write!(f, "/{{")?;
+            for (i, c) in self.categories.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What a principal is cleared to see: a level and a set of authorized
+/// categories. A clearance dominates a label when its level is ≥ the
+/// label's and its categories are a superset.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Clearance {
+    /// Maximum sensitivity the principal may read.
+    pub level: Sensitivity,
+    /// Categories the principal is authorized for.
+    pub categories: BTreeSet<String>,
+}
+
+impl Clearance {
+    /// A clearance at `level` with no category authorizations.
+    pub fn new(level: Sensitivity) -> Self {
+        Clearance { level, categories: BTreeSet::new() }
+    }
+
+    /// Adds an authorized category, returning `self` for chaining.
+    pub fn with_category(mut self, category: impl Into<String>) -> Self {
+        self.categories.insert(category.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_model::{Digest128, ProvenanceBuilder, SiteId, Timestamp};
+
+    fn record_with(attrs: Attributes) -> ProvenanceRecord {
+        ProvenanceBuilder::new(SiteId(1), Timestamp(1)).attrs(&attrs).build(Digest128::of(b"x"))
+    }
+
+    #[test]
+    fn sensitivity_is_totally_ordered() {
+        for w in Sensitivity::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for s in Sensitivity::ALL {
+            assert_eq!(Sensitivity::from_rank(s.rank()), s);
+        }
+    }
+
+    #[test]
+    fn unknown_rank_fails_closed() {
+        assert_eq!(Sensitivity::from_rank(99), Sensitivity::Private);
+        assert_eq!(Sensitivity::from_rank(-1), Sensitivity::Private);
+    }
+
+    #[test]
+    fn join_takes_max_level_and_union_categories() {
+        let a = PolicyLabel::new(Sensitivity::Internal).with_category("phi");
+        let b = PolicyLabel::new(Sensitivity::Private).with_category("location");
+        let j = a.join(&b);
+        assert_eq!(j.sensitivity, Sensitivity::Private);
+        assert!(j.categories.contains("phi") && j.categories.contains("location"));
+        assert!(a.leq(&j) && b.leq(&j));
+    }
+
+    #[test]
+    fn permits_requires_level_and_categories() {
+        let label = PolicyLabel::new(Sensitivity::Restricted).with_category("phi");
+        let high = Clearance::new(Sensitivity::Private).with_category("phi");
+        let right_level_wrong_cat = Clearance::new(Sensitivity::Private);
+        let wrong_level_right_cat = Clearance::new(Sensitivity::Internal).with_category("phi");
+        assert!(label.permits(&high));
+        assert!(!label.permits(&right_level_wrong_cat));
+        assert!(!label.permits(&wrong_level_right_cat));
+    }
+
+    #[test]
+    fn label_round_trips_through_attributes() {
+        let label = PolicyLabel::new(Sensitivity::Restricted)
+            .with_category("phi")
+            .with_category("location");
+        let record = record_with(label.to_attributes().with("domain", "medical"));
+        assert_eq!(PolicyLabel::of_record(&record), label);
+    }
+
+    #[test]
+    fn unlabeled_record_is_public() {
+        let record = record_with(Attributes::new().with("domain", "traffic"));
+        assert_eq!(PolicyLabel::of_record(&record), PolicyLabel::public());
+    }
+
+    #[test]
+    fn malformed_sensitivity_fails_closed_to_private() {
+        let record =
+            record_with(Attributes::new().with(ATTR_SENSITIVITY, "not a number"));
+        assert_eq!(PolicyLabel::of_record(&record).sensitivity, Sensitivity::Private);
+    }
+
+    #[test]
+    fn label_changes_record_identity() {
+        // A label cannot be stripped without renaming the record: identity
+        // covers attributes, and the label is an attribute.
+        let base = Attributes::new().with("domain", "medical");
+        let mut labeled = base.clone();
+        PolicyLabel::new(Sensitivity::Private).apply_to(&mut labeled);
+        assert_ne!(record_with(base).id, record_with(labeled).id);
+    }
+
+    #[test]
+    fn display_forms() {
+        let label = PolicyLabel::new(Sensitivity::Private).with_category("phi");
+        assert_eq!(label.to_string(), "private/{phi}");
+        assert_eq!(PolicyLabel::public().to_string(), "public");
+    }
+}

@@ -1,0 +1,76 @@
+//! # pass-policy — the paper's §V privacy and security agenda, executable
+//!
+//! Section V of the paper closes with a list of open problems: "Security
+//! is essential as well, as much of the data collected in sensor networks
+//! (e.g., medical data) is private. Much of this data is valuable even
+//! when aggregated to preserve privacy. What degree of aggregation is
+//! necessary? How does one represent the provenance of such aggregates?
+//! How do regulatory moves like HIPAA affect the situation? And how do we
+//! provide strong guarantees that privacy policies will be enforced?"
+//!
+//! This crate answers each question with a mechanism:
+//!
+//! | §V question | Mechanism | Module |
+//! |---|---|---|
+//! | strong enforcement guarantees | mandatory sensitivity-label lattice + discretionary attribute rules, checked on *every* read path | [`label`], [`rule`], [`guard`] |
+//! | what degree of aggregation? | k-anonymous aggregation with measured re-identification risk and utility loss (experiment E17 sweeps k) | [`aggregate`] |
+//! | provenance of aggregates | aggregates are ordinary derived tuple sets whose [`pass_model::ToolDescriptor`] carries (k, generalization level, suppression count) | [`aggregate`] |
+//! | HIPAA-style regimes | deny-by-default engines over `category` labels (e.g. `phi`), with a complete, queryable audit trail | [`rule`], [`audit`] |
+//! | provenance must survive protection | lineage redaction collapses forbidden records into opaque placeholders while preserving reachability between visible ones | [`redact`] |
+//!
+//! Labels ride *on* provenance — they are ordinary attributes
+//! (`policy.sensitivity`, `policy.categories`) of the record, so the
+//! paper's "provenance as name" machinery indexes, queries, and
+//! propagates them for free. Derived tuple sets inherit the join of their
+//! parents' labels ("sticky" policies): see
+//! [`guard::GuardedPass::derive`].
+//!
+//! ```
+//! use pass_core::Pass;
+//! use pass_model::SiteId;
+//! use pass_policy::{
+//!     Action, Effect, GuardedPass, PolicyEngine, PolicyLabel, Principal, Sensitivity,
+//! };
+//!
+//! // Deny-by-default HIPAA-ish regime: clinicians may read PHI, others not.
+//! let engine = PolicyEngine::deny_by_default()
+//!     .with_rule(pass_policy::Rule::allow("clinician-read")
+//!         .for_role("clinician")
+//!         .on([Action::ReadData, Action::ReadProvenance, Action::ReadLineage]));
+//! let guarded = GuardedPass::new(Pass::open_memory(SiteId(1)), engine);
+//!
+//! let emt = Principal::new("emt-7")
+//!     .with_role("clinician")
+//!     .with_clearance(Sensitivity::Private)
+//!     .with_category("phi");
+//! let label = PolicyLabel::new(Sensitivity::Private).with_category("phi");
+//! let id = guarded
+//!     .capture(&emt, label, pass_model::Attributes::new().with("domain", "medical"),
+//!              vec![], pass_model::Timestamp(1))
+//!     .unwrap();
+//!
+//! // The clinician reads; an unprivileged analyst is refused and audited.
+//! assert!(guarded.get_record(&emt, id).is_ok());
+//! let analyst = Principal::new("analyst-1");
+//! assert!(guarded.get_record(&analyst, id).is_err());
+//! assert_eq!(guarded.audit().denials().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod audit;
+pub mod error;
+pub mod guard;
+pub mod label;
+pub mod redact;
+pub mod rule;
+
+pub use aggregate::{kanonymize, AggregateGroup, KAnonymized, NumericLadder, QuasiSpec};
+pub use audit::{AuditEntry, AuditLog};
+pub use error::{PolicyError, Result};
+pub use guard::GuardedPass;
+pub use label::{Clearance, PolicyLabel, Sensitivity};
+pub use redact::{redact_lineage, RedactedEdge, RedactedLineage};
+pub use rule::{Action, Decision, Effect, PolicyEngine, Principal, Reason, Rule};

@@ -1,0 +1,240 @@
+//! Policy-aware lineage views: hide what a principal may not see without
+//! severing what they may.
+//!
+//! Two PASS commitments collide when policies arrive: provenance must
+//! survive (property 4, §V) but private records must not leak. Deleting
+//! forbidden records from a lineage answer would silently disconnect the
+//! ancestry of perfectly readable data — a volcanologist cleared for the
+//! derived eruption summary but not the raw seismometer feeds would see
+//! an orphaned record with no history at all, indistinguishable from raw
+//! capture.
+//!
+//! Redaction resolves the collision by *contracting* forbidden records:
+//! the visible nodes keep their transitive connectivity through opaque
+//! placeholders. Each surviving edge reports how many hidden records it
+//! passed through ([`RedactedEdge::via_redacted`]), so the reader knows
+//! derivation steps exist without learning what they were — the lineage
+//! analogue of §V's "gcc 3.3.3" abstraction, driven by policy instead of
+//! by tool boundaries.
+
+use pass_model::{ProvenanceRecord, TupleSetId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One contracted ancestry edge between two *visible* records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedactedEdge {
+    /// The descendant (closer to the query root).
+    pub from: TupleSetId,
+    /// The nearest visible ancestor in this direction.
+    pub to: TupleSetId,
+    /// How many redacted records the edge was contracted through
+    /// (0 = the edge existed in the full lineage).
+    pub via_redacted: usize,
+}
+
+/// A lineage answer after policy redaction.
+#[derive(Debug, Clone, Default)]
+pub struct RedactedLineage {
+    /// Records the principal may read, in the input's order.
+    pub visible: Vec<ProvenanceRecord>,
+    /// How many records were withheld (their contents do not appear
+    /// anywhere in this structure).
+    pub redacted_count: usize,
+    /// Ancestry edges between visible records, contracted through the
+    /// withheld ones.
+    pub edges: Vec<RedactedEdge>,
+}
+
+impl RedactedLineage {
+    /// Ids of the visible records.
+    pub fn visible_ids(&self) -> Vec<TupleSetId> {
+        self.visible.iter().map(|r| r.id).collect()
+    }
+
+    /// True when any edge was contracted (i.e. the view is genuinely
+    /// redacted rather than merely filtered).
+    pub fn has_contractions(&self) -> bool {
+        self.edges.iter().any(|e| e.via_redacted > 0)
+    }
+}
+
+/// Contracts `records` (a lineage closure, typically root-first) against
+/// a visibility predicate.
+///
+/// Guarantees, for records limited to the given set:
+///
+/// * every record failing `is_visible` is absent from the output;
+/// * a visible record B is reachable from visible record A through
+///   [`RedactedLineage::edges`] **iff** B was reachable from A through
+///   parent edges in the full set — redaction never severs or invents
+///   visible-to-visible reachability;
+/// * each edge carries the *minimum* number of hidden hops between its
+///   endpoints.
+pub fn redact_lineage(
+    records: &[ProvenanceRecord],
+    is_visible: impl Fn(&ProvenanceRecord) -> bool,
+) -> RedactedLineage {
+    let by_id: HashMap<TupleSetId, &ProvenanceRecord> =
+        records.iter().map(|r| (r.id, r)).collect();
+    let visible_ids: HashSet<TupleSetId> =
+        records.iter().filter(|r| is_visible(r)).map(|r| r.id).collect();
+
+    let mut edges = Vec::new();
+    for record in records {
+        if !visible_ids.contains(&record.id) {
+            continue;
+        }
+        // BFS from this visible record through hidden parents; stop at
+        // the first visible ancestor on each path. BFS order makes the
+        // recorded hop count minimal.
+        let mut best: HashMap<TupleSetId, usize> = HashMap::new();
+        let mut seen: HashSet<TupleSetId> = HashSet::new();
+        let mut queue: VecDeque<(TupleSetId, usize)> = VecDeque::new();
+        queue.push_back((record.id, 0));
+        seen.insert(record.id);
+        while let Some((id, hidden_hops)) = queue.pop_front() {
+            let Some(node) = by_id.get(&id) else { continue };
+            for parent in node.parents() {
+                if !seen.insert(parent) {
+                    continue;
+                }
+                if visible_ids.contains(&parent) {
+                    best.entry(parent).or_insert(hidden_hops);
+                } else if by_id.contains_key(&parent) {
+                    queue.push_back((parent, hidden_hops + 1));
+                }
+            }
+        }
+        let mut found: Vec<(TupleSetId, usize)> = best.into_iter().collect();
+        found.sort_unstable_by_key(|(id, _)| *id);
+        for (to, via_redacted) in found {
+            edges.push(RedactedEdge { from: record.id, to, via_redacted });
+        }
+    }
+
+    RedactedLineage {
+        visible: records.iter().filter(|r| visible_ids.contains(&r.id)).cloned().collect(),
+        redacted_count: records.len() - visible_ids.len(),
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_model::{Attributes, Digest128, ProvenanceBuilder, SiteId, Timestamp, ToolDescriptor};
+
+    /// Builds a chain r0 ← r1 ← … ← r(n-1) (each derived from the
+    /// previous) and returns it child-last.
+    fn chain(n: usize) -> Vec<ProvenanceRecord> {
+        let mut out: Vec<ProvenanceRecord> = Vec::new();
+        for i in 0..n {
+            let mut b = ProvenanceBuilder::new(SiteId(1), Timestamp(i as u64))
+                .attrs(&Attributes::new().with("step", i as i64));
+            if let Some(prev) = out.last() {
+                b = b.derived_from(prev.id, ToolDescriptor::new("t", "1"));
+            }
+            out.push(b.build(Digest128::of(&[i as u8])));
+        }
+        out
+    }
+
+    fn visible_steps(lineage: &RedactedLineage) -> Vec<i64> {
+        lineage.visible.iter().filter_map(|r| r.attributes.get_int("step")).collect()
+    }
+
+    #[test]
+    fn all_visible_is_identity() {
+        let records = chain(4);
+        let out = redact_lineage(&records, |_| true);
+        assert_eq!(out.visible.len(), 4);
+        assert_eq!(out.redacted_count, 0);
+        assert!(!out.has_contractions());
+        // Three direct edges, each with zero hidden hops.
+        assert_eq!(out.edges.len(), 3);
+        assert!(out.edges.iter().all(|e| e.via_redacted == 0));
+    }
+
+    #[test]
+    fn hidden_middle_contracts_the_edge() {
+        let records = chain(3); // r0 ← r1 ← r2; hide r1
+        let hide = records[1].id;
+        let out = redact_lineage(&records, |r| r.id != hide);
+        assert_eq!(visible_steps(&out), vec![0, 2]);
+        assert_eq!(out.redacted_count, 1);
+        assert_eq!(out.edges.len(), 1);
+        let e = &out.edges[0];
+        assert_eq!((e.from, e.to, e.via_redacted), (records[2].id, records[0].id, 1));
+    }
+
+    #[test]
+    fn hidden_run_counts_all_hops() {
+        let records = chain(5); // hide r1..r3
+        let hidden: Vec<TupleSetId> = records[1..4].iter().map(|r| r.id).collect();
+        let out = redact_lineage(&records, |r| !hidden.contains(&r.id));
+        assert_eq!(out.edges.len(), 1);
+        assert_eq!(out.edges[0].via_redacted, 3);
+        assert_eq!(out.redacted_count, 3);
+    }
+
+    #[test]
+    fn no_leak_of_hidden_attributes() {
+        let records = chain(4);
+        let hide = records[2].id;
+        let out = redact_lineage(&records, |r| r.id != hide);
+        assert!(out.visible.iter().all(|r| r.id != hide));
+        assert!(out.edges.iter().all(|e| e.from != hide && e.to != hide));
+    }
+
+    #[test]
+    fn diamond_keeps_both_paths() {
+        // root ← a, root ← b, a,b ← top (diamond); hide a only.
+        let root = ProvenanceBuilder::new(SiteId(1), Timestamp(0)).build(Digest128::of(b"r"));
+        let tool = ToolDescriptor::new("t", "1");
+        let a = ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+            .attrs(&Attributes::new().with("side", "a"))
+            .derived_from(root.id, tool.clone())
+            .build(Digest128::of(b"a"));
+        let b = ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+            .attrs(&Attributes::new().with("side", "b"))
+            .derived_from(root.id, tool.clone())
+            .build(Digest128::of(b"b"));
+        let top = ProvenanceBuilder::new(SiteId(1), Timestamp(2))
+            .derived_from(a.id, tool.clone())
+            .derived_from(b.id, tool)
+            .build(Digest128::of(b"t"));
+        let records = vec![root.clone(), a.clone(), b.clone(), top.clone()];
+        let out = redact_lineage(&records, |r| r.id != a.id);
+
+        // top still reaches root two ways: contracted through a (1 hop)
+        // and via b (direct edges top→b, b→root). The contracted edge
+        // must carry the minimal hidden count for its endpoint pair.
+        let top_to_root =
+            out.edges.iter().find(|e| e.from == top.id && e.to == root.id).expect("edge");
+        assert_eq!(top_to_root.via_redacted, 1);
+        assert!(out.edges.iter().any(|e| e.from == top.id && e.to == b.id));
+        assert!(out.edges.iter().any(|e| e.from == b.id && e.to == root.id));
+    }
+
+    #[test]
+    fn parents_outside_the_set_are_ignored() {
+        // A record referencing an ancestor that was never fetched (depth
+        // cutoff) must not panic or fabricate edges.
+        let ghost = TupleSetId(0xdead);
+        let r = ProvenanceBuilder::new(SiteId(1), Timestamp(0))
+            .derived_from(ghost, ToolDescriptor::new("t", "1"))
+            .build(Digest128::of(b"x"));
+        let out = redact_lineage(&[r], |_| true);
+        assert_eq!(out.visible.len(), 1);
+        assert!(out.edges.is_empty());
+    }
+
+    #[test]
+    fn everything_hidden_yields_empty_view() {
+        let records = chain(3);
+        let out = redact_lineage(&records, |_| false);
+        assert!(out.visible.is_empty());
+        assert_eq!(out.redacted_count, 3);
+        assert!(out.edges.is_empty());
+    }
+}

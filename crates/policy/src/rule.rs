@@ -1,0 +1,399 @@
+//! Discretionary policy rules and the two-layer decision engine.
+//!
+//! Enforcement is layered so the §V "strong guarantees" question has a
+//! concrete answer:
+//!
+//! 1. **Mandatory layer** — the label lattice ([`crate::label`]). A
+//!    principal whose [`Clearance`] does not dominate a record's
+//!    [`PolicyLabel`] is denied, unconditionally. No rule can override
+//!    this; forgetting to write a rule can never widen access.
+//! 2. **Discretionary layer** — ordered [`Rule`]s matched first-hit.
+//!    Each rule names an effect, the roles it applies to, the actions it
+//!    covers, and a [`Predicate`] over the record's provenance
+//!    attributes. Because conditions are ordinary provenance predicates,
+//!    policies compose with the paper's "provenance as name" machinery:
+//!    a HIPAA rule is just `domain = "medical" AND patient.consent =
+//!    false` attached to a deny.
+//!
+//! When no rule matches, the engine's default effect applies —
+//! [`PolicyEngine::deny_by_default`] for regulated regimes.
+
+use crate::label::{Clearance, PolicyLabel, Sensitivity};
+use pass_model::{ProvenanceRecord, SiteId};
+use pass_query::Predicate;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The operations a policy can govern.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Action {
+    /// Read the readings (the sensor data itself).
+    ReadData,
+    /// Read the provenance record (attributes, ancestry, annotations).
+    ReadProvenance,
+    /// Traverse lineage through this record.
+    ReadLineage,
+    /// Export the record beyond the local PASS (federation, replication).
+    Export,
+}
+
+impl Action {
+    /// All actions.
+    pub const ALL: [Action; 4] =
+        [Action::ReadData, Action::ReadProvenance, Action::ReadLineage, Action::Export];
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Action::ReadData => "read-data",
+            Action::ReadProvenance => "read-provenance",
+            Action::ReadLineage => "read-lineage",
+            Action::Export => "export",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Allow or deny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Effect {
+    /// Permit the action.
+    Allow,
+    /// Refuse the action.
+    Deny,
+}
+
+impl fmt::Display for Effect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Effect::Allow => "allow",
+            Effect::Deny => "deny",
+        })
+    }
+}
+
+/// Who is asking: a named principal with roles and a mandatory clearance.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Principal {
+    /// Stable principal name (audit entries key on it).
+    pub name: String,
+    /// Roles for discretionary rule matching.
+    pub roles: BTreeSet<String>,
+    /// Mandatory-layer clearance.
+    pub clearance: Clearance,
+    /// The site the principal operates from, when locality matters.
+    pub site: Option<SiteId>,
+}
+
+impl Principal {
+    /// A principal with no roles and the bottom clearance (public only).
+    pub fn new(name: impl Into<String>) -> Self {
+        Principal { name: name.into(), ..Principal::default() }
+    }
+
+    /// Adds a role, returning `self` for chaining.
+    pub fn with_role(mut self, role: impl Into<String>) -> Self {
+        self.roles.insert(role.into());
+        self
+    }
+
+    /// Sets the clearance level, returning `self` for chaining.
+    pub fn with_clearance(mut self, level: Sensitivity) -> Self {
+        self.clearance.level = level;
+        self
+    }
+
+    /// Authorizes a label category, returning `self` for chaining.
+    pub fn with_category(mut self, category: impl Into<String>) -> Self {
+        self.clearance.categories.insert(category.into());
+        self
+    }
+
+    /// Pins the principal to a site, returning `self` for chaining.
+    pub fn at_site(mut self, site: SiteId) -> Self {
+        self.site = Some(site);
+        self
+    }
+
+    /// True when the principal holds `role`.
+    pub fn has_role(&self, role: &str) -> bool {
+        self.roles.contains(role)
+    }
+}
+
+/// One discretionary rule: effect + role scope + action scope + a
+/// provenance predicate.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Stable identifier (audit entries cite it).
+    pub id: String,
+    /// What the rule does when it matches.
+    pub effect: Effect,
+    /// Roles the rule applies to; `None` = every principal.
+    pub roles: Option<BTreeSet<String>>,
+    /// Actions the rule covers.
+    pub actions: BTreeSet<Action>,
+    /// Condition over the record's provenance attributes;
+    /// `Predicate::True` matches every record.
+    pub condition: Predicate,
+}
+
+impl Rule {
+    fn new(id: impl Into<String>, effect: Effect) -> Self {
+        Rule {
+            id: id.into(),
+            effect,
+            roles: None,
+            actions: Action::ALL.into_iter().collect(),
+            condition: Predicate::True,
+        }
+    }
+
+    /// An allow rule covering all actions, all roles, all records; narrow
+    /// it with the builder methods.
+    pub fn allow(id: impl Into<String>) -> Self {
+        Rule::new(id, Effect::Allow)
+    }
+
+    /// A deny rule covering all actions, all roles, all records.
+    pub fn deny(id: impl Into<String>) -> Self {
+        Rule::new(id, Effect::Deny)
+    }
+
+    /// Restricts the rule to principals holding `role` (repeatable; any
+    /// listed role matches).
+    pub fn for_role(mut self, role: impl Into<String>) -> Self {
+        self.roles.get_or_insert_with(BTreeSet::new).insert(role.into());
+        self
+    }
+
+    /// Restricts the rule to the given actions.
+    pub fn on(mut self, actions: impl IntoIterator<Item = Action>) -> Self {
+        self.actions = actions.into_iter().collect();
+        self
+    }
+
+    /// Attaches a provenance condition.
+    pub fn when(mut self, condition: Predicate) -> Self {
+        self.condition = condition;
+        self
+    }
+
+    /// True when this rule speaks to (principal, action, record).
+    fn matches(&self, principal: &Principal, action: Action, record: &ProvenanceRecord) -> bool {
+        if let Some(roles) = &self.roles {
+            if !roles.iter().any(|r| principal.has_role(r)) {
+                return false;
+            }
+        }
+        self.actions.contains(&action) && self.condition.matches(record)
+    }
+}
+
+/// Why a decision came out the way it did.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reason {
+    /// The mandatory label layer refused: clearance does not dominate.
+    LabelDominance {
+        /// The record's label at decision time.
+        label: PolicyLabel,
+    },
+    /// A discretionary rule matched first.
+    Rule {
+        /// The matching rule's id.
+        id: String,
+    },
+    /// No rule matched; the engine default applied.
+    Default,
+}
+
+impl fmt::Display for Reason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reason::LabelDominance { label } => write!(f, "label {label} not dominated"),
+            Reason::Rule { id } => write!(f, "rule {id}"),
+            Reason::Default => write!(f, "default"),
+        }
+    }
+}
+
+/// The outcome of a policy check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Allow or deny.
+    pub effect: Effect,
+    /// Why.
+    pub reason: Reason,
+}
+
+impl Decision {
+    /// True when the action may proceed.
+    pub fn allowed(&self) -> bool {
+        self.effect == Effect::Allow
+    }
+}
+
+/// The two-layer decision engine: mandatory labels, then first-match
+/// discretionary rules, then a default.
+#[derive(Debug, Clone)]
+pub struct PolicyEngine {
+    rules: Vec<Rule>,
+    default_effect: Effect,
+}
+
+impl PolicyEngine {
+    /// An engine that denies when no rule matches (regulated regimes).
+    pub fn deny_by_default() -> Self {
+        PolicyEngine { rules: Vec::new(), default_effect: Effect::Deny }
+    }
+
+    /// An engine that allows when no rule matches (open-data regimes —
+    /// the mandatory label layer still applies).
+    pub fn allow_by_default() -> Self {
+        PolicyEngine { rules: Vec::new(), default_effect: Effect::Allow }
+    }
+
+    /// Appends a rule (rules are evaluated in insertion order).
+    pub fn with_rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The configured rules, in evaluation order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The effect applied when no rule matches.
+    pub fn default_effect(&self) -> Effect {
+        self.default_effect
+    }
+
+    /// Decides whether `principal` may perform `action` on `record`.
+    ///
+    /// The mandatory layer runs first and cannot be overridden: if the
+    /// record's label is not dominated by the principal's clearance the
+    /// decision is a deny regardless of any rule. Otherwise the first
+    /// matching rule wins; with no match, the default effect applies.
+    pub fn decide(
+        &self,
+        principal: &Principal,
+        action: Action,
+        record: &ProvenanceRecord,
+    ) -> Decision {
+        let label = PolicyLabel::of_record(record);
+        if !label.permits(&principal.clearance) {
+            return Decision { effect: Effect::Deny, reason: Reason::LabelDominance { label } };
+        }
+        for rule in &self.rules {
+            if rule.matches(principal, action, record) {
+                return Decision {
+                    effect: rule.effect,
+                    reason: Reason::Rule { id: rule.id.clone() },
+                };
+            }
+        }
+        Decision { effect: self.default_effect, reason: Reason::Default }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_model::{Attributes, Digest128, ProvenanceBuilder, Timestamp};
+
+    fn record(attrs: Attributes) -> ProvenanceRecord {
+        ProvenanceBuilder::new(SiteId(1), Timestamp(1)).attrs(&attrs).build(Digest128::of(b"r"))
+    }
+
+    fn phi_record() -> ProvenanceRecord {
+        let mut attrs = Attributes::new().with("domain", "medical");
+        PolicyLabel::new(Sensitivity::Private).with_category("phi").apply_to(&mut attrs);
+        record(attrs)
+    }
+
+    fn clinician() -> Principal {
+        Principal::new("dr-a")
+            .with_role("clinician")
+            .with_clearance(Sensitivity::Private)
+            .with_category("phi")
+    }
+
+    #[test]
+    fn mandatory_layer_cannot_be_overridden_by_allow_rules() {
+        let engine = PolicyEngine::deny_by_default().with_rule(Rule::allow("open-door"));
+        let uncleared = Principal::new("analyst"); // public clearance only
+        let d = engine.decide(&uncleared, Action::ReadData, &phi_record());
+        assert_eq!(d.effect, Effect::Deny);
+        assert!(matches!(d.reason, Reason::LabelDominance { .. }));
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let engine = PolicyEngine::deny_by_default()
+            .with_rule(Rule::deny("no-export").on([Action::Export]))
+            .with_rule(Rule::allow("clinician-all").for_role("clinician"));
+        let p = clinician();
+        let r = phi_record();
+        assert_eq!(engine.decide(&p, Action::Export, &r).effect, Effect::Deny);
+        assert_eq!(engine.decide(&p, Action::ReadData, &r).effect, Effect::Allow);
+        assert_eq!(
+            engine.decide(&p, Action::ReadData, &r).reason,
+            Reason::Rule { id: "clinician-all".into() }
+        );
+    }
+
+    #[test]
+    fn default_applies_when_no_rule_matches() {
+        let deny = PolicyEngine::deny_by_default();
+        let allow = PolicyEngine::allow_by_default();
+        let p = clinician();
+        let r = phi_record();
+        assert_eq!(deny.decide(&p, Action::ReadData, &r).effect, Effect::Deny);
+        assert_eq!(allow.decide(&p, Action::ReadData, &r).effect, Effect::Allow);
+        assert_eq!(allow.decide(&p, Action::ReadData, &r).reason, Reason::Default);
+    }
+
+    #[test]
+    fn role_scoping_limits_rules() {
+        let engine = PolicyEngine::deny_by_default()
+            .with_rule(Rule::allow("clinicians-only").for_role("clinician"));
+        let outsider = Principal::new("x")
+            .with_clearance(Sensitivity::Private)
+            .with_category("phi");
+        assert_eq!(engine.decide(&outsider, Action::ReadData, &phi_record()).effect, Effect::Deny);
+        assert_eq!(
+            engine.decide(&clinician(), Action::ReadData, &phi_record()).effect,
+            Effect::Allow
+        );
+    }
+
+    #[test]
+    fn conditions_are_provenance_predicates() {
+        // HIPAA-flavored: deny data reads on medical records lacking consent.
+        let engine = PolicyEngine::allow_by_default().with_rule(
+            Rule::deny("no-consent")
+                .on([Action::ReadData])
+                .when(Predicate::and(vec![
+                    Predicate::Eq("domain".into(), "medical".into()),
+                    Predicate::Eq("patient.consent".into(), false.into()),
+                ])),
+        );
+        let p = clinician();
+        let mut attrs = Attributes::new().with("domain", "medical").with("patient.consent", false);
+        PolicyLabel::new(Sensitivity::Private).with_category("phi").apply_to(&mut attrs);
+        let no_consent = record(attrs);
+        let mut attrs = Attributes::new().with("domain", "medical").with("patient.consent", true);
+        PolicyLabel::new(Sensitivity::Private).with_category("phi").apply_to(&mut attrs);
+        let consent = record(attrs);
+
+        assert_eq!(engine.decide(&p, Action::ReadData, &no_consent).effect, Effect::Deny);
+        assert_eq!(engine.decide(&p, Action::ReadData, &consent).effect, Effect::Allow);
+        // Provenance reads stay open — the rule is action-scoped.
+        assert_eq!(engine.decide(&p, Action::ReadProvenance, &no_consent).effect, Effect::Allow);
+    }
+}

@@ -1,0 +1,330 @@
+//! Property suites for the policy crate's invariants:
+//!
+//! * the label lattice obeys the semilattice laws and `permits` is
+//!   monotone in them (the §V "strong guarantee" rests on this);
+//! * k-anonymization never releases a group below k, conserves readings,
+//!   and degrades monotonically as k grows;
+//! * lineage redaction preserves visible-to-visible reachability exactly
+//!   and never leaks a hidden id.
+
+use pass_policy::{
+    Action, Clearance, Effect, PolicyEngine, PolicyLabel, Principal, Rule, Sensitivity,
+};
+use proptest::prelude::*;
+
+use pass_model::{
+    Attributes, Digest128, ProvenanceBuilder, ProvenanceRecord, Reading, SensorId, SiteId,
+    Timestamp, ToolDescriptor, TupleSetId,
+};
+use pass_policy::{kanonymize, redact_lineage, NumericLadder, QuasiSpec};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+fn arb_sensitivity() -> impl Strategy<Value = Sensitivity> {
+    prop_oneof![
+        Just(Sensitivity::Public),
+        Just(Sensitivity::Internal),
+        Just(Sensitivity::Restricted),
+        Just(Sensitivity::Private),
+    ]
+}
+
+fn arb_categories() -> impl Strategy<Value = BTreeSet<String>> {
+    proptest::collection::btree_set(
+        prop_oneof![Just("phi".to_string()), Just("loc".to_string()), Just("mil".to_string())],
+        0..=3,
+    )
+}
+
+fn arb_label() -> impl Strategy<Value = PolicyLabel> {
+    (arb_sensitivity(), arb_categories())
+        .prop_map(|(sensitivity, categories)| PolicyLabel { sensitivity, categories })
+}
+
+fn arb_clearance() -> impl Strategy<Value = Clearance> {
+    (arb_sensitivity(), arb_categories())
+        .prop_map(|(level, categories)| Clearance { level, categories })
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative_associative_idempotent(
+        a in arb_label(), b in arb_label(), c in arb_label()
+    ) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        prop_assert_eq!(a.join(&a), a.clone());
+    }
+
+    #[test]
+    fn leq_agrees_with_join(a in arb_label(), b in arb_label()) {
+        // a ⊑ b  ⇔  a ⊔ b = b (the defining law of a join-semilattice order).
+        prop_assert_eq!(a.leq(&b), a.join(&b) == b);
+        // And the join is an upper bound of both.
+        let j = a.join(&b);
+        prop_assert!(a.leq(&j) && b.leq(&j));
+    }
+
+    #[test]
+    fn permits_is_antitone_in_the_label(
+        a in arb_label(), b in arb_label(), clearance in arb_clearance()
+    ) {
+        // If the stricter label is permitted, the weaker one must be too.
+        if a.leq(&b) && b.permits(&clearance) {
+            prop_assert!(a.permits(&clearance));
+        }
+        // The join is permitted iff both halves are.
+        prop_assert_eq!(
+            a.join(&b).permits(&clearance),
+            a.permits(&clearance) && b.permits(&clearance)
+        );
+    }
+
+    #[test]
+    fn label_attribute_round_trip(label in arb_label()) {
+        let record = ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+            .attrs(&label.to_attributes())
+            .build(Digest128::of(b"x"));
+        prop_assert_eq!(PolicyLabel::of_record(&record), label);
+    }
+
+    #[test]
+    fn engine_never_allows_undominated_labels(
+        label in arb_label(),
+        clearance in arb_clearance(),
+        default_allow in any::<bool>(),
+    ) {
+        // Even an engine made of nothing but allow-everything rules must
+        // refuse a principal whose clearance does not dominate.
+        let engine = if default_allow {
+            PolicyEngine::allow_by_default()
+        } else {
+            PolicyEngine::deny_by_default()
+        }
+        .with_rule(Rule::allow("open"));
+        let principal = Principal {
+            name: "p".into(),
+            roles: BTreeSet::new(),
+            clearance: clearance.clone(),
+            site: None,
+        };
+        let mut attrs = Attributes::new();
+        label.apply_to(&mut attrs);
+        let record = ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+            .attrs(&attrs)
+            .build(Digest128::of(b"r"));
+        let decision = engine.decide(&principal, Action::ReadData, &record);
+        if !label.permits(&clearance) {
+            prop_assert_eq!(decision.effect, Effect::Deny);
+        } else {
+            prop_assert_eq!(decision.effect, Effect::Allow);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// k-anonymity
+// ---------------------------------------------------------------------
+
+fn arb_patients() -> impl Strategy<Value = Vec<Reading>> {
+    proptest::collection::vec((0u8..100, 0u8..8, 40u16..180), 0..120).prop_map(|rows| {
+        rows.into_iter()
+            .map(|(age, zone, hr)| {
+                Reading::new(SensorId(1), Timestamp(0))
+                    .with("age", age as f64)
+                    .with("zone", zone as f64)
+                    .with("heart_rate", hr as f64)
+            })
+            .collect()
+    })
+}
+
+fn medical_spec() -> QuasiSpec {
+    QuasiSpec::new(
+        vec![
+            NumericLadder::new("age", vec![5.0, 10.0, 25.0, 50.0]).unwrap(),
+            NumericLadder::new("zone", vec![2.0, 4.0]).unwrap(),
+        ],
+        "heart_rate",
+    )
+    .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn every_released_group_has_at_least_k(
+        readings in arb_patients(), k in 1usize..12
+    ) {
+        let out = kanonymize(&readings, k, &medical_spec(), 0.0).unwrap();
+        prop_assert!(out.groups.iter().all(|g| g.count >= k));
+        if let Some(m) = out.min_group_size() {
+            prop_assert!(out.risk() <= 1.0 / k as f64 + f64::EPSILON);
+            prop_assert!(m >= k);
+        }
+    }
+
+    #[test]
+    fn readings_are_conserved(
+        readings in arb_patients(), k in 1usize..12, tol in 0.0f64..0.5
+    ) {
+        let out = kanonymize(&readings, k, &medical_spec(), tol).unwrap();
+        prop_assert_eq!(out.released() + out.suppressed + out.skipped, readings.len());
+        prop_assert_eq!(out.total, readings.len());
+    }
+
+    #[test]
+    fn generalization_level_is_monotone_in_k(readings in arb_patients()) {
+        let mut last_level = 0usize;
+        for k in [1usize, 2, 4, 8] {
+            let out = kanonymize(&readings, k, &medical_spec(), 0.0).unwrap();
+            prop_assert!(
+                out.level >= last_level,
+                "level dropped from {last_level} to {} at k={k}", out.level
+            );
+            last_level = out.level;
+        }
+    }
+
+    #[test]
+    fn group_stats_bound_each_other(readings in arb_patients(), k in 1usize..6) {
+        let out = kanonymize(&readings, k, &medical_spec(), 0.0).unwrap();
+        for g in &out.groups {
+            prop_assert!(g.min <= g.mean && g.mean <= g.max);
+        }
+        prop_assert!((0.0..=1.0).contains(&out.info_loss));
+        prop_assert!((0.0..=1.0).contains(&out.suppression_rate()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Redaction
+// ---------------------------------------------------------------------
+
+/// Random DAG: each record derives from a random subset of earlier ones.
+fn arb_dag() -> impl Strategy<Value = Vec<ProvenanceRecord>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u16>(), 0..4), 1..24).prop_map(
+        |parent_picks| {
+            let mut records: Vec<ProvenanceRecord> = Vec::new();
+            for (i, picks) in parent_picks.into_iter().enumerate() {
+                let mut b = ProvenanceBuilder::new(SiteId(1), Timestamp(i as u64))
+                    .attrs(&Attributes::new().with("n", i as i64));
+                let mut used = HashSet::new();
+                for p in picks {
+                    if records.is_empty() {
+                        break;
+                    }
+                    let idx = p as usize % records.len();
+                    if used.insert(idx) {
+                        b = b.derived_from(records[idx].id, ToolDescriptor::new("t", "1"));
+                    }
+                }
+                records.push(b.build(Digest128::of(&(i as u64).to_be_bytes())));
+            }
+            records
+        },
+    )
+}
+
+/// Transitive reachability over parent edges, restricted to `allowed`.
+fn reachable_through(
+    records: &[ProvenanceRecord],
+    from: TupleSetId,
+    to: TupleSetId,
+    allowed: &dyn Fn(TupleSetId) -> bool,
+) -> bool {
+    let by_id: HashMap<TupleSetId, &ProvenanceRecord> =
+        records.iter().map(|r| (r.id, r)).collect();
+    let mut stack = vec![from];
+    let mut seen = HashSet::new();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        let Some(r) = by_id.get(&id) else { continue };
+        for p in r.parents() {
+            if p == to {
+                return true;
+            }
+            // Intermediate hops must be allowed (or we pass through them
+            // only if permitted by the caller's notion of traversal).
+            if by_id.contains_key(&p) && allowed(p) {
+                stack.push(p);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn redaction_preserves_visible_reachability(
+        records in arb_dag(), mask in any::<u32>()
+    ) {
+        let hidden: HashSet<TupleSetId> = records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << (i % 32)) != 0)
+            .map(|(_, r)| r.id)
+            .collect();
+        let view = redact_lineage(&records, |r| !hidden.contains(&r.id));
+
+        // 1. No hidden id anywhere in the view.
+        for r in &view.visible {
+            prop_assert!(!hidden.contains(&r.id));
+        }
+        for e in &view.edges {
+            prop_assert!(!hidden.contains(&e.from) && !hidden.contains(&e.to));
+        }
+        prop_assert_eq!(view.redacted_count + view.visible.len(), records.len());
+
+        // 2. Reachability in the contracted edge graph equals full-graph
+        //    reachability (traversal allowed through any node).
+        let mut contracted: HashMap<TupleSetId, Vec<TupleSetId>> = HashMap::new();
+        for e in &view.edges {
+            contracted.entry(e.from).or_default().push(e.to);
+        }
+        let reach_contracted = |from: TupleSetId, to: TupleSetId| -> bool {
+            let mut stack = vec![from];
+            let mut seen = HashSet::new();
+            while let Some(id) = stack.pop() {
+                if !seen.insert(id) {
+                    continue;
+                }
+                for &n in contracted.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
+                    if n == to {
+                        return true;
+                    }
+                    stack.push(n);
+                }
+            }
+            false
+        };
+        let all = |_: TupleSetId| true;
+        for a in &view.visible {
+            for b in &view.visible {
+                if a.id == b.id {
+                    continue;
+                }
+                prop_assert_eq!(
+                    reach_contracted(a.id, b.id),
+                    reachable_through(&records, a.id, b.id, &all),
+                    "reachability mismatch {} -> {}", a.id, b.id
+                );
+            }
+        }
+
+        // 3. A zero-hop contracted edge corresponds to a real direct edge.
+        let direct: HashSet<(TupleSetId, TupleSetId)> = records
+            .iter()
+            .flat_map(|r| r.parents().map(move |p| (r.id, p)))
+            .collect();
+        for e in &view.edges {
+            if e.via_redacted == 0 {
+                prop_assert!(direct.contains(&(e.from, e.to)));
+            } else {
+                prop_assert!(!direct.contains(&(e.from, e.to)));
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+/// Errors raised while parsing or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query text failed to lex.
+    Lex {
+        /// Byte offset of the offending character.
+        at: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The token stream failed to parse.
+    Parse {
+        /// Roughly which token position failed.
+        at: usize,
+        /// What the parser expected.
+        message: String,
+    },
+    /// A lineage query referenced a tuple set this store does not know.
+    UnknownTupleSet(pass_model::TupleSetId),
+    /// The execution provider reported a failure.
+    Provider(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { at, message } => write!(f, "lex error at byte {at}: {message}"),
+            QueryError::Parse { at, message } => write!(f, "parse error at token {at}: {message}"),
+            QueryError::UnknownTupleSet(id) => write!(f, "unknown tuple set {id}"),
+            QueryError::Provider(msg) => write!(f, "provider error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Result alias for query operations.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,439 @@
+//! Query execution over a provider.
+//!
+//! The executor is storage-agnostic: anything implementing [`Provider`]
+//! (the local PASS, a remote site proxy, a test fixture) can serve
+//! queries. Execution is: evaluate the plan's index expression to a
+//! candidate posting list, intersect with the lineage closure if any,
+//! fetch records, re-check the residual predicate, order, and cut.
+
+use crate::ast::{LineageClause, OrderBy, Query};
+use crate::error::{QueryError, Result};
+use crate::plan::{plan, IndexExpr, Plan, PlanSource};
+use pass_index::{NodeIdx, PostingList};
+use pass_model::{ProvenanceRecord, TimeRange, Value};
+use std::ops::Bound;
+
+/// The index/storage surface the executor runs against.
+pub trait Provider {
+    /// Posting list for `attr = value`.
+    fn eq_lookup(&self, attr: &str, value: &Value) -> PostingList;
+    /// Posting list for a value range on an attribute.
+    fn range_lookup(&self, attr: &str, low: Bound<&Value>, high: Bound<&Value>) -> PostingList;
+    /// Posting list of records whose time window overlaps `range`.
+    fn time_overlap(&self, range: TimeRange) -> PostingList;
+    /// Posting list of records whose annotations/description contain all
+    /// tokens of `phrase`.
+    fn keyword_lookup(&self, phrase: &str) -> PostingList;
+    /// Posting list of records carrying the attribute.
+    fn has_attr(&self, attr: &str) -> PostingList;
+    /// Every record in the store.
+    fn all_nodes(&self) -> PostingList;
+    /// Lineage closure of the clause's root (excluding the root), or
+    /// `None` when the root is unknown here.
+    fn lineage(&self, clause: &LineageClause) -> Option<PostingList>;
+    /// Dense index of a tuple set id, if present.
+    fn node_of(&self, id: pass_model::TupleSetId) -> Option<NodeIdx>;
+    /// Fetches the record behind a dense index.
+    fn fetch(&self, idx: NodeIdx) -> Option<ProvenanceRecord>;
+}
+
+/// Execution counters, returned with every result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Candidates produced by the index/scan phase.
+    pub candidates: usize,
+    /// Records actually fetched.
+    pub fetched: usize,
+    /// Records returned after residual filtering and limit.
+    pub returned: usize,
+    /// True when an index expression (not a scan) produced candidates.
+    pub used_index: bool,
+    /// True when no residual re-check was necessary.
+    pub exact: bool,
+    /// Rendered plan, for debugging and EXPLAIN tests.
+    pub plan: String,
+}
+
+/// A query result: matching records plus execution counters.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Matching provenance records.
+    pub records: Vec<ProvenanceRecord>,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+impl QueryResult {
+    /// Ids of the matching records.
+    pub fn ids(&self) -> Vec<pass_model::TupleSetId> {
+        self.records.iter().map(|r| r.id).collect()
+    }
+}
+
+/// Evaluates an index expression to a posting list.
+pub fn eval_index_expr(expr: &IndexExpr, provider: &dyn Provider) -> PostingList {
+    match expr {
+        IndexExpr::All => provider.all_nodes(),
+        IndexExpr::Eq { attr, value } => provider.eq_lookup(attr, value),
+        IndexExpr::Range { attr, low, high } => {
+            provider.range_lookup(attr, low.as_ref(), high.as_ref())
+        }
+        IndexExpr::TimeOverlap(range) => provider.time_overlap(*range),
+        IndexExpr::Keyword(phrase) => provider.keyword_lookup(phrase),
+        IndexExpr::HasAttr(attr) => provider.has_attr(attr),
+        IndexExpr::And(children) => {
+            let lists: Vec<PostingList> =
+                children.iter().map(|c| eval_index_expr(c, provider)).collect();
+            PostingList::intersect_all(lists.iter().collect())
+        }
+        IndexExpr::Or(children) => {
+            let lists: Vec<PostingList> =
+                children.iter().map(|c| eval_index_expr(c, provider)).collect();
+            PostingList::union_all(lists.iter().collect())
+        }
+    }
+}
+
+/// Executes a parsed query.
+pub fn execute(query: &Query, provider: &dyn Provider) -> Result<QueryResult> {
+    execute_plan(&plan(query), provider)
+}
+
+/// Executes query text (parse + plan + run).
+pub fn execute_text(text: &str, provider: &dyn Provider) -> Result<QueryResult> {
+    execute(&crate::parser::parse(text)?, provider)
+}
+
+/// Executes a pre-built plan.
+pub fn execute_plan(plan: &Plan, provider: &dyn Provider) -> Result<QueryResult> {
+    let mut used_index = false;
+    let mut candidates = match &plan.source {
+        PlanSource::Index(expr) => {
+            used_index = !matches!(expr, IndexExpr::All);
+            eval_index_expr(expr, provider)
+        }
+        PlanSource::Scan => provider.all_nodes(),
+    };
+
+    if let Some(clause) = &plan.lineage {
+        let mut closure = provider
+            .lineage(clause)
+            .ok_or(QueryError::UnknownTupleSet(clause.root))?;
+        if clause.include_root {
+            if let Some(root_idx) = provider.node_of(clause.root) {
+                closure.insert(root_idx);
+            }
+        }
+        candidates = candidates.intersect(&closure);
+    }
+
+    let stats_candidates = candidates.len();
+    let mut fetched = 0usize;
+    let mut records: Vec<ProvenanceRecord> = Vec::new();
+    let needs_recheck = !matches!(plan.residual, crate::ast::Predicate::True);
+    // With no ordering and no re-check, the fetch loop can stop at LIMIT.
+    let early_cut = plan.limit.filter(|_| !needs_recheck && plan.order == OrderBy::None);
+
+    for idx in candidates.iter() {
+        let Some(record) = provider.fetch(idx) else {
+            // Index knows the node but the record is gone: a placeholder
+            // parent (removed ancestor / remote tuple set). Skip.
+            continue;
+        };
+        fetched += 1;
+        if !needs_recheck || plan.residual.matches(&record) {
+            records.push(record);
+            if early_cut.is_some_and(|n| records.len() >= n) {
+                break;
+            }
+        }
+    }
+
+    match plan.order {
+        OrderBy::None => {}
+        OrderBy::CreatedAsc => records.sort_by_key(|r| (r.created_at, r.id)),
+        OrderBy::CreatedDesc => {
+            records.sort_by_key(|r| (std::cmp::Reverse(r.created_at), r.id))
+        }
+    }
+    if let Some(limit) = plan.limit {
+        records.truncate(limit);
+    }
+
+    let stats = ExecStats {
+        candidates: stats_candidates,
+        fetched,
+        returned: records.len(),
+        used_index,
+        exact: !needs_recheck,
+        plan: plan.explain(),
+    };
+    Ok(QueryResult { records, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Predicate;
+    use crate::parser::parse;
+    use pass_index::{
+        AncestryGraph, AttrIndex, BfsClosure, KeywordIndex, ReachStrategy, TimeIndex,
+    };
+    use pass_model::{
+        Digest128, ProvenanceBuilder, SiteId, Timestamp, ToolDescriptor, TupleSetId,
+    };
+    use std::sync::Mutex;
+
+    /// A small in-memory provider for executor tests.
+    struct FixtureProvider {
+        records: Vec<ProvenanceRecord>,
+        attrs: AttrIndex,
+        time: Mutex<TimeIndex>,
+        keywords: KeywordIndex,
+        graph: AncestryGraph,
+    }
+
+    impl FixtureProvider {
+        fn new(records: Vec<ProvenanceRecord>) -> Self {
+            let mut attrs = AttrIndex::new();
+            let mut time = TimeIndex::new();
+            let mut keywords = KeywordIndex::new();
+            let mut graph = AncestryGraph::new();
+            for record in &records {
+                let parents: Vec<(TupleSetId, bool)> =
+                    record.ancestry.iter().map(|d| (d.parent, d.tool.abstracted)).collect();
+                let idx = graph.insert(record.id, &parents);
+                attrs.insert_attrs(idx, &record.attributes);
+                for (name, value) in crate::ast::multi_valued_attrs(record) {
+                    attrs.insert(idx, name, value);
+                }
+                if let Some(range) = record.time_range() {
+                    time.insert(idx, range);
+                }
+                for ann in &record.annotations {
+                    keywords.insert(idx, &ann.text);
+                }
+                if let Some(desc) = record.attributes.get_str(pass_model::keys::DESCRIPTION) {
+                    keywords.insert(idx, desc);
+                }
+            }
+            FixtureProvider { records, attrs, time: Mutex::new(time), keywords, graph }
+        }
+    }
+
+    impl Provider for FixtureProvider {
+        fn eq_lookup(&self, attr: &str, value: &Value) -> PostingList {
+            self.attrs.eq(attr, value)
+        }
+        fn range_lookup(&self, attr: &str, low: Bound<&Value>, high: Bound<&Value>) -> PostingList {
+            self.attrs.range(attr, low, high)
+        }
+        fn time_overlap(&self, range: TimeRange) -> PostingList {
+            self.time.lock().unwrap().overlapping(range)
+        }
+        fn keyword_lookup(&self, phrase: &str) -> PostingList {
+            self.keywords.lookup_all(phrase)
+        }
+        fn has_attr(&self, attr: &str) -> PostingList {
+            self.attrs.has_attr(attr)
+        }
+        fn all_nodes(&self) -> PostingList {
+            PostingList::from_iter(
+                self.records.iter().filter_map(|r| self.graph.lookup(r.id)),
+            )
+        }
+        fn lineage(&self, clause: &LineageClause) -> Option<PostingList> {
+            let root = self.graph.lookup(clause.root)?;
+            let reach =
+                BfsClosure.reachable(&self.graph, root, clause.direction, &clause.traverse_opts());
+            Some(PostingList::from_iter(reach))
+        }
+        fn node_of(&self, id: TupleSetId) -> Option<NodeIdx> {
+            self.graph.lookup(id)
+        }
+        fn fetch(&self, idx: NodeIdx) -> Option<ProvenanceRecord> {
+            let id = self.graph.resolve(idx)?;
+            self.records.iter().find(|r| r.id == id).cloned()
+        }
+    }
+
+    fn fixture() -> (FixtureProvider, Vec<TupleSetId>) {
+        let raw = ProvenanceBuilder::new(SiteId(1), Timestamp(100))
+            .attr("domain", "traffic")
+            .attr("region", "london")
+            .time_range(TimeRange::new(Timestamp(0), Timestamp(50)))
+            .build(Digest128::of(b"raw"));
+        let mid = ProvenanceBuilder::new(SiteId(1), Timestamp(200))
+            .attr("domain", "traffic")
+            .attr("region", "london")
+            .attr("count", 10i64)
+            .derived_from(raw.id, ToolDescriptor::new("dedupe", "1.0"))
+            .build(Digest128::of(b"mid"));
+        let leaf = ProvenanceBuilder::new(SiteId(2), Timestamp(300))
+            .attr("domain", "traffic")
+            .attr("region", "boston")
+            .attr("count", 99i64)
+            .derived_from(mid.id, ToolDescriptor::new("aggregate", "2.0"))
+            .build(Digest128::of(b"leaf"));
+        let other = ProvenanceBuilder::new(SiteId(3), Timestamp(150))
+            .attr("domain", "weather")
+            .attr("region", "london")
+            .build(Digest128::of(b"other"));
+        let ids = vec![raw.id, mid.id, leaf.id, other.id];
+        (FixtureProvider::new(vec![raw, mid, leaf, other]), ids)
+    }
+
+    fn run(provider: &FixtureProvider, text: &str) -> QueryResult {
+        execute(&parse(text).unwrap(), provider).unwrap()
+    }
+
+    #[test]
+    fn eq_query_uses_index_exactly() {
+        let (p, ids) = fixture();
+        let res = run(&p, r#"FIND WHERE domain = "weather""#);
+        assert_eq!(res.ids(), vec![ids[3]]);
+        assert!(res.stats.used_index);
+        assert!(res.stats.exact);
+        assert_eq!(res.stats.candidates, 1);
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        let (p, ids) = fixture();
+        let res = run(&p, r#"FIND WHERE domain = "traffic" AND region = "london""#);
+        let mut got = res.ids();
+        got.sort();
+        let mut want = vec![ids[0], ids[1]];
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn residual_recheck_filters_false_positives() {
+        let (p, ids) = fixture();
+        // Ne is not indexable: region = london serves candidates, the Ne
+        // re-check drops the weather record.
+        let res = run(&p, r#"FIND WHERE region = "london" AND domain != "weather""#);
+        let mut got = res.ids();
+        got.sort();
+        let mut want = vec![ids[0], ids[1]];
+        want.sort();
+        assert_eq!(got, want);
+        assert!(!res.stats.exact);
+        assert!(res.stats.candidates > res.stats.returned);
+    }
+
+    #[test]
+    fn lineage_scopes_filter() {
+        let (p, ids) = fixture();
+        let leaf_hex = ids[2].full_hex();
+        let res = run(&p, &format!("FIND ANCESTORS OF ts:{leaf_hex}"));
+        let mut got = res.ids();
+        got.sort();
+        let mut want = vec![ids[0], ids[1]];
+        want.sort();
+        assert_eq!(got, want);
+
+        // With a filter on top.
+        let res = run(&p, &format!(r#"FIND ANCESTORS OF ts:{leaf_hex} WHERE HAS count"#));
+        assert_eq!(res.ids(), vec![ids[1]]);
+    }
+
+    #[test]
+    fn lineage_with_self_includes_root() {
+        let (p, ids) = fixture();
+        let res = run(&p, &format!("FIND DESCENDANTS OF ts:{} WITH SELF", ids[0].full_hex()));
+        assert_eq!(res.records.len(), 3);
+    }
+
+    #[test]
+    fn unknown_lineage_root_errors() {
+        let (p, _) = fixture();
+        let err = execute(&parse("FIND ANCESTORS OF ts:deadbeef").unwrap(), &p).unwrap_err();
+        assert!(matches!(err, QueryError::UnknownTupleSet(_)));
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let (p, ids) = fixture();
+        let res = run(&p, "FIND ORDER BY created DESC LIMIT 2");
+        assert_eq!(res.ids(), vec![ids[2], ids[1]], "newest two first");
+        let res = run(&p, "FIND ORDER BY created ASC LIMIT 1");
+        assert_eq!(res.ids(), vec![ids[0]]);
+    }
+
+    #[test]
+    fn time_overlap_query() {
+        let (p, ids) = fixture();
+        let res = run(&p, "FIND WHERE time OVERLAPS [40, 60]");
+        assert_eq!(res.ids(), vec![ids[0]], "only the raw capture declared a window");
+    }
+
+    #[test]
+    fn tool_pseudo_attribute_query() {
+        let (p, ids) = fixture();
+        let res = run(&p, r#"FIND WHERE tool.name = "aggregate""#);
+        assert_eq!(res.ids(), vec![ids[2]]);
+    }
+
+    #[test]
+    fn scan_fallback_matches_ground_truth() {
+        let (p, ids) = fixture();
+        let res = run(&p, r#"FIND WHERE NOT domain = "traffic""#);
+        assert_eq!(res.ids(), vec![ids[3]]);
+        assert!(!res.stats.used_index);
+        // Scan considered everything.
+        assert_eq!(res.stats.candidates, 4);
+    }
+
+    #[test]
+    fn limit_without_order_cuts_early() {
+        let (p, _) = fixture();
+        let res = run(&p, r#"FIND WHERE domain = "traffic" LIMIT 1"#);
+        assert_eq!(res.records.len(), 1);
+        assert!(res.stats.fetched <= 2, "early cut avoids fetching all candidates");
+    }
+
+    #[test]
+    fn execute_text_convenience() {
+        let (p, ids) = fixture();
+        let res = execute_text(r#"FIND WHERE region = "boston""#, &p).unwrap();
+        assert_eq!(res.ids(), vec![ids[2]]);
+        let err = execute_text("NOT A QUERY", &p);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn predicate_ground_truth_agrees_with_executor_on_fixture() {
+        let (p, _) = fixture();
+        for text in [
+            r#"FIND WHERE domain = "traffic""#,
+            r#"FIND WHERE count >= 10"#,
+            r#"FIND WHERE count BETWEEN 5 AND 50"#,
+            r#"FIND WHERE HAS count"#,
+            r#"FIND WHERE domain = "traffic" OR domain = "weather""#,
+            r#"FIND WHERE time OVERLAPS [0, 1000]"#,
+        ] {
+            let query = parse(text).unwrap();
+            let res = execute(&query, &p).unwrap();
+            let want: Vec<TupleSetId> = p
+                .records
+                .iter()
+                .filter(|r| query.filter.matches(r))
+                .map(|r| r.id)
+                .collect();
+            let mut got = res.ids();
+            got.sort();
+            let mut want = want;
+            want.sort();
+            assert_eq!(got, want, "{text}");
+        }
+    }
+
+    #[test]
+    fn residual_predicate_true_shortcut() {
+        let q = Query::filtered(Predicate::True);
+        let p = plan(&q);
+        assert!(p.is_exact());
+    }
+}

@@ -1,0 +1,306 @@
+//! Tokenizer for the PASS query language.
+
+use crate::error::{QueryError, Result};
+use pass_model::TupleSetId;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (`domain`, `FIND`, `time.start`).
+    Ident(String),
+    /// Double-quoted string literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `@N` — a timestamp literal in milliseconds.
+    Time(u64),
+    /// `ts:HEX` — a tuple-set id literal.
+    Id(TupleSetId),
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+}
+
+impl Token {
+    /// Case-insensitive keyword test for identifier tokens.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Tokenizes query text.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex { at: i, message: "expected != after !".into() });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        Some('"') => break,
+                        Some('\\') => {
+                            match bytes.get(j + 1) {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some(&other) => s.push(other),
+                                None => {
+                                    return Err(QueryError::Lex {
+                                        at: j,
+                                        message: "dangling escape".into(),
+                                    })
+                                }
+                            }
+                            j += 2;
+                        }
+                        Some(&other) => {
+                            s.push(other);
+                            j += 1;
+                        }
+                        None => {
+                            return Err(QueryError::Lex {
+                                at: i,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+                i = j + 1;
+            }
+            '@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(QueryError::Lex { at: i, message: "expected digits after @".into() });
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let ms = text
+                    .parse::<u64>()
+                    .map_err(|_| QueryError::Lex { at: i, message: "timestamp overflow".into() })?;
+                tokens.push(Token::Time(ms));
+                i = j;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                let mut j = i;
+                if bytes[j] == '-' {
+                    j += 1;
+                }
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == '.') {
+                    if bytes[j] == '.' {
+                        // Two dots (e.g. ranges) end the number.
+                        if is_float {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                if text == "-" {
+                    return Err(QueryError::Lex { at: i, message: "lone minus sign".into() });
+                }
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|_| QueryError::Lex {
+                        at: start,
+                        message: format!("bad float {text}"),
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| QueryError::Lex {
+                        at: start,
+                        message: format!("bad integer {text}"),
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                // `ts:HEX` id literal.
+                if text == "ts" && bytes.get(j) == Some(&':') {
+                    let hstart = j + 1;
+                    let mut k = hstart;
+                    while k < bytes.len() && bytes[k].is_ascii_hexdigit() {
+                        k += 1;
+                    }
+                    let hex: String = bytes[hstart..k].iter().collect();
+                    let id = TupleSetId::parse_hex(&hex).ok_or_else(|| QueryError::Lex {
+                        at: start,
+                        message: format!("bad tuple set id ts:{hex}"),
+                    })?;
+                    tokens.push(Token::Id(id));
+                    i = k;
+                } else {
+                    tokens.push(Token::Ident(text));
+                    i = j;
+                }
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    at: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_full_query() {
+        let toks = lex(r#"FIND WHERE domain = "traffic" AND count >= 10 LIMIT 5"#).unwrap();
+        assert_eq!(toks.len(), 11);
+        assert!(toks[0].is_kw("find"));
+        assert_eq!(toks[3], Token::Eq);
+        assert_eq!(toks[4], Token::Str("traffic".into()));
+        assert_eq!(toks[7], Token::Ge);
+        assert_eq!(toks[8], Token::Int(10));
+    }
+
+    #[test]
+    fn lexes_numbers_times_and_ids() {
+        let toks = lex("42 -7 2.5 @1500 ts:00ff").unwrap();
+        assert_eq!(toks[0], Token::Int(42));
+        assert_eq!(toks[1], Token::Int(-7));
+        assert_eq!(toks[2], Token::Float(2.5));
+        assert_eq!(toks[3], Token::Time(1500));
+        assert!(matches!(toks[4], Token::Id(_)));
+    }
+
+    #[test]
+    fn lexes_dotted_identifiers() {
+        let toks = lex("time.start sensor.type").unwrap();
+        assert_eq!(toks[0], Token::Ident("time.start".into()));
+        assert_eq!(toks[1], Token::Ident("sensor.type".into()));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex(r#""a \"quoted\" value""#).unwrap();
+        assert_eq!(toks[0], Token::Str(r#"a "quoted" value"#.into()));
+    }
+
+    #[test]
+    fn lex_errors_are_reported() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("@nope").is_err());
+        assert!(lex("ts:zz").is_err());
+        assert!(lex("#").is_err());
+    }
+
+    #[test]
+    fn brackets_and_commas() {
+        let toks = lex("[100, 200]").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::LBracket, Token::Int(100), Token::Comma, Token::Int(200), Token::RBracket]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("find WHERE AnD").unwrap();
+        assert!(toks[0].is_kw("FIND"));
+        assert!(toks[1].is_kw("where"));
+        assert!(toks[2].is_kw("and"));
+    }
+}

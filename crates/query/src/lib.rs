@@ -1,0 +1,36 @@
+//! # pass-query — the PASS provenance query layer
+//!
+//! §III surveys three workloads (document versioning, scientific
+//! repositories, sensor/EMT operations) and distills a common shape:
+//! attribute predicates, text search over annotations, time-window
+//! overlap, and — pervasively — transitive lineage traversal. This crate
+//! provides:
+//!
+//! * [`ast`] — the query model: [`Predicate`], [`LineageClause`],
+//!   [`Query`], with ground-truth evaluation ([`Predicate::matches`]).
+//! * [`parser`] — a small textual language:
+//!   `FIND ANCESTORS OF ts:3f2a DEPTH <= 4 WHERE tool.name = "sharpen"`.
+//! * [`mod@plan`] — superset-plus-residual planning onto index expressions.
+//! * [`exec`] — execution against any [`Provider`] (local store, remote
+//!   proxy, test fixture).
+//!
+//! The executor's contract is checked two ways: residual predicates are
+//! re-evaluated with the same `matches` function that defines semantics,
+//! and the test suite compares executor output against brute-force
+//! filtering on every fixture.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{CmpOp, LineageClause, OrderBy, Predicate, Query};
+pub use error::{QueryError, Result};
+pub use exec::{execute, execute_plan, execute_text, ExecStats, Provider, QueryResult};
+pub use parser::{parse, parse_predicate};
+pub use plan::{plan, IndexExpr, Plan, PlanSource};

@@ -1,0 +1,411 @@
+//! Recursive-descent parser for the PASS query language.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := FIND [lineage] [WHERE pred] [ORDER BY created (ASC|DESC)] [LIMIT n]
+//! lineage    := (ANCESTORS | DESCENDANTS) OF id [DEPTH <= n] [ABSTRACTED] [WITH SELF]
+//! pred       := or_pred
+//! or_pred    := and_pred (OR and_pred)*
+//! and_pred   := unary (AND unary)*
+//! unary      := NOT unary | '(' pred ')' | leaf
+//! leaf       := TRUE
+//!             | ident (= | != | < | <= | > | >=) value
+//!             | ident BETWEEN value AND value
+//!             | HAS ident
+//!             | ANNOTATION CONTAINS string
+//!             | time OVERLAPS '[' int ',' int ']'
+//! value      := string | int | float | @millis | TRUE | FALSE
+//! id         := ts:HEX
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! FIND WHERE domain = "traffic" AND count >= 10 LIMIT 5
+//! FIND ANCESTORS OF ts:3f2a DEPTH <= 4 WHERE tool.name = "sharpen"
+//! FIND WHERE time OVERLAPS [100, 2000] OR HAS patient
+//! ```
+
+use crate::ast::{CmpOp, LineageClause, OrderBy, Predicate, Query};
+use crate::error::{QueryError, Result};
+use crate::lexer::{lex, Token};
+use pass_index::Direction;
+use pass_model::{TimeRange, Timestamp, Value};
+
+/// Parses query text into a [`Query`].
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(q)
+}
+
+/// Parses just a predicate (handy for tests and embedding).
+pub fn parse_predicate(input: &str) -> Result<Predicate> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let pred = p.or_pred()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(pred)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse { at: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn expect(&mut self, tok: &Token, what: &str) -> Result<()> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("FIND")?;
+
+        let lineage = if self.peek().is_some_and(|t| t.is_kw("ANCESTORS") || t.is_kw("DESCENDANTS"))
+        {
+            Some(self.lineage()?)
+        } else {
+            None
+        };
+
+        let filter = if self.eat_kw("WHERE") { self.or_pred()? } else { Predicate::True };
+
+        let mut order = OrderBy::None;
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            self.expect_kw("created")?;
+            order = if self.eat_kw("DESC") {
+                OrderBy::CreatedDesc
+            } else {
+                // ASC is optional and the default.
+                let _ = self.eat_kw("ASC");
+                OrderBy::CreatedAsc
+            };
+        }
+
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err("expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+
+        Ok(Query { filter, lineage, limit, order })
+    }
+
+    fn lineage(&mut self) -> Result<LineageClause> {
+        let direction = if self.eat_kw("ANCESTORS") {
+            Direction::Ancestors
+        } else {
+            self.expect_kw("DESCENDANTS")?;
+            Direction::Descendants
+        };
+        self.expect_kw("OF")?;
+        let root = match self.next() {
+            Some(Token::Id(id)) => id,
+            _ => return Err(self.err("expected ts:HEX tuple set id after OF")),
+        };
+        let mut clause = LineageClause {
+            root,
+            direction,
+            max_depth: None,
+            stop_at_abstraction: false,
+            include_root: false,
+        };
+        loop {
+            if self.eat_kw("DEPTH") {
+                self.expect(&Token::Le, "<= after DEPTH")?;
+                match self.next() {
+                    Some(Token::Int(n)) if n >= 0 => clause.max_depth = Some(n as u32),
+                    _ => return Err(self.err("expected non-negative integer depth")),
+                }
+            } else if self.eat_kw("ABSTRACTED") {
+                clause.stop_at_abstraction = true;
+            } else if self.eat_kw("WITH") {
+                self.expect_kw("SELF")?;
+                clause.include_root = true;
+            } else {
+                break;
+            }
+        }
+        Ok(clause)
+    }
+
+    pub(crate) fn or_pred(&mut self) -> Result<Predicate> {
+        let mut branches = vec![self.and_pred()?];
+        while self.eat_kw("OR") {
+            branches.push(self.and_pred()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.into_iter().next().expect("one branch")
+        } else {
+            Predicate::Or(branches)
+        })
+    }
+
+    fn and_pred(&mut self) -> Result<Predicate> {
+        let mut branches = vec![self.unary()?];
+        while self.eat_kw("AND") {
+            branches.push(self.unary()?);
+        }
+        Ok(Predicate::and(branches))
+    }
+
+    fn unary(&mut self) -> Result<Predicate> {
+        if self.eat_kw("NOT") {
+            return Ok(Predicate::Not(Box::new(self.unary()?)));
+        }
+        if self.peek() == Some(&Token::LParen) {
+            self.pos += 1;
+            let inner = self.or_pred()?;
+            self.expect(&Token::RParen, "closing parenthesis")?;
+            return Ok(inner);
+        }
+        self.leaf()
+    }
+
+    fn leaf(&mut self) -> Result<Predicate> {
+        if self.eat_kw("TRUE") {
+            return Ok(Predicate::True);
+        }
+        if self.eat_kw("HAS") {
+            match self.next() {
+                Some(Token::Ident(attr)) => return Ok(Predicate::HasAttr(attr)),
+                _ => return Err(self.err("expected attribute name after HAS")),
+            }
+        }
+        if self.eat_kw("ANNOTATION") {
+            self.expect_kw("CONTAINS")?;
+            match self.next() {
+                Some(Token::Str(phrase)) => return Ok(Predicate::TextContains(phrase)),
+                _ => return Err(self.err("expected string after CONTAINS")),
+            }
+        }
+        let attr = match self.next() {
+            Some(Token::Ident(name)) => name,
+            _ => return Err(self.err("expected attribute name")),
+        };
+        // `time OVERLAPS [a, b]`.
+        if attr.eq_ignore_ascii_case("time") && self.eat_kw("OVERLAPS") {
+            self.expect(&Token::LBracket, "[ after OVERLAPS")?;
+            let a = self.time_point()?;
+            self.expect(&Token::Comma, "comma in time range")?;
+            let b = self.time_point()?;
+            self.expect(&Token::RBracket, "] closing time range")?;
+            return Ok(Predicate::TimeOverlaps(TimeRange::new(a, b)));
+        }
+        if self.eat_kw("BETWEEN") {
+            let lo = self.value()?;
+            self.expect_kw("AND")?;
+            let hi = self.value()?;
+            return Ok(Predicate::Between(attr, lo, hi));
+        }
+        let op = match self.next() {
+            Some(Token::Eq) => None,
+            Some(Token::Ne) => {
+                let v = self.value()?;
+                return Ok(Predicate::Ne(attr, v));
+            }
+            Some(Token::Lt) => Some(CmpOp::Lt),
+            Some(Token::Le) => Some(CmpOp::Le),
+            Some(Token::Gt) => Some(CmpOp::Gt),
+            Some(Token::Ge) => Some(CmpOp::Ge),
+            _ => return Err(self.err(format!("expected comparison operator after {attr}"))),
+        };
+        let v = self.value()?;
+        Ok(match op {
+            None => Predicate::Eq(attr, v),
+            Some(op) => Predicate::Cmp(attr, op, v),
+        })
+    }
+
+    fn time_point(&mut self) -> Result<Timestamp> {
+        match self.next() {
+            Some(Token::Int(n)) if n >= 0 => Ok(Timestamp(n as u64)),
+            Some(Token::Time(ms)) => Ok(Timestamp(ms)),
+            _ => Err(self.err("expected timestamp (integer milliseconds or @millis)")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::Int(n)) => Ok(Value::Int(n)),
+            Some(Token::Float(x)) => Ok(Value::Float(x)),
+            Some(Token::Time(ms)) => Ok(Value::Time(Timestamp(ms))),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            _ => Err(self.err("expected a value literal")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_model::TupleSetId;
+
+    #[test]
+    fn simple_filter_query() {
+        let q = parse(r#"FIND WHERE domain = "traffic" AND count >= 10 LIMIT 5"#).unwrap();
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(
+            q.filter,
+            Predicate::And(vec![
+                Predicate::Eq("domain".into(), "traffic".into()),
+                Predicate::Cmp("count".into(), CmpOp::Ge, Value::Int(10)),
+            ])
+        );
+        assert!(q.lineage.is_none());
+    }
+
+    #[test]
+    fn lineage_query_with_modifiers() {
+        let q = parse(r#"FIND ANCESTORS OF ts:3f2a DEPTH <= 4 ABSTRACTED WHERE tool.name = "sharpen""#)
+            .unwrap();
+        let l = q.lineage.unwrap();
+        assert_eq!(l.direction, Direction::Ancestors);
+        assert_eq!(l.max_depth, Some(4));
+        assert!(l.stop_at_abstraction);
+        assert!(!l.include_root);
+        assert_eq!(l.root, TupleSetId::parse_hex("3f2a").unwrap());
+        assert_eq!(q.filter, Predicate::Eq("tool.name".into(), "sharpen".into()));
+    }
+
+    #[test]
+    fn descendants_with_self() {
+        let q = parse("FIND DESCENDANTS OF ts:ff WITH SELF").unwrap();
+        let l = q.lineage.unwrap();
+        assert_eq!(l.direction, Direction::Descendants);
+        assert!(l.include_root);
+        assert_eq!(q.filter, Predicate::True);
+    }
+
+    #[test]
+    fn time_overlap_and_or_precedence() {
+        let q = parse(r#"FIND WHERE time OVERLAPS [100, 2000] OR HAS patient AND domain = "medical""#)
+            .unwrap();
+        // AND binds tighter than OR.
+        match q.filter {
+            Predicate::Or(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert!(matches!(branches[0], Predicate::TimeOverlaps(_)));
+                assert!(matches!(&branches[1], Predicate::And(inner) if inner.len() == 2));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let q = parse(r#"FIND WHERE (a = 1 OR b = 2) AND c = 3"#).unwrap();
+        match q.filter {
+            Predicate::And(branches) => {
+                assert!(matches!(branches[0], Predicate::Or(_)));
+                assert_eq!(branches[1], Predicate::Eq("c".into(), Value::Int(3)));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_between_annotation() {
+        let p = parse_predicate(r#"NOT count BETWEEN 5 AND 10 AND ANNOTATION CONTAINS "replaced""#)
+            .unwrap();
+        match p {
+            Predicate::And(branches) => {
+                assert!(matches!(branches[0], Predicate::Not(_)));
+                assert_eq!(branches[1], Predicate::TextContains("replaced".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_forms() {
+        assert_eq!(parse("FIND ORDER BY created").unwrap().order, OrderBy::CreatedAsc);
+        assert_eq!(parse("FIND ORDER BY created ASC").unwrap().order, OrderBy::CreatedAsc);
+        assert_eq!(parse("FIND ORDER BY created DESC").unwrap().order, OrderBy::CreatedDesc);
+    }
+
+    #[test]
+    fn value_literals() {
+        let p = parse_predicate("a = true AND b = false AND c = null AND d = 2.5 AND e = @99").unwrap();
+        match p {
+            Predicate::And(bs) => {
+                assert_eq!(bs[0], Predicate::Eq("a".into(), Value::Bool(true)));
+                assert_eq!(bs[1], Predicate::Eq("b".into(), Value::Bool(false)));
+                assert_eq!(bs[2], Predicate::Eq("c".into(), Value::Null));
+                assert_eq!(bs[3], Predicate::Eq("d".into(), Value::Float(2.5)));
+                assert_eq!(bs[4], Predicate::Eq("e".into(), Value::Time(Timestamp(99))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("WHERE a = 1").is_err(), "missing FIND");
+        assert!(parse("FIND WHERE a").is_err(), "missing operator");
+        assert!(parse("FIND WHERE a = ").is_err(), "missing value");
+        assert!(parse("FIND ANCESTORS OF nope").is_err(), "bad id literal");
+        assert!(parse("FIND LIMIT -3").is_err(), "negative limit");
+        assert!(parse("FIND WHERE a = 1 garbage").is_err(), "trailing tokens");
+        assert!(parse("FIND WHERE (a = 1").is_err(), "unclosed paren");
+    }
+
+    #[test]
+    fn bare_find_matches_everything() {
+        let q = parse("FIND").unwrap();
+        assert_eq!(q.filter, Predicate::True);
+        assert_eq!(q.limit, None);
+    }
+}

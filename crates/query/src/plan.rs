@@ -1,0 +1,325 @@
+//! Logical planning.
+//!
+//! The planner translates a [`Predicate`] into an index-servable
+//! [`IndexExpr`] plus a *residual* predicate. The contract is
+//! **superset + re-check**: the index expression may admit false
+//! positives (never false negatives), and the executor re-evaluates the
+//! residual on every fetched record. When the translation is *exact* the
+//! residual collapses to `True` and no re-check happens.
+
+use crate::ast::{CmpOp, LineageClause, OrderBy, Predicate, Query};
+use pass_model::{TimeRange, Value};
+use std::fmt;
+use std::ops::Bound;
+
+/// An index-evaluable filter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexExpr {
+    /// Every node in the store.
+    All,
+    /// Attribute equality lookup.
+    Eq {
+        /// Attribute name.
+        attr: String,
+        /// Matched value.
+        value: Value,
+    },
+    /// Attribute range lookup.
+    Range {
+        /// Attribute name.
+        attr: String,
+        /// Lower bound.
+        low: Bound<Value>,
+        /// Upper bound.
+        high: Bound<Value>,
+    },
+    /// Time-window overlap lookup.
+    TimeOverlap(TimeRange),
+    /// Keyword lookup over annotations/description.
+    Keyword(String),
+    /// Attribute-presence lookup.
+    HasAttr(String),
+    /// Intersection of sub-expressions.
+    And(Vec<IndexExpr>),
+    /// Union of sub-expressions.
+    Or(Vec<IndexExpr>),
+}
+
+impl fmt::Display for IndexExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexExpr::All => write!(f, "all"),
+            IndexExpr::Eq { attr, value } => write!(f, "ix:{attr}={value}"),
+            IndexExpr::Range { attr, low, high } => {
+                let b = |b: &Bound<Value>, open: &str, closed: &str| match b {
+                    Bound::Included(v) => format!("{closed}{v}"),
+                    Bound::Excluded(v) => format!("{open}{v}"),
+                    Bound::Unbounded => "∞".to_owned(),
+                };
+                write!(f, "ix:{attr}∈{}..{}", b(low, "(", "["), b(high, ")", "]"))
+            }
+            IndexExpr::TimeOverlap(r) => write!(f, "ix:time∩{r}"),
+            IndexExpr::Keyword(s) => write!(f, "ix:text~{s:?}"),
+            IndexExpr::HasAttr(a) => write!(f, "ix:has({a})"),
+            IndexExpr::And(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            IndexExpr::Or(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Where candidate nodes come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanSource {
+    /// Posting-list evaluation of an index expression.
+    Index(IndexExpr),
+    /// Full scan of the store (no indexable structure found).
+    Scan,
+}
+
+/// A fully planned query.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Candidate source.
+    pub source: PlanSource,
+    /// Predicate re-checked on each fetched record (`True` when the index
+    /// translation was exact).
+    pub residual: Predicate,
+    /// Lineage scope carried over from the query.
+    pub lineage: Option<LineageClause>,
+    /// Ordering carried over from the query.
+    pub order: OrderBy,
+    /// Limit carried over from the query.
+    pub limit: Option<usize>,
+}
+
+impl Plan {
+    /// True when the executor will not need to re-check records.
+    pub fn is_exact(&self) -> bool {
+        self.residual == Predicate::True
+    }
+
+    /// EXPLAIN-style single-line rendering.
+    pub fn explain(&self) -> String {
+        let src = match &self.source {
+            PlanSource::Index(e) => format!("index {e}"),
+            PlanSource::Scan => "scan".to_owned(),
+        };
+        let lineage = match &self.lineage {
+            Some(l) => format!(
+                " ∩ lineage({:?} of {}, depth {:?}{})",
+                l.direction,
+                l.root,
+                l.max_depth,
+                if l.stop_at_abstraction { ", abstracted" } else { "" }
+            ),
+            None => String::new(),
+        };
+        let residual = if self.is_exact() {
+            String::new()
+        } else {
+            " → recheck".to_owned()
+        };
+        format!("{src}{lineage}{residual}")
+    }
+}
+
+/// Plans a query.
+pub fn plan(query: &Query) -> Plan {
+    let (expr, exact) = translate(&query.filter);
+    let residual = if exact { Predicate::True } else { query.filter.clone() };
+    let source = match expr {
+        Some(e) => PlanSource::Index(e),
+        None => PlanSource::Scan,
+    };
+    Plan {
+        source,
+        residual,
+        lineage: query.lineage.clone(),
+        order: query.order,
+        limit: query.limit,
+    }
+}
+
+/// Translates a predicate to an index expression.
+///
+/// Returns `(expr, exact)`; `None` means no index structure applies and a
+/// scan is required. The returned expression always covers a superset of
+/// the predicate's matches.
+fn translate(pred: &Predicate) -> (Option<IndexExpr>, bool) {
+    match pred {
+        Predicate::True => (Some(IndexExpr::All), true),
+        Predicate::Eq(attr, v) => {
+            (Some(IndexExpr::Eq { attr: attr.clone(), value: v.clone() }), true)
+        }
+        Predicate::Ne(..) => (None, false),
+        Predicate::Cmp(attr, op, v) => {
+            let (low, high) = match op {
+                CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(v.clone())),
+                CmpOp::Le => (Bound::Unbounded, Bound::Included(v.clone())),
+                CmpOp::Gt => (Bound::Excluded(v.clone()), Bound::Unbounded),
+                CmpOp::Ge => (Bound::Included(v.clone()), Bound::Unbounded),
+            };
+            (Some(IndexExpr::Range { attr: attr.clone(), low, high }), true)
+        }
+        Predicate::Between(attr, lo, hi) => (
+            Some(IndexExpr::Range {
+                attr: attr.clone(),
+                low: Bound::Included(lo.clone()),
+                high: Bound::Included(hi.clone()),
+            }),
+            true,
+        ),
+        Predicate::HasAttr(attr) => (Some(IndexExpr::HasAttr(attr.clone())), true),
+        Predicate::TextContains(phrase) => (Some(IndexExpr::Keyword(phrase.clone())), true),
+        Predicate::TimeOverlaps(range) => (Some(IndexExpr::TimeOverlap(*range)), true),
+        Predicate::And(ps) => {
+            let mut children = Vec::with_capacity(ps.len());
+            let mut exact = true;
+            for p in ps {
+                match translate(p) {
+                    (Some(IndexExpr::All), e) => exact &= e,
+                    (Some(expr), e) => {
+                        children.push(expr);
+                        exact &= e;
+                    }
+                    // A non-indexable conjunct narrows the result set, so
+                    // dropping it from the index expression keeps the
+                    // superset property — but forces a re-check.
+                    (None, _) => exact = false,
+                }
+            }
+            if children.is_empty() {
+                // Nothing indexable: scan unless every conjunct was `All`.
+                if exact {
+                    (Some(IndexExpr::All), true)
+                } else {
+                    (None, false)
+                }
+            } else if children.len() == 1 {
+                (Some(children.into_iter().next().expect("one child")), exact)
+            } else {
+                (Some(IndexExpr::And(children)), exact)
+            }
+        }
+        Predicate::Or(ps) => {
+            // Every branch must be indexable, otherwise the union would
+            // miss matches (violating the superset property).
+            let mut children = Vec::with_capacity(ps.len());
+            let mut exact = true;
+            for p in ps {
+                match translate(p) {
+                    (Some(expr), e) => {
+                        children.push(expr);
+                        exact &= e;
+                    }
+                    (None, _) => return (None, false),
+                }
+            }
+            (Some(IndexExpr::Or(children)), exact)
+        }
+        Predicate::Not(_) => (None, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn plan_of(text: &str) -> Plan {
+        plan(&parse(text).unwrap())
+    }
+
+    #[test]
+    fn conjunction_of_indexables_is_exact() {
+        let p = plan_of(r#"FIND WHERE domain = "traffic" AND count >= 10"#);
+        assert!(p.is_exact());
+        assert!(matches!(p.source, PlanSource::Index(IndexExpr::And(_))));
+    }
+
+    #[test]
+    fn ne_forces_scan_alone_but_residual_under_and() {
+        let p = plan_of(r#"FIND WHERE domain != "traffic""#);
+        assert!(matches!(p.source, PlanSource::Scan));
+        assert!(!p.is_exact());
+
+        let p = plan_of(r#"FIND WHERE region = "london" AND domain != "traffic""#);
+        // The Eq side serves from the index, the Ne is re-checked.
+        assert!(matches!(p.source, PlanSource::Index(IndexExpr::Eq { .. })));
+        assert!(!p.is_exact());
+    }
+
+    #[test]
+    fn or_with_unindexable_branch_scans() {
+        let p = plan_of(r#"FIND WHERE domain = "x" OR NOT domain = "y""#);
+        assert!(matches!(p.source, PlanSource::Scan));
+        assert!(!p.is_exact());
+    }
+
+    #[test]
+    fn or_of_indexables_is_exact_union() {
+        let p = plan_of(r#"FIND WHERE region = "london" OR region = "boston""#);
+        assert!(p.is_exact());
+        assert!(matches!(p.source, PlanSource::Index(IndexExpr::Or(_))));
+    }
+
+    #[test]
+    fn empty_where_is_all() {
+        let p = plan_of("FIND");
+        assert!(matches!(p.source, PlanSource::Index(IndexExpr::All)));
+        assert!(p.is_exact());
+    }
+
+    #[test]
+    fn time_overlap_and_keyword_translate() {
+        let p = plan_of(r#"FIND WHERE time OVERLAPS [1, 5] AND ANNOTATION CONTAINS "replaced""#);
+        assert!(p.is_exact());
+        match p.source {
+            PlanSource::Index(IndexExpr::And(children)) => {
+                assert!(children.iter().any(|c| matches!(c, IndexExpr::TimeOverlap(_))));
+                assert!(children.iter().any(|c| matches!(c, IndexExpr::Keyword(_))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_is_readable() {
+        let p = plan_of(r#"FIND ANCESTORS OF ts:aa WHERE domain = "x" AND NOT HAS patient"#);
+        let text = p.explain();
+        assert!(text.contains("index"), "{text}");
+        assert!(text.contains("lineage"), "{text}");
+        assert!(text.contains("recheck"), "{text}");
+    }
+
+    #[test]
+    fn between_becomes_inclusive_range() {
+        let p = plan_of("FIND WHERE count BETWEEN 5 AND 10");
+        assert!(p.is_exact());
+        match &p.source {
+            PlanSource::Index(IndexExpr::Range { low, high, .. }) => {
+                assert_eq!(*low, Bound::Included(Value::Int(5)));
+                assert_eq!(*high, Bound::Included(Value::Int(10)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

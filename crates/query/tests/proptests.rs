@@ -1,0 +1,225 @@
+//! Property tests for the query layer: the planner's index strategy must
+//! agree with brute-force predicate evaluation on arbitrary predicates
+//! and corpora — the superset-plus-residual contract, fuzzed.
+
+use proptest::prelude::*;
+use pass_index::{
+    AncestryGraph, AttrIndex, BfsClosure, KeywordIndex, NodeIdx, PostingList, ReachStrategy,
+    TimeIndex,
+};
+use pass_model::{
+    Digest128, ProvenanceBuilder, ProvenanceRecord, SiteId, TimeRange, Timestamp, TupleSetId,
+    Value,
+};
+use pass_query::{execute, CmpOp, LineageClause, Predicate, Provider, Query};
+use std::ops::Bound;
+use std::sync::Mutex;
+
+/// Minimal in-memory provider mirroring the core's indexing rules.
+struct Fixture {
+    records: Vec<ProvenanceRecord>,
+    attrs: AttrIndex,
+    time: Mutex<TimeIndex>,
+    keywords: KeywordIndex,
+    graph: AncestryGraph,
+}
+
+impl Fixture {
+    fn new(records: Vec<ProvenanceRecord>) -> Self {
+        let mut attrs = AttrIndex::new();
+        let mut time = TimeIndex::new();
+        let mut keywords = KeywordIndex::new();
+        let mut graph = AncestryGraph::new();
+        for record in &records {
+            let parents: Vec<(TupleSetId, bool)> =
+                record.ancestry.iter().map(|d| (d.parent, d.tool.abstracted)).collect();
+            let idx = graph.insert(record.id, &parents);
+            attrs.insert_attrs(idx, &record.attributes);
+            for (name, value) in pass_query::ast::multi_valued_attrs(record) {
+                attrs.insert(idx, name, value);
+            }
+            attrs.insert(idx, "origin.site", Value::Int(i64::from(record.origin.0)));
+            attrs.insert(idx, "created_at", Value::Time(record.created_at));
+            attrs.insert(
+                idx,
+                "ancestry.parents",
+                Value::Int(record.ancestry.len() as i64),
+            );
+            if let Some(range) = record.time_range() {
+                time.insert(idx, range);
+            }
+            for ann in &record.annotations {
+                keywords.insert(idx, &ann.text);
+            }
+            if let Some(desc) = record.attributes.get_str(pass_model::keys::DESCRIPTION) {
+                keywords.insert(idx, desc);
+            }
+        }
+        Fixture { records, attrs, time: Mutex::new(time), keywords, graph }
+    }
+}
+
+impl Provider for Fixture {
+    fn eq_lookup(&self, attr: &str, value: &Value) -> PostingList {
+        self.attrs.eq(attr, value)
+    }
+    fn range_lookup(&self, attr: &str, low: Bound<&Value>, high: Bound<&Value>) -> PostingList {
+        self.attrs.range(attr, low, high)
+    }
+    fn time_overlap(&self, range: TimeRange) -> PostingList {
+        self.time.lock().unwrap().overlapping(range)
+    }
+    fn keyword_lookup(&self, phrase: &str) -> PostingList {
+        self.keywords.lookup_all(phrase)
+    }
+    fn has_attr(&self, attr: &str) -> PostingList {
+        self.attrs.has_attr(attr)
+    }
+    fn all_nodes(&self) -> PostingList {
+        PostingList::from_iter(self.records.iter().filter_map(|r| self.graph.lookup(r.id)))
+    }
+    fn lineage(&self, clause: &LineageClause) -> Option<PostingList> {
+        let root = self.graph.lookup(clause.root)?;
+        Some(PostingList::from_iter(BfsClosure.reachable(
+            &self.graph,
+            root,
+            clause.direction,
+            &clause.traverse_opts(),
+        )))
+    }
+    fn node_of(&self, id: TupleSetId) -> Option<NodeIdx> {
+        self.graph.lookup(id)
+    }
+    fn fetch(&self, idx: NodeIdx) -> Option<ProvenanceRecord> {
+        let id = self.graph.resolve(idx)?;
+        self.records.iter().find(|r| r.id == id).cloned()
+    }
+}
+
+const ATTRS: &[&str] = &["domain", "region", "kind", "level"];
+const STR_VALUES: &[&str] = &["traffic", "weather", "medical", "london", "boston"];
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0usize..STR_VALUES.len()).prop_map(|i| Value::from(STR_VALUES[i])),
+        (-5i64..15).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_leaf() -> impl Strategy<Value = Predicate> {
+    let attr = (0usize..ATTRS.len()).prop_map(|i| ATTRS[i].to_owned());
+    prop_oneof![
+        (attr.clone(), arb_value()).prop_map(|(a, v)| Predicate::Eq(a, v)),
+        (attr.clone(), arb_value()).prop_map(|(a, v)| Predicate::Ne(a, v)),
+        (attr.clone(), arb_value()).prop_map(|(a, v)| Predicate::Cmp(a, CmpOp::Ge, v)),
+        (attr.clone(), arb_value()).prop_map(|(a, v)| Predicate::Cmp(a, CmpOp::Lt, v)),
+        (attr.clone(), arb_value(), arb_value())
+            .prop_map(|(a, lo, hi)| Predicate::Between(a, lo, hi)),
+        attr.prop_map(Predicate::HasAttr),
+        (0u64..200, 0u64..200).prop_map(|(a, b)| Predicate::TimeOverlaps(TimeRange::new(
+            Timestamp(a.min(b)),
+            Timestamp(a.max(b))
+        ))),
+        Just(Predicate::True),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    arb_leaf().prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Predicate::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Predicate::Or),
+            inner.prop_map(|p| Predicate::Not(Box::new(p))),
+        ]
+    })
+}
+
+fn arb_record(seed: usize) -> impl Strategy<Value = ProvenanceRecord> {
+    (
+        proptest::collection::vec((0usize..ATTRS.len(), arb_value()), 0..4),
+        proptest::option::of((0u64..150, 0u64..60)),
+        0u32..4,
+    )
+        .prop_map(move |(pairs, window, origin)| {
+            let mut builder = ProvenanceBuilder::new(SiteId(origin), Timestamp(seed as u64));
+            for (ai, v) in pairs {
+                builder = builder.attr(ATTRS[ai], v);
+            }
+            if let Some((start, len)) = window {
+                builder = builder
+                    .time_range(TimeRange::new(Timestamp(start), Timestamp(start + len)));
+            }
+            builder.attr("uniq", seed as i64).build(Digest128::of(&seed.to_be_bytes()))
+        })
+}
+
+fn arb_corpus() -> impl Strategy<Value = Vec<ProvenanceRecord>> {
+    proptest::collection::vec(any::<u8>(), 3..20).prop_flat_map(|seeds| {
+        seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| arb_record(i * 256 + s as usize))
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The fundamental contract: executor output == brute-force filter,
+    /// for every predicate shape the planner might see.
+    #[test]
+    fn executor_matches_brute_force(corpus in arb_corpus(), pred in arb_predicate()) {
+        let fixture = Fixture::new(corpus.clone());
+        let query = Query::filtered(pred.clone());
+        let result = execute(&query, &fixture).unwrap();
+        let mut got = result.ids();
+        got.sort();
+        let mut want: Vec<TupleSetId> = corpus
+            .iter()
+            .filter(|r| pred.matches(r))
+            .map(|r| r.id)
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want, "predicate {:?}", pred);
+    }
+
+    /// Limits never change membership, only cardinality.
+    #[test]
+    fn limit_truncates_without_changing_membership(
+        corpus in arb_corpus(),
+        pred in arb_predicate(),
+        limit in 0usize..10,
+    ) {
+        let fixture = Fixture::new(corpus);
+        let full = execute(&Query::filtered(pred.clone()), &fixture).unwrap();
+        let cut = execute(&Query::filtered(pred).with_limit(limit), &fixture).unwrap();
+        prop_assert!(cut.records.len() <= limit);
+        let full_ids: std::collections::HashSet<_> = full.ids().into_iter().collect();
+        prop_assert!(cut.ids().iter().all(|id| full_ids.contains(id)));
+    }
+
+    /// Double negation is a no-op.
+    #[test]
+    fn double_negation_is_identity(corpus in arb_corpus(), pred in arb_predicate()) {
+        let fixture = Fixture::new(corpus);
+        let direct = execute(&Query::filtered(pred.clone()), &fixture).unwrap();
+        let doubled = execute(
+            &Query::filtered(Predicate::Not(Box::new(Predicate::Not(Box::new(pred))))),
+            &fixture,
+        )
+        .unwrap();
+        let mut a = direct.ids();
+        let mut b = doubled.ids();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Parser fuzz: arbitrary input never panics.
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,80}") {
+        let _ = pass_query::parse(&input);
+    }
+}

@@ -1,0 +1,107 @@
+//! Deterministic randomness helpers shared by the domain generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives an independent, reproducible RNG from a seed and a label so
+/// each generator stream is stable regardless of call order.
+pub fn rng_for(seed: u64, label: &str) -> StdRng {
+    let mut h: u64 = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for &b in label.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Samples a Poisson count via inversion (suitable for the small means
+/// the generators use; falls back to a normal approximation above 30).
+pub fn poisson(rng: &mut StdRng, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Normal approximation with continuity correction.
+        let sample = mean + mean.sqrt() * gaussian(rng);
+        return sample.max(0.0).round() as u64;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.gen_range(0.0..1.0);
+    let mut count = 0u64;
+    while product > limit {
+        product *= rng.gen_range(0.0f64..1.0);
+        count += 1;
+    }
+    count
+}
+
+/// Standard normal via Box–Muller.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// First-order autoregressive process: `x' = mean + phi·(x − mean) + σ·ε`.
+#[derive(Debug, Clone)]
+pub struct Ar1 {
+    /// Long-run mean.
+    pub mean: f64,
+    /// Persistence coefficient in `[0, 1)`.
+    pub phi: f64,
+    /// Innovation standard deviation.
+    pub sigma: f64,
+    state: f64,
+}
+
+impl Ar1 {
+    /// Starts the process at its mean.
+    pub fn new(mean: f64, phi: f64, sigma: f64) -> Self {
+        Ar1 { mean, phi, sigma, state: mean }
+    }
+
+    /// Advances one step.
+    pub fn step(&mut self, rng: &mut StdRng) -> f64 {
+        self.state = self.mean + self.phi * (self.state - self.mean) + self.sigma * gaussian(rng);
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_for_is_stable_and_label_sensitive() {
+        let a: u64 = rng_for(1, "traffic").gen();
+        let b: u64 = rng_for(1, "traffic").gen();
+        let c: u64 = rng_for(1, "weather").gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_right() {
+        let mut rng = rng_for(7, "poisson");
+        for mean in [0.5, 3.0, 12.0, 80.0] {
+            let n = 3_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+            let sample_mean = total as f64 / n as f64;
+            assert!(
+                (sample_mean - mean).abs() < mean.max(1.0) * 0.15,
+                "mean {mean}: sampled {sample_mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn ar1_stays_near_mean_and_varies() {
+        let mut rng = rng_for(9, "ar1");
+        let mut p = Ar1::new(20.0, 0.9, 0.5);
+        let samples: Vec<f64> = (0..2_000).map(|_| p.step(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 20.0).abs() < 1.0, "mean {mean}");
+        let spread = samples.iter().map(|x| (x - mean).abs()).fold(0.0, f64::max);
+        assert!(spread > 0.5, "process must actually vary");
+    }
+}

@@ -1,0 +1,157 @@
+//! Sensor-enabled ambulance workload (§III-C).
+//!
+//! "EMTs arriving at an accident or mass casualty event place sensors
+//! (e.g., pulse oximeters, EKGs) on the patients." Patients stream vital
+//! signs; some exhibit arrhythmia episodes (irregular heart-rate spikes)
+//! and desaturation events — the anomalies the §III-C system queries
+//! ("find me all patients with signs of arrhythmia") go looking for.
+
+use crate::gen::{gaussian, rng_for};
+use crate::spec::CaptureSpec;
+use pass_model::{keys, Attributes, Reading, SensorId, Timestamp};
+use rand::Rng;
+
+/// Medical generator parameters.
+#[derive(Debug, Clone)]
+pub struct MedicalConfig {
+    /// Incident label (becomes the `region`-equivalent scope).
+    pub incident: String,
+    /// Number of patients at the incident.
+    pub patients: usize,
+    /// Number of EMTs (patients are assigned round-robin).
+    pub emts: usize,
+    /// Vital-sign sample period.
+    pub sample_ms: u64,
+    /// Window per tuple set.
+    pub window_ms: u64,
+    /// Fraction of patients with an arrhythmia pattern.
+    pub arrhythmia_rate: f64,
+    /// Sensor id offset.
+    pub sensor_base: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MedicalConfig {
+    fn default() -> Self {
+        MedicalConfig {
+            incident: "incident-7".to_owned(),
+            patients: 6,
+            emts: 3,
+            sample_ms: 1_000,
+            window_ms: 60_000,
+            arrhythmia_rate: 0.3,
+            sensor_base: 20_000,
+            seed: 3,
+        }
+    }
+}
+
+/// Generates `windows` tuple sets per patient: one pulse-ox/EKG window
+/// each. Arrhythmic patients carry `anomaly.arrhythmia = true` windows
+/// when an episode occurred.
+pub fn generate(config: &MedicalConfig, start: Timestamp, windows: usize) -> Vec<CaptureSpec> {
+    let mut out = Vec::with_capacity(config.patients * windows);
+    for p in 0..config.patients {
+        let mut rng = rng_for(config.seed, &format!("medical-{}-{p}", config.incident));
+        let arrhythmic = rng.gen_bool(config.arrhythmia_rate);
+        let base_hr = rng.gen_range(62.0..95.0);
+        let sensor = SensorId(config.sensor_base + p as u64);
+        let patient = format!("patient-{p:03}");
+        let emt = format!("emt-{}", p % config.emts.max(1));
+        for w in 0..windows {
+            let w_start = start + (w as u64) * config.window_ms;
+            let w_end = w_start + (config.window_ms - 1);
+            let samples = (config.window_ms / config.sample_ms) as usize;
+            let mut readings = Vec::with_capacity(samples);
+            let mut episode = false;
+            let mut spo2_drop = false;
+            for i in 0..samples {
+                let t = Timestamp(w_start.as_millis() + i as u64 * config.sample_ms);
+                let mut hr = base_hr + 3.0 * gaussian(&mut rng);
+                if arrhythmic && rng.gen_bool(0.04) {
+                    // Irregular beat burst.
+                    hr += rng.gen_range(40.0..80.0);
+                    episode = true;
+                }
+                let mut spo2 = 97.5 + 0.8 * gaussian(&mut rng);
+                if rng.gen_bool(0.01) {
+                    spo2 -= rng.gen_range(5.0..12.0);
+                    spo2_drop = true;
+                }
+                readings.push(
+                    Reading::new(sensor, t)
+                        .with("hr_bpm", hr.clamp(20.0, 250.0))
+                        .with("spo2_pct", spo2.clamp(60.0, 100.0)),
+                );
+            }
+            let attrs = Attributes::new()
+                .with(keys::DOMAIN, "medical")
+                .with(keys::REGION, config.incident.clone())
+                .with(keys::TYPE, "vitals")
+                .with(keys::SENSOR_TYPE, "pulse_oximeter")
+                .with(keys::PATIENT, patient.clone())
+                .with(keys::OPERATOR, emt.clone())
+                .with(keys::TIME_START, w_start)
+                .with(keys::TIME_END, w_end)
+                .with(keys::READING_COUNT, readings.len() as i64)
+                .with("anomaly.arrhythmia", episode)
+                .with("anomaly.desaturation", spo2_drop);
+            out.push(CaptureSpec { attrs, readings, at: w_end });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_patient_windows_with_vitals() {
+        let config = MedicalConfig::default();
+        let specs = generate(&config, Timestamp::ZERO, 4);
+        assert_eq!(specs.len(), 24);
+        for s in &specs {
+            assert_eq!(s.attrs.get_str(keys::DOMAIN), Some("medical"));
+            assert!(s.attrs.get_str(keys::PATIENT).is_some());
+            assert!(s.attrs.get_str(keys::OPERATOR).unwrap().starts_with("emt-"));
+            assert_eq!(s.readings.len(), 60);
+        }
+    }
+
+    #[test]
+    fn arrhythmia_flags_appear_for_some_patients() {
+        let config = MedicalConfig { patients: 20, arrhythmia_rate: 0.5, ..Default::default() };
+        let specs = generate(&config, Timestamp::ZERO, 5);
+        let flagged: std::collections::HashSet<&str> = specs
+            .iter()
+            .filter(|s| s.attrs.get("anomaly.arrhythmia") == Some(&true.into()))
+            .filter_map(|s| s.attrs.get_str(keys::PATIENT))
+            .collect();
+        assert!(!flagged.is_empty(), "some episodes must occur");
+        assert!(flagged.len() < 20, "not everyone is arrhythmic");
+    }
+
+    #[test]
+    fn emt_assignment_is_round_robin() {
+        let config = MedicalConfig { patients: 6, emts: 3, ..Default::default() };
+        let specs = generate(&config, Timestamp::ZERO, 1);
+        assert_eq!(specs[0].attrs.get_str(keys::OPERATOR), Some("emt-0"));
+        assert_eq!(specs[1].attrs.get_str(keys::OPERATOR), Some("emt-1"));
+        assert_eq!(specs[3].attrs.get_str(keys::OPERATOR), Some("emt-0"));
+    }
+
+    #[test]
+    fn heart_rates_are_physiological() {
+        let specs = generate(&MedicalConfig::default(), Timestamp::ZERO, 2);
+        for s in specs {
+            for r in &s.readings {
+                let hr = r.field("hr_bpm").unwrap().as_float().unwrap();
+                assert!((20.0..=250.0).contains(&hr), "hr {hr}");
+                let spo2 = r.field("spo2_pct").unwrap().as_float().unwrap();
+                assert!((60.0..=100.0).contains(&spo2), "spo2 {spo2}");
+            }
+        }
+    }
+}

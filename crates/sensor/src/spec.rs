@@ -1,0 +1,34 @@
+//! Generator output types.
+//!
+//! Generators are storage-agnostic: they emit [`CaptureSpec`]s that a
+//! driver turns into tuple sets via `Pass::capture` (or feeds to a
+//! simulated architecture). This keeps the workload substrate reusable
+//! across the local store, the distributed models, and the benches.
+
+use pass_model::{Attributes, Reading, Timestamp};
+
+/// One raw tuple set waiting to be captured.
+#[derive(Debug, Clone)]
+pub struct CaptureSpec {
+    /// Provenance attributes (domain, region, type, time window, …).
+    pub attrs: Attributes,
+    /// The readings.
+    pub readings: Vec<Reading>,
+    /// Capture time (normally the end of the covered window).
+    pub at: Timestamp,
+}
+
+impl CaptureSpec {
+    /// The conventional region attribute, when present.
+    pub fn region(&self) -> Option<&str> {
+        self.attrs.get_str(pass_model::keys::REGION)
+    }
+
+    /// Approximate encoded size (for wire-cost accounting in the
+    /// distributed experiments).
+    pub fn approx_bytes(&self) -> u64 {
+        use pass_model::codec::Encode;
+        (self.attrs.encoded_len() + self.readings.iter().map(|r| r.encoded_len()).sum::<usize>())
+            as u64
+    }
+}

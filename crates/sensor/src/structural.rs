@@ -1,0 +1,137 @@
+//! Structural health monitoring workload (§I cites Kottapalli et al.'s
+//! two-tiered wireless architecture for buildings and bridges).
+//!
+//! Accelerometers on a structure report vibration RMS per window;
+//! occasional excitation events (traffic, wind gusts, small quakes)
+//! raise the response across correlated sensors.
+
+use crate::gen::{gaussian, rng_for};
+use crate::spec::CaptureSpec;
+use pass_model::{keys, Attributes, GeoPoint, Reading, SensorId, Timestamp};
+use rand::Rng;
+
+/// Structural generator parameters.
+#[derive(Debug, Clone)]
+pub struct StructuralConfig {
+    /// Structure label (the `region` attribute).
+    pub structure: String,
+    /// Number of accelerometers.
+    pub sensors: usize,
+    /// Window per tuple set.
+    pub window_ms: u64,
+    /// Samples per window.
+    pub samples_per_window: usize,
+    /// Probability an excitation event hits a given window.
+    pub event_rate: f64,
+    /// Sensor id offset.
+    pub sensor_base: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StructuralConfig {
+    fn default() -> Self {
+        StructuralConfig {
+            structure: "bridge-12".to_owned(),
+            sensors: 10,
+            window_ms: 120_000,
+            samples_per_window: 24,
+            event_rate: 0.12,
+            sensor_base: 40_000,
+            seed: 5,
+        }
+    }
+}
+
+/// Generates `windows` tuple sets per sensor.
+pub fn generate(config: &StructuralConfig, start: Timestamp, windows: usize) -> Vec<CaptureSpec> {
+    let mut rng = rng_for(config.seed, &format!("structural-{}", config.structure));
+    let mut out = Vec::with_capacity(config.sensors * windows);
+    for w in 0..windows {
+        // Excitation is structure-wide: all sensors see it together.
+        let excited = rng.gen_bool(config.event_rate);
+        let gain = if excited { rng.gen_range(4.0..10.0) } else { 1.0 };
+        let w_start = start + (w as u64) * config.window_ms;
+        let w_end = w_start + (config.window_ms - 1);
+        for s in 0..config.sensors {
+            let sensor = SensorId(config.sensor_base + s as u64);
+            // Sensors higher on the structure respond more.
+            let height_factor = 1.0 + s as f64 / config.sensors as f64;
+            let step = config.window_ms / config.samples_per_window as u64;
+            let mut readings = Vec::with_capacity(config.samples_per_window);
+            let mut rms_acc = 0.0f64;
+            for i in 0..config.samples_per_window {
+                let t = Timestamp(w_start.as_millis() + i as u64 * step);
+                let rms = (0.02 * gain * height_factor * (1.0 + 0.3 * gaussian(&mut rng))).abs();
+                rms_acc += rms * rms;
+                readings.push(Reading::new(sensor, t).with("rms_g", rms));
+            }
+            let window_rms = (rms_acc / config.samples_per_window as f64).sqrt();
+            let attrs = Attributes::new()
+                .with(keys::DOMAIN, "structural")
+                .with(keys::REGION, config.structure.clone())
+                .with(keys::TYPE, "vibration_window")
+                .with(keys::SENSOR_TYPE, "accelerometer")
+                .with(keys::LOCATION, GeoPoint::new(37.8, -122.47))
+                .with(keys::TIME_START, w_start)
+                .with(keys::TIME_END, w_end)
+                .with(keys::READING_COUNT, readings.len() as i64)
+                .with("sensor.id", sensor.0 as i64)
+                .with("window_rms_g", window_rms)
+                .with("excited", excited);
+            out.push(CaptureSpec { attrs, readings, at: w_end });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn excited_windows_swing_harder() {
+        let config = StructuralConfig { event_rate: 0.5, ..Default::default() };
+        let specs = generate(&config, Timestamp::ZERO, 40);
+        let mut excited = Vec::new();
+        let mut calm = Vec::new();
+        for s in &specs {
+            let rms = s.attrs.get("window_rms_g").unwrap().as_float().unwrap();
+            if s.attrs.get("excited") == Some(&true.into()) {
+                excited.push(rms);
+            } else {
+                calm.push(rms);
+            }
+        }
+        assert!(!excited.is_empty() && !calm.is_empty());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&excited) > mean(&calm) * 2.0);
+    }
+
+    #[test]
+    fn excitation_is_structure_wide() {
+        let config = StructuralConfig { sensors: 4, event_rate: 0.3, ..Default::default() };
+        let specs = generate(&config, Timestamp::ZERO, 10);
+        for w in 0..10 {
+            let flags: Vec<_> = (0..4)
+                .map(|s| specs[w * 4 + s].attrs.get("excited").cloned())
+                .collect();
+            assert!(flags.windows(2).all(|p| p[0] == p[1]), "window {w}: {flags:?}");
+        }
+    }
+
+    #[test]
+    fn higher_sensors_respond_more() {
+        let config = StructuralConfig { sensors: 10, event_rate: 0.0, ..Default::default() };
+        let specs = generate(&config, Timestamp::ZERO, 30);
+        let mean_rms = |sensor: usize| -> f64 {
+            let vals: Vec<f64> = specs
+                .iter()
+                .filter(|s| s.attrs.get_int("sensor.id") == Some((40_000 + sensor) as i64))
+                .map(|s| s.attrs.get("window_rms_g").unwrap().as_float().unwrap())
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(mean_rms(9) > mean_rms(0) * 1.3);
+    }
+}

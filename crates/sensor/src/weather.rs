@@ -1,0 +1,129 @@
+//! Weather station workload.
+//!
+//! §I's motivating cross-domain query merges "historical traffic data
+//! with historical weather data"; §III-D notes hand-collected weather
+//! data "goes back over a hundred years". Stations report AR(1)
+//! temperature, wind, and rain accumulations per window.
+
+use crate::gen::{rng_for, Ar1};
+use crate::spec::CaptureSpec;
+use pass_model::{keys, Attributes, GeoPoint, Reading, SensorId, Timestamp};
+use rand::Rng;
+
+/// Weather generator parameters.
+#[derive(Debug, Clone)]
+pub struct WeatherConfig {
+    /// Region label shared with the traffic zone it co-locates with.
+    pub region: String,
+    /// Station grid origin.
+    pub origin: GeoPoint,
+    /// Number of stations.
+    pub stations: usize,
+    /// Window per tuple set.
+    pub window_ms: u64,
+    /// Readings per window per station.
+    pub samples_per_window: usize,
+    /// Station id offset.
+    pub sensor_base: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WeatherConfig {
+    fn default() -> Self {
+        WeatherConfig {
+            region: "london".to_owned(),
+            origin: GeoPoint::new(51.4, -0.2),
+            stations: 4,
+            window_ms: 600_000, // 10 minutes
+            samples_per_window: 10,
+            sensor_base: 10_000,
+            seed: 2,
+        }
+    }
+}
+
+/// Generates `windows` tuple sets per station.
+pub fn generate(config: &WeatherConfig, start: Timestamp, windows: usize) -> Vec<CaptureSpec> {
+    let mut out = Vec::with_capacity(config.stations * windows);
+    for s in 0..config.stations {
+        let mut rng = rng_for(config.seed, &format!("weather-{}-{s}", config.region));
+        let sensor = SensorId(config.sensor_base + s as u64);
+        let position =
+            GeoPoint::new(config.origin.lat + s as f64 * 0.05, config.origin.lon + s as f64 * 0.03);
+        let mut temp = Ar1::new(12.0, 0.95, 0.4);
+        let mut wind = Ar1::new(15.0, 0.85, 2.0);
+        for w in 0..windows {
+            let w_start = start + (w as u64) * config.window_ms;
+            let w_end = w_start + (config.window_ms - 1);
+            let step = config.window_ms / config.samples_per_window as u64;
+            let mut readings = Vec::with_capacity(config.samples_per_window);
+            for i in 0..config.samples_per_window {
+                let t = Timestamp(w_start.as_millis() + i as u64 * step);
+                let raining = rng.gen_bool(0.15);
+                readings.push(
+                    Reading::new(sensor, t)
+                        .with("temp_c", temp.step(&mut rng))
+                        .with("wind_kmh", wind.step(&mut rng).max(0.0))
+                        .with("rain_mm", if raining { rng.gen_range(0.1..2.0) } else { 0.0 }),
+                );
+            }
+            let attrs = Attributes::new()
+                .with(keys::DOMAIN, "weather")
+                .with(keys::REGION, config.region.clone())
+                .with(keys::TYPE, "station_report")
+                .with(keys::SENSOR_TYPE, "weather_station")
+                .with(keys::LOCATION, position)
+                .with(keys::TIME_START, w_start)
+                .with(keys::TIME_END, w_end)
+                .with(keys::READING_COUNT, readings.len() as i64)
+                .with("station.id", sensor.0 as i64);
+            out.push(CaptureSpec { attrs, readings, at: w_end });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_attributes() {
+        let config = WeatherConfig::default();
+        let specs = generate(&config, Timestamp::ZERO, 6);
+        assert_eq!(specs.len(), 24);
+        for s in &specs {
+            assert_eq!(s.attrs.get_str(keys::DOMAIN), Some("weather"));
+            assert_eq!(s.readings.len(), 10);
+            assert!(s.readings.iter().all(|r| r.field("temp_c").is_some()));
+        }
+    }
+
+    #[test]
+    fn temperature_is_smooth_not_white_noise() {
+        let config = WeatherConfig { stations: 1, ..WeatherConfig::default() };
+        let specs = generate(&config, Timestamp::ZERO, 10);
+        let temps: Vec<f64> = specs
+            .iter()
+            .flat_map(|s| s.readings.iter())
+            .map(|r| r.field("temp_c").unwrap().as_float().unwrap())
+            .collect();
+        // Adjacent-step deltas must be small relative to overall spread.
+        let max_delta = temps.windows(2).map(|w| (w[1] - w[0]).abs()).fold(0.0, f64::max);
+        assert!(max_delta < 3.0, "AR(1) should move smoothly, max step {max_delta}");
+    }
+
+    #[test]
+    fn shares_region_vocabulary_with_traffic() {
+        // The federation experiment joins on `region`; both domains must
+        // emit the same attribute name and value space.
+        let w = generate(&WeatherConfig::default(), Timestamp::ZERO, 1);
+        let t = crate::traffic::generate(
+            &crate::traffic::TrafficConfig::default(),
+            Timestamp::ZERO,
+            1,
+        );
+        assert_eq!(w[0].region(), t[0].region());
+    }
+}

@@ -1,0 +1,298 @@
+//! Query workloads: the three §III families rendered as query text.
+//!
+//! Each generator emits labeled query strings parameterized over a
+//! populated store's vocabulary (regions, patients, tools, ids), so the
+//! E4 experiment can measure per-class latency on realistic mixes:
+//!
+//! * **Versioning** (§III-A): point-in-time, diff-window, blame, tags.
+//! * **Science** (§III-B): raw-data closure, reproduce, taint, citation.
+//! * **Sensor/EMT** (§III-C): per-patient timelines, per-operator
+//!   profiles, anomaly hunts.
+
+use pass_model::{Timestamp, TupleSetId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A labeled query.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Workload family.
+    pub class: WorkloadClass,
+    /// Which §III bullet the query instantiates.
+    pub label: &'static str,
+    /// Query text in the PASS language.
+    pub text: String,
+}
+
+/// The §III workload families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Document-versioning-style queries (§III-A).
+    Versioning,
+    /// Scientific-repository queries (§III-B).
+    Science,
+    /// Sensor/EMT operational queries (§III-C).
+    Sensor,
+}
+
+impl WorkloadClass {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadClass::Versioning => "versioning",
+            WorkloadClass::Science => "science",
+            WorkloadClass::Sensor => "sensor",
+        }
+    }
+}
+
+/// Vocabulary extracted from a populated store, used to parameterize
+/// queries with values that actually exist.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    /// Known tuple-set ids (lineage roots).
+    pub ids: Vec<TupleSetId>,
+    /// Known `region` values.
+    pub regions: Vec<String>,
+    /// Known `patient` values.
+    pub patients: Vec<String>,
+    /// Known `operator` values.
+    pub operators: Vec<String>,
+    /// Known tool names.
+    pub tools: Vec<String>,
+    /// Time span covered by the corpus.
+    pub time_span: (Timestamp, Timestamp),
+}
+
+fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.gen_range(0..items.len())])
+    }
+}
+
+fn sub_window(rng: &mut StdRng, span: (Timestamp, Timestamp)) -> (u64, u64) {
+    let (lo, hi) = (span.0.as_millis(), span.1.as_millis().max(span.0.as_millis() + 1));
+    let len = ((hi - lo) / 4).max(1);
+    let start = rng.gen_range(lo..hi.saturating_sub(len).max(lo + 1));
+    (start, start + len)
+}
+
+/// §III-A: versioning-style queries.
+pub fn versioning(vocab: &Vocabulary, rng: &mut StdRng, n: usize) -> Vec<QuerySpec> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let spec = match i % 4 {
+            // "Show me the file as it was yesterday" — state at a time.
+            0 => {
+                let (a, _) = sub_window(rng, vocab.time_span);
+                QuerySpec {
+                    class: WorkloadClass::Versioning,
+                    label: "point-in-time",
+                    text: format!("FIND WHERE time OVERLAPS [{a}, {a}] ORDER BY created DESC LIMIT 1"),
+                }
+            }
+            // "Show me all changes since last week" — window scan.
+            1 => {
+                let (a, b) = sub_window(rng, vocab.time_span);
+                QuerySpec {
+                    class: WorkloadClass::Versioning,
+                    label: "changes-since",
+                    text: format!("FIND WHERE created_at >= @{a} AND created_at <= @{b} ORDER BY created ASC"),
+                }
+            }
+            // "Find the person who removed this error code" — blame by tool.
+            2 => match pick(rng, &vocab.tools) {
+                Some(tool) => QuerySpec {
+                    class: WorkloadClass::Versioning,
+                    label: "blame-by-tool",
+                    text: format!(r#"FIND WHERE tool.name = "{tool}" ORDER BY created DESC LIMIT 5"#),
+                },
+                None => continue_spec(WorkloadClass::Versioning),
+            },
+            // "Get me all files tagged Release 1.1" — attribute tag.
+            _ => match pick(rng, &vocab.regions) {
+                Some(region) => QuerySpec {
+                    class: WorkloadClass::Versioning,
+                    label: "tag-lookup",
+                    text: format!(r#"FIND WHERE region = "{region}""#),
+                },
+                None => continue_spec(WorkloadClass::Versioning),
+            },
+        };
+        out.push(spec);
+    }
+    out
+}
+
+/// §III-B: science-repository queries (closure-heavy).
+pub fn science(vocab: &Vocabulary, rng: &mut StdRng, n: usize) -> Vec<QuerySpec> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let spec = match i % 4 {
+            // "Find all the raw data from which this data set was derived."
+            0 => match pick(rng, &vocab.ids) {
+                Some(id) => QuerySpec {
+                    class: WorkloadClass::Science,
+                    label: "raw-origins",
+                    text: format!(
+                        "FIND ANCESTORS OF ts:{} WHERE ancestry.parents = 0",
+                        id.full_hex()
+                    ),
+                },
+                None => continue_spec(WorkloadClass::Science),
+            },
+            // "Show me what I need to reproduce this result" — full closure.
+            1 => match pick(rng, &vocab.ids) {
+                Some(id) => QuerySpec {
+                    class: WorkloadClass::Science,
+                    label: "reproduce",
+                    text: format!("FIND ANCESTORS OF ts:{} WITH SELF", id.full_hex()),
+                },
+                None => continue_spec(WorkloadClass::Science),
+            },
+            // Taint: "all downstream data … must be locatable."
+            2 => match pick(rng, &vocab.ids) {
+                Some(id) => QuerySpec {
+                    class: WorkloadClass::Science,
+                    label: "taint-downstream",
+                    text: format!("FIND DESCENDANTS OF ts:{}", id.full_hex()),
+                },
+                None => continue_spec(WorkloadClass::Science),
+            },
+            // "Show everyone who has used my work" — shallow descendants.
+            _ => match pick(rng, &vocab.ids) {
+                Some(id) => QuerySpec {
+                    class: WorkloadClass::Science,
+                    label: "citation",
+                    text: format!("FIND DESCENDANTS OF ts:{} DEPTH <= 1", id.full_hex()),
+                },
+                None => continue_spec(WorkloadClass::Science),
+            },
+        };
+        out.push(spec);
+    }
+    out
+}
+
+/// §III-C: sensor/EMT operational queries.
+pub fn sensor(vocab: &Vocabulary, rng: &mut StdRng, n: usize) -> Vec<QuerySpec> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let spec = match i % 4 {
+            // "Show me everything we've done for this patient."
+            0 => match pick(rng, &vocab.patients) {
+                Some(p) => QuerySpec {
+                    class: WorkloadClass::Sensor,
+                    label: "patient-timeline",
+                    text: format!(r#"FIND WHERE patient = "{p}" ORDER BY created ASC"#),
+                },
+                None => continue_spec(WorkloadClass::Sensor),
+            },
+            // "Show me the heart rate from moment of arrival until now."
+            1 => match (pick(rng, &vocab.patients), true) {
+                (Some(p), _) => {
+                    let (a, b) = sub_window(rng, vocab.time_span);
+                    QuerySpec {
+                        class: WorkloadClass::Sensor,
+                        label: "patient-window",
+                        text: format!(
+                            r#"FIND WHERE patient = "{p}" AND time OVERLAPS [{a}, {b}]"#
+                        ),
+                    }
+                }
+                _ => continue_spec(WorkloadClass::Sensor),
+            },
+            // "Give heart rate profiles for everyone handled by EMT X."
+            2 => match pick(rng, &vocab.operators) {
+                Some(emt) => QuerySpec {
+                    class: WorkloadClass::Sensor,
+                    label: "by-operator",
+                    text: format!(r#"FIND WHERE operator = "{emt}""#),
+                },
+                None => continue_spec(WorkloadClass::Sensor),
+            },
+            // "Find me all patients with signs of arrhythmia."
+            _ => QuerySpec {
+                class: WorkloadClass::Sensor,
+                label: "anomaly-hunt",
+                text: r#"FIND WHERE anomaly.arrhythmia = true"#.to_owned(),
+            },
+        };
+        out.push(spec);
+    }
+    out
+}
+
+/// A mixed workload drawing evenly from all three classes.
+pub fn mixed(vocab: &Vocabulary, rng: &mut StdRng, per_class: usize) -> Vec<QuerySpec> {
+    let mut out = versioning(vocab, rng, per_class);
+    out.extend(science(vocab, rng, per_class));
+    out.extend(sensor(vocab, rng, per_class));
+    out
+}
+
+/// Fallback when the vocabulary lacks the values a template needs.
+fn continue_spec(class: WorkloadClass) -> QuerySpec {
+    QuerySpec { class, label: "fallback-scan", text: "FIND LIMIT 10".to_owned() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::rng_for;
+
+    fn vocab() -> Vocabulary {
+        Vocabulary {
+            ids: vec![TupleSetId(1), TupleSetId(2)],
+            regions: vec!["london".into(), "boston".into()],
+            patients: vec!["patient-001".into()],
+            operators: vec!["emt-0".into()],
+            tools: vec!["filter".into(), "aggregate".into()],
+            time_span: (Timestamp(0), Timestamp(1_000_000)),
+        }
+    }
+
+    #[test]
+    fn all_generated_queries_parse() {
+        let v = vocab();
+        let mut rng = rng_for(1, "workload");
+        for spec in mixed(&v, &mut rng, 12) {
+            pass_query::parse(&spec.text)
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", spec.text, spec.label));
+        }
+    }
+
+    #[test]
+    fn classes_are_balanced_in_mixed() {
+        let v = vocab();
+        let mut rng = rng_for(2, "workload");
+        let specs = mixed(&v, &mut rng, 8);
+        assert_eq!(specs.len(), 24);
+        for class in [WorkloadClass::Versioning, WorkloadClass::Science, WorkloadClass::Sensor] {
+            assert_eq!(specs.iter().filter(|s| s.class == class).count(), 8, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn science_queries_are_closure_heavy() {
+        let v = vocab();
+        let mut rng = rng_for(3, "workload");
+        let specs = science(&v, &mut rng, 8);
+        let closure_count = specs
+            .iter()
+            .filter(|s| s.text.contains("ANCESTORS") || s.text.contains("DESCENDANTS"))
+            .count();
+        assert_eq!(closure_count, 8, "every science query traverses lineage");
+    }
+
+    #[test]
+    fn empty_vocabulary_falls_back_gracefully() {
+        let v = Vocabulary { time_span: (Timestamp(0), Timestamp(10)), ..Default::default() };
+        let mut rng = rng_for(4, "workload");
+        for spec in mixed(&v, &mut rng, 4) {
+            pass_query::parse(&spec.text).unwrap();
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Bloom filters for SSTable key membership.
+//!
+//! A negative answer skips the table entirely; point lookups across many
+//! tables stay cheap even before compaction catches up.
+
+use crate::batch::{put_varint, take_varint};
+
+/// A fixed-size Bloom filter built with double hashing
+/// (`h_i = h1 + i * h2`), the standard Kirsch–Mitzenmacher construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Sizes a filter for `expected_items` at roughly `bits_per_key` bits
+    /// each. 10 bits/key gives ~1% false positives.
+    pub fn with_capacity(expected_items: usize, bits_per_key: usize) -> Self {
+        let num_bits = (expected_items.max(1) * bits_per_key.max(1)).max(64) as u64;
+        let num_bits = num_bits.next_multiple_of(64);
+        // Optimal k = ln2 * bits/key, clamped to a sane range.
+        let num_hashes = ((bits_per_key as f64) * 0.69).round().clamp(1.0, 30.0) as u32;
+        BloomFilter { bits: vec![0u64; (num_bits / 64) as usize], num_bits, num_hashes }
+    }
+
+    fn hash_pair(key: &[u8]) -> (u64, u64) {
+        // Two independent 64-bit FNV-1a streams with distinct offsets.
+        let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h2: u64 = 0x9ae1_6a3b_2f90_404f;
+        for &b in key {
+            h1 = (h1 ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+            h2 = (h2 ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+            h2 = h2.rotate_left(17);
+        }
+        (h1, h2 | 1) // odd step so probes cover the table
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = Self::hash_pair(key);
+        for i in 0..self.num_hashes {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// True when the key *may* be present; false means definitely absent.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = Self::hash_pair(key);
+        (0..self.num_hashes).all(|i| {
+            let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Serialized size plus contents.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.bits.len() * 8 + 16);
+        put_varint(&mut buf, self.num_bits);
+        put_varint(&mut buf, u64::from(self.num_hashes));
+        for word in &self.bits {
+            buf.extend_from_slice(&word.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Inverse of [`BloomFilter::encode`].
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let num_bits = take_varint(buf, &mut pos)?;
+        let num_hashes = u32::try_from(take_varint(buf, &mut pos)?).ok()?;
+        if num_bits == 0 || num_bits % 64 != 0 || num_hashes == 0 || num_hashes > 64 {
+            return None;
+        }
+        let words = (num_bits / 64) as usize;
+        if buf.len() - pos != words * 8 {
+            return None;
+        }
+        let mut bits = Vec::with_capacity(words);
+        for chunk in buf[pos..].chunks_exact(8) {
+            bits.push(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        Some(BloomFilter { bits, num_bits, num_hashes })
+    }
+
+    /// Memory footprint of the bit array.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(1000, 10);
+        let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let mut f = BloomFilter::with_capacity(10_000, 10);
+        for i in 0..10_000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let fp = (10_000..110_000u32)
+            .filter(|i| f.may_contain(&i.to_le_bytes()))
+            .count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.03, "false positive rate {rate} too high for 10 bits/key");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::with_capacity(100, 10);
+        assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut f = BloomFilter::with_capacity(500, 8);
+        for i in 0..500u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        let dec = BloomFilter::decode(&f.encode()).unwrap();
+        assert_eq!(f, dec);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(BloomFilter::decode(&[]).is_none());
+        let mut f = BloomFilter::with_capacity(64, 10);
+        f.insert(b"x");
+        let mut enc = f.encode();
+        enc.pop();
+        assert!(BloomFilter::decode(&enc).is_none(), "truncated body");
+    }
+}

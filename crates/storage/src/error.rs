@@ -1,0 +1,86 @@
+//! Storage engine errors.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone)]
+pub enum StorageError {
+    /// An underlying I/O failure. Wrapped in `Arc` so the error stays
+    /// `Clone` (engine handles are shared across threads).
+    Io {
+        /// What the engine was doing.
+        context: String,
+        /// The OS error.
+        source: Arc<io::Error>,
+    },
+    /// A file exists but its contents are not a valid engine file.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A checksum mismatch: the bytes on disk are not the bytes written.
+    ChecksumMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// Offset of the bad record/block.
+        offset: u64,
+    },
+    /// The engine was asked to open a directory that is already open.
+    AlreadyOpen(PathBuf),
+    /// Keys are limited to 64 KiB and values to [`crate::MAX_VALUE_LEN`].
+    OversizeEntry {
+        /// Length of the offending key.
+        key_len: usize,
+        /// Length of the offending value.
+        value_len: usize,
+    },
+}
+
+impl StorageError {
+    /// Wraps an I/O error with context.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        StorageError::Io { context: context.into(), source: Arc::new(source) }
+    }
+
+    /// Creates a corruption error.
+    pub fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        StorageError::Corrupt { path: path.into(), detail: detail.into() }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            StorageError::Corrupt { path, detail } => {
+                write!(f, "corrupt engine file {}: {detail}", path.display())
+            }
+            StorageError::ChecksumMismatch { path, offset } => {
+                write!(f, "checksum mismatch in {} at offset {offset}", path.display())
+            }
+            StorageError::AlreadyOpen(path) => {
+                write!(f, "engine directory {} is already open", path.display())
+            }
+            StorageError::OversizeEntry { key_len, value_len } => {
+                write!(f, "entry too large: key {key_len} bytes, value {value_len} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

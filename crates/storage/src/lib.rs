@@ -1,0 +1,51 @@
+//! # pass-storage — the embedded storage engine under PASS
+//!
+//! A log-structured key-value engine built for the PASS reproduction:
+//! the offline dependency set has no storage crate, and owning the engine
+//! gives the reliability experiments (E10) real fault-injection surfaces —
+//! torn WAL tails, orphaned SSTables, corrupt blocks — instead of mocks.
+//!
+//! Shape: WAL ([`wal`]) → memtable ([`memtable`]) → SSTables ([`sstable`])
+//! with bloom filters ([`bloom`]), full-merge compaction, and an atomic
+//! `MANIFEST`. Everything is CRC-32C checksummed ([`crc`]).
+//!
+//! Two backends implement the [`KvStore`] trait:
+//! [`LsmEngine`] (durable) and [`MemEngine`] (volatile, for simulations
+//! that instantiate hundreds of stores).
+//!
+//! ```
+//! use pass_storage::{KvStore, LsmEngine, tempdir::TempDir};
+//!
+//! let dir = TempDir::new("doc");
+//! let db = LsmEngine::open_default(dir.path()).unwrap();
+//! db.put(b"tuple-set/42", b"encoded record").unwrap();
+//! assert_eq!(db.get(b"tuple-set/42").unwrap().as_deref(), Some(&b"encoded record"[..]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batch;
+pub mod bloom;
+pub mod crc;
+pub mod engine;
+pub mod error;
+pub mod iter;
+pub mod kv;
+pub mod mem;
+pub mod memtable;
+pub mod sstable;
+pub mod tempdir;
+pub mod wal;
+
+pub use batch::{Op, WriteBatch};
+pub use engine::{EngineOptions, EngineStats, LsmEngine};
+pub use error::{Result, StorageError};
+pub use kv::{prefix_successor, KvStore};
+pub use mem::MemEngine;
+pub use wal::SyncPolicy;
+
+/// Maximum key length accepted by engines (64 KiB).
+pub const MAX_KEY_LEN: usize = 64 << 10;
+/// Maximum value length accepted by engines (32 MiB).
+pub const MAX_VALUE_LEN: usize = 32 << 20;

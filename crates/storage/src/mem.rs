@@ -1,0 +1,127 @@
+//! Volatile in-memory backend.
+//!
+//! Distributed experiments instantiate one store per simulated site —
+//! often hundreds — so a cheap, allocation-only backend matters. Semantics
+//! match [`crate::LsmEngine`] minus durability.
+
+use crate::batch::{Op, WriteBatch};
+use crate::error::Result;
+use crate::kv::KvStore;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// An in-memory [`KvStore`].
+#[derive(Debug, Default)]
+pub struct MemEngine {
+    data: RwLock<BTreeMap<Vec<u8>, Vec<u8>>>,
+}
+
+impl MemEngine {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemEngine::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.data.read().len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.data.read().is_empty()
+    }
+
+    /// Approximate resident bytes (keys + values).
+    pub fn approx_bytes(&self) -> usize {
+        self.data.read().iter().map(|(k, v)| k.len() + v.len()).sum()
+    }
+}
+
+impl KvStore for MemEngine {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(self.data.read().get(key).cloned())
+    }
+
+    fn apply(&self, batch: WriteBatch) -> Result<()> {
+        batch.validate()?;
+        let mut data = self.data.write();
+        for op in batch.into_ops() {
+            match op {
+                Op::Put { key, value } => {
+                    data.insert(key, value);
+                }
+                Op::Delete { key } => {
+                    data.remove(&key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn scan_range(&self, start: &[u8], end: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        if end.is_some_and(|e| e <= start) {
+            return Ok(Vec::new());
+        }
+        let data = self.data.read();
+        let lower = Bound::Included(start.to_vec());
+        let upper = match end {
+            Some(e) => Bound::Excluded(e.to_vec()),
+            None => Bound::Unbounded,
+        };
+        Ok(data
+            .range::<Vec<u8>, _>((lower, upper))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect())
+    }
+
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_crud() {
+        let m = MemEngine::new();
+        m.put(b"a", b"1").unwrap();
+        assert_eq!(m.get(b"a").unwrap(), Some(b"1".to_vec()));
+        m.delete(b"a").unwrap();
+        assert_eq!(m.get(b"a").unwrap(), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn batch_is_atomic_in_order() {
+        let m = MemEngine::new();
+        let mut b = WriteBatch::new();
+        b.put(b"k".to_vec(), b"1".to_vec());
+        b.delete(b"k".to_vec());
+        b.put(b"k".to_vec(), b"2".to_vec());
+        m.apply(b).unwrap();
+        assert_eq!(m.get(b"k").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn scans_are_sorted_and_bounded() {
+        let m = MemEngine::new();
+        for k in ["p/1", "p/2", "q/1", "p/3"] {
+            m.put(k.as_bytes(), b"v").unwrap();
+        }
+        let got = m.scan_prefix(b"p/").unwrap();
+        let keys: Vec<_> = got.iter().map(|(k, _)| String::from_utf8_lossy(k).into_owned()).collect();
+        assert_eq!(keys, vec!["p/1", "p/2", "p/3"]);
+    }
+
+    #[test]
+    fn rejects_invalid_batches() {
+        let m = MemEngine::new();
+        let mut b = WriteBatch::new();
+        b.put(Vec::new(), b"v".to_vec());
+        assert!(m.apply(b).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! The mutable in-memory write buffer.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A sorted write buffer. `None` values are tombstones: they shadow older
+/// on-disk values until compaction drops both.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    entries: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    /// Approximate resident bytes, used for flush triggering.
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        MemTable::default()
+    }
+
+    /// Inserts a value.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.approx_bytes += key.len() + value.len() + 48;
+        if let Some(old) = self.entries.insert(key, Some(value)) {
+            self.approx_bytes = self.approx_bytes.saturating_sub(old.map_or(0, |v| v.len()) + 48);
+        }
+    }
+
+    /// Inserts a tombstone.
+    pub fn delete(&mut self, key: Vec<u8>) {
+        self.approx_bytes += key.len() + 48;
+        if let Some(old) = self.entries.insert(key, None) {
+            self.approx_bytes = self.approx_bytes.saturating_sub(old.map_or(0, |v| v.len()) + 48);
+        }
+    }
+
+    /// Looks up a key. The outer `Option` is presence in *this* table; the
+    /// inner `Option` distinguishes live values from tombstones.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.entries.get(key).map(|v| v.as_deref())
+    }
+
+    /// Number of entries (tombstones included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterates entries in key order within `[start, end)`; `end = None`
+    /// means unbounded. An empty interval (`end <= start`) yields nothing.
+    pub fn range<'a>(
+        &'a self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)> + 'a {
+        // BTreeMap::range panics on inverted bounds; normalize to empty.
+        let end = end.map(|e| e.max(start));
+        let lower = Bound::Included(start.to_vec());
+        let upper = match end {
+            Some(e) => Bound::Excluded(e.to_vec()),
+            None => Bound::Unbounded,
+        };
+        self.entries
+            .range::<Vec<u8>, _>((lower, upper))
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Iterates everything in key order (flush path).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> {
+        self.entries.iter().map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.approx_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_semantics() {
+        let mut m = MemTable::new();
+        m.put(b"a".to_vec(), b"1".to_vec());
+        assert_eq!(m.get(b"a"), Some(Some(b"1".as_slice())));
+        m.delete(b"a".to_vec());
+        assert_eq!(m.get(b"a"), Some(None), "tombstone is present, not absent");
+        assert_eq!(m.get(b"b"), None);
+    }
+
+    #[test]
+    fn overwrite_keeps_latest() {
+        let mut m = MemTable::new();
+        m.put(b"k".to_vec(), b"old".to_vec());
+        m.put(b"k".to_vec(), b"new".to_vec());
+        assert_eq!(m.get(b"k"), Some(Some(b"new".as_slice())));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn range_is_sorted_and_bounded() {
+        let mut m = MemTable::new();
+        for k in ["b", "d", "a", "c"] {
+            m.put(k.as_bytes().to_vec(), k.as_bytes().to_vec());
+        }
+        let keys: Vec<_> = m.range(b"b", Some(b"d")).map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
+        let all: Vec<_> = m.range(b"", None).map(|(k, _)| k.to_vec()).collect();
+        assert_eq!(all.len(), 4);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn approx_bytes_grows_and_clears() {
+        let mut m = MemTable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        m.put(vec![0; 100], vec![0; 900]);
+        assert!(m.approx_bytes() >= 1000);
+        m.clear();
+        assert_eq!(m.approx_bytes(), 0);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,573 @@
+//! Immutable sorted string tables.
+//!
+//! Layout:
+//!
+//! ```text
+//! [block 0][block 1]…[block n-1][index][bloom][footer]
+//! ```
+//!
+//! * **Block** — a run of entries (`varint klen, key, tag, [varint vlen,
+//!   value]`; tag 0 = tombstone, 1 = value) followed by a CRC-32C of the
+//!   run. Blocks are cut at [`TableOptions::block_bytes`].
+//! * **Index** — `(first_key, offset, len)` per block, CRC-protected,
+//!   loaded into memory when the table opens; point reads binary-search it
+//!   and touch exactly one block.
+//! * **Bloom** — a filter over all keys; negative lookups skip the table.
+//! * **Footer** — fixed-width trailer with section offsets and a magic.
+
+use crate::batch::{put_varint, take_varint};
+use crate::bloom::BloomFilter;
+use crate::crc::crc32c;
+use crate::error::{Result, StorageError};
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"PASSSST1";
+const FOOTER_LEN: u64 = 8 + 8 + 4 + 8 + 8 + 4 + 8 + 8;
+
+/// Tuning knobs for table construction.
+#[derive(Debug, Clone)]
+pub struct TableOptions {
+    /// Target uncompressed block payload size.
+    pub block_bytes: usize,
+    /// Bloom filter budget.
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions { block_bytes: 4096, bloom_bits_per_key: 10 }
+    }
+}
+
+/// One decoded entry: key and live-value-or-tombstone.
+pub type Entry = (Vec<u8>, Option<Vec<u8>>);
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Streams sorted entries into a new table file.
+pub struct TableBuilder {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    opts: TableOptions,
+    block: Vec<u8>,
+    block_first_key: Option<Vec<u8>>,
+    index: Vec<(Vec<u8>, u64, u64)>,
+    bloom: BloomFilter,
+    offset: u64,
+    entry_count: u64,
+    last_key: Option<Vec<u8>>,
+}
+
+impl TableBuilder {
+    /// Creates a builder writing to `path`. `expected_entries` sizes the
+    /// bloom filter.
+    pub fn create(path: impl Into<PathBuf>, expected_entries: usize, opts: TableOptions) -> Result<Self> {
+        let path = path.into();
+        let file = File::create(&path)
+            .map_err(|e| StorageError::io(format!("creating SSTable {}", path.display()), e))?;
+        let bloom = BloomFilter::with_capacity(expected_entries, opts.bloom_bits_per_key);
+        Ok(TableBuilder {
+            writer: BufWriter::new(file),
+            path,
+            opts,
+            block: Vec::new(),
+            block_first_key: None,
+            index: Vec::new(),
+            bloom,
+            offset: 0,
+            entry_count: 0,
+            last_key: None,
+        })
+    }
+
+    /// Appends an entry. Keys must arrive in strictly increasing order.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
+        if let Some(last) = &self.last_key {
+            if key <= last.as_slice() {
+                return Err(StorageError::corrupt(
+                    &self.path,
+                    format!("keys out of order: {:?} after {:?}", key, last),
+                ));
+            }
+        }
+        self.last_key = Some(key.to_vec());
+        if self.block_first_key.is_none() {
+            self.block_first_key = Some(key.to_vec());
+        }
+        put_varint(&mut self.block, key.len() as u64);
+        self.block.extend_from_slice(key);
+        match value {
+            None => self.block.push(0),
+            Some(v) => {
+                self.block.push(1);
+                put_varint(&mut self.block, v.len() as u64);
+                self.block.extend_from_slice(v);
+            }
+        }
+        self.bloom.insert(key);
+        self.entry_count += 1;
+        if self.block.len() >= self.opts.block_bytes {
+            self.finish_block()?;
+        }
+        Ok(())
+    }
+
+    fn finish_block(&mut self) -> Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let crc = crc32c(&self.block);
+        let len = self.block.len() as u64 + 4;
+        let first = self.block_first_key.take().expect("non-empty block has a first key");
+        self.writer
+            .write_all(&self.block)
+            .and_then(|()| self.writer.write_all(&crc.to_le_bytes()))
+            .map_err(|e| StorageError::io("writing SSTable block", e))?;
+        self.index.push((first, self.offset, len));
+        self.offset += len;
+        self.block.clear();
+        Ok(())
+    }
+
+    /// Finalizes the file (index, bloom, footer, fsync).
+    pub fn finish(mut self) -> Result<()> {
+        self.finish_block()?;
+
+        let mut index_buf = Vec::new();
+        put_varint(&mut index_buf, self.index.len() as u64);
+        for (first_key, offset, len) in &self.index {
+            put_varint(&mut index_buf, first_key.len() as u64);
+            index_buf.extend_from_slice(first_key);
+            put_varint(&mut index_buf, *offset);
+            put_varint(&mut index_buf, *len);
+        }
+        let index_off = self.offset;
+        let index_crc = crc32c(&index_buf);
+        self.writer
+            .write_all(&index_buf)
+            .map_err(|e| StorageError::io("writing SSTable index", e))?;
+
+        let bloom_buf = self.bloom.encode();
+        let bloom_off = index_off + index_buf.len() as u64;
+        let bloom_crc = crc32c(&bloom_buf);
+        self.writer
+            .write_all(&bloom_buf)
+            .map_err(|e| StorageError::io("writing SSTable bloom", e))?;
+
+        let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&(index_buf.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&index_crc.to_le_bytes());
+        footer.extend_from_slice(&bloom_off.to_le_bytes());
+        footer.extend_from_slice(&(bloom_buf.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&bloom_crc.to_le_bytes());
+        footer.extend_from_slice(&self.entry_count.to_le_bytes());
+        footer.extend_from_slice(MAGIC);
+        self.writer
+            .write_all(&footer)
+            .map_err(|e| StorageError::io("writing SSTable footer", e))?;
+        self.writer.flush().map_err(|e| StorageError::io("flushing SSTable", e))?;
+        self.writer
+            .get_ref()
+            .sync_data()
+            .map_err(|e| StorageError::io("fsyncing SSTable", e))?;
+        Ok(())
+    }
+
+    /// Entries added so far.
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// An open, immutable table.
+pub struct SsTable {
+    path: PathBuf,
+    file: Mutex<File>,
+    index: Vec<(Vec<u8>, u64, u64)>,
+    bloom: BloomFilter,
+    entry_count: u64,
+    data_len: u64,
+}
+
+impl std::fmt::Debug for SsTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsTable")
+            .field("path", &self.path)
+            .field("blocks", &self.index.len())
+            .field("entries", &self.entry_count)
+            .finish()
+    }
+}
+
+impl SsTable {
+    /// Opens and validates a table file.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let mut file = File::open(&path)
+            .map_err(|e| StorageError::io(format!("opening SSTable {}", path.display()), e))?;
+        let file_len = file.metadata().map_err(|e| StorageError::io("statting SSTable", e))?.len();
+        if file_len < FOOTER_LEN {
+            return Err(StorageError::corrupt(&path, "file shorter than footer"));
+        }
+
+        let mut footer = vec![0u8; FOOTER_LEN as usize];
+        file.seek(SeekFrom::Start(file_len - FOOTER_LEN))
+            .and_then(|_| file.read_exact(&mut footer))
+            .map_err(|e| StorageError::io("reading SSTable footer", e))?;
+        if &footer[FOOTER_LEN as usize - 8..] != MAGIC {
+            return Err(StorageError::corrupt(&path, "bad magic"));
+        }
+        let u64_at = |i: usize| u64::from_le_bytes(footer[i..i + 8].try_into().expect("8 bytes"));
+        let u32_at = |i: usize| u32::from_le_bytes(footer[i..i + 4].try_into().expect("4 bytes"));
+        let index_off = u64_at(0);
+        let index_len = u64_at(8);
+        let index_crc = u32_at(16);
+        let bloom_off = u64_at(20);
+        let bloom_len = u64_at(28);
+        let bloom_crc = u32_at(36);
+        let entry_count = u64_at(40);
+        if index_off + index_len > file_len || bloom_off + bloom_len > file_len {
+            return Err(StorageError::corrupt(&path, "footer offsets out of range"));
+        }
+
+        let mut index_buf = vec![0u8; index_len as usize];
+        file.seek(SeekFrom::Start(index_off))
+            .and_then(|_| file.read_exact(&mut index_buf))
+            .map_err(|e| StorageError::io("reading SSTable index", e))?;
+        if crc32c(&index_buf) != index_crc {
+            return Err(StorageError::ChecksumMismatch { path, offset: index_off });
+        }
+        let index = decode_index(&index_buf)
+            .ok_or_else(|| StorageError::corrupt(&path, "malformed index"))?;
+
+        let mut bloom_buf = vec![0u8; bloom_len as usize];
+        file.seek(SeekFrom::Start(bloom_off))
+            .and_then(|_| file.read_exact(&mut bloom_buf))
+            .map_err(|e| StorageError::io("reading SSTable bloom", e))?;
+        if crc32c(&bloom_buf) != bloom_crc {
+            return Err(StorageError::ChecksumMismatch { path, offset: bloom_off });
+        }
+        let bloom = BloomFilter::decode(&bloom_buf)
+            .ok_or_else(|| StorageError::corrupt(&path, "malformed bloom filter"))?;
+
+        Ok(SsTable { path, file: Mutex::new(file), index, bloom, entry_count, data_len: index_off })
+    }
+
+    /// Total entries in the table (tombstones included).
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Bytes of data blocks (excludes index/bloom/footer).
+    pub fn data_len(&self) -> u64 {
+        self.data_len
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Point lookup. Outer `Option`: key present in this table? Inner:
+    /// live value vs tombstone.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Option<Vec<u8>>>> {
+        if self.index.is_empty() || !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        // Last block whose first key <= key.
+        let idx = self.index.partition_point(|(first, _, _)| first.as_slice() <= key);
+        if idx == 0 {
+            return Ok(None);
+        }
+        let entries = self.read_block(idx - 1)?;
+        for (k, v) in entries {
+            if k == key {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Reads and verifies block `i`.
+    fn read_block(&self, i: usize) -> Result<Vec<Entry>> {
+        let (_, offset, len) = self.index[i];
+        let mut buf = vec![0u8; len as usize];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))
+                .and_then(|_| file.read_exact(&mut buf))
+                .map_err(|e| StorageError::io("reading SSTable block", e))?;
+        }
+        if buf.len() < 4 {
+            return Err(StorageError::corrupt(&self.path, "block shorter than CRC"));
+        }
+        let (payload, crc_bytes) = buf.split_at(buf.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32c(payload) != stored {
+            return Err(StorageError::ChecksumMismatch { path: self.path.clone(), offset });
+        }
+        decode_block(payload).ok_or_else(|| StorageError::corrupt(&self.path, "malformed block"))
+    }
+
+    /// Streams every entry in key order.
+    pub fn iter(self: &std::sync::Arc<Self>) -> TableIter {
+        TableIter { table: std::sync::Arc::clone(self), block: 0, entries: Vec::new(), pos: 0 }
+    }
+
+    /// Collects entries with `start <= key < end` (`end = None` ⇒ unbounded).
+    pub fn scan_range(&self, start: &[u8], end: Option<&[u8]>) -> Result<Vec<Entry>> {
+        if self.index.is_empty() {
+            return Ok(Vec::new());
+        }
+        let first_block = self
+            .index
+            .partition_point(|(first, _, _)| first.as_slice() <= start)
+            .saturating_sub(1);
+        let mut out = Vec::new();
+        for i in first_block..self.index.len() {
+            if let Some(end) = end {
+                if self.index[i].0.as_slice() >= end {
+                    break;
+                }
+            }
+            for (k, v) in self.read_block(i)? {
+                if k.as_slice() < start {
+                    continue;
+                }
+                if let Some(end) = end {
+                    if k.as_slice() >= end {
+                        return Ok(out);
+                    }
+                }
+                out.push((k, v));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Streaming iterator over a table's entries; yields `Err` once and stops
+/// if a block fails verification mid-stream.
+pub struct TableIter {
+    table: std::sync::Arc<SsTable>,
+    block: usize,
+    entries: Vec<Entry>,
+    pos: usize,
+}
+
+impl Iterator for TableIter {
+    type Item = Result<Entry>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.pos < self.entries.len() {
+                let entry = std::mem::take(&mut self.entries[self.pos]);
+                self.pos += 1;
+                return Some(Ok(entry));
+            }
+            if self.block >= self.table.index.len() {
+                return None;
+            }
+            match self.table.read_block(self.block) {
+                Ok(entries) => {
+                    self.block += 1;
+                    self.entries = entries;
+                    self.pos = 0;
+                }
+                Err(e) => {
+                    self.block = self.table.index.len();
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+fn decode_index(buf: &[u8]) -> Option<Vec<(Vec<u8>, u64, u64)>> {
+    let mut pos = 0usize;
+    let count = take_varint(buf, &mut pos)? as usize;
+    let mut index = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let klen = take_varint(buf, &mut pos)? as usize;
+        if buf.len() - pos < klen {
+            return None;
+        }
+        let key = buf[pos..pos + klen].to_vec();
+        pos += klen;
+        let offset = take_varint(buf, &mut pos)?;
+        let len = take_varint(buf, &mut pos)?;
+        index.push((key, offset, len));
+    }
+    (pos == buf.len()).then_some(index)
+}
+
+fn decode_block(buf: &[u8]) -> Option<Vec<Entry>> {
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < buf.len() {
+        let klen = take_varint(buf, &mut pos)? as usize;
+        if buf.len() - pos < klen {
+            return None;
+        }
+        let key = buf[pos..pos + klen].to_vec();
+        pos += klen;
+        let tag = *buf.get(pos)?;
+        pos += 1;
+        let value = match tag {
+            0 => None,
+            1 => {
+                let vlen = take_varint(buf, &mut pos)? as usize;
+                if buf.len() - pos < vlen {
+                    return None;
+                }
+                let v = buf[pos..pos + vlen].to_vec();
+                pos += vlen;
+                Some(v)
+            }
+            _ => return None,
+        };
+        out.push((key, value));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+    use std::sync::Arc;
+
+    fn build_table(dir: &TempDir, entries: &[(Vec<u8>, Option<Vec<u8>>)]) -> Arc<SsTable> {
+        let path = dir.path().join("t.sst");
+        let mut b = TableBuilder::create(&path, entries.len(), TableOptions::default()).unwrap();
+        for (k, v) in entries {
+            b.add(k, v.as_deref()).unwrap();
+        }
+        b.finish().unwrap();
+        Arc::new(SsTable::open(&path).unwrap())
+    }
+
+    fn sample_entries(n: u32) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        (0..n)
+            .map(|i| {
+                let key = format!("key-{i:06}").into_bytes();
+                let value = if i % 7 == 0 { None } else { Some(vec![i as u8; 20]) };
+                (key, value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn point_lookups_hit_every_entry() {
+        let dir = TempDir::new("sst-get");
+        let entries = sample_entries(2_000);
+        let table = build_table(&dir, &entries);
+        assert_eq!(table.entry_count(), 2_000);
+        for (k, v) in &entries {
+            assert_eq!(table.get(k).unwrap(), Some(v.clone()), "key {:?}", String::from_utf8_lossy(k));
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none() {
+        let dir = TempDir::new("sst-miss");
+        let table = build_table(&dir, &sample_entries(100));
+        assert_eq!(table.get(b"zzz").unwrap(), None);
+        assert_eq!(table.get(b"").unwrap(), None);
+        assert_eq!(table.get(b"key-000050x").unwrap(), None);
+    }
+
+    #[test]
+    fn iter_returns_all_in_order() {
+        let dir = TempDir::new("sst-iter");
+        let entries = sample_entries(500);
+        let table = build_table(&dir, &entries);
+        let got: Vec<Entry> = table.iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn scan_range_respects_bounds() {
+        let dir = TempDir::new("sst-scan");
+        let entries = sample_entries(300);
+        let table = build_table(&dir, &entries);
+        let got = table.scan_range(b"key-000100", Some(b"key-000110")).unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].0, b"key-000100".to_vec());
+        assert_eq!(got[9].0, b"key-000109".to_vec());
+        // Unbounded scan from a midpoint reaches the end.
+        let tail = table.scan_range(b"key-000295", None).unwrap();
+        assert_eq!(tail.len(), 5);
+    }
+
+    #[test]
+    fn out_of_order_keys_rejected() {
+        let dir = TempDir::new("sst-order");
+        let path = dir.path().join("t.sst");
+        let mut b = TableBuilder::create(&path, 2, TableOptions::default()).unwrap();
+        b.add(b"b", Some(b"1")).unwrap();
+        assert!(b.add(b"a", Some(b"2")).is_err());
+        assert!(b.add(b"b", Some(b"2")).is_err(), "duplicates rejected too");
+    }
+
+    #[test]
+    fn corrupted_block_detected_on_read() {
+        let dir = TempDir::new("sst-corrupt");
+        let entries = sample_entries(200);
+        let table = build_table(&dir, &entries);
+        let path = table.path().to_path_buf();
+        drop(table);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0xff; // inside the first data block
+        std::fs::write(&path, &bytes).unwrap();
+        let table = SsTable::open(&path).unwrap(); // footer/index still fine
+        let err = table.get(b"key-000001").unwrap_err();
+        assert!(matches!(err, StorageError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn corrupted_footer_detected_on_open() {
+        let dir = TempDir::new("sst-footer");
+        let table = build_table(&dir, &sample_entries(10));
+        let path = table.path().to_path_buf();
+        drop(table);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff; // magic
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(SsTable::open(&path).is_err());
+    }
+
+    #[test]
+    fn empty_table_is_valid() {
+        let dir = TempDir::new("sst-empty");
+        let table = build_table(&dir, &[]);
+        assert_eq!(table.entry_count(), 0);
+        assert_eq!(table.get(b"x").unwrap(), None);
+        assert!(table.iter().next().is_none());
+    }
+
+    #[test]
+    fn multi_block_tables_index_correctly() {
+        let dir = TempDir::new("sst-blocks");
+        // Values big enough to force many blocks at the 4 KiB default.
+        let entries: Vec<_> = (0..100u32)
+            .map(|i| (format!("k{i:04}").into_bytes(), Some(vec![7u8; 512])))
+            .collect();
+        let table = build_table(&dir, &entries);
+        assert!(table.index.len() > 5, "expected many blocks, got {}", table.index.len());
+        for (k, v) in &entries {
+            assert_eq!(table.get(k).unwrap(), Some(v.clone()));
+        }
+    }
+}

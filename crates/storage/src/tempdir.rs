@@ -1,0 +1,64 @@
+//! Self-cleaning temporary directories for tests and benches.
+//!
+//! The offline crate set has no `tempfile`, so the engine ships its own
+//! minimal equivalent. Public because every downstream crate's tests need
+//! a scratch directory for on-disk engines.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp root, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `$TMPDIR/pass-<label>-<pid>-<n>`.
+    ///
+    /// # Panics
+    /// Panics when the directory cannot be created — tests cannot proceed
+    /// without scratch space, and an `expect` here beats silent reuse.
+    pub fn new(label: &str) -> Self {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "pass-{label}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("creating temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best-effort cleanup; leaking a temp dir is not worth a panic
+        // during unwinding.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        std::fs::write(kept.join("f"), b"x").unwrap();
+        drop(a);
+        assert!(!kept.exists(), "dir removed with contents");
+        assert!(b.path().is_dir());
+    }
+}

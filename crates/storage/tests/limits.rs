@@ -1,0 +1,83 @@
+//! Size-limit and boundary behaviour of both engines.
+
+use pass_storage::tempdir::TempDir;
+use pass_storage::{
+    EngineOptions, KvStore, LsmEngine, MemEngine, StorageError, WriteBatch, MAX_KEY_LEN,
+};
+
+fn engines() -> (MemEngine, LsmEngine, TempDir) {
+    let dir = TempDir::new("limits");
+    let lsm = LsmEngine::open(dir.path(), EngineOptions::default()).unwrap();
+    (MemEngine::new(), lsm, dir)
+}
+
+#[test]
+fn max_key_len_is_inclusive() {
+    let (mem, lsm, _dir) = engines();
+    let key = vec![7u8; MAX_KEY_LEN];
+    for db in [&mem as &dyn KvStore, &lsm] {
+        db.put(&key, b"v").unwrap();
+        assert_eq!(db.get(&key).unwrap(), Some(b"v".to_vec()));
+    }
+    let too_long = vec![7u8; MAX_KEY_LEN + 1];
+    for db in [&mem as &dyn KvStore, &lsm] {
+        assert!(matches!(
+            db.put(&too_long, b"v"),
+            Err(StorageError::OversizeEntry { .. })
+        ));
+    }
+}
+
+#[test]
+fn large_values_survive_flush_and_reopen() {
+    let dir = TempDir::new("limits-large");
+    let value = vec![0xabu8; 2 << 20]; // 2 MiB
+    {
+        let db = LsmEngine::open(dir.path(), EngineOptions::default()).unwrap();
+        db.put(b"big", &value).unwrap();
+        db.force_flush().unwrap();
+        assert_eq!(db.get(b"big").unwrap(), Some(value.clone()));
+    }
+    let db = LsmEngine::open(dir.path(), EngineOptions::default()).unwrap();
+    assert_eq!(db.get(b"big").unwrap(), Some(value));
+}
+
+#[test]
+fn empty_value_is_distinct_from_absent() {
+    let (mem, lsm, _dir) = engines();
+    for db in [&mem as &dyn KvStore, &lsm] {
+        db.put(b"empty", b"").unwrap();
+        assert_eq!(db.get(b"empty").unwrap(), Some(Vec::new()));
+        db.delete(b"empty").unwrap();
+        assert_eq!(db.get(b"empty").unwrap(), None);
+    }
+}
+
+#[test]
+fn binary_keys_with_every_byte_value() {
+    let (mem, lsm, _dir) = engines();
+    let keys: Vec<Vec<u8>> = (0u8..=255).map(|b| vec![b, 255 - b, b]).collect();
+    for db in [&mem as &dyn KvStore, &lsm] {
+        let mut batch = WriteBatch::new();
+        for k in &keys {
+            batch.put(k.clone(), k.clone());
+        }
+        db.apply(batch).unwrap();
+        for k in &keys {
+            assert_eq!(db.get(k).unwrap().as_ref(), Some(k));
+        }
+        // Full-range scan returns them sorted.
+        let all = db.scan_range(b"", None).unwrap();
+        assert_eq!(all.len(), keys.len());
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}
+
+#[test]
+fn empty_batch_is_a_noop() {
+    let (mem, lsm, _dir) = engines();
+    for db in [&mem as &dyn KvStore, &lsm] {
+        db.apply(WriteBatch::new()).unwrap();
+        assert!(db.scan_range(b"", None).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! The §III-C scenario: a sensor-enabled ambulance team.
+//!
+//! EMTs place pulse oximeters on patients at a mass-casualty incident;
+//! vitals stream into the local PASS; dispatch asks the §III-C questions
+//! ("everything for this patient", "heart rate profiles for everyone
+//! handled by EMT X", "patients with signs of arrhythmia").
+//!
+//! ```sh
+//! cargo run --example emt_medical
+//! ```
+
+use pass::core::Pass;
+use pass::model::{keys, Attributes, SiteId, Timestamp, ToolDescriptor};
+use pass::sensor::medical::{generate, MedicalConfig};
+
+fn main() {
+    let pass = Pass::open_memory(SiteId(30));
+
+    // Ten patients, four EMTs, five minutes of vitals.
+    let config = MedicalConfig {
+        incident: "overpass-collapse".to_owned(),
+        patients: 10,
+        emts: 4,
+        arrhythmia_rate: 0.35,
+        seed: 11,
+        ..MedicalConfig::default()
+    };
+    let specs = generate(&config, Timestamp::ZERO, 5);
+    println!("streaming {} vitals windows into the incident PASS…", specs.len());
+    let mut window_ids = Vec::new();
+    for spec in &specs {
+        let id = pass
+            .capture(spec.attrs.clone(), spec.readings.clone(), spec.at)
+            .expect("capture vitals");
+        window_ids.push(id);
+    }
+
+    // The diagnostic tool consumes each patient's windows and emits a
+    // triage summary — a derived tuple set with full ancestry.
+    let triage_tool = ToolDescriptor::new("auto-triage", "0.7");
+    for p in 0..config.patients {
+        let patient = format!("patient-{p:03}");
+        let windows = pass
+            .query_text(&format!(r#"FIND WHERE patient = "{patient}""#))
+            .expect("patient windows");
+        let parents: Vec<_> = windows.ids();
+        let summary_attrs = Attributes::new()
+            .with(keys::DOMAIN, "medical")
+            .with(keys::TYPE, "triage_summary")
+            .with(keys::PATIENT, patient.clone())
+            .with(keys::REGION, config.incident.clone());
+        pass.derive(&parents, &triage_tool, summary_attrs, vec![], Timestamp(400_000))
+            .expect("derive summary");
+    }
+
+    // -- §III-C patient queries ------------------------------------------
+    println!("\n› Show me everything we've done for patient-003:");
+    let all = pass
+        .query_text(r#"FIND WHERE patient = "patient-003" ORDER BY created ASC"#)
+        .expect("query");
+    for record in &all.records {
+        println!(
+            "   {}  type={}",
+            record.id,
+            record.attributes.get_str(keys::TYPE).unwrap_or("?")
+        );
+    }
+
+    println!("\n› Give profiles for everyone handled by emt-1:");
+    let by_emt = pass.query_text(r#"FIND WHERE operator = "emt-1""#).expect("query");
+    let patients: std::collections::BTreeSet<_> = by_emt
+        .records
+        .iter()
+        .filter_map(|r| r.attributes.get_str(keys::PATIENT))
+        .map(str::to_owned)
+        .collect();
+    println!("   {} windows across patients {:?}", by_emt.records.len(), patients);
+
+    println!("\n› Find me all patients with signs of arrhythmia:");
+    let flagged = pass
+        .query_text("FIND WHERE anomaly.arrhythmia = true")
+        .expect("query");
+    let patients: std::collections::BTreeSet<_> = flagged
+        .records
+        .iter()
+        .filter_map(|r| r.attributes.get_str(keys::PATIENT))
+        .map(str::to_owned)
+        .collect();
+    println!("   {patients:?}");
+
+    // -- Provenance question: what fed this triage summary? ----------------
+    let summaries = pass.query_text(r#"FIND WHERE type = "triage_summary" LIMIT 1"#).unwrap();
+    let summary = summaries.records.first().expect("at least one summary");
+    let q = format!("FIND ANCESTORS OF ts:{}", summary.id.full_hex());
+    let sources = pass.query_text(&q).expect("lineage");
+    println!(
+        "\n› triage summary {} was derived from {} vitals windows (tool: {})",
+        summary.id,
+        sources.records.len(),
+        summary.ancestry.first().map(|d| d.tool.label()).unwrap_or_default()
+    );
+}

@@ -1,0 +1,147 @@
+//! Merging local PASS installations into one globally searchable
+//! archive — the second goal of the paper's §V research agenda.
+//!
+//! Three cities run autonomous local stores. Each keeps its raw data
+//! home ("Boston traffic data belongs in Boston", §III-D) but exports
+//! its archive to a global index. Content-addressed identity makes the
+//! merge conflict-free and idempotent; annotations union; a record
+//! whose data one site removed still merges as bare provenance (PASS
+//! property 4), and is restored from a mirror that kept the readings.
+//!
+//! ```sh
+//! cargo run --example global_archive
+//! ```
+
+use pass::core::Pass;
+use pass::index::{Direction, TraverseOpts};
+use pass::model::{
+    keys, Annotation, Attributes, SiteId, Timestamp, ToolDescriptor, TupleSetId,
+};
+use pass::sensor::{
+    traffic::{self, TrafficConfig},
+    weather::{self, WeatherConfig},
+};
+
+fn city_store(site: u32, region: &str) -> (Pass, Vec<TupleSetId>) {
+    let pass = Pass::open_memory(SiteId(site));
+    let mut ids = Vec::new();
+    for spec in traffic::generate(
+        &TrafficConfig {
+            region: region.to_owned(),
+            sensors: 2,
+            sensor_base: site as u64 * 1_000,
+            seed: site as u64,
+            ..TrafficConfig::default()
+        },
+        Timestamp::ZERO,
+        3,
+    ) {
+        ids.push(pass.capture(spec.attrs, spec.readings, spec.at).expect("capture"));
+    }
+    for spec in weather::generate(
+        &WeatherConfig {
+            region: region.to_owned(),
+            stations: 1,
+            sensor_base: site as u64 * 1_000 + 500,
+            seed: site as u64 + 7,
+            ..WeatherConfig::default()
+        },
+        Timestamp::ZERO,
+        3,
+    ) {
+        ids.push(pass.capture(spec.attrs, spec.readings, spec.at).expect("capture"));
+    }
+    (pass, ids)
+}
+
+fn main() {
+    // -- Three cities, each with traffic + weather networks ---------------
+    let (boston, boston_ids) = city_store(1, "boston");
+    let (london, london_ids) = city_store(2, "london");
+    let (tokyo, _) = city_store(3, "tokyo");
+    println!(
+        "local stores: boston={} london={} tokyo={} tuple sets",
+        boston.len(),
+        london.len(),
+        tokyo.len()
+    );
+
+    // London derives a congestion report from its own raw data, and
+    // annotates a sensor swap — history that must survive the merge.
+    let report = london
+        .derive(
+            &london_ids[..2],
+            &ToolDescriptor::new("congestion-model", "0.9"),
+            Attributes::new()
+                .with(keys::DOMAIN, "traffic")
+                .with(keys::REGION, "london")
+                .with(keys::TYPE, "congestion_report"),
+            vec![],
+            Timestamp::from_secs(7_200),
+        )
+        .expect("derive");
+    london
+        .annotate(
+            london_ids[0],
+            Annotation::new(Timestamp::from_secs(3_600), "ops", "camera 2001 replaced"),
+        )
+        .expect("annotate");
+
+    // A mirror synced Boston's full archive — then Boston removed one raw
+    // blob to reclaim space; provenance survives at the origin.
+    let mirror = Pass::open_memory(SiteId(50));
+    mirror.import_archive(&boston.export_archive().expect("export")).expect("mirror sync");
+    boston.remove_data(boston_ids[0]).expect("remove");
+
+    // -- Merge all three into the global archive --------------------------
+    let global = Pass::open_memory(SiteId(100));
+    for city in [&boston, &london, &tokyo] {
+        let archive = city.export_archive().expect("export");
+        let stats = global.import_archive(&archive).expect("import");
+        println!(
+            "merged site {:?}: +{} tuple sets, +{} bare records",
+            city.site(),
+            stats.tuple_sets_added,
+            stats.records_added
+        );
+    }
+    // Idempotence: merging again changes nothing.
+    let again = global.import_archive(&london.export_archive().unwrap()).unwrap();
+    assert_eq!(again.changed(), 0);
+    println!("re-import of london: no-op (content-addressed identity)");
+
+    // -- One globally searchable archive (§V) ------------------------------
+    let all_traffic = global.query_text(r#"FIND WHERE domain = "traffic""#).expect("query");
+    let boston_weather = global
+        .query_text(r#"FIND WHERE domain = "weather" AND region = "boston""#)
+        .expect("query");
+    println!(
+        "global archive: {} records; {} traffic world-wide; {} boston weather",
+        global.len(),
+        all_traffic.ids().len(),
+        boston_weather.ids().len()
+    );
+
+    // London's annotation is keyword-searchable from the archive…
+    let swapped =
+        global.query_text(r#"FIND WHERE ANNOTATION CONTAINS "replaced""#).expect("query");
+    assert_eq!(swapped.ids(), vec![london_ids[0]]);
+    println!("annotation survives the merge and is searchable globally");
+
+    // …and so is the derived report's full cross-site lineage.
+    let ancestors = global
+        .lineage(report, Direction::Ancestors, TraverseOpts::unbounded())
+        .expect("lineage");
+    println!("congestion report lineage resolves {} raw parents in the archive", ancestors.len());
+
+    // Boston's removed blob arrived as bare provenance: still named,
+    // still queryable, data absent — exactly PASS property 4.
+    assert!(global.contains(boston_ids[0]) && !global.has_data(boston_ids[0]));
+    println!("boston's removed tuple set is present as provenance-only");
+
+    // The mirror, which kept the readings, restores them into the archive.
+    let stats = global.import_archive(&mirror.export_archive().unwrap()).expect("restore");
+    assert_eq!(stats.data_restored, 1);
+    assert!(global.has_data(boston_ids[0]));
+    println!("mirror restored the readings: data_restored = {}", stats.data_restored);
+}

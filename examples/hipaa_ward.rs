@@ -1,0 +1,181 @@
+//! HIPAA-flavored medical ward: the paper's §V privacy agenda end to end.
+//!
+//! "Security is essential as well, as much of the data collected in
+//! sensor networks (e.g., medical data) is private. Much of this data is
+//! valuable even when aggregated to preserve privacy."
+//!
+//! The scenario: EMTs stream patient vitals into a guarded PASS; each
+//! chart is summarized per patient; a clinician reads everything; a city
+//! health researcher may only see k-anonymous aggregates of the
+//! summaries. Every access — allowed or refused — lands in the audit
+//! trail, which is itself exportable as a provenance-carrying tuple set.
+//!
+//! ```sh
+//! cargo run --example hipaa_ward
+//! ```
+
+use pass::core::Pass;
+use pass::index::{Direction, TraverseOpts};
+use pass::model::{keys, Attributes, Reading, SensorId, SiteId, Timestamp, ToolDescriptor};
+use pass::policy::{
+    Action, GuardedPass, NumericLadder, PolicyEngine, PolicyLabel, Principal, QuasiSpec, Rule,
+    Sensitivity,
+};
+use pass::query::Predicate;
+
+fn main() {
+    // -- The regime: deny by default, clinicians cleared for PHI, ---------
+    // -- everyone may read public records. ---------------------------------
+    let engine = PolicyEngine::deny_by_default()
+        .with_rule(
+            Rule::allow("clinician-full").for_role("clinician").on([
+                Action::ReadData,
+                Action::ReadProvenance,
+                Action::ReadLineage,
+            ]),
+        )
+        .with_rule(Rule::allow("public-read").when(Predicate::Cmp(
+            pass::policy::label::ATTR_SENSITIVITY.into(),
+            pass::query::CmpOp::Le,
+            Sensitivity::Public.rank().into(),
+        )));
+    let ward = GuardedPass::new(Pass::open_memory(SiteId(3)), engine);
+
+    let emt = Principal::new("emt-okafor")
+        .with_role("clinician")
+        .with_clearance(Sensitivity::Private)
+        .with_category("phi");
+    let researcher = Principal::new("dr-stats"); // public clearance only
+    let phi = PolicyLabel::new(Sensitivity::Private).with_category("phi");
+
+    // -- EMTs capture per-patient charts, then summarize each one ---------
+    // chart (6 vitals samples) --summarize--> per-patient summary (1 row)
+    let patients = 40u64;
+    let mut charts = Vec::new();
+    let mut summaries = Vec::new();
+    for p in 0..patients {
+        let age = 20.0 + ((p * 13) % 60) as f64;
+        let zone = (p % 4) as f64;
+        let base_hr = 62.0 + ((p * 7) % 25) as f64;
+        let samples: Vec<Reading> = (0..6)
+            .map(|m| {
+                Reading::new(SensorId(100 + p), Timestamp(m * 10_000))
+                    .with("heart_rate", base_hr + m as f64 * 0.5)
+            })
+            .collect();
+        let mean_hr =
+            samples.iter().filter_map(|r| r.field("heart_rate")?.as_float()).sum::<f64>() / 6.0;
+        let chart = ward
+            .capture(
+                &emt,
+                phi.clone(),
+                Attributes::new()
+                    .with(keys::DOMAIN, "medical")
+                    .with(keys::TYPE, "chart")
+                    .with(keys::PATIENT, format!("patient-{p:03}"))
+                    .with(keys::OPERATOR, "emt-okafor"),
+                samples,
+                Timestamp(p * 60_000),
+            )
+            .expect("capture chart");
+        let summary = ward
+            .derive(
+                &emt,
+                phi.clone(),
+                &[chart],
+                &ToolDescriptor::new("summarize", "1.0"),
+                Attributes::new()
+                    .with(keys::DOMAIN, "medical")
+                    .with(keys::TYPE, "patient_summary")
+                    .with(keys::PATIENT, format!("patient-{p:03}")),
+                vec![Reading::new(SensorId(100 + p), Timestamp(p * 60_000))
+                    .with("heart_rate", mean_hr)
+                    .with("age", age)
+                    .with("zone", zone)],
+                Timestamp(p * 60_000 + 1),
+            )
+            .expect("derive summary");
+        charts.push(chart);
+        summaries.push(summary);
+    }
+    println!("captured {patients} PHI charts and derived {patients} patient summaries");
+
+    // -- The clinician reads a chart; the researcher is refused -----------
+    let chart = ward.get_data(&emt, charts[0]).expect("clinician read").unwrap();
+    println!("clinician reads patient-000 chart: {} samples", chart.len());
+    let refusal = ward.get_data(&researcher, charts[0]).unwrap_err();
+    println!("researcher on raw PHI            : {refusal}");
+
+    // -- Sanctioned release: k-anonymous ward statistics ------------------
+    // One summary row per patient, so k counts *patients*, as it must.
+    let spec = QuasiSpec::new(
+        vec![
+            NumericLadder::new("age", vec![10.0, 20.0]).expect("ladder"),
+            NumericLadder::new("zone", vec![2.0]).expect("ladder"),
+        ],
+        "heart_rate",
+    )
+    .expect("spec");
+    let (stats, anon) = ward
+        .aggregate(
+            &emt,
+            &summaries,
+            5,
+            &spec,
+            0.05,
+            PolicyLabel::public(),
+            Attributes::new().with(keys::DOMAIN, "medical").with(keys::TYPE, "ward_stats"),
+            Timestamp(10_000_000),
+        )
+        .expect("aggregate");
+    println!(
+        "released k={} aggregate at generalization level {}: {} groups, {} suppressed, \
+         risk {:.4}, hr MAE {:.2}",
+        anon.k,
+        anon.level,
+        anon.groups.len(),
+        anon.suppressed,
+        anon.risk(),
+        anon.mean_abs_error
+    );
+
+    // -- The researcher reads the aggregate and its (redacted) lineage ----
+    let groups = ward.get_data(&researcher, stats).expect("public read").unwrap();
+    println!("researcher reads {} aggregate groups", groups.len());
+    let record = ward.get_record(&researcher, stats).expect("public provenance");
+    println!(
+        "aggregate provenance: {} parents via tool '{}' (k={})",
+        record.ancestry.len(),
+        record.ancestry[0].tool.label(),
+        record.ancestry[0].tool.params.get_int("k").unwrap_or(-1),
+    );
+    let view = ward
+        .lineage(&researcher, stats, Direction::Ancestors, TraverseOpts::unbounded())
+        .expect("redacted lineage");
+    println!(
+        "redacted lineage view: {} visible, {} redacted (charts + summaries stay opaque)",
+        view.visible.len(),
+        view.redacted_count
+    );
+
+    // -- The audit trail is itself sensor data with provenance ------------
+    let audit = ward.audit();
+    println!(
+        "audit: {} decisions, {} denials (first denial: {} tried {} on {})",
+        audit.len(),
+        audit.denials().len(),
+        audit.denials()[0].principal,
+        audit.denials()[0].action,
+        audit.denials()[0].subject
+    );
+    let trail = audit.export_readings();
+    let archive = Pass::open_memory(SiteId(99));
+    let trail_id = archive
+        .capture(
+            Attributes::new().with(keys::DOMAIN, "audit").with("source.site", 3i64),
+            trail,
+            Timestamp(20_000_000),
+        )
+        .expect("archive audit");
+    println!("audit trail archived as {trail_id} — the trail has provenance too");
+}

@@ -1,0 +1,96 @@
+//! Quickstart: capture, derive, annotate, query, and walk lineage on a
+//! local PASS.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pass::core::Pass;
+use pass::index::{Direction, TraverseOpts};
+use pass::model::{
+    keys, Annotation, Attributes, Reading, SensorId, SiteId, Timestamp, ToolDescriptor,
+};
+
+fn main() {
+    // A volatile store for site 1. `PassConfig::disk(...)` gives the
+    // durable engine instead.
+    let pass = Pass::open_memory(SiteId(1));
+
+    // -- Capture a raw tuple set: one minute of car sightings ------------
+    let readings: Vec<Reading> = (0..10)
+        .map(|i| {
+            Reading::new(SensorId(12), Timestamp(i * 6_000))
+                .with("speed_kmh", 30.0 + i as f64)
+                .with("lane", (i % 3 + 1) as i64)
+        })
+        .collect();
+    let attrs = Attributes::new()
+        .with(keys::DOMAIN, "traffic")
+        .with(keys::REGION, "london")
+        .with(keys::TYPE, "car_sighting")
+        .with(keys::TIME_START, Timestamp(0))
+        .with(keys::TIME_END, Timestamp(59_999));
+    let raw = pass.capture(attrs, readings, Timestamp(60_000)).expect("capture");
+    println!("captured  {raw}  (provenance IS the name — a digest of it)");
+
+    // -- Derive: filter out slow vehicles ---------------------------------
+    let raw_data = pass.get_data(raw).expect("store ok").expect("data present");
+    let fast: Vec<Reading> = raw_data
+        .into_iter()
+        .filter(|r| r.field("speed_kmh").and_then(|v| v.as_float()).unwrap_or(0.0) >= 35.0)
+        .collect();
+    let filtered = pass
+        .derive(
+            &[raw],
+            &ToolDescriptor::new("speed-filter", "1.0").with_param("min_kmh", 35.0),
+            Attributes::new()
+                .with(keys::DOMAIN, "traffic")
+                .with(keys::REGION, "london")
+                .with(keys::TYPE, "fast_vehicles"),
+            fast,
+            Timestamp(61_000),
+        )
+        .expect("derive");
+    println!("derived   {filtered}  via speed-filter v1.0");
+
+    // -- Annotate: operational notes are searchable -----------------------
+    pass.annotate(
+        raw,
+        Annotation::new(Timestamp(90_000), "ops", "sensor 12 replaced with mk2 model"),
+    )
+    .expect("annotate");
+
+    // -- Query by provenance ----------------------------------------------
+    for text in [
+        r#"FIND WHERE domain = "traffic" AND region = "london""#,
+        r#"FIND WHERE tool.name = "speed-filter""#,
+        r#"FIND WHERE ANNOTATION CONTAINS "replaced mk2""#,
+        "FIND WHERE time OVERLAPS [30000, 40000]",
+    ] {
+        let result = pass.query_text(text).expect("query");
+        println!("\n  {text}\n    -> {} match(es), plan: {}", result.records.len(), result.stats.plan);
+        for record in &result.records {
+            println!("       {}  {}", record.id, record.attributes);
+        }
+    }
+
+    // -- Lineage ------------------------------------------------------------
+    let ancestors = pass
+        .lineage(filtered, Direction::Ancestors, TraverseOpts::unbounded())
+        .expect("lineage");
+    println!("\nancestors of {filtered}:");
+    for a in &ancestors {
+        println!("   {}  ({} annotations)", a.id, a.annotations.len());
+    }
+
+    // -- PASS property 4: provenance survives data removal -------------------
+    pass.remove_data(raw).expect("remove");
+    let still_there = pass
+        .lineage(filtered, Direction::Ancestors, TraverseOpts::unbounded())
+        .expect("lineage");
+    println!(
+        "\nafter deleting the raw readings, lineage still names {} ancestor(s)",
+        still_there.len()
+    );
+    println!("store stats: {:?}", pass.stats());
+}

@@ -1,0 +1,130 @@
+//! The §III-B taint scenario on a volcano archive.
+//!
+//! "Provenance is particularly important for derived data; if a problem
+//! is found with the original data or with an analysis tool, all
+//! downstream data is tainted and must be locatable."
+//!
+//! We build a volcano-monitoring archive, run an analysis pipeline over
+//! it, then discover a miscalibrated station and chase every downstream
+//! product — including the ones produced by a buggy tool version.
+//!
+//! ```sh
+//! cargo run --example volcano_taint
+//! ```
+
+use pass::core::Pass;
+use pass::index::{Direction, TraverseOpts};
+use pass::model::{keys, Attributes, SiteId, Timestamp, ToolDescriptor, Value};
+use pass::sensor::volcano::{generate, VolcanoConfig};
+
+fn main() {
+    let pass = Pass::open_memory(SiteId(9));
+
+    // Three hours of seismic windows with one eruption episode.
+    let config = VolcanoConfig {
+        volcano: "vesuvius".to_owned(),
+        stations: 6,
+        eruptions: vec![(20, 6)],
+        seed: 19,
+        ..VolcanoConfig::default()
+    };
+    let specs = generate(&config, Timestamp::ZERO, 36);
+    let mut raw_ids = Vec::new();
+    for spec in &specs {
+        raw_ids.push(
+            pass.capture(spec.attrs.clone(), spec.readings.clone(), spec.at).expect("capture"),
+        );
+    }
+    println!("archived {} seismic windows", raw_ids.len());
+
+    // Analysis pipeline: per-station denoise (v1.0 for the first half of
+    // the archive, buggy v1.1 for the rest), then a daily summary over
+    // everything.
+    let mut denoised = Vec::new();
+    for (i, &raw) in raw_ids.iter().enumerate() {
+        let version = if i < raw_ids.len() / 2 { "1.0" } else { "1.1" };
+        let id = pass
+            .derive(
+                &[raw],
+                &ToolDescriptor::new("denoise", version),
+                Attributes::new()
+                    .with(keys::DOMAIN, "volcano")
+                    .with(keys::REGION, "vesuvius")
+                    .with(keys::TYPE, "denoised"),
+                vec![],
+                Timestamp(20_000_000 + i as u64),
+            )
+            .expect("derive denoised");
+        denoised.push(id);
+    }
+    let summary = pass
+        .derive(
+            &denoised,
+            &ToolDescriptor::new("daily-summary", "2.0"),
+            Attributes::new()
+                .with(keys::DOMAIN, "volcano")
+                .with(keys::REGION, "vesuvius")
+                .with(keys::TYPE, "daily_summary"),
+            vec![],
+            Timestamp(30_000_000),
+        )
+        .expect("derive summary");
+
+    // -- Taint hunt 1: a miscalibrated station ---------------------------
+    // Station 30002's windows are suspect. Which products consumed them?
+    let station_windows = pass
+        .query_text(r#"FIND WHERE station.id = 30002 AND type = "seismic_window""#)
+        .expect("station windows");
+    println!(
+        "\nstation 30002 produced {} suspect windows",
+        station_windows.records.len()
+    );
+    let mut tainted = std::collections::BTreeSet::new();
+    for id in station_windows.ids() {
+        for record in pass
+            .lineage(id, Direction::Descendants, TraverseOpts::unbounded())
+            .expect("descendants")
+        {
+            tainted.insert(record.id);
+        }
+    }
+    println!("taint closure reaches {} downstream tuple sets", tainted.len());
+    assert!(tainted.contains(&summary), "the daily summary is tainted too");
+
+    // -- Taint hunt 2: a buggy tool version -------------------------------
+    // denoise v1.1 had an optimizer bug: find everything it touched.
+    let buggy = pass
+        .query_text(r#"FIND WHERE tool.name = "denoise" AND tool.version = "1.1""#)
+        .expect("tool query");
+    println!("\ndenoise v1.1 produced {} tuple sets directly", buggy.records.len());
+    let mut tool_tainted = std::collections::BTreeSet::new();
+    for id in buggy.ids() {
+        tool_tainted.insert(id);
+        for record in pass
+            .lineage(id, Direction::Descendants, TraverseOpts::unbounded())
+            .expect("descendants")
+        {
+            tool_tainted.insert(record.id);
+        }
+    }
+    println!("tool-taint closure: {} tuple sets must be re-derived", tool_tainted.len());
+
+    // -- The eruption is still findable by provenance ----------------------
+    let eruption = pass
+        .query_text(r#"FIND WHERE eruption_window = true AND peak_amplitude_um >= 50.0"#)
+        .expect("eruption query");
+    println!(
+        "\n{} archived windows show eruption-grade amplitude (peak ≥ 50 µm)",
+        eruption.records.len()
+    );
+    let loudest = eruption
+        .records
+        .iter()
+        .filter_map(|r| {
+            r.attributes.get("peak_amplitude_um").and_then(Value::as_float).map(|a| (a, r.id))
+        })
+        .max_by(|a, b| a.0.total_cmp(&b.0));
+    if let Some((amplitude, id)) = loudest {
+        println!("loudest window: {id} at {amplitude:.1} µm");
+    }
+}

@@ -1,0 +1,28 @@
+//! # pass — Provenance-Aware Sensor Data Storage
+//!
+//! Facade crate re-exporting the PASS workspace under one roof. See the
+//! [README](https://github.com/pass-project/pass) for the tour; the
+//! interesting entry points are:
+//!
+//! * [`core::Pass`] — the local provenance-aware store (§V of the paper).
+//! * [`query`] — the `FIND … WHERE … ANCESTORS OF …` language.
+//! * [`distrib`] — the six §IV distributed architecture models, the E19
+//!   replication strategies, and the experiment runner.
+//! * [`sensor`] — synthetic workloads for the paper's five sensor domains.
+//! * [`policy`] — the §V privacy agenda: sensitivity labels, policy
+//!   enforcement with audit, k-anonymous aggregation, redacted lineage.
+//!
+//! This repository reproduces *Provenance-Aware Sensor Data Storage*
+//! (Ledlie et al., NetDB'05 / ICDE 2005); `DESIGN.md` maps every paper
+//! claim to the module and experiment that checks it.
+
+pub use pass_core as core;
+pub use pass_dht as dht;
+pub use pass_distrib as distrib;
+pub use pass_index as index;
+pub use pass_model as model;
+pub use pass_net as net;
+pub use pass_policy as policy;
+pub use pass_query as query;
+pub use pass_sensor as sensor;
+pub use pass_storage as storage;

@@ -1,0 +1,194 @@
+//! Workspace-level integration of the §V privacy agenda: real sensor
+//! workloads flow through a guarded PASS, get aggregated for release,
+//! queried under policy, redacted in lineage, and fully audited — with
+//! the audit trail archived back into a PASS of its own.
+
+use pass::core::Pass;
+use pass::index::{Direction, TraverseOpts};
+use pass::model::{keys, Attributes, Reading, SensorId, SiteId, Timestamp, ToolDescriptor};
+use pass::policy::{
+    Action, Effect, GuardedPass, NumericLadder, PolicyEngine, PolicyLabel, Principal, QuasiSpec,
+    Rule, Sensitivity,
+};
+use pass::query::{CmpOp, Predicate};
+use pass::sensor::medical::{self, MedicalConfig};
+
+fn hipaa_engine() -> PolicyEngine {
+    PolicyEngine::deny_by_default()
+        .with_rule(Rule::allow("clinician-full").for_role("clinician").on([
+            Action::ReadData,
+            Action::ReadProvenance,
+            Action::ReadLineage,
+        ]))
+        .with_rule(Rule::allow("public-read").when(Predicate::Cmp(
+            pass::policy::label::ATTR_SENSITIVITY.into(),
+            CmpOp::Le,
+            Sensitivity::Public.rank().into(),
+        )))
+}
+
+fn clinician() -> Principal {
+    Principal::new("emt-1")
+        .with_role("clinician")
+        .with_clearance(Sensitivity::Private)
+        .with_category("phi")
+}
+
+/// EMT corpus (pass-sensor) → guarded ingest → policy-filtered queries →
+/// k-anonymous release → redacted lineage → audited everything.
+#[test]
+fn emt_corpus_under_policy_full_cycle() {
+    let ward = GuardedPass::new(Pass::open_memory(SiteId(3)), hipaa_engine());
+    let emt = clinician();
+    let phi = PolicyLabel::new(Sensitivity::Private).with_category("phi");
+
+    // Ingest the §III-C medical workload under PHI labels.
+    let specs = medical::generate(
+        &MedicalConfig { patients: 8, seed: 5, ..Default::default() },
+        Timestamp::ZERO,
+        3,
+    );
+    let mut charts = Vec::new();
+    for spec in &specs {
+        let id = ward
+            .capture(&emt, phi.clone(), spec.attrs.clone(), spec.readings.clone(), spec.at)
+            .expect("guarded capture");
+        charts.push(id);
+    }
+    assert_eq!(charts.len(), 24);
+
+    // Policy-filtered query: clinician sees all, outsider none.
+    let q = r#"FIND WHERE domain = "medical""#;
+    let (vis, withheld) = ward.query_text(&emt, q).unwrap();
+    assert_eq!((vis.len(), withheld), (24, 0));
+    let outsider = Principal::new("journalist");
+    let (vis, withheld) = ward.query_text(&outsider, q).unwrap();
+    assert_eq!((vis.len(), withheld), (0, 24));
+
+    // Per-patient summaries (derived, sticky-labelled).
+    let mut summaries = Vec::new();
+    for (i, &chart) in charts.iter().enumerate() {
+        let readings = ward.get_data(&emt, chart).unwrap().unwrap();
+        let hr = readings
+            .iter()
+            .filter_map(|r| r.field("hr_bpm")?.as_float())
+            .sum::<f64>()
+            / readings.len() as f64;
+        let summary = ward
+            .derive(
+                &emt,
+                PolicyLabel::public(), // attempted downgrade — must not stick
+                &[chart],
+                &ToolDescriptor::new("summarize", "1.0"),
+                Attributes::new().with(keys::DOMAIN, "medical").with(keys::TYPE, "summary"),
+                vec![Reading::new(SensorId(500 + i as u64), Timestamp(i as u64))
+                    .with("heart_rate", hr)
+                    .with("age", 20.0 + (i * 7 % 55) as f64)
+                    .with("zone", (i % 3) as f64)],
+                Timestamp::from_secs(4_000 + i as u64),
+            )
+            .expect("derive");
+        // Sticky: the summary is still PHI despite the public request.
+        let rec = ward.get_record(&emt, summary).unwrap();
+        assert_eq!(PolicyLabel::of_record(&rec).sensitivity, Sensitivity::Private);
+        summaries.push(summary);
+    }
+
+    // Sanctioned k-anonymous release over the summaries.
+    let spec = QuasiSpec::new(
+        vec![
+            NumericLadder::new("age", vec![10.0, 25.0]).unwrap(),
+            NumericLadder::new("zone", vec![3.0]).unwrap(),
+        ],
+        "heart_rate",
+    )
+    .unwrap();
+    let (stats, anon) = ward
+        .aggregate(
+            &emt,
+            &summaries,
+            4,
+            &spec,
+            0.10,
+            PolicyLabel::public(),
+            Attributes::new().with(keys::DOMAIN, "medical").with(keys::TYPE, "ward_stats"),
+            Timestamp::from_secs(9_000),
+        )
+        .expect("aggregate");
+    assert!(anon.groups.iter().all(|g| g.count >= 4));
+    assert!(anon.risk() <= 0.25 + 1e-9);
+
+    // The outsider can read the release and its provenance names every
+    // source, but lineage contents stay redacted.
+    let rec = ward.get_record(&outsider, stats).expect("public release");
+    assert_eq!(rec.ancestry.len(), summaries.len());
+    assert_eq!(rec.ancestry[0].tool.name, "k-anonymize");
+    let view = ward
+        .lineage(&outsider, stats, Direction::Ancestors, TraverseOpts::unbounded())
+        .expect("redacted lineage");
+    assert_eq!(view.visible.len(), 1, "only the release itself is visible");
+    assert_eq!(view.redacted_count, summaries.len() + charts.len());
+
+    // The clinician sees the full two-generation lineage.
+    let full = ward
+        .lineage(&emt, stats, Direction::Ancestors, TraverseOpts::unbounded())
+        .expect("full lineage");
+    assert_eq!(full.redacted_count, 0);
+    assert_eq!(full.visible.len(), 1 + summaries.len() + charts.len());
+
+    // Audit completeness: every read decision above is in the trail, and
+    // the trail archives into a PASS with provenance.
+    let audit = ward.audit();
+    assert!(audit.denials().iter().all(|e| e.effect == Effect::Deny));
+    assert!(audit.by_principal("journalist").len() >= 25);
+    let archive = Pass::open_memory(SiteId(99));
+    let trail_id = archive
+        .capture(
+            Attributes::new().with(keys::DOMAIN, "audit"),
+            audit.export_readings(),
+            Timestamp::from_secs(10_000),
+        )
+        .unwrap();
+    let stored = archive.get_data(trail_id).unwrap().unwrap();
+    assert_eq!(stored.len(), audit.len());
+    // The archived trail is queryable like any sensor data.
+    let hits = archive.query_text(r#"FIND WHERE domain = "audit""#).unwrap();
+    assert_eq!(hits.ids(), vec![trail_id]);
+}
+
+/// The mandatory layer holds across crate boundaries: no rule
+/// combination can leak an undominated record through any read path.
+#[test]
+fn mandatory_layer_is_airtight_across_read_paths() {
+    let engine = PolicyEngine::allow_by_default()
+        .with_rule(Rule::allow("everything")); // maximally permissive rules
+    let ward = GuardedPass::new(Pass::open_memory(SiteId(1)), engine);
+    let emt = clinician();
+    let phi = PolicyLabel::new(Sensitivity::Private).with_category("phi");
+    let id = ward
+        .capture(
+            &emt,
+            phi,
+            Attributes::new().with(keys::DOMAIN, "medical"),
+            vec![Reading::new(SensorId(1), Timestamp(1)).with("hr", 80.0)],
+            Timestamp(1),
+        )
+        .unwrap();
+
+    let outsider = Principal::new("x"); // public clearance
+    assert!(ward.get_record(&outsider, id).is_err());
+    assert!(ward.get_data(&outsider, id).is_err());
+    assert!(ward
+        .lineage(&outsider, id, Direction::Ancestors, TraverseOpts::unbounded())
+        .is_err());
+    let (vis, withheld) =
+        ward.query_text(&outsider, r#"FIND WHERE domain = "medical""#).unwrap();
+    assert_eq!((vis.len(), withheld), (0, 1));
+
+    // Partial clearance is still insufficient: level without category …
+    let level_only = Principal::new("y").with_clearance(Sensitivity::Private);
+    assert!(ward.get_data(&level_only, id).is_err());
+    // … and category without level.
+    let cat_only = Principal::new("z").with_category("phi");
+    assert!(ward.get_data(&cat_only, id).is_err());
+}
