@@ -12,12 +12,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e02_naming");
     group.sample_size(20);
     group.bench_function("flat_name_scan_2000", |b| {
-        b.iter(|| {
-            names
-                .iter()
-                .filter(|n| flatname::name_matches(n, keys::REGION, &target))
-                .count()
-        })
+        b.iter(|| names.iter().filter(|n| flatname::name_matches(n, keys::REGION, &target)).count())
     });
     group.bench_function("flat_name_build", |b| b.iter(|| flatname::build(&corpus[0])));
     group.bench_function("flat_name_parse", |b| b.iter(|| flatname::parse(&names[0])));

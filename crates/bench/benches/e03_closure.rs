@@ -20,13 +20,9 @@ fn bench(c: &mut Criterion) {
             ("interval", &interval),
         ];
         for (name, strategy) in strategies {
-            group.bench_with_input(
-                BenchmarkId::new(name, depth),
-                &depth,
-                |b, _| {
-                    b.iter(|| strategy.reachable(&graph, leaf, Direction::Ancestors, &opts))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, depth), &depth, |b, _| {
+                b.iter(|| strategy.reachable(&graph, leaf, Direction::Ancestors, &opts))
+            });
         }
         group.bench_with_input(BenchmarkId::new("memo-build", depth), &depth, |b, _| {
             b.iter(|| MemoClosure::build(&graph, false).unwrap())

@@ -7,11 +7,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e13_hierarchy");
     group.sample_size(10);
     for sites in [4usize, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("prefix_vs_broadcast", sites),
-            &sites,
-            |b, &s| b.iter(|| e13_measure(s)),
-        );
+        group.bench_with_input(BenchmarkId::new("prefix_vs_broadcast", sites), &sites, |b, &s| {
+            b.iter(|| e13_measure(s))
+        });
     }
     group.finish();
 }

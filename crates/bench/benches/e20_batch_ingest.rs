@@ -1,0 +1,18 @@
+//! E20: group-commit ingest throughput at batch sizes 1/16/256/4096.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_local::e20_batched_store;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e20_batch_ingest");
+    group.sample_size(10);
+    for batch in [1usize, 16, 256, 4096] {
+        group.bench_with_input(BenchmarkId::new("ingest_8k_sets", batch), &batch, |b, &batch| {
+            b.iter(|| e20_batched_store(8_192, batch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

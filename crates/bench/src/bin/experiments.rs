@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E19). The output of this binary is
+//! Prints every experiment table (E1–E20). The output of this binary is
 //! the source of record for `EXPERIMENTS.md`.
 //!
 //! ```sh
@@ -33,7 +33,15 @@ fn main() {
         ("e17", exp_policy::e17_table),
         ("e18", exp_policy::e18_table),
         ("e19", exp_policy::e19_table),
+        ("e20", exp_local::e20_table),
     ];
+    for arg in &args {
+        if !experiments.iter().any(|(tag, _)| tag == arg) {
+            let known: Vec<&str> = experiments.iter().map(|(tag, _)| *tag).collect();
+            eprintln!("unknown experiment {arg:?}; known: {}", known.join(" "));
+            std::process::exit(2);
+        }
+    }
     for (tag, run) in experiments {
         if want(tag) {
             eprintln!("[running {tag}]");

@@ -1,0 +1,10 @@
+use pass_bench::exp_local::e20_batched_store;
+fn main() {
+    for total in [8192usize, 32768] {
+        for batch in [1usize, 256] {
+            let t = std::time::Instant::now();
+            let (_p, rate) = e20_batched_store(total, batch);
+            eprintln!("total={total} batch={batch}: {rate:.0}/s wall={:?}", t.elapsed());
+        }
+    }
+}

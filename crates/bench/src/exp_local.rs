@@ -1,5 +1,6 @@
 //! Local-store experiments: E1 (granularity), E2 (naming), E3 (closure
-//! strategies), E4 (query mix), E12 (PASS properties), E16 (abstraction).
+//! strategies), E4 (query mix), E12 (PASS properties), E16 (abstraction),
+//! E20 (group-commit batched ingest).
 
 use pass_core::Pass;
 use pass_index::closure::{BfsClosure, MemoClosure, NaiveJoinClosure, ReachStrategy, TraverseOpts};
@@ -87,6 +88,103 @@ pub fn e01_table() -> String {
 }
 
 // ---------------------------------------------------------------------------
+// E20 — group-commit batched ingest
+// ---------------------------------------------------------------------------
+
+/// Ingests `total_sets` single-reading tuple sets through the
+/// generate → batch → ingest pipeline at the given group-commit size.
+/// Returns the store and the achieved sets/second.
+pub fn e20_batched_store(total_sets: usize, batch_size: usize) -> (Pass, f64) {
+    e20_batched_into(Pass::open_memory(SiteId(1)), total_sets, batch_size)
+}
+
+/// Disk-backend variant of [`e20_batched_store`]: every group commit is
+/// one WAL append + fsync, so batching amortizes real durability cost,
+/// not just index maintenance. Returns the store, the backing tempdir
+/// (dropping it deletes the store), and the achieved sets/second.
+pub fn e20_batched_store_disk(
+    total_sets: usize,
+    batch_size: usize,
+) -> (Pass, pass_storage::tempdir::TempDir, f64) {
+    let dir = pass_storage::tempdir::TempDir::new("e20-disk");
+    let pass = Pass::open(pass_core::PassConfig::disk(SiteId(1), dir.path())).expect("open disk");
+    let (pass, rate) = e20_batched_into(pass, total_sets, batch_size);
+    (pass, dir, rate)
+}
+
+fn e20_batched_into(pass: Pass, total_sets: usize, batch_size: usize) -> (Pass, f64) {
+    let mut rng = rng_for(20, "e20");
+    let specs: Vec<pass_sensor::CaptureSpec> = (0..total_sets)
+        .map(|i| {
+            let at = Timestamp(i as u64 * 1_000);
+            pass_sensor::CaptureSpec {
+                attrs: Attributes::new()
+                    .with(keys::DOMAIN, "traffic")
+                    .with(keys::REGION, format!("zone-{}", i % 8))
+                    .with(keys::TYPE, "car_sighting")
+                    .with("seq", i as i64),
+                readings: vec![Reading::new(SensorId((i % 64) as u64), at)
+                    .with("speed_kmh", rng.gen_range(10.0..80.0))],
+                at,
+            }
+        })
+        .collect();
+    let t = Instant::now();
+    let ids = pass_sensor::ingest_in_batches(specs, batch_size, |items| pass.capture_batch(items))
+        .expect("batched capture");
+    let rate = ids.len() as f64 / t.elapsed().as_secs_f64();
+    (pass, rate)
+}
+
+/// E20 table: ingest throughput and per-batch amortization across
+/// group-commit sizes, on both backends (the ISSUE-3 acceptance series).
+/// On the memory backend batching amortizes index maintenance only; on
+/// the disk backend each group commit is additionally one WAL
+/// append + fsync, which is where group commit pays off hardest.
+pub fn e20_table() -> String {
+    let mut out = String::from(
+        "E20  group-commit ingest (single-reading tuple sets)\n\
+         backend   sets   batch   sets_per_s   speedup_vs_1   commits   eq_query_ms\n",
+    );
+    let mem_total = 32_768;
+    let mut base_rate = None;
+    for batch in [1usize, 16, 256, 4_096] {
+        let (pass, rate) = e20_batched_store(mem_total, batch);
+        let base = *base_rate.get_or_insert(rate);
+        out.push_str(&e20_row("memory", mem_total, batch, rate, rate / base, &pass));
+    }
+    // Smaller corpus on disk: batch=1 really does fsync per tuple set.
+    let disk_total = 4_096;
+    let mut base_rate = None;
+    for batch in [1usize, 16, 256, 4_096] {
+        let (pass, _dir, rate) = e20_batched_store_disk(disk_total, batch);
+        let base = *base_rate.get_or_insert(rate);
+        out.push_str(&e20_row("disk", disk_total, batch, rate, rate / base, &pass));
+    }
+    out
+}
+
+fn e20_row(
+    backend: &str,
+    total: usize,
+    batch: usize,
+    rate: f64,
+    speedup: f64,
+    pass: &Pass,
+) -> String {
+    let stats = pass.stats();
+    let t = Instant::now();
+    for _ in 0..20 {
+        pass.query_text(r#"FIND WHERE region = "zone-3""#).expect("query");
+    }
+    let query_ms = ms(t.elapsed()) / 20.0;
+    format!(
+        "{:<8} {:>5} {:>6} {:>12.0} {:>14.2} {:>9} {:>13.3}\n",
+        backend, total, batch, rate, speedup, stats.batches, query_ms
+    )
+}
+
+// ---------------------------------------------------------------------------
 // E2 — naming: flat filenames vs structured provenance
 // ---------------------------------------------------------------------------
 
@@ -96,15 +194,16 @@ pub fn e02_corpus(n_per_region: usize) -> Vec<ProvenanceRecord> {
     let mut out = Vec::new();
     for (ri, region) in regions.iter().enumerate() {
         for i in 0..n_per_region {
-            let record = ProvenanceBuilder::new(SiteId(1), Timestamp((ri * n_per_region + i) as u64))
-                .attr(keys::DOMAIN, "traffic")
-                .attr(keys::REGION, *region)
-                .attr(keys::TYPE, "car_sighting")
-                .attr(keys::SENSOR_TYPE, "camera")
-                .attr(keys::TIME_START, Value::Time(Timestamp(i as u64 * 1_000)))
-                .attr(keys::TIME_END, Value::Time(Timestamp(i as u64 * 1_000 + 999)))
-                .attr("calibration.run", i as i64) // inexpressible in a flat name
-                .build(Digest128::of(format!("{region}/{i}").as_bytes()));
+            let record =
+                ProvenanceBuilder::new(SiteId(1), Timestamp((ri * n_per_region + i) as u64))
+                    .attr(keys::DOMAIN, "traffic")
+                    .attr(keys::REGION, *region)
+                    .attr(keys::TYPE, "car_sighting")
+                    .attr(keys::SENSOR_TYPE, "camera")
+                    .attr(keys::TIME_START, Value::Time(Timestamp(i as u64 * 1_000)))
+                    .attr(keys::TIME_END, Value::Time(Timestamp(i as u64 * 1_000 + 999)))
+                    .attr("calibration.run", i as i64) // inexpressible in a flat name
+                    .build(Digest128::of(format!("{region}/{i}").as_bytes()));
             out.push(record);
         }
     }
@@ -121,8 +220,7 @@ pub fn e02_table() -> String {
         let rebuilt = ProvenanceBuilder::new(record.origin, record.created_at)
             .attrs(&record.attributes)
             .build(TupleSet::content_digest_of(&[]));
-        pass.ingest(&TupleSet::new(rebuilt, vec![]).expect("digest matches"))
-            .expect("ingest");
+        pass.ingest(&TupleSet::new(rebuilt, vec![]).expect("digest matches")).expect("ingest");
     }
 
     let mut out = String::from(
@@ -153,24 +251,23 @@ pub fn e02_table() -> String {
     let flat_tp = flat_hits.iter().filter(|i| truth.contains(i)).count();
     let flat_precision =
         if flat_hits.is_empty() { 1.0 } else { flat_tp as f64 / flat_hits.len() as f64 };
-    let flat_recall =
-        if truth.is_empty() { 1.0 } else { flat_tp as f64 / truth.len() as f64 };
+    let flat_recall = if truth.is_empty() { 1.0 } else { flat_tp as f64 / truth.len() as f64 };
 
     // Structured scheme: attribute index.
     let t1 = Instant::now();
     let mut hits = 0usize;
     for _ in 0..10 {
-        hits = pass
-            .query_text(r#"FIND WHERE region = "new_york""#)
-            .expect("query")
-            .records
-            .len();
+        hits = pass.query_text(r#"FIND WHERE region = "new_york""#).expect("query").records.len();
     }
     let ix_latency = t1.elapsed() / 10;
 
     out.push_str(&format!(
         "{:<25} {:<12} {:>10.3} {:>11.3} {:>8.3}\n",
-        "region = new_york", "flat-name", ms(flat_latency), flat_precision, flat_recall
+        "region = new_york",
+        "flat-name",
+        ms(flat_latency),
+        flat_precision,
+        flat_recall
     ));
     out.push_str(&format!(
         "{:<25} {:<12} {:>10.3} {:>11.3} {:>8.3}\n",
@@ -413,9 +510,8 @@ pub fn e12_table() -> String {
         pass.remove_data(*id).expect("remove");
     }
     let removal = ms(t.elapsed());
-    let lineage = pass
-        .lineage(child, Direction::Ancestors, TraverseOpts::unbounded())
-        .expect("lineage");
+    let lineage =
+        pass.lineage(child, Direction::Ancestors, TraverseOpts::unbounded()).expect("lineage");
     out.push_str(&format!(
         "100 data removals:     {removal:>10.2} ms (lineage still names {} ancestors)\n",
         lineage.len()
@@ -466,17 +562,15 @@ pub fn e16_store(analyses: usize, chain_len: usize) -> (Pass, Vec<TupleSetId>) {
             )
             .expect("capture");
         let readings = vec![Reading::new(SensorId(2), Timestamp(a as u64)).with("out", a as i64)];
-        let attrs =
-            Attributes::new().with(keys::DOMAIN, "analysis").with("run", a as i64);
+        let attrs = Attributes::new().with(keys::DOMAIN, "analysis").with("run", a as i64);
         let mut builder =
             ProvenanceBuilder::new(SiteId(1), Timestamp(2_000 + a as u64)).attrs(&attrs);
         builder = builder.derived_from(raw, ToolDescriptor::new("analyze", "3.1"));
         builder =
             builder.derived_from(toolchain_binary, ToolDescriptor::abstracted("gcc", "3.3.3"));
         let record = builder.build(TupleSet::content_digest_of(&readings));
-        let id = pass
-            .ingest(&TupleSet::new(record, readings).expect("digest matches"))
-            .expect("ingest");
+        let id =
+            pass.ingest(&TupleSet::new(record, readings).expect("digest matches")).expect("ingest");
         outputs.push(id);
     }
     (pass, outputs)
@@ -496,18 +590,13 @@ pub fn e16_table() -> String {
             let iters = 50;
             let mut len = 0;
             for _ in 0..iters {
-                len = pass
-                    .lineage(root, Direction::Ancestors, opts)
-                    .expect("lineage")
-                    .len();
+                len = pass.lineage(root, Direction::Ancestors, opts).expect("lineage").len();
             }
             (len, t.elapsed().as_secs_f64() * 1e6 / f64::from(iters))
         };
         let (full_nodes, full_us) = time_it(TraverseOpts::unbounded());
-        let (abs_nodes, abs_us) = time_it(TraverseOpts {
-            stop_at_abstraction: true,
-            ..TraverseOpts::default()
-        });
+        let (abs_nodes, abs_us) =
+            time_it(TraverseOpts { stop_at_abstraction: true, ..TraverseOpts::default() });
         out.push_str(&format!(
             "{:>9} {:>12} {:>9.1} {:>18} {:>15.1}\n",
             chain_len, full_nodes, full_us, abs_nodes, abs_us

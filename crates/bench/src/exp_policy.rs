@@ -163,7 +163,7 @@ pub fn e18_store(n: usize, chain: usize) -> (Pass, Vec<TupleSetId>, TupleSetId) 
     let mut head = ids[0];
     for i in 0..chain {
         let mut attrs = Attributes::new().with("domain", "pipeline").with("step", i as i64);
-        let label = if (chain - 1 - i) % 2 == 0 {
+        let label = if (chain - 1 - i).is_multiple_of(2) {
             PolicyLabel::public()
         } else {
             PolicyLabel::new(Sensitivity::Private).with_category("phi")
@@ -195,11 +195,11 @@ pub fn e18_analyst() -> Principal {
 /// The E18 engine: analysts may read/query/traverse anything their
 /// clearance dominates.
 pub fn e18_engine() -> PolicyEngine {
-    PolicyEngine::deny_by_default().with_rule(
-        Rule::allow("analyst-read")
-            .for_role("analyst")
-            .on([Action::ReadProvenance, Action::ReadLineage, Action::ReadData]),
-    )
+    PolicyEngine::deny_by_default().with_rule(Rule::allow("analyst-read").for_role("analyst").on([
+        Action::ReadProvenance,
+        Action::ReadLineage,
+        Action::ReadData,
+    ]))
 }
 
 /// E18 table: per-operation latency with and without the guard.
@@ -424,7 +424,11 @@ pub fn e19_table() -> String {
         let row = e19_run(strategy);
         out.push_str(&format!(
             "{:<14} {:>11.1} {:>12.2} {:>13.2} {:>13.3} {:>13.3}\n",
-            row.strategy, row.publish_kib, row.first_ms, row.repeat_ms, row.warm_recall,
+            row.strategy,
+            row.publish_kib,
+            row.first_ms,
+            row.repeat_ms,
+            row.warm_recall,
             row.cold_recall,
         ));
     }

@@ -12,8 +12,7 @@ pub fn e10_populate(n: usize) -> TempDir {
     let dir = TempDir::new("e10");
     let pass = Pass::open(PassConfig::disk(SiteId(1), dir.path())).expect("open");
     for i in 0..n {
-        let readings =
-            vec![Reading::new(SensorId(1), Timestamp(i as u64)).with("v", i as i64)];
+        let readings = vec![Reading::new(SensorId(1), Timestamp(i as u64)).with("v", i as i64)];
         let attrs = Attributes::new()
             .with(keys::DOMAIN, "traffic")
             .with(keys::TYPE, "capture")

@@ -103,10 +103,7 @@ pub fn e11_table() -> String {
     for session_secs in [20u64, 60, 180, 600] {
         let (r1, _) = e11_measure(16, 1, SimTime::from_secs(session_secs), 60);
         let (r3, maint) = e11_measure(16, 3, SimTime::from_secs(session_secs), 60);
-        out.push_str(&format!(
-            "{:>14} {:>12.3} {:>12.3} {:>14.1}\n",
-            session_secs, r1, r3, maint
-        ));
+        out.push_str(&format!("{:>14} {:>12.3} {:>12.3} {:>14.1}\n", session_secs, r1, r3, maint));
     }
     out
 }
@@ -128,7 +125,8 @@ pub fn e15_table() -> String {
         }
         h.run_and_collect(SimTime::from_secs(60), issued);
         let update_kib = (h.sim.metrics().class(TrafficClass::Update).bytes
-            + h.sim.metrics().class(TrafficClass::Maintenance).bytes) as f64
+            + h.sim.metrics().class(TrafficClass::Maintenance).bytes)
+            as f64
             / 1024.0;
 
         let (success, _) = {

@@ -11,21 +11,40 @@
 //!
 //! let pass = Pass::open_memory(SiteId(1));
 //!
-//! // Capture a raw tuple set.
-//! let readings = vec![Reading::new(SensorId(7), Timestamp(10)).with("speed", 42.0)];
-//! let attrs = Attributes::new().with("domain", "traffic").with("region", "london");
-//! let raw = pass.capture(attrs, readings, Timestamp(100)).unwrap();
+//! // Capture a whole stream of raw tuple sets in ONE group commit: one
+//! // WriteBatch, one WAL append, one crash-atomicity domain, one bulk
+//! // index pass. All-or-nothing: if any set fails validation, no state
+//! // changes at all.
+//! let batch = (0u64..3).map(|i| {
+//!     let at = Timestamp(100 + i);
+//!     let readings = vec![Reading::new(SensorId(7), at).with("speed", 42.0 + i as f64)];
+//!     let attrs = Attributes::new().with("domain", "traffic").with("region", "london");
+//!     (attrs, readings, at)
+//! });
+//! let ids = pass.capture_batch(batch).unwrap();
+//! assert_eq!(ids.len(), 3);
 //!
-//! // Derive from it, query by provenance, walk lineage.
+//! // Readers get snapshot isolation: this view keeps answering from its
+//! // commit point no matter how much ingest happens after it.
+//! let snap = pass.snapshot();
+//!
+//! // Derive from a captured set, query by provenance, walk lineage.
 //! let derived = pass
-//!     .derive(&[raw], &ToolDescriptor::new("dedupe", "1.0"),
+//!     .derive(&[ids[0]], &ToolDescriptor::new("dedupe", "1.0"),
 //!             Attributes::new().with("domain", "traffic"), vec![], Timestamp(200))
 //!     .unwrap();
 //! let hits = pass.query_text(r#"FIND WHERE tool.name = "dedupe""#).unwrap();
 //! assert_eq!(hits.ids(), vec![derived]);
+//!
+//! // The snapshot predates the derivation and still does not see it.
+//! assert!(snap.get_record(derived).is_none());
+//! assert_eq!(snap.len(), 3);
 //! ```
 //!
-//! See [`Pass`] for the full API and the crate-level invariants.
+//! See [`Pass`] for the full API and crate-level invariants,
+//! [`Pass::ingest_batch`] / [`Pass::capture_batch`] for the group-commit
+//! atomicity contract, and [`pass::Snapshot`] for repeatable-read
+//! semantics.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,4 +58,4 @@ pub mod pass;
 pub use archive::{ArchiveExport, ImportStats};
 pub use config::{Backend, ClosureStrategy, PassConfig};
 pub use error::{PassError, Result};
-pub use pass::{ConsistencyReport, Pass, PassStats};
+pub use pass::{ConsistencyReport, Pass, PassStats, Snapshot};

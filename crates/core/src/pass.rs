@@ -16,10 +16,35 @@
 //!    [`Pass::remove_data`] deletes readings only; records, indexes, and
 //!    ancestry edges survive, and lineage queries keep answering.
 //!
+//! # Group commit and the atomicity contract
+//!
 //! Writes couple `{record, data, marker}` in one atomic storage batch, so
 //! a crash can never leave a record without its data or vice versa — the
 //! consistency the paper demands of a reliable provenance store (§IV) and
 //! the property experiment E10 injects faults against.
+//!
+//! [`Pass::ingest_batch`] extends that coupling to a whole stream of
+//! tuple sets: N sets are validated up front, written as **one**
+//! [`WriteBatch`] (a single `KvStore::apply`, hence a single WAL append
+//! and atomicity domain), and indexed in one bulk pass. The contract is
+//! all-or-nothing at two levels:
+//!
+//! * *validation*: if any set in the batch fails identity/digest
+//!   verification or collides with an existing identity, the whole batch
+//!   is rejected and **no** storage or index state changes;
+//! * *durability*: after a crash, either every set of the batch is
+//!   visible or none is (WAL replay applies batches atomically).
+//!
+//! # Snapshot-isolated reads
+//!
+//! All in-memory index state lives in one immutable [`State`] behind an
+//! `Arc`. Readers call [`Pass::snapshot`] — an O(1) `Arc` clone — and
+//! query the snapshot lock-free with repeatable-read semantics; writers
+//! never block them. Writers serialize on a commit mutex and publish a
+//! new state via copy-on-write (`Arc::make_mut`): the full clone is paid
+//! only on the first write after an outstanding snapshot was taken,
+//! which batching amortizes. [`Pass::query`] itself runs against a fresh
+//! snapshot, so a single query never observes a half-applied batch.
 
 use crate::archive::{ArchiveExport, ImportStats};
 use crate::config::{Backend, ClosureStrategy, PassConfig};
@@ -32,8 +57,8 @@ use pass_index::{
 };
 use pass_model::codec::{Decode, Encode};
 use pass_model::{
-    keys, Annotation, Attributes, ModelError, ProvenanceBuilder, ProvenanceRecord, Reading,
-    SiteId, TimeRange, Timestamp, ToolDescriptor, TupleSet, TupleSetId, Value,
+    keys, Annotation, Attributes, ModelError, ProvenanceBuilder, ProvenanceRecord, Reading, SiteId,
+    TimeRange, Timestamp, ToolDescriptor, TupleSet, TupleSetId, Value,
 };
 use pass_query::{LineageClause, Provider, Query, QueryResult};
 use pass_storage::{KvStore, LsmEngine, MemEngine, WriteBatch};
@@ -42,13 +67,19 @@ use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// In-memory index state, rebuilt from storage at open.
+/// In-memory index state: immutable once published, shared by snapshots.
+#[derive(Clone)]
 struct State {
     graph: AncestryGraph,
     attrs: AttrIndex,
     keywords: KeywordIndex,
+    time: TimeIndex,
     records: HashMap<TupleSetId, ProvenanceRecord>,
     data_present: HashSet<TupleSetId>,
+    /// Commit sequence number, assigned under the state write lock so a
+    /// snapshot's state and version can never disagree (the shared
+    /// closure cache is keyed on it).
+    version: u64,
 }
 
 impl State {
@@ -57,34 +88,67 @@ impl State {
             graph: AncestryGraph::new(),
             attrs: AttrIndex::new(),
             keywords: KeywordIndex::new(),
+            time: TimeIndex::new(),
             records: HashMap::new(),
             data_present: HashSet::new(),
+            version: 0,
         }
     }
 
-    /// Indexes a record everywhere except the time index (which lives
-    /// behind its own lock).
+    /// Indexes one record everywhere (single-record path: annotation
+    /// merges and archive imports).
     fn index_record(&mut self, record: &ProvenanceRecord) -> NodeIdx {
-        let parents: Vec<(TupleSetId, bool)> =
-            record.ancestry.iter().map(|d| (d.parent, d.tool.abstracted)).collect();
-        let idx = self.graph.insert(record.id, &parents);
-        self.attrs.insert_attrs(idx, &record.attributes);
-        for (name, value) in pass_query::ast::multi_valued_attrs(record) {
-            self.attrs.insert(idx, name, value);
-        }
-        // Pseudo-attributes, indexed so the planner can serve them.
-        self.attrs.insert(idx, "origin.site", Value::Int(i64::from(record.origin.0)));
-        self.attrs.insert(idx, "created_at", Value::Time(record.created_at));
-        self.attrs
-            .insert(idx, "ancestry.parents", Value::Int(record.ancestry.len() as i64));
-        for ann in &record.annotations {
-            self.keywords.insert(idx, &ann.text);
-        }
-        if let Some(desc) = record.attributes.get_str(keys::DESCRIPTION) {
-            self.keywords.insert(idx, desc);
-        }
-        self.records.insert(record.id, record.clone());
+        let idx = self.index_records(&[record])[0];
+        self.time.build();
         idx
+    }
+
+    /// Bulk-indexes a batch of records: graph edges per record, then one
+    /// sorted bulk insert per index so maintenance cost is amortized over
+    /// the batch (`AttrIndex::insert_bulk`, `KeywordIndex::insert_bulk`,
+    /// one `TimeIndex` rebuild). Caller must finish with
+    /// `self.time.build()` once all batches of a commit are in.
+    fn index_records(&mut self, records: &[&ProvenanceRecord]) -> Vec<NodeIdx> {
+        let mut idxs = Vec::with_capacity(records.len());
+        let mut attr_entries: Vec<(NodeIdx, String, Value)> = Vec::new();
+        let mut docs: Vec<(NodeIdx, &str)> = Vec::new();
+        for record in records {
+            let parents: Vec<(TupleSetId, bool)> =
+                record.ancestry.iter().map(|d| (d.parent, d.tool.abstracted)).collect();
+            let idx = self.graph.insert(record.id, &parents);
+            for (name, value) in record.attributes.iter() {
+                attr_entries.push((idx, name.to_owned(), value.clone()));
+            }
+            for (name, value) in pass_query::ast::multi_valued_attrs(record) {
+                attr_entries.push((idx, name.to_owned(), value));
+            }
+            // Pseudo-attributes, indexed so the planner can serve them.
+            attr_entries.push((
+                idx,
+                "origin.site".to_owned(),
+                Value::Int(i64::from(record.origin.0)),
+            ));
+            attr_entries.push((idx, "created_at".to_owned(), Value::Time(record.created_at)));
+            attr_entries.push((
+                idx,
+                "ancestry.parents".to_owned(),
+                Value::Int(record.ancestry.len() as i64),
+            ));
+            for ann in &record.annotations {
+                docs.push((idx, ann.text.as_str()));
+            }
+            if let Some(desc) = record.attributes.get_str(keys::DESCRIPTION) {
+                docs.push((idx, desc));
+            }
+            if let Some(range) = record.time_range() {
+                self.time.insert(idx, range);
+            }
+            self.records.insert(record.id, (*record).clone());
+            idxs.push(idx);
+        }
+        self.attrs.insert_bulk(attr_entries);
+        self.keywords.insert_bulk(docs);
+        idxs
     }
 }
 
@@ -104,6 +168,7 @@ struct ClosureCache {
 #[derive(Debug, Default)]
 struct Metrics {
     ingests: AtomicU64,
+    batches: AtomicU64,
     queries: AtomicU64,
     annotations: AtomicU64,
     removals: AtomicU64,
@@ -124,8 +189,10 @@ pub struct PassStats {
     pub attr_entries: u64,
     /// Approximate bytes held by the in-memory indexes.
     pub index_bytes: usize,
-    /// Ingests since open.
+    /// Ingests since open (tuple sets, not batches).
     pub ingests: u64,
+    /// Group commits since open (an N-set `ingest_batch` counts once).
+    pub batches: u64,
     /// Queries since open.
     pub queries: u64,
 }
@@ -163,9 +230,14 @@ impl ConsistencyReport {
 pub struct Pass {
     config: PassConfig,
     store: Arc<dyn KvStore>,
-    state: RwLock<State>,
-    time: Mutex<TimeIndex>,
-    closure: Mutex<ClosureCache>,
+    /// Published index state. Readers `Arc`-clone it (O(1)); writers
+    /// replace it copy-on-write under the commit lock.
+    state: RwLock<Arc<State>>,
+    /// Serializes writers — the group-commit domain. Held across storage
+    /// I/O so the state write lock itself is only taken for the brief
+    /// in-memory publish step.
+    commit: Mutex<()>,
+    closure: Arc<Mutex<ClosureCache>>,
     version: AtomicU64,
     metrics: Metrics,
 }
@@ -189,12 +261,19 @@ impl Pass {
                 Arc::new(LsmEngine::open(dir.clone(), options.clone())?)
             }
         };
+        Pass::open_with_store(store, config)
+    }
+
+    /// Opens a store over a caller-supplied storage engine. This is the
+    /// embedding/testing hook: counting doubles, fault-injecting wrappers,
+    /// or alternative engines all enter here.
+    pub fn open_with_store(store: Arc<dyn KvStore>, config: PassConfig) -> Result<Pass> {
         let pass = Pass {
             config,
             store,
-            state: RwLock::new(State::empty()),
-            time: Mutex::new(TimeIndex::new()),
-            closure: Mutex::new(ClosureCache { built: BuiltClosure::None, version: 0 }),
+            state: RwLock::new(Arc::new(State::empty())),
+            commit: Mutex::new(()),
+            closure: Arc::new(Mutex::new(ClosureCache { built: BuiltClosure::None, version: 0 })),
             version: AtomicU64::new(1),
             metrics: Metrics::default(),
         };
@@ -214,31 +293,65 @@ impl Pass {
 
     fn rebuild_indexes(&self) -> Result<()> {
         let mut state = State::empty();
-        let mut time = TimeIndex::new();
+        let mut records = Vec::new();
         for (key, value) in self.store.scan_prefix(&[keyspace::RECORD])? {
             let Some((_, id)) = keyspace::parse(&key) else {
                 continue;
             };
             let record = ProvenanceRecord::decode_all(&value)?;
             debug_assert_eq!(record.id, id, "key/record id agreement");
-            let idx = state.index_record(&record);
-            if let Some(range) = record.time_range() {
-                time.insert(idx, range);
-            }
+            records.push(record);
         }
+        // Open-time rebuild is the largest batch of all — one bulk pass.
+        state.index_records(&records.iter().collect::<Vec<_>>());
+        state.time.build();
         for (key, _) in self.store.scan_prefix(&[keyspace::MARKER])? {
             if let Some((_, id)) = keyspace::parse(&key) {
                 state.data_present.insert(id);
             }
         }
-        *self.state.write() = state;
-        *self.time.lock() = time;
-        self.bump_version();
+        let mut guard = self.state.write();
+        state.version = self.next_version();
+        *guard = Arc::new(state);
         Ok(())
     }
 
-    fn bump_version(&self) {
-        self.version.fetch_add(1, Ordering::Relaxed);
+    /// Allocates the next commit sequence number. Must be called with the
+    /// state write lock held so version order matches publication order.
+    fn next_version(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Runs an in-memory state mutation under copy-on-write: clones the
+    /// published state only when snapshots still reference it, then
+    /// publishes the mutated state. The write lock is held only for the
+    /// mutation itself, never across storage I/O. The new version is
+    /// assigned inside the lock, atomically with publication — otherwise
+    /// a racing snapshot could pair the old state with the new version
+    /// and poison the version-keyed closure cache.
+    fn publish<R>(&self, mutate: impl FnOnce(&mut State) -> R) -> R {
+        let mut guard = self.state.write();
+        let state = Arc::make_mut(&mut guard);
+        let out = mutate(state);
+        state.version = self.next_version();
+        out
+    }
+
+    // -- Snapshot reads ------------------------------------------------
+
+    /// An O(1), lock-free, repeatable-read view of the store. The
+    /// snapshot implements the query [`Provider`] trait and keeps
+    /// answering consistently while ingest proceeds; it holds the index
+    /// state alive until dropped (writers then pay one copy-on-write
+    /// clone on their next commit).
+    pub fn snapshot(&self) -> Snapshot {
+        let state = self.state.read().clone();
+        Snapshot {
+            version: state.version,
+            state,
+            closure: Arc::clone(&self.closure),
+            strategy: self.config.closure,
+        }
     }
 
     // -- Ingest --------------------------------------------------------
@@ -250,53 +363,106 @@ impl Pass {
     /// idempotent; a colliding identity with different content is
     /// rejected.
     pub fn ingest(&self, ts: &TupleSet) -> Result<TupleSetId> {
-        let record = &ts.provenance;
-        if !record.verify_identity() {
-            return Err(PassError::Model(ModelError::Invalid(format!(
-                "record {} fails identity verification",
-                record.id
-            ))));
+        self.ingest_batch(std::slice::from_ref(ts)).map(|ids| ids[0])
+    }
+
+    /// Group-commits a whole stream of tuple sets as **one** atomic unit:
+    /// a single [`WriteBatch`] (one `KvStore::apply`, one WAL append, one
+    /// crash-atomicity domain) and one bulk index pass.
+    ///
+    /// Validation is all-or-nothing: every set's identity and content
+    /// digest are checked — and checked against both the store and the
+    /// rest of the batch — before any byte is written. On error, no
+    /// storage or index state changes. Sets identical to already-present
+    /// ones are skipped idempotently (their ids still appear in the
+    /// returned vector, in input order).
+    pub fn ingest_batch(&self, sets: &[TupleSet]) -> Result<Vec<TupleSetId>> {
+        self.ingest_batch_inner(sets, true)
+    }
+
+    /// Shared batch commit. `verify` re-checks identity and content
+    /// binding per set; [`Pass::capture_batch`] passes `false` because it
+    /// built (and therefore already hashed) the records itself one line
+    /// earlier. Collision and duplicate checks always run.
+    fn ingest_batch_inner(&self, sets: &[TupleSet], verify: bool) -> Result<Vec<TupleSetId>> {
+        if sets.is_empty() {
+            return Ok(Vec::new());
         }
-        let digest = TupleSet::content_digest_of(&ts.readings);
-        if digest != record.content_digest {
-            return Err(PassError::Model(ModelError::Invalid(format!(
-                "content digest mismatch for {}",
-                record.id
-            ))));
-        }
-        {
-            let state = self.state.read();
-            if let Some(existing) = state.records.get(&record.id) {
-                // PASS property 3: identical id ⇒ identical provenance.
-                // Identity binds the content digest, so matching ids with
-                // matching digests are the same tuple set.
-                return if existing.content_digest == record.content_digest {
-                    Ok(record.id)
-                } else {
-                    Err(PassError::IdentityCollision(record.id))
-                };
+        let _commit = self.commit.lock();
+        // Phase 1: validate everything against the published state and
+        // the batch itself. Writers are serialized by the commit lock, so
+        // this read is stable.
+        let current = self.state.read().clone();
+        let mut fresh: Vec<&TupleSet> = Vec::with_capacity(sets.len());
+        let mut seen: HashMap<TupleSetId, pass_model::Digest128> = HashMap::new();
+        let mut ids = Vec::with_capacity(sets.len());
+        for ts in sets {
+            let record = &ts.provenance;
+            if verify {
+                if !record.verify_identity() {
+                    return Err(PassError::Model(ModelError::Invalid(format!(
+                        "record {} fails identity verification",
+                        record.id
+                    ))));
+                }
+                let digest = TupleSet::content_digest_of(&ts.readings);
+                if digest != record.content_digest {
+                    return Err(PassError::Model(ModelError::Invalid(format!(
+                        "content digest mismatch for {}",
+                        record.id
+                    ))));
+                }
+            }
+            ids.push(record.id);
+            // PASS property 3: identical id ⇒ identical provenance.
+            // Identity binds the content digest, so matching ids with
+            // matching digests are the same tuple set.
+            if let Some(existing) = current.records.get(&record.id) {
+                if existing.content_digest == record.content_digest {
+                    continue; // idempotent re-ingest
+                }
+                return Err(PassError::IdentityCollision(record.id));
+            }
+            match seen.get(&record.id) {
+                Some(d) if *d == record.content_digest => continue, // intra-batch dup
+                Some(_) => return Err(PassError::IdentityCollision(record.id)),
+                None => {
+                    seen.insert(record.id, record.content_digest);
+                    fresh.push(ts);
+                }
             }
         }
+        if fresh.is_empty() {
+            return Ok(ids);
+        }
+        // Release the validation handle: holding it across `publish`
+        // would force a needless full copy-on-write clone.
+        drop(current);
 
-        let mut data_buf = Vec::with_capacity(ts.readings.len() * 24 + 8);
-        ts.readings.encode_into(&mut data_buf);
+        // Phase 2: one storage batch, one apply.
         let mut batch = WriteBatch::new();
-        batch.put(keyspace::key(keyspace::RECORD, record.id).to_vec(), record.encode_to_vec());
-        batch.put(keyspace::key(keyspace::DATA, record.id).to_vec(), data_buf);
-        batch.put(keyspace::key(keyspace::MARKER, record.id).to_vec(), vec![1u8]);
+        for ts in &fresh {
+            let record = &ts.provenance;
+            let mut data_buf = Vec::with_capacity(ts.readings.len() * 24 + 8);
+            ts.readings.encode_into(&mut data_buf);
+            batch.put(keyspace::key(keyspace::RECORD, record.id).to_vec(), record.encode_to_vec());
+            batch.put(keyspace::key(keyspace::DATA, record.id).to_vec(), data_buf);
+            batch.put(keyspace::key(keyspace::MARKER, record.id).to_vec(), vec![1u8]);
+        }
         self.store.apply(batch)?;
 
-        {
-            let mut state = self.state.write();
-            let idx = state.index_record(record);
-            state.data_present.insert(record.id);
-            if let Some(range) = record.time_range() {
-                self.time.lock().insert(idx, range);
+        // Phase 3: one bulk index publish.
+        let records: Vec<&ProvenanceRecord> = fresh.iter().map(|ts| &ts.provenance).collect();
+        self.publish(|state| {
+            state.index_records(&records);
+            state.time.build();
+            for ts in &fresh {
+                state.data_present.insert(ts.provenance.id);
             }
-        }
-        self.bump_version();
-        self.metrics.ingests.fetch_add(1, Ordering::Relaxed);
-        Ok(record.id)
+        });
+        self.metrics.ingests.fetch_add(fresh.len() as u64, Ordering::Relaxed);
+        self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        Ok(ids)
     }
 
     /// Captures a raw tuple set produced at this site.
@@ -306,11 +472,29 @@ impl Pass {
         readings: Vec<Reading>,
         at: Timestamp,
     ) -> Result<TupleSetId> {
-        let record = ProvenanceBuilder::new(self.config.site, at)
-            .attrs(&attrs)
-            .build(TupleSet::content_digest_of(&readings));
-        let ts = TupleSet::new(record, readings)?;
-        self.ingest(&ts)
+        self.capture_batch([(attrs, readings, at)]).map(|ids| ids[0])
+    }
+
+    /// Captures a whole stream of raw tuple sets in one group commit.
+    /// Each `(attributes, readings, timestamp)` item becomes a tuple set
+    /// with this site's provenance; the batch then follows the
+    /// [`Pass::ingest_batch`] atomicity contract.
+    pub fn capture_batch(
+        &self,
+        items: impl IntoIterator<Item = (Attributes, Vec<Reading>, Timestamp)>,
+    ) -> Result<Vec<TupleSetId>> {
+        let sets: Vec<TupleSet> = items
+            .into_iter()
+            .map(|(attrs, readings, at)| {
+                let record = ProvenanceBuilder::new(self.config.site, at)
+                    .attrs(&attrs)
+                    .build(TupleSet::content_digest_of(&readings));
+                TupleSet::new_unchecked(record, readings)
+            })
+            .collect();
+        // Identity and digest hold by construction (the digest was hashed
+        // into the identity one line up); skip the re-verification pass.
+        self.ingest_batch_inner(&sets, false)
     }
 
     /// Derives a new tuple set from `parents` using `tool`, ingesting the
@@ -335,15 +519,24 @@ impl Pass {
 
     /// Attaches an annotation to an existing record (identity unchanged).
     pub fn annotate(&self, id: TupleSetId, annotation: Annotation) -> Result<()> {
-        let mut state = self.state.write();
-        let idx = state.graph.lookup(id).ok_or(PassError::NotFound(id))?;
-        let record = state.records.get_mut(&id).ok_or(PassError::NotFound(id))?;
-        record.annotate(annotation.clone());
-        let encoded = record.encode_to_vec();
+        let _commit = self.commit.lock();
+        let current = self.state.read().clone();
+        if current.graph.lookup(id).is_none() || !current.records.contains_key(&id) {
+            return Err(PassError::NotFound(id));
+        }
+        let encoded = {
+            let mut record = current.records[&id].clone();
+            record.annotate(annotation.clone());
+            record.encode_to_vec()
+        };
+        drop(current);
         self.store.put(&keyspace::key(keyspace::RECORD, id), &encoded)?;
-        state.keywords.insert(idx, &annotation.text);
-        drop(state);
-        self.bump_version();
+        self.publish(|state| {
+            let idx = state.graph.lookup(id).expect("validated above");
+            let record = state.records.get_mut(&id).expect("validated above");
+            record.annotate(annotation.clone());
+            state.keywords.insert(idx, &annotation.text);
+        });
         self.metrics.annotations.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -405,18 +598,21 @@ impl Pass {
     /// Deletes the *readings* of a tuple set; the provenance record and
     /// every index entry survive. Returns whether data was present.
     pub fn remove_data(&self, id: TupleSetId) -> Result<bool> {
-        if !self.contains(id) {
+        let _commit = self.commit.lock();
+        let current = self.state.read();
+        if !current.records.contains_key(&id) {
             return Err(PassError::NotFound(id));
         }
-        let had = {
-            let mut state = self.state.write();
-            state.data_present.remove(&id)
-        };
+        let had = current.data_present.contains(&id);
+        drop(current);
         if had {
             let mut batch = WriteBatch::new();
             batch.delete(keyspace::key(keyspace::DATA, id).to_vec());
             batch.delete(keyspace::key(keyspace::MARKER, id).to_vec());
             self.store.apply(batch)?;
+            self.publish(|state| {
+                state.data_present.remove(&id);
+            });
             self.metrics.removals.fetch_add(1, Ordering::Relaxed);
         }
         Ok(had)
@@ -445,8 +641,9 @@ impl Pass {
                 record.id
             ))));
         }
-        let mut state = self.state.write();
-        if let Some(existing) = state.records.get(&record.id) {
+        let _commit = self.commit.lock();
+        let current = self.state.read().clone();
+        if let Some(existing) = current.records.get(&record.id) {
             if existing.content_digest != record.content_digest {
                 return Err(PassError::IdentityCollision(record.id));
             }
@@ -459,30 +656,31 @@ impl Pass {
             if fresh.is_empty() {
                 return Ok((false, 0));
             }
-            let idx = state.graph.lookup(record.id).expect("present record is indexed");
             let encoded = {
-                let rec = state.records.get_mut(&record.id).expect("checked above");
+                let mut rec = existing.clone();
                 rec.annotations.extend(fresh.iter().cloned());
                 rec.encode_to_vec()
             };
+            drop(current);
             self.store.put(&keyspace::key(keyspace::RECORD, record.id), &encoded)?;
-            for a in &fresh {
-                state.keywords.insert(idx, &a.text);
-            }
-            drop(state);
-            self.bump_version();
+            self.publish(|state| {
+                let idx = state.graph.lookup(record.id).expect("present record is indexed");
+                let rec = state.records.get_mut(&record.id).expect("checked above");
+                rec.annotations.extend(fresh.iter().cloned());
+                for a in &fresh {
+                    state.keywords.insert(idx, &a.text);
+                }
+            });
             self.metrics.annotations.fetch_add(fresh.len() as u64, Ordering::Relaxed);
             return Ok((false, fresh.len()));
         }
         // New record: persist and index, with no DATA/MARKER keys — the
         // readings live elsewhere (or were removed; PASS property 4).
+        drop(current);
         self.store.put(&keyspace::key(keyspace::RECORD, record.id), &record.encode_to_vec())?;
-        let idx = state.index_record(record);
-        if let Some(range) = record.time_range() {
-            self.time.lock().insert(idx, range);
-        }
-        drop(state);
-        self.bump_version();
+        self.publish(|state| {
+            state.index_record(record);
+        });
         self.metrics.ingests.fetch_add(1, Ordering::Relaxed);
         Ok((true, 0))
     }
@@ -495,10 +693,10 @@ impl Pass {
     /// archive that still holds the readings re-supplies them.
     pub fn restore_data(&self, ts: &TupleSet) -> Result<bool> {
         let record = &ts.provenance;
+        let _commit = self.commit.lock();
         {
             let state = self.state.read();
-            let existing =
-                state.records.get(&record.id).ok_or(PassError::NotFound(record.id))?;
+            let existing = state.records.get(&record.id).ok_or(PassError::NotFound(record.id))?;
             if existing.content_digest != record.content_digest {
                 return Err(PassError::IdentityCollision(record.id));
             }
@@ -518,8 +716,9 @@ impl Pass {
         batch.put(keyspace::key(keyspace::DATA, record.id).to_vec(), data_buf);
         batch.put(keyspace::key(keyspace::MARKER, record.id).to_vec(), vec![1u8]);
         self.store.apply(batch)?;
-        self.state.write().data_present.insert(record.id);
-        self.bump_version();
+        self.publish(|state| {
+            state.data_present.insert(record.id);
+        });
         Ok(true)
     }
 
@@ -527,18 +726,19 @@ impl Pass {
     /// and records whose data is absent. Deterministically ordered by
     /// id, so equal stores export equal archives.
     pub fn export_archive(&self) -> Result<ArchiveExport> {
-        let (records, with_data) = {
-            let state = self.state.read();
-            let records: Vec<ProvenanceRecord> = state.records.values().cloned().collect();
-            (records, state.data_present.clone())
-        };
+        let snapshot = self.snapshot();
         let mut out = ArchiveExport::default();
-        for record in records {
-            let readings =
-                if with_data.contains(&record.id) { self.get_data(record.id)? } else { None };
+        for record in snapshot.state.records.values() {
+            let readings = if snapshot.state.data_present.contains(&record.id) {
+                self.get_data(record.id)?
+            } else {
+                None
+            };
             match readings {
-                Some(readings) => out.tuple_sets.push(TupleSet::new_unchecked(record, readings)),
-                None => out.records_only.push(record),
+                Some(readings) => {
+                    out.tuple_sets.push(TupleSet::new_unchecked(record.clone(), readings))
+                }
+                None => out.records_only.push(record.clone()),
             }
         }
         out.tuple_sets.sort_by_key(|t| t.provenance.id);
@@ -557,19 +757,27 @@ impl Pass {
     /// is absent here.
     pub fn import_archive(&self, archive: &ArchiveExport) -> Result<ImportStats> {
         let mut stats = ImportStats::default();
+        // Group commit: every tuple set not yet present lands in one
+        // atomic batch; the rest follow the per-record merge path.
+        let fresh: Vec<TupleSet> = archive
+            .tuple_sets
+            .iter()
+            .filter(|ts| !self.contains(ts.provenance.id))
+            .cloned()
+            .collect();
+        let fresh_ids: HashSet<TupleSetId> = fresh.iter().map(|ts| ts.provenance.id).collect();
+        if !fresh.is_empty() {
+            self.ingest_batch(&fresh)?;
+            stats.tuple_sets_added = fresh.len();
+        }
         for ts in &archive.tuple_sets {
-            if !self.contains(ts.provenance.id) {
-                self.ingest(ts)?;
-                stats.tuple_sets_added += 1;
+            if fresh_ids.contains(&ts.provenance.id) {
                 continue;
             }
             let (_, anns) = self.merge_record(&ts.provenance)?;
             stats.annotations_merged += anns;
-            let restored = if self.has_data(ts.provenance.id) {
-                false
-            } else {
-                self.restore_data(ts)?
-            };
+            let restored =
+                if self.has_data(ts.provenance.id) { false } else { self.restore_data(ts)? };
             if restored {
                 stats.data_restored += 1;
             } else if anns == 0 {
@@ -590,16 +798,18 @@ impl Pass {
 
     // -- Query ---------------------------------------------------------
 
-    /// Executes a parsed query.
+    /// Executes a parsed query against a fresh snapshot (repeatable
+    /// reads: concurrent ingests cannot change the result set mid-query).
     pub fn query(&self, query: &Query) -> Result<QueryResult> {
         self.metrics.queries.fetch_add(1, Ordering::Relaxed);
-        Ok(pass_query::execute(query, self)?)
+        Ok(pass_query::execute(query, &self.snapshot())?)
     }
 
-    /// Parses and executes query text.
+    /// Parses and executes query text (snapshot semantics as
+    /// [`Pass::query`]).
     pub fn query_text(&self, text: &str) -> Result<QueryResult> {
         self.metrics.queries.fetch_add(1, Ordering::Relaxed);
-        Ok(pass_query::execute_text(text, self)?)
+        Ok(pass_query::execute_text(text, &self.snapshot())?)
     }
 
     /// Lineage closure of `id` as full records, nearest-first order not
@@ -617,12 +827,12 @@ impl Pass {
             stop_at_abstraction: opts.stop_at_abstraction,
             include_root: false,
         };
-        let posting = Provider::lineage(self, &clause).ok_or(PassError::NotFound(id))?;
-        let state = self.state.read();
+        let snapshot = self.snapshot();
+        let posting = snapshot.lineage(&clause).ok_or(PassError::NotFound(id))?;
         Ok(posting
             .iter()
-            .filter_map(|idx| state.graph.resolve(idx))
-            .filter_map(|rid| state.records.get(&rid).cloned())
+            .filter_map(|idx| snapshot.state.graph.resolve(idx))
+            .filter_map(|rid| snapshot.state.records.get(&rid).cloned())
             .collect())
     }
 
@@ -635,8 +845,7 @@ impl Pass {
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> PassStats {
-        let state = self.state.read();
-        let time = self.time.lock();
+        let state = self.state.read().clone();
         PassStats {
             records: state.records.len(),
             data_blobs: state.data_present.len(),
@@ -646,8 +855,9 @@ impl Pass {
             index_bytes: state.attrs.size_bytes()
                 + state.keywords.size_bytes()
                 + state.graph.size_bytes()
-                + time.size_bytes(),
+                + state.time.size_bytes(),
             ingests: self.metrics.ingests.load(Ordering::Relaxed),
+            batches: self.metrics.batches.load(Ordering::Relaxed),
             queries: self.metrics.queries.load(Ordering::Relaxed),
         }
     }
@@ -700,52 +910,104 @@ impl Pass {
         }
         Ok(report)
     }
+}
 
-    // -- Closure strategy dispatch --------------------------------------
+/// An immutable, lock-free view of a [`Pass`] at one version.
+///
+/// Obtained from [`Pass::snapshot`] (an O(1) `Arc` clone). Implements the
+/// query [`Provider`] trait, so the executor — and any caller — gets
+/// repeatable reads: every lookup answers from the same index state no
+/// matter how much ingest has happened since. Dropping the snapshot
+/// releases the state; the next write then mutates in place again.
+pub struct Snapshot {
+    state: Arc<State>,
+    closure: Arc<Mutex<ClosureCache>>,
+    strategy: ClosureStrategy,
+    version: u64,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("version", &self.version)
+            .field("records", &self.state.records.len())
+            .finish()
+    }
+}
+
+impl Snapshot {
+    /// The store version this snapshot reflects (monotonically increasing
+    /// across commits).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of records visible.
+    pub fn len(&self) -> usize {
+        self.state.records.len()
+    }
+
+    /// True when no records are visible.
+    pub fn is_empty(&self) -> bool {
+        self.state.records.is_empty()
+    }
+
+    /// True when the record is visible in this snapshot.
+    pub fn contains(&self, id: TupleSetId) -> bool {
+        self.state.records.contains_key(&id)
+    }
+
+    /// The provenance record for `id`, if visible.
+    pub fn get_record(&self, id: TupleSetId) -> Option<ProvenanceRecord> {
+        self.state.records.get(&id).cloned()
+    }
+
+    /// Executes a parsed query against this snapshot.
+    pub fn query(&self, query: &Query) -> Result<QueryResult> {
+        Ok(pass_query::execute(query, self)?)
+    }
+
+    /// Parses and executes query text against this snapshot.
+    pub fn query_text(&self, text: &str) -> Result<QueryResult> {
+        Ok(pass_query::execute_text(text, self)?)
+    }
 
     fn lineage_posting(&self, clause: &LineageClause) -> Option<PostingList> {
-        let state = self.state.read();
-        let root = state.graph.lookup(clause.root)?;
+        let root = self.state.graph.lookup(clause.root)?;
         let opts = clause.traverse_opts();
-        let reach: Vec<NodeIdx> = match self.config.closure {
-            ClosureStrategy::Bfs => {
-                BfsClosure.reachable(&state.graph, root, clause.direction, &opts)
-            }
+        let graph = &self.state.graph;
+        let reach: Vec<NodeIdx> = match self.strategy {
+            ClosureStrategy::Bfs => BfsClosure.reachable(graph, root, clause.direction, &opts),
             ClosureStrategy::NaiveJoin => {
-                NaiveJoinClosure.reachable(&state.graph, root, clause.direction, &opts)
+                NaiveJoinClosure.reachable(graph, root, clause.direction, &opts)
             }
             ClosureStrategy::Memo | ClosureStrategy::Interval => {
                 let mut cache = self.closure.lock();
-                let current = self.version.load(Ordering::Relaxed);
-                let needs_rebuild = cache.version != current
+                let needs_rebuild = cache.version != self.version
                     || !matches!(
-                        (&cache.built, self.config.closure),
+                        (&cache.built, self.strategy),
                         (BuiltClosure::Memo(_), ClosureStrategy::Memo)
                             | (BuiltClosure::Interval(_), ClosureStrategy::Interval)
                     );
                 if needs_rebuild {
-                    cache.built = match self.config.closure {
-                        ClosureStrategy::Memo => match MemoClosure::build(&state.graph, false) {
+                    cache.built = match self.strategy {
+                        ClosureStrategy::Memo => match MemoClosure::build(graph, false) {
                             Ok(m) => BuiltClosure::Memo(m),
                             Err(_) => BuiltClosure::None, // cyclic: fall back below
                         },
-                        ClosureStrategy::Interval => {
-                            match IntervalClosure::build(&state.graph, false) {
-                                Ok(i) => BuiltClosure::Interval(i),
-                                Err(_) => BuiltClosure::None,
-                            }
-                        }
+                        ClosureStrategy::Interval => match IntervalClosure::build(graph, false) {
+                            Ok(i) => BuiltClosure::Interval(i),
+                            Err(_) => BuiltClosure::None,
+                        },
                         _ => unreachable!("outer match restricts to Memo/Interval"),
                     };
-                    cache.version = current;
+                    cache.version = self.version;
                 }
                 match &cache.built {
-                    BuiltClosure::Memo(m) => m.reachable(&state.graph, root, clause.direction, &opts),
-                    BuiltClosure::Interval(i) => {
-                        i.reachable(&state.graph, root, clause.direction, &opts)
-                    }
+                    BuiltClosure::Memo(m) => m.reachable(graph, root, clause.direction, &opts),
+                    BuiltClosure::Interval(i) => i.reachable(graph, root, clause.direction, &opts),
                     BuiltClosure::None => {
-                        BfsClosure.reachable(&state.graph, root, clause.direction, &opts)
+                        BfsClosure.reachable(graph, root, clause.direction, &opts)
                     }
                 }
             }
@@ -754,6 +1016,50 @@ impl Pass {
     }
 }
 
+impl Provider for Snapshot {
+    fn eq_lookup(&self, attr: &str, value: &Value) -> PostingList {
+        self.state.attrs.eq(attr, value)
+    }
+
+    fn range_lookup(&self, attr: &str, low: Bound<&Value>, high: Bound<&Value>) -> PostingList {
+        self.state.attrs.range(attr, low, high)
+    }
+
+    fn time_overlap(&self, range: TimeRange) -> PostingList {
+        self.state.time.overlapping(range)
+    }
+
+    fn keyword_lookup(&self, phrase: &str) -> PostingList {
+        self.state.keywords.lookup_all(phrase)
+    }
+
+    fn has_attr(&self, attr: &str) -> PostingList {
+        self.state.attrs.has_attr(attr)
+    }
+
+    fn all_nodes(&self) -> PostingList {
+        PostingList::from_iter(
+            self.state.records.keys().filter_map(|id| self.state.graph.lookup(*id)),
+        )
+    }
+
+    fn lineage(&self, clause: &LineageClause) -> Option<PostingList> {
+        self.lineage_posting(clause)
+    }
+
+    fn node_of(&self, id: TupleSetId) -> Option<NodeIdx> {
+        self.state.graph.lookup(id)
+    }
+
+    fn fetch(&self, idx: NodeIdx) -> Option<ProvenanceRecord> {
+        let id = self.state.graph.resolve(idx)?;
+        self.state.records.get(&id).cloned()
+    }
+}
+
+/// `Pass` remains a [`Provider`] for compatibility: each call answers
+/// from the currently-published state. Multi-call consistency is only
+/// guaranteed via [`Pass::snapshot`].
 impl Provider for Pass {
     fn eq_lookup(&self, attr: &str, value: &Value) -> PostingList {
         self.state.read().attrs.eq(attr, value)
@@ -764,7 +1070,7 @@ impl Provider for Pass {
     }
 
     fn time_overlap(&self, range: TimeRange) -> PostingList {
-        self.time.lock().overlapping(range)
+        self.state.read().time.overlapping(range)
     }
 
     fn keyword_lookup(&self, phrase: &str) -> PostingList {
@@ -777,13 +1083,11 @@ impl Provider for Pass {
 
     fn all_nodes(&self) -> PostingList {
         let state = self.state.read();
-        PostingList::from_iter(
-            state.records.keys().filter_map(|id| state.graph.lookup(*id)),
-        )
+        PostingList::from_iter(state.records.keys().filter_map(|id| state.graph.lookup(*id)))
     }
 
     fn lineage(&self, clause: &LineageClause) -> Option<PostingList> {
-        self.lineage_posting(clause)
+        self.snapshot().lineage_posting(clause)
     }
 
     fn node_of(&self, id: TupleSetId) -> Option<NodeIdx> {

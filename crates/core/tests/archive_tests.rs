@@ -8,7 +8,7 @@ use pass_core::{Pass, PassError};
 use pass_index::{Direction, TraverseOpts};
 use pass_model::{
     Annotation, Attributes, Digest128, ProvenanceBuilder, Reading, SensorId, SiteId, Timestamp,
-    ToolDescriptor, TupleSet, TupleSetId,
+    ToolDescriptor, TupleSetId,
 };
 use proptest::prelude::*;
 
@@ -90,9 +90,8 @@ fn lineage_spans_stores_after_merge() {
     global.import_archive(&site1.export_archive().unwrap()).unwrap();
     global.import_archive(&site2.export_archive().unwrap()).unwrap();
 
-    let ancestors = global
-        .lineage(derived, Direction::Ancestors, TraverseOpts::unbounded())
-        .unwrap();
+    let ancestors =
+        global.lineage(derived, Direction::Ancestors, TraverseOpts::unbounded()).unwrap();
     assert_eq!(ancestors.iter().map(|r| r.id).collect::<Vec<_>>(), vec![raw]);
     let descendants =
         global.lineage(raw, Direction::Descendants, TraverseOpts::unbounded()).unwrap();
@@ -144,7 +143,10 @@ fn annotations_union_on_merge() {
     let record = b.get_record(ib).unwrap();
     assert_eq!(record.annotations.len(), 2);
     // Both annotations are keyword-searchable after the merge.
-    assert_eq!(b.query_text(r#"FIND WHERE ANNOTATION CONTAINS "recalibrated""#).unwrap().ids(), vec![ib]);
+    assert_eq!(
+        b.query_text(r#"FIND WHERE ANNOTATION CONTAINS "recalibrated""#).unwrap().ids(),
+        vec![ib]
+    );
     assert_eq!(b.query_text(r#"FIND WHERE ANNOTATION CONTAINS "storm""#).unwrap().ids(), vec![ib]);
     // Merging back the other way completes the union symmetrically.
     a.import_archive(&b.export_archive().unwrap()).unwrap();
@@ -159,10 +161,7 @@ fn forged_records_are_rejected() {
     // Tampered identity: flip a bit in the id.
     let mut forged = a.get_record(id).unwrap();
     forged.id = TupleSetId(forged.id.0 ^ 1);
-    assert!(matches!(
-        a.ingest_record(&forged),
-        Err(PassError::Model(_))
-    ));
+    assert!(matches!(a.ingest_record(&forged), Err(PassError::Model(_))));
 
     // Valid identity but colliding digest: rebuild a record with the same
     // attributes and a different content digest — ids differ, so to force

@@ -7,9 +7,7 @@ use pass_model::{keys, Annotation, Attributes, Reading, SensorId, SiteId, Timest
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn capture_one(pass: &Pass, worker: u64, i: u64) -> pass_model::TupleSetId {
-    let readings = vec![
-        Reading::new(SensorId(worker), Timestamp(i)).with("v", i as i64),
-    ];
+    let readings = vec![Reading::new(SensorId(worker), Timestamp(i)).with("v", i as i64)];
     let attrs = Attributes::new()
         .with(keys::DOMAIN, "traffic")
         .with("worker", worker as i64)
@@ -35,9 +33,7 @@ fn concurrent_ingest_preserves_every_record() {
     .expect("no worker panicked");
     assert_eq!(pass.len(), (WORKERS * PER_WORKER) as usize);
     for w in 0..WORKERS {
-        let hits = pass
-            .query_text(&format!("FIND WHERE worker = {w}"))
-            .expect("query");
+        let hits = pass.query_text(&format!("FIND WHERE worker = {w}")).expect("query");
         assert_eq!(hits.records.len(), PER_WORKER as usize, "worker {w}");
     }
 }
@@ -59,11 +55,8 @@ fn readers_and_writers_interleave() {
             s.spawn(|_| {
                 let mut last = 0usize;
                 loop {
-                    let seen = pass
-                        .query_text("FIND WHERE worker = 9")
-                        .expect("query")
-                        .records
-                        .len();
+                    let seen =
+                        pass.query_text("FIND WHERE worker = 9").expect("query").records.len();
                     assert!(seen >= last, "result set shrank: {last} -> {seen}");
                     last = seen;
                     if written.load(Ordering::Acquire) >= 500 && seen >= 500 {

@@ -4,8 +4,8 @@
 use pass_core::{ClosureStrategy, Pass, PassConfig, PassError};
 use pass_index::{Direction, TraverseOpts};
 use pass_model::{
-    keys, Annotation, Attributes, ProvenanceBuilder, Reading, SensorId, SiteId,
-    Timestamp, ToolDescriptor, TupleSet, TupleSetId,
+    keys, Annotation, Attributes, ProvenanceBuilder, Reading, SensorId, SiteId, Timestamp,
+    ToolDescriptor, TupleSet, TupleSetId,
 };
 use pass_storage::tempdir::TempDir;
 
@@ -30,10 +30,9 @@ fn populated() -> (Pass, TupleSetId, TupleSetId, TupleSetId) {
     let pass = Pass::open_memory(SiteId(1));
     let raw = pass
         .capture(
-            traffic_attrs("london").with(keys::TIME_START, Timestamp(0)).with(
-                keys::TIME_END,
-                Timestamp(100),
-            ),
+            traffic_attrs("london")
+                .with(keys::TIME_START, Timestamp(0))
+                .with(keys::TIME_END, Timestamp(100)),
             readings(1, 20, 0),
             Timestamp(100),
         )
@@ -91,9 +90,7 @@ fn attribute_and_tool_queries() {
 #[test]
 fn lineage_queries_both_directions() {
     let (pass, raw, filtered, aggregated) = populated();
-    let anc = pass
-        .lineage(aggregated, Direction::Ancestors, TraverseOpts::unbounded())
-        .unwrap();
+    let anc = pass.lineage(aggregated, Direction::Ancestors, TraverseOpts::unbounded()).unwrap();
     let mut ids: Vec<_> = anc.iter().map(|r| r.id).collect();
     ids.sort();
     let mut want = vec![raw, filtered];
@@ -183,9 +180,7 @@ fn removing_ancestor_data_preserves_lineage() {
     assert_eq!(pass.get_data(raw).unwrap(), None);
     assert_eq!(pass.get_tuple_set(raw).unwrap(), None);
     // Lineage from the leaf still reaches the removed ancestor.
-    let anc = pass
-        .lineage(aggregated, Direction::Ancestors, TraverseOpts::unbounded())
-        .unwrap();
+    let anc = pass.lineage(aggregated, Direction::Ancestors, TraverseOpts::unbounded()).unwrap();
     let ids: Vec<_> = anc.iter().map(|r| r.id).collect();
     assert!(ids.contains(&raw), "removed ancestor still named in lineage");
     assert!(ids.contains(&filtered));
@@ -319,8 +314,8 @@ fn all_closure_strategies_agree_through_query_layer() {
 
 #[test]
 fn closure_cache_invalidates_on_new_ingest() {
-    let pass = Pass::open(PassConfig::memory(SiteId(1)).with_closure(ClosureStrategy::Memo))
-        .unwrap();
+    let pass =
+        Pass::open(PassConfig::memory(SiteId(1)).with_closure(ClosureStrategy::Memo)).unwrap();
     let a = pass.capture(traffic_attrs("a"), readings(1, 1, 0), Timestamp(1)).unwrap();
     let b = pass
         .derive(&[a], &ToolDescriptor::new("t", "1"), traffic_attrs("a"), vec![], Timestamp(2))
@@ -444,9 +439,7 @@ fn cross_site_parents_are_queryable_as_placeholders() {
 #[test]
 fn range_and_order_queries() {
     let (pass, ..) = populated();
-    let hits = pass
-        .query_text("FIND WHERE created_at >= @200 ORDER BY created DESC")
-        .unwrap();
+    let hits = pass.query_text("FIND WHERE created_at >= @200 ORDER BY created DESC").unwrap();
     assert_eq!(hits.records.len(), 2);
     assert!(hits.records[0].created_at > hits.records[1].created_at);
     let hits = pass.query_text("FIND WHERE window_ms BETWEEN 0 AND 9999999999").unwrap();

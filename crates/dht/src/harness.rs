@@ -196,11 +196,7 @@ mod tests {
         }
         let outcomes = h.run_and_collect(SimTime::from_secs(60), issued);
         assert_eq!(outcomes.len(), 50);
-        let mean_hops: f64 = outcomes
-            .iter()
-            .filter_map(|o| o.hops)
-            .map(f64::from)
-            .sum::<f64>()
+        let mean_hops: f64 = outcomes.iter().filter_map(|o| o.hops).map(f64::from).sum::<f64>()
             / outcomes.len() as f64;
         assert!(mean_hops < 16.0, "mean hops {mean_hops} too high for 64 nodes");
         assert!(mean_hops >= 1.0, "routing must take at least a hop on average");

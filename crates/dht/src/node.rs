@@ -283,7 +283,12 @@ pub struct ChordNode {
 impl ChordNode {
     /// Creates a node for simulator slot `me`. `bootstrap` anchors joins
     /// (conventionally node 0).
-    pub fn new(me: NodeId, ring_ids: Arc<Vec<Key>>, bootstrap: NodeId, config: ChordConfig) -> Self {
+    pub fn new(
+        me: NodeId,
+        ring_ids: Arc<Vec<Key>>,
+        bootstrap: NodeId,
+        config: ChordConfig,
+    ) -> Self {
         let id = ring_ids[me];
         ChordNode {
             me,
@@ -337,8 +342,7 @@ impl ChordNode {
                 return Some(*f);
             }
         }
-        self.successor()
-            .filter(|s| ring::in_open_open(self.id, key, self.id_of(*s)))
+        self.successor().filter(|s| ring::in_open_open(self.id, key, self.id_of(*s)))
     }
 
     fn start_lookup(&mut self, ctx: &mut Ctx<'_, ChordMsg>, key: Key, action: PendingAction) {
@@ -683,8 +687,7 @@ impl Node<ChordMsg> for ChordNode {
                 ChordMsg::Store { key, value, op, origin } => {
                     self.store.insert(key, value.clone());
                     // Replicate to r-1 successors.
-                    for &s in self.successors.iter().take(self.config.replicas.saturating_sub(1))
-                    {
+                    for &s in self.successors.iter().take(self.config.replicas.saturating_sub(1)) {
                         if s != self.me {
                             ctx.send(
                                 s,
@@ -722,8 +725,7 @@ impl Node<ChordMsg> for ChordNode {
                 }
                 ChordMsg::AppendItem { key, item, op, origin } => {
                     self.lists.entry(key).or_default().push(item.clone());
-                    for &s in self.successors.iter().take(self.config.replicas.saturating_sub(1))
-                    {
+                    for &s in self.successors.iter().take(self.config.replicas.saturating_sub(1)) {
                         if s != self.me {
                             ctx.send(
                                 s,

@@ -90,11 +90,7 @@ mod tests {
         keys.dedup();
         assert_eq!(keys.len(), 1000, "no collisions on small sets");
         // Spread check: largest gap should be far below half the ring.
-        let max_gap = keys
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .max()
-            .unwrap();
+        let max_gap = keys.windows(2).map(|w| w[1] - w[0]).max().unwrap();
         assert!(max_gap < u64::MAX / 20, "keys cluster too much: {max_gap}");
     }
 

@@ -1,10 +1,10 @@
 //! Property tests for the Chord ring: interval arithmetic laws and
 //! end-to-end put/get correctness on randomly sized rings.
 
-use proptest::prelude::*;
 use pass_dht::ring::{finger_start, in_open_closed, in_open_open, key_of, node_ring_id};
 use pass_dht::{ChordConfig, DhtHarness};
 use pass_net::{SimTime, Topology};
+use proptest::prelude::*;
 
 proptest! {
     /// `(a, b]` and its complement `(b, a]` partition the ring (minus

@@ -22,6 +22,17 @@ pub trait Architecture {
     /// [`Outcome`] with that id appears once the index accepted it.
     fn publish(&mut self, origin_site: usize, record: &ProvenanceRecord) -> u64;
 
+    /// Publishes a whole batch of records from one origin site,
+    /// mirroring the local group-commit ingest path across sites.
+    ///
+    /// The default degrades to N independent publishes; architectures
+    /// with a real batched transfer (e.g. the centralized warehouse's
+    /// single `StoreBatch` message) override it and return one op id for
+    /// the whole batch.
+    fn publish_batch(&mut self, origin_site: usize, records: &[ProvenanceRecord]) -> Vec<u64> {
+        records.iter().map(|r| self.publish(origin_site, r)).collect()
+    }
+
     /// Runs a query on behalf of a client local to `client_site`.
     fn query(&mut self, client_site: usize, query: &Query) -> u64;
 

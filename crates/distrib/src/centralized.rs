@@ -53,8 +53,32 @@ impl Node<ArchMsg> for CentralSite {
                     );
                 }
             }
+            ArchMsg::ClientPublishBatch { op, records } => {
+                for record in &records {
+                    self.index.insert(record); // local copies stay at the origin
+                }
+                if self.me == WAREHOUSE {
+                    ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids: vec![] });
+                } else {
+                    // One wire transfer and one ack for the whole batch —
+                    // the cross-site analogue of the single WriteBatch.
+                    let bytes = msg::records_bytes(&records);
+                    ctx.send(
+                        WAREHOUSE,
+                        ArchMsg::StoreBatch { op, records, ack_to: self.me },
+                        bytes,
+                        TrafficClass::Update,
+                    );
+                }
+            }
             ArchMsg::StoreRecord { op, record, ack_to } => {
                 self.index.insert(&record);
+                ctx.send(ack_to, ArchMsg::StoreAck { op }, 24, TrafficClass::Update);
+            }
+            ArchMsg::StoreBatch { op, records, ack_to } => {
+                for record in &records {
+                    self.index.insert(record);
+                }
                 ctx.send(ack_to, ArchMsg::StoreAck { op }, 24, TrafficClass::Update);
             }
             ArchMsg::StoreAck { op } => {
@@ -116,7 +140,9 @@ impl Centralized {
     pub fn new(topology: Topology, seed: u64) -> Self {
         let sites = topology.len();
         let nodes: Vec<Box<dyn Node<ArchMsg>>> = (0..sites)
-            .map(|i| Box::new(CentralSite { me: i, index: MetaIndex::new() }) as Box<dyn Node<ArchMsg>>)
+            .map(|i| {
+                Box::new(CentralSite { me: i, index: MetaIndex::new() }) as Box<dyn Node<ArchMsg>>
+            })
             .collect();
         Centralized { inner: ArchSim::new(topology, nodes, seed), sites }
     }
@@ -132,6 +158,14 @@ impl Architecture for Centralized {
     fn publish(&mut self, origin_site: usize, record: &ProvenanceRecord) -> u64 {
         let record = record.clone();
         self.inner.issue(origin_site, |op| ArchMsg::ClientPublish { op, record })
+    }
+    fn publish_batch(&mut self, origin_site: usize, records: &[ProvenanceRecord]) -> Vec<u64> {
+        if records.len() <= 1 {
+            return records.iter().map(|r| self.publish(origin_site, r)).collect();
+        }
+        let records = records.to_vec();
+        let op = self.inner.issue(origin_site, |op| ArchMsg::ClientPublishBatch { op, records });
+        vec![op]
     }
     fn query(&mut self, client_site: usize, query: &Query) -> u64 {
         let query = query.clone();

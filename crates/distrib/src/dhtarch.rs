@@ -65,19 +65,9 @@ fn eq_terms(p: &Predicate) -> Option<Vec<(String, String)>> {
 }
 
 enum Logical {
-    Publish {
-        remaining: usize,
-    },
-    Query {
-        remaining: usize,
-        acc: Option<HashSet<TupleSetId>>,
-    },
-    Chase {
-        visited: HashSet<TupleSetId>,
-        acc: Vec<TupleSetId>,
-        outstanding: usize,
-        via: usize,
-    },
+    Publish { remaining: usize },
+    Query { remaining: usize, acc: Option<HashSet<TupleSetId>> },
+    Chase { visited: HashSet<TupleSetId>, acc: Vec<TupleSetId>, outstanding: usize, via: usize },
 }
 
 /// The DHT-index architecture.
@@ -160,8 +150,7 @@ impl DhtIndex {
                 });
                 *remaining -= 1;
                 if *remaining == 0 {
-                    let Some(Logical::Query { acc, .. }) = self.logical.remove(&logical_op)
-                    else {
+                    let Some(Logical::Query { acc, .. }) = self.logical.remove(&logical_op) else {
                         unreachable!("state checked above");
                     };
                     let ids: Vec<TupleSetId> = acc.unwrap_or_default().into_iter().collect();
@@ -172,8 +161,7 @@ impl DhtIndex {
                 let via = *via;
                 *outstanding -= 1;
                 let mut new_fetches: Vec<(TupleSetId, Option<u32>)> = Vec::new();
-                if let Some(ChordMsg::FetchReply { value: Some(bytes), .. }) = completion.payload
-                {
+                if let Some(ChordMsg::FetchReply { value: Some(bytes), .. }) = completion.payload {
                     if let Ok(record) = ProvenanceRecord::decode_all(&bytes) {
                         let next_depth = match depth_left {
                             Some(0) => None, // exhausted: record counted, no expansion

@@ -66,7 +66,12 @@ impl ShardSite {
         }
     }
 
-    fn chase_step(&mut self, ctx: &mut Ctx<'_, ArchMsg>, op: u64, pairs: Vec<(TupleSetId, Vec<TupleSetId>)>) {
+    fn chase_step(
+        &mut self,
+        ctx: &mut Ctx<'_, ArchMsg>,
+        op: u64,
+        pairs: Vec<(TupleSetId, Vec<TupleSetId>)>,
+    ) {
         let Some(chase) = self.chases.get_mut(&op) else {
             return;
         };
@@ -168,7 +173,12 @@ impl Node<ArchMsg> for ShardSite {
                     .filter_map(|id| self.index.parents_of(id).map(|p| (id, p)))
                     .collect();
                 let bytes = 16 + pairs.iter().map(|(_, p)| 16 + 16 * p.len() as u64).sum::<u64>();
-                ctx.send(reply_to, ArchMsg::LineageParents { op, pairs }, bytes, TrafficClass::Query);
+                ctx.send(
+                    reply_to,
+                    ArchMsg::LineageParents { op, pairs },
+                    bytes,
+                    TrafficClass::Query,
+                );
             }
             ArchMsg::LineageParents { op, pairs } => {
                 self.chase_step(ctx, op, pairs);

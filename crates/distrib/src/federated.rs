@@ -97,7 +97,12 @@ impl Node<ArchMsg> for FederatedSite {
                     .filter_map(|id| self.index.parents_of(id).map(|p| (id, p)))
                     .collect();
                 let bytes = 16 + pairs.iter().map(|(_, p)| 16 + 16 * p.len() as u64).sum::<u64>();
-                ctx.send(reply_to, ArchMsg::LineageParents { op, pairs }, bytes, TrafficClass::Query);
+                ctx.send(
+                    reply_to,
+                    ArchMsg::LineageParents { op, pairs },
+                    bytes,
+                    TrafficClass::Query,
+                );
             }
             ArchMsg::LineageParents { op, pairs } => {
                 let Some(chase) = self.chases.get_mut(&op) else {

@@ -177,7 +177,10 @@ impl Chase {
     }
 
     /// Absorbs one expansion reply. Returns true when the round is done.
-    pub fn absorb(&mut self, pairs: Vec<(pass_model::TupleSetId, Vec<pass_model::TupleSetId>)>) -> bool {
+    pub fn absorb(
+        &mut self,
+        pairs: Vec<(pass_model::TupleSetId, Vec<pass_model::TupleSetId>)>,
+    ) -> bool {
         for (_, parents) in pairs {
             for p in parents {
                 if self.visited.insert(p) {

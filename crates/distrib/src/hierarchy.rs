@@ -158,7 +158,12 @@ impl Node<ArchMsg> for HierSite {
                     .filter_map(|id| self.index.parents_of(id).map(|p| (id, p)))
                     .collect();
                 let bytes = 16 + pairs.iter().map(|(_, p)| 16 + 16 * p.len() as u64).sum::<u64>();
-                ctx.send(reply_to, ArchMsg::LineageParents { op, pairs }, bytes, TrafficClass::Query);
+                ctx.send(
+                    reply_to,
+                    ArchMsg::LineageParents { op, pairs },
+                    bytes,
+                    TrafficClass::Query,
+                );
             }
             ArchMsg::LineageParents { op, pairs } => {
                 let Some(chase) = self.chases.get_mut(&op) else {
@@ -205,7 +210,6 @@ impl Hierarchical {
         Hierarchical { inner: ArchSim::new(topology, nodes, seed), sites }
     }
 }
-
 
 impl Architecture for Hierarchical {
     fn name(&self) -> &'static str {
@@ -261,10 +265,7 @@ mod tests {
             }
         }
         // Path components are not interchangeable.
-        assert_ne!(
-            owner_of("traffic", "london", 1_000),
-            owner_of("london", "traffic", 1_000)
-        );
+        assert_ne!(owner_of("traffic", "london", 1_000), owner_of("london", "traffic", 1_000));
     }
 
     #[test]

@@ -52,8 +52,7 @@ impl MetaIndex {
         }
         self.attrs.insert(idx, "origin.site", Value::Int(i64::from(record.origin.0)));
         self.attrs.insert(idx, "created_at", Value::Time(record.created_at));
-        self.attrs
-            .insert(idx, "ancestry.parents", Value::Int(record.ancestry.len() as i64));
+        self.attrs.insert(idx, "ancestry.parents", Value::Int(record.ancestry.len() as i64));
         for ann in &record.annotations {
             self.keywords.insert(idx, &ann.text);
         }
@@ -110,7 +109,12 @@ impl Provider for MetaIndex {
         self.attrs.range(attr, low, high)
     }
     fn time_overlap(&self, range: TimeRange) -> PostingList {
-        self.time.lock().overlapping(range)
+        // Build lazily at first query after inserts: a no-op when clean,
+        // and it keeps per-record insert O(1) while queries get the
+        // sorted prefix-max path instead of the linear-scan fallback.
+        let mut time = self.time.lock();
+        time.build();
+        time.overlapping(range)
     }
     fn keyword_lookup(&self, phrase: &str) -> PostingList {
         self.keywords.lookup_all(phrase)
@@ -170,7 +174,8 @@ mod tests {
             .build(Digest128::of(b"c"));
         m.insert(&root);
         m.insert(&child);
-        let q = pass_query::parse(&format!("FIND ANCESTORS OF ts:{}", child.id.full_hex())).unwrap();
+        let q =
+            pass_query::parse(&format!("FIND ANCESTORS OF ts:{}", child.id.full_hex())).unwrap();
         let res = m.query(&q).unwrap();
         assert_eq!(res.ids(), vec![root.id]);
         assert_eq!(m.parents_of(child.id), Some(vec![root.id]));

@@ -20,6 +20,15 @@ pub enum ArchMsg {
         /// The record (already ingested at its origin site's local PASS).
         record: ProvenanceRecord,
     },
+    /// Driver-injected: publish a whole batch of freshly captured tuple
+    /// sets' provenance in one operation (the group-commit ingest path
+    /// carried across sites: one message, one ack, one op).
+    ClientPublishBatch {
+        /// Driver op id.
+        op: u64,
+        /// The records, already group-committed at the origin's local PASS.
+        records: Vec<ProvenanceRecord>,
+    },
     /// Driver-injected: run a query on behalf of a client at this site.
     ClientQuery {
         /// Driver op id.
@@ -43,6 +52,15 @@ pub enum ArchMsg {
         op: u64,
         /// The record.
         record: ProvenanceRecord,
+        /// Where to send the ack, when `op != 0`.
+        ack_to: NodeId,
+    },
+    /// Ship a whole record batch to an index holder in one transfer.
+    StoreBatch {
+        /// Op to ack (0 = silent replica).
+        op: u64,
+        /// The records.
+        records: Vec<ProvenanceRecord>,
         /// Where to send the ack, when `op != 0`.
         ack_to: NodeId,
     },
@@ -127,6 +145,11 @@ pub fn record_bytes(record: &ProvenanceRecord) -> u64 {
     record.encoded_len() as u64
 }
 
+/// Wire size of a record batch (one framing header, not N).
+pub fn records_bytes(records: &[ProvenanceRecord]) -> u64 {
+    4 + records.iter().map(record_bytes).sum::<u64>()
+}
+
 /// Approximate wire size of a query (predicate tree walk; the query
 /// language has no canonical encoding because queries never hit storage).
 pub fn query_bytes(query: &Query) -> u64 {
@@ -135,9 +158,7 @@ pub fn query_bytes(query: &Query) -> u64 {
             Predicate::True => 1,
             Predicate::Eq(a, v) | Predicate::Ne(a, v) => 4 + a.len() as u64 + value_bytes(v),
             Predicate::Cmp(a, _, v) => 5 + a.len() as u64 + value_bytes(v),
-            Predicate::Between(a, lo, hi) => {
-                4 + a.len() as u64 + value_bytes(lo) + value_bytes(hi)
-            }
+            Predicate::Between(a, lo, hi) => 4 + a.len() as u64 + value_bytes(lo) + value_bytes(hi),
             Predicate::HasAttr(a) => 2 + a.len() as u64,
             Predicate::TextContains(s) => 2 + s.len() as u64,
             Predicate::TimeOverlaps(_) => 18,

@@ -206,12 +206,9 @@ impl Node<ArchMsg> for ReplicatedSite {
                     let ids = self.index.query(&query).map(|r| r.ids()).unwrap_or_default();
                     match self.strategy {
                         ReplicationStrategy::OnRead => {
-                            let records: Vec<ProvenanceRecord> = ids
-                                .iter()
-                                .filter_map(|&id| self.index.get(id).cloned())
-                                .collect();
-                            let bytes =
-                                16 + records.iter().map(msg::record_bytes).sum::<u64>();
+                            let records: Vec<ProvenanceRecord> =
+                                ids.iter().filter_map(|&id| self.index.get(id).cloned()).collect();
+                            let bytes = 16 + records.iter().map(msg::record_bytes).sum::<u64>();
                             ctx.send(
                                 reply_to,
                                 ArchMsg::Records { op, records },

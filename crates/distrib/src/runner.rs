@@ -46,6 +46,10 @@ pub struct WorkloadSpec {
     pub lineage_ops: usize,
     /// Spacing between injected operations.
     pub op_spacing: SimTime,
+    /// Publish group size: consecutive same-site records are shipped
+    /// through [`Architecture::publish_batch`] in chunks of this many
+    /// (1 = the historical per-record path).
+    pub publish_batch: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -60,6 +64,7 @@ impl Default for WorkloadSpec {
             queries: 24,
             lineage_ops: 8,
             op_spacing: SimTime::from_millis(20),
+            publish_batch: 1,
             seed: 42,
         }
     }
@@ -153,9 +158,8 @@ pub fn build_corpus(spec: &WorkloadSpec) -> Corpus {
                 for &p in &parents {
                     builder = builder.derived_from(p, tool.clone());
                 }
-                let record = builder.build(pass_model::Digest128::of(
-                    format!("rollup-{site}-{level}").as_bytes(),
-                ));
+                let record = builder
+                    .build(pass_model::Digest128::of(format!("rollup-{site}-{level}").as_bytes()));
                 truth.insert(&record);
                 records.push((site, record.clone()));
                 if level == spec.lineage_depth {
@@ -212,10 +216,7 @@ pub struct ArchReport {
     pub failures: usize,
 }
 
-fn latencies(
-    outcomes: &[crate::outcome::Outcome],
-    issued: &HashMap<u64, SimTime>,
-) -> Vec<u64> {
+fn latencies(outcomes: &[crate::outcome::Outcome], issued: &HashMap<u64, SimTime>) -> Vec<u64> {
     outcomes
         .iter()
         .filter(|o| o.ok)
@@ -233,12 +234,35 @@ pub fn run_workload(
     let mut failures = 0usize;
 
     // --- Publish phase -------------------------------------------------
+    // Consecutive records from one site form a publish group (mirroring
+    // the local group-commit ingest path); `publish_batch = 1` reproduces
+    // the historical per-record schedule exactly.
     let mut issued: HashMap<u64, SimTime> = HashMap::new();
+    let group = spec.publish_batch.max(1);
+    let mut pending: Vec<ProvenanceRecord> = Vec::with_capacity(group);
+    let mut pending_site = usize::MAX;
+    let mut flush =
+        |arch: &mut dyn Architecture, site: usize, batch: &mut Vec<ProvenanceRecord>| {
+            if batch.is_empty() {
+                return;
+            }
+            for op in arch.publish_batch(site, batch) {
+                issued.insert(op, arch.now());
+            }
+            batch.clear();
+            arch.run_for(spec.op_spacing);
+        };
     for (site, record) in &corpus.records {
-        let op = arch.publish(*site, record);
-        issued.insert(op, arch.now());
-        arch.run_for(spec.op_spacing);
+        if *site != pending_site {
+            flush(arch, pending_site, &mut pending);
+            pending_site = *site;
+        }
+        pending.push(record.clone());
+        if pending.len() >= group {
+            flush(arch, pending_site, &mut pending);
+        }
     }
+    flush(arch, pending_site, &mut pending);
     arch.run_quiet();
     let publish_outcomes = arch.outcomes();
     failures += publish_outcomes.iter().filter(|o| !o.ok).count();
@@ -252,10 +276,7 @@ pub fn run_workload(
         let site = rng.gen_range(0..arch.sites());
         let op = arch.query(site, query);
         issued_q.insert(op, arch.now());
-        truth_of.insert(
-            op,
-            corpus.truth.query(query).map(|r| r.ids()).unwrap_or_default(),
-        );
+        truth_of.insert(op, corpus.truth.query(query).map(|r| r.ids()).unwrap_or_default());
         arch.run_for(spec.op_spacing);
     }
     arch.run_quiet();
@@ -287,10 +308,7 @@ pub fn run_workload(
         let op = arch.lineage(site, root, None);
         issued_l.insert(op, arch.now());
         let truth_query = Query::lineage(root, pass_index::Direction::Ancestors);
-        truth_l.insert(
-            op,
-            corpus.truth.query(&truth_query).map(|r| r.ids()).unwrap_or_default(),
-        );
+        truth_l.insert(op, corpus.truth.query(&truth_query).map(|r| r.ids()).unwrap_or_default());
         arch.run_for(spec.op_spacing);
     }
     arch.run_quiet();

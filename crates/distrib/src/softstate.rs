@@ -50,8 +50,7 @@ impl Node<ArchMsg> for SoftSite {
             Input::Timer { tag: TIMER_REFRESH } => {
                 if !self.buffer.is_empty() {
                     let records = std::mem::take(&mut self.buffer);
-                    let bytes: u64 =
-                        32 + records.iter().map(msg::record_bytes).sum::<u64>();
+                    let bytes: u64 = 32 + records.iter().map(msg::record_bytes).sum::<u64>();
                     for &catalog in &self.catalogs {
                         if catalog == self.me {
                             for r in &records {
@@ -78,12 +77,11 @@ impl Node<ArchMsg> for SoftSite {
                     self.buffer.push(record);
                     ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids: vec![] });
                 }
-                ArchMsg::Digest { from: _, records }
-                    if self.is_catalog => {
-                        for r in &records {
-                            self.soft.insert(r);
-                        }
+                ArchMsg::Digest { from: _, records } if self.is_catalog => {
+                    for r in &records {
+                        self.soft.insert(r);
                     }
+                }
                 ArchMsg::ClientQuery { op, query } => {
                     let bytes = msg::query_bytes(&query);
                     ctx.send(
@@ -151,9 +149,8 @@ impl SoftState {
     /// publish digests every `refresh`.
     pub fn new(topology: Topology, refresh: SimTime, seed: u64) -> Self {
         let sites = topology.len();
-        let catalogs: Vec<NodeId> = (0..topology.cluster_count())
-            .map(|c| topology.cluster_members(c)[0])
-            .collect();
+        let catalogs: Vec<NodeId> =
+            (0..topology.cluster_count()).map(|c| topology.cluster_members(c)[0]).collect();
         let nodes: Vec<Box<dyn Node<ArchMsg>>> = (0..sites)
             .map(|i| {
                 let my_catalog = catalogs[topology.cluster(i)];

@@ -205,8 +205,7 @@ fn federated_publish_is_free_distdb_publish_is_not() {
     }
     db.run_quiet();
     assert!(
-        db.net().class(pass_net::TrafficClass::Update).messages
-            >= corpus.records.len() as u64,
+        db.net().class(pass_net::TrafficClass::Update).messages >= corpus.records.len() as u64,
         "hash partitioning ships most records"
     );
 }
@@ -246,10 +245,7 @@ fn distdb_lineage_batching_reduces_messages() {
     };
     let batched = run(true);
     let naive = run(false);
-    assert!(
-        naive > batched,
-        "naive per-id chase ({naive}) must out-message batched ({batched})"
-    );
+    assert!(naive > batched, "naive per-id chase ({naive}) must out-message batched ({batched})");
 }
 
 #[test]
@@ -260,8 +256,8 @@ fn lineage_depth_limits_are_respected() {
     let mut prev: Option<pass_model::TupleSetId> = None;
     let mut ids = Vec::new();
     for i in 0..4u32 {
-        let mut b = ProvenanceBuilder::new(SiteId(i), Timestamp(u64::from(i)))
-            .attr("domain", "chain");
+        let mut b =
+            ProvenanceBuilder::new(SiteId(i), Timestamp(u64::from(i))).attr("domain", "chain");
         if let Some(p) = prev {
             b = b.derived_from(p, ToolDescriptor::new("t", "1"));
         }
@@ -281,4 +277,30 @@ fn lineage_depth_limits_are_respected() {
     let mut want = vec![ids[1], ids[2]];
     want.sort();
     assert_eq!(got, want, "depth 2 reaches exactly two ancestors");
+}
+
+#[test]
+fn batched_publish_matches_per_record_results() {
+    let corpus = build_corpus(&small_spec());
+    let run = |publish_batch: usize| {
+        let spec = WorkloadSpec { publish_batch, ..small_spec() };
+        let mut arch = build_arch(ArchKind::Centralized, spec.topology(), spec.seed);
+        run_workload(arch.as_mut(), &corpus, &spec)
+    };
+    let per_record = run(1);
+    let batched = run(8);
+    for report in [&per_record, &batched] {
+        assert_eq!(report.failures, 0, "{}: {report:?}", report.name);
+        assert!((report.quality.precision - 1.0).abs() < 1e-9);
+        assert!((report.quality.recall - 1.0).abs() < 1e-9);
+        assert!((report.lineage_recall - 1.0).abs() < 1e-9);
+    }
+    // The point of the batched transfer: one StoreBatch + one ack per
+    // group instead of one round-trip per record.
+    assert!(
+        batched.update_traffic.messages < per_record.update_traffic.messages,
+        "batched {} msgs vs per-record {} msgs",
+        batched.update_traffic.messages,
+        per_record.update_traffic.messages
+    );
 }

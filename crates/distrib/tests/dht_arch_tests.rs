@@ -83,7 +83,8 @@ fn query_intersects_posting_lists() {
     arch.run_quiet();
     arch.outcomes();
 
-    let op = arch.query(2, &parse(r#"FIND WHERE domain = "weather" AND region = "metro-0""#).unwrap());
+    let op =
+        arch.query(2, &parse(r#"FIND WHERE domain = "weather" AND region = "metro-0""#).unwrap());
     arch.run_quiet();
     let outcome = arch.outcomes().into_iter().find(|o| o.op == op).unwrap();
     assert!(outcome.ok);

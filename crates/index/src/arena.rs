@@ -11,7 +11,7 @@ use std::collections::HashMap;
 pub type NodeIdx = u32;
 
 /// Bijective map between tuple-set identities and dense indexes.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct IdArena {
     to_idx: HashMap<TupleSetId, NodeIdx>,
     to_id: Vec<TupleSetId>,

@@ -364,8 +364,12 @@ mod tests {
         let mut g = AncestryGraph::new();
         let lone = g.insert(id(9), &[]);
         for s in all_strategies(&g) {
-            assert!(s.reachable(&g, lone, Direction::Ancestors, &TraverseOpts::unbounded()).is_empty());
-            assert!(s.reachable(&g, lone, Direction::Descendants, &TraverseOpts::unbounded()).is_empty());
+            assert!(s
+                .reachable(&g, lone, Direction::Ancestors, &TraverseOpts::unbounded())
+                .is_empty());
+            assert!(s
+                .reachable(&g, lone, Direction::Descendants, &TraverseOpts::unbounded())
+                .is_empty());
         }
     }
 

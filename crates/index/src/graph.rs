@@ -33,7 +33,7 @@ pub enum Direction {
 }
 
 /// The in-memory ancestry DAG.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct AncestryGraph {
     arena: IdArena,
     parents: Vec<Vec<Edge>>,
@@ -166,9 +166,7 @@ impl AncestryGraph {
             }
         }
         if order.len() != n {
-            let culprit = (0..n as u32)
-                .find(|&i| in_deg[i as usize] > 0)
-                .unwrap_or(0);
+            let culprit = (0..n as u32).find(|&i| in_deg[i as usize] > 0).unwrap_or(0);
             return Err(crate::error::IndexError::CycleDetected { node: culprit });
         }
         Ok(order)
@@ -236,10 +234,7 @@ mod tests {
         let mut g = AncestryGraph::new();
         g.insert(id(1), &[(id(2), false)]);
         g.insert(id(2), &[(id(1), false)]);
-        assert!(matches!(
-            g.topo_order(),
-            Err(crate::error::IndexError::CycleDetected { .. })
-        ));
+        assert!(matches!(g.topo_order(), Err(crate::error::IndexError::CycleDetected { .. })));
     }
 
     #[test]

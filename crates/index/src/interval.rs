@@ -126,9 +126,7 @@ impl Labeling {
             return false;
         }
         let p = self.post[target as usize];
-        self.labels[from as usize]
-            .iter()
-            .any(|&(lo, hi)| lo <= p && p <= hi)
+        self.labels[from as usize].iter().any(|&(lo, hi)| lo <= p && p <= hi)
     }
 
     fn size_bytes(&self) -> usize {

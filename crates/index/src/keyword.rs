@@ -11,13 +11,11 @@ use std::collections::HashMap;
 /// Splits text into lowercase alphanumeric tokens, dropping one-character
 /// tokens (noise at our scales).
 pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
-    text.split(|c: char| !c.is_alphanumeric())
-        .filter(|t| t.len() > 1)
-        .map(str::to_lowercase)
+    text.split(|c: char| !c.is_alphanumeric()).filter(|t| t.len() > 1).map(str::to_lowercase)
 }
 
 /// An inverted text index.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct KeywordIndex {
     postings: HashMap<String, PostingList>,
     documents: u64,
@@ -37,12 +35,31 @@ impl KeywordIndex {
         self.documents += 1;
     }
 
+    /// Bulk-indexes many documents at once: tokenizes everything, sorts
+    /// the `(token, node)` pairs, and merges each token's sorted node run
+    /// into its posting list in one pass.
+    pub fn insert_bulk<'a>(&mut self, docs: impl IntoIterator<Item = (NodeIdx, &'a str)>) {
+        let mut pairs: Vec<(String, NodeIdx)> = Vec::new();
+        for (idx, text) in docs {
+            pairs.extend(tokenize(text).map(|t| (t, idx)));
+            self.documents += 1;
+        }
+        pairs.sort_unstable();
+        let mut pairs = pairs.into_iter().peekable();
+        let mut run: Vec<NodeIdx> = Vec::new();
+        while let Some((token, idx)) = pairs.next() {
+            run.clear();
+            run.push(idx);
+            while let Some((_, nidx)) = pairs.next_if(|(t, _)| *t == token) {
+                run.push(nidx);
+            }
+            self.postings.entry(token).or_default().extend_sorted(&run);
+        }
+    }
+
     /// Nodes whose indexed text contains the token.
     pub fn lookup(&self, token: &str) -> PostingList {
-        self.postings
-            .get(&token.to_lowercase())
-            .cloned()
-            .unwrap_or_default()
+        self.postings.get(&token.to_lowercase()).cloned().unwrap_or_default()
     }
 
     /// Nodes containing *all* tokens of the phrase (bag-of-words AND; no
@@ -67,10 +84,7 @@ impl KeywordIndex {
 
     /// Rough heap footprint.
     pub fn size_bytes(&self) -> usize {
-        self.postings
-            .iter()
-            .map(|(tok, pl)| tok.len() + pl.size_bytes() + 48)
-            .sum()
+        self.postings.iter().map(|(tok, pl)| tok.len() + pl.size_bytes() + 48).sum()
     }
 }
 

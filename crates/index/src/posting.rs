@@ -155,6 +155,57 @@ impl PostingList {
         acc
     }
 
+    /// Merges a sorted (ascending, possibly duplicated) run of indexes in
+    /// one pass — the bulk-build primitive behind `AttrIndex::insert_bulk`.
+    /// Runs that extend past the current tail (the batched-ingest common
+    /// case: node indexes grow monotonically) append in O(run).
+    pub fn extend_sorted(&mut self, run: &[NodeIdx]) {
+        debug_assert!(run.windows(2).all(|w| w[0] <= w[1]), "run must be sorted");
+        if run.is_empty() {
+            return;
+        }
+        // Fast path: the whole run lands after the current tail. Dedup
+        // only while appending — a whole-list `dedup()` here would make
+        // the "O(run)" append O(list) per batch.
+        if self.items.last().is_none_or(|&last| last < run[0]) {
+            self.items.reserve(run.len());
+            for &idx in run {
+                if self.items.last() != Some(&idx) {
+                    self.items.push(idx);
+                }
+            }
+            return;
+        }
+        // General path: linear merge.
+        let old = std::mem::take(&mut self.items);
+        self.items = Vec::with_capacity(old.len() + run.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old.len() && j < run.len() {
+            match old[i].cmp(&run[j]) {
+                std::cmp::Ordering::Less => {
+                    self.items.push(old[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    self.items.push(run[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    self.items.push(old[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        self.items.extend_from_slice(&old[i..]);
+        for &x in &run[j..] {
+            if self.items.last() != Some(&x) {
+                self.items.push(x);
+            }
+        }
+        self.items.dedup();
+    }
+
     /// Heap bytes used.
     pub fn size_bytes(&self) -> usize {
         self.items.capacity() * std::mem::size_of::<NodeIdx>()

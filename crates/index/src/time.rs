@@ -11,7 +11,7 @@ use crate::posting::PostingList;
 use pass_model::TimeRange;
 
 /// An index over closed time intervals.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TimeIndex {
     /// (start, end, node), sorted by (start, end, node) once built.
     intervals: Vec<(u64, u64, NodeIdx)>,
@@ -32,7 +32,12 @@ impl TimeIndex {
         self.dirty = true;
     }
 
-    fn ensure_built(&mut self) {
+    /// Sorts the interval table and rebuilds the prefix-maximum, making
+    /// queries `O(log n + answer)`. The batched ingest path calls this
+    /// once per committed batch, so shared (snapshot) readers never need a
+    /// write lock; an unbuilt index still answers queries via a linear
+    /// scan.
+    pub fn build(&mut self) {
         if !self.dirty {
             return;
         }
@@ -48,12 +53,21 @@ impl TimeIndex {
     }
 
     /// Nodes whose interval overlaps `query` (closed-interval semantics).
-    pub fn overlapping(&mut self, query: TimeRange) -> PostingList {
-        self.ensure_built();
+    ///
+    /// Lock-free: when the index has pending unsorted inserts (no
+    /// [`TimeIndex::build`] since), this falls back to a full scan rather
+    /// than mutating shared state.
+    pub fn overlapping(&self, query: TimeRange) -> PostingList {
+        if self.dirty {
+            return PostingList::from_iter(
+                self.intervals
+                    .iter()
+                    .filter(|&&(start, end, _)| start <= query.end.0 && end >= query.start.0)
+                    .map(|&(_, _, node)| node),
+            );
+        }
         // Candidates must have start <= query.end.
-        let upper = self
-            .intervals
-            .partition_point(|&(start, _, _)| start <= query.end.0);
+        let upper = self.intervals.partition_point(|&(start, _, _)| start <= query.end.0);
         // Walk backwards; once the prefix max end drops below query.start,
         // nothing earlier can overlap.
         let mut out = Vec::new();
@@ -69,15 +83,19 @@ impl TimeIndex {
         PostingList::from_iter(out)
     }
 
-    /// Nodes whose interval lies entirely within `query`.
-    pub fn covered_by(&mut self, query: TimeRange) -> PostingList {
-        self.ensure_built();
-        let lower = self
-            .intervals
-            .partition_point(|&(start, _, _)| start < query.start.0);
-        let upper = self
-            .intervals
-            .partition_point(|&(start, _, _)| start <= query.end.0);
+    /// Nodes whose interval lies entirely within `query` (same laziness
+    /// contract as [`TimeIndex::overlapping`]).
+    pub fn covered_by(&self, query: TimeRange) -> PostingList {
+        if self.dirty {
+            return PostingList::from_iter(
+                self.intervals
+                    .iter()
+                    .filter(|&&(start, end, _)| start >= query.start.0 && end <= query.end.0)
+                    .map(|&(_, _, node)| node),
+            );
+        }
+        let lower = self.intervals.partition_point(|&(start, _, _)| start < query.start.0);
+        let upper = self.intervals.partition_point(|&(start, _, _)| start <= query.end.0);
         PostingList::from_iter(
             self.intervals[lower..upper]
                 .iter()
@@ -123,7 +141,7 @@ mod tests {
 
     #[test]
     fn overlap_queries() {
-        let mut ix = sample();
+        let ix = sample();
         assert_eq!(ix.overlapping(range(12, 18)).as_slice(), &[1, 3]);
         assert_eq!(ix.overlapping(range(10, 10)).as_slice(), &[0, 1, 3]);
         assert_eq!(ix.overlapping(range(16, 19)).as_slice(), &[3]);
@@ -146,7 +164,7 @@ mod tests {
 
     #[test]
     fn covered_by_requires_full_containment() {
-        let mut ix = sample();
+        let ix = sample();
         assert_eq!(ix.covered_by(range(0, 15)).as_slice(), &[0, 1]);
         assert_eq!(ix.covered_by(range(0, 100)).len(), 4);
         assert!(ix.covered_by(range(6, 9)).is_empty());

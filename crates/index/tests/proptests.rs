@@ -1,10 +1,10 @@
 //! Property tests: posting-list algebra must match naive set algebra, and
 //! all four closure strategies must agree on arbitrary DAGs.
 
-use proptest::prelude::*;
 use pass_index::closure::{BfsClosure, MemoClosure, NaiveJoinClosure, ReachStrategy, TraverseOpts};
 use pass_index::{AncestryGraph, Direction, IntervalClosure, PostingList};
 use pass_model::TupleSetId;
+use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 fn arb_list() -> impl Strategy<Value = Vec<u32>> {
@@ -37,10 +37,8 @@ fn arb_dag() -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
 fn build_graph(dag: &[Vec<(usize, bool)>]) -> AncestryGraph {
     let mut g = AncestryGraph::new();
     for (i, parents) in dag.iter().enumerate() {
-        let edges: Vec<(TupleSetId, bool)> = parents
-            .iter()
-            .map(|&(p, abs)| (TupleSetId(p as u128 + 1), abs))
-            .collect();
+        let edges: Vec<(TupleSetId, bool)> =
+            parents.iter().map(|&(p, abs)| (TupleSetId(p as u128 + 1), abs)).collect();
         g.insert(TupleSetId(i as u128 + 1), &edges);
     }
     g

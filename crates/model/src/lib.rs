@@ -43,9 +43,7 @@ pub use attr::Attributes;
 pub use digest::Digest128;
 pub use error::ModelError;
 pub use ids::{SensorId, SiteId, TupleSetId};
-pub use provenance::{
-    Annotation, Derivation, ProvenanceBuilder, ProvenanceRecord, ToolDescriptor,
-};
+pub use provenance::{Annotation, Derivation, ProvenanceBuilder, ProvenanceRecord, ToolDescriptor};
 pub use time::{TimeRange, Timestamp};
 pub use tuple::{Reading, TupleSet};
 pub use value::{GeoPoint, Value};

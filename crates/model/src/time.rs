@@ -111,10 +111,7 @@ impl TimeRange {
 
     /// The smallest range covering both inputs.
     pub fn union(&self, other: &TimeRange) -> TimeRange {
-        TimeRange {
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-        }
+        TimeRange { start: self.start.min(other.start), end: self.end.max(other.end) }
     }
 }
 

@@ -55,9 +55,7 @@ impl PartialOrd for GeoPoint {
 
 impl Ord for GeoPoint {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.lat
-            .total_cmp(&other.lat)
-            .then_with(|| self.lon.total_cmp(&other.lon))
+        self.lat.total_cmp(&other.lat).then_with(|| self.lon.total_cmp(&other.lon))
     }
 }
 

@@ -2,12 +2,12 @@
 //! round-trip every representable value, and identity must be a function
 //! of provenance content alone.
 
-use proptest::prelude::*;
 use pass_model::codec::{Decode, Encode};
 use pass_model::{
     Attributes, Digest128, GeoPoint, ProvenanceBuilder, Reading, SensorId, SiteId, Timestamp,
     ToolDescriptor, TupleSet, TupleSetId, Value,
 };
+use proptest::prelude::*;
 
 fn arb_value(depth: u32) -> impl Strategy<Value = Value> {
     let leaf = prop_oneof![
@@ -31,16 +31,8 @@ fn arb_attributes() -> impl Strategy<Value = Attributes> {
 }
 
 fn arb_reading() -> impl Strategy<Value = Reading> {
-    (
-        any::<u64>(),
-        any::<u64>(),
-        proptest::collection::vec(("[a-z]{1,8}", arb_value(1)), 0..4),
-    )
-        .prop_map(|(s, t, fields)| Reading {
-            sensor: SensorId(s),
-            time: Timestamp(t),
-            fields,
-        })
+    (any::<u64>(), any::<u64>(), proptest::collection::vec(("[a-z]{1,8}", arb_value(1)), 0..4))
+        .prop_map(|(s, t, fields)| Reading { sensor: SensorId(s), time: Timestamp(t), fields })
 }
 
 proptest! {

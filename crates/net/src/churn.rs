@@ -118,19 +118,25 @@ mod tests {
     fn availability_tracks_session_downtime_ratio() {
         // Mean session 30 s, mean downtime 10 s ⇒ availability ≈ 0.75.
         let horizon = SimTime::from_secs(10_000);
-        let events =
-            schedule(7, 0..50, SimTime::from_secs(30), SimTime::from_secs(10), horizon);
-        let mean: f64 =
-            (0..50).map(|n| availability(&events, n, horizon)).sum::<f64>() / 50.0;
+        let events = schedule(7, 0..50, SimTime::from_secs(30), SimTime::from_secs(10), horizon);
+        let mean: f64 = (0..50).map(|n| availability(&events, n, horizon)).sum::<f64>() / 50.0;
         assert!((mean - 0.75).abs() < 0.05, "availability {mean}");
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let a = schedule(9, 0..4, SimTime::from_secs(1), SimTime::from_secs(1), SimTime::from_secs(60));
-        let b = schedule(9, 0..4, SimTime::from_secs(1), SimTime::from_secs(1), SimTime::from_secs(60));
+        let a =
+            schedule(9, 0..4, SimTime::from_secs(1), SimTime::from_secs(1), SimTime::from_secs(60));
+        let b =
+            schedule(9, 0..4, SimTime::from_secs(1), SimTime::from_secs(1), SimTime::from_secs(60));
         assert_eq!(a, b);
-        let c = schedule(10, 0..4, SimTime::from_secs(1), SimTime::from_secs(1), SimTime::from_secs(60));
+        let c = schedule(
+            10,
+            0..4,
+            SimTime::from_secs(1),
+            SimTime::from_secs(1),
+            SimTime::from_secs(60),
+        );
         assert_ne!(a, c);
     }
 

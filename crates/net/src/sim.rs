@@ -336,8 +336,7 @@ impl<M: Clone> Simulator<M> {
                     self.push(at, EventKind::Deliver { from, to, msg, bytes });
                     return;
                 }
-                let service =
-                    self.service.per_msg_us + self.service.per_kib_us * (bytes / 1024);
+                let service = self.service.per_msg_us + self.service.per_kib_us * (bytes / 1024);
                 self.busy_until[to] = event.at + service;
                 self.deliver_input(to, Input::Message { from, msg });
             }
@@ -374,8 +373,8 @@ impl<M: Clone> Simulator<M> {
             match effect {
                 Effect::Send { to, msg, bytes, class } => {
                     self.metrics.record(class, bytes);
-                    let latency = self.topology.latency_us(node, to)
-                        + self.topology.transmission_us(bytes);
+                    let latency =
+                        self.topology.latency_us(node, to) + self.topology.transmission_us(bytes);
                     let at = self.clock + latency;
                     self.push(at, EventKind::Deliver { from: node, to, msg, bytes });
                 }
@@ -384,13 +383,7 @@ impl<M: Clone> Simulator<M> {
                     self.push(at, EventKind::Timer { node, tag });
                 }
                 Effect::Complete { op, ok, payload } => {
-                    self.completions.push(Completion {
-                        op,
-                        node,
-                        at: self.clock,
-                        ok,
-                        payload,
-                    });
+                    self.completions.push(Completion { op, node, at: self.clock, ok, payload });
                 }
             }
         }
@@ -542,8 +535,7 @@ mod tests {
             }
         }
         let topo = Topology::uniform(1, 1.0);
-        let mut sim: Simulator<u32> =
-            Simulator::new(topo, vec![Box::new(TimerNode::default())], 1);
+        let mut sim: Simulator<u32> = Simulator::new(topo, vec![Box::new(TimerNode::default())], 1);
         sim.run_to_quiescence(100);
         assert_eq!(sim.take_completions().len(), 1);
     }

@@ -1,8 +1,8 @@
 //! Property tests for the simulator: determinism, causality, and
 //! conservation of messages.
 
-use proptest::prelude::*;
 use pass_net::{Ctx, Input, Node, NodeId, SimTime, Simulator, Topology, TrafficClass};
+use proptest::prelude::*;
 
 /// A node that relays each received token to a scripted next hop until
 /// the token's TTL runs out, then completes.
@@ -28,8 +28,7 @@ fn build(plan_seed: Vec<u8>, n: usize) -> Simulator<(u32, u64)> {
     let n = topology.len();
     let nodes: Vec<Box<dyn Node<(u32, u64)>>> = (0..n)
         .map(|i| {
-            let plan: Vec<NodeId> =
-                plan_seed.iter().map(|&b| (b as usize + i) % n).collect();
+            let plan: Vec<NodeId> = plan_seed.iter().map(|&b| (b as usize + i) % n).collect();
             Box::new(Relay { plan: if plan.is_empty() { vec![0] } else { plan } })
                 as Box<dyn Node<(u32, u64)>>
         })

@@ -146,9 +146,10 @@ impl QuasiSpec {
         self.ladders
             .iter()
             .map(|l| {
-                let v = reading.field(&l.field).and_then(Value::as_float).or_else(|| {
-                    reading.field(&l.field).and_then(Value::as_int).map(|i| i as f64)
-                });
+                let v = reading
+                    .field(&l.field)
+                    .and_then(Value::as_float)
+                    .or_else(|| reading.field(&l.field).and_then(Value::as_int).map(|i| i as f64));
                 // Clamp per-field: a short ladder hits `*` early.
                 l.generalize(v, level.min(l.max_level()))
             })

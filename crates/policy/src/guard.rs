@@ -56,12 +56,7 @@ impl GuardedPass {
     }
 
     /// Checks (and audits) one action against one record.
-    fn check(
-        &self,
-        principal: &Principal,
-        action: Action,
-        record: &ProvenanceRecord,
-    ) -> Decision {
+    fn check(&self, principal: &Principal, action: Action, record: &ProvenanceRecord) -> Decision {
         let decision = self.engine.decide(principal, action, record);
         self.audit.record(
             &principal.name,
@@ -130,11 +125,7 @@ impl GuardedPass {
     // -- Mediated reads --------------------------------------------------
 
     /// Reads a provenance record, if the policy allows.
-    pub fn get_record(
-        &self,
-        principal: &Principal,
-        id: TupleSetId,
-    ) -> Result<ProvenanceRecord> {
+    pub fn get_record(&self, principal: &Principal, id: TupleSetId) -> Result<ProvenanceRecord> {
         let record = self.inner.get_record(id).ok_or(pass_core::PassError::NotFound(id))?;
         let d = self.check(principal, Action::ReadProvenance, &record);
         if d.allowed() {
@@ -145,11 +136,7 @@ impl GuardedPass {
     }
 
     /// Reads the sensor readings, if the policy allows.
-    pub fn get_data(
-        &self,
-        principal: &Principal,
-        id: TupleSetId,
-    ) -> Result<Option<Vec<Reading>>> {
+    pub fn get_data(&self, principal: &Principal, id: TupleSetId) -> Result<Option<Vec<Reading>>> {
         let record = self.inner.get_record(id).ok_or(pass_core::PassError::NotFound(id))?;
         let d = self.check(principal, Action::ReadData, &record);
         if d.allowed() {
@@ -214,9 +201,7 @@ impl GuardedPass {
         let mut records = self.inner.lineage(id, direction, opts)?;
         // Include the root so contracted edges can anchor on it.
         records.insert(0, root);
-        Ok(redact_lineage(&records, |r| {
-            self.check(principal, Action::ReadProvenance, r).allowed()
-        }))
+        Ok(redact_lineage(&records, |r| self.check(principal, Action::ReadProvenance, r).allowed()))
     }
 
     /// Exports provenance records for shipment beyond this PASS
@@ -266,8 +251,7 @@ impl GuardedPass {
     ) -> Result<(TupleSetId, KAnonymized)> {
         let mut pooled = Vec::new();
         for &p in parents {
-            let record =
-                self.inner.get_record(p).ok_or(pass_core::PassError::NotFound(p))?;
+            let record = self.inner.get_record(p).ok_or(pass_core::PassError::NotFound(p))?;
             let d = self.check(principal, Action::ReadData, &record);
             if !d.allowed() {
                 return Err(Self::deny(p, Action::ReadData, d));
@@ -317,13 +301,11 @@ mod tests {
     fn engine() -> PolicyEngine {
         PolicyEngine::deny_by_default()
             .with_rule(Rule::allow("clinician").for_role("clinician"))
-            .with_rule(
-                Rule::allow("public-read").when(pass_query::Predicate::Cmp(
-                    crate::label::ATTR_SENSITIVITY.into(),
-                    pass_query::CmpOp::Le,
-                    0i64.into(),
-                )),
-            )
+            .with_rule(Rule::allow("public-read").when(pass_query::Predicate::Cmp(
+                crate::label::ATTR_SENSITIVITY.into(),
+                pass_query::CmpOp::Le,
+                0i64.into(),
+            )))
     }
 
     fn vitals(hr: f64) -> Vec<Reading> {
@@ -364,9 +346,8 @@ mod tests {
     fn derive_joins_parent_labels_sticky() {
         let g = guarded();
         let emt = clinician();
-        let private = g
-            .capture(&emt, phi_label(), Attributes::new(), vitals(80.0), Timestamp(1))
-            .unwrap();
+        let private =
+            g.capture(&emt, phi_label(), Attributes::new(), vitals(80.0), Timestamp(1)).unwrap();
         // Attempted downgrade: derive with a Public label.
         let derived = g
             .derive(
@@ -410,8 +391,7 @@ mod tests {
         let (visible, withheld) =
             g.query_text(&outsider, r#"FIND WHERE domain = "medical""#).unwrap();
         assert_eq!((visible.len(), withheld), (1, 1));
-        let (visible, withheld) =
-            g.query_text(&emt, r#"FIND WHERE domain = "medical""#).unwrap();
+        let (visible, withheld) = g.query_text(&emt, r#"FIND WHERE domain = "medical""#).unwrap();
         assert_eq!((visible.len(), withheld), (2, 0));
     }
 
@@ -419,9 +399,8 @@ mod tests {
     fn lineage_is_redacted_not_severed() {
         let g = guarded();
         let emt = clinician();
-        let raw = g
-            .capture(&emt, phi_label(), Attributes::new(), vitals(90.0), Timestamp(1))
-            .unwrap();
+        let raw =
+            g.capture(&emt, phi_label(), Attributes::new(), vitals(90.0), Timestamp(1)).unwrap();
         let mid = g
             .derive(
                 &emt,
@@ -455,17 +434,15 @@ mod tests {
         // A public reader walks the summary's ancestry: the two PHI
         // records are contracted, not shown, and not severed.
         let public = Principal::new("citizen");
-        let view = g
-            .lineage(&public, summary, Direction::Ancestors, TraverseOpts::unbounded())
-            .unwrap();
+        let view =
+            g.lineage(&public, summary, Direction::Ancestors, TraverseOpts::unbounded()).unwrap();
         assert_eq!(view.redacted_count, 2);
         assert!(view.visible.iter().all(|r| r.id == summary));
         assert!(view.edges.is_empty(), "no visible ancestor remains");
 
         // The clinician sees everything.
-        let full = g
-            .lineage(&emt, summary, Direction::Ancestors, TraverseOpts::unbounded())
-            .unwrap();
+        let full =
+            g.lineage(&emt, summary, Direction::Ancestors, TraverseOpts::unbounded()).unwrap();
         assert_eq!(full.redacted_count, 0);
         assert_eq!(full.visible.len(), 3);
     }
@@ -474,13 +451,11 @@ mod tests {
     fn lineage_root_gate_blocks_uncleared_traversal() {
         let g = guarded();
         let emt = clinician();
-        let raw = g
-            .capture(&emt, phi_label(), Attributes::new(), vitals(90.0), Timestamp(1))
-            .unwrap();
+        let raw =
+            g.capture(&emt, phi_label(), Attributes::new(), vitals(90.0), Timestamp(1)).unwrap();
         let outsider = Principal::new("analyst");
-        let err = g
-            .lineage(&outsider, raw, Direction::Ancestors, TraverseOpts::unbounded())
-            .unwrap_err();
+        let err =
+            g.lineage(&outsider, raw, Direction::Ancestors, TraverseOpts::unbounded()).unwrap_err();
         assert!(err.is_denied());
     }
 
@@ -488,9 +463,8 @@ mod tests {
     fn aggregate_requires_read_data_on_parents() {
         let g = guarded();
         let emt = clinician();
-        let raw = g
-            .capture(&emt, phi_label(), Attributes::new(), vitals(90.0), Timestamp(1))
-            .unwrap();
+        let raw =
+            g.capture(&emt, phi_label(), Attributes::new(), vitals(90.0), Timestamp(1)).unwrap();
         let spec = QuasiSpec::new(
             vec![crate::aggregate::NumericLadder::new("age", vec![10.0]).unwrap()],
             "heart_rate",
@@ -517,9 +491,11 @@ mod tests {
         // Clinicians read PHI locally but may not ship it out; the export
         // rule carves Export out of the clinician allow.
         let engine = PolicyEngine::deny_by_default()
-            .with_rule(Rule::deny("no-phi-export").on([Action::Export]).when(
-                pass_query::Predicate::Eq("domain".into(), "medical".into()),
-            ))
+            .with_rule(
+                Rule::deny("no-phi-export")
+                    .on([Action::Export])
+                    .when(pass_query::Predicate::Eq("domain".into(), "medical".into())),
+            )
             .with_rule(Rule::allow("clinician").for_role("clinician"));
         let g = GuardedPass::new(Pass::open_memory(SiteId(1)), engine);
         let emt = clinician();
@@ -557,9 +533,8 @@ mod tests {
         let readable = g
             .capture(&emt, PolicyLabel::public(), Attributes::new(), vec![], Timestamp(1))
             .unwrap();
-        let forbidden = g
-            .capture(&emt, phi_label(), Attributes::new(), vitals(80.0), Timestamp(2))
-            .unwrap();
+        let forbidden =
+            g.capture(&emt, phi_label(), Attributes::new(), vitals(80.0), Timestamp(2)).unwrap();
         let outsider = Principal::new("mirror-daemon");
         // Alone, the public record exports (public-read covers Export).
         assert_eq!(g.export_records(&outsider, &[readable]).unwrap().len(), 1);
@@ -593,11 +568,8 @@ mod tests {
             let g = Arc::clone(&g);
             let ids = ids.clone();
             handles.push(std::thread::spawn(move || {
-                let reader = if t % 2 == 0 {
-                    clinician()
-                } else {
-                    Principal::new(format!("outsider-{t}"))
-                };
+                let reader =
+                    if t % 2 == 0 { clinician() } else { Principal::new(format!("outsider-{t}")) };
                 let mut allowed = 0usize;
                 for _ in 0..25 {
                     for &id in &ids {

@@ -136,8 +136,7 @@ impl PolicyLabel {
 
     /// Renders the label as the two reserved provenance attributes.
     pub fn to_attributes(&self) -> Attributes {
-        let cats: Vec<Value> =
-            self.categories.iter().map(|c| Value::from(c.as_str())).collect();
+        let cats: Vec<Value> = self.categories.iter().map(|c| Value::from(c.as_str())).collect();
         Attributes::new()
             .with(ATTR_SENSITIVITY, self.sensitivity.rank())
             .with(ATTR_CATEGORIES, Value::List(cats))
@@ -277,8 +276,7 @@ mod tests {
 
     #[test]
     fn malformed_sensitivity_fails_closed_to_private() {
-        let record =
-            record_with(Attributes::new().with(ATTR_SENSITIVITY, "not a number"));
+        let record = record_with(Attributes::new().with(ATTR_SENSITIVITY, "not a number"));
         assert_eq!(PolicyLabel::of_record(&record).sensitivity, Sensitivity::Private);
     }
 

@@ -74,8 +74,7 @@ pub fn redact_lineage(
     records: &[ProvenanceRecord],
     is_visible: impl Fn(&ProvenanceRecord) -> bool,
 ) -> RedactedLineage {
-    let by_id: HashMap<TupleSetId, &ProvenanceRecord> =
-        records.iter().map(|r| (r.id, r)).collect();
+    let by_id: HashMap<TupleSetId, &ProvenanceRecord> = records.iter().map(|r| (r.id, r)).collect();
     let visible_ids: HashSet<TupleSetId> =
         records.iter().filter(|r| is_visible(r)).map(|r| r.id).collect();
 

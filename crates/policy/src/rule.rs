@@ -26,9 +26,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// The operations a policy can govern.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Action {
     /// Read the readings (the sensor data itself).
     ReadData,
@@ -362,9 +360,8 @@ mod tests {
     fn role_scoping_limits_rules() {
         let engine = PolicyEngine::deny_by_default()
             .with_rule(Rule::allow("clinicians-only").for_role("clinician"));
-        let outsider = Principal::new("x")
-            .with_clearance(Sensitivity::Private)
-            .with_category("phi");
+        let outsider =
+            Principal::new("x").with_clearance(Sensitivity::Private).with_category("phi");
         assert_eq!(engine.decide(&outsider, Action::ReadData, &phi_record()).effect, Effect::Deny);
         assert_eq!(
             engine.decide(&clinician(), Action::ReadData, &phi_record()).effect,
@@ -376,12 +373,10 @@ mod tests {
     fn conditions_are_provenance_predicates() {
         // HIPAA-flavored: deny data reads on medical records lacking consent.
         let engine = PolicyEngine::allow_by_default().with_rule(
-            Rule::deny("no-consent")
-                .on([Action::ReadData])
-                .when(Predicate::and(vec![
-                    Predicate::Eq("domain".into(), "medical".into()),
-                    Predicate::Eq("patient.consent".into(), false.into()),
-                ])),
+            Rule::deny("no-consent").on([Action::ReadData]).when(Predicate::and(vec![
+                Predicate::Eq("domain".into(), "medical".into()),
+                Predicate::Eq("patient.consent".into(), false.into()),
+            ])),
         );
         let p = clinician();
         let mut attrs = Attributes::new().with("domain", "medical").with("patient.consent", false);

@@ -231,8 +231,7 @@ fn reachable_through(
     to: TupleSetId,
     allowed: &dyn Fn(TupleSetId) -> bool,
 ) -> bool {
-    let by_id: HashMap<TupleSetId, &ProvenanceRecord> =
-        records.iter().map(|r| (r.id, r)).collect();
+    let by_id: HashMap<TupleSetId, &ProvenanceRecord> = records.iter().map(|r| (r.id, r)).collect();
     let mut stack = vec![from];
     let mut seen = HashSet::new();
     while let Some(id) = stack.pop() {

@@ -89,15 +89,9 @@ impl Predicate {
     pub fn matches(&self, record: &ProvenanceRecord) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::Eq(attr, v) => {
-                each_attr_value(record, attr, |got| got == v)
-            }
-            Predicate::Ne(attr, v) => {
-                each_attr_value(record, attr, |got| got != v)
-            }
-            Predicate::Cmp(attr, op, v) => {
-                each_attr_value(record, attr, |got| op.eval(got, v))
-            }
+            Predicate::Eq(attr, v) => each_attr_value(record, attr, |got| got == v),
+            Predicate::Ne(attr, v) => each_attr_value(record, attr, |got| got != v),
+            Predicate::Cmp(attr, op, v) => each_attr_value(record, attr, |got| op.eval(got, v)),
             Predicate::Between(attr, lo, hi) => {
                 each_attr_value(record, attr, |got| got >= lo && got <= hi)
             }
@@ -115,15 +109,9 @@ impl Predicate {
 
 /// Applies `test` across the (possibly multi-valued) values of an
 /// attribute; true when some value passes. Absent attributes never pass.
-fn each_attr_value(
-    record: &ProvenanceRecord,
-    attr: &str,
-    test: impl Fn(&Value) -> bool,
-) -> bool {
+fn each_attr_value(record: &ProvenanceRecord, attr: &str, test: impl Fn(&Value) -> bool) -> bool {
     if attr == "tool.name" || attr == "tool.version" {
-        return multi_valued_attrs(record)
-            .iter()
-            .any(|(name, value)| *name == attr && test(value));
+        return multi_valued_attrs(record).iter().any(|(name, value)| *name == attr && test(value));
     }
     lookup_attr(record, attr).is_some_and(|got| test(&got))
 }
@@ -190,10 +178,7 @@ pub struct LineageClause {
 impl LineageClause {
     /// Traversal options equivalent of this clause.
     pub fn traverse_opts(&self) -> TraverseOpts {
-        TraverseOpts {
-            max_depth: self.max_depth,
-            stop_at_abstraction: self.stop_at_abstraction,
-        }
+        TraverseOpts { max_depth: self.max_depth, stop_at_abstraction: self.stop_at_abstraction }
     }
 }
 
@@ -316,10 +301,7 @@ mod tests {
         ]);
         assert_eq!(
             p,
-            Predicate::And(vec![
-                Predicate::HasAttr("a".into()),
-                Predicate::HasAttr("b".into())
-            ])
+            Predicate::And(vec![Predicate::HasAttr("a".into()), Predicate::HasAttr("b".into())])
         );
         assert_eq!(Predicate::and(vec![]), Predicate::True);
     }
@@ -328,7 +310,9 @@ mod tests {
     fn time_overlap_matching() {
         let r = record();
         assert!(Predicate::TimeOverlaps(TimeRange::new(Timestamp(150), Timestamp(300))).matches(&r));
-        assert!(!Predicate::TimeOverlaps(TimeRange::new(Timestamp(201), Timestamp(300))).matches(&r));
+        assert!(
+            !Predicate::TimeOverlaps(TimeRange::new(Timestamp(201), Timestamp(300))).matches(&r)
+        );
     }
 
     #[test]

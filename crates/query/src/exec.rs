@@ -116,9 +116,8 @@ pub fn execute_plan(plan: &Plan, provider: &dyn Provider) -> Result<QueryResult>
     };
 
     if let Some(clause) = &plan.lineage {
-        let mut closure = provider
-            .lineage(clause)
-            .ok_or(QueryError::UnknownTupleSet(clause.root))?;
+        let mut closure =
+            provider.lineage(clause).ok_or(QueryError::UnknownTupleSet(clause.root))?;
         if clause.include_root {
             if let Some(root_idx) = provider.node_of(clause.root) {
                 closure.insert(root_idx);
@@ -152,9 +151,7 @@ pub fn execute_plan(plan: &Plan, provider: &dyn Provider) -> Result<QueryResult>
     match plan.order {
         OrderBy::None => {}
         OrderBy::CreatedAsc => records.sort_by_key(|r| (r.created_at, r.id)),
-        OrderBy::CreatedDesc => {
-            records.sort_by_key(|r| (std::cmp::Reverse(r.created_at), r.id))
-        }
+        OrderBy::CreatedDesc => records.sort_by_key(|r| (std::cmp::Reverse(r.created_at), r.id)),
     }
     if let Some(limit) = plan.limit {
         records.truncate(limit);
@@ -179,9 +176,7 @@ mod tests {
     use pass_index::{
         AncestryGraph, AttrIndex, BfsClosure, KeywordIndex, ReachStrategy, TimeIndex,
     };
-    use pass_model::{
-        Digest128, ProvenanceBuilder, SiteId, Timestamp, ToolDescriptor, TupleSetId,
-    };
+    use pass_model::{Digest128, ProvenanceBuilder, SiteId, Timestamp, ToolDescriptor, TupleSetId};
     use std::sync::Mutex;
 
     /// A small in-memory provider for executor tests.
@@ -238,9 +233,7 @@ mod tests {
             self.attrs.has_attr(attr)
         }
         fn all_nodes(&self) -> PostingList {
-            PostingList::from_iter(
-                self.records.iter().filter_map(|r| self.graph.lookup(r.id)),
-            )
+            PostingList::from_iter(self.records.iter().filter_map(|r| self.graph.lookup(r.id)))
         }
         fn lineage(&self, clause: &LineageClause) -> Option<PostingList> {
             let root = self.graph.lookup(clause.root)?;
@@ -416,12 +409,8 @@ mod tests {
         ] {
             let query = parse(text).unwrap();
             let res = execute(&query, &p).unwrap();
-            let want: Vec<TupleSetId> = p
-                .records
-                .iter()
-                .filter(|r| query.filter.matches(r))
-                .map(|r| r.id)
-                .collect();
+            let want: Vec<TupleSetId> =
+                p.records.iter().filter(|r| query.filter.matches(r)).map(|r| r.id).collect();
             let mut got = res.ids();
             got.sort();
             let mut want = want;

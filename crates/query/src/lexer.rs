@@ -158,7 +158,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     j += 1;
                 }
                 if j == start {
-                    return Err(QueryError::Lex { at: i, message: "expected digits after @".into() });
+                    return Err(QueryError::Lex {
+                        at: i,
+                        message: "expected digits after @".into(),
+                    });
                 }
                 let text: String = bytes[start..j].iter().collect();
                 let ms = text

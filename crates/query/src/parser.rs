@@ -309,8 +309,9 @@ mod tests {
 
     #[test]
     fn lineage_query_with_modifiers() {
-        let q = parse(r#"FIND ANCESTORS OF ts:3f2a DEPTH <= 4 ABSTRACTED WHERE tool.name = "sharpen""#)
-            .unwrap();
+        let q =
+            parse(r#"FIND ANCESTORS OF ts:3f2a DEPTH <= 4 ABSTRACTED WHERE tool.name = "sharpen""#)
+                .unwrap();
         let l = q.lineage.unwrap();
         assert_eq!(l.direction, Direction::Ancestors);
         assert_eq!(l.max_depth, Some(4));
@@ -331,8 +332,9 @@ mod tests {
 
     #[test]
     fn time_overlap_and_or_precedence() {
-        let q = parse(r#"FIND WHERE time OVERLAPS [100, 2000] OR HAS patient AND domain = "medical""#)
-            .unwrap();
+        let q =
+            parse(r#"FIND WHERE time OVERLAPS [100, 2000] OR HAS patient AND domain = "medical""#)
+                .unwrap();
         // AND binds tighter than OR.
         match q.filter {
             Predicate::Or(branches) => {
@@ -378,7 +380,8 @@ mod tests {
 
     #[test]
     fn value_literals() {
-        let p = parse_predicate("a = true AND b = false AND c = null AND d = 2.5 AND e = @99").unwrap();
+        let p =
+            parse_predicate("a = true AND b = false AND c = null AND d = 2.5 AND e = @99").unwrap();
         match p {
             Predicate::And(bs) => {
                 assert_eq!(bs[0], Predicate::Eq("a".into(), Value::Bool(true)));

@@ -132,11 +132,7 @@ impl Plan {
             ),
             None => String::new(),
         };
-        let residual = if self.is_exact() {
-            String::new()
-        } else {
-            " → recheck".to_owned()
-        };
+        let residual = if self.is_exact() { String::new() } else { " → recheck".to_owned() };
         format!("{src}{lineage}{residual}")
     }
 }

@@ -2,16 +2,15 @@
 //! agree with brute-force predicate evaluation on arbitrary predicates
 //! and corpora — the superset-plus-residual contract, fuzzed.
 
-use proptest::prelude::*;
 use pass_index::{
     AncestryGraph, AttrIndex, BfsClosure, KeywordIndex, NodeIdx, PostingList, ReachStrategy,
     TimeIndex,
 };
 use pass_model::{
-    Digest128, ProvenanceBuilder, ProvenanceRecord, SiteId, TimeRange, Timestamp, TupleSetId,
-    Value,
+    Digest128, ProvenanceBuilder, ProvenanceRecord, SiteId, TimeRange, Timestamp, TupleSetId, Value,
 };
 use pass_query::{execute, CmpOp, LineageClause, Predicate, Provider, Query};
+use proptest::prelude::*;
 use std::ops::Bound;
 use std::sync::Mutex;
 
@@ -40,11 +39,7 @@ impl Fixture {
             }
             attrs.insert(idx, "origin.site", Value::Int(i64::from(record.origin.0)));
             attrs.insert(idx, "created_at", Value::Time(record.created_at));
-            attrs.insert(
-                idx,
-                "ancestry.parents",
-                Value::Int(record.ancestry.len() as i64),
-            );
+            attrs.insert(idx, "ancestry.parents", Value::Int(record.ancestry.len() as i64));
             if let Some(range) = record.time_range() {
                 time.insert(idx, range);
             }
@@ -147,8 +142,8 @@ fn arb_record(seed: usize) -> impl Strategy<Value = ProvenanceRecord> {
                 builder = builder.attr(ATTRS[ai], v);
             }
             if let Some((start, len)) = window {
-                builder = builder
-                    .time_range(TimeRange::new(Timestamp(start), Timestamp(start + len)));
+                builder =
+                    builder.time_range(TimeRange::new(Timestamp(start), Timestamp(start + len)));
             }
             builder.attr("uniq", seed as i64).build(Digest128::of(&seed.to_be_bytes()))
         })

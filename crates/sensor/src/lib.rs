@@ -32,6 +32,8 @@ pub mod volcano;
 pub mod weather;
 pub mod workload;
 
-pub use pipeline::{build_lineage, DeriveSpec, LineageShape};
+pub use pipeline::{
+    build_lineage, capture_batch_items, ingest_in_batches, DeriveSpec, LineageShape,
+};
 pub use spec::CaptureSpec;
 pub use workload::{QuerySpec, Vocabulary, WorkloadClass};

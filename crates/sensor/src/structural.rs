@@ -113,9 +113,8 @@ mod tests {
         let config = StructuralConfig { sensors: 4, event_rate: 0.3, ..Default::default() };
         let specs = generate(&config, Timestamp::ZERO, 10);
         for w in 0..10 {
-            let flags: Vec<_> = (0..4)
-                .map(|s| specs[w * 4 + s].attrs.get("excited").cloned())
-                .collect();
+            let flags: Vec<_> =
+                (0..4).map(|s| specs[w * 4 + s].attrs.get("excited").cloned()).collect();
             assert!(flags.windows(2).all(|p| p[0] == p[1]), "window {w}: {flags:?}");
         }
     }

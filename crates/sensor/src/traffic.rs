@@ -141,14 +141,9 @@ mod tests {
         // 08:30 vs 03:00.
         let rush = Timestamp((8 * 60 + 30) * 60_000);
         let night = Timestamp(3 * 3_600_000);
-        let rush_total: usize =
-            generate(&config, rush, 1).iter().map(|s| s.readings.len()).sum();
-        let night_total: usize =
-            generate(&config, night, 1).iter().map(|s| s.readings.len()).sum();
-        assert!(
-            rush_total > night_total * 2,
-            "rush {rush_total} vs night {night_total}"
-        );
+        let rush_total: usize = generate(&config, rush, 1).iter().map(|s| s.readings.len()).sum();
+        let night_total: usize = generate(&config, night, 1).iter().map(|s| s.readings.len()).sum();
+        assert!(rush_total > night_total * 2, "rush {rush_total} vs night {night_total}");
     }
 
     #[test]

@@ -54,11 +54,7 @@ pub fn generate(config: &VolcanoConfig, start: Timestamp, windows: usize) -> Vec
         let w_end = w_start + (config.window_ms - 1);
         for s in 0..config.stations {
             let sensor = SensorId(config.sensor_base + s as u64);
-            let events = if erupting {
-                poisson(&mut rng, 12.0)
-            } else {
-                poisson(&mut rng, 0.8)
-            };
+            let events = if erupting { poisson(&mut rng, 12.0) } else { poisson(&mut rng, 0.8) };
             let mut readings = Vec::with_capacity(events as usize);
             let mut peak: f64 = 0.0;
             for _ in 0..events {

@@ -119,11 +119,8 @@ mod tests {
         // The federation experiment joins on `region`; both domains must
         // emit the same attribute name and value space.
         let w = generate(&WeatherConfig::default(), Timestamp::ZERO, 1);
-        let t = crate::traffic::generate(
-            &crate::traffic::TrafficConfig::default(),
-            Timestamp::ZERO,
-            1,
-        );
+        let t =
+            crate::traffic::generate(&crate::traffic::TrafficConfig::default(), Timestamp::ZERO, 1);
         assert_eq!(w[0].region(), t[0].region());
     }
 }

@@ -90,7 +90,9 @@ pub fn versioning(vocab: &Vocabulary, rng: &mut StdRng, n: usize) -> Vec<QuerySp
                 QuerySpec {
                     class: WorkloadClass::Versioning,
                     label: "point-in-time",
-                    text: format!("FIND WHERE time OVERLAPS [{a}, {a}] ORDER BY created DESC LIMIT 1"),
+                    text: format!(
+                        "FIND WHERE time OVERLAPS [{a}, {a}] ORDER BY created DESC LIMIT 1"
+                    ),
                 }
             }
             // "Show me all changes since last week" — window scan.
@@ -99,7 +101,9 @@ pub fn versioning(vocab: &Vocabulary, rng: &mut StdRng, n: usize) -> Vec<QuerySp
                 QuerySpec {
                     class: WorkloadClass::Versioning,
                     label: "changes-since",
-                    text: format!("FIND WHERE created_at >= @{a} AND created_at <= @{b} ORDER BY created ASC"),
+                    text: format!(
+                        "FIND WHERE created_at >= @{a} AND created_at <= @{b} ORDER BY created ASC"
+                    ),
                 }
             }
             // "Find the person who removed this error code" — blame by tool.
@@ -107,7 +111,9 @@ pub fn versioning(vocab: &Vocabulary, rng: &mut StdRng, n: usize) -> Vec<QuerySp
                 Some(tool) => QuerySpec {
                     class: WorkloadClass::Versioning,
                     label: "blame-by-tool",
-                    text: format!(r#"FIND WHERE tool.name = "{tool}" ORDER BY created DESC LIMIT 5"#),
+                    text: format!(
+                        r#"FIND WHERE tool.name = "{tool}" ORDER BY created DESC LIMIT 5"#
+                    ),
                 },
                 None => continue_spec(WorkloadClass::Versioning),
             },
@@ -197,9 +203,7 @@ pub fn sensor(vocab: &Vocabulary, rng: &mut StdRng, n: usize) -> Vec<QuerySpec> 
                     QuerySpec {
                         class: WorkloadClass::Sensor,
                         label: "patient-window",
-                        text: format!(
-                            r#"FIND WHERE patient = "{p}" AND time OVERLAPS [{a}, {b}]"#
-                        ),
+                        text: format!(r#"FIND WHERE patient = "{p}" AND time OVERLAPS [{a}, {b}]"#),
                     }
                 }
                 _ => continue_spec(WorkloadClass::Sensor),

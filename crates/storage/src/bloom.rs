@@ -113,9 +113,7 @@ mod tests {
         for i in 0..10_000u32 {
             f.insert(&i.to_le_bytes());
         }
-        let fp = (10_000..110_000u32)
-            .filter(|i| f.may_contain(&i.to_le_bytes()))
-            .count();
+        let fp = (10_000..110_000u32).filter(|i| f.may_contain(&i.to_le_bytes())).count();
         let rate = fp as f64 / 100_000.0;
         assert!(rate < 0.03, "false positive rate {rate} too high for 10 bits/key");
     }

@@ -120,8 +120,8 @@ impl LsmEngine {
 
         // Remove table files the manifest does not know about (debris from
         // a crash mid-flush/compaction).
-        for entry in std::fs::read_dir(&dir)
-            .map_err(|e| StorageError::io("listing engine dir", e))?
+        for entry in
+            std::fs::read_dir(&dir).map_err(|e| StorageError::io("listing engine dir", e))?
         {
             let entry = entry.map_err(|e| StorageError::io("listing engine dir", e))?;
             let name = entry.file_name();
@@ -316,11 +316,7 @@ fn compact_locked(inner: &mut Inner) -> Result<()> {
     let expected: u64 = inner.tables.iter().map(|t| t.entry_count()).sum();
     let mut builder = TableBuilder::create(&path, expected as usize, inner.opts.table.clone())?;
 
-    let sources: Vec<Source> = inner
-        .tables
-        .iter()
-        .map(|t| Box::new(t.iter()) as Source)
-        .collect();
+    let sources: Vec<Source> = inner.tables.iter().map(|t| Box::new(t.iter()) as Source).collect();
     for item in MergeIter::new(sources) {
         let (key, value) = item?;
         // Merging *all* tables: a tombstone shadows nothing older, drop it.
@@ -459,10 +455,7 @@ mod tests {
         assert!(stats.flushes > 0, "expected automatic flushes: {stats:?}");
         assert!(stats.compactions > 0, "expected automatic compaction: {stats:?}");
         for i in (0..2_000u32).step_by(97) {
-            assert_eq!(
-                db.get(format!("key-{i:05}").as_bytes()).unwrap(),
-                Some(vec![0u8; 64])
-            );
+            assert_eq!(db.get(format!("key-{i:05}").as_bytes()).unwrap(), Some(vec![0u8; 64]));
         }
     }
 
@@ -497,10 +490,7 @@ mod tests {
         let got = db.scan_prefix(b"p/").unwrap();
         assert_eq!(
             got,
-            vec![
-                (b"p/1".to_vec(), b"new".to_vec()),
-                (b"p/2".to_vec(), b"t2".to_vec()),
-            ]
+            vec![(b"p/1".to_vec(), b"new".to_vec()), (b"p/2".to_vec(), b"t2".to_vec()),]
         );
     }
 

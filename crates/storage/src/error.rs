@@ -56,7 +56,9 @@ impl StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            StorageError::Io { context, source } => {
+                write!(f, "I/O error while {context}: {source}")
+            }
             StorageError::Corrupt { path, detail } => {
                 write!(f, "corrupt engine file {}: {detail}", path.display())
             }

@@ -26,10 +26,7 @@ impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the smallest key (then the
         // newest source) pops first.
-        other
-            .key
-            .cmp(&self.key)
-            .then_with(|| other.source.cmp(&self.source))
+        other.key.cmp(&self.key).then_with(|| other.source.cmp(&self.source))
     }
 }
 
@@ -119,10 +116,7 @@ mod tests {
     fn collect(iter: MergeIter) -> Vec<(String, Option<String>)> {
         iter.map(|r| {
             let (k, v) = r.unwrap();
-            (
-                String::from_utf8(k).unwrap(),
-                v.map(|v| String::from_utf8(v).unwrap()),
-            )
+            (String::from_utf8(k).unwrap(), v.map(|v| String::from_utf8(v).unwrap()))
         })
         .collect()
     }
@@ -150,10 +144,7 @@ mod tests {
 
     #[test]
     fn tombstones_shadow_older_values_but_are_emitted() {
-        let m = MergeIter::new(vec![
-            src(vec![("k", None)]),
-            src(vec![("k", Some("old"))]),
-        ]);
+        let m = MergeIter::new(vec![src(vec![("k", None)]), src(vec![("k", Some("old"))])]);
         assert_eq!(collect(m), vec![("k".to_owned(), None)]);
     }
 

@@ -70,15 +70,37 @@ impl KvStore for MemEngine {
             Some(e) => Bound::Excluded(e.to_vec()),
             None => Bound::Unbounded,
         };
-        Ok(data
-            .range::<Vec<u8>, _>((lower, upper))
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect())
+        Ok(data.range::<Vec<u8>, _>((lower, upper)).map(|(k, v)| (k.clone(), v.clone())).collect())
     }
 
     fn flush(&self) -> Result<()> {
         Ok(())
     }
+
+    /// Direct single-key insert: hot paths (index rebuild seeding, the
+    /// distributed simulations' per-site stores) call `put` in tight
+    /// loops, so skip the trait-default `WriteBatch` round-trip. Same
+    /// size limits as [`WriteBatch::validate`].
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        check_entry(key.len(), value.len())?;
+        self.data.write().insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    /// Direct single-key delete; same rationale as [`KvStore::put`].
+    fn delete(&self, key: &[u8]) -> Result<()> {
+        check_entry(key.len(), 0)?;
+        self.data.write().remove(key);
+        Ok(())
+    }
+}
+
+/// The single-entry form of [`WriteBatch::validate`]'s size check.
+fn check_entry(key_len: usize, value_len: usize) -> Result<()> {
+    if key_len == 0 || key_len > crate::MAX_KEY_LEN || value_len > crate::MAX_VALUE_LEN {
+        return Err(crate::StorageError::OversizeEntry { key_len, value_len });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -113,7 +135,8 @@ mod tests {
             m.put(k.as_bytes(), b"v").unwrap();
         }
         let got = m.scan_prefix(b"p/").unwrap();
-        let keys: Vec<_> = got.iter().map(|(k, _)| String::from_utf8_lossy(k).into_owned()).collect();
+        let keys: Vec<_> =
+            got.iter().map(|(k, _)| String::from_utf8_lossy(k).into_owned()).collect();
         assert_eq!(keys, vec!["p/1", "p/2", "p/3"]);
     }
 

@@ -69,9 +69,7 @@ impl MemTable {
             Some(e) => Bound::Excluded(e.to_vec()),
             None => Bound::Unbounded,
         };
-        self.entries
-            .range::<Vec<u8>, _>((lower, upper))
-            .map(|(k, v)| (k.as_slice(), v.as_deref()))
+        self.entries.range::<Vec<u8>, _>((lower, upper)).map(|(k, v)| (k.as_slice(), v.as_deref()))
     }
 
     /// Iterates everything in key order (flush path).

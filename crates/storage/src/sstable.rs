@@ -66,7 +66,11 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Creates a builder writing to `path`. `expected_entries` sizes the
     /// bloom filter.
-    pub fn create(path: impl Into<PathBuf>, expected_entries: usize, opts: TableOptions) -> Result<Self> {
+    pub fn create(
+        path: impl Into<PathBuf>,
+        expected_entries: usize,
+        opts: TableOptions,
+    ) -> Result<Self> {
         let path = path.into();
         let file = File::create(&path)
             .map_err(|e| StorageError::io(format!("creating SSTable {}", path.display()), e))?;
@@ -172,10 +176,7 @@ impl TableBuilder {
             .write_all(&footer)
             .map_err(|e| StorageError::io("writing SSTable footer", e))?;
         self.writer.flush().map_err(|e| StorageError::io("flushing SSTable", e))?;
-        self.writer
-            .get_ref()
-            .sync_data()
-            .map_err(|e| StorageError::io("fsyncing SSTable", e))?;
+        self.writer.get_ref().sync_data().map_err(|e| StorageError::io("fsyncing SSTable", e))?;
         Ok(())
     }
 
@@ -329,10 +330,8 @@ impl SsTable {
         if self.index.is_empty() {
             return Ok(Vec::new());
         }
-        let first_block = self
-            .index
-            .partition_point(|(first, _, _)| first.as_slice() <= start)
-            .saturating_sub(1);
+        let first_block =
+            self.index.partition_point(|(first, _, _)| first.as_slice() <= start).saturating_sub(1);
         let mut out = Vec::new();
         for i in first_block..self.index.len() {
             if let Some(end) = end {
@@ -474,7 +473,12 @@ mod tests {
         let table = build_table(&dir, &entries);
         assert_eq!(table.entry_count(), 2_000);
         for (k, v) in &entries {
-            assert_eq!(table.get(k).unwrap(), Some(v.clone()), "key {:?}", String::from_utf8_lossy(k));
+            assert_eq!(
+                table.get(k).unwrap(),
+                Some(v.clone()),
+                "key {:?}",
+                String::from_utf8_lossy(k)
+            );
         }
     }
 
@@ -561,9 +565,8 @@ mod tests {
     fn multi_block_tables_index_correctly() {
         let dir = TempDir::new("sst-blocks");
         // Values big enough to force many blocks at the 4 KiB default.
-        let entries: Vec<_> = (0..100u32)
-            .map(|i| (format!("k{i:04}").into_bytes(), Some(vec![7u8; 512])))
-            .collect();
+        let entries: Vec<_> =
+            (0..100u32).map(|i| (format!("k{i:04}").into_bytes(), Some(vec![7u8; 512]))).collect();
         let table = build_table(&dir, &entries);
         assert!(table.index.len() > 5, "expected many blocks, got {}", table.index.len());
         for (k, v) in &entries {

@@ -23,10 +23,7 @@ impl TempDir {
     /// without scratch space, and an `expect` here beats silent reuse.
     pub fn new(label: &str) -> Self {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "pass-{label}-{}-{n}",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("pass-{label}-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&path).expect("creating temp dir");
         TempDir { path }
     }

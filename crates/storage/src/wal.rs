@@ -54,15 +54,18 @@ impl Wal {
 
     /// Opens an existing log for appending at `offset` (which recovery
     /// determined to be the end of the valid prefix).
-    pub fn open_for_append(path: impl Into<PathBuf>, policy: SyncPolicy, offset: u64) -> Result<Self> {
+    pub fn open_for_append(
+        path: impl Into<PathBuf>,
+        policy: SyncPolicy,
+        offset: u64,
+    ) -> Result<Self> {
         let path = path.into();
         let file = OpenOptions::new()
             .write(true)
             .open(&path)
             .map_err(|e| StorageError::io(format!("opening WAL {}", path.display()), e))?;
         // Discard any torn tail so new records start on a clean boundary.
-        file.set_len(offset)
-            .map_err(|e| StorageError::io("truncating torn WAL tail", e))?;
+        file.set_len(offset).map_err(|e| StorageError::io("truncating torn WAL tail", e))?;
         let mut writer = BufWriter::new(file);
         writer
             .seek(SeekFrom::Start(offset))
@@ -84,10 +87,9 @@ impl Wal {
         self.len += 8 + u64::from(len);
         match self.policy {
             SyncPolicy::Always => self.sync()?,
-            SyncPolicy::OnWrite => self
-                .writer
-                .flush()
-                .map_err(|e| StorageError::io("flushing WAL buffer", e))?,
+            SyncPolicy::OnWrite => {
+                self.writer.flush().map_err(|e| StorageError::io("flushing WAL buffer", e))?
+            }
             SyncPolicy::Lazy => {}
         }
         Ok(offset)
@@ -96,10 +98,7 @@ impl Wal {
     /// Flushes buffers and `fsync`s the file.
     pub fn sync(&mut self) -> Result<()> {
         self.writer.flush().map_err(|e| StorageError::io("flushing WAL buffer", e))?;
-        self.writer
-            .get_ref()
-            .sync_data()
-            .map_err(|e| StorageError::io("fsyncing WAL", e))
+        self.writer.get_ref().sync_data().map_err(|e| StorageError::io("fsyncing WAL", e))
     }
 
     /// Bytes of valid log written so far.
@@ -144,10 +143,7 @@ pub fn recover(path: &Path) -> Result<WalRecovery> {
         }
         Err(e) => return Err(StorageError::io(format!("opening WAL {}", path.display()), e)),
     };
-    let file_len = file
-        .metadata()
-        .map_err(|e| StorageError::io("statting WAL", e))?
-        .len();
+    let file_len = file.metadata().map_err(|e| StorageError::io("statting WAL", e))?.len();
     let mut records = Vec::new();
     let mut offset = 0u64;
     let mut header = [0u8; 8];
@@ -155,8 +151,7 @@ pub fn recover(path: &Path) -> Result<WalRecovery> {
         if offset + 8 > file_len {
             break;
         }
-        file.read_exact(&mut header)
-            .map_err(|e| StorageError::io("reading WAL header", e))?;
+        file.read_exact(&mut header).map_err(|e| StorageError::io("reading WAL header", e))?;
         let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
         let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
         if len > MAX_RECORD_LEN || offset + 8 + u64::from(len) > file_len {
@@ -164,8 +159,7 @@ pub fn recover(path: &Path) -> Result<WalRecovery> {
             break;
         }
         let mut payload = vec![0u8; len as usize];
-        file.read_exact(&mut payload)
-            .map_err(|e| StorageError::io("reading WAL payload", e))?;
+        file.read_exact(&mut payload).map_err(|e| StorageError::io("reading WAL payload", e))?;
         if crc32c(&payload) != crc {
             break;
         }

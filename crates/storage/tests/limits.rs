@@ -21,10 +21,7 @@ fn max_key_len_is_inclusive() {
     }
     let too_long = vec![7u8; MAX_KEY_LEN + 1];
     for db in [&mem as &dyn KvStore, &lsm] {
-        assert!(matches!(
-            db.put(&too_long, b"v"),
-            Err(StorageError::OversizeEntry { .. })
-        ));
+        assert!(matches!(db.put(&too_long, b"v"), Err(StorageError::OversizeEntry { .. })));
     }
 }
 

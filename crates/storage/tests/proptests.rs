@@ -2,9 +2,9 @@
 //! plain `BTreeMap` under any operation sequence, including across
 //! flushes, compactions, reopens, and torn-WAL crashes.
 
-use proptest::prelude::*;
 use pass_storage::tempdir::TempDir;
 use pass_storage::{EngineOptions, KvStore, LsmEngine, MemEngine, WriteBatch};
+use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]

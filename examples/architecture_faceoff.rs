@@ -6,7 +6,9 @@
 //! cargo run --release --example architecture_faceoff
 //! ```
 
-use pass::distrib::runner::{build_arch, build_corpus, render_table, run_workload, ArchKind, WorkloadSpec};
+use pass::distrib::runner::{
+    build_arch, build_corpus, render_table, run_workload, ArchKind, WorkloadSpec,
+};
 
 fn main() {
     let spec = WorkloadSpec::default();

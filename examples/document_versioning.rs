@@ -16,8 +16,7 @@
 use pass::core::Pass;
 use pass::index::{Direction, TraverseOpts};
 use pass::model::{
-    keys, Annotation, Attributes, Reading, SensorId, SiteId, Timestamp, ToolDescriptor,
-    TupleSetId,
+    keys, Annotation, Attributes, Reading, SensorId, SiteId, Timestamp, ToolDescriptor, TupleSetId,
 };
 
 /// One "commit": the full line list of one file at one instant.
@@ -131,10 +130,7 @@ fn main() {
         .expect("query");
     show("file as it is now (latest main.c):", &now.ids(), &pass);
     let yesterday = pass
-        .query_text(&format!(
-            r#"FIND WHERE file = "main.c" AND time OVERLAPS [0, {}]"#,
-            2 * day
-        ))
+        .query_text(&format!(r#"FIND WHERE file = "main.c" AND time OVERLAPS [0, {}]"#, 2 * day))
         .expect("query");
     show("as it was 'yesterday' (≤ day 2):", &yesterday.ids(), &pass);
 
@@ -149,8 +145,7 @@ fn main() {
     show("changes since day 2:", &since.ids(), &pass);
 
     // -- §III-A query 3: "find the person who removed this error code" ----
-    let blame =
-        pass.query_text(r#"FIND WHERE ANNOTATION CONTAINS "ERR_NOT_IMPL""#).expect("query");
+    let blame = pass.query_text(r#"FIND WHERE ANNOTATION CONTAINS "ERR_NOT_IMPL""#).expect("query");
     show("annotation mentions ERR_NOT_IMPL (keyword index):", &blame.ids(), &pass);
 
     // -- §III-A query 4: "get me all files tagged Release 1.1" ------------
@@ -159,9 +154,8 @@ fn main() {
     assert_eq!(tagged.ids().len(), 2);
 
     // -- Beyond CVS: the cross-file copy is real ancestry ------------------
-    let lineage = pass
-        .lineage(util_v2, Direction::Ancestors, TraverseOpts::unbounded())
-        .expect("lineage");
+    let lineage =
+        pass.lineage(util_v2, Direction::Ancestors, TraverseOpts::unbounded()).expect("lineage");
     show("full ancestry of util.c v2 (crosses into main.c):", &ids_of(&lineage), &pass);
     assert!(lineage.iter().any(|r| r.attributes.get_str("file") == Some("main.c")));
 

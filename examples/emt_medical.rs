@@ -59,11 +59,7 @@ fn main() {
         .query_text(r#"FIND WHERE patient = "patient-003" ORDER BY created ASC"#)
         .expect("query");
     for record in &all.records {
-        println!(
-            "   {}  type={}",
-            record.id,
-            record.attributes.get_str(keys::TYPE).unwrap_or("?")
-        );
+        println!("   {}  type={}", record.id, record.attributes.get_str(keys::TYPE).unwrap_or("?"));
     }
 
     println!("\n› Give profiles for everyone handled by emt-1:");
@@ -77,9 +73,7 @@ fn main() {
     println!("   {} windows across patients {:?}", by_emt.records.len(), patients);
 
     println!("\n› Find me all patients with signs of arrhythmia:");
-    let flagged = pass
-        .query_text("FIND WHERE anomaly.arrhythmia = true")
-        .expect("query");
+    let flagged = pass.query_text("FIND WHERE anomaly.arrhythmia = true").expect("query");
     let patients: std::collections::BTreeSet<_> = flagged
         .records
         .iter()

@@ -14,9 +14,7 @@
 
 use pass::core::Pass;
 use pass::index::{Direction, TraverseOpts};
-use pass::model::{
-    keys, Annotation, Attributes, SiteId, Timestamp, ToolDescriptor, TupleSetId,
-};
+use pass::model::{keys, Annotation, Attributes, SiteId, Timestamp, ToolDescriptor, TupleSetId};
 use pass::sensor::{
     traffic::{self, TrafficConfig},
     weather::{self, WeatherConfig},
@@ -112,9 +110,8 @@ fn main() {
 
     // -- One globally searchable archive (§V) ------------------------------
     let all_traffic = global.query_text(r#"FIND WHERE domain = "traffic""#).expect("query");
-    let boston_weather = global
-        .query_text(r#"FIND WHERE domain = "weather" AND region = "boston""#)
-        .expect("query");
+    let boston_weather =
+        global.query_text(r#"FIND WHERE domain = "weather" AND region = "boston""#).expect("query");
     println!(
         "global archive: {} records; {} traffic world-wide; {} boston weather",
         global.len(),
@@ -123,15 +120,13 @@ fn main() {
     );
 
     // London's annotation is keyword-searchable from the archive…
-    let swapped =
-        global.query_text(r#"FIND WHERE ANNOTATION CONTAINS "replaced""#).expect("query");
+    let swapped = global.query_text(r#"FIND WHERE ANNOTATION CONTAINS "replaced""#).expect("query");
     assert_eq!(swapped.ids(), vec![london_ids[0]]);
     println!("annotation survives the merge and is searchable globally");
 
     // …and so is the derived report's full cross-site lineage.
-    let ancestors = global
-        .lineage(report, Direction::Ancestors, TraverseOpts::unbounded())
-        .expect("lineage");
+    let ancestors =
+        global.lineage(report, Direction::Ancestors, TraverseOpts::unbounded()).expect("lineage");
     println!("congestion report lineage resolves {} raw parents in the archive", ancestors.len());
 
     // Boston's removed blob arrived as bare provenance: still named,

@@ -27,13 +27,11 @@ fn main() {
     // -- The regime: deny by default, clinicians cleared for PHI, ---------
     // -- everyone may read public records. ---------------------------------
     let engine = PolicyEngine::deny_by_default()
-        .with_rule(
-            Rule::allow("clinician-full").for_role("clinician").on([
-                Action::ReadData,
-                Action::ReadProvenance,
-                Action::ReadLineage,
-            ]),
-        )
+        .with_rule(Rule::allow("clinician-full").for_role("clinician").on([
+            Action::ReadData,
+            Action::ReadProvenance,
+            Action::ReadLineage,
+        ]))
         .with_rule(Rule::allow("public-read").when(Predicate::Cmp(
             pass::policy::label::ATTR_SENSITIVITY.into(),
             pass::query::CmpOp::Le,

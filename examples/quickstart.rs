@@ -68,16 +68,19 @@ fn main() {
         "FIND WHERE time OVERLAPS [30000, 40000]",
     ] {
         let result = pass.query_text(text).expect("query");
-        println!("\n  {text}\n    -> {} match(es), plan: {}", result.records.len(), result.stats.plan);
+        println!(
+            "\n  {text}\n    -> {} match(es), plan: {}",
+            result.records.len(),
+            result.stats.plan
+        );
         for record in &result.records {
             println!("       {}  {}", record.id, record.attributes);
         }
     }
 
     // -- Lineage ------------------------------------------------------------
-    let ancestors = pass
-        .lineage(filtered, Direction::Ancestors, TraverseOpts::unbounded())
-        .expect("lineage");
+    let ancestors =
+        pass.lineage(filtered, Direction::Ancestors, TraverseOpts::unbounded()).expect("lineage");
     println!("\nancestors of {filtered}:");
     for a in &ancestors {
         println!("   {}  ({} annotations)", a.id, a.annotations.len());
@@ -85,9 +88,8 @@ fn main() {
 
     // -- PASS property 4: provenance survives data removal -------------------
     pass.remove_data(raw).expect("remove");
-    let still_there = pass
-        .lineage(filtered, Direction::Ancestors, TraverseOpts::unbounded())
-        .expect("lineage");
+    let still_there =
+        pass.lineage(filtered, Direction::Ancestors, TraverseOpts::unbounded()).expect("lineage");
     println!(
         "\nafter deleting the raw readings, lineage still names {} ancestor(s)",
         still_there.len()

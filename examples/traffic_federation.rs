@@ -80,18 +80,12 @@ fn main() {
     federation.reset_net();
 
     // -- Cross-domain federation query -------------------------------------
-    let query = parse(
-        r#"FIND WHERE region = "metro-0" AND time OVERLAPS [0, 600000]"#,
-    )
-    .expect("well-formed");
+    let query = parse(r#"FIND WHERE region = "metro-0" AND time OVERLAPS [0, 600000]"#)
+        .expect("well-formed");
     let issued = federation.now();
     let op = federation.query(0, &query);
     federation.run_quiet();
-    let outcome = federation
-        .outcomes()
-        .into_iter()
-        .find(|o| o.op == op)
-        .expect("query completed");
+    let outcome = federation.outcomes().into_iter().find(|o| o.op == op).expect("query completed");
     let net = federation.net();
     println!(
         "\ncross-domain query matched {} tuple sets in {:.1} ms \

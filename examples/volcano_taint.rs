@@ -75,10 +75,7 @@ fn main() {
     let station_windows = pass
         .query_text(r#"FIND WHERE station.id = 30002 AND type = "seismic_window""#)
         .expect("station windows");
-    println!(
-        "\nstation 30002 produced {} suspect windows",
-        station_windows.records.len()
-    );
+    println!("\nstation 30002 produced {} suspect windows", station_windows.records.len());
     let mut tainted = std::collections::BTreeSet::new();
     for id in station_windows.ids() {
         for record in pass

@@ -71,12 +71,11 @@ fn sensor_to_disk_to_queries_to_recovery() {
         pass.flush().unwrap();
         drop(pass);
 
-        for strategy in [ClosureStrategy::NaiveJoin, ClosureStrategy::Memo, ClosureStrategy::Interval]
+        for strategy in
+            [ClosureStrategy::NaiveJoin, ClosureStrategy::Memo, ClosureStrategy::Interval]
         {
-            let pass = Pass::open(
-                PassConfig::disk(SiteId(5), dir.path()).with_closure(strategy),
-            )
-            .unwrap();
+            let pass =
+                Pass::open(PassConfig::disk(SiteId(5), dir.path()).with_closure(strategy)).unwrap();
             let mut ids: Vec<_> = pass
                 .lineage(leaf, Direction::Ancestors, TraverseOpts::unbounded())
                 .unwrap()
@@ -136,12 +135,7 @@ fn architectures_match_ground_truth_smoke() {
     for kind in ArchKind::all_default() {
         let mut arch = build_arch(kind, spec.topology(), spec.seed);
         let report = run_workload(arch.as_mut(), &corpus, &spec);
-        assert!(
-            report.quality.recall > 0.9,
-            "{} recall {}",
-            report.name,
-            report.quality.recall
-        );
+        assert!(report.quality.recall > 0.9, "{} recall {}", report.name, report.quality.recall);
         assert!(
             report.quality.precision > 0.99,
             "{} precision {}",

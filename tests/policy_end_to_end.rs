@@ -69,10 +69,7 @@ fn emt_corpus_under_policy_full_cycle() {
     let mut summaries = Vec::new();
     for (i, &chart) in charts.iter().enumerate() {
         let readings = ward.get_data(&emt, chart).unwrap().unwrap();
-        let hr = readings
-            .iter()
-            .filter_map(|r| r.field("hr_bpm")?.as_float())
-            .sum::<f64>()
+        let hr = readings.iter().filter_map(|r| r.field("hr_bpm")?.as_float()).sum::<f64>()
             / readings.len() as f64;
         let summary = ward
             .derive(
@@ -160,8 +157,7 @@ fn emt_corpus_under_policy_full_cycle() {
 /// combination can leak an undominated record through any read path.
 #[test]
 fn mandatory_layer_is_airtight_across_read_paths() {
-    let engine = PolicyEngine::allow_by_default()
-        .with_rule(Rule::allow("everything")); // maximally permissive rules
+    let engine = PolicyEngine::allow_by_default().with_rule(Rule::allow("everything")); // maximally permissive rules
     let ward = GuardedPass::new(Pass::open_memory(SiteId(1)), engine);
     let emt = clinician();
     let phi = PolicyLabel::new(Sensitivity::Private).with_category("phi");
@@ -178,11 +174,8 @@ fn mandatory_layer_is_airtight_across_read_paths() {
     let outsider = Principal::new("x"); // public clearance
     assert!(ward.get_record(&outsider, id).is_err());
     assert!(ward.get_data(&outsider, id).is_err());
-    assert!(ward
-        .lineage(&outsider, id, Direction::Ancestors, TraverseOpts::unbounded())
-        .is_err());
-    let (vis, withheld) =
-        ward.query_text(&outsider, r#"FIND WHERE domain = "medical""#).unwrap();
+    assert!(ward.lineage(&outsider, id, Direction::Ancestors, TraverseOpts::unbounded()).is_err());
+    let (vis, withheld) = ward.query_text(&outsider, r#"FIND WHERE domain = "medical""#).unwrap();
     assert_eq!((vis.len(), withheld), (0, 1));
 
     // Partial clearance is still insufficient: level without category …

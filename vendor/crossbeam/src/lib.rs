@@ -1,0 +1,56 @@
+//! Minimal offline shim for the `crossbeam::thread::scope` API, backed by
+//! `std::thread::scope` (stable since 1.63).
+
+/// Scoped threads.
+pub mod thread {
+    /// Handle passed to closures spawned inside a scope. The real
+    /// crossbeam passes the scope itself for nested spawns; callers here
+    /// only ever ignore it.
+    #[derive(Debug)]
+    pub struct NestedScope(());
+
+    /// A thread scope; spawned threads are joined before `scope` returns.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&NestedScope(())))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing from the caller's stack is
+    /// allowed; all spawned threads are joined on exit. A panicking child
+    /// propagates as a panic (std semantics) rather than an `Err`, which
+    /// still fails the calling test.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicU32::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,327 @@
+//! Offline mini-`proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: `Strategy` with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, `any::<T>()`, `Just`, regex-subset string
+//! strategies, ranges as strategies, `collection::{vec, btree_map,
+//! btree_set}`, `option::of`, weighted `prop_oneof!`, `ProptestConfig`,
+//! and the `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case panics with the generated inputs'
+//!   `Debug` form via the assert message instead;
+//! * deterministic seeding per test name, so failures reproduce exactly;
+//! * `prop_assume!` skips the current case rather than resampling.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub mod strategies;
+
+pub use strategies::{
+    any, Any, Arbitrary, BoxedStrategy, Just, OneOf, SizeRange, Strategy, TestRng,
+};
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy producing `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy producing sorted unique maps. Sizes are best-effort: key
+    /// collisions may produce fewer entries than requested.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size: size.into() }
+    }
+
+    /// Strategy producing sorted unique sets (best-effort sizes, as for
+    /// [`btree_map`]).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 4 + 8 {
+                out.insert(self.keys.sample(rng), self.values.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 4 + 8 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::*;
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// The ambient prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategies::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Asserts a condition inside a property (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `name(param in strategy, …) { body }`
+/// becomes a `#[test]` running `ProptestConfig::cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($param:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $param = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                (move || $body)();
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+// Keep module-level imports used by collection/option modules.
+#[allow(unused_imports)]
+use strategies::*;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u8>> {
+        crate::collection::vec(any::<u8>(), 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_in_range(v in small_vec()) {
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_map_work(x in prop_oneof![1 => Just(1u32), 2 => 10u32..20, 3 => Just(7u32)]) {
+            prop_assert!(x == 1 || x == 7 || (10..20).contains(&x));
+        }
+
+        #[test]
+        fn regex_subset_shapes_strings(s in "[a-z][a-z0-9._]{0,12}", t in "[ -~]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 13);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(t.len() <= 8);
+            prop_assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = any::<u8>().prop_map(Tree::Leaf).prop_recursive(4, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::from_name("rec");
+        for _ in 0..200 {
+            let _ = strat.sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn flat_map_and_vec_of_strategies() {
+        let strat = crate::collection::vec(any::<u8>(), 1..4)
+            .prop_flat_map(|seeds| seeds.into_iter().map(|s| Just(s as u32)).collect::<Vec<_>>());
+        let mut rng = crate::TestRng::from_name("flat");
+        let out = strat.sample(&mut rng);
+        assert!(!out.is_empty() && out.len() < 4);
+    }
+}

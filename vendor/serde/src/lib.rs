@@ -1,0 +1,14 @@
+//! Offline stub of `serde`.
+//!
+//! PASS serializes through its own canonical codec (`pass-model::codec`);
+//! the serde derives on model types are marker-only compatibility
+//! declarations. This stub keeps the trait names and derive macros
+//! available without the real (network-fetched) serde.
+
+/// Marker for types declaring serde serializability.
+pub trait Serialize {}
+
+/// Marker for types declaring serde deserializability.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,43 @@
+//! Offline stub for `serde_derive`.
+//!
+//! The workspace's canonical wire format is the hand-written codec in
+//! `pass-model`; the serde derives on model types exist only to keep the
+//! types serde-compatible for downstream users. This stub therefore emits
+//! empty impls of the marker traits in the sibling `serde` stub. It
+//! handles plain (non-generic) structs and enums, which is everything the
+//! workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum a derive was applied to.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("serde stub: expected type name, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde stub: no struct/enum found in derive input");
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().expect("generated impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
