@@ -1,0 +1,38 @@
+//! E21: streaming cursors vs materialize-everything execution —
+//! time-to-first-result for a bounded query at store sizes 10k/100k/1M.
+//! (Peak-RSS numbers come from the `experiments e21` table, which can
+//! reset the kernel watermark between runs; Criterion measures time.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_bench::exp_local::e20_batched_store;
+use pass_query::QueryEngine;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e21_streaming");
+    group.sample_size(10);
+    let bounded = pass_query::parse(r#"FIND WHERE region = "zone-3" LIMIT 10"#).unwrap();
+    let unbounded = pass_query::parse(r#"FIND WHERE region = "zone-3""#).unwrap();
+    for size in [10_000usize, 100_000, 1_000_000] {
+        let (pass, _) = e20_batched_store(size, 4_096);
+        let snapshot = pass.snapshot();
+        group.bench_with_input(BenchmarkId::new("first_result_streaming", size), &size, |b, _| {
+            b.iter(|| snapshot.open_query(&bounded).expect("open").next().expect("first record"))
+        });
+        group.bench_with_input(BenchmarkId::new("limit10_streaming", size), &size, |b, _| {
+            b.iter(|| snapshot.open_query(&bounded).expect("open").count())
+        });
+        group.bench_with_input(BenchmarkId::new("limit10_materialized", size), &size, |b, _| {
+            b.iter(|| {
+                // The old API shape: drain the full match set, cut.
+                let mut records =
+                    pass_query::execute(&unbounded, &snapshot).expect("query").records;
+                records.truncate(10);
+                records.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E20). The output of this binary is
+//! Prints every experiment table (E1–E21). The output of this binary is
 //! the source of record for `EXPERIMENTS.md`.
 //!
 //! ```sh
@@ -34,6 +34,7 @@ fn main() {
         ("e18", exp_policy::e18_table),
         ("e19", exp_policy::e19_table),
         ("e20", exp_local::e20_table),
+        ("e21", exp_local::e21_table),
     ];
     for arg in &args {
         if !experiments.iter().any(|(tag, _)| tag == arg) {

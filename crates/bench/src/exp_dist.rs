@@ -315,6 +315,58 @@ pub fn e14_table() -> String {
     out
 }
 
+/// E21 (distributed half): wire bytes for a bounded vs unbounded remote
+/// query. Bounded queries stream keyset pages (`SubQueryPage`) or
+/// truncated posting fetches instead of full ID sets, so their traffic
+/// tracks the limit rather than the match set.
+pub fn e21_traffic_table() -> String {
+    use pass_distrib::{Centralized, Federated};
+    use pass_model::{Digest128, ProvenanceBuilder, SiteId, Timestamp};
+
+    let mut out = String::from(
+        "E21d distrib query traffic: bounded (LIMIT 10) vs full-result shipping\n\
+         architecture      records   full_KiB   limit10_KiB   reduction\n",
+    );
+    let records = 2_000usize;
+    let topology = || Topology::clustered(2, 2, 2.0, 40.0);
+    let archs: Vec<Box<dyn Architecture>> = vec![
+        Box::new(Centralized::new(topology(), 21)),
+        Box::new(Federated::new(topology(), 21)),
+        build_arch(ArchKind::Dht { replicas: 1 }, topology(), 21),
+    ];
+    for mut arch in archs {
+        let sites = arch.sites();
+        for i in 0..records {
+            let record = ProvenanceBuilder::new(SiteId((i % sites) as u32), Timestamp(i as u64))
+                .attr("domain", "traffic")
+                .attr("seq", i as i64)
+                .build(Digest128::of(&(i as u64).to_be_bytes()));
+            arch.publish(i % sites, &record);
+        }
+        arch.run_quiet();
+        arch.outcomes();
+
+        let mut measure = |text: &str| -> u64 {
+            arch.reset_net();
+            arch.query(1, &parse(text).expect("well-formed"));
+            arch.run_quiet();
+            let _ = arch.outcomes();
+            arch.net().class(TrafficClass::Query).bytes
+        };
+        let full = measure(r#"FIND WHERE domain = "traffic""#);
+        let bounded = measure(r#"FIND WHERE domain = "traffic" LIMIT 10"#);
+        out.push_str(&format!(
+            "{:<17} {:>7} {:>10.1} {:>13.1} {:>10.1}x\n",
+            arch.name(),
+            records,
+            full as f64 / 1024.0,
+            bounded as f64 / 1024.0,
+            full as f64 / bounded.max(1) as f64
+        ));
+    }
+    out
+}
+
 /// Per-architecture one-shot query helper for Criterion benches.
 pub fn bench_one_query(kind: ArchKind) -> u64 {
     let spec = WorkloadSpec {

@@ -1,6 +1,7 @@
 //! Local-store experiments: E1 (granularity), E2 (naming), E3 (closure
 //! strategies), E4 (query mix), E12 (PASS properties), E16 (abstraction),
-//! E20 (group-commit batched ingest).
+//! E20 (group-commit batched ingest), E21 (streaming vs materialized
+//! query execution).
 
 use pass_core::Pass;
 use pass_index::closure::{BfsClosure, MemoClosure, NaiveJoinClosure, ReachStrategy, TraverseOpts};
@@ -181,6 +182,202 @@ fn e20_row(
     format!(
         "{:<8} {:>5} {:>6} {:>12.0} {:>14.2} {:>9} {:>13.3}\n",
         backend, total, batch, rate, speedup, stats.batches, query_ms
+    )
+}
+
+// ---------------------------------------------------------------------------
+// E21 — streaming vs materialized query execution
+// ---------------------------------------------------------------------------
+
+/// Peak resident set (VmHWM) in KiB, best effort (Linux only).
+fn vm_hwm_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Resets the kernel's peak-RSS watermark to current usage, best effort.
+fn reset_vm_hwm() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// One E21 measurement: runs `work` and reports
+/// `(first_result_ms, total_ms, results, peak_rss_delta_kib)`.
+fn e21_measure(mut work: impl FnMut() -> (std::time::Duration, usize)) -> (f64, f64, usize, f64) {
+    reset_vm_hwm();
+    let before_hwm = vm_hwm_kib();
+    let t = Instant::now();
+    let (first, results) = work();
+    let total = t.elapsed();
+    let rss_delta = match (before_hwm, vm_hwm_kib()) {
+        (Some(b), Some(a)) => a.saturating_sub(b) as f64,
+        _ => f64::NAN,
+    };
+    (ms(first), ms(total), results, rss_delta)
+}
+
+/// E21 table: time-to-first-result and peak memory for streaming
+/// cursors vs materialize-everything execution, at store sizes
+/// 10k / 100k / 1M (reported alongside E20's ingest series).
+///
+/// "materialized" reproduces the old `execute()` API shape for a caller
+/// that wants a bounded page: drain the full match set, then cut — what
+/// offset pagination or full-result shipping forces. "streaming" is the
+/// cursor: open, pull what you need, stop.
+pub fn e21_table() -> String {
+    use pass_query::QueryEngine;
+    let mut out = String::from(
+        "E21  streaming vs materialized query execution (eq query, 1/8 selectivity)\n\
+         size      mode          shape        first_ms   total_ms   results   scanned   peak_rss_KiB\n",
+    );
+    for &size in &[10_000usize, 100_000, 1_000_000] {
+        let (pass, _) = e20_batched_store(size, 4_096);
+        let snapshot = pass.snapshot();
+        let bounded =
+            pass_query::parse(r#"FIND WHERE region = "zone-3" LIMIT 10"#).expect("well-formed");
+        let unbounded = pass_query::parse(r#"FIND WHERE region = "zone-3""#).expect("well-formed");
+
+        // Streaming, bounded: open a cursor, pull ten records.
+        let mut scanned = 0usize;
+        let (first, total, results, rss) = e21_measure(|| {
+            let t = Instant::now();
+            let mut cursor = snapshot.open_query(&bounded).expect("open");
+            let first_record = cursor.next();
+            let first = t.elapsed();
+            let rest = cursor.by_ref().count();
+            scanned = cursor.stats().candidates_scanned;
+            (first, first_record.map_or(0, |_| 1) + rest)
+        });
+        out.push_str(&e21_row(size, "streaming", "LIMIT 10", first, total, results, scanned, rss));
+
+        // Materialized, bounded: drain everything, then cut to ten.
+        let mut scanned = 0usize;
+        let (first, total, results, rss) = e21_measure(|| {
+            let t = Instant::now();
+            let result = pass_query::execute(&unbounded, &snapshot).expect("query");
+            let first = t.elapsed(); // no record exists before the drain completes
+            scanned = result.stats.candidates_scanned;
+            let mut full = result.records;
+            full.truncate(10);
+            (first, full.len())
+        });
+        out.push_str(&e21_row(
+            size,
+            "materialized",
+            "LIMIT 10",
+            first,
+            total,
+            results,
+            scanned,
+            rss,
+        ));
+
+        // ORDER BY pushdown: the whole-store "latest 10" query streams
+        // from the cached created-order scan (the first open after a
+        // commit pays one O(n log n) sort, shown here; reruns share it)
+        // vs fetching and sorting every record.
+        let ordered =
+            pass_query::parse("FIND ORDER BY created DESC LIMIT 10").expect("well-formed");
+        let ordered_full = pass_query::parse("FIND ORDER BY created DESC").expect("well-formed");
+        let mut scanned = 0usize;
+        let (first, total, results, rss) = e21_measure(|| {
+            let t = Instant::now();
+            let mut cursor = snapshot.open_query(&ordered).expect("open");
+            let first_record = cursor.next();
+            let first = t.elapsed();
+            let rest = cursor.by_ref().count();
+            scanned = cursor.stats().candidates_scanned;
+            (first, first_record.map_or(0, |_| 1) + rest)
+        });
+        out.push_str(&e21_row(
+            size,
+            "streaming",
+            "ORDER LIM 10",
+            first,
+            total,
+            results,
+            scanned,
+            rss,
+        ));
+        let mut scanned = 0usize;
+        let (first, total, results, rss) = e21_measure(|| {
+            let t = Instant::now();
+            let result = pass_query::execute(&ordered_full, &snapshot).expect("query");
+            let first = t.elapsed();
+            scanned = result.stats.candidates_scanned;
+            let mut records = result.records;
+            records.truncate(10);
+            (first, records.len())
+        });
+        out.push_str(&e21_row(
+            size,
+            "materialized",
+            "ORDER LIM 10",
+            first,
+            total,
+            results,
+            scanned,
+            rss,
+        ));
+
+        // Full drains converge: both must touch the whole match set.
+        let mut scanned = 0usize;
+        let (first, total, results, rss) = e21_measure(|| {
+            let t = Instant::now();
+            let mut cursor = snapshot.open_query(&unbounded).expect("open");
+            let first_record = cursor.next();
+            let first = t.elapsed();
+            let rest = cursor.by_ref().count();
+            scanned = cursor.stats().candidates_scanned;
+            (first, first_record.map_or(0, |_| 1) + rest)
+        });
+        out.push_str(&e21_row(
+            size,
+            "streaming",
+            "full drain",
+            first,
+            total,
+            results,
+            scanned,
+            rss,
+        ));
+        let mut scanned = 0usize;
+        let (first, total, results, rss) = e21_measure(|| {
+            let t = Instant::now();
+            let result = pass_query::execute(&unbounded, &snapshot).expect("query");
+            scanned = result.stats.candidates_scanned;
+            (t.elapsed(), result.records.len())
+        });
+        out.push_str(&e21_row(
+            size,
+            "materialized",
+            "full drain",
+            first,
+            total,
+            results,
+            scanned,
+            rss,
+        ));
+    }
+    out.push('\n');
+    out.push_str(&crate::exp_dist::e21_traffic_table());
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn e21_row(
+    size: usize,
+    mode: &str,
+    shape: &str,
+    first_ms: f64,
+    total_ms: f64,
+    results: usize,
+    scanned: usize,
+    rss_kib: f64,
+) -> String {
+    format!(
+        "{:<9} {:<13} {:<12} {:>8.3} {:>10.3} {:>9} {:>9} {:>14.0}\n",
+        size, mode, shape, first_ms, total_ms, results, scanned, rss_kib
     )
 }
 

@@ -37,7 +37,7 @@
 //!
 //! # Snapshot-isolated reads
 //!
-//! All in-memory index state lives in one immutable [`State`] behind an
+//! All in-memory index state lives in one immutable `State` behind an
 //! `Arc`. Readers call [`Pass::snapshot`] — an O(1) `Arc` clone — and
 //! query the snapshot lock-free with repeatable-read semantics; writers
 //! never block them. Writers serialize on a commit mutex and publish a
@@ -60,12 +60,27 @@ use pass_model::{
     keys, Annotation, Attributes, ModelError, ProvenanceBuilder, ProvenanceRecord, Reading, SiteId,
     TimeRange, Timestamp, ToolDescriptor, TupleSet, TupleSetId, Value,
 };
-use pass_query::{LineageClause, Provider, Query, QueryResult};
+use pass_query::{Cursor, LineageClause, PreparedQuery, Provider, Query, QueryEngine, QueryResult};
 use pass_storage::{KvStore, LsmEngine, MemEngine, WriteBatch};
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Lazily-built created-order scans, shared by every cursor opened on
+/// one published [`State`]. Cloning (the copy-on-write path) and
+/// in-place mutation both reset it — see [`Pass::publish`].
+#[derive(Default)]
+struct CreatedScanCache {
+    asc: std::sync::OnceLock<std::sync::Arc<[NodeIdx]>>,
+    desc: std::sync::OnceLock<std::sync::Arc<[NodeIdx]>>,
+}
+
+impl Clone for CreatedScanCache {
+    fn clone(&self) -> Self {
+        CreatedScanCache::default()
+    }
+}
 
 /// In-memory index state: immutable once published, shared by snapshots.
 #[derive(Clone)]
@@ -76,6 +91,7 @@ struct State {
     time: TimeIndex,
     records: HashMap<TupleSetId, ProvenanceRecord>,
     data_present: HashSet<TupleSetId>,
+    created_scans: CreatedScanCache,
     /// Commit sequence number, assigned under the state write lock so a
     /// snapshot's state and version can never disagree (the shared
     /// closure cache is keyed on it).
@@ -83,6 +99,24 @@ struct State {
 }
 
 impl State {
+    /// Dense indexes of every record in creation-time order (ties by
+    /// tuple set id, ids ascending even under `desc`) — the `ORDER BY`
+    /// pushdown scan behind [`Provider::created_scan`]. Built once per
+    /// published state and shared by every cursor (O(n log n) on the
+    /// first ordered query after a commit, an `Arc` clone afterwards).
+    fn created_scan(&self, desc: bool) -> std::sync::Arc<[NodeIdx]> {
+        let cell = if desc { &self.created_scans.desc } else { &self.created_scans.asc };
+        cell.get_or_init(|| {
+            let keyed = self
+                .records
+                .iter()
+                .filter_map(|(id, r)| self.graph.lookup(*id).map(|idx| (r.created_at, *id, idx)))
+                .collect();
+            pass_query::created_order_scan(keyed, desc)
+        })
+        .clone()
+    }
+
     fn empty() -> Self {
         State {
             graph: AncestryGraph::new(),
@@ -91,6 +125,7 @@ impl State {
             time: TimeIndex::new(),
             records: HashMap::new(),
             data_present: HashSet::new(),
+            created_scans: CreatedScanCache::default(),
             version: 0,
         }
     }
@@ -333,6 +368,10 @@ impl Pass {
         let mut guard = self.state.write();
         let state = Arc::make_mut(&mut guard);
         let out = mutate(state);
+        // `make_mut` mutates in place when no snapshot holds the state,
+        // so the derived-scan cache must be reset explicitly (the
+        // copy-on-write path resets it via `Clone`).
+        state.created_scans = CreatedScanCache::default();
         state.version = self.next_version();
         out
     }
@@ -340,17 +379,23 @@ impl Pass {
     // -- Snapshot reads ------------------------------------------------
 
     /// An O(1), lock-free, repeatable-read view of the store. The
-    /// snapshot implements the query [`Provider`] trait and keeps
-    /// answering consistently while ingest proceeds; it holds the index
-    /// state alive until dropped (writers then pay one copy-on-write
-    /// clone on their next commit).
+    /// snapshot implements the query [`Provider`] and [`QueryEngine`]
+    /// traits and keeps answering consistently while ingest proceeds; it
+    /// holds the index state alive until dropped (writers then pay one
+    /// copy-on-write clone on their next commit).
     pub fn snapshot(&self) -> Snapshot {
         let state = self.state.read().clone();
         Snapshot {
             version: state.version,
             state,
+            store: Arc::clone(&self.store),
             closure: Arc::clone(&self.closure),
             strategy: self.config.closure,
+            counters: SnapshotCounters {
+                ingests: self.metrics.ingests.load(Ordering::Relaxed),
+                batches: self.metrics.batches.load(Ordering::Relaxed),
+                queries: self.metrics.queries.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -912,18 +957,39 @@ impl Pass {
     }
 }
 
+/// Operation counters captured at snapshot creation (see
+/// [`Snapshot::stats`]).
+#[derive(Debug, Clone, Copy)]
+struct SnapshotCounters {
+    ingests: u64,
+    batches: u64,
+    queries: u64,
+}
+
 /// An immutable, lock-free view of a [`Pass`] at one version.
 ///
-/// Obtained from [`Pass::snapshot`] (an O(1) `Arc` clone). Implements the
-/// query [`Provider`] trait, so the executor — and any caller — gets
-/// repeatable reads: every lookup answers from the same index state no
-/// matter how much ingest has happened since. Dropping the snapshot
-/// releases the state; the next write then mutates in place again.
+/// Obtained from [`Pass::snapshot`] (an O(1) `Arc` clone). Implements
+/// the query [`Provider`] and [`QueryEngine`] traits, so the executor —
+/// and any caller — gets repeatable reads: every lookup answers from the
+/// same index state no matter how much ingest has happened since, and
+/// cursors opened on a snapshot stay valid under concurrent ingest.
+/// Dropping the snapshot releases the state; the next write then mutates
+/// in place again.
+///
+/// The snapshot carries the full read surface of [`Pass`] — record
+/// retrieval, data reads, queries, statistics — so read-only callers
+/// never need to fall back to a `&Pass`. One caveat: reading bytes
+/// ([`Snapshot::get_data`]) go to shared storage, which is not
+/// versioned; [`Snapshot::has_data`] answers from the pinned index
+/// state, so after a concurrent [`Pass::remove_data`] the two can
+/// briefly disagree.
 pub struct Snapshot {
     state: Arc<State>,
+    store: Arc<dyn KvStore>,
     closure: Arc<Mutex<ClosureCache>>,
     strategy: ClosureStrategy,
     version: u64,
+    counters: SnapshotCounters,
 }
 
 impl std::fmt::Debug for Snapshot {
@@ -960,6 +1026,48 @@ impl Snapshot {
     /// The provenance record for `id`, if visible.
     pub fn get_record(&self, id: TupleSetId) -> Option<ProvenanceRecord> {
         self.state.records.get(&id).cloned()
+    }
+
+    /// The readings for `id`: `Ok(None)` when the data was removed (the
+    /// record may well still exist — PASS property 4). Reading bytes
+    /// come from shared storage, which is not versioned; the index
+    /// state this snapshot pins is.
+    pub fn get_data(&self, id: TupleSetId) -> Result<Option<Vec<Reading>>> {
+        match self.store.get(&keyspace::key(keyspace::DATA, id))? {
+            Some(bytes) => Ok(Some(Vec::<Reading>::decode_all(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// True when the readings were present at snapshot time.
+    pub fn has_data(&self, id: TupleSetId) -> bool {
+        self.state.data_present.contains(&id)
+    }
+
+    /// All record ids visible in this snapshot (unordered).
+    pub fn ids(&self) -> Vec<TupleSetId> {
+        self.state.records.keys().copied().collect()
+    }
+
+    /// Store statistics as of this snapshot. Index sizes reflect the
+    /// pinned state; the operation counters (`ingests`, `batches`,
+    /// `queries`) were captured when the snapshot was taken.
+    pub fn stats(&self) -> PassStats {
+        let state = &self.state;
+        PassStats {
+            records: state.records.len(),
+            data_blobs: state.data_present.len(),
+            graph_nodes: state.graph.node_count(),
+            graph_edges: state.graph.edge_count(),
+            attr_entries: state.attrs.len(),
+            index_bytes: state.attrs.size_bytes()
+                + state.keywords.size_bytes()
+                + state.graph.size_bytes()
+                + state.time.size_bytes(),
+            ingests: self.counters.ingests,
+            batches: self.counters.batches,
+            queries: self.counters.queries,
+        }
     }
 
     /// Executes a parsed query against this snapshot.
@@ -1055,6 +1163,27 @@ impl Provider for Snapshot {
         let id = self.state.graph.resolve(idx)?;
         self.state.records.get(&id).cloned()
     }
+
+    fn created_scan(&self, desc: bool) -> Option<std::sync::Arc<[NodeIdx]>> {
+        Some(self.state.created_scan(desc))
+    }
+}
+
+/// Snapshots open cursors that borrow the snapshot itself — its state is
+/// already immutable, so no extra pinning is needed.
+impl QueryEngine for Snapshot {
+    fn open(&self, prepared: &PreparedQuery) -> pass_query::Result<Cursor<'_>> {
+        Cursor::over(self, prepared)
+    }
+}
+
+/// `Pass` cursors pin their own snapshot at open: the cursor stays
+/// valid — and keeps yielding exactly its snapshot's records — while
+/// concurrent `ingest_batch` commits proceed.
+impl QueryEngine for Pass {
+    fn open(&self, prepared: &PreparedQuery) -> pass_query::Result<Cursor<'_>> {
+        Cursor::over_owned(Box::new(self.snapshot()), prepared)
+    }
 }
 
 /// `Pass` remains a [`Provider`] for compatibility: each call answers
@@ -1098,5 +1227,9 @@ impl Provider for Pass {
         let state = self.state.read();
         let id = state.graph.resolve(idx)?;
         state.records.get(&id).cloned()
+    }
+
+    fn created_scan(&self, desc: bool) -> Option<std::sync::Arc<[NodeIdx]>> {
+        Some(self.state.read().created_scan(desc))
     }
 }

@@ -101,7 +101,14 @@ impl DhtHarness {
 
     /// Fetches the whole list under `key`.
     pub fn get_list(&mut self, via: NodeId, key: Key) -> u64 {
-        self.issue(via, |op| ChordMsg::ClientGetList { key, op })
+        self.issue(via, |op| ChordMsg::ClientGetList { key, max_items: 0, op })
+    }
+
+    /// Fetches at most `max_items` of the list under `key` — the
+    /// bounded-page read behind limited queries (the holder truncates
+    /// the reply, so the wire cost scales with the cap).
+    pub fn get_list_bounded(&mut self, via: NodeId, key: Key, max_items: usize) -> u64 {
+        self.issue(via, |op| ChordMsg::ClientGetList { key, max_items, op })
     }
 
     /// Runs the simulation for `duration` and returns outcomes of client

@@ -84,11 +84,16 @@ pub enum ChordMsg {
         /// Driver operation id.
         op: u64,
     },
-    /// Fetch the whole list under `key`; completes `op` with a
-    /// `ListReply` payload.
+    /// Fetch the list under `key`; completes `op` with a `ListReply`
+    /// payload. `max_items = 0` fetches the whole list; a positive cap
+    /// makes the holder truncate the reply — the bounded-page fetch
+    /// behind limited queries, so a `LIMIT n` posting read ships ~n
+    /// items instead of the full list.
     ClientGetList {
         /// Ring key.
         key: Key,
+        /// Reply cap (0 = unlimited).
+        max_items: usize,
         /// Driver operation id.
         op: u64,
     },
@@ -194,10 +199,13 @@ pub enum ChordMsg {
         /// List item.
         item: Vec<u8>,
     },
-    /// Read the full list at the responsible node.
+    /// Read the list at the responsible node (`max_items = 0` reads it
+    /// all; a positive cap bounds the reply).
     FetchList {
         /// Ring key.
         key: Key,
+        /// Reply cap (0 = unlimited).
+        max_items: usize,
         /// Client op.
         op: u64,
         /// Node to reply to.
@@ -223,7 +231,7 @@ enum PendingAction {
     PutThen { key: Key, value: Vec<u8>, op: u64 },
     GetThen { key: Key, op: u64 },
     AppendThen { key: Key, item: Vec<u8>, op: u64 },
-    GetListThen { key: Key, op: u64 },
+    GetListThen { key: Key, max_items: usize, op: u64 },
     JoinPoint,
     FixFinger { index: u32 },
 }
@@ -503,10 +511,10 @@ impl ChordNode {
                     TrafficClass::Update,
                 );
             }
-            PendingAction::GetListThen { key, op } => {
+            PendingAction::GetListThen { key, max_items, op } => {
                 ctx.send(
                     holder,
-                    ChordMsg::FetchList { key, op, origin: self.me, hops },
+                    ChordMsg::FetchList { key, max_items, op, origin: self.me, hops },
                     48,
                     TrafficClass::Query,
                 );
@@ -621,8 +629,8 @@ impl Node<ChordMsg> for ChordNode {
                 ChordMsg::ClientAppend { key, item, op } => {
                     self.start_lookup(ctx, key, PendingAction::AppendThen { key, item, op });
                 }
-                ChordMsg::ClientGetList { key, op } => {
-                    self.start_lookup(ctx, key, PendingAction::GetListThen { key, op });
+                ChordMsg::ClientGetList { key, max_items, op } => {
+                    self.start_lookup(ctx, key, PendingAction::GetListThen { key, max_items, op });
                 }
                 ChordMsg::FindSuccessor { key, lookup, origin, hops } => {
                     self.route_find_successor(ctx, key, lookup, origin, hops);
@@ -740,8 +748,11 @@ impl Node<ChordMsg> for ChordNode {
                 ChordMsg::ReplicateItem { key, item } => {
                     self.lists.entry(key).or_default().push(item);
                 }
-                ChordMsg::FetchList { key, op, origin, hops } => {
-                    let items = self.lists.get(&key).cloned().unwrap_or_default();
+                ChordMsg::FetchList { key, max_items, op, origin, hops } => {
+                    let mut items = self.lists.get(&key).cloned().unwrap_or_default();
+                    if max_items > 0 {
+                        items.truncate(max_items);
+                    }
                     let bytes = 32 + items.iter().map(|i| i.len() as u64).sum::<u64>();
                     ctx.send(
                         origin,

@@ -6,22 +6,50 @@
 //! published records to it and proxies queries to it. Simple, fast on
 //! queries, complete on recursive queries — and a single service-time
 //! bottleneck under update load (E6).
+//!
+//! Remote queries are *paged*: a client site asks the warehouse for
+//! bounded `SubQueryPage`s (keyset pagination, `QUERY_PAGE` ids at a
+//! time, less when the query's own `LIMIT` wants fewer) instead of one
+//! full ID set, so bounded queries ship bytes proportional to what the
+//! client consumes (E21).
 
 use crate::arch::Architecture;
 use crate::harness::ArchSim;
 use crate::meta::MetaIndex;
-use crate::msg::{self, ArchMsg};
+use crate::msg::{self, ArchMsg, QUERY_PAGE};
 use crate::outcome::Outcome;
 use pass_model::{ProvenanceRecord, TupleSetId};
 use pass_net::{Ctx, Input, NetMetrics, Node, NodeId, SimTime, Topology, TrafficClass};
 use pass_query::Query;
+use std::collections::HashMap;
 
 /// The warehouse's node id.
 pub const WAREHOUSE: NodeId = 0;
 
+/// Client-side state of one paged remote query.
+struct PageFetch {
+    query: Query,
+    /// Overall result budget (the query's own LIMIT), if any.
+    want: Option<usize>,
+    acc: Vec<TupleSetId>,
+    /// Keyset token: last id of the previous page.
+    last: Option<TupleSetId>,
+}
+
+impl PageFetch {
+    /// Ids still wanted; `None` when unbounded.
+    fn next_page_size(&self) -> usize {
+        match self.want {
+            Some(want) => QUERY_PAGE.min(want.saturating_sub(self.acc.len())),
+            None => QUERY_PAGE,
+        }
+    }
+}
+
 struct CentralSite {
     me: NodeId,
     index: MetaIndex,
+    fetches: HashMap<u64, PageFetch>,
 }
 
 impl CentralSite {
@@ -30,6 +58,38 @@ impl CentralSite {
             Ok(result) => (true, result.ids()),
             Err(_) => (false, Vec::new()),
         }
+    }
+
+    /// Requests the next page of an in-flight fetch from the warehouse.
+    fn request_page(&mut self, ctx: &mut Ctx<'_, ArchMsg>, op: u64) {
+        let fetch = self.fetches.get(&op).expect("fetch exists");
+        let limit = fetch.next_page_size();
+        if limit == 0 {
+            // Budget exhausted (e.g. LIMIT 0): complete immediately.
+            let fetch = self.fetches.remove(&op).expect("fetch exists");
+            ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids: fetch.acc });
+            return;
+        }
+        let bytes = msg::page_request_bytes(&fetch.query);
+        ctx.send(
+            WAREHOUSE,
+            ArchMsg::SubQueryPage {
+                op,
+                query: fetch.query.clone(),
+                after: fetch.last,
+                limit,
+                reply_to: self.me,
+            },
+            bytes,
+            TrafficClass::Query,
+        );
+    }
+
+    /// Starts a paged remote fetch for a query issued at this site.
+    fn start_fetch(&mut self, ctx: &mut Ctx<'_, ArchMsg>, op: u64, query: Query) {
+        let fetch = PageFetch { want: query.limit, last: query.after, acc: Vec::new(), query };
+        self.fetches.insert(op, fetch);
+        self.request_page(ctx, op);
     }
 }
 
@@ -89,13 +149,7 @@ impl Node<ArchMsg> for CentralSite {
                     let (ok, ids) = self.run_query(&query);
                     ctx.complete_with(op, ok, ArchMsg::Done { op, ok, ids });
                 } else {
-                    let bytes = msg::query_bytes(&query);
-                    ctx.send(
-                        WAREHOUSE,
-                        ArchMsg::SubQuery { op, query, reply_to: self.me },
-                        bytes,
-                        TrafficClass::Query,
-                    );
+                    self.start_fetch(ctx, op, query);
                 }
             }
             ArchMsg::ClientLineage { op, root, depth } => {
@@ -107,15 +161,49 @@ impl Node<ArchMsg> for CentralSite {
                     let (ok, ids) = self.run_query(&query);
                     ctx.complete_with(op, ok, ArchMsg::Done { op, ok, ids });
                 } else {
-                    let bytes = msg::query_bytes(&query);
-                    ctx.send(
-                        WAREHOUSE,
-                        ArchMsg::SubQuery { op, query, reply_to: self.me },
-                        bytes,
-                        TrafficClass::Query,
-                    );
+                    self.start_fetch(ctx, op, query);
                 }
             }
+            ArchMsg::SubQueryPage { op, query, after, limit, reply_to } => {
+                // One bounded cursor drain; `< limit` ids means the
+                // result order is exhausted. The warehouse is the
+                // authoritative index, so a query error (unknown AFTER
+                // token or lineage root) fails the page — exactly what
+                // a warehouse-local execution reports.
+                let (ok, ids) = match self.index.query_page(&query, after, limit) {
+                    Ok(ids) => (true, ids),
+                    Err(_) => (false, Vec::new()),
+                };
+                let done = !ok || ids.len() < limit;
+                let bytes = msg::page_reply_bytes(&ids);
+                ctx.send(
+                    reply_to,
+                    ArchMsg::SubResultPage { op, ok, ids, done },
+                    bytes,
+                    TrafficClass::Query,
+                );
+            }
+            ArchMsg::SubResultPage { op, ok, ids, done } => {
+                let Some(fetch) = self.fetches.get_mut(&op) else {
+                    return;
+                };
+                if !ok {
+                    self.fetches.remove(&op);
+                    ctx.complete_with(op, false, ArchMsg::Done { op, ok: false, ids: vec![] });
+                    return;
+                }
+                fetch.last = ids.last().copied().or(fetch.last);
+                fetch.acc.extend(ids);
+                let satisfied = fetch.want.is_some_and(|want| fetch.acc.len() >= want);
+                if done || satisfied {
+                    let fetch = self.fetches.remove(&op).expect("fetch exists");
+                    ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids: fetch.acc });
+                } else {
+                    self.request_page(ctx, op);
+                }
+            }
+            // Full-result subqueries are still served (other sites may
+            // speak the unpaged protocol).
             ArchMsg::SubQuery { op, query, reply_to } => {
                 let (_ok, ids) = self.run_query(&query);
                 let bytes = msg::ids_bytes(&ids);
@@ -141,7 +229,8 @@ impl Centralized {
         let sites = topology.len();
         let nodes: Vec<Box<dyn Node<ArchMsg>>> = (0..sites)
             .map(|i| {
-                Box::new(CentralSite { me: i, index: MetaIndex::new() }) as Box<dyn Node<ArchMsg>>
+                Box::new(CentralSite { me: i, index: MetaIndex::new(), fetches: HashMap::new() })
+                    as Box<dyn Node<ArchMsg>>
             })
             .collect();
         Centralized { inner: ArchSim::new(topology, nodes, seed), sites }

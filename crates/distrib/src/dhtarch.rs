@@ -66,7 +66,7 @@ fn eq_terms(p: &Predicate) -> Option<Vec<(String, String)>> {
 
 enum Logical {
     Publish { remaining: usize },
-    Query { remaining: usize, acc: Option<HashSet<TupleSetId>> },
+    Query { remaining: usize, acc: Option<HashSet<TupleSetId>>, limit: Option<usize> },
     Chase { visited: HashSet<TupleSetId>, acc: Vec<TupleSetId>, outstanding: usize, via: usize },
 }
 
@@ -134,7 +134,7 @@ impl DhtIndex {
                     self.finish(logical_op, true, Vec::new(), completion.at);
                 }
             }
-            Logical::Query { remaining, acc } => {
+            Logical::Query { remaining, acc, .. } => {
                 let items = match completion.payload {
                     Some(ChordMsg::ListReply { items, .. }) => items,
                     _ => Vec::new(),
@@ -150,10 +150,15 @@ impl DhtIndex {
                 });
                 *remaining -= 1;
                 if *remaining == 0 {
-                    let Some(Logical::Query { acc, .. }) = self.logical.remove(&logical_op) else {
+                    let Some(Logical::Query { acc, limit, .. }) = self.logical.remove(&logical_op)
+                    else {
                         unreachable!("state checked above");
                     };
-                    let ids: Vec<TupleSetId> = acc.unwrap_or_default().into_iter().collect();
+                    let mut ids: Vec<TupleSetId> = acc.unwrap_or_default().into_iter().collect();
+                    if let Some(limit) = limit {
+                        ids.sort_unstable();
+                        ids.truncate(limit);
+                    }
                     self.finish(logical_op, true, ids, completion.at);
                 }
             }
@@ -269,11 +274,34 @@ impl Architecture for DhtIndex {
 
     fn query(&mut self, client_site: usize, query: &Query) -> u64 {
         let op = self.alloc();
+        if query.after.is_some() {
+            // A hash-partitioned index has no result order, so keyset
+            // pagination is unanswerable: fail fast like non-eq shapes.
+            let at = self.h.sim.now();
+            self.ready.push(Outcome { op, ok: false, at, ids: Vec::new() });
+            return op;
+        }
         match eq_terms(&query.filter) {
             Some(terms) => {
-                self.logical.insert(op, Logical::Query { remaining: terms.len(), acc: None });
+                // Bounded posting read: a single-term query with LIMIT n
+                // only needs n posting entries, so the holder truncates
+                // the reply. Multi-term intersections must fetch full
+                // lists (a bounded page of each could miss the overlap).
+                let cap = match (query.limit, terms.len()) {
+                    (Some(n), 1) => n,
+                    _ => 0,
+                };
+                self.logical.insert(
+                    op,
+                    Logical::Query { remaining: terms.len(), acc: None, limit: query.limit },
+                );
                 for (attr, value) in terms {
-                    let sub = self.h.get_list(client_site, posting_key(&attr, &value));
+                    let key = posting_key(&attr, &value);
+                    let sub = if cap > 0 {
+                        self.h.get_list_bounded(client_site, key, cap)
+                    } else {
+                        self.h.get_list(client_site, key)
+                    };
                     self.sub_to_logical.insert(sub, op);
                 }
             }

@@ -3,7 +3,7 @@
 //! §IV-A is explicit that index sites hold provenance, not readings
 //! ("the warehouse would not store actual sensor data"), so architecture
 //! nodes carry this lightweight record index instead of a full
-//! [`pass_core::Pass`]: the same `pass-index` structures and the same
+//! `pass_core::Pass`: the same `pass-index` structures and the same
 //! `pass-query` executor, minus the storage engine.
 
 use parking_lot::Mutex;
@@ -12,9 +12,18 @@ use pass_index::{
     TimeIndex,
 };
 use pass_model::{keys, ProvenanceRecord, TimeRange, TupleSetId, Value};
-use pass_query::{LineageClause, Provider, Query, QueryResult};
+use pass_query::{Cursor, LineageClause, PreparedQuery, Provider, Query, QueryEngine, QueryResult};
 use std::collections::HashMap;
 use std::ops::Bound;
+
+/// Created-order scans cached between inserts (inserts are append-only,
+/// so the record count keys validity).
+#[derive(Default)]
+struct CreatedScanCache {
+    len: usize,
+    asc: Option<std::sync::Arc<[NodeIdx]>>,
+    desc: Option<std::sync::Arc<[NodeIdx]>>,
+}
 
 /// An in-memory provenance index for one site (or catalog, or shard).
 #[derive(Default)]
@@ -24,6 +33,7 @@ pub struct MetaIndex {
     keywords: KeywordIndex,
     time: Mutex<TimeIndex>,
     records: HashMap<TupleSetId, ProvenanceRecord>,
+    created_scans: Mutex<CreatedScanCache>,
 }
 
 impl std::fmt::Debug for MetaIndex {
@@ -85,9 +95,26 @@ impl MetaIndex {
         self.records.contains_key(&id)
     }
 
-    /// Runs a query locally.
+    /// Runs a query locally (drains a cursor).
     pub fn query(&self, query: &Query) -> pass_query::Result<QueryResult> {
         pass_query::execute(query, self)
+    }
+
+    /// Runs a query bounded for one remote page: at most `limit` ids,
+    /// resuming strictly after `after`'s position in result order.
+    /// This is the server half of the `SubQueryPage` protocol — the
+    /// limit is pushed into the cursor, so a bounded page touches
+    /// ~`limit` records regardless of store size.
+    pub fn query_page(
+        &self,
+        query: &Query,
+        after: Option<TupleSetId>,
+        limit: usize,
+    ) -> pass_query::Result<Vec<TupleSetId>> {
+        let mut page = query.clone();
+        page.limit = Some(limit);
+        page.after = after;
+        Ok(self.open_query(&page)?.map(|r| r.id).collect())
     }
 
     /// Direct parents of an id, when known here.
@@ -137,6 +164,32 @@ impl Provider for MetaIndex {
     fn fetch(&self, idx: NodeIdx) -> Option<ProvenanceRecord> {
         let id = self.graph.resolve(idx)?;
         self.records.get(&id).cloned()
+    }
+    fn created_scan(&self, desc: bool) -> Option<std::sync::Arc<[NodeIdx]>> {
+        let mut cache = self.created_scans.lock();
+        if cache.len != self.records.len() {
+            *cache = CreatedScanCache { len: self.records.len(), asc: None, desc: None };
+        }
+        let slot = if desc { &mut cache.desc } else { &mut cache.asc };
+        Some(
+            slot.get_or_insert_with(|| {
+                let keyed = self
+                    .records
+                    .iter()
+                    .filter_map(|(id, r)| {
+                        self.graph.lookup(*id).map(|idx| (r.created_at, *id, idx))
+                    })
+                    .collect();
+                pass_query::created_order_scan(keyed, desc)
+            })
+            .clone(),
+        )
+    }
+}
+
+impl QueryEngine for MetaIndex {
+    fn open(&self, prepared: &PreparedQuery) -> pass_query::Result<Cursor<'_>> {
+        Cursor::over(self, prepared)
     }
 }
 

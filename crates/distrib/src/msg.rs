@@ -75,7 +75,8 @@ pub enum ArchMsg {
         record: ProvenanceRecord,
     },
 
-    /// Scatter-gather subquery.
+    /// Scatter-gather subquery (full result shipping — the historical
+    /// path, kept for architectures that have not adopted paging).
     SubQuery {
         /// Parent op.
         op: u64,
@@ -90,6 +91,41 @@ pub enum ArchMsg {
         op: u64,
         /// Matching ids at the queried site.
         ids: Vec<TupleSetId>,
+    },
+
+    /// Paged subquery: run `query` bounded to `limit` ids, resuming
+    /// strictly after `after`'s position in result order (keyset
+    /// pagination — the wire twin of `LIMIT n AFTER ts:x`). Bounded
+    /// queries ship pages instead of full ID sets, so query traffic
+    /// scales with what the client consumes, not with the match set.
+    SubQueryPage {
+        /// Parent op.
+        op: u64,
+        /// The query to run locally.
+        query: Query,
+        /// Keyset token: resume after this id (None = first page).
+        after: Option<TupleSetId>,
+        /// Maximum ids in the reply.
+        limit: usize,
+        /// Gatherer.
+        reply_to: NodeId,
+    },
+    /// One page of a paged subquery.
+    SubResultPage {
+        /// Parent op.
+        op: u64,
+        /// False when the query failed at the serving site (e.g. an
+        /// unknown `AFTER` token or lineage root at an authoritative
+        /// index) — the client fails the whole op, matching what a
+        /// local execution would report. Sites for which "not found"
+        /// is an expected condition (federation members) reply
+        /// `ok: true` with an empty page instead.
+        ok: bool,
+        /// Up to the requested `limit` matching ids, in the site's
+        /// stable result order (the last one is the next page's token).
+        ids: Vec<TupleSetId>,
+        /// True when the site has no further matches after this page.
+        done: bool,
     },
 
     /// Batched soft-state digest: records published at `from` since the
@@ -180,6 +216,21 @@ pub fn query_bytes(query: &Query) -> u64 {
 /// Wire size of an id list.
 pub fn ids_bytes(ids: &[TupleSetId]) -> u64 {
     16 + 16 * ids.len() as u64
+}
+
+/// Default page size for paged subqueries: large enough that unbounded
+/// queries pay few round trips, small enough that a bounded `LIMIT 10`
+/// ships ~10 ids instead of the full match set.
+pub const QUERY_PAGE: usize = 32;
+
+/// Wire size of a paged subquery request (query + keyset token + limit).
+pub fn page_request_bytes(query: &Query) -> u64 {
+    query_bytes(query) + 16 + 8
+}
+
+/// Wire size of a result page (id list + done flag).
+pub fn page_reply_bytes(ids: &[TupleSetId]) -> u64 {
+    ids_bytes(ids) + 1
 }
 
 #[cfg(test)]

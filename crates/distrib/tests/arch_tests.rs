@@ -279,6 +279,155 @@ fn lineage_depth_limits_are_respected() {
     assert_eq!(got, want, "depth 2 reaches exactly two ancestors");
 }
 
+/// Publishes `n` uniform traffic records from rotating origin sites.
+fn publish_uniform(arch: &mut dyn Architecture, n: usize) -> Vec<pass_model::TupleSetId> {
+    let sites = arch.sites();
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let record = ProvenanceBuilder::new(SiteId((i % sites) as u32), Timestamp(i as u64))
+            .attr("domain", "traffic")
+            .attr("seq", i as i64)
+            .build(Digest128::of(&(i as u64).to_be_bytes()));
+        ids.push(record.id);
+        arch.publish(i % sites, &record);
+    }
+    arch.run_quiet();
+    arch.outcomes();
+    ids
+}
+
+fn query_bytes_for(arch: &mut dyn Architecture, text: &str) -> (u64, Vec<pass_model::TupleSetId>) {
+    arch.reset_net();
+    let op = arch.query(1, &parse(text).unwrap());
+    arch.run_quiet();
+    let outcome = arch.outcomes().into_iter().find(|o| o.op == op).expect("outcome");
+    assert!(outcome.ok);
+    (arch.net().class(pass_net::TrafficClass::Query).bytes, outcome.ids)
+}
+
+/// The E21 wire-level claim: a bounded remote query ships pages sized to
+/// its LIMIT, not the full match set.
+#[test]
+fn centralized_bounded_queries_ship_bounded_pages() {
+    let topology = Topology::clustered(2, 2, 2.0, 40.0);
+    let mut arch = Centralized::new(topology, 11);
+    publish_uniform(&mut arch, 300);
+
+    let (full_bytes, full_ids) = query_bytes_for(&mut arch, r#"FIND WHERE domain = "traffic""#);
+    assert_eq!(full_ids.len(), 300, "unbounded query sees everything");
+
+    let (bounded_bytes, bounded_ids) =
+        query_bytes_for(&mut arch, r#"FIND WHERE domain = "traffic" LIMIT 10"#);
+    assert_eq!(bounded_ids.len(), 10);
+    assert!(
+        bounded_bytes * 5 < full_bytes,
+        "LIMIT 10 shipped {bounded_bytes} bytes vs {full_bytes} for the full set"
+    );
+}
+
+#[test]
+fn federated_bounded_queries_stop_paging_early() {
+    let topology = Topology::clustered(2, 2, 2.0, 40.0);
+    let mut arch = Federated::new(topology, 11);
+    publish_uniform(&mut arch, 300);
+
+    let (full_bytes, full_ids) = query_bytes_for(&mut arch, r#"FIND WHERE domain = "traffic""#);
+    assert_eq!(full_ids.len(), 300);
+
+    let (bounded_bytes, bounded_ids) =
+        query_bytes_for(&mut arch, r#"FIND WHERE domain = "traffic" LIMIT 8"#);
+    assert_eq!(bounded_ids.len(), 8);
+    assert!(
+        bounded_bytes * 2 < full_bytes,
+        "bounded scatter shipped {bounded_bytes} bytes vs {full_bytes}"
+    );
+}
+
+/// Unbounded queries still return exactly the full result through the
+/// paged protocol (pages concatenate losslessly on the wire, too).
+#[test]
+fn paged_remote_queries_match_ground_truth() {
+    let topology = Topology::clustered(2, 2, 2.0, 40.0);
+    let mut central = Centralized::new(topology.clone(), 13);
+    let mut fed = Federated::new(topology, 13);
+    let mut want = publish_uniform(&mut central, 100);
+    publish_uniform(&mut fed, 100);
+    want.sort();
+
+    for arch in [&mut central as &mut dyn Architecture, &mut fed] {
+        let (_, mut ids) = query_bytes_for(arch, r#"FIND WHERE domain = "traffic""#);
+        ids.sort();
+        assert_eq!(ids, want, "{} diverged through paging", arch.name());
+    }
+}
+
+/// The federated AFTER fallback must not lose members' results: paging
+/// with keyset tokens walks the *entire* federation in sorted-id order.
+#[test]
+fn federated_keyset_paging_covers_every_member() {
+    let topology = Topology::clustered(2, 2, 2.0, 40.0);
+    let mut arch = Federated::new(topology, 17);
+    let mut want = publish_uniform(&mut arch, 40);
+    want.sort();
+
+    // Page 1 anchors below every real id (the token is positional and
+    // need not exist); later pages use the previous page's last id.
+    let mut paged: Vec<pass_model::TupleSetId> = Vec::new();
+    let mut after = pass_model::TupleSetId(0);
+    loop {
+        let text =
+            format!(r#"FIND WHERE domain = "traffic" LIMIT 7 AFTER ts:{}"#, after.full_hex());
+        let (_, page) = query_bytes_for(&mut arch, &text);
+        if page.is_empty() {
+            break;
+        }
+        after = *page.last().unwrap();
+        paged.extend(page);
+    }
+    assert_eq!(paged, want, "keyset pages must cover all 40 records across all members");
+}
+
+/// A remote query with an invalid keyset token fails the op, exactly as
+/// a warehouse-local execution would.
+#[test]
+fn centralized_remote_unknown_after_token_fails() {
+    let topology = Topology::clustered(2, 2, 2.0, 40.0);
+    let mut arch = Centralized::new(topology, 17);
+    publish_uniform(&mut arch, 20);
+
+    let query = parse(r#"FIND WHERE domain = "traffic" LIMIT 5 AFTER ts:deadbeef"#).unwrap();
+    // Issued from a non-warehouse site: goes through the paged protocol.
+    let remote_op = arch.query(1, &query);
+    // Issued at the warehouse: local execution.
+    let local_op = arch.query(0, &query);
+    arch.run_quiet();
+    let outcomes = arch.outcomes();
+    let remote = outcomes.iter().find(|o| o.op == remote_op).expect("remote outcome");
+    let local = outcomes.iter().find(|o| o.op == local_op).expect("local outcome");
+    assert!(!local.ok, "unknown AFTER token is an error locally");
+    assert!(!remote.ok, "remote execution must agree with local");
+}
+
+#[test]
+fn dht_bounded_single_term_query_ships_less() {
+    // A large single-term posting list, so the list payload (not Chord
+    // routing chatter) dominates the wire cost.
+    let topology = Topology::clustered(2, 2, 2.0, 40.0);
+    let mut arch = build_arch(ArchKind::Dht { replicas: 1 }, topology, 11);
+    publish_uniform(arch.as_mut(), 300);
+
+    let (full_bytes, full_ids) = query_bytes_for(arch.as_mut(), r#"FIND WHERE domain = "traffic""#);
+    assert_eq!(full_ids.len(), 300, "unbounded fetch sees the whole posting list");
+
+    let (bounded_bytes, bounded_ids) =
+        query_bytes_for(arch.as_mut(), r#"FIND WHERE domain = "traffic" LIMIT 2"#);
+    assert_eq!(bounded_ids.len(), 2);
+    assert!(
+        bounded_bytes * 2 < full_bytes,
+        "bounded posting fetch shipped {bounded_bytes} vs {full_bytes}"
+    );
+}
+
 #[test]
 fn batched_publish_matches_per_record_results() {
     let corpus = build_corpus(&small_spec());

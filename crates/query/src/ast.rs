@@ -205,12 +205,17 @@ pub struct Query {
     pub limit: Option<usize>,
     /// Result ordering.
     pub order: OrderBy,
+    /// Keyset-pagination token: results resume strictly *after* this
+    /// tuple set's position in the result order. Combined with `limit`
+    /// this pages through a result set without offsets: each page's last
+    /// id is the next page's `after`.
+    pub after: Option<TupleSetId>,
 }
 
 impl Query {
     /// A query returning everything matching `filter`.
     pub fn filtered(filter: Predicate) -> Self {
-        Query { filter, lineage: None, limit: None, order: OrderBy::None }
+        Query { filter, lineage: None, limit: None, order: OrderBy::None, after: None }
     }
 
     /// A pure lineage query (no additional filter).
@@ -226,6 +231,7 @@ impl Query {
             }),
             limit: None,
             order: OrderBy::None,
+            after: None,
         }
     }
 
@@ -240,6 +246,12 @@ impl Query {
     /// Sets a result cap.
     pub fn with_limit(mut self, limit: usize) -> Self {
         self.limit = Some(limit);
+        self
+    }
+
+    /// Sets the keyset-pagination token (see [`Query::after`]).
+    pub fn with_after(mut self, after: TupleSetId) -> Self {
+        self.after = Some(after);
         self
     }
 }

@@ -1,17 +1,38 @@
-//! Query execution over a provider.
+//! Streaming query execution over a provider.
 //!
 //! The executor is storage-agnostic: anything implementing [`Provider`]
 //! (the local PASS, a remote site proxy, a test fixture) can serve
-//! queries. Execution is: evaluate the plan's index expression to a
-//! candidate posting list, intersect with the lineage closure if any,
-//! fetch records, re-check the residual predicate, order, and cut.
+//! queries. Execution is pull-based: [`prepare`] plans a query once,
+//! [`Cursor`] (obtained from [`QueryEngine::open`] or [`Cursor::over`])
+//! then yields matching records one `next()` at a time. Posting-list
+//! intersection, residual predicate re-checks, and the `LIMIT`/`AFTER`
+//! cut all happen per pull, so a `LIMIT 10` query over a million-record
+//! store touches ~10 records instead of materializing all of them.
+//!
+//! [`execute`] remains as a thin collect-the-cursor compatibility
+//! wrapper; its output is identical to draining the cursor.
+//!
+//! # What is lazy and what is not
+//!
+//! Index *lookups* (posting lists of ids) are materialized at open —
+//! they are cheap id arrays, not records. Everything per-record is lazy:
+//! the leapfrog intersection across posting lists advances one candidate
+//! per pull, records are fetched and residual-checked one at a time, and
+//! the cursor stops pulling the moment the limit is satisfied. Lineage
+//! closures are likewise computed as id sets at open (the closure is
+//! needed in full to intersect correctly); only their record fetches
+//! stream. `ORDER BY` is pushed into the plan when the provider can
+//! serve a creation-time-ordered scan ([`Provider::created_scan`]) and
+//! the candidate source is the whole store; selective sources fall back
+//! to fetch-sort-emit, which buffers on the first pull.
 
-use crate::ast::{LineageClause, OrderBy, Query};
+use crate::ast::{LineageClause, OrderBy, Predicate, Query};
 use crate::error::{QueryError, Result};
 use crate::plan::{plan, IndexExpr, Plan, PlanSource};
 use pass_index::{NodeIdx, PostingList};
-use pass_model::{ProvenanceRecord, TimeRange, Value};
+use pass_model::{ProvenanceRecord, TimeRange, Timestamp, TupleSetId, Value};
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// The index/storage surface the executor runs against.
 pub trait Provider {
@@ -35,15 +56,51 @@ pub trait Provider {
     fn node_of(&self, id: pass_model::TupleSetId) -> Option<NodeIdx>;
     /// Fetches the record behind a dense index.
     fn fetch(&self, idx: NodeIdx) -> Option<ProvenanceRecord>;
+    /// Every record's dense index in creation-time order (ties broken by
+    /// tuple set id, both ascending for `desc = false`, creation time
+    /// descending with ids still ascending within a tie for
+    /// `desc = true`). `None` when the provider cannot serve ordered
+    /// scans; the cursor then falls back to fetch-and-sort. This is the
+    /// `ORDER BY` pushdown hook: a "latest N" query over a store that
+    /// implements it fetches N records, not all of them. Build the
+    /// ordering with [`created_order_scan`] so it always matches the
+    /// executor's sort fallback, and return a cached `Arc` when the
+    /// store is immutable between commits — cursors share it without
+    /// copying.
+    fn created_scan(&self, desc: bool) -> Option<Arc<[NodeIdx]>> {
+        let _ = desc;
+        None
+    }
 }
 
-/// Execution counters, returned with every result.
+/// Builds the [`Provider::created_scan`] ordering from
+/// `(created_at, id, dense index)` triples: creation time then id, ids
+/// ascending within a tie even when `desc` reverses the time order.
+/// Providers implement `created_scan` with this one function so their
+/// order can never diverge from the executor's sort fallback (which
+/// sorts records by the same key).
+pub fn created_order_scan(
+    mut entries: Vec<(Timestamp, TupleSetId, NodeIdx)>,
+    desc: bool,
+) -> Arc<[NodeIdx]> {
+    entries.sort_unstable_by_key(|(t, id, _)| {
+        (if desc { -i128::from(t.0) } else { i128::from(t.0) }, *id)
+    });
+    entries.into_iter().map(|(_, _, idx)| idx).collect()
+}
+
+/// Execution counters, surfaced from the cursor and returned with every
+/// collected result.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// Candidates produced by the index/scan phase.
-    pub candidates: usize,
+    /// Candidates consumed from the index/scan stream. Under `LIMIT`
+    /// pushdown this stays near the limit; once a cursor is fully
+    /// drained it equals the total candidate count.
+    pub candidates_scanned: usize,
     /// Records actually fetched.
     pub fetched: usize,
+    /// Fetched records rejected by the residual predicate re-check.
+    pub residual_rejected: usize,
     /// Records returned after residual filtering and limit.
     pub returned: usize,
     /// True when an index expression (not a scan) produced candidates.
@@ -67,6 +124,71 @@ impl QueryResult {
     /// Ids of the matching records.
     pub fn ids(&self) -> Vec<pass_model::TupleSetId> {
         self.records.iter().map(|r| r.id).collect()
+    }
+}
+
+/// A planned query, ready to open cursors against any provider.
+///
+/// Produced by [`prepare`] (or [`QueryEngine::prepare`]); immutable and
+/// reusable — open as many cursors from one prepared query as you like.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    plan: Plan,
+}
+
+impl PreparedQuery {
+    /// Plans `query`.
+    pub fn new(query: &Query) -> Self {
+        PreparedQuery { plan: plan(query) }
+    }
+
+    /// From an already-built plan.
+    pub fn from_plan(plan: Plan) -> Self {
+        PreparedQuery { plan }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// EXPLAIN-style rendering.
+    pub fn explain(&self) -> String {
+        self.plan.explain()
+    }
+}
+
+/// Plans a query (the first half of the streaming API).
+pub fn prepare(query: &Query) -> PreparedQuery {
+    PreparedQuery::new(query)
+}
+
+/// The streaming query surface: plan once, then open pull-based cursors.
+///
+/// Implementations decide what state a cursor pins: `Snapshot` cursors
+/// borrow the snapshot (already immutable), `Pass` cursors take their
+/// own snapshot at open so they stay valid — and repeatable — under
+/// concurrent ingest.
+pub trait QueryEngine {
+    /// Plans a query for this engine.
+    fn prepare(&self, query: &Query) -> PreparedQuery {
+        PreparedQuery::new(query)
+    }
+
+    /// Opens a cursor over a prepared query.
+    ///
+    /// Fails fast on plan-level problems (unknown lineage root, unknown
+    /// `AFTER` token); iteration itself is infallible.
+    fn open(&self, prepared: &PreparedQuery) -> Result<Cursor<'_>>;
+
+    /// Convenience: prepare + open in one call.
+    fn open_query(&self, query: &Query) -> Result<Cursor<'_>> {
+        self.open(&self.prepare(query))
+    }
+
+    /// Convenience: parse + prepare + open in one call.
+    fn open_text(&self, text: &str) -> Result<Cursor<'_>> {
+        self.open_query(&crate::parser::parse(text)?)
     }
 }
 
@@ -94,7 +216,367 @@ pub fn eval_index_expr(expr: &IndexExpr, provider: &dyn Provider) -> PostingList
     }
 }
 
-/// Executes a parsed query.
+/// How the cursor holds its provider: borrowed for engines whose state
+/// is already immutable, owned for engines that pin a snapshot per
+/// cursor.
+enum ProviderHandle<'a> {
+    Borrowed(&'a dyn Provider),
+    Owned(Box<dyn Provider + 'a>),
+}
+
+impl ProviderHandle<'_> {
+    fn get(&self) -> &dyn Provider {
+        match self {
+            ProviderHandle::Borrowed(p) => *p,
+            ProviderHandle::Owned(p) => p.as_ref(),
+        }
+    }
+}
+
+/// Index of the first element `>= x` in `sorted[from..]`, by exponential
+/// (galloping) search — the leapfrog-intersection advance step.
+fn gallop_to(sorted: &[NodeIdx], from: usize, x: NodeIdx) -> usize {
+    if from >= sorted.len() || sorted[from] >= x {
+        return from;
+    }
+    let mut step = 1usize;
+    let mut lo = from;
+    let mut hi = from + 1;
+    while hi < sorted.len() && sorted[hi] < x {
+        lo = hi;
+        step *= 2;
+        hi += step;
+    }
+    let end = hi.min(sorted.len());
+    lo + 1 + sorted[lo + 1..end].partition_point(|&y| y < x)
+}
+
+/// A lazily-consumed candidate source.
+enum CandidateStream {
+    /// One id list, consumed front to back. Covers single lookups,
+    /// scans, and eagerly-unioned `OR`s.
+    List { items: Vec<NodeIdx>, pos: usize },
+    /// A shared, pre-ordered id list (the provider's cached created
+    /// scan) — same consumption, no copy.
+    Shared { items: Arc<[NodeIdx]>, pos: usize },
+    /// Leapfrog intersection over ≥ 2 sorted lists: one candidate is
+    /// matched per pull, galloping in each list, so intersection work is
+    /// proportional to what the cursor consumes.
+    Leapfrog { lists: Vec<(Vec<NodeIdx>, usize)> },
+}
+
+impl CandidateStream {
+    fn new(mut lists: Vec<PostingList>) -> CandidateStream {
+        if lists.len() == 1 {
+            let only = lists.pop().expect("one list");
+            return CandidateStream::List { items: only.iter().collect(), pos: 0 };
+        }
+        // Cheapest list first: it drives the leapfrog.
+        lists.sort_by_key(PostingList::len);
+        CandidateStream::Leapfrog {
+            lists: lists.into_iter().map(|l| (l.iter().collect::<Vec<_>>(), 0)).collect(),
+        }
+    }
+
+    /// Advances every sub-list past `idx` (the `AFTER` seek for
+    /// dense-index-ordered streams).
+    fn skip_past(&mut self, idx: NodeIdx) {
+        match self {
+            CandidateStream::List { items, pos } => {
+                *pos = gallop_to(items, *pos, idx + 1);
+            }
+            CandidateStream::Shared { items, pos } => {
+                *pos = gallop_to(items, *pos, idx + 1);
+            }
+            CandidateStream::Leapfrog { lists } => {
+                for (items, pos) in lists {
+                    *pos = gallop_to(items, *pos, idx + 1);
+                }
+            }
+        }
+    }
+
+    fn next(&mut self) -> Option<NodeIdx> {
+        match self {
+            CandidateStream::List { items, pos } => {
+                let idx = *items.get(*pos)?;
+                *pos += 1;
+                Some(idx)
+            }
+            CandidateStream::Shared { items, pos } => {
+                let idx = *items.get(*pos)?;
+                *pos += 1;
+                Some(idx)
+            }
+            CandidateStream::Leapfrog { lists } => {
+                let (driver, rest) = lists.split_first_mut()?;
+                'candidates: loop {
+                    let candidate = *driver.0.get(driver.1)?;
+                    for (items, pos) in rest.iter_mut() {
+                        *pos = gallop_to(items, *pos, candidate);
+                        match items.get(*pos) {
+                            None => return None, // a list ran out: done
+                            Some(&found) if found == candidate => {}
+                            Some(&found) => {
+                                // Mismatch: jump the driver to `found`.
+                                driver.1 = gallop_to(&driver.0, driver.1, found);
+                                continue 'candidates;
+                            }
+                        }
+                    }
+                    driver.1 += 1;
+                    return Some(candidate);
+                }
+            }
+        }
+    }
+}
+
+/// Per-record ordering key reproducing the classic sort: creation time,
+/// ties by id; `desc` reverses creation time but keeps ids ascending.
+fn order_key(record: &ProvenanceRecord, desc: bool) -> (i128, TupleSetId) {
+    let t = i128::from(record.created_at.0);
+    (if desc { -t } else { t }, record.id)
+}
+
+enum CursorState {
+    /// Stream candidates; fetch + residual-check per pull.
+    Stream(CandidateStream),
+    /// `ORDER BY` over a filtered source: drain, sort, and cut on the
+    /// first pull, then emit from the buffer.
+    SortPending { stream: CandidateStream, desc: bool, after: Option<(Timestamp, TupleSetId)> },
+    /// Sorted buffer being emitted.
+    Buffered(std::vec::IntoIter<ProvenanceRecord>),
+}
+
+/// A pull-based result cursor.
+///
+/// Yields matching [`ProvenanceRecord`]s lazily via [`Iterator`];
+/// running counters are available from [`Cursor::stats`] at any point
+/// (they are final once the cursor is exhausted). Dropping a cursor
+/// early abandons the remaining work — that is the point.
+pub struct Cursor<'a> {
+    provider: ProviderHandle<'a>,
+    state: CursorState,
+    residual: Predicate,
+    needs_recheck: bool,
+    remaining: Option<usize>,
+    stats: ExecStats,
+}
+
+impl<'a> Cursor<'a> {
+    /// Opens a cursor over a borrowed provider. The provider must be
+    /// immutable (or externally synchronized) for the cursor's lifetime;
+    /// engines with mutable state should implement [`QueryEngine`] and
+    /// hand the cursor an owned snapshot via [`Cursor::over_owned`].
+    pub fn over(provider: &'a dyn Provider, prepared: &PreparedQuery) -> Result<Cursor<'a>> {
+        Cursor::open_handle(ProviderHandle::Borrowed(provider), prepared.plan())
+    }
+
+    /// Opens a cursor that owns its provider — the snapshot-pinning
+    /// variant: the boxed provider (typically an O(1) snapshot) lives
+    /// exactly as long as the cursor.
+    pub fn over_owned(
+        provider: Box<dyn Provider + 'a>,
+        prepared: &PreparedQuery,
+    ) -> Result<Cursor<'a>> {
+        Cursor::open_handle(ProviderHandle::Owned(provider), prepared.plan())
+    }
+
+    fn open_handle<'p>(provider: ProviderHandle<'p>, plan: &Plan) -> Result<Cursor<'p>> {
+        let p = provider.get();
+        let used_index = match &plan.source {
+            PlanSource::Index(expr) => !matches!(expr, IndexExpr::All),
+            PlanSource::Scan => false,
+        };
+
+        // Candidate sources, kept as separate lists so the intersection
+        // can leapfrog lazily. A top-level AND contributes one list per
+        // child; nested expressions within a child evaluate eagerly
+        // (they are id-set algebra, not record work). Evaluated only by
+        // the strategies that consume them — the ordered pushdown path
+        // never touches the unfiltered source.
+        let build_lists = || -> Result<Vec<PostingList>> {
+            let mut lists: Vec<PostingList> = match &plan.source {
+                PlanSource::Index(IndexExpr::And(children)) => {
+                    children.iter().map(|c| eval_index_expr(c, p)).collect()
+                }
+                PlanSource::Index(expr) => vec![eval_index_expr(expr, p)],
+                PlanSource::Scan => vec![p.all_nodes()],
+            };
+            if let Some(clause) = &plan.lineage {
+                let mut closure =
+                    p.lineage(clause).ok_or(QueryError::UnknownTupleSet(clause.root))?;
+                if clause.include_root {
+                    if let Some(root_idx) = p.node_of(clause.root) {
+                        closure.insert(root_idx);
+                    }
+                }
+                lists.push(closure);
+            }
+            Ok(lists)
+        };
+
+        let needs_recheck = !plan.is_exact();
+        // Both the `All` index expression and a full scan draw
+        // candidates from every record, so a created-order scan serves
+        // them directly (residuals still re-check per pull).
+        let whole_store =
+            matches!(&plan.source, PlanSource::Index(IndexExpr::All) | PlanSource::Scan)
+                && plan.lineage.is_none();
+
+        let state = match plan.order {
+            OrderBy::None => {
+                let mut stream = CandidateStream::new(build_lists()?);
+                if let Some(after) = plan.after {
+                    let idx = p.node_of(after).ok_or(QueryError::UnknownTupleSet(after))?;
+                    stream.skip_past(idx);
+                }
+                CursorState::Stream(stream)
+            }
+            OrderBy::CreatedAsc | OrderBy::CreatedDesc => {
+                let desc = plan.order == OrderBy::CreatedDesc;
+                let ordered = if whole_store { p.created_scan(desc) } else { None };
+                match ordered {
+                    // ORDER BY pushdown: the provider serves the whole
+                    // store in created order, so emission is streaming
+                    // and the limit cut touches ~limit records.
+                    Some(ordered) => {
+                        let start = match plan.after {
+                            None => 0,
+                            Some(after) => {
+                                let idx =
+                                    p.node_of(after).ok_or(QueryError::UnknownTupleSet(after))?;
+                                match ordered.iter().position(|&o| o == idx) {
+                                    Some(at) => at + 1,
+                                    None => return Err(QueryError::UnknownTupleSet(after)),
+                                }
+                            }
+                        };
+                        CursorState::Stream(CandidateStream::Shared { items: ordered, pos: start })
+                    }
+                    None => {
+                        let after_key = match plan.after {
+                            None => None,
+                            Some(after) => {
+                                let idx =
+                                    p.node_of(after).ok_or(QueryError::UnknownTupleSet(after))?;
+                                let record =
+                                    p.fetch(idx).ok_or(QueryError::UnknownTupleSet(after))?;
+                                Some((record.created_at, record.id))
+                            }
+                        };
+                        CursorState::SortPending {
+                            stream: CandidateStream::new(build_lists()?),
+                            desc,
+                            after: after_key,
+                        }
+                    }
+                }
+            }
+        };
+
+        Ok(Cursor {
+            provider,
+            state,
+            residual: plan.residual.clone(),
+            needs_recheck,
+            remaining: plan.limit,
+            stats: ExecStats {
+                used_index,
+                exact: !needs_recheck,
+                plan: plan.explain(),
+                ..ExecStats::default()
+            },
+        })
+    }
+
+    /// Running execution counters (final once the cursor is exhausted).
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Pulls the next candidate through fetch + residual check.
+    fn pull_stream(
+        provider: &dyn Provider,
+        stream: &mut CandidateStream,
+        residual: &Predicate,
+        needs_recheck: bool,
+        stats: &mut ExecStats,
+    ) -> Option<ProvenanceRecord> {
+        loop {
+            let idx = stream.next()?;
+            stats.candidates_scanned += 1;
+            let Some(record) = provider.fetch(idx) else {
+                // Index knows the node but the record is gone: a
+                // placeholder parent (removed ancestor / remote tuple
+                // set). Skip.
+                continue;
+            };
+            stats.fetched += 1;
+            if needs_recheck && !residual.matches(&record) {
+                stats.residual_rejected += 1;
+                continue;
+            }
+            return Some(record);
+        }
+    }
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = ProvenanceRecord;
+
+    fn next(&mut self) -> Option<ProvenanceRecord> {
+        if self.remaining == Some(0) {
+            return None;
+        }
+        // ORDER BY fallback: materialize the sorted buffer on first pull.
+        if let CursorState::SortPending { stream, desc, after } = &mut self.state {
+            let desc = *desc;
+            let after = *after;
+            let mut records = Vec::new();
+            while let Some(record) = Cursor::pull_stream(
+                self.provider.get(),
+                stream,
+                &self.residual,
+                self.needs_recheck,
+                &mut self.stats,
+            ) {
+                records.push(record);
+            }
+            records.sort_by_key(|r| order_key(r, desc));
+            if let Some((t, id)) = after {
+                let key = {
+                    let t = i128::from(t.0);
+                    (if desc { -t } else { t }, id)
+                };
+                let skip = records.partition_point(|r| order_key(r, desc) <= key);
+                records.drain(..skip);
+            }
+            self.state = CursorState::Buffered(records.into_iter());
+        }
+
+        let record = match &mut self.state {
+            CursorState::Stream(stream) => Cursor::pull_stream(
+                self.provider.get(),
+                stream,
+                &self.residual,
+                self.needs_recheck,
+                &mut self.stats,
+            )?,
+            CursorState::Buffered(buffered) => buffered.next()?,
+            CursorState::SortPending { .. } => unreachable!("materialized above"),
+        };
+        self.stats.returned += 1;
+        if let Some(r) = &mut self.remaining {
+            *r -= 1;
+        }
+        Some(record)
+    }
+}
+
+/// Executes a parsed query by draining a cursor (compatibility wrapper;
+/// output is identical to collecting the cursor yourself).
 pub fn execute(query: &Query, provider: &dyn Provider) -> Result<QueryResult> {
     execute_plan(&plan(query), provider)
 }
@@ -104,68 +586,11 @@ pub fn execute_text(text: &str, provider: &dyn Provider) -> Result<QueryResult> 
     execute(&crate::parser::parse(text)?, provider)
 }
 
-/// Executes a pre-built plan.
+/// Executes a pre-built plan by draining a cursor.
 pub fn execute_plan(plan: &Plan, provider: &dyn Provider) -> Result<QueryResult> {
-    let mut used_index = false;
-    let mut candidates = match &plan.source {
-        PlanSource::Index(expr) => {
-            used_index = !matches!(expr, IndexExpr::All);
-            eval_index_expr(expr, provider)
-        }
-        PlanSource::Scan => provider.all_nodes(),
-    };
-
-    if let Some(clause) = &plan.lineage {
-        let mut closure =
-            provider.lineage(clause).ok_or(QueryError::UnknownTupleSet(clause.root))?;
-        if clause.include_root {
-            if let Some(root_idx) = provider.node_of(clause.root) {
-                closure.insert(root_idx);
-            }
-        }
-        candidates = candidates.intersect(&closure);
-    }
-
-    let stats_candidates = candidates.len();
-    let mut fetched = 0usize;
-    let mut records: Vec<ProvenanceRecord> = Vec::new();
-    let needs_recheck = !matches!(plan.residual, crate::ast::Predicate::True);
-    // With no ordering and no re-check, the fetch loop can stop at LIMIT.
-    let early_cut = plan.limit.filter(|_| !needs_recheck && plan.order == OrderBy::None);
-
-    for idx in candidates.iter() {
-        let Some(record) = provider.fetch(idx) else {
-            // Index knows the node but the record is gone: a placeholder
-            // parent (removed ancestor / remote tuple set). Skip.
-            continue;
-        };
-        fetched += 1;
-        if !needs_recheck || plan.residual.matches(&record) {
-            records.push(record);
-            if early_cut.is_some_and(|n| records.len() >= n) {
-                break;
-            }
-        }
-    }
-
-    match plan.order {
-        OrderBy::None => {}
-        OrderBy::CreatedAsc => records.sort_by_key(|r| (r.created_at, r.id)),
-        OrderBy::CreatedDesc => records.sort_by_key(|r| (std::cmp::Reverse(r.created_at), r.id)),
-    }
-    if let Some(limit) = plan.limit {
-        records.truncate(limit);
-    }
-
-    let stats = ExecStats {
-        candidates: stats_candidates,
-        fetched,
-        returned: records.len(),
-        used_index,
-        exact: !needs_recheck,
-        plan: plan.explain(),
-    };
-    Ok(QueryResult { records, stats })
+    let mut cursor = Cursor::open_handle(ProviderHandle::Borrowed(provider), plan)?;
+    let records: Vec<ProvenanceRecord> = cursor.by_ref().collect();
+    Ok(QueryResult { records, stats: cursor.stats().clone() })
 }
 
 #[cfg(test)]
@@ -177,6 +602,7 @@ mod tests {
         AncestryGraph, AttrIndex, BfsClosure, KeywordIndex, ReachStrategy, TimeIndex,
     };
     use pass_model::{Digest128, ProvenanceBuilder, SiteId, Timestamp, ToolDescriptor, TupleSetId};
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     /// A small in-memory provider for executor tests.
@@ -186,6 +612,7 @@ mod tests {
         time: Mutex<TimeIndex>,
         keywords: KeywordIndex,
         graph: AncestryGraph,
+        fetches: AtomicUsize,
     }
 
     impl FixtureProvider {
@@ -212,7 +639,18 @@ mod tests {
                     keywords.insert(idx, desc);
                 }
             }
-            FixtureProvider { records, attrs, time: Mutex::new(time), keywords, graph }
+            FixtureProvider {
+                records,
+                attrs,
+                time: Mutex::new(time),
+                keywords,
+                graph,
+                fetches: AtomicUsize::new(0),
+            }
+        }
+
+        fn fetch_count(&self) -> usize {
+            self.fetches.load(Ordering::Relaxed)
         }
     }
 
@@ -245,8 +683,23 @@ mod tests {
             self.graph.lookup(id)
         }
         fn fetch(&self, idx: NodeIdx) -> Option<ProvenanceRecord> {
+            self.fetches.fetch_add(1, Ordering::Relaxed);
             let id = self.graph.resolve(idx)?;
             self.records.iter().find(|r| r.id == id).cloned()
+        }
+        fn created_scan(&self, desc: bool) -> Option<Arc<[NodeIdx]>> {
+            let keyed = self
+                .records
+                .iter()
+                .filter_map(|r| self.graph.lookup(r.id).map(|idx| (r.created_at, r.id, idx)))
+                .collect();
+            Some(created_order_scan(keyed, desc))
+        }
+    }
+
+    impl QueryEngine for FixtureProvider {
+        fn open(&self, prepared: &PreparedQuery) -> Result<Cursor<'_>> {
+            Cursor::over(self, prepared)
         }
     }
 
@@ -287,7 +740,8 @@ mod tests {
         assert_eq!(res.ids(), vec![ids[3]]);
         assert!(res.stats.used_index);
         assert!(res.stats.exact);
-        assert_eq!(res.stats.candidates, 1);
+        assert_eq!(res.stats.candidates_scanned, 1);
+        assert_eq!(res.stats.residual_rejected, 0);
     }
 
     #[test]
@@ -313,7 +767,8 @@ mod tests {
         want.sort();
         assert_eq!(got, want);
         assert!(!res.stats.exact);
-        assert!(res.stats.candidates > res.stats.returned);
+        assert!(res.stats.candidates_scanned > res.stats.returned);
+        assert_eq!(res.stats.residual_rejected, 1);
     }
 
     #[test]
@@ -376,7 +831,8 @@ mod tests {
         assert_eq!(res.ids(), vec![ids[3]]);
         assert!(!res.stats.used_index);
         // Scan considered everything.
-        assert_eq!(res.stats.candidates, 4);
+        assert_eq!(res.stats.candidates_scanned, 4);
+        assert_eq!(res.stats.residual_rejected, 3);
     }
 
     #[test]
@@ -384,7 +840,8 @@ mod tests {
         let (p, _) = fixture();
         let res = run(&p, r#"FIND WHERE domain = "traffic" LIMIT 1"#);
         assert_eq!(res.records.len(), 1);
-        assert!(res.stats.fetched <= 2, "early cut avoids fetching all candidates");
+        assert_eq!(res.stats.candidates_scanned, 1, "pushdown stops at the limit");
+        assert_eq!(res.stats.fetched, 1);
     }
 
     #[test]
@@ -424,5 +881,134 @@ mod tests {
         let q = Query::filtered(Predicate::True);
         let p = plan(&q);
         assert!(p.is_exact());
+    }
+
+    // -- Streaming API --------------------------------------------------
+
+    /// Every query shape: draining the cursor == `execute` output,
+    /// record for record.
+    #[test]
+    fn cursor_drain_equals_execute() {
+        let (p, ids) = fixture();
+        for text in [
+            "FIND",
+            r#"FIND WHERE domain = "traffic""#,
+            r#"FIND WHERE domain = "traffic" AND region = "london""#,
+            r#"FIND WHERE region = "london" AND domain != "weather""#,
+            r#"FIND WHERE domain = "traffic" OR domain = "weather""#,
+            "FIND ORDER BY created DESC",
+            "FIND ORDER BY created ASC LIMIT 2",
+            r#"FIND WHERE domain = "traffic" ORDER BY created DESC"#,
+            "FIND WHERE time OVERLAPS [0, 1000] LIMIT 1",
+            &format!("FIND ANCESTORS OF ts:{} WITH SELF", ids[0].full_hex()),
+            &format!("FIND DESCENDANTS OF ts:{}", ids[0].full_hex()),
+        ] {
+            let query = parse(text).unwrap();
+            let executed = execute(&query, &p).unwrap();
+            let drained: Vec<ProvenanceRecord> = p.open_query(&query).unwrap().collect();
+            assert_eq!(executed.records, drained, "execute and cursor drain diverge on {text}");
+        }
+    }
+
+    #[test]
+    fn cursor_is_lazy_per_pull() {
+        let (p, _) = fixture();
+        let before = p.fetch_count();
+        let mut cursor = p.open_text(r#"FIND WHERE domain = "traffic""#).unwrap();
+        assert_eq!(p.fetch_count(), before, "open fetches nothing");
+        cursor.next().unwrap();
+        assert_eq!(p.fetch_count(), before + 1, "one pull, one fetch");
+        drop(cursor); // abandoning mid-stream does no further work
+        assert_eq!(p.fetch_count(), before + 1);
+    }
+
+    #[test]
+    fn keyset_pages_concatenate_to_full_result() {
+        let (p, _) = fixture();
+        for base in ["FIND", r#"FIND WHERE domain = "traffic""#, "FIND ORDER BY created DESC"] {
+            let full = execute(&parse(base).unwrap(), &p).unwrap().records;
+            let mut paged: Vec<ProvenanceRecord> = Vec::new();
+            let mut after: Option<TupleSetId> = None;
+            loop {
+                let mut q = parse(base).unwrap().with_limit(2);
+                q.after = after;
+                let page = execute(&q, &p).unwrap().records;
+                if page.is_empty() {
+                    break;
+                }
+                after = Some(page.last().unwrap().id);
+                paged.extend(page);
+            }
+            assert_eq!(full, paged, "paging diverges on {base}");
+        }
+    }
+
+    #[test]
+    fn after_unknown_token_errors() {
+        let (p, _) = fixture();
+        let q = parse("FIND LIMIT 2 AFTER ts:deadbeef").unwrap();
+        assert!(matches!(execute(&q, &p).unwrap_err(), QueryError::UnknownTupleSet(_)));
+    }
+
+    /// The AFTER token need not itself match the filter — it marks a
+    /// position in the result order, not a member of the result set.
+    #[test]
+    fn after_token_outside_result_set_is_a_position() {
+        // Insertion order fixes dense indexes: A=0, B=1, C=2, D=3.
+        let build = |tag: &[u8], domain: &str, at: u64| {
+            ProvenanceBuilder::new(SiteId(1), Timestamp(at))
+                .attr("domain", domain)
+                .build(Digest128::of(tag))
+        };
+        let a = build(b"a", "traffic", 10);
+        let b = build(b"b", "weather", 20);
+        let c = build(b"c", "traffic", 30);
+        let d = build(b"d", "traffic", 40);
+        let (b_id, c_id, d_id) = (b.id, c.id, d.id);
+        let p = FixtureProvider::new(vec![a, b, c, d]);
+
+        // B does not match the traffic filter, but its dense position
+        // (1) still anchors the page: the result is exactly the suffix
+        // of the unpaged result past that position — C then D.
+        let q = parse(&format!(r#"FIND WHERE domain = "traffic" AFTER ts:{}"#, b_id.full_hex()))
+            .unwrap();
+        assert_eq!(execute(&q, &p).unwrap().ids(), vec![c_id, d_id]);
+
+        // A token past every candidate yields the empty suffix.
+        let q = parse(&format!(r#"FIND WHERE domain = "traffic" AFTER ts:{}"#, d_id.full_hex()))
+            .unwrap();
+        assert_eq!(execute(&q, &p).unwrap().ids(), Vec::<TupleSetId>::new());
+    }
+
+    #[test]
+    fn ordered_pushdown_touches_only_limit_records() {
+        let (p, ids) = fixture();
+        let before = p.fetch_count();
+        let drained: Vec<ProvenanceRecord> =
+            p.open_text("FIND ORDER BY created DESC LIMIT 1").unwrap().collect();
+        assert_eq!(drained[0].id, ids[2]);
+        assert_eq!(p.fetch_count() - before, 1, "ordered scan + limit fetches one record");
+    }
+
+    #[test]
+    fn prepared_query_is_reusable() {
+        let (p, _) = fixture();
+        let prepared = prepare(&parse(r#"FIND WHERE domain = "traffic""#).unwrap());
+        let a: Vec<_> = p.open(&prepared).unwrap().collect();
+        let b: Vec<_> = p.open(&prepared).unwrap().collect();
+        assert_eq!(a, b);
+        assert!(prepared.explain().contains("index"));
+    }
+
+    #[test]
+    fn cursor_stats_track_pushdown() {
+        let (p, _) = fixture();
+        let mut cursor = p.open_text(r#"FIND WHERE domain = "traffic" LIMIT 2"#).unwrap();
+        assert_eq!(cursor.stats().candidates_scanned, 0);
+        let _ = cursor.by_ref().collect::<Vec<_>>();
+        let stats = cursor.stats();
+        assert_eq!(stats.returned, 2);
+        assert_eq!(stats.candidates_scanned, 2);
+        assert!(stats.exact);
     }
 }

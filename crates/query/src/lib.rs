@@ -8,16 +8,104 @@
 //!
 //! * [`ast`] — the query model: [`Predicate`], [`LineageClause`],
 //!   [`Query`], with ground-truth evaluation ([`Predicate::matches`]).
-//! * [`parser`] — a small textual language:
-//!   `FIND ANCESTORS OF ts:3f2a DEPTH <= 4 WHERE tool.name = "sharpen"`.
+//! * [`parser`] — the textual language (reference below).
 //! * [`mod@plan`] — superset-plus-residual planning onto index expressions.
-//! * [`exec`] — execution against any [`Provider`] (local store, remote
-//!   proxy, test fixture).
+//! * [`exec`] — streaming execution against any [`Provider`] (local
+//!   store, remote proxy, test fixture): [`prepare`] plans once,
+//!   [`QueryEngine::open`] yields a pull-based [`Cursor`], and
+//!   [`execute`] remains as a collect-the-cursor compatibility wrapper.
 //!
 //! The executor's contract is checked two ways: residual predicates are
 //! re-evaluated with the same `matches` function that defines semantics,
 //! and the test suite compares executor output against brute-force
 //! filtering on every fixture.
+//!
+//! # Query language reference
+//!
+//! Keywords are case-insensitive; attribute names are case-sensitive
+//! identifiers (dots allowed: `tool.name`, `sensor.type`).
+//!
+//! ```text
+//! query      := FIND [lineage] [WHERE pred]
+//!               [ORDER BY created (ASC|DESC)] [LIMIT n] [AFTER id]
+//! lineage    := (ANCESTORS | DESCENDANTS) OF id
+//!               [DEPTH <= n] [ABSTRACTED] [WITH SELF]
+//! pred       := or_pred
+//! or_pred    := and_pred (OR and_pred)*
+//! and_pred   := unary (AND unary)*
+//! unary      := NOT unary | '(' pred ')' | leaf
+//! leaf       := TRUE
+//!             | ident (= | != | < | <= | > | >=) value
+//!             | ident BETWEEN value AND value
+//!             | HAS ident
+//!             | ANNOTATION CONTAINS string
+//!             | time OVERLAPS '[' int ',' int ']'
+//! value      := string | int | float | @millis | TRUE | FALSE | NULL
+//! id         := ts:HEX
+//! ```
+//!
+//! ## Clauses
+//!
+//! * **`WHERE`** — attribute predicates (`=`, `!=`, `<`, `<=`, `>`,
+//!   `>=`, `BETWEEN`), presence (`HAS attr`), keyword search
+//!   (`ANNOTATION CONTAINS "phrase"`, matched against annotations and
+//!   the record description), and time-window overlap
+//!   (`time OVERLAPS [a, b]`). `AND` binds tighter than `OR`;
+//!   parentheses override.
+//! * **`ANCESTORS OF` / `DESCENDANTS OF`** — scope results to the
+//!   lineage closure of a tuple set. `DEPTH <= n` bounds hops,
+//!   `ABSTRACTED` stops at abstraction boundaries, `WITH SELF` includes
+//!   the root.
+//! * **`ORDER BY created [ASC|DESC]`** — order by creation time, ties
+//!   broken by tuple set id. Without it, results come in storage
+//!   (dense-index) order.
+//! * **`LIMIT n`** — cap the result set. The executor pushes the limit
+//!   into the candidate stream: a `LIMIT 10` query touches ~10 records,
+//!   not the whole match set.
+//! * **`AFTER ts:HEX`** — keyset pagination: resume strictly after that
+//!   tuple set's position in the result order. The token marks a
+//!   *position*, so it works even when the named record does not match
+//!   the filter; concatenating `LIMIT k AFTER <last id of page>` pages
+//!   reproduces the unpaged result exactly. Unknown tokens are an error.
+//!
+//! ## Pseudo-attributes
+//!
+//! Indexed at ingest like real attributes: `origin.site` (producing
+//! site id), `created_at` (creation timestamp), `ancestry.parents`
+//! (direct parent count), and the multi-valued `tool.name` /
+//! `tool.version` (one per derivation; equality means "some derivation
+//! used it").
+//!
+//! ## Examples
+//!
+//! ```
+//! use pass_query::{parse, OrderBy, Predicate};
+//!
+//! let q = parse(r#"FIND WHERE domain = "traffic" AND count >= 10 LIMIT 5"#).unwrap();
+//! assert_eq!(q.limit, Some(5));
+//! assert!(matches!(q.filter, Predicate::And(_)));
+//!
+//! let q = parse("FIND ANCESTORS OF ts:3f2a DEPTH <= 4 ABSTRACTED").unwrap();
+//! let lineage = q.lineage.unwrap();
+//! assert_eq!(lineage.max_depth, Some(4));
+//! assert!(lineage.stop_at_abstraction);
+//!
+//! // Keyset pagination: page 2 of the newest-first listing.
+//! let q = parse("FIND ORDER BY created DESC LIMIT 10 AFTER ts:3f2a").unwrap();
+//! assert_eq!(q.order, OrderBy::CreatedDesc);
+//! assert!(q.after.is_some());
+//! ```
+//!
+//! Plans render for EXPLAIN-style inspection:
+//!
+//! ```
+//! use pass_query::{parse, prepare};
+//!
+//! let prepared = prepare(&parse(r#"FIND WHERE region = "london" LIMIT 3"#).unwrap());
+//! let text = prepared.explain();
+//! assert!(text.contains("ix:region"), "{text}");
+//! assert!(text.contains("limit 3"), "{text}");
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,6 +119,9 @@ pub mod plan;
 
 pub use ast::{CmpOp, LineageClause, OrderBy, Predicate, Query};
 pub use error::{QueryError, Result};
-pub use exec::{execute, execute_plan, execute_text, ExecStats, Provider, QueryResult};
+pub use exec::{
+    created_order_scan, execute, execute_plan, execute_text, prepare, Cursor, ExecStats,
+    PreparedQuery, Provider, QueryEngine, QueryResult,
+};
 pub use parser::{parse, parse_predicate};
 pub use plan::{plan, IndexExpr, Plan, PlanSource};

@@ -3,7 +3,8 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! query      := FIND [lineage] [WHERE pred] [ORDER BY created (ASC|DESC)] [LIMIT n]
+//! query      := FIND [lineage] [WHERE pred]
+//!               [ORDER BY created (ASC|DESC)] [LIMIT n] [AFTER id]
 //! lineage    := (ANCESTORS | DESCENDANTS) OF id [DEPTH <= n] [ABSTRACTED] [WITH SELF]
 //! pred       := or_pred
 //! or_pred    := and_pred (OR and_pred)*
@@ -25,6 +26,7 @@
 //! FIND WHERE domain = "traffic" AND count >= 10 LIMIT 5
 //! FIND ANCESTORS OF ts:3f2a DEPTH <= 4 WHERE tool.name = "sharpen"
 //! FIND WHERE time OVERLAPS [100, 2000] OR HAS patient
+//! FIND ORDER BY created DESC LIMIT 10 AFTER ts:3f2a
 //! ```
 
 use crate::ast::{CmpOp, LineageClause, OrderBy, Predicate, Query};
@@ -137,7 +139,16 @@ impl Parser {
             None
         };
 
-        Ok(Query { filter, lineage, limit, order })
+        let after = if self.eat_kw("AFTER") {
+            match self.next() {
+                Some(Token::Id(id)) => Some(id),
+                _ => return Err(self.err("expected ts:HEX tuple set id after AFTER")),
+            }
+        } else {
+            None
+        };
+
+        Ok(Query { filter, lineage, limit, order, after })
     }
 
     fn lineage(&mut self) -> Result<LineageClause> {
@@ -403,6 +414,24 @@ mod tests {
         assert!(parse("FIND LIMIT -3").is_err(), "negative limit");
         assert!(parse("FIND WHERE a = 1 garbage").is_err(), "trailing tokens");
         assert!(parse("FIND WHERE (a = 1").is_err(), "unclosed paren");
+        assert!(parse("FIND AFTER").is_err(), "missing AFTER token");
+        assert!(parse("FIND AFTER 12").is_err(), "AFTER needs a ts:HEX id");
+        assert!(parse("FIND AFTER ts:aa LIMIT 2").is_err(), "AFTER comes after LIMIT");
+    }
+
+    #[test]
+    fn after_keyset_token() {
+        let q = parse("FIND LIMIT 10 AFTER ts:3f2a").unwrap();
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.after, Some(TupleSetId::parse_hex("3f2a").unwrap()));
+        let q =
+            parse(r#"FIND WHERE domain = "x" ORDER BY created DESC LIMIT 4 AFTER ts:ff"#).unwrap();
+        assert_eq!(q.order, OrderBy::CreatedDesc);
+        assert_eq!(q.after, Some(TupleSetId::parse_hex("ff").unwrap()));
+        // AFTER works without LIMIT (resume-and-drain).
+        let q = parse("FIND AFTER ts:01").unwrap();
+        assert_eq!(q.limit, None);
+        assert!(q.after.is_some());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! residual collapses to `True` and no re-check happens.
 
 use crate::ast::{CmpOp, LineageClause, OrderBy, Predicate, Query};
-use pass_model::{TimeRange, Value};
+use pass_model::{TimeRange, TupleSetId, Value};
 use std::fmt;
 use std::ops::Bound;
 
@@ -108,6 +108,9 @@ pub struct Plan {
     pub order: OrderBy,
     /// Limit carried over from the query.
     pub limit: Option<usize>,
+    /// Keyset-pagination token carried over from the query: the cursor
+    /// starts strictly after this tuple set's position in result order.
+    pub after: Option<TupleSetId>,
 }
 
 impl Plan {
@@ -133,7 +136,14 @@ impl Plan {
             None => String::new(),
         };
         let residual = if self.is_exact() { String::new() } else { " → recheck".to_owned() };
-        format!("{src}{lineage}{residual}")
+        let order = match self.order {
+            OrderBy::None => "",
+            OrderBy::CreatedAsc => " → order created asc",
+            OrderBy::CreatedDesc => " → order created desc",
+        };
+        let limit = self.limit.map(|n| format!(" → limit {n}")).unwrap_or_default();
+        let after = self.after.map(|id| format!(" → after {id}")).unwrap_or_default();
+        format!("{src}{lineage}{residual}{order}{limit}{after}")
     }
 }
 
@@ -151,6 +161,7 @@ pub fn plan(query: &Query) -> Plan {
         lineage: query.lineage.clone(),
         order: query.order,
         limit: query.limit,
+        after: query.after,
     }
 }
 
