@@ -1,0 +1,48 @@
+//! E22 (local half): per-commit notification overhead of the
+//! subscription hub.
+//!
+//! The commit path pays one relaxed atomic load when nobody subscribes —
+//! the `subs=0` series must be indistinguishable from pre-subscription
+//! ingest. With subscribers attached, each commit additionally clones
+//! its records into one shared changelog and pushes an `Arc` per
+//! subscriber (the subscribers here never drain, so the bounded queues
+//! exercise the drop-oldest overflow path rather than growing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_core::Pass;
+use pass_model::{keys, Attributes, Reading, SensorId, SiteId, Timestamp};
+use pass_query::parse;
+
+fn items(base: u64, n: u64) -> Vec<(Attributes, Vec<Reading>, Timestamp)> {
+    (base..base + n)
+        .map(|i| {
+            let at = Timestamp(i);
+            let attrs = Attributes::new().with(keys::DOMAIN, "traffic").with("seq", i as i64);
+            (attrs, vec![Reading::new(SensorId(1), at).with("v", i as i64)], at)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e22_live_notify");
+    group.sample_size(20);
+    for subs in [0usize, 1, 8] {
+        group.bench_with_input(BenchmarkId::new("ingest_256_sets", subs), &subs, |b, &subs| {
+            let pass = Pass::open_memory(SiteId(1));
+            // Matching subscriptions that are never drained: every
+            // commit broadcasts, worst case for the hub.
+            let _subs: Vec<_> = (0..subs)
+                .map(|_| pass.subscribe(&parse("FIND").unwrap()).expect("subscribe"))
+                .collect();
+            let mut base = 0u64;
+            b.iter(|| {
+                pass.capture_batch(items(base, 256)).expect("capture");
+                base += 256;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Prints every experiment table (E1–E21). The output of this binary is
+//! Prints every experiment table (E1–E22). The output of this binary is
 //! the source of record for `EXPERIMENTS.md`.
 //!
 //! ```sh
@@ -35,6 +35,7 @@ fn main() {
         ("e19", exp_policy::e19_table),
         ("e20", exp_local::e20_table),
         ("e21", exp_local::e21_table),
+        ("e22", exp_dist::e22_table),
     ];
     for arg in &args {
         if !experiments.iter().any(|(tag, _)| tag == arg) {

@@ -43,8 +43,9 @@
 //!
 //! See [`Pass`] for the full API and crate-level invariants,
 //! [`Pass::ingest_batch`] / [`Pass::capture_batch`] for the group-commit
-//! atomicity contract, and [`pass::Snapshot`] for repeatable-read
-//! semantics.
+//! atomicity contract, [`pass::Snapshot`] for repeatable-read semantics,
+//! and [`Pass::subscribe`] / [`subscribe`] for live continuous queries
+//! (snapshot-then-tail subscriptions with an exactly-once handoff).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -54,8 +55,10 @@ pub mod config;
 pub mod error;
 pub mod keyspace;
 pub mod pass;
+pub mod subscribe;
 
 pub use archive::{ArchiveExport, ImportStats};
 pub use config::{Backend, ClosureStrategy, PassConfig};
 pub use error::{PassError, Result};
 pub use pass::{ConsistencyReport, Pass, PassStats, Snapshot};
+pub use subscribe::{Event, Subscription, DEFAULT_SUBSCRIPTION_CAPACITY};

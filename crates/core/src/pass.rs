@@ -50,6 +50,7 @@ use crate::archive::{ArchiveExport, ImportStats};
 use crate::config::{Backend, ClosureStrategy, PassConfig};
 use crate::error::{PassError, Result};
 use crate::keyspace;
+use crate::subscribe::{Hub, Subscription, WatchState, DEFAULT_SUBSCRIPTION_CAPACITY};
 use parking_lot::{Mutex, RwLock};
 use pass_index::{
     AncestryGraph, AttrIndex, BfsClosure, IntervalClosure, KeywordIndex, MemoClosure,
@@ -275,6 +276,10 @@ pub struct Pass {
     closure: Arc<Mutex<ClosureCache>>,
     version: AtomicU64,
     metrics: Metrics,
+    /// Live-subscription registry. Commits broadcast a per-commit
+    /// changelog through it — one relaxed atomic load when nobody is
+    /// subscribed (see [`crate::subscribe`]).
+    hub: Arc<Hub>,
 }
 
 impl std::fmt::Debug for Pass {
@@ -311,6 +316,7 @@ impl Pass {
             closure: Arc::new(Mutex::new(ClosureCache { built: BuiltClosure::None, version: 0 })),
             version: AtomicU64::new(1),
             metrics: Metrics::default(),
+            hub: Arc::new(Hub::default()),
         };
         pass.rebuild_indexes()?;
         Ok(pass)
@@ -363,8 +369,10 @@ impl Pass {
     /// mutation itself, never across storage I/O. The new version is
     /// assigned inside the lock, atomically with publication — otherwise
     /// a racing snapshot could pair the old state with the new version
-    /// and poison the version-keyed closure cache.
-    fn publish<R>(&self, mutate: impl FnOnce(&mut State) -> R) -> R {
+    /// and poison the version-keyed closure cache. Returns the mutation
+    /// result and the version the commit was published under (writers
+    /// broadcast subscription changelogs tagged with it).
+    fn publish<R>(&self, mutate: impl FnOnce(&mut State) -> R) -> (R, u64) {
         let mut guard = self.state.write();
         let state = Arc::make_mut(&mut guard);
         let out = mutate(state);
@@ -373,7 +381,7 @@ impl Pass {
         // copy-on-write path resets it via `Clone`).
         state.created_scans = CreatedScanCache::default();
         state.version = self.next_version();
-        out
+        (out, state.version)
     }
 
     // -- Snapshot reads ------------------------------------------------
@@ -498,13 +506,17 @@ impl Pass {
 
         // Phase 3: one bulk index publish.
         let records: Vec<&ProvenanceRecord> = fresh.iter().map(|ts| &ts.provenance).collect();
-        self.publish(|state| {
+        let ((), version) = self.publish(|state| {
             state.index_records(&records);
             state.time.build();
             for ts in &fresh {
                 state.data_present.insert(ts.provenance.id);
             }
         });
+        // Broadcast while the commit lock is still held so subscribers
+        // receive changelogs in version order. The record clones are
+        // paid only when a subscriber exists.
+        self.hub.broadcast(version, || fresh.iter().map(|ts| ts.provenance.clone()).collect());
         self.metrics.ingests.fetch_add(fresh.len() as u64, Ordering::Relaxed);
         self.metrics.batches.fetch_add(1, Ordering::Relaxed);
         Ok(ids)
@@ -723,9 +735,10 @@ impl Pass {
         // readings live elsewhere (or were removed; PASS property 4).
         drop(current);
         self.store.put(&keyspace::key(keyspace::RECORD, record.id), &record.encode_to_vec())?;
-        self.publish(|state| {
+        let (_, version) = self.publish(|state| {
             state.index_record(record);
         });
+        self.hub.broadcast(version, || vec![record.clone()]);
         self.metrics.ingests.fetch_add(1, Ordering::Relaxed);
         Ok((true, 0))
     }
@@ -858,27 +871,118 @@ impl Pass {
     }
 
     /// Lineage closure of `id` as full records, nearest-first order not
-    /// guaranteed (sorted by internal index).
+    /// guaranteed (sorted by internal index). Runs against a fresh
+    /// snapshot; see [`Snapshot::lineage`] for the repeatable-read form.
     pub fn lineage(
         &self,
         id: TupleSetId,
         direction: pass_index::Direction,
         opts: TraverseOpts,
     ) -> Result<Vec<ProvenanceRecord>> {
-        let clause = LineageClause {
-            root: id,
-            direction,
-            max_depth: opts.max_depth,
-            stop_at_abstraction: opts.stop_at_abstraction,
-            include_root: false,
-        };
+        self.snapshot().lineage(id, direction, opts)
+    }
+
+    // -- Subscriptions (continuous queries) ------------------------------
+
+    /// Opens a live subscription on `query`: one API for one-shot and
+    /// continuous consumption. The returned [`Subscription`] first
+    /// drains a *catch-up* phase — exactly the records `query` would
+    /// return from [`Pass::query`] at this moment, in the same order —
+    /// then emits [`crate::Event::CaughtUp`] and *tails* live commits,
+    /// delivering every subsequent matching record exactly once, in
+    /// commit order. There is no gap and no duplicate at the handoff:
+    /// catch-up covers commit versions ≤ the pinned snapshot's version,
+    /// the tail starts at the next version (see [`crate::subscribe`] for
+    /// the protocol).
+    ///
+    /// A `DESCENDANTS OF` lineage scope subscribes to the growing taint
+    /// closure (the `WATCH` query form); `ANCESTORS OF` scopes are
+    /// rejected — ancestor closures of a fixed root do not grow with new
+    /// commits, so a one-shot query answers them.
+    ///
+    /// `ORDER BY`, `LIMIT`, and `AFTER` shape the catch-up phase exactly
+    /// as they shape `execute()`; the tail is always unbounded and in
+    /// commit order.
+    ///
+    /// The tail fires on record **additions** (each record delivered at
+    /// most once, keyed by identity). Annotation merges mutate an
+    /// existing record and are not replayed — see the
+    /// [`crate::subscribe`] module docs for why and what that means for
+    /// `ANNOTATION CONTAINS` filters.
+    pub fn subscribe(&self, query: &Query) -> Result<Subscription> {
+        self.subscribe_with(query, DEFAULT_SUBSCRIPTION_CAPACITY)
+    }
+
+    /// [`Pass::subscribe`] with an explicit changelog-queue bound (in
+    /// commits). When the consumer falls more than `capacity` commits
+    /// behind, the oldest changelogs are discarded and the consumer
+    /// receives [`crate::Event::Lagged`] — ingest never blocks on a
+    /// stalled subscriber.
+    pub fn subscribe_with(&self, query: &Query, capacity: usize) -> Result<Subscription> {
+        if let Some(clause) = &query.lineage {
+            if clause.direction != pass_index::Direction::Descendants {
+                return Err(PassError::Query(pass_query::QueryError::Provider(
+                    "SUBSCRIBE supports DESCENDANTS lineage scopes only: the ancestor \
+                     closure of a fixed root does not grow with new commits"
+                        .to_owned(),
+                )));
+            }
+        }
+        let channel = Subscription::make_channel(capacity);
+        // Register BEFORE snapshotting: a commit the snapshot misses is
+        // then guaranteed to reach the channel (writers publish through
+        // the state lock before broadcasting) — the no-gap half of the
+        // handoff. The version filter inside the subscription provides
+        // the no-duplicate half.
+        Subscription::register(&self.hub, &channel);
         let snapshot = self.snapshot();
-        let posting = snapshot.lineage(&clause).ok_or(PassError::NotFound(id))?;
-        Ok(posting
-            .iter()
-            .filter_map(|idx| snapshot.state.graph.resolve(idx))
-            .filter_map(|rid| snapshot.state.records.get(&rid).cloned())
-            .collect())
+        let armed =
+            (|| -> Result<(std::collections::VecDeque<ProvenanceRecord>, Option<WatchState>)> {
+                let catch_up: std::collections::VecDeque<ProvenanceRecord> =
+                    snapshot.open_query(query)?.collect();
+                let watch = match &query.lineage {
+                    Some(clause) => {
+                        // Watch membership is filter-independent: seed from
+                        // the raw closure, not the filtered catch-up output.
+                        let members = snapshot.lineage(
+                            clause.root,
+                            clause.direction,
+                            clause.traverse_opts(),
+                        )?;
+                        Some(WatchState::init(clause.root, &members, clause))
+                    }
+                    None => None,
+                };
+                Ok((catch_up, watch))
+            })();
+        let (catch_up, watch) = match armed {
+            Ok(parts) => parts,
+            Err(e) => {
+                self.hub.unregister(&channel);
+                return Err(e);
+            }
+        };
+        Ok(Subscription::new(
+            Arc::clone(&self.hub),
+            channel,
+            catch_up,
+            snapshot.version(),
+            query.filter.clone(),
+            watch,
+        ))
+    }
+
+    /// Parses and opens a subscription statement: `SUBSCRIBE <query>` or
+    /// `WATCH DESCENDANTS OF ts:HEX …` (see the `pass-query` grammar).
+    pub fn subscribe_text(&self, text: &str) -> Result<Subscription> {
+        let statement = pass_query::parse_subscribe(text).map_err(PassError::Query)?;
+        self.subscribe(&statement.query)
+    }
+
+    /// Number of live subscriptions (dropped subscribers are swept
+    /// lazily, so this may briefly over-count).
+    pub fn subscriber_count(&self) -> usize {
+        self.hub.subscriber_count()
     }
 
     // -- Maintenance ---------------------------------------------------
@@ -1042,6 +1146,48 @@ impl Snapshot {
     /// True when the readings were present at snapshot time.
     pub fn has_data(&self, id: TupleSetId) -> bool {
         self.state.data_present.contains(&id)
+    }
+
+    /// Record + readings together, when both exist — the snapshot twin
+    /// of [`Pass::get_tuple_set`]. The record comes from the pinned
+    /// index state; the readings come from shared storage, which is
+    /// *not* versioned. After a concurrent [`Pass::remove_data`] this
+    /// returns `Ok(None)` even though [`Snapshot::has_data`] (pinned)
+    /// still answers `true` — the same divergence documented on
+    /// [`Snapshot::get_data`].
+    pub fn get_tuple_set(&self, id: TupleSetId) -> Result<Option<TupleSet>> {
+        let Some(record) = self.get_record(id) else {
+            return Ok(None);
+        };
+        let Some(readings) = self.get_data(id)? else {
+            return Ok(None);
+        };
+        Ok(Some(TupleSet::new_unchecked(record, readings)))
+    }
+
+    /// Lineage closure of `id` as full records — the snapshot twin of
+    /// [`Pass::lineage`], with repeatable reads: the closure is computed
+    /// entirely from the pinned index state, so concurrent ingest can
+    /// neither grow nor reorder the answer.
+    pub fn lineage(
+        &self,
+        id: TupleSetId,
+        direction: pass_index::Direction,
+        opts: TraverseOpts,
+    ) -> Result<Vec<ProvenanceRecord>> {
+        let clause = LineageClause {
+            root: id,
+            direction,
+            max_depth: opts.max_depth,
+            stop_at_abstraction: opts.stop_at_abstraction,
+            include_root: false,
+        };
+        let posting = self.lineage_posting(&clause).ok_or(PassError::NotFound(id))?;
+        Ok(posting
+            .iter()
+            .filter_map(|idx| self.state.graph.resolve(idx))
+            .filter_map(|rid| self.state.records.get(&rid).cloned())
+            .collect())
     }
 
     /// All record ids visible in this snapshot (unordered).

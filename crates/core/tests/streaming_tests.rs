@@ -137,6 +137,88 @@ fn snapshot_carries_the_full_read_surface() {
 }
 
 #[test]
+fn snapshot_get_tuple_set_parity_and_divergence() {
+    let pass = Pass::open_memory(SiteId(6));
+    let ids = capture_batch(&pass, 0, 4);
+    let snapshot = pass.snapshot();
+
+    // Parity with the live store while nothing moves.
+    let live = pass.get_tuple_set(ids[0]).expect("read").expect("present");
+    let snap = snapshot.get_tuple_set(ids[0]).expect("read").expect("present");
+    assert_eq!(live.provenance, snap.provenance);
+    assert_eq!(live.readings, snap.readings);
+
+    // A record committed after the snapshot is invisible to it.
+    let new_ids = capture_batch(&pass, 100, 1);
+    assert!(pass.get_tuple_set(new_ids[0]).expect("read").is_some());
+    assert!(snapshot.get_tuple_set(new_ids[0]).expect("read").is_none());
+
+    // The pinned divergence: after concurrent remove_data the snapshot's
+    // index still lists the record (and has_data says true), but the
+    // readings come from shared, unversioned storage — get_tuple_set
+    // reports None, exactly like get_data.
+    pass.remove_data(ids[1]).expect("remove");
+    assert!(snapshot.has_data(ids[1]), "index state is pinned");
+    assert!(snapshot.get_record(ids[1]).is_some(), "record survives removal (property 4)");
+    assert!(snapshot.get_tuple_set(ids[1]).expect("read").is_none(), "readings are shared");
+}
+
+#[test]
+fn snapshot_lineage_is_repeatable_under_ingest() {
+    use pass_index::{Direction, TraverseOpts};
+    let pass = Pass::open_memory(SiteId(7));
+    let roots = capture_batch(&pass, 0, 2);
+    let mid = pass
+        .derive(
+            &[roots[0]],
+            &pass_model::ToolDescriptor::new("stage", "1"),
+            Attributes::new().with(keys::DOMAIN, "traffic"),
+            vec![],
+            Timestamp(1_000),
+        )
+        .expect("derive");
+    let snapshot = pass.snapshot();
+
+    // Parity with the live store at snapshot time.
+    let live: Vec<_> =
+        pass.lineage(roots[0], Direction::Descendants, TraverseOpts::unbounded()).expect("live");
+    let pinned: Vec<_> = snapshot
+        .lineage(roots[0], Direction::Descendants, TraverseOpts::unbounded())
+        .expect("pinned");
+    assert_eq!(live, pinned);
+    assert_eq!(pinned.iter().map(|r| r.id).collect::<Vec<_>>(), vec![mid]);
+
+    // New descendants grow the live answer but never the pinned one.
+    pass.derive(
+        &[mid],
+        &pass_model::ToolDescriptor::new("stage", "2"),
+        Attributes::new().with(keys::DOMAIN, "traffic"),
+        vec![],
+        Timestamp(2_000),
+    )
+    .expect("derive");
+    assert_eq!(
+        pass.lineage(roots[0], Direction::Descendants, TraverseOpts::unbounded())
+            .expect("live")
+            .len(),
+        2
+    );
+    assert_eq!(
+        snapshot
+            .lineage(roots[0], Direction::Descendants, TraverseOpts::unbounded())
+            .expect("pinned")
+            .len(),
+        1,
+        "snapshot closure is repeatable"
+    );
+
+    // Unknown roots error identically on both surfaces.
+    assert!(snapshot
+        .lineage(TupleSetId(424242), Direction::Ancestors, TraverseOpts::unbounded())
+        .is_err());
+}
+
+#[test]
 fn pass_execute_and_cursor_agree() {
     let pass = Pass::open_memory(SiteId(5));
     capture_batch(&pass, 0, 64);

@@ -36,6 +36,16 @@ pub trait Architecture {
     /// Runs a query on behalf of a client local to `client_site`.
     fn query(&mut self, client_site: usize, query: &Query) -> u64;
 
+    /// Opens a standing subscription at `client_site`: the architecture
+    /// pushes a notification (an [`Outcome`] bearing the returned op id,
+    /// once per matching commit) whenever a subsequently published
+    /// record matches `query`'s filter. Returns `None` when the
+    /// architecture has no push path — callers fall back to poll loops,
+    /// which is exactly the trade E22 measures.
+    fn subscribe(&mut self, _client_site: usize, _query: &Query) -> Option<u64> {
+        None
+    }
+
     /// Ancestors-of closure from `client_site`.
     fn lineage(&mut self, client_site: usize, root: TupleSetId, depth: Option<u32>) -> u64;
 

@@ -50,6 +50,8 @@ struct CentralSite {
     me: NodeId,
     index: MetaIndex,
     fetches: HashMap<u64, PageFetch>,
+    /// Standing subscriptions (warehouse only): `(op, query, subscriber)`.
+    subs: Vec<(u64, Query, NodeId)>,
 }
 
 impl CentralSite {
@@ -91,6 +93,33 @@ impl CentralSite {
         self.fetches.insert(op, fetch);
         self.request_page(ctx, op);
     }
+
+    /// Pushes notifications for freshly indexed records matching any
+    /// standing subscription (warehouse side). Silent when nothing
+    /// matches — the steady-state saving push has over poll loops.
+    fn notify_subscribers(&mut self, ctx: &mut Ctx<'_, ArchMsg>, records: &[ProvenanceRecord]) {
+        if self.subs.is_empty() {
+            return;
+        }
+        for (op, query, notify_to) in &self.subs {
+            let ids: Vec<TupleSetId> =
+                records.iter().filter(|r| query.filter.matches(r)).map(|r| r.id).collect();
+            if ids.is_empty() {
+                continue;
+            }
+            if *notify_to == self.me {
+                ctx.complete_with(*op, true, ArchMsg::Done { op: *op, ok: true, ids });
+            } else {
+                let bytes = msg::notify_bytes(&ids);
+                ctx.send(
+                    *notify_to,
+                    ArchMsg::Notify { op: *op, ids },
+                    bytes,
+                    TrafficClass::Maintenance,
+                );
+            }
+        }
+    }
 }
 
 impl Node<ArchMsg> for CentralSite {
@@ -102,6 +131,7 @@ impl Node<ArchMsg> for CentralSite {
             ArchMsg::ClientPublish { op, record } => {
                 self.index.insert(&record); // local copy stays at the origin
                 if self.me == WAREHOUSE {
+                    self.notify_subscribers(ctx, std::slice::from_ref(&record));
                     ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids: vec![] });
                 } else {
                     let bytes = msg::record_bytes(&record);
@@ -118,6 +148,7 @@ impl Node<ArchMsg> for CentralSite {
                     self.index.insert(record); // local copies stay at the origin
                 }
                 if self.me == WAREHOUSE {
+                    self.notify_subscribers(ctx, &records);
                     ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids: vec![] });
                 } else {
                     // One wire transfer and one ack for the whole batch —
@@ -133,12 +164,14 @@ impl Node<ArchMsg> for CentralSite {
             }
             ArchMsg::StoreRecord { op, record, ack_to } => {
                 self.index.insert(&record);
+                self.notify_subscribers(ctx, std::slice::from_ref(&record));
                 ctx.send(ack_to, ArchMsg::StoreAck { op }, 24, TrafficClass::Update);
             }
             ArchMsg::StoreBatch { op, records, ack_to } => {
                 for record in &records {
                     self.index.insert(record);
                 }
+                self.notify_subscribers(ctx, &records);
                 ctx.send(ack_to, ArchMsg::StoreAck { op }, 24, TrafficClass::Update);
             }
             ArchMsg::StoreAck { op } => {
@@ -151,6 +184,25 @@ impl Node<ArchMsg> for CentralSite {
                 } else {
                     self.start_fetch(ctx, op, query);
                 }
+            }
+            ArchMsg::ClientSubscribe { op, query } => {
+                if self.me == WAREHOUSE {
+                    self.subs.push((op, query, self.me));
+                } else {
+                    let bytes = msg::subscribe_bytes(&query);
+                    ctx.send(
+                        WAREHOUSE,
+                        ArchMsg::SubscribeReq { op, query, notify_to: self.me },
+                        bytes,
+                        TrafficClass::Maintenance,
+                    );
+                }
+            }
+            ArchMsg::SubscribeReq { op, query, notify_to } => {
+                self.subs.push((op, query, notify_to));
+            }
+            ArchMsg::Notify { op, ids } => {
+                ctx.complete_with(op, true, ArchMsg::Done { op, ok: true, ids });
             }
             ArchMsg::ClientLineage { op, root, depth } => {
                 let mut query = Query::lineage(root, pass_index::Direction::Ancestors);
@@ -229,8 +281,12 @@ impl Centralized {
         let sites = topology.len();
         let nodes: Vec<Box<dyn Node<ArchMsg>>> = (0..sites)
             .map(|i| {
-                Box::new(CentralSite { me: i, index: MetaIndex::new(), fetches: HashMap::new() })
-                    as Box<dyn Node<ArchMsg>>
+                Box::new(CentralSite {
+                    me: i,
+                    index: MetaIndex::new(),
+                    fetches: HashMap::new(),
+                    subs: Vec::new(),
+                }) as Box<dyn Node<ArchMsg>>
             })
             .collect();
         Centralized { inner: ArchSim::new(topology, nodes, seed), sites }
@@ -259,6 +315,10 @@ impl Architecture for Centralized {
     fn query(&mut self, client_site: usize, query: &Query) -> u64 {
         let query = query.clone();
         self.inner.issue(client_site, |op| ArchMsg::ClientQuery { op, query })
+    }
+    fn subscribe(&mut self, client_site: usize, query: &Query) -> Option<u64> {
+        let query = query.clone();
+        Some(self.inner.issue(client_site, |op| ArchMsg::ClientSubscribe { op, query }))
     }
     fn lineage(&mut self, client_site: usize, root: TupleSetId, depth: Option<u32>) -> u64 {
         self.inner.issue(client_site, |op| ArchMsg::ClientLineage { op, root, depth })

@@ -36,6 +36,17 @@ pub enum ArchMsg {
         /// The query.
         query: Query,
     },
+    /// Driver-injected: open a standing subscription at this site. The
+    /// site registers the query with its index holder, which then
+    /// *pushes* a [`ArchMsg::Notify`] for every subsequently indexed
+    /// matching record — the wire twin of `SUBSCRIBE <query>`. The op
+    /// completes once per notification (a stream, not a one-shot).
+    ClientSubscribe {
+        /// Driver op id (reused by every notification completion).
+        op: u64,
+        /// The standing query (filter evaluated per indexed record).
+        query: Query,
+    },
     /// Driver-injected: ancestors-of chase from this site.
     ClientLineage {
         /// Driver op id.
@@ -126,6 +137,26 @@ pub enum ArchMsg {
         ids: Vec<TupleSetId>,
         /// True when the site has no further matches after this page.
         done: bool,
+    },
+
+    /// Register a standing subscription at an index holder.
+    SubscribeReq {
+        /// Subscription op (every future notification completes it).
+        op: u64,
+        /// The standing query.
+        query: Query,
+        /// Where matching-record notifications are pushed.
+        notify_to: NodeId,
+    },
+    /// Index holder → subscriber: freshly indexed records matching a
+    /// standing query. One message per commit that produced matches —
+    /// the holder stays silent otherwise, which is where push beats a
+    /// poll loop on steady-state traffic (E22).
+    Notify {
+        /// The subscription op.
+        op: u64,
+        /// Matching ids from this commit, in index order.
+        ids: Vec<TupleSetId>,
     },
 
     /// Batched soft-state digest: records published at `from` since the
@@ -226,6 +257,16 @@ pub const QUERY_PAGE: usize = 32;
 /// Wire size of a paged subquery request (query + keyset token + limit).
 pub fn page_request_bytes(query: &Query) -> u64 {
     query_bytes(query) + 16 + 8
+}
+
+/// Wire size of a subscription registration (query + notify address).
+pub fn subscribe_bytes(query: &Query) -> u64 {
+    query_bytes(query) + 8
+}
+
+/// Wire size of a push notification (op + id list).
+pub fn notify_bytes(ids: &[TupleSetId]) -> u64 {
+    8 + ids_bytes(ids)
 }
 
 /// Wire size of a result page (id list + done flag).

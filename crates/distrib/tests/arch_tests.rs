@@ -453,3 +453,61 @@ fn batched_publish_matches_per_record_results() {
         per_record.update_traffic.messages
     );
 }
+
+#[test]
+fn centralized_push_notifies_every_matching_publish_once() {
+    let topology = Topology::clustered(2, 2, 2.0, 40.0);
+    let mut arch = Centralized::new(topology, 5);
+    let query = parse(r#"FIND WHERE domain = "traffic""#).unwrap();
+    let sub_op = arch.subscribe(3, &query).expect("centralized has a push path");
+    arch.run_quiet(); // deliver the registration before publishing
+
+    let mut matching = Vec::new();
+    for i in 0..12u8 {
+        let domain = if i % 3 == 0 { "traffic" } else { "weather" };
+        let record = ProvenanceBuilder::new(SiteId(u32::from(i % 4)), Timestamp(u64::from(i)))
+            .attr("domain", domain)
+            .attr("seq", i64::from(i))
+            .build(Digest128::of(&[i]));
+        if domain == "traffic" {
+            matching.push(record.id);
+        }
+        arch.publish(usize::from(i % 4), &record);
+        arch.run_for(SimTime::from_millis(5));
+    }
+    arch.run_quiet();
+
+    let mut notified = Vec::new();
+    for outcome in arch.outcomes() {
+        if outcome.op == sub_op {
+            assert!(outcome.ok);
+            notified.extend(outcome.ids);
+        }
+    }
+    // Every matching record notified exactly once, none of the others.
+    notified.sort();
+    matching.sort();
+    assert_eq!(notified, matching);
+
+    // Registrations and notifications ride the maintenance class, so
+    // poll-vs-push comparisons can separate standing-query upkeep from
+    // one-shot query traffic.
+    use pass_net::TrafficClass;
+    let maint = arch.net().class(TrafficClass::Maintenance);
+    assert!(maint.messages > 0, "push notifications are maintenance traffic");
+}
+
+#[test]
+fn architectures_without_push_report_none() {
+    let spec = small_spec();
+    let query = parse(r#"FIND WHERE domain = "traffic""#).unwrap();
+    for kind in [
+        ArchKind::Federated,
+        ArchKind::SoftState { refresh: SimTime::from_secs(1) },
+        ArchKind::Hierarchical,
+        ArchKind::Dht { replicas: 1 },
+    ] {
+        let mut arch = build_arch(kind, spec.topology(), spec.seed);
+        assert!(arch.subscribe(0, &query).is_none(), "{} should fall back to polling", arch.name());
+    }
+}

@@ -280,8 +280,11 @@ impl<M: Clone> Simulator<M> {
         self.nodes[id].as_mut()
     }
 
-    /// Runs until the event queue empties or the clock passes `limit`.
-    /// Returns the final clock value.
+    /// Runs until the event queue empties or the clock passes `limit`,
+    /// then advances the clock to `limit`. Returns the final clock
+    /// value. Advancing across idle gaps matters for periodic drivers:
+    /// a poll loop slower than the next scheduled timer must still see
+    /// virtual time pass, exactly as wall-clock time would.
     pub fn run_until(&mut self, limit: SimTime) -> SimTime {
         while let Some(Reverse(head)) = self.heap.peek() {
             if head.at > limit {
@@ -291,6 +294,7 @@ impl<M: Clone> Simulator<M> {
             self.clock = self.clock.max(event.at);
             self.dispatch(event);
         }
+        self.clock = self.clock.max(limit);
         self.clock
     }
 

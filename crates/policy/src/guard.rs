@@ -18,12 +18,13 @@ use crate::error::{PolicyError, Result};
 use crate::label::PolicyLabel;
 use crate::redact::{redact_lineage, RedactedLineage};
 use crate::rule::{Action, Decision, PolicyEngine, Principal};
-use pass_core::Pass;
+use pass_core::{Event, Pass, Snapshot, Subscription};
 use pass_index::{Direction, TraverseOpts};
 use pass_model::{
     Annotation, Attributes, ProvenanceRecord, Reading, Timestamp, ToolDescriptor, TupleSetId,
 };
 use pass_query::Query;
+use std::time::Duration;
 
 /// A policy-enforcing wrapper around a local PASS.
 pub struct GuardedPass {
@@ -271,6 +272,61 @@ impl GuardedPass {
         Ok((id, anon))
     }
 
+    // -- Live subscriptions (mediated) ------------------------------------
+
+    /// Opens a continuous query under the policy: the returned
+    /// subscription delivers the same snapshot-then-tail stream as
+    /// [`Pass::subscribe`], but every [`Event::Match`] is gated on
+    /// `ReadProvenance` for `principal` — and audited — before delivery.
+    /// Denied matches are withheld (counted, never delivered), so a
+    /// subscriber learns nothing about records its label forbids, on the
+    /// live path exactly as on the one-shot path.
+    ///
+    /// A lineage scope (`WATCH DESCENDANTS OF root`) is additionally
+    /// gated on `ReadLineage` for the root, exactly like
+    /// [`GuardedPass::lineage`]: a principal who may not traverse a
+    /// record's lineage must not learn derivation structure by watching
+    /// it instead.
+    pub fn subscribe(
+        &self,
+        principal: &Principal,
+        query: &Query,
+    ) -> Result<GuardedSubscription<'_>> {
+        if let Some(clause) = &query.lineage {
+            let root = self
+                .inner
+                .get_record(clause.root)
+                .ok_or(pass_core::PassError::NotFound(clause.root))?;
+            let d = self.check(principal, Action::ReadLineage, &root);
+            if !d.allowed() {
+                return Err(Self::deny(clause.root, Action::ReadLineage, d));
+            }
+        }
+        let inner = self.inner.subscribe(query)?;
+        Ok(GuardedSubscription { guard: self, principal: principal.clone(), inner, withheld: 0 })
+    }
+
+    /// Parses and opens a subscription statement under the policy
+    /// (`SUBSCRIBE <query>` / `WATCH DESCENDANTS OF ts:HEX …`).
+    pub fn subscribe_text(
+        &self,
+        principal: &Principal,
+        text: &str,
+    ) -> Result<GuardedSubscription<'_>> {
+        let statement = pass_query::parse_subscribe(text).map_err(pass_core::PassError::Query)?;
+        self.subscribe(principal, &statement.query)
+    }
+
+    /// A repeatable-read view of the store with the policy still in
+    /// force: reads answer from one pinned commit version, and every
+    /// record-bearing read is mediated and audited exactly like the live
+    /// surface. (The raw [`Snapshot`] stays out of reach — handing it
+    /// out would bypass the guard the way `into_inner` deliberately
+    /// does, minus the explicit ownership handover.)
+    pub fn snapshot(&self) -> GuardedSnapshot<'_> {
+        GuardedSnapshot { guard: self, snapshot: self.inner.snapshot() }
+    }
+
     // -- Unmediated metadata ----------------------------------------------
 
     /// Number of records held (not policy-sensitive).
@@ -281,6 +337,134 @@ impl GuardedPass {
     /// True when the store is empty.
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
+    }
+}
+
+/// A policy-mediated live subscription (see [`GuardedPass::subscribe`]).
+///
+/// Wraps a [`Subscription`]: catch-up, `CaughtUp`, and tail semantics
+/// are unchanged; matches the principal may not read are withheld and
+/// the denial is audited.
+pub struct GuardedSubscription<'g> {
+    guard: &'g GuardedPass,
+    principal: Principal,
+    inner: Subscription,
+    withheld: u64,
+}
+
+impl std::fmt::Debug for GuardedSubscription<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuardedSubscription")
+            .field("principal", &self.principal.name)
+            .field("withheld", &self.withheld)
+            .finish()
+    }
+}
+
+impl GuardedSubscription<'_> {
+    /// Non-blocking receive; denied matches are skipped (and counted).
+    pub fn try_next(&mut self) -> Option<Event> {
+        loop {
+            let event = self.inner.try_next()?;
+            if let Some(event) = self.admit(event) {
+                return Some(event);
+            }
+        }
+    }
+
+    /// Blocking receive with a timeout; `None` means the timeout passed.
+    pub fn next_timeout(&mut self, timeout: Duration) -> Option<Event> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            let event = self.inner.next_timeout(remaining)?;
+            if let Some(event) = self.admit(event) {
+                return Some(event);
+            }
+        }
+    }
+
+    /// Matches withheld from this subscriber by policy so far.
+    pub fn withheld(&self) -> u64 {
+        self.withheld
+    }
+
+    /// The commit version the catch-up phase reflects.
+    pub fn catch_up_version(&self) -> u64 {
+        self.inner.catch_up_version()
+    }
+
+    fn admit(&mut self, event: Event) -> Option<Event> {
+        match event {
+            Event::Match(record) => {
+                if self.guard.check(&self.principal, Action::ReadProvenance, &record).allowed() {
+                    Some(Event::Match(record))
+                } else {
+                    self.withheld += 1;
+                    None
+                }
+            }
+            other => Some(other),
+        }
+    }
+}
+
+/// A policy-mediated snapshot (see [`GuardedPass::snapshot`]): the
+/// repeatable-read surface with per-record enforcement intact.
+pub struct GuardedSnapshot<'g> {
+    guard: &'g GuardedPass,
+    snapshot: Snapshot,
+}
+
+impl GuardedSnapshot<'_> {
+    /// The commit version this view reflects.
+    pub fn version(&self) -> u64 {
+        self.snapshot.version()
+    }
+
+    /// Number of records visible (not policy-sensitive, as on the live
+    /// surface).
+    pub fn len(&self) -> usize {
+        self.snapshot.len()
+    }
+
+    /// True when no records are visible.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_empty()
+    }
+
+    /// Reads a provenance record from the pinned state, if the policy
+    /// allows (mediated and audited like [`GuardedPass::get_record`]).
+    pub fn get_record(&self, principal: &Principal, id: TupleSetId) -> Result<ProvenanceRecord> {
+        let record = self.snapshot.get_record(id).ok_or(pass_core::PassError::NotFound(id))?;
+        let d = self.guard.check(principal, Action::ReadProvenance, &record);
+        if d.allowed() {
+            Ok(record)
+        } else {
+            Err(GuardedPass::deny(id, Action::ReadProvenance, d))
+        }
+    }
+
+    /// Runs a query against the pinned state and filters the results to
+    /// what the principal may see; returns `(visible, withheld)` like
+    /// [`GuardedPass::query`], with repeatable reads: re-running against
+    /// this view cannot observe later commits.
+    pub fn query(
+        &self,
+        principal: &Principal,
+        query: &Query,
+    ) -> Result<(Vec<ProvenanceRecord>, usize)> {
+        let result = self.snapshot.query(query)?;
+        let mut visible = Vec::new();
+        let mut withheld = 0usize;
+        for record in result.records {
+            if self.guard.check(principal, Action::ReadProvenance, &record).allowed() {
+                visible.push(record);
+            } else {
+                withheld += 1;
+            }
+        }
+        Ok((visible, withheld))
     }
 }
 
@@ -657,6 +841,145 @@ mod tests {
             .lineage(&public_reader, result, Direction::Ancestors, TraverseOpts::unbounded())
             .unwrap_err();
         assert!(err.is_denied(), "root itself is PHI (sticky), so traversal is gated");
+    }
+
+    #[test]
+    fn guarded_subscription_withholds_and_audits_denied_matches() {
+        let g = guarded();
+        let emt = clinician();
+        // One public record pre-subscribe (catch-up), then one PHI + one
+        // public record live (tail).
+        g.capture(
+            &emt,
+            PolicyLabel::public(),
+            Attributes::new().with("domain", "medical").with("seq", 0i64),
+            vitals(70.0),
+            Timestamp(1),
+        )
+        .unwrap();
+
+        let outsider = Principal::new("analyst");
+        let mut sub = g
+            .subscribe_text(&outsider, r#"SUBSCRIBE FIND WHERE domain = "medical""#)
+            .expect("subscribe");
+        let audit_before = g.audit().len();
+
+        g.capture(
+            &emt,
+            phi_label(),
+            Attributes::new().with("domain", "medical").with("seq", 1i64),
+            vitals(80.0),
+            Timestamp(2),
+        )
+        .unwrap();
+        g.capture(
+            &emt,
+            PolicyLabel::public(),
+            Attributes::new().with("domain", "medical").with("seq", 2i64),
+            vitals(81.0),
+            Timestamp(3),
+        )
+        .unwrap();
+
+        let mut delivered = Vec::new();
+        while let Some(event) = sub.try_next() {
+            match event {
+                Event::Match(r) => {
+                    delivered.push(r.attributes.get("seq").unwrap().as_int().unwrap())
+                }
+                Event::CaughtUp { .. } => {}
+                Event::Lagged(n) => panic!("lagged {n}"),
+            }
+        }
+        assert_eq!(delivered, vec![0, 2], "PHI match withheld from the outsider");
+        assert_eq!(sub.withheld(), 1);
+        // Every delivered AND withheld match was audited.
+        assert_eq!(g.audit().len() - audit_before, 3);
+        assert_eq!(g.audit().denials().len(), 1);
+        drop(sub);
+
+        // The clinician's subscription sees everything.
+        let mut sub = g
+            .subscribe_text(&emt, r#"SUBSCRIBE FIND WHERE domain = "medical""#)
+            .expect("subscribe");
+        let mut seen = 0;
+        while let Some(event) = sub.try_next() {
+            if matches!(event, Event::Match(_)) {
+                seen += 1;
+            }
+        }
+        assert_eq!((seen, sub.withheld()), (3, 0));
+    }
+
+    #[test]
+    fn watch_subscription_is_gated_on_lineage_rights() {
+        let g = guarded();
+        let emt = clinician();
+        let root =
+            g.capture(&emt, phi_label(), Attributes::new(), vitals(90.0), Timestamp(1)).unwrap();
+        let statement = format!("WATCH DESCENDANTS OF ts:{}", root.full_hex());
+
+        // The outsider may not traverse the PHI root's lineage — and may
+        // not watch it either, even though public descendants would pass
+        // the per-record gate.
+        let outsider = Principal::new("analyst");
+        let err = g.subscribe_text(&outsider, &statement).unwrap_err();
+        assert!(err.is_denied(), "{err}");
+        assert_eq!(g.audit().denials().len(), 1, "the refused watch is audited");
+
+        // The clinician watches fine.
+        assert!(g.subscribe_text(&emt, &statement).is_ok());
+    }
+
+    #[test]
+    fn guarded_snapshot_mediates_pinned_reads() {
+        let g = guarded();
+        let emt = clinician();
+        let private = g
+            .capture(
+                &emt,
+                phi_label(),
+                Attributes::new().with("domain", "medical"),
+                vitals(80.0),
+                Timestamp(1),
+            )
+            .unwrap();
+        g.capture(
+            &emt,
+            PolicyLabel::public(),
+            Attributes::new().with("domain", "medical"),
+            vitals(81.0),
+            Timestamp(2),
+        )
+        .unwrap();
+
+        let view = g.snapshot();
+        assert_eq!(view.len(), 2);
+
+        // Mediated reads against the pinned state.
+        let outsider = Principal::new("analyst");
+        assert!(view.get_record(&outsider, private).unwrap_err().is_denied());
+        assert!(view.get_record(&emt, private).is_ok());
+        let (visible, withheld) = view
+            .query(&outsider, &pass_query::parse(r#"FIND WHERE domain = "medical""#).unwrap())
+            .unwrap();
+        assert_eq!((visible.len(), withheld), (1, 1));
+
+        // Repeatable reads: a commit after the snapshot is invisible.
+        g.capture(
+            &emt,
+            PolicyLabel::public(),
+            Attributes::new().with("domain", "medical"),
+            vitals(82.0),
+            Timestamp(3),
+        )
+        .unwrap();
+        assert_eq!(view.len(), 2, "pinned");
+        let (visible, _) = view
+            .query(&emt, &pass_query::parse(r#"FIND WHERE domain = "medical""#).unwrap())
+            .unwrap();
+        assert_eq!(visible.len(), 2, "query answers from the pinned version");
+        assert_eq!(g.len(), 3, "live surface moved on");
     }
 
     #[test]

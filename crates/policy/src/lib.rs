@@ -70,7 +70,7 @@ pub mod rule;
 pub use aggregate::{kanonymize, AggregateGroup, KAnonymized, NumericLadder, QuasiSpec};
 pub use audit::{AuditEntry, AuditLog};
 pub use error::{PolicyError, Result};
-pub use guard::GuardedPass;
+pub use guard::{GuardedPass, GuardedSnapshot, GuardedSubscription};
 pub use label::{Clearance, PolicyLabel, Sensitivity};
 pub use redact::{redact_lineage, RedactedEdge, RedactedLineage};
 pub use rule::{Action, Decision, Effect, PolicyEngine, Principal, Reason, Rule};

@@ -194,6 +194,37 @@ pub enum OrderBy {
     CreatedDesc,
 }
 
+/// A subscription statement: the continuous form of a [`Query`].
+///
+/// One-shot and continuous consumption share the query model: a
+/// subscription's *catch-up* phase executes [`Subscribe::query`]
+/// verbatim against the snapshot pinned at subscribe time (output
+/// identical to `execute`), and its *tail* then re-evaluates the query's
+/// filter — and, for `DESCENDANTS OF` scopes, an incrementally
+/// maintained closure — against every subsequent commit, in commit
+/// order.
+///
+/// Parsed from `SUBSCRIBE <query>` or the `WATCH DESCENDANTS OF id`
+/// sugar (see [`crate::parser::parse_subscribe`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscribe {
+    /// The underlying query.
+    pub query: Query,
+}
+
+impl Subscribe {
+    /// Subscribes to the matches of `query`.
+    pub fn of(query: Query) -> Self {
+        Subscribe { query }
+    }
+
+    /// `WATCH DESCENDANTS OF root`: fire when a record derives,
+    /// transitively, from `root` — the live-taint shape.
+    pub fn watch_descendants(root: TupleSetId) -> Self {
+        Subscribe { query: Query::lineage(root, Direction::Descendants) }
+    }
+}
+
 /// A complete query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {

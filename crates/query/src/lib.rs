@@ -26,8 +26,12 @@
 //! identifiers (dots allowed: `tool.name`, `sensor.type`).
 //!
 //! ```text
+//! statement  := query | subscribe
 //! query      := FIND [lineage] [WHERE pred]
 //!               [ORDER BY created (ASC|DESC)] [LIMIT n] [AFTER id]
+//! subscribe  := SUBSCRIBE query
+//!             | WATCH DESCENDANTS OF id [DEPTH <= n] [ABSTRACTED]
+//!               [WITH SELF] [WHERE pred]
 //! lineage    := (ANCESTORS | DESCENDANTS) OF id
 //!               [DEPTH <= n] [ABSTRACTED] [WITH SELF]
 //! pred       := or_pred
@@ -67,6 +71,19 @@
 //!   *position*, so it works even when the named record does not match
 //!   the filter; concatenating `LIMIT k AFTER <last id of page>` pages
 //!   reproduces the unpaged result exactly. Unknown tokens are an error.
+//! * **`SUBSCRIBE query`** — the continuous form of any query: the
+//!   consumer first receives a *catch-up* phase whose output is
+//!   byte-identical to executing the query one-shot (so `ORDER BY`,
+//!   `LIMIT`, and `AFTER` shape the catch-up exactly as they shape
+//!   `execute`), then *tails* live commits, receiving every subsequent
+//!   record that satisfies the filter — exactly once, in commit order.
+//!   A `DESCENDANTS OF` scope is maintained incrementally in the tail;
+//!   `ANCESTORS OF` scopes are rejected at subscribe time (ancestor
+//!   closures of a fixed root do not grow with new commits).
+//! * **`WATCH DESCENDANTS OF id`** — sugar for subscribing to
+//!   `FIND DESCENDANTS OF id`: fire when a record derives, transitively,
+//!   from the root. Takes the same lineage modifiers plus an optional
+//!   `WHERE` filter.
 //!
 //! ## Pseudo-attributes
 //!
@@ -96,6 +113,22 @@
 //! assert!(q.after.is_some());
 //! ```
 //!
+//! Subscriptions parse with [`parse_subscribe`]; `WATCH` is sugar over a
+//! descendants query:
+//!
+//! ```
+//! use pass_query::{parse_subscribe, Predicate};
+//! use pass_index::Direction;
+//!
+//! let s = parse_subscribe(r#"SUBSCRIBE FIND WHERE domain = "volcano""#).unwrap();
+//! assert_eq!(s.query.filter, Predicate::Eq("domain".into(), "volcano".into()));
+//!
+//! let w = parse_subscribe(r#"WATCH DESCENDANTS OF ts:3f2a DEPTH <= 4"#).unwrap();
+//! let lineage = w.query.lineage.unwrap();
+//! assert_eq!(lineage.direction, Direction::Descendants);
+//! assert_eq!(lineage.max_depth, Some(4));
+//! ```
+//!
 //! Plans render for EXPLAIN-style inspection:
 //!
 //! ```
@@ -117,11 +150,11 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 
-pub use ast::{CmpOp, LineageClause, OrderBy, Predicate, Query};
+pub use ast::{CmpOp, LineageClause, OrderBy, Predicate, Query, Subscribe};
 pub use error::{QueryError, Result};
 pub use exec::{
     created_order_scan, execute, execute_plan, execute_text, prepare, Cursor, ExecStats,
     PreparedQuery, Provider, QueryEngine, QueryResult,
 };
-pub use parser::{parse, parse_predicate};
+pub use parser::{parse, parse_predicate, parse_subscribe};
 pub use plan::{plan, IndexExpr, Plan, PlanSource};

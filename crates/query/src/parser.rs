@@ -29,7 +29,7 @@
 //! FIND ORDER BY created DESC LIMIT 10 AFTER ts:3f2a
 //! ```
 
-use crate::ast::{CmpOp, LineageClause, OrderBy, Predicate, Query};
+use crate::ast::{CmpOp, LineageClause, OrderBy, Predicate, Query, Subscribe};
 use crate::error::{QueryError, Result};
 use crate::lexer::{lex, Token};
 use pass_index::Direction;
@@ -44,6 +44,28 @@ pub fn parse(input: &str) -> Result<Query> {
         return Err(p.err("unexpected trailing tokens"));
     }
     Ok(q)
+}
+
+/// Parses a subscription statement:
+///
+/// ```text
+/// subscribe := SUBSCRIBE query
+///            | WATCH DESCENDANTS OF id [DEPTH <= n] [ABSTRACTED]
+///              [WITH SELF] [WHERE pred]
+/// ```
+///
+/// `SUBSCRIBE` wraps any query; `WATCH DESCENDANTS OF id` is sugar for
+/// subscribing to `FIND DESCENDANTS OF id` — the live-taint shape.
+/// `WATCH ANCESTORS` is rejected: new commits extend lineage downward,
+/// so only descendant closures grow incrementally.
+pub fn parse_subscribe(input: &str) -> Result<Subscribe> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let sub = p.subscribe()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(sub)
 }
 
 /// Parses just a predicate (handy for tests and embedding).
@@ -103,6 +125,25 @@ impl Parser {
         } else {
             Err(self.err(format!("expected {what}")))
         }
+    }
+
+    fn subscribe(&mut self) -> Result<Subscribe> {
+        if self.eat_kw("SUBSCRIBE") {
+            return Ok(Subscribe::of(self.query()?));
+        }
+        self.expect_kw("WATCH")?;
+        if !self.peek().is_some_and(|t| t.is_kw("DESCENDANTS")) {
+            return Err(self.err("WATCH takes DESCENDANTS OF (ancestor closures do not grow)"));
+        }
+        let lineage = self.lineage()?;
+        let filter = if self.eat_kw("WHERE") { self.or_pred()? } else { Predicate::True };
+        Ok(Subscribe::of(Query {
+            filter,
+            lineage: Some(lineage),
+            limit: None,
+            order: OrderBy::None,
+            after: None,
+        }))
     }
 
     fn query(&mut self) -> Result<Query> {
@@ -432,6 +473,41 @@ mod tests {
         let q = parse("FIND AFTER ts:01").unwrap();
         assert_eq!(q.limit, None);
         assert!(q.after.is_some());
+    }
+
+    #[test]
+    fn subscribe_wraps_any_query() {
+        let s = parse_subscribe(r#"SUBSCRIBE FIND WHERE domain = "traffic" LIMIT 5"#).unwrap();
+        assert_eq!(s.query, parse(r#"FIND WHERE domain = "traffic" LIMIT 5"#).unwrap());
+        let s = parse_subscribe("SUBSCRIBE FIND DESCENDANTS OF ts:3f2a WITH SELF").unwrap();
+        assert!(s.query.lineage.is_some());
+    }
+
+    #[test]
+    fn watch_sugar_is_a_descendants_query() {
+        let s = parse_subscribe("WATCH DESCENDANTS OF ts:3f2a").unwrap();
+        let l = s.query.lineage.unwrap();
+        assert_eq!(l.direction, Direction::Descendants);
+        assert_eq!(l.root, TupleSetId::parse_hex("3f2a").unwrap());
+        assert_eq!(s.query.filter, Predicate::True);
+
+        let s = parse_subscribe(
+            r#"WATCH DESCENDANTS OF ts:ff DEPTH <= 3 ABSTRACTED WHERE domain = "volcano""#,
+        )
+        .unwrap();
+        let l = s.query.lineage.unwrap();
+        assert_eq!(l.max_depth, Some(3));
+        assert!(l.stop_at_abstraction);
+        assert_eq!(s.query.filter, Predicate::Eq("domain".into(), "volcano".into()));
+    }
+
+    #[test]
+    fn subscribe_parse_errors() {
+        assert!(parse_subscribe("FIND WHERE a = 1").is_err(), "bare query is not a subscription");
+        assert!(parse_subscribe("SUBSCRIBE WHERE a = 1").is_err(), "SUBSCRIBE needs a full query");
+        assert!(parse_subscribe("WATCH ANCESTORS OF ts:aa").is_err(), "ancestor watch rejected");
+        assert!(parse_subscribe("WATCH DESCENDANTS OF ts:aa garbage").is_err(), "trailing tokens");
+        assert!(parse("SUBSCRIBE FIND").is_err(), "parse() does not accept statements");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod gen;
+pub mod live;
 pub mod medical;
 pub mod pipeline;
 pub mod spec;
@@ -32,6 +33,7 @@ pub mod volcano;
 pub mod weather;
 pub mod workload;
 
+pub use live::{Alert, AlertCondition, AlertRule, AlertStage};
 pub use pipeline::{
     build_lineage, capture_batch_items, ingest_in_batches, DeriveSpec, LineageShape,
 };

@@ -1,0 +1,203 @@
+//! Live alerting: the subscription-consumer stage of the sensor
+//! pipeline.
+//!
+//! §III-C's emergency-medicine scenario wants detection *while data
+//! arrives*, not on re-query: "the EMT is alerted when the patient's
+//! vital signs cross a threshold". With the store's live read surface
+//! (`Pass::subscribe`), the missing piece is a pipeline stage that turns
+//! a stream of delivered provenance records into operator-facing alerts.
+//! Like the derivation operators in [`crate::pipeline`], this stage is
+//! store-agnostic: it consumes [`ProvenanceRecord`]s however they were
+//! delivered (a subscription's `Event::Match` stream, a replayed batch,
+//! a test fixture) and never holds a store handle itself.
+
+use pass_model::{ProvenanceRecord, Timestamp, TupleSetId, Value};
+
+/// What a rule looks for in a delivered record's attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertCondition {
+    /// Numeric attribute at or above a threshold (`Int` and `Float`
+    /// values both qualify).
+    AtLeast {
+        /// Attribute name.
+        attr: String,
+        /// Inclusive threshold.
+        min: f64,
+    },
+    /// Attribute equals a value exactly.
+    Equals {
+        /// Attribute name.
+        attr: String,
+        /// Expected value.
+        value: Value,
+    },
+}
+
+impl AlertCondition {
+    /// The attribute value that triggers this condition, if the record
+    /// does.
+    fn triggered_by<'r>(&self, record: &'r ProvenanceRecord) -> Option<&'r Value> {
+        match self {
+            AlertCondition::AtLeast { attr, min } => {
+                let value = record.attributes.get(attr)?;
+                let numeric = value.as_float().or_else(|| value.as_int().map(|i| i as f64))?;
+                (numeric >= *min).then_some(value)
+            }
+            AlertCondition::Equals { attr, value } => {
+                let got = record.attributes.get(attr)?;
+                (got == value).then_some(got)
+            }
+        }
+    }
+}
+
+/// A named alerting rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Operator-facing rule name (appears on every raised alert).
+    pub name: String,
+    /// The trigger.
+    pub condition: AlertCondition,
+}
+
+impl AlertRule {
+    /// Rule firing when `attr` is numerically at or above `min`.
+    pub fn at_least(name: impl Into<String>, attr: impl Into<String>, min: f64) -> AlertRule {
+        AlertRule {
+            name: name.into(),
+            condition: AlertCondition::AtLeast { attr: attr.into(), min },
+        }
+    }
+
+    /// Rule firing when `attr` equals `value` exactly.
+    pub fn equals(
+        name: impl Into<String>,
+        attr: impl Into<String>,
+        value: impl Into<Value>,
+    ) -> AlertRule {
+        AlertRule {
+            name: name.into(),
+            condition: AlertCondition::Equals { attr: attr.into(), value: value.into() },
+        }
+    }
+}
+
+/// One raised alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// The tuple set that triggered it.
+    pub subject: TupleSetId,
+    /// The subject's creation time (detection is as fresh as delivery).
+    pub at: Timestamp,
+    /// The attribute value that crossed the rule.
+    pub value: Value,
+}
+
+/// The live alerting stage: feed it every delivered record, read back
+/// the alerts it raises.
+///
+/// Stateless per record (a record firing N rules raises N alerts), with
+/// running counters so a pipeline can report seen/alerted totals.
+#[derive(Debug, Clone, Default)]
+pub struct AlertStage {
+    rules: Vec<AlertRule>,
+    seen: u64,
+    raised: u64,
+}
+
+impl AlertStage {
+    /// A stage evaluating `rules` in order.
+    pub fn new(rules: Vec<AlertRule>) -> AlertStage {
+        AlertStage { rules, seen: 0, raised: 0 }
+    }
+
+    /// Evaluates one delivered record, returning the alerts it raised
+    /// (in rule order; empty for a quiet record).
+    pub fn observe(&mut self, record: &ProvenanceRecord) -> Vec<Alert> {
+        self.seen += 1;
+        let alerts: Vec<Alert> = self
+            .rules
+            .iter()
+            .filter_map(|rule| {
+                rule.condition.triggered_by(record).map(|value| Alert {
+                    rule: rule.name.clone(),
+                    subject: record.id,
+                    at: record.created_at,
+                    value: value.clone(),
+                })
+            })
+            .collect();
+        self.raised += alerts.len() as u64;
+        alerts
+    }
+
+    /// Records observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Alerts raised so far.
+    pub fn raised(&self) -> u64 {
+        self.raised
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pass_model::{Digest128, ProvenanceBuilder, SiteId};
+
+    fn window(amplitude: f64, erupting: bool) -> ProvenanceRecord {
+        ProvenanceBuilder::new(SiteId(1), Timestamp(100))
+            .attr("domain", "volcano")
+            .attr("peak_amplitude_um", amplitude)
+            .attr("eruption_window", erupting)
+            .build(Digest128::of(&amplitude.to_bits().to_le_bytes()))
+    }
+
+    fn stage() -> AlertStage {
+        AlertStage::new(vec![
+            AlertRule::at_least("loud-window", "peak_amplitude_um", 50.0),
+            AlertRule::equals("eruption", "eruption_window", true),
+        ])
+    }
+
+    #[test]
+    fn rules_fire_on_matching_attributes() {
+        let mut stage = stage();
+        let quiet = stage.observe(&window(10.0, false));
+        assert!(quiet.is_empty());
+        let loud = stage.observe(&window(80.0, true));
+        assert_eq!(loud.len(), 2, "both rules fire on the loud eruption window");
+        assert_eq!(loud[0].rule, "loud-window");
+        assert_eq!(loud[0].value, Value::Float(80.0));
+        assert_eq!(loud[1].rule, "eruption");
+        assert_eq!((stage.seen(), stage.raised()), (2, 2));
+    }
+
+    #[test]
+    fn at_least_accepts_int_valued_attributes() {
+        let mut stage = AlertStage::new(vec![AlertRule::at_least("busy", "count", 5.0)]);
+        let record = ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+            .attr("count", 7i64)
+            .build(Digest128::of(b"n"));
+        assert_eq!(stage.observe(&record).len(), 1);
+        let record = ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+            .attr("count", 3i64)
+            .build(Digest128::of(b"m"));
+        assert!(stage.observe(&record).is_empty());
+    }
+
+    #[test]
+    fn missing_or_non_numeric_attributes_never_fire() {
+        let mut stage = AlertStage::new(vec![AlertRule::at_least("x", "missing", 0.0)]);
+        let record = ProvenanceBuilder::new(SiteId(1), Timestamp(1))
+            .attr("other", "string")
+            .build(Digest128::of(b"s"));
+        assert!(stage.observe(&record).is_empty());
+        let mut stage = AlertStage::new(vec![AlertRule::at_least("x", "other", 0.0)]);
+        assert!(stage.observe(&record).is_empty(), "string attr is not numeric");
+    }
+}
