@@ -38,7 +38,7 @@ pub enum ClosureStrategy {
 }
 
 /// Configuration for [`crate::Pass::open`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PassConfig {
     /// This store's site identity (stamped on everything it captures;
     /// placement experiments key off it).
@@ -47,6 +47,23 @@ pub struct PassConfig {
     pub backend: Backend,
     /// Lineage strategy.
     pub closure: ClosureStrategy,
+    /// Number of commit shards (keyspace partitions, each with its own
+    /// commit lock — and, on disk, its own WAL and memtable). `1` (the
+    /// default) is exactly the pre-sharding store: same single-WAL
+    /// on-disk layout, byte for byte. For an existing on-disk store the
+    /// persisted layout wins over this setting on reopen.
+    pub shards: usize,
+}
+
+impl Default for PassConfig {
+    fn default() -> Self {
+        PassConfig {
+            site: SiteId::default(),
+            backend: Backend::default(),
+            closure: ClosureStrategy::default(),
+            shards: 1,
+        }
+    }
 }
 
 impl PassConfig {
@@ -67,6 +84,12 @@ impl PassConfig {
     /// Overrides the closure strategy.
     pub fn with_closure(mut self, closure: ClosureStrategy) -> Self {
         self.closure = closure;
+        self
+    }
+
+    /// Overrides the commit shard count (`0` is treated as `1`).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }

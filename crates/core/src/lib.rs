@@ -55,6 +55,7 @@ pub mod config;
 pub mod error;
 pub mod keyspace;
 pub mod pass;
+pub mod shard;
 pub mod subscribe;
 
 pub use archive::{ArchiveExport, ImportStats};

@@ -45,11 +45,28 @@
 //! only on the first write after an outstanding snapshot was taken,
 //! which batching amortizes. [`Pass::query`] itself runs against a fresh
 //! snapshot, so a single query never observes a half-applied batch.
+//!
+//! # Sharded multi-writer commits
+//!
+//! With `shards = N` ([`PassConfig::with_shards`]) the keyspace is
+//! hash-partitioned over `TupleSetId` and each shard owns its own commit
+//! lock and storage engine (own WAL and memtable on disk) — see
+//! [`crate::shard`]. A batch takes only the locks of the shards it
+//! touches, so writers on disjoint shards run their validation, WAL
+//! appends, and fsyncs fully in parallel; cross-shard batches stay
+//! atomic through a roll-forward intent log. What stays global is
+//! *visibility*: every commit publishes one new state under the global
+//! version counter inside a short, serialized publish+broadcast
+//! section, so snapshot isolation, the version-keyed closure cache, and
+//! the subscription handoff are exactly as strong as in the single-lock
+//! store. `shards = 1` (the default) *is* the single-lock store, same
+//! on-disk layout byte for byte.
 
 use crate::archive::{ArchiveExport, ImportStats};
 use crate::config::{Backend, ClosureStrategy, PassConfig};
 use crate::error::{PassError, Result};
 use crate::keyspace;
+use crate::shard::{self, Sharding};
 use crate::subscribe::{Hub, Subscription, WatchState, DEFAULT_SUBSCRIPTION_CAPACITY};
 use parking_lot::{Mutex, RwLock};
 use pass_index::{
@@ -62,7 +79,7 @@ use pass_model::{
     TimeRange, Timestamp, ToolDescriptor, TupleSet, TupleSetId, Value,
 };
 use pass_query::{Cursor, LineageClause, PreparedQuery, Provider, Query, QueryEngine, QueryResult};
-use pass_storage::{KvStore, LsmEngine, MemEngine, WriteBatch};
+use pass_storage::{KvStore, WriteBatch};
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -145,46 +162,92 @@ impl State {
     /// one `TimeIndex` rebuild). Caller must finish with
     /// `self.time.build()` once all batches of a commit are in.
     fn index_records(&mut self, records: &[&ProvenanceRecord]) -> Vec<NodeIdx> {
-        let mut idxs = Vec::with_capacity(records.len());
-        let mut attr_entries: Vec<(NodeIdx, String, Value)> = Vec::new();
-        let mut docs: Vec<(NodeIdx, &str)> = Vec::new();
-        for record in records {
-            let parents: Vec<(TupleSetId, bool)> =
-                record.ancestry.iter().map(|d| (d.parent, d.tool.abstracted)).collect();
-            let idx = self.graph.insert(record.id, &parents);
+        self.apply_delta(IndexDelta::prepare(records))
+    }
+
+    /// Applies a pre-extracted [`IndexDelta`]. Only the parts that need
+    /// `&mut self` happen here — graph interning (which assigns the
+    /// `NodeIdx` every other entry is remapped onto) and the sorted bulk
+    /// merges — so shard-parallel writers keep the serialized publish
+    /// section as short as possible.
+    fn apply_delta(&mut self, delta: IndexDelta) -> Vec<NodeIdx> {
+        let mut idxs = Vec::with_capacity(delta.records.len());
+        for (slot, record) in delta.records.iter().enumerate() {
+            idxs.push(self.graph.insert(record.id, &delta.parents[slot]));
+        }
+        self.attrs.insert_bulk(
+            delta.attrs.into_iter().map(|(slot, name, value)| (idxs[slot], name, value)).collect(),
+        );
+        self.keywords
+            .insert_bulk(delta.docs.iter().map(|(slot, text)| (idxs[*slot], text.as_str())));
+        for (slot, range) in delta.ranges {
+            self.time.insert(idxs[slot], range);
+        }
+        for record in delta.records {
+            self.records.insert(record.id, record);
+        }
+        idxs
+    }
+}
+
+/// Everything a batch contributes to the in-memory indexes, extracted
+/// ahead of the publish critical section: record clones, parent edge
+/// lists, attribute rows, keyword documents, and time ranges, each keyed
+/// by the record's *slot* (position in the batch). Slots are remapped to
+/// `NodeIdx` under the state lock — node indices are assigned by graph
+/// interning (placeholder reuse makes them non-monotone), so they cannot
+/// be precomputed outside it.
+struct IndexDelta {
+    records: Vec<ProvenanceRecord>,
+    parents: Vec<Vec<(TupleSetId, bool)>>,
+    attrs: Vec<(usize, String, Value)>,
+    docs: Vec<(usize, String)>,
+    ranges: Vec<(usize, TimeRange)>,
+}
+
+impl IndexDelta {
+    fn prepare(records: &[&ProvenanceRecord]) -> IndexDelta {
+        let mut delta = IndexDelta {
+            records: Vec::with_capacity(records.len()),
+            parents: Vec::with_capacity(records.len()),
+            attrs: Vec::new(),
+            docs: Vec::new(),
+            ranges: Vec::new(),
+        };
+        for (slot, record) in records.iter().enumerate() {
+            delta
+                .parents
+                .push(record.ancestry.iter().map(|d| (d.parent, d.tool.abstracted)).collect());
             for (name, value) in record.attributes.iter() {
-                attr_entries.push((idx, name.to_owned(), value.clone()));
+                delta.attrs.push((slot, name.to_owned(), value.clone()));
             }
             for (name, value) in pass_query::ast::multi_valued_attrs(record) {
-                attr_entries.push((idx, name.to_owned(), value));
+                delta.attrs.push((slot, name.to_owned(), value));
             }
             // Pseudo-attributes, indexed so the planner can serve them.
-            attr_entries.push((
-                idx,
+            delta.attrs.push((
+                slot,
                 "origin.site".to_owned(),
                 Value::Int(i64::from(record.origin.0)),
             ));
-            attr_entries.push((idx, "created_at".to_owned(), Value::Time(record.created_at)));
-            attr_entries.push((
-                idx,
+            delta.attrs.push((slot, "created_at".to_owned(), Value::Time(record.created_at)));
+            delta.attrs.push((
+                slot,
                 "ancestry.parents".to_owned(),
                 Value::Int(record.ancestry.len() as i64),
             ));
             for ann in &record.annotations {
-                docs.push((idx, ann.text.as_str()));
+                delta.docs.push((slot, ann.text.clone()));
             }
             if let Some(desc) = record.attributes.get_str(keys::DESCRIPTION) {
-                docs.push((idx, desc));
+                delta.docs.push((slot, desc.to_owned()));
             }
             if let Some(range) = record.time_range() {
-                self.time.insert(idx, range);
+                delta.ranges.push((slot, range));
             }
-            self.records.insert(record.id, (*record).clone());
-            idxs.push(idx);
+            delta.records.push((*record).clone());
         }
-        self.attrs.insert_bulk(attr_entries);
-        self.keywords.insert_bulk(docs);
-        idxs
+        delta
     }
 }
 
@@ -269,10 +332,19 @@ pub struct Pass {
     /// Published index state. Readers `Arc`-clone it (O(1)); writers
     /// replace it copy-on-write under the commit lock.
     state: RwLock<Arc<State>>,
-    /// Serializes writers — the group-commit domain. Held across storage
-    /// I/O so the state write lock itself is only taken for the brief
-    /// in-memory publish step.
-    commit: Mutex<()>,
+    /// Per-shard commit locks (one lock — the old global commit mutex —
+    /// when `shards = 1`) plus the direct shard handles the commit path
+    /// writes through. A commit holds the locks of exactly the shards it
+    /// touches, across storage I/O, so the state write lock itself is
+    /// only taken for the brief in-memory publish step and writers on
+    /// disjoint shards overlap their WAL appends and fsyncs.
+    sharding: Sharding,
+    /// Serializes the publish+broadcast step across shard-parallel
+    /// writers so subscription changelogs leave in version order (the
+    /// PR 3 handoff relies on it). Held only around the in-memory
+    /// publish and the broadcast — never across storage I/O — so it
+    /// costs a short critical section, not commit-wide serialization.
+    publish_order: Mutex<()>,
     closure: Arc<Mutex<ClosureCache>>,
     version: AtomicU64,
     metrics: Metrics,
@@ -295,24 +367,35 @@ impl Pass {
     /// Opens a store per `config`, rebuilding in-memory indexes from the
     /// backend's contents.
     pub fn open(config: PassConfig) -> Result<Pass> {
-        let store: Arc<dyn KvStore> = match &config.backend {
-            Backend::Memory => Arc::new(MemEngine::new()),
-            Backend::Disk { dir, options } => {
-                Arc::new(LsmEngine::open(dir.clone(), options.clone())?)
-            }
+        let requested = config.shards.max(1);
+        let (store, sharding) = match &config.backend {
+            Backend::Memory => shard::open_memory(requested),
+            Backend::Disk { dir, options } => shard::open_disk(dir, options, requested)?,
         };
-        Pass::open_with_store(store, config)
+        Pass::open_internal(store, sharding, config)
     }
 
     /// Opens a store over a caller-supplied storage engine. This is the
     /// embedding/testing hook: counting doubles, fault-injecting wrappers,
-    /// or alternative engines all enter here.
+    /// or alternative engines all enter here. The engine is treated as a
+    /// single commit shard regardless of `config.shards` — sharding is a
+    /// layout `Pass::open` builds, not a property an arbitrary engine
+    /// has.
     pub fn open_with_store(store: Arc<dyn KvStore>, config: PassConfig) -> Result<Pass> {
+        Pass::open_internal(store, Sharding::single(), config)
+    }
+
+    fn open_internal(
+        store: Arc<dyn KvStore>,
+        sharding: Sharding,
+        config: PassConfig,
+    ) -> Result<Pass> {
         let pass = Pass {
             config,
             store,
             state: RwLock::new(Arc::new(State::empty())),
-            commit: Mutex::new(()),
+            sharding,
+            publish_order: Mutex::new(()),
             closure: Arc::new(Mutex::new(ClosureCache { built: BuiltClosure::None, version: 0 })),
             version: AtomicU64::new(1),
             metrics: Metrics::default(),
@@ -330,6 +413,22 @@ impl Pass {
     /// This store's site identity.
     pub fn site(&self) -> SiteId {
         self.config.site
+    }
+
+    /// Number of commit shards actually in effect (for an existing
+    /// on-disk store, the persisted layout — not necessarily what the
+    /// config asked for).
+    pub fn shards(&self) -> usize {
+        self.sharding.count()
+    }
+
+    /// The commit shard that owns `id` — the routing writers use to
+    /// build single-shard batches (see [`pass_sensor`-style pipelines]
+    /// and the E20 concurrent-writer series).
+    ///
+    /// [`pass_sensor`-style pipelines]: crate::shard
+    pub fn shard_of(&self, id: TupleSetId) -> usize {
+        self.sharding.shard_of(id)
     }
 
     fn rebuild_indexes(&self) -> Result<()> {
@@ -441,11 +540,25 @@ impl Pass {
         if sets.is_empty() {
             return Ok(Vec::new());
         }
-        let _commit = self.commit.lock();
+        // Take the commit locks of exactly the shards this batch touches,
+        // in ascending index order (the deadlock-free total order shared
+        // by every multi-shard committer). Writers whose shard sets are
+        // disjoint proceed fully in parallel from here on.
+        let mut involved: Vec<usize> =
+            sets.iter().map(|ts| self.sharding.shard_of(ts.provenance.id)).collect();
+        involved.sort_unstable();
+        involved.dedup();
+        let _commit = self.sharding.lock_many(&involved);
         // Phase 1: validate everything against the published state and
-        // the batch itself. Writers are serialized by the commit lock, so
-        // this read is stable.
-        let current = self.state.read().clone();
+        // the batch itself. Every id in the batch routes to a locked
+        // shard, and an id's record can only be created or changed under
+        // its shard's lock — so this read is stable for our ids even
+        // while other shards keep committing. Validation borrows the
+        // state through the read guard rather than cloning the `Arc`: a
+        // cloned handle held here would force every concurrent
+        // publisher's `Arc::make_mut` to deep-copy the entire state,
+        // serializing shard-parallel writers on copy work.
+        let current = self.state.read();
         let mut fresh: Vec<&TupleSet> = Vec::with_capacity(sets.len());
         let mut seen: HashMap<TupleSetId, pass_model::Digest128> = HashMap::new();
         let mut ids = Vec::with_capacity(sets.len());
@@ -488,35 +601,56 @@ impl Pass {
         if fresh.is_empty() {
             return Ok(ids);
         }
-        // Release the validation handle: holding it across `publish`
-        // would force a needless full copy-on-write clone.
+        // Release the read guard: `publish` takes the write side of the
+        // same lock, and holding the guard across Phase 2 would stall
+        // every other shard's publish behind our storage fsync.
         drop(current);
 
-        // Phase 2: one storage batch, one apply.
-        let mut batch = WriteBatch::new();
+        // Phase 2: one storage sub-batch per participating shard. A
+        // single-shard batch is one engine apply — one WAL append, one
+        // fsync, exactly the old single-store commit. A cross-shard
+        // batch goes through the intent-log protocol, which keeps the
+        // multi-WAL write all-or-nothing across crashes (see
+        // [`pass_storage::sharded`]).
+        let mut parts: Vec<(usize, WriteBatch)> = Vec::new();
+        let mut slot_of: HashMap<usize, usize> = HashMap::new();
         for ts in &fresh {
             let record = &ts.provenance;
+            let shard = self.sharding.shard_of(record.id);
+            let slot = *slot_of.entry(shard).or_insert_with(|| {
+                parts.push((shard, WriteBatch::new()));
+                parts.len() - 1
+            });
+            let batch = &mut parts[slot].1;
             let mut data_buf = Vec::with_capacity(ts.readings.len() * 24 + 8);
             ts.readings.encode_into(&mut data_buf);
             batch.put(keyspace::key(keyspace::RECORD, record.id).to_vec(), record.encode_to_vec());
             batch.put(keyspace::key(keyspace::DATA, record.id).to_vec(), data_buf);
             batch.put(keyspace::key(keyspace::MARKER, record.id).to_vec(), vec![1u8]);
         }
-        self.store.apply(batch)?;
+        self.sharding.apply_parts(&self.store, parts)?;
 
-        // Phase 3: one bulk index publish.
+        // Phase 3: one bulk index publish under the global version. The
+        // delta (record clones, attribute rows, tokenized docs) is
+        // extracted *before* the serialized section; only graph
+        // interning, the sorted merges, and the broadcast sit inside it.
         let records: Vec<&ProvenanceRecord> = fresh.iter().map(|ts| &ts.provenance).collect();
+        let delta = IndexDelta::prepare(&records);
+        let new_ids: Vec<TupleSetId> = records.iter().map(|r| r.id).collect();
+        let order = self.publish_order.lock();
         let ((), version) = self.publish(|state| {
-            state.index_records(&records);
+            state.apply_delta(delta);
             state.time.build();
-            for ts in &fresh {
-                state.data_present.insert(ts.provenance.id);
+            for id in &new_ids {
+                state.data_present.insert(*id);
             }
         });
-        // Broadcast while the commit lock is still held so subscribers
-        // receive changelogs in version order. The record clones are
-        // paid only when a subscriber exists.
+        // Broadcast while still holding the publish-order lock so
+        // subscribers receive changelogs in version order even under
+        // shard-parallel writers. The record clones are paid only when
+        // a subscriber exists.
         self.hub.broadcast(version, || fresh.iter().map(|ts| ts.provenance.clone()).collect());
+        drop(order);
         self.metrics.ingests.fetch_add(fresh.len() as u64, Ordering::Relaxed);
         self.metrics.batches.fetch_add(1, Ordering::Relaxed);
         Ok(ids)
@@ -576,7 +710,7 @@ impl Pass {
 
     /// Attaches an annotation to an existing record (identity unchanged).
     pub fn annotate(&self, id: TupleSetId, annotation: Annotation) -> Result<()> {
-        let _commit = self.commit.lock();
+        let _commit = self.sharding.lock_one(self.sharding.shard_of(id));
         let current = self.state.read().clone();
         if current.graph.lookup(id).is_none() || !current.records.contains_key(&id) {
             return Err(PassError::NotFound(id));
@@ -655,7 +789,7 @@ impl Pass {
     /// Deletes the *readings* of a tuple set; the provenance record and
     /// every index entry survive. Returns whether data was present.
     pub fn remove_data(&self, id: TupleSetId) -> Result<bool> {
-        let _commit = self.commit.lock();
+        let _commit = self.sharding.lock_one(self.sharding.shard_of(id));
         let current = self.state.read();
         if !current.records.contains_key(&id) {
             return Err(PassError::NotFound(id));
@@ -698,7 +832,7 @@ impl Pass {
                 record.id
             ))));
         }
-        let _commit = self.commit.lock();
+        let _commit = self.sharding.lock_one(self.sharding.shard_of(record.id));
         let current = self.state.read().clone();
         if let Some(existing) = current.records.get(&record.id) {
             if existing.content_digest != record.content_digest {
@@ -735,10 +869,12 @@ impl Pass {
         // readings live elsewhere (or were removed; PASS property 4).
         drop(current);
         self.store.put(&keyspace::key(keyspace::RECORD, record.id), &record.encode_to_vec())?;
+        let order = self.publish_order.lock();
         let (_, version) = self.publish(|state| {
             state.index_record(record);
         });
         self.hub.broadcast(version, || vec![record.clone()]);
+        drop(order);
         self.metrics.ingests.fetch_add(1, Ordering::Relaxed);
         Ok((true, 0))
     }
@@ -751,7 +887,7 @@ impl Pass {
     /// archive that still holds the readings re-supplies them.
     pub fn restore_data(&self, ts: &TupleSet) -> Result<bool> {
         let record = &ts.provenance;
-        let _commit = self.commit.lock();
+        let _commit = self.sharding.lock_one(self.sharding.shard_of(record.id));
         {
             let state = self.state.read();
             let existing = state.records.get(&record.id).ok_or(PassError::NotFound(record.id))?;

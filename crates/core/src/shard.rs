@@ -1,0 +1,186 @@
+//! Commit sharding: per-shard locks, engines, and the disk layout.
+//!
+//! The keyspace is hash-partitioned over `TupleSetId`
+//! ([`crate::keyspace::shard_of`]); every shard owns a commit lock and,
+//! when sharding is on, its own storage engine (WAL + memtable +
+//! SSTables under `shard-NN/`). Writers serialize only per shard:
+//!
+//! * a **single-shard** batch takes one shard lock — writers on other
+//!   shards commit truly concurrently, each through its own WAL;
+//! * a **cross-shard** batch takes every participating shard's lock in
+//!   ascending index order (the deadlock-free total order) and commits
+//!   through the storage layer's intent-log protocol
+//!   ([`pass_storage::ShardedStore`]), which makes the multi-WAL write
+//!   all-or-nothing across crashes.
+//!
+//! Commit *visibility* stays global: every commit — whatever its shard
+//! set — publishes one new in-memory state under the global version
+//! counter (see `Pass::publish`), so snapshots, the version-keyed
+//! closure cache, and subscription tails observe one total commit
+//! order, exactly as before sharding.
+//!
+//! # Disk layout
+//!
+//! `shards = 1` is byte-identical to the pre-sharding layout: the
+//! engine roots at the store directory itself (`wal.log`, `MANIFEST`,
+//! `sst-*.sst`), no extra files. `shards = N > 1` writes a `SHARDS`
+//! marker file and roots shard `i` at `shard-NN/`; the cross-shard
+//! intent log lives at `xcommit.log`. On reopen the on-disk layout
+//! wins over the configured count — a store's sharding is decided at
+//! creation, like its key encoding.
+
+use crate::error::Result;
+use crate::keyspace;
+use parking_lot::{Mutex, MutexGuard};
+use pass_model::TupleSetId;
+use pass_storage::{EngineOptions, KvStore, LsmEngine, ShardedStore, StorageError};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Marker file naming the shard count of a sharded store directory.
+const SHARDS_FILE: &str = "SHARDS";
+/// Cross-shard intent log (see [`pass_storage::sharded`]).
+const XLOG_FILE: &str = "xcommit.log";
+
+/// Per-shard commit locks plus the direct shard handles the commit path
+/// writes through.
+pub(crate) struct Sharding {
+    locks: Box<[Mutex<()>]>,
+    /// `Some` when the backing store really is partitioned; `None` for a
+    /// single engine (including every `open_with_store` embedding).
+    sharded: Option<Arc<ShardedStore>>,
+}
+
+impl Sharding {
+    pub(crate) fn single() -> Self {
+        Sharding { locks: vec![Mutex::new(())].into_boxed_slice(), sharded: None }
+    }
+
+    pub(crate) fn over(sharded: Arc<ShardedStore>) -> Self {
+        let locks = (0..sharded.shard_count()).map(|_| Mutex::new(())).collect::<Vec<_>>();
+        Sharding { locks: locks.into_boxed_slice(), sharded: Some(sharded) }
+    }
+
+    /// Number of commit shards (≥ 1).
+    pub(crate) fn count(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// The shard that owns `id`.
+    pub(crate) fn shard_of(&self, id: TupleSetId) -> usize {
+        keyspace::shard_of(id, self.count())
+    }
+
+    /// Locks one shard's commit lock.
+    pub(crate) fn lock_one(&self, shard: usize) -> MutexGuard<'_, ()> {
+        self.locks[shard].lock()
+    }
+
+    /// Locks a set of shards in ascending index order — the global lock
+    /// order that makes concurrent cross-shard committers deadlock-free.
+    /// `shards` must be sorted and deduplicated.
+    pub(crate) fn lock_many<'a>(&'a self, shards: &[usize]) -> Vec<MutexGuard<'a, ()>> {
+        debug_assert!(shards.windows(2).all(|w| w[0] < w[1]), "lock order must be ascending");
+        shards.iter().map(|&s| self.locks[s].lock()).collect()
+    }
+
+    /// Applies pre-partitioned per-shard batches under the caller-held
+    /// shard locks: directly on a single engine, per shard otherwise,
+    /// through the intent-log protocol when the commit spans shards.
+    pub(crate) fn apply_parts(
+        &self,
+        store: &Arc<dyn KvStore>,
+        mut parts: Vec<(usize, pass_storage::WriteBatch)>,
+    ) -> std::result::Result<(), StorageError> {
+        match &self.sharded {
+            None => {
+                debug_assert!(parts.len() <= 1, "single store sees one part");
+                match parts.pop() {
+                    Some((_, batch)) => store.apply(batch),
+                    None => Ok(()),
+                }
+            }
+            Some(sharded) => {
+                if parts.len() == 1 {
+                    let (shard, batch) = parts.pop().expect("one part");
+                    sharded.apply_to(shard, batch)
+                } else {
+                    sharded.apply_split(parts)
+                }
+            }
+        }
+    }
+}
+
+/// Opens the disk backend honoring the sharding layout rules: the
+/// persisted layout (a `SHARDS` file, or a pre-sharding single-engine
+/// directory) wins over `requested`; only a fresh directory adopts the
+/// requested count. Returns the routed store and the shard structure.
+pub(crate) fn open_disk(
+    dir: &Path,
+    options: &EngineOptions,
+    requested: usize,
+) -> Result<(Arc<dyn KvStore>, Sharding)> {
+    let effective = effective_shards(dir, requested)?;
+    if effective == 1 {
+        let engine: Arc<dyn KvStore> =
+            Arc::new(LsmEngine::open(dir.to_path_buf(), options.clone())?);
+        return Ok((engine, Sharding::single()));
+    }
+    std::fs::create_dir_all(dir)
+        .map_err(|e| StorageError::io(format!("creating store dir {}", dir.display()), e))?;
+    let marker = dir.join(SHARDS_FILE);
+    if !marker.exists() {
+        std::fs::write(&marker, format!("{effective}\n"))
+            .map_err(|e| StorageError::io("writing SHARDS marker", e))?;
+    }
+    let mut engines: Vec<Arc<dyn KvStore>> = Vec::with_capacity(effective);
+    for i in 0..effective {
+        let shard_dir = dir.join(format!("shard-{i:02}"));
+        engines.push(Arc::new(LsmEngine::open(shard_dir, options.clone())?));
+    }
+    let router: pass_storage::ShardRouter =
+        Box::new(move |key: &[u8]| keyspace::shard_of_key(key, effective));
+    let sharded =
+        Arc::new(ShardedStore::open(engines, router, Some(dir.join(XLOG_FILE)), options.sync)?);
+    Ok((Arc::clone(&sharded) as Arc<dyn KvStore>, Sharding::over(sharded)))
+}
+
+/// Opens the memory backend with `requested` shards (no layout to
+/// honor — volatile stores are born fresh).
+pub(crate) fn open_memory(requested: usize) -> (Arc<dyn KvStore>, Sharding) {
+    if requested <= 1 {
+        return (Arc::new(pass_storage::MemEngine::new()), Sharding::single());
+    }
+    let engines: Vec<Arc<dyn KvStore>> = (0..requested)
+        .map(|_| Arc::new(pass_storage::MemEngine::new()) as Arc<dyn KvStore>)
+        .collect();
+    let router: pass_storage::ShardRouter =
+        Box::new(move |key: &[u8]| keyspace::shard_of_key(key, requested));
+    let sharded = Arc::new(
+        ShardedStore::open(engines, router, None, pass_storage::SyncPolicy::default())
+            .expect("volatile sharded store cannot fail to open"),
+    );
+    (Arc::clone(&sharded) as Arc<dyn KvStore>, Sharding::over(sharded))
+}
+
+/// Resolves the shard count for a disk directory: `SHARDS` marker, then
+/// pre-sharding single-engine layout, then the requested count.
+fn effective_shards(dir: &Path, requested: usize) -> Result<usize> {
+    let marker = dir.join(SHARDS_FILE);
+    if let Ok(text) = std::fs::read_to_string(&marker) {
+        let n: usize = text
+            .trim()
+            .parse()
+            .map_err(|_| StorageError::corrupt(&marker, "unparseable shard count"))?;
+        if n < 2 {
+            return Err(StorageError::corrupt(&marker, "shard count below 2").into());
+        }
+        return Ok(n);
+    }
+    // A pre-sharding store has its engine rooted at `dir` directly.
+    if dir.join("MANIFEST").exists() || dir.join("wal.log").exists() {
+        return Ok(1);
+    }
+    Ok(requested.max(1))
+}

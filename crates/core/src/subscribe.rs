@@ -22,8 +22,17 @@
 //! 2. The tail **filters changelogs with version ≤ V**: a commit that
 //!    both made it into the snapshot and reached the channel (the
 //!    overlap window) is delivered once, by catch-up — no duplicate.
-//! 3. Writers broadcast while still holding the commit lock, so
-//!    changelogs arrive in version order — commit order is preserved.
+//! 3. Writers broadcast while still holding the **publish-order lock**
+//!    (the short serialized section where the global commit version is
+//!    assigned and the new state published), so changelogs arrive in
+//!    version order — commit order is preserved. This holds under
+//!    sharded multi-writer ingest too: shard-parallel writers overlap
+//!    their storage I/O but funnel publish+broadcast through that one
+//!    section, so no interleaving can reorder or skip a version in the
+//!    stream a subscriber sees. Versions consumed by non-broadcasting
+//!    commits (annotation merges, data removal/restore) appear to
+//!    subscribers as benign gaps in the tag sequence, exactly as in the
+//!    single-lock store.
 //!
 //! # Flow control
 //!

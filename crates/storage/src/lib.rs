@@ -34,6 +34,7 @@ pub mod iter;
 pub mod kv;
 pub mod mem;
 pub mod memtable;
+pub mod sharded;
 pub mod sstable;
 pub mod tempdir;
 pub mod wal;
@@ -43,6 +44,7 @@ pub use engine::{EngineOptions, EngineStats, LsmEngine};
 pub use error::{Result, StorageError};
 pub use kv::{prefix_successor, KvStore};
 pub use mem::MemEngine;
+pub use sharded::{ShardRouter, ShardedStore};
 pub use wal::SyncPolicy;
 
 /// Maximum key length accepted by engines (64 KiB).

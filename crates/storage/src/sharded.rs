@@ -1,0 +1,311 @@
+//! Horizontally sharded storage: N child stores behind one [`KvStore`].
+//!
+//! Each shard is an independent engine — its own WAL, memtable, and
+//! SSTables when the children are [`crate::LsmEngine`]s — so writers
+//! touching different shards never contend on storage. A router function
+//! (supplied by the layer that owns the key layout) maps every key to
+//! its shard; all keys of one logical object must route to the same
+//! shard for single-shard commits to stay atomic.
+//!
+//! # Cross-shard atomicity: the intent log
+//!
+//! A batch that spans shards cannot be made atomic by the shard WALs
+//! alone: each WAL only covers its own shard, and a crash between the
+//! per-shard appends would tear the commit. Worse, a shard may have
+//! already flushed its fragment into an SSTable — there is nothing to
+//! roll *back*. So cross-shard commits roll **forward** through a
+//! coordinator intent log (`xcommit.log`):
+//!
+//! 1. the **full** batch is appended to the intent log (one record,
+//!    CRC-framed by the WAL codec) and made durable per the sync
+//!    policy — this append is the commit point;
+//! 2. the per-shard sub-batches are applied to their shard engines;
+//! 3. the intent log is truncated to empty — the completion mark.
+//!
+//! Recovery at open replays a non-empty intent log: re-split the batch
+//! by the router and re-apply every sub-batch (puts and deletes are
+//! idempotent, so shards that already applied are unaffected). A torn
+//! intent record means the commit point was never reached — no shard
+//! was touched — and the log is discarded. Either way the commit is
+//! all-or-nothing.
+//!
+//! Replay is only sound because nothing can overwrite the pending
+//! commit's keys between steps 1 and 3: the caller holds the commit
+//! locks of every participating shard across the whole protocol, and
+//! the intent-log mutex serializes cross-shard commits with each other.
+//! The log therefore never holds more than the single most recent —
+//! and only possibly-incomplete — cross-shard commit, so replaying it
+//! can never resurrect stale values.
+//!
+//! Once the intent record is durable, the commit *will* complete (if
+//! not by the writer, then by recovery) even if a later step returns an
+//! error to the caller — the usual fate of a transaction that fails
+//! after its commit point.
+
+use crate::batch::{Op, WriteBatch};
+use crate::error::{Result, StorageError};
+use crate::kv::KvStore;
+use crate::wal::{self, SyncPolicy, Wal};
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Maps a key to the index of the shard that owns it.
+pub type ShardRouter = Box<dyn Fn(&[u8]) -> usize + Send + Sync>;
+
+/// N child [`KvStore`]s behind one routed [`KvStore`] facade.
+pub struct ShardedStore {
+    shards: Vec<Arc<dyn KvStore>>,
+    router: ShardRouter,
+    /// Cross-shard intent log; `None` for volatile children (no crash to
+    /// recover from — cross-shard applies just run sequentially).
+    xlog: Option<Mutex<XLog>>,
+}
+
+struct XLog {
+    path: PathBuf,
+    sync: SyncPolicy,
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore").field("shards", &self.shards.len()).finish()
+    }
+}
+
+impl ShardedStore {
+    /// Assembles a sharded store and completes any cross-shard commit a
+    /// crash left pending in the intent log at `xlog_path`.
+    ///
+    /// The router must be stable across opens — it determines the
+    /// persisted placement of every key — and must agree with the
+    /// router used when the data was written.
+    pub fn open(
+        shards: Vec<Arc<dyn KvStore>>,
+        router: ShardRouter,
+        xlog_path: Option<PathBuf>,
+        sync: SyncPolicy,
+    ) -> Result<Self> {
+        assert!(shards.len() > 1, "a sharded store needs at least two shards");
+        let store = ShardedStore {
+            shards,
+            router,
+            xlog: xlog_path.map(|path| Mutex::new(XLog { path, sync })),
+        };
+        store.recover_pending()?;
+        Ok(store)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct handle to one shard's engine.
+    pub fn shard(&self, idx: usize) -> &Arc<dyn KvStore> {
+        &self.shards[idx]
+    }
+
+    /// The shard a key routes to.
+    pub fn route(&self, key: &[u8]) -> usize {
+        (self.router)(key) % self.shards.len()
+    }
+
+    /// Applies a batch whose keys all route to `shard` — the fast path a
+    /// caller that already partitioned by shard uses to skip re-routing.
+    /// One shard engine, one WAL append, same atomicity as any
+    /// single-engine batch.
+    pub fn apply_to(&self, shard: usize, batch: WriteBatch) -> Result<()> {
+        debug_assert!(
+            batch.ops().iter().all(|op| self.route(op.key()) == shard),
+            "sub-batch contains keys routed to another shard"
+        );
+        self.shards[shard].apply(batch)
+    }
+
+    /// Applies pre-partitioned per-shard sub-batches as one atomic
+    /// cross-shard commit (the intent-log protocol above). The caller
+    /// must serialize conflicting writers — in PASS, by holding every
+    /// participating shard's commit lock across this call.
+    pub fn apply_split(&self, parts: Vec<(usize, WriteBatch)>) -> Result<()> {
+        let mut parts: Vec<(usize, WriteBatch)> =
+            parts.into_iter().filter(|(_, b)| !b.is_empty()).collect();
+        match parts.len() {
+            0 => return Ok(()),
+            1 => {
+                let (shard, batch) = parts.pop().expect("one part");
+                return self.apply_to(shard, batch);
+            }
+            _ => {}
+        }
+        for (_, batch) in &parts {
+            batch.validate()?;
+        }
+        match &self.xlog {
+            Some(xlog) => {
+                let guard = xlog.lock();
+                // Step 1: durable intent — the commit point. The full
+                // batch goes in one WAL record; the router re-derives
+                // the split at recovery.
+                let mut combined = WriteBatch::new();
+                for (_, batch) in &parts {
+                    for op in batch.ops() {
+                        match op {
+                            Op::Put { key, value } => combined.put(key.clone(), value.clone()),
+                            Op::Delete { key } => combined.delete(key.clone()),
+                        };
+                    }
+                }
+                let mut intent = Wal::create(&guard.path, guard.sync)?;
+                intent.append(&combined.encode())?;
+                drop(intent);
+                // Step 2: per-shard applies (each its own WAL append).
+                for (shard, batch) in parts {
+                    self.shards[shard].apply(batch)?;
+                }
+                // Step 3: completion mark — truncate the intent log.
+                Self::truncate_xlog(&guard)
+            }
+            // Volatile children: nothing survives a crash, so there is
+            // no torn state to reconcile — apply sequentially.
+            None => {
+                for (shard, batch) in parts {
+                    self.shards[shard].apply(batch)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Splits a mixed batch into per-shard sub-batches, preserving op
+    /// order within each shard.
+    pub fn partition(&self, batch: WriteBatch) -> Vec<(usize, WriteBatch)> {
+        let mut per_shard: Vec<WriteBatch> =
+            (0..self.shards.len()).map(|_| WriteBatch::new()).collect();
+        for op in batch.into_ops() {
+            let shard = self.route(op.key());
+            match op {
+                Op::Put { key, value } => {
+                    per_shard[shard].put(key, value);
+                }
+                Op::Delete { key } => {
+                    per_shard[shard].delete(key);
+                }
+            }
+        }
+        per_shard.into_iter().enumerate().filter(|(_, b)| !b.is_empty()).collect()
+    }
+
+    /// Replays (roll-forward) a pending cross-shard commit, then clears
+    /// the intent log.
+    fn recover_pending(&self) -> Result<()> {
+        let Some(xlog) = &self.xlog else { return Ok(()) };
+        let guard = xlog.lock();
+        let recovery = wal::recover(&guard.path)?;
+        for payload in &recovery.records {
+            let batch = WriteBatch::decode(payload).ok_or_else(|| {
+                StorageError::corrupt(&guard.path, "undecodable cross-shard intent record")
+            })?;
+            for (shard, sub) in self.partition(batch) {
+                self.shards[shard].apply(sub)?;
+            }
+        }
+        if recovery.valid_len > 0 || recovery.torn_tail {
+            Self::truncate_xlog(&guard)?;
+        }
+        Ok(())
+    }
+
+    fn truncate_xlog(xlog: &XLog) -> Result<()> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&xlog.path)
+            .map_err(|e| StorageError::io("truncating cross-shard intent log", e))?;
+        if xlog.sync == SyncPolicy::Always {
+            file.sync_data().map_err(|e| StorageError::io("syncing intent-log truncate", e))?;
+        }
+        Ok(())
+    }
+}
+
+impl KvStore for ShardedStore {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.shards[self.route(key)].get(key)
+    }
+
+    fn apply(&self, batch: WriteBatch) -> Result<()> {
+        batch.validate()?;
+        self.apply_split(self.partition(batch))
+    }
+
+    fn scan_range(&self, start: &[u8], end: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        // Shards interleave in key space (the router hashes), so merge
+        // the per-shard sorted runs back into one sorted result.
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.scan_range(start, end)?);
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    fn flush(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemEngine;
+
+    fn mem_shards(n: usize) -> Vec<Arc<dyn KvStore>> {
+        (0..n).map(|_| Arc::new(MemEngine::new()) as Arc<dyn KvStore>).collect()
+    }
+
+    fn byte_router() -> ShardRouter {
+        Box::new(|key: &[u8]| key.first().copied().unwrap_or(0) as usize)
+    }
+
+    #[test]
+    fn routes_reads_and_writes_to_owning_shard() {
+        let store =
+            ShardedStore::open(mem_shards(4), byte_router(), None, SyncPolicy::OnWrite).unwrap();
+        store.put(&[1, 10], b"a").unwrap();
+        store.put(&[2, 20], b"b").unwrap();
+        assert_eq!(store.get(&[1, 10]).unwrap(), Some(b"a".to_vec()));
+        assert_eq!(store.get(&[2, 20]).unwrap(), Some(b"b".to_vec()));
+        // The value really lives only on its shard.
+        assert_eq!(store.shard(1).get(&[1, 10]).unwrap(), Some(b"a".to_vec()));
+        assert_eq!(store.shard(2).get(&[1, 10]).unwrap(), None);
+    }
+
+    #[test]
+    fn scan_merges_shards_in_key_order() {
+        let store =
+            ShardedStore::open(mem_shards(3), byte_router(), None, SyncPolicy::OnWrite).unwrap();
+        for k in [[2u8, 1], [0, 5], [1, 3], [0, 1], [2, 0]] {
+            store.put(&k, b"v").unwrap();
+        }
+        let keys: Vec<Vec<u8>> =
+            store.scan_range(&[0], None).unwrap().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![vec![0, 1], vec![0, 5], vec![1, 3], vec![2, 0], vec![2, 1]]);
+    }
+
+    #[test]
+    fn cross_shard_apply_lands_on_every_shard() {
+        let store =
+            ShardedStore::open(mem_shards(2), byte_router(), None, SyncPolicy::OnWrite).unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(vec![0, 1], b"a".to_vec());
+        batch.put(vec![1, 1], b"b".to_vec());
+        store.apply(batch).unwrap();
+        assert_eq!(store.shard(0).get(&[0, 1]).unwrap(), Some(b"a".to_vec()));
+        assert_eq!(store.shard(1).get(&[1, 1]).unwrap(), Some(b"b".to_vec()));
+    }
+}
