@@ -47,6 +47,9 @@
 //! and [`Pass::subscribe`] / [`subscribe`] for live continuous queries
 //! (snapshot-then-tail subscriptions with an exactly-once handoff).
 
+// Unit-test modules assert by panicking; the panic lints cover only
+// the shipped library code.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -369,7 +369,7 @@ impl Pass {
     pub fn open(config: PassConfig) -> Result<Pass> {
         let requested = config.shards.max(1);
         let (store, sharding) = match &config.backend {
-            Backend::Memory => shard::open_memory(requested),
+            Backend::Memory => shard::open_memory(requested)?,
             Backend::Disk { dir, options } => shard::open_disk(dir, options, requested)?,
         };
         Pass::open_internal(store, sharding, config)
@@ -385,6 +385,8 @@ impl Pass {
         Pass::open_internal(store, Sharding::single(), config)
     }
 
+    /// Lock order: constructor — creates the `publish_order` mutex and
+    /// shard locks before any commit path can run; takes none of them.
     fn open_internal(
         store: Arc<dyn KvStore>,
         sharding: Sharding,
@@ -406,6 +408,7 @@ impl Pass {
     }
 
     /// Volatile store for `site`.
+    #[allow(clippy::expect_used)] // volatile open has no I/O failure mode
     pub fn open_memory(site: SiteId) -> Pass {
         Pass::open(PassConfig::memory(site)).expect("memory backend cannot fail to open")
     }
@@ -528,6 +531,9 @@ impl Pass {
     /// storage or index state changes. Sets identical to already-present
     /// ones are skipped idempotently (their ids still appear in the
     /// returned vector, in input order).
+    ///
+    /// Lock order: delegates to the shared batch commit, which takes the
+    /// touched shard commit locks (ascending) and then `publish_order`.
     pub fn ingest_batch(&self, sets: &[TupleSet]) -> Result<Vec<TupleSetId>> {
         self.ingest_batch_inner(sets, true)
     }
@@ -536,6 +542,11 @@ impl Pass {
     /// binding per set; [`Pass::capture_batch`] passes `false` because it
     /// built (and therefore already hashed) the records itself one line
     /// earlier. Collision and duplicate checks always run.
+    ///
+    /// Lock order: shard commit locks (ascending, via
+    /// [`Sharding::lock_many`]) → intent-log mutex (inside
+    /// `apply_parts`, storage only) → `publish_order` → the state write
+    /// lock inside `publish`. Strictly this sequence; never backwards.
     fn ingest_batch_inner(&self, sets: &[TupleSet], verify: bool) -> Result<Vec<TupleSetId>> {
         if sets.is_empty() {
             return Ok(Vec::new());
@@ -670,6 +681,9 @@ impl Pass {
     /// Each `(attributes, readings, timestamp)` item becomes a tuple set
     /// with this site's provenance; the batch then follows the
     /// [`Pass::ingest_batch`] atomicity contract.
+    ///
+    /// Lock order: delegates to the shared batch commit — shard commit
+    /// locks (ascending), then `publish_order`.
     pub fn capture_batch(
         &self,
         items: impl IntoIterator<Item = (Attributes, Vec<Reading>, Timestamp)>,
@@ -709,22 +723,28 @@ impl Pass {
     }
 
     /// Attaches an annotation to an existing record (identity unchanged).
+    ///
+    /// Lock order: takes one shard commit lock, then publishes; never
+    /// holds more than one shard lock.
     pub fn annotate(&self, id: TupleSetId, annotation: Annotation) -> Result<()> {
         let _commit = self.sharding.lock_one(self.sharding.shard_of(id));
         let current = self.state.read().clone();
-        if current.graph.lookup(id).is_none() || !current.records.contains_key(&id) {
+        if current.graph.lookup(id).is_none() {
             return Err(PassError::NotFound(id));
         }
-        let encoded = {
-            let mut record = current.records[&id].clone();
-            record.annotate(annotation.clone());
-            record.encode_to_vec()
+        let Some(mut record) = current.records.get(&id).cloned() else {
+            return Err(PassError::NotFound(id));
         };
+        record.annotate(annotation.clone());
+        let encoded = record.encode_to_vec();
         drop(current);
         self.store.put(&keyspace::key(keyspace::RECORD, id), &encoded)?;
         self.publish(|state| {
-            let idx = state.graph.lookup(id).expect("validated above");
-            let record = state.records.get_mut(&id).expect("validated above");
+            // Both lookups were validated above and the shard lock pins
+            // them; a miss here means the state diverged, so skip rather
+            // than poison every later commit by panicking mid-publish.
+            let Some(idx) = state.graph.lookup(id) else { return };
+            let Some(record) = state.records.get_mut(&id) else { return };
             record.annotate(annotation.clone());
             state.keywords.insert(idx, &annotation.text);
         });
@@ -788,6 +808,9 @@ impl Pass {
 
     /// Deletes the *readings* of a tuple set; the provenance record and
     /// every index entry survive. Returns whether data was present.
+    ///
+    /// Lock order: takes one shard commit lock, then publishes; never
+    /// holds more than one shard lock.
     pub fn remove_data(&self, id: TupleSetId) -> Result<bool> {
         let _commit = self.sharding.lock_one(self.sharding.shard_of(id));
         let current = self.state.read();
@@ -825,6 +848,9 @@ impl Pass {
 
     /// Merge core shared by [`Pass::ingest_record`] and
     /// [`Pass::import_archive`]. Returns `(was_new, annotations_merged)`.
+    ///
+    /// Lock order: one shard commit lock, then `publish_order` (new
+    /// records only), then the state write lock inside `publish`.
     fn merge_record(&self, record: &ProvenanceRecord) -> Result<(bool, usize)> {
         if !record.verify_identity() {
             return Err(PassError::Model(ModelError::Invalid(format!(
@@ -855,8 +881,11 @@ impl Pass {
             drop(current);
             self.store.put(&keyspace::key(keyspace::RECORD, record.id), &encoded)?;
             self.publish(|state| {
-                let idx = state.graph.lookup(record.id).expect("present record is indexed");
-                let rec = state.records.get_mut(&record.id).expect("checked above");
+                // Presence was checked above under the shard lock; a miss
+                // here means divergence — skip instead of panicking while
+                // holding the publish write lock.
+                let Some(idx) = state.graph.lookup(record.id) else { return };
+                let Some(rec) = state.records.get_mut(&record.id) else { return };
                 rec.annotations.extend(fresh.iter().cloned());
                 for a in &fresh {
                     state.keywords.insert(idx, &a.text);
@@ -885,6 +914,9 @@ impl Pass {
     ///
     /// Removal (property 4) is deliberate but not a tombstone: an
     /// archive that still holds the readings re-supplies them.
+    ///
+    /// Lock order: takes one shard commit lock, then publishes; never
+    /// holds more than one shard lock.
     pub fn restore_data(&self, ts: &TupleSet) -> Result<bool> {
         let record = &ts.provenance;
         let _commit = self.sharding.lock_one(self.sharding.shard_of(record.id));

@@ -72,21 +72,35 @@ impl Sharding {
     }
 
     /// Locks one shard's commit lock.
+    ///
+    /// Lock order: first rung of the commit path — shard commit locks
+    /// precede the intent-log mutex and the `publish_order` mutex.
     pub(crate) fn lock_one(&self, shard: usize) -> MutexGuard<'_, ()> {
+        // pass-lint: allow(l1, reason="shard comes from shard_of(), which reduces modulo the lock count")
         self.locks[shard].lock()
     }
 
     /// Locks a set of shards in ascending index order — the global lock
     /// order that makes concurrent cross-shard committers deadlock-free.
     /// `shards` must be sorted and deduplicated.
+    ///
+    /// Lock order: first rung of the commit path — shard commit locks
+    /// (ascending) precede the intent-log mutex and the `publish_order`
+    /// mutex. This helper is the only sanctioned way to take more than
+    /// one shard lock.
     pub(crate) fn lock_many<'a>(&'a self, shards: &[usize]) -> Vec<MutexGuard<'a, ()>> {
         debug_assert!(shards.windows(2).all(|w| w[0] < w[1]), "lock order must be ascending");
+        // pass-lint: allow(l1, reason="shard indexes come from shard_of(), which reduces modulo the lock count")
         shards.iter().map(|&s| self.locks[s].lock()).collect()
     }
 
     /// Applies pre-partitioned per-shard batches under the caller-held
     /// shard locks: directly on a single engine, per shard otherwise,
     /// through the intent-log protocol when the commit spans shards.
+    ///
+    /// Lock order: called with every participating shard's commit lock
+    /// already held (taken via [`Sharding::lock_many`]); may take only
+    /// the intent-log mutex, which nests inside the shard locks.
     pub(crate) fn apply_parts(
         &self,
         store: &Arc<dyn KvStore>,
@@ -100,14 +114,14 @@ impl Sharding {
                     None => Ok(()),
                 }
             }
-            Some(sharded) => {
-                if parts.len() == 1 {
-                    let (shard, batch) = parts.pop().expect("one part");
-                    sharded.apply_to(shard, batch)
-                } else {
+            Some(sharded) => match (parts.pop(), parts.is_empty()) {
+                (None, _) => Ok(()),
+                (Some((shard, batch)), true) => sharded.apply_to(shard, batch),
+                (Some(last), false) => {
+                    parts.push(last);
                     sharded.apply_split(parts)
                 }
-            }
+            },
         }
     }
 }
@@ -148,20 +162,18 @@ pub(crate) fn open_disk(
 
 /// Opens the memory backend with `requested` shards (no layout to
 /// honor — volatile stores are born fresh).
-pub(crate) fn open_memory(requested: usize) -> (Arc<dyn KvStore>, Sharding) {
+pub(crate) fn open_memory(requested: usize) -> Result<(Arc<dyn KvStore>, Sharding)> {
     if requested <= 1 {
-        return (Arc::new(pass_storage::MemEngine::new()), Sharding::single());
+        return Ok((Arc::new(pass_storage::MemEngine::new()), Sharding::single()));
     }
     let engines: Vec<Arc<dyn KvStore>> = (0..requested)
         .map(|_| Arc::new(pass_storage::MemEngine::new()) as Arc<dyn KvStore>)
         .collect();
     let router: pass_storage::ShardRouter =
         Box::new(move |key: &[u8]| keyspace::shard_of_key(key, requested));
-    let sharded = Arc::new(
-        ShardedStore::open(engines, router, None, pass_storage::SyncPolicy::default())
-            .expect("volatile sharded store cannot fail to open"),
-    );
-    (Arc::clone(&sharded) as Arc<dyn KvStore>, Sharding::over(sharded))
+    let sharded =
+        Arc::new(ShardedStore::open(engines, router, None, pass_storage::SyncPolicy::default())?);
+    Ok((Arc::clone(&sharded) as Arc<dyn KvStore>, Sharding::over(sharded)))
 }
 
 /// Resolves the shard count for a disk directory: `SHARDS` marker, then

@@ -147,10 +147,11 @@ impl Channel {
     /// Enqueues a changelog, discarding the oldest entry when full —
     /// ingest never blocks on a stalled consumer.
     fn push(&self, log: Arc<Changelog>) {
-        let mut state = self.state.lock().expect("subscription channel poisoned");
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.queue.len() >= self.capacity {
-            let oldest = state.queue.pop_front().expect("queue at capacity is non-empty");
-            state.dropped += oldest.records.len() as u64;
+            if let Some(oldest) = state.queue.pop_front() {
+                state.dropped += oldest.records.len() as u64;
+            }
         }
         state.queue.push_back(log);
         drop(state);
@@ -161,7 +162,7 @@ impl Channel {
     /// newer changelog so the consumer learns where the hole sits in
     /// stream order.
     fn try_pull(&self) -> (u64, Option<Arc<Changelog>>) {
-        let mut state = self.state.lock().expect("subscription channel poisoned");
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let dropped = std::mem::take(&mut state.dropped);
         if dropped > 0 {
             return (dropped, None);
@@ -172,7 +173,7 @@ impl Channel {
     /// Blocking [`Channel::try_pull`]: waits until something is
     /// available or `deadline` passes.
     fn pull_until(&self, deadline: Instant) -> (u64, Option<Arc<Changelog>>) {
-        let mut state = self.state.lock().expect("subscription channel poisoned");
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             let dropped = std::mem::take(&mut state.dropped);
             if dropped > 0 {
@@ -188,7 +189,7 @@ impl Channel {
             let (guard, _) = self
                 .readable
                 .wait_timeout(state, deadline - now)
-                .expect("subscription channel poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             state = guard;
         }
     }
@@ -215,7 +216,7 @@ impl Hub {
         if self.live.load(Ordering::Relaxed) == 0 {
             return;
         }
-        let mut channels = self.channels.lock().expect("subscriber registry poisoned");
+        let mut channels = self.channels.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if channels.is_empty() {
             self.live.store(0, Ordering::Relaxed);
             return;
@@ -232,14 +233,14 @@ impl Hub {
     }
 
     fn register(&self, channel: &Arc<Channel>) {
-        let mut channels = self.channels.lock().expect("subscriber registry poisoned");
+        let mut channels = self.channels.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         channels.push(Arc::downgrade(channel));
         self.live.store(channels.len(), Ordering::Relaxed);
     }
 
     pub(crate) fn unregister(&self, channel: &Arc<Channel>) {
         let target = Arc::downgrade(channel);
-        let mut channels = self.channels.lock().expect("subscriber registry poisoned");
+        let mut channels = self.channels.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         channels.retain(|weak| !weak.ptr_eq(&target));
         self.live.store(channels.len(), Ordering::Relaxed);
     }

@@ -4,6 +4,8 @@
 //! union; removed data stays removable yet restorable from archives
 //! that still hold it.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use pass_core::{Pass, PassError};
 use pass_index::{Direction, TraverseOpts};
 use pass_model::{

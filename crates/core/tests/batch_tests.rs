@@ -1,6 +1,8 @@
 //! Group-commit contract tests (ISSUE-3): one `KvStore::apply` per
 //! batch, and all-or-nothing validation with no partial state.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use pass_core::{Pass, PassConfig};
 use pass_model::{Attributes, Reading, SensorId, SiteId, Timestamp, TupleSet};
 use pass_storage::{KvStore, MemEngine, WriteBatch};

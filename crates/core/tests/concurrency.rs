@@ -1,6 +1,8 @@
 //! Concurrency tests: `Pass` is `Send + Sync`; concurrent ingests,
 //! queries, and annotations must neither deadlock nor corrupt state.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use crossbeam::thread;
 use pass_core::Pass;
 use pass_model::{keys, Annotation, Attributes, Reading, SensorId, SiteId, Timestamp};

@@ -1,6 +1,8 @@
 //! Integration tests for the local PASS: the four §V properties, atomic
 //! crash behaviour, and query semantics end to end.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use pass_core::{ClosureStrategy, Pass, PassConfig, PassError};
 use pass_index::{Direction, TraverseOpts};
 use pass_model::{

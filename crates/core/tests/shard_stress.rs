@@ -5,6 +5,8 @@
 //! duplicates even when the writers commit through different shard
 //! locks.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use crossbeam::thread;
 use pass_core::{keyspace, Event, Pass, PassConfig, Subscription};
 use pass_model::{keys, Attributes, Reading, SensorId, SiteId, Timestamp, TupleSet, TupleSetId};
@@ -12,8 +14,20 @@ use pass_storage::tempdir::TempDir;
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
-const WORKERS: u64 = 4;
-const COMMITS_PER_WORKER: u64 = 40;
+/// Sized for the regular CI release run. Sanitizer builds are an order
+/// of magnitude slower, so the nightly TSan job shrinks the run through
+/// these env knobs instead of maintaining a second stress test.
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn workers() -> u64 {
+    env_u64("SHARD_STRESS_WORKERS", 4)
+}
+
+fn commits_per_worker() -> u64 {
+    env_u64("SHARD_STRESS_COMMITS", 40)
+}
 
 fn item(worker: u64, seq: u64) -> (Attributes, Vec<Reading>, Timestamp) {
     let at = Timestamp(worker * 1_000_000 + seq);
@@ -44,15 +58,15 @@ fn sets_by_shard(pass: &Pass, worker: u64, n: u64) -> HashMap<usize, Vec<TupleSe
 /// global version must have advanced once per commit.
 #[test]
 fn disjoint_shard_writers_commit_concurrently() {
-    let pass = Pass::open(PassConfig::memory(SiteId(1)).with_shards(WORKERS as usize)).unwrap();
+    let pass = Pass::open(PassConfig::memory(SiteId(1)).with_shards(workers() as usize)).unwrap();
     let v0 = pass.snapshot().version();
     let mut commits = 0u64;
     thread::scope(|s| {
-        for worker in 0..WORKERS {
+        for worker in 0..workers() {
             let pass = &pass;
             s.spawn(move |_| {
                 // Each worker only commits batches owned by one shard.
-                for (_, sets) in sets_by_shard(pass, worker, COMMITS_PER_WORKER) {
+                for (_, sets) in sets_by_shard(pass, worker, commits_per_worker()) {
                     for chunk in sets.chunks(4) {
                         pass.ingest_batch(chunk).unwrap();
                     }
@@ -61,13 +75,13 @@ fn disjoint_shard_writers_commit_concurrently() {
         }
     })
     .unwrap();
-    for worker in 0..WORKERS {
-        commits += sets_by_shard(&pass, worker, COMMITS_PER_WORKER)
+    for worker in 0..workers() {
+        commits += sets_by_shard(&pass, worker, commits_per_worker())
             .values()
             .map(|v| v.chunks(4).count() as u64)
             .sum::<u64>();
     }
-    assert_eq!(pass.len(), (WORKERS * COMMITS_PER_WORKER) as usize);
+    assert_eq!(pass.len(), (workers() * commits_per_worker()) as usize);
     assert_eq!(pass.snapshot().version(), v0 + commits, "one global version per commit");
     assert!(pass.verify_consistency().unwrap().is_consistent());
 }
@@ -80,21 +94,21 @@ fn disjoint_shard_writers_commit_concurrently() {
 fn snapshots_see_consistent_prefixes_under_mixed_writers() {
     let dir = TempDir::new("shard-stress-mixed");
     let pass = Pass::open(PassConfig::disk(SiteId(1), dir.path()).with_shards(4)).unwrap();
-    let total = WORKERS * COMMITS_PER_WORKER;
+    let total = workers() * commits_per_worker();
     let samples = thread::scope(|s| {
-        for worker in 0..WORKERS {
+        for worker in 0..workers() {
             let pass = &pass;
             s.spawn(move |_| {
                 if worker % 2 == 0 {
                     // Cross-shard writer: unrouted batches span shards.
                     let items: Vec<_> =
-                        (0..COMMITS_PER_WORKER).map(|seq| item(worker, seq)).collect();
+                        (0..commits_per_worker()).map(|seq| item(worker, seq)).collect();
                     for chunk in items.chunks(8) {
                         pass.capture_batch(chunk.to_vec()).unwrap();
                     }
                 } else {
                     // Single-shard writer.
-                    for (_, sets) in sets_by_shard(pass, worker, COMMITS_PER_WORKER) {
+                    for (_, sets) in sets_by_shard(pass, worker, commits_per_worker()) {
                         for chunk in sets.chunks(4) {
                             pass.ingest_batch(chunk).unwrap();
                         }
@@ -159,13 +173,13 @@ fn worker_seq(r: &pass_model::ProvenanceRecord) -> (i64, i64, TupleSetId) {
 fn subscription_delivers_in_global_order_across_shards() {
     let pass = Pass::open(PassConfig::memory(SiteId(1)).with_shards(4)).unwrap();
     let events = thread::scope(|s| {
-        for worker in 0..WORKERS {
+        for worker in 0..workers() {
             let pass = &pass;
             s.spawn(move |_| {
                 // One commit per seq so commit order == seq order; each
                 // writer's ids scatter over the shards, so concurrent
                 // commits constantly hold different shard locks.
-                for seq in 0..COMMITS_PER_WORKER {
+                for seq in 0..commits_per_worker() {
                     pass.capture_batch(vec![item(worker, seq)]).unwrap();
                 }
             });
@@ -175,7 +189,7 @@ fn subscription_delivers_in_global_order_across_shards() {
             .subscribe_with(&pass_query::parse("FIND WHERE domain = \"stress\"").unwrap(), 1 << 14)
             .unwrap();
         let mut events = drain_catch_up(&mut sub);
-        let total = (WORKERS * COMMITS_PER_WORKER) as usize;
+        let total = (workers() * commits_per_worker()) as usize;
         while events.len() < total {
             match sub.next_timeout(Duration::from_secs(10)).expect("tail stalled") {
                 Event::Match(r) => events.push(worker_seq(&r)),
@@ -190,7 +204,7 @@ fn subscription_delivers_in_global_order_across_shards() {
     // No gaps, no duplicates: exactly every (worker, seq) once.
     let unique: HashSet<(i64, i64)> = events.iter().map(|(w, q, _)| (*w, *q)).collect();
     assert_eq!(unique.len(), events.len(), "duplicate delivery");
-    assert_eq!(unique.len(), (WORKERS * COMMITS_PER_WORKER) as usize, "gap in delivery");
+    assert_eq!(unique.len(), (workers() * commits_per_worker()) as usize, "gap in delivery");
 
     // Global version order: each writer commits seq ascending, so its
     // events must arrive seq-ascending no matter which shard lock each

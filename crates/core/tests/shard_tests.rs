@@ -3,6 +3,8 @@
 //! the global-commit-version invariants the closure cache and snapshots
 //! rely on.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use pass_core::{keyspace, ClosureStrategy, Pass, PassConfig};
 use pass_index::{Direction, TraverseOpts};
 use pass_model::{

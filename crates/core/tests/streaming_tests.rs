@@ -3,6 +3,8 @@
 //! `Snapshot` carries the full read surface so read-only callers never
 //! need a `&Pass`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use crossbeam::thread;
 use pass_core::Pass;
 use pass_model::{keys, Attributes, Reading, SensorId, SiteId, Timestamp, TupleSetId};

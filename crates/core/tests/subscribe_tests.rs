@@ -3,6 +3,8 @@
 //! in commit order — even when the subscription opens mid-ingest, and a
 //! stalled consumer must lag, never block ingest.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use crossbeam::thread;
 use pass_core::{Event, Pass};
 use pass_model::{

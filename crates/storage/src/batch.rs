@@ -140,6 +140,20 @@ impl WriteBatch {
     }
 }
 
+/// Reads a little-endian `u32` at `at`, `None` when out of range. The
+/// fallible twin of `u32::from_le_bytes` + slice indexing, so decoding
+/// paths surface truncated files as errors instead of slice panics.
+pub(crate) fn take_u32_le(buf: &[u8], at: usize) -> Option<u32> {
+    let bytes = buf.get(at..at.checked_add(4)?)?;
+    <[u8; 4]>::try_from(bytes).ok().map(u32::from_le_bytes)
+}
+
+/// Reads a little-endian `u64` at `at`, `None` when out of range.
+pub(crate) fn take_u64_le(buf: &[u8], at: usize) -> Option<u64> {
+    let bytes = buf.get(at..at.checked_add(8)?)?;
+    <[u8; 8]>::try_from(bytes).ok().map(u64::from_le_bytes)
+}
+
 pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let b = (v & 0x7f) as u8;
@@ -174,11 +188,9 @@ pub(crate) fn take_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
 
 fn take_slice<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
     let len = take_varint(buf, pos)? as usize;
-    if buf.len() - *pos < len {
-        return None;
-    }
-    let out = &buf[*pos..*pos + len];
-    *pos += len;
+    let end = pos.checked_add(len)?;
+    let out = buf.get(*pos..end)?;
+    *pos = end;
     Some(out)
 }
 

@@ -42,6 +42,7 @@ impl BloomFilter {
         let (h1, h2) = Self::hash_pair(key);
         for i in 0..self.num_hashes {
             let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits;
+            // pass-lint: allow(l1, reason="bit < num_bits by the modulo above, and bits holds exactly num_bits/64 words by construction")
             self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
         }
     }
@@ -51,6 +52,7 @@ impl BloomFilter {
         let (h1, h2) = Self::hash_pair(key);
         (0..self.num_hashes).all(|i| {
             let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits;
+            // pass-lint: allow(l1, reason="bit < num_bits by the modulo above, and bits holds exactly num_bits/64 words by construction")
             self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
         })
     }
@@ -79,8 +81,8 @@ impl BloomFilter {
             return None;
         }
         let mut bits = Vec::with_capacity(words);
-        for chunk in buf[pos..].chunks_exact(8) {
-            bits.push(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        for chunk in buf.get(pos..)?.chunks_exact(8) {
+            bits.push(u64::from_le_bytes(<[u8; 8]>::try_from(chunk).ok()?));
         }
         Some(BloomFilter { bits, num_bits, num_hashes })
     }

@@ -14,7 +14,7 @@
 //! Recovery order on open: read manifest → open listed tables → delete
 //! unlisted table files → replay the WAL's valid prefix into the memtable.
 
-use crate::batch::{put_varint, take_varint, WriteBatch};
+use crate::batch::{put_varint, take_u32_le, take_varint, WriteBatch};
 use crate::crc::crc32c;
 use crate::error::{Result, StorageError};
 use crate::iter::{MergeIter, Source};
@@ -290,7 +290,10 @@ fn flush_locked(inner: &mut Inner) -> Result<()> {
     builder.finish()?;
 
     // Commit point: the manifest now names the new table.
-    let mut ids: Vec<u64> = inner.tables.iter().map(|t| table_id(t.path())).collect();
+    let mut ids = Vec::with_capacity(inner.tables.len() + 1);
+    for table in &inner.tables {
+        ids.push(table_id(table.path())?);
+    }
     ids.push(id);
     write_manifest(&inner.dir, &ids)?;
 
@@ -341,11 +344,11 @@ fn table_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("sst-{id:010}.sst"))
 }
 
-fn table_id(path: &Path) -> u64 {
+fn table_id(path: &Path) -> Result<u64> {
     path.file_name()
         .and_then(|n| n.to_str())
         .and_then(parse_table_name)
-        .expect("live table paths are engine-generated")
+        .ok_or_else(|| StorageError::corrupt(path, "live table with a non-engine file name"))
 }
 
 fn parse_table_name(name: &str) -> Option<u64> {
@@ -380,12 +383,16 @@ fn read_manifest(dir: &Path) -> Result<Vec<u64>> {
     if buf.len() < 8 {
         return Err(StorageError::corrupt(&path, "manifest shorter than header"));
     }
-    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let len = take_u32_le(&buf, 0)
+        .ok_or_else(|| StorageError::corrupt(&path, "manifest length field"))?
+        as usize;
+    let crc =
+        take_u32_le(&buf, 4).ok_or_else(|| StorageError::corrupt(&path, "manifest crc field"))?;
     if buf.len() != 8 + len {
         return Err(StorageError::corrupt(&path, "manifest length mismatch"));
     }
-    let payload = &buf[8..];
+    let payload =
+        buf.get(8..).ok_or_else(|| StorageError::corrupt(&path, "manifest shorter than header"))?;
     if crc32c(payload) != crc {
         return Err(StorageError::ChecksumMismatch { path, offset: 8 });
     }

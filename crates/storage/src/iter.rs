@@ -64,7 +64,8 @@ impl MergeIter {
     }
 
     fn advance(&mut self, source: usize) {
-        match self.sources[source].next() {
+        let Some(src) = self.sources.get_mut(source) else { return };
+        match src.next() {
             Some(Ok((key, value))) => self.heap.push(HeapItem { key, value, source }),
             Some(Err(e)) => self.error = Some(e),
             None => {}
@@ -85,11 +86,8 @@ impl Iterator for MergeIter {
         let value = top.value;
         self.advance(top.source);
         // Discard older versions of the same key.
-        while let Some(peek) = self.heap.peek() {
-            if peek.key != key {
-                break;
-            }
-            let dup = self.heap.pop().expect("peeked item exists");
+        while self.heap.peek().is_some_and(|peek| peek.key == key) {
+            let Some(dup) = self.heap.pop() else { break };
             self.advance(dup.source);
             if self.error.is_some() {
                 break;

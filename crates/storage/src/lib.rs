@@ -22,6 +22,9 @@
 //! assert_eq!(db.get(b"tuple-set/42").unwrap().as_deref(), Some(&b"encoded record"[..]));
 //! ```
 
+// Unit-test modules assert by panicking; the panic lints cover only
+// the shipped library code.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -103,7 +103,20 @@ impl ShardedStore {
 
     /// Direct handle to one shard's engine.
     pub fn shard(&self, idx: usize) -> &Arc<dyn KvStore> {
+        // pass-lint: allow(l1, reason="debug/test accessor; the index is a caller-supplied constant, not untrusted input")
         &self.shards[idx]
+    }
+
+    /// Fallible shard lookup for the apply paths: an out-of-range index
+    /// surfaces as an error instead of a panic, keeping recovery and
+    /// commit code panic-free even on nonsense input.
+    fn shard_at(&self, idx: usize) -> Result<&Arc<dyn KvStore>> {
+        self.shards.get(idx).ok_or_else(|| {
+            StorageError::corrupt(
+                format!("shard-{idx}"),
+                format!("shard index {idx} out of range for {} shards", self.shards.len()),
+            )
+        })
     }
 
     /// The shard a key routes to.
@@ -120,23 +133,25 @@ impl ShardedStore {
             batch.ops().iter().all(|op| self.route(op.key()) == shard),
             "sub-batch contains keys routed to another shard"
         );
-        self.shards[shard].apply(batch)
+        self.shard_at(shard)?.apply(batch)
     }
 
     /// Applies pre-partitioned per-shard sub-batches as one atomic
     /// cross-shard commit (the intent-log protocol above). The caller
     /// must serialize conflicting writers — in PASS, by holding every
     /// participating shard's commit lock across this call.
+    ///
+    /// Lock order: called with every participating shard's commit lock
+    /// already held (acquired ascending by the caller); takes only the
+    /// intent-log mutex, which nests strictly inside the shard locks.
     pub fn apply_split(&self, parts: Vec<(usize, WriteBatch)>) -> Result<()> {
         let mut parts: Vec<(usize, WriteBatch)> =
             parts.into_iter().filter(|(_, b)| !b.is_empty()).collect();
-        match parts.len() {
-            0 => return Ok(()),
-            1 => {
-                let (shard, batch) = parts.pop().expect("one part");
-                return self.apply_to(shard, batch);
-            }
-            _ => {}
+        if parts.len() <= 1 {
+            return match parts.pop() {
+                Some((shard, batch)) => self.apply_to(shard, batch),
+                None => Ok(()),
+            };
         }
         for (_, batch) in &parts {
             batch.validate()?;
@@ -161,7 +176,7 @@ impl ShardedStore {
                 drop(intent);
                 // Step 2: per-shard applies (each its own WAL append).
                 for (shard, batch) in parts {
-                    self.shards[shard].apply(batch)?;
+                    self.shard_at(shard)?.apply(batch)?;
                 }
                 // Step 3: completion mark — truncate the intent log.
                 Self::truncate_xlog(&guard)
@@ -170,7 +185,7 @@ impl ShardedStore {
             // no torn state to reconcile — apply sequentially.
             None => {
                 for (shard, batch) in parts {
-                    self.shards[shard].apply(batch)?;
+                    self.shard_at(shard)?.apply(batch)?;
                 }
                 Ok(())
             }
@@ -183,13 +198,19 @@ impl ShardedStore {
         let mut per_shard: Vec<WriteBatch> =
             (0..self.shards.len()).map(|_| WriteBatch::new()).collect();
         for op in batch.into_ops() {
+            // route() reduces modulo the shard count, so the bucket always
+            // exists; `get_mut` keeps this path index-panic-free anyway.
             let shard = self.route(op.key());
+            let Some(bucket) = per_shard.get_mut(shard) else {
+                debug_assert!(false, "route() returned out-of-range shard {shard}");
+                continue;
+            };
             match op {
                 Op::Put { key, value } => {
-                    per_shard[shard].put(key, value);
+                    bucket.put(key, value);
                 }
                 Op::Delete { key } => {
-                    per_shard[shard].delete(key);
+                    bucket.delete(key);
                 }
             }
         }
@@ -197,7 +218,12 @@ impl ShardedStore {
     }
 
     /// Replays (roll-forward) a pending cross-shard commit, then clears
-    /// the intent log.
+    /// the intent log. A decodable intent record past its commit point
+    /// re-applies idempotently; undecodable intent bytes with a valid
+    /// CRC are real corruption and surface as an error, never a panic.
+    ///
+    /// Lock order: runs at open, before any commit path exists; takes
+    /// only the intent-log mutex.
     fn recover_pending(&self) -> Result<()> {
         let Some(xlog) = &self.xlog else { return Ok(()) };
         let guard = xlog.lock();
@@ -207,7 +233,7 @@ impl ShardedStore {
                 StorageError::corrupt(&guard.path, "undecodable cross-shard intent record")
             })?;
             for (shard, sub) in self.partition(batch) {
-                self.shards[shard].apply(sub)?;
+                self.shard_at(shard)?.apply(sub)?;
             }
         }
         if recovery.valid_len > 0 || recovery.torn_tail {
@@ -232,9 +258,12 @@ impl ShardedStore {
 
 impl KvStore for ShardedStore {
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.shards[self.route(key)].get(key)
+        self.shard_at(self.route(key))?.get(key)
     }
 
+    /// Lock order: takes only the intent-log mutex (inside
+    /// `apply_split`); callers that serialize commits hold their shard
+    /// commit locks *before* entering the store.
     fn apply(&self, batch: WriteBatch) -> Result<()> {
         batch.validate()?;
         self.apply_split(self.partition(batch))

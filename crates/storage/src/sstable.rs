@@ -15,7 +15,7 @@
 //! * **Bloom** — a filter over all keys; negative lookups skip the table.
 //! * **Footer** — fixed-width trailer with section offsets and a magic.
 
-use crate::batch::{put_varint, take_varint};
+use crate::batch::{put_varint, take_u32_le, take_u64_le, take_varint};
 use crate::bloom::BloomFilter;
 use crate::crc::crc32c;
 use crate::error::{Result, StorageError};
@@ -127,7 +127,9 @@ impl TableBuilder {
         }
         let crc = crc32c(&self.block);
         let len = self.block.len() as u64 + 4;
-        let first = self.block_first_key.take().expect("non-empty block has a first key");
+        let first = self.block_first_key.take().ok_or_else(|| {
+            StorageError::corrupt(&self.path, "non-empty block without a first key")
+        })?;
         self.writer
             .write_all(&self.block)
             .and_then(|()| self.writer.write_all(&crc.to_le_bytes()))
@@ -225,18 +227,17 @@ impl SsTable {
         file.seek(SeekFrom::Start(file_len - FOOTER_LEN))
             .and_then(|_| file.read_exact(&mut footer))
             .map_err(|e| StorageError::io("reading SSTable footer", e))?;
-        if &footer[FOOTER_LEN as usize - 8..] != MAGIC {
+        if footer.get(FOOTER_LEN as usize - 8..) != Some(MAGIC.as_slice()) {
             return Err(StorageError::corrupt(&path, "bad magic"));
         }
-        let u64_at = |i: usize| u64::from_le_bytes(footer[i..i + 8].try_into().expect("8 bytes"));
-        let u32_at = |i: usize| u32::from_le_bytes(footer[i..i + 4].try_into().expect("4 bytes"));
-        let index_off = u64_at(0);
-        let index_len = u64_at(8);
-        let index_crc = u32_at(16);
-        let bloom_off = u64_at(20);
-        let bloom_len = u64_at(28);
-        let bloom_crc = u32_at(36);
-        let entry_count = u64_at(40);
+        let truncated = || StorageError::corrupt(&path, "footer field out of range");
+        let index_off = take_u64_le(&footer, 0).ok_or_else(truncated)?;
+        let index_len = take_u64_le(&footer, 8).ok_or_else(truncated)?;
+        let index_crc = take_u32_le(&footer, 16).ok_or_else(truncated)?;
+        let bloom_off = take_u64_le(&footer, 20).ok_or_else(truncated)?;
+        let bloom_len = take_u64_le(&footer, 28).ok_or_else(truncated)?;
+        let bloom_crc = take_u32_le(&footer, 36).ok_or_else(truncated)?;
+        let entry_count = take_u64_le(&footer, 40).ok_or_else(truncated)?;
         if index_off + index_len > file_len || bloom_off + bloom_len > file_len {
             return Err(StorageError::corrupt(&path, "footer offsets out of range"));
         }
@@ -301,7 +302,10 @@ impl SsTable {
 
     /// Reads and verifies block `i`.
     fn read_block(&self, i: usize) -> Result<Vec<Entry>> {
-        let (_, offset, len) = self.index[i];
+        let &(_, offset, len) = self
+            .index
+            .get(i)
+            .ok_or_else(|| StorageError::corrupt(&self.path, format!("block {i} out of range")))?;
         let mut buf = vec![0u8; len as usize];
         {
             let mut file = self.file.lock();
@@ -313,7 +317,8 @@ impl SsTable {
             return Err(StorageError::corrupt(&self.path, "block shorter than CRC"));
         }
         let (payload, crc_bytes) = buf.split_at(buf.len() - 4);
-        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let stored = take_u32_le(crc_bytes, 0)
+            .ok_or_else(|| StorageError::corrupt(&self.path, "block CRC trailer"))?;
         if crc32c(payload) != stored {
             return Err(StorageError::ChecksumMismatch { path: self.path.clone(), offset });
         }
@@ -333,9 +338,9 @@ impl SsTable {
         let first_block =
             self.index.partition_point(|(first, _, _)| first.as_slice() <= start).saturating_sub(1);
         let mut out = Vec::new();
-        for i in first_block..self.index.len() {
+        for (i, (block_first, _, _)) in self.index.iter().enumerate().skip(first_block) {
             if let Some(end) = end {
-                if self.index[i].0.as_slice() >= end {
+                if block_first.as_slice() >= end {
                     break;
                 }
             }
@@ -369,8 +374,8 @@ impl Iterator for TableIter {
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            if self.pos < self.entries.len() {
-                let entry = std::mem::take(&mut self.entries[self.pos]);
+            if let Some(slot) = self.entries.get_mut(self.pos) {
+                let entry = std::mem::take(slot);
                 self.pos += 1;
                 return Some(Ok(entry));
             }
@@ -398,11 +403,9 @@ fn decode_index(buf: &[u8]) -> Option<Vec<(Vec<u8>, u64, u64)>> {
     let mut index = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
         let klen = take_varint(buf, &mut pos)? as usize;
-        if buf.len() - pos < klen {
-            return None;
-        }
-        let key = buf[pos..pos + klen].to_vec();
-        pos += klen;
+        let end = pos.checked_add(klen)?;
+        let key = buf.get(pos..end)?.to_vec();
+        pos = end;
         let offset = take_varint(buf, &mut pos)?;
         let len = take_varint(buf, &mut pos)?;
         index.push((key, offset, len));
@@ -415,22 +418,18 @@ fn decode_block(buf: &[u8]) -> Option<Vec<Entry>> {
     let mut out = Vec::new();
     while pos < buf.len() {
         let klen = take_varint(buf, &mut pos)? as usize;
-        if buf.len() - pos < klen {
-            return None;
-        }
-        let key = buf[pos..pos + klen].to_vec();
-        pos += klen;
+        let kend = pos.checked_add(klen)?;
+        let key = buf.get(pos..kend)?.to_vec();
+        pos = kend;
         let tag = *buf.get(pos)?;
         pos += 1;
         let value = match tag {
             0 => None,
             1 => {
                 let vlen = take_varint(buf, &mut pos)? as usize;
-                if buf.len() - pos < vlen {
-                    return None;
-                }
-                let v = buf[pos..pos + vlen].to_vec();
-                pos += vlen;
+                let vend = pos.checked_add(vlen)?;
+                let v = buf.get(pos..vend)?.to_vec();
+                pos = vend;
                 Some(v)
             }
             _ => return None,

@@ -21,6 +21,7 @@ impl TempDir {
     /// # Panics
     /// Panics when the directory cannot be created — tests cannot proceed
     /// without scratch space, and an `expect` here beats silent reuse.
+    #[allow(clippy::expect_used)] // test-only scaffolding, documented panic
     pub fn new(label: &str) -> Self {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         let path = std::env::temp_dir().join(format!("pass-{label}-{}-{n}", std::process::id()));

@@ -146,14 +146,17 @@ pub fn recover(path: &Path) -> Result<WalRecovery> {
     let file_len = file.metadata().map_err(|e| StorageError::io("statting WAL", e))?.len();
     let mut records = Vec::new();
     let mut offset = 0u64;
-    let mut header = [0u8; 8];
+    let mut len_bytes = [0u8; 4];
+    let mut crc_bytes = [0u8; 4];
     loop {
         if offset + 8 > file_len {
             break;
         }
-        file.read_exact(&mut header).map_err(|e| StorageError::io("reading WAL header", e))?;
-        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        file.read_exact(&mut len_bytes)
+            .and_then(|()| file.read_exact(&mut crc_bytes))
+            .map_err(|e| StorageError::io("reading WAL header", e))?;
+        let len = u32::from_le_bytes(len_bytes);
+        let crc = u32::from_le_bytes(crc_bytes);
         if len > MAX_RECORD_LEN || offset + 8 + u64::from(len) > file_len {
             // Length prefix points past EOF: torn header or torn payload.
             break;

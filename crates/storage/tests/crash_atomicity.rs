@@ -7,6 +7,8 @@
 //! batch record simulates a crash mid-append; on every replay either the
 //! whole batch is visible or none of it is — never a prefix.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use pass_storage::tempdir::TempDir;
 use pass_storage::{EngineOptions, KvStore, LsmEngine, WriteBatch};
 

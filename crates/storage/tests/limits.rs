@@ -1,5 +1,7 @@
 //! Size-limit and boundary behaviour of both engines.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use pass_storage::tempdir::TempDir;
 use pass_storage::{
     EngineOptions, KvStore, LsmEngine, MemEngine, StorageError, WriteBatch, MAX_KEY_LEN,

@@ -2,6 +2,8 @@
 //! plain `BTreeMap` under any operation sequence, including across
 //! flushes, compactions, reopens, and torn-WAL crashes.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use pass_storage::tempdir::TempDir;
 use pass_storage::{EngineOptions, KvStore, LsmEngine, MemEngine, WriteBatch};
 use proptest::prelude::*;

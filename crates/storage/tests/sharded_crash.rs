@@ -3,6 +3,8 @@
 //! that recovers to the whole commit (durable intent → roll forward) or
 //! to none of it (torn intent) — never to a torn half.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
 use pass_storage::tempdir::TempDir;
 use pass_storage::{
     EngineOptions, KvStore, LsmEngine, ShardRouter, ShardedStore, StorageError, SyncPolicy,

@@ -1,0 +1,204 @@
+//! `invariants.toml` loading.
+//!
+//! The offline dependency set has no `toml`/`serde` TOML support, so
+//! this module parses the small subset the config actually uses:
+//! `[table.sub]` headers, `key = "string"`, and `key = ["a", "b"]`
+//! (single- or multi-line). Anything else is a hard error — a config
+//! the linter cannot read must fail the build, not silently check
+//! nothing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed value: the config only ever holds strings and string lists.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Str(String),
+    List(Vec<String>),
+}
+
+/// One rule's configuration as loaded from `invariants.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Glob patterns (relative to the lint root) this rule applies to.
+    pub files: Vec<String>,
+    /// Identifiers the rule denies (L2/L4) — meaning is per rule.
+    pub deny: Vec<String>,
+    /// Identifiers that trigger the rule (L5) or name the guarded
+    /// field (L3, single entry).
+    pub triggers: Vec<String>,
+    /// Function names exempt from the rule (L3's sanctioned helpers).
+    pub allow_in: Vec<String>,
+    /// Required doc-comment marker (L5).
+    pub marker: Option<String>,
+}
+
+/// The full config: rule id (`l1`…`l5`) → its settings.
+#[derive(Debug, Default)]
+pub struct Config {
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+/// A config-file problem, with its line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariants.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses the config source. Unknown keys are errors: a typo like
+    /// `fils = [...]` must not silently disable a rule.
+    pub fn parse(src: &str) -> Result<Config, ConfigError> {
+        let raw = parse_toml_subset(src)?;
+        let mut config = Config::default();
+        for ((table, key), (value, line)) in raw {
+            let Some(rule_id) = table.strip_prefix("rules.") else {
+                return Err(ConfigError {
+                    line,
+                    message: format!("unexpected table [{table}] — rules live under [rules.*]"),
+                });
+            };
+            let rule = config.rules.entry(rule_id.to_string()).or_default();
+            let err = |message: String| ConfigError { line, message };
+            match (key.as_str(), value) {
+                ("files", Value::List(v)) => rule.files = v,
+                ("deny", Value::List(v)) => rule.deny = v,
+                ("triggers", Value::List(v)) => rule.triggers = v,
+                ("allow_in", Value::List(v)) => rule.allow_in = v,
+                ("marker", Value::Str(s)) => rule.marker = Some(s),
+                (other, _) => {
+                    return Err(err(format!("unknown or mistyped key `{other}` in [{table}]")))
+                }
+            }
+        }
+        for (id, rule) in &config.rules {
+            if rule.files.is_empty() {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!("[rules.{id}] has no `files` patterns"),
+                });
+            }
+        }
+        Ok(config)
+    }
+}
+
+type RawConfig = BTreeMap<(String, String), (Value, usize)>;
+
+fn parse_toml_subset(src: &str) -> Result<RawConfig, ConfigError> {
+    let mut out = RawConfig::new();
+    let mut table = String::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw_line)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            table = header.trim().to_string();
+            continue;
+        }
+        let Some((key, rest)) = line.split_once('=') else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("expected `key = value`, got `{line}`"),
+            });
+        };
+        let key = key.trim().to_string();
+        let mut rest = rest.trim().to_string();
+        let value = if rest.starts_with('[') {
+            // Gather a possibly multi-line array until the closing `]`.
+            while !rest.contains(']') {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(ConfigError { line: lineno, message: "unterminated array".into() });
+                };
+                rest.push(' ');
+                rest.push_str(strip_comment(cont).trim());
+            }
+            let inner = rest
+                .trim()
+                .strip_prefix('[')
+                .and_then(|r| r.trim_end().strip_suffix(']'))
+                .ok_or_else(|| ConfigError { line: lineno, message: "malformed array".into() })?;
+            let mut items = Vec::new();
+            for piece in inner.split(',') {
+                let piece = piece.trim();
+                if piece.is_empty() {
+                    continue; // trailing comma
+                }
+                items.push(unquote(piece, lineno)?);
+            }
+            Value::List(items)
+        } else {
+            Value::Str(unquote(&rest, lineno)?)
+        };
+        if table.is_empty() {
+            return Err(ConfigError { line: lineno, message: "key outside any [table]".into() });
+        }
+        out.insert((table.clone(), key), (value, lineno));
+    }
+    Ok(out)
+}
+
+/// Strips a `#` comment, respecting (basic, non-escaped) quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(piece: &str, lineno: usize) -> Result<String, ConfigError> {
+    piece.strip_prefix('"').and_then(|p| p.strip_suffix('"')).map(str::to_string).ok_or_else(|| {
+        ConfigError { line: lineno, message: format!("expected a quoted string, got `{piece}`") }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shipped_shape() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[rules.l1]
+files = ["crates/storage/src/*.rs", "crates/core/src/shard.rs"]
+
+[rules.l5]
+files = [
+    "crates/core/src/pass.rs",  # inline comment
+]
+triggers = ["lock_one"]
+marker = "Lock order"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.rules["l1"].files.len(), 2);
+        assert_eq!(cfg.rules["l5"].marker.as_deref(), Some("Lock order"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_empty_files() {
+        assert!(Config::parse("[rules.l1]\nfils = [\"x\"]").is_err());
+        assert!(Config::parse("[rules.l1]\nderp = \"x\"").is_err());
+        assert!(Config::parse("[rules.l1]\ndeny = [\"x\"]").is_err(), "files required");
+        assert!(Config::parse("[other]\nfiles = [\"x\"]").is_err(), "tables live under rules.*");
+    }
+}

@@ -1,0 +1,347 @@
+//! A small Rust lexer — just enough token structure for the rules in
+//! [`crate::rules`]. The offline dependency set has no `syn`, so the
+//! linter works on a token stream instead of an AST: every rule here is
+//! expressible as patterns over identifiers, punctuation, and comment
+//! placement, which the lexer preserves faithfully (including line
+//! numbers, doc comments, and the ordinary comments that carry
+//! `pass-lint: allow(...)` waivers).
+//!
+//! Deliberately unsupported: macro expansion (rules see macro *input*
+//! tokens, which is what a reviewer sees too) and exotic literals
+//! beyond what the workspace uses.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `publish_order`, …).
+    Ident,
+    /// `'a` — kept distinct so `'` disambiguation stays local.
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String/char/byte literal (content dropped; rules never look inside).
+    Literal,
+    /// Single punctuation character (`{`, `[`, `.`, `#`, …).
+    Punct,
+    /// `///`, `//!`, `/** */`, `/*! */` — the text is the doc content.
+    DocComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A non-doc comment (candidate waiver carrier).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    /// Text after the comment marker, untrimmed.
+    pub text: String,
+}
+
+/// The output of [`lex`].
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unknown bytes
+/// become single-character punctuation, which at worst makes a rule
+/// miss — the linter must not crash on the code it polices.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                ch if ch.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'r' | 'b' if self.raw_or_byte_literal(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                ch if ch.is_alphabetic() || ch == '_' => self.ident(line),
+                ch if ch.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume `//`
+        let doc_outer = self.peek(0) == Some('/') && self.peek(1) != Some('/');
+        let doc_inner = self.peek(0) == Some('!');
+        if doc_outer || doc_inner {
+            self.bump();
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if doc_outer || doc_inner {
+            self.push(TokKind::DocComment, text, line);
+        } else {
+            self.out.comments.push(Comment { line, text });
+        }
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let doc = matches!(self.peek(0), Some('*' | '!')) && self.peek(1) != Some('/');
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                continue;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if doc {
+            self.push(TokKind::DocComment, text, line);
+        } else {
+            self.out.comments.push(Comment { line, text });
+        }
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, and raw
+    /// identifiers `r#ident`. Returns false when `r`/`b` is just the
+    /// start of an ordinary identifier.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let first = self.peek(0);
+        let mut look = 1usize;
+        if first == Some('b') && self.peek(1) == Some('r') {
+            look = 2;
+        }
+        // Count `#`s after the prefix.
+        let mut hashes = 0usize;
+        while self.peek(look + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(look + hashes) {
+            Some('"') => {}
+            Some('\'') if first == Some('b') && look == 1 && hashes == 0 => {
+                // b'x' byte literal.
+                self.bump(); // b
+                self.char_literal(line);
+                return true;
+            }
+            Some(c) if first == Some('r') && look == 1 && hashes == 1 && is_ident_char(c) => {
+                // Raw identifier r#ident.
+                self.bump();
+                self.bump();
+                self.ident(line);
+                return true;
+            }
+            _ => return false,
+        }
+        // Raw (byte) string: consume prefix, hashes, opening quote.
+        for _ in 0..look + hashes + 1 {
+            self.bump();
+        }
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for h in 0..hashes {
+                    if self.peek(h) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` followed by non-quote = lifetime; otherwise char literal.
+        let is_lifetime = match (self.peek(1), self.peek(2)) {
+            (Some(c), Some('\'')) if c != '\\' => false, // 'x'
+            (Some(c), _) if c.is_alphabetic() || c == '_' => true,
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if !is_ident_char(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, text, line);
+        } else {
+            self.char_literal(line);
+        }
+    }
+
+    fn char_literal(&mut self, line: u32) {
+        self.bump(); // opening '
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_char(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Good enough for all workspace literals (hex, suffixes, floats
+            // — though `1.x()` method calls stop at the dot correctly
+            // because we only continue past `.` when a digit follows).
+            let cont =
+                is_ident_char(c) || (c == '.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()));
+            if !cont {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Number, text, line);
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_lines() {
+        let l = lex("fn main() {\n  x.unwrap();\n}");
+        let unwrap = l.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!(unwrap.line, 2);
+    }
+
+    #[test]
+    fn comments_are_separated_from_doc_comments() {
+        let l = lex("/// doc\n// pass-lint: allow(l1, reason=\"x\")\nfn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("pass-lint"));
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::DocComment && t.text.contains("doc")));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        assert_eq!(idents("let s = \"unwrap() [0] // not code\";"), vec!["let", "s"]);
+        assert_eq!(idents(r##"let s = r#"unwrap()"#;"##), vec!["let", "s"]);
+        assert_eq!(idents("let b = b\"expect\";"), vec!["let", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_line() {
+        let toks = idents("fn f<'a>(x: &'a str) -> &'a str { x.trim() }");
+        assert!(toks.contains(&"trim".to_string()));
+    }
+
+    #[test]
+    fn char_literals_and_raw_idents() {
+        assert_eq!(idents("let c = 'x'; let r#fn = 1;"), vec!["let", "c", "let", "fn"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+    }
+}

@@ -1,0 +1,83 @@
+//! # pass-lint — the PASS workspace invariant checker
+//!
+//! CI-enforced rules the compiler cannot express, driven by the
+//! repo-root `invariants.toml`:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `l1` | no `unwrap`/`expect`/slice-index panics in crash-safety modules |
+//! | `l2` | no fsync/blocking-I/O/bulk-encode calls in the `publish_order` section |
+//! | `l3` | shard locks only via the ascending-order helpers |
+//! | `l4` | no wall-clock reads in simulator/virtual-clock code |
+//! | `l5` | commit-path functions document their lock-ordering position |
+//!
+//! Deny-by-default: a matched pattern is a finding unless the line (or
+//! the line above) carries `// pass-lint: allow(<rule>, reason="...")`.
+//! Honored waivers are counted and printed so the waiver population is
+//! itself reviewable in CI logs.
+//!
+//! Run as `cargo run -p pass-lint -- --workspace` from the repo root;
+//! see `tools/pass-lint/tests/ui/` for per-rule fixtures.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use config::Config;
+use rules::{FileReport, Finding};
+use std::path::{Path, PathBuf};
+
+/// Everything one linting run produced.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    pub files_checked: usize,
+    pub findings: Vec<Finding>,
+    /// `(file, rule, line)` for every honored waiver.
+    pub waivers: Vec<(String, String, u32)>,
+}
+
+impl RunReport {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints every `.rs` file under `root` (skipping `target/` and
+/// hidden directories) against `config`.
+pub fn run(root: &Path, config: &Config) -> std::io::Result<RunReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = RunReport { files_checked: files.len(), ..RunReport::default() };
+    for rel in files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let lexed = lexer::lex(&src);
+        let FileReport { findings, waivers_honored } = rules::check_file(config, &rel_str, &lexed);
+        report.findings.extend(findings);
+        report
+            .waivers
+            .extend(waivers_honored.into_iter().map(|(rule, line)| (rel_str.clone(), rule, line)));
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! CLI for the PASS invariant checker.
+//!
+//! ```text
+//! pass-lint --workspace [--root DIR] [--config PATH]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage/config/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => return usage("--config needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("pass-lint --workspace [--root DIR] [--config PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage("pass-lint currently only runs whole trees: pass --workspace");
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("invariants.toml"));
+    let config_src = match std::fs::read_to_string(&config_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pass-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match pass_lint::config::Config::parse(&config_src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pass-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match pass_lint::run(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pass-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    for (file, rule, line) in &report.waivers {
+        println!("note: waiver honored at {file}:{line} [{rule}]");
+    }
+    println!(
+        "pass-lint: {} file(s) checked, {} finding(s), {} waiver(s) honored",
+        report.files_checked,
+        report.findings.len(),
+        report.waivers.len()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("pass-lint: {message}");
+    eprintln!("usage: pass-lint --workspace [--root DIR] [--config PATH]");
+    ExitCode::from(2)
+}

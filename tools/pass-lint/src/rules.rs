@@ -1,0 +1,644 @@
+//! The PASS invariant rules, evaluated over [`crate::lexer`] token
+//! streams. Rule ids are stable (`l1`…`l5`) — they appear in waiver
+//! comments and CI output:
+//!
+//! * **l1** — no `unwrap`/`expect`/slice-index panics in crash-safety
+//!   modules. Recovery code must surface corrupt bytes as errors.
+//! * **l2** — no fsync/blocking-I/O/bulk-encode calls inside the
+//!   `publish_order` critical section; it serializes every committer.
+//! * **l3** — shard commit locks are taken only via the ascending-order
+//!   helpers; ad-hoc indexing into the lock array risks deadlock.
+//! * **l4** — no wall-clock reads (`Instant::now`, `SystemTime::now`)
+//!   in simulator/virtual-clock code.
+//! * **l5** — every function on the commit path documents its
+//!   lock-ordering position (a `Lock order` doc-comment marker).
+//!
+//! Waivers: `// pass-lint: allow(<rule>, reason="...")` on the finding
+//! line or the line above. Waivers without a reason are themselves
+//! findings; honored waivers are counted and reported.
+
+use crate::config::{Config, RuleConfig};
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: String,
+    /// Lint-root-relative path.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    /// `(rule, line)` of each honored waiver.
+    pub waivers_honored: Vec<(String, u32)>,
+}
+
+/// A parsed `pass-lint: allow(rule, reason="…")` comment.
+#[derive(Debug)]
+struct Waiver {
+    rule: String,
+    line: u32,
+    reason_ok: bool,
+}
+
+/// Matches `path` (with `/` separators) against a glob supporting `*`
+/// (within a segment) and `**` (any number of segments).
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    fn segs(s: &str) -> Vec<&str> {
+        s.split('/').filter(|p| !p.is_empty()).collect()
+    }
+    fn seg_match(pat: &str, seg: &str) -> bool {
+        // Segment-level `*` wildcard matching.
+        let (mut pi, mut si) = (0usize, 0usize);
+        let (p, s): (Vec<char>, Vec<char>) = (pat.chars().collect(), seg.chars().collect());
+        let (mut star, mut mark) = (None, 0usize);
+        while si < s.len() {
+            if pi < p.len() && (p[pi] == s[si]) {
+                pi += 1;
+                si += 1;
+            } else if pi < p.len() && p[pi] == '*' {
+                star = Some(pi);
+                mark = si;
+                pi += 1;
+            } else if let Some(sp) = star {
+                pi = sp + 1;
+                mark += 1;
+                si = mark;
+            } else {
+                return false;
+            }
+        }
+        while pi < p.len() && p[pi] == '*' {
+            pi += 1;
+        }
+        pi == p.len()
+    }
+    fn rec(pat: &[&str], path: &[&str]) -> bool {
+        match (pat.first(), path.first()) {
+            (None, None) => true,
+            (Some(&"**"), _) => rec(&pat[1..], path) || (!path.is_empty() && rec(pat, &path[1..])),
+            (Some(p), Some(s)) => seg_match(p, s) && rec(&pat[1..], &path[1..]),
+            _ => false,
+        }
+    }
+    rec(&segs(pattern), &segs(path))
+}
+
+/// Lints one file against every rule whose globs match `rel_path`.
+pub fn check_file(config: &Config, rel_path: &str, lexed: &Lexed) -> FileReport {
+    let mut report = FileReport::default();
+    // A file outside every rule's scope is fully inert — its waiver
+    // comments are not validated either (they waive nothing), which
+    // keeps e.g. the linter's own ui fixtures out of a workspace run.
+    if !config.rules.values().any(|r| r.files.iter().any(|g| glob_match(g, rel_path))) {
+        return report;
+    }
+    let (waivers, waiver_findings) = parse_waivers(&lexed.comments, rel_path);
+    report.findings.extend(waiver_findings);
+    let skip = test_regions(&lexed.tokens);
+    let fns = function_extents(&lexed.tokens);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    for (rule_id, rule) in &config.rules {
+        if !rule.files.iter().any(|g| glob_match(g, rel_path)) {
+            continue;
+        }
+        let findings = match rule_id.as_str() {
+            "l1" => check_l1(rel_path, lexed, &skip),
+            "l2" => check_l2(rel_path, lexed, rule, &fns),
+            "l3" => check_l3(rel_path, lexed, rule, &fns),
+            "l4" => check_l4(rel_path, lexed, rule, &skip),
+            "l5" => check_l5(rel_path, lexed, rule, &fns, &skip),
+            other => vec![Finding {
+                rule: other.to_string(),
+                file: rel_path.to_string(),
+                line: 0,
+                message: format!("unknown rule `{other}` in invariants.toml"),
+            }],
+        };
+        raw.extend(findings);
+    }
+
+    // Apply waivers: a finding is waived by a matching-rule waiver on
+    // its own line or the line directly above.
+    let mut honored: BTreeSet<(String, u32)> = BTreeSet::new();
+    for finding in raw {
+        let waived = waivers.iter().find(|w| {
+            w.rule == finding.rule
+                && w.reason_ok
+                && (w.line == finding.line || w.line + 1 == finding.line)
+        });
+        match waived {
+            Some(w) => {
+                honored.insert((w.rule.clone(), w.line));
+            }
+            None => report.findings.push(finding),
+        }
+    }
+    report.waivers_honored = honored.into_iter().collect();
+    report.findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    report
+}
+
+fn parse_waivers(comments: &[Comment], file: &str) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("pass-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = rest.strip_prefix("allow(").and_then(|r| r.strip_suffix(')')).map(|inner| {
+            let rule = inner.split(',').next().unwrap_or("").trim().to_string();
+            let reason_ok = inner
+                .split_once("reason=")
+                .map(|(_, r)| r.trim().len() > 2 && r.trim().starts_with('"'))
+                .unwrap_or(false);
+            (rule, reason_ok)
+        });
+        match parsed {
+            Some((rule, reason_ok)) if !rule.is_empty() => {
+                if !reason_ok {
+                    findings.push(Finding {
+                        rule: rule.clone(),
+                        file: file.to_string(),
+                        line: c.line,
+                        message: "waiver without a reason=\"...\" — explain or remove it"
+                            .to_string(),
+                    });
+                }
+                waivers.push(Waiver { rule, line: c.line, reason_ok });
+            }
+            _ => findings.push(Finding {
+                rule: "waiver".to_string(),
+                file: file.to_string(),
+                line: c.line,
+                message: format!(
+                    "malformed pass-lint comment `{}` — expected `pass-lint: allow(<rule>, reason=\"...\")`",
+                    c.text.trim()
+                ),
+            }),
+        }
+    }
+    (waivers, findings)
+}
+
+/// Token-index ranges under `#[cfg(test)]` items or `#[test]` functions:
+/// test code asserts by panicking, so l1/l4 skip it.
+fn test_regions(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(tokens, i, "#") && is_punct(tokens, i + 1, "[") {
+            let is_cfg_test = is_ident(tokens, i + 2, "cfg")
+                && is_punct(tokens, i + 3, "(")
+                && (i + 4..i + 8).any(|j| is_ident(tokens, j, "test"));
+            let is_test_attr = is_ident(tokens, i + 2, "test") && is_punct(tokens, i + 3, "]");
+            if is_cfg_test || is_test_attr {
+                // Skip to the end of the attribute, then of the item body.
+                let attr_end = matching(tokens, i + 1, "[", "]").unwrap_or(i + 1);
+                if let Some(open) = find_punct_from(tokens, attr_end, "{") {
+                    let close = matching(tokens, open, "{", "}").unwrap_or(tokens.len() - 1);
+                    regions.push((i, close));
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(a, b)| idx >= a && idx <= b)
+}
+
+/// A function's extent in the token stream.
+#[derive(Debug)]
+pub struct FnExtent {
+    pub name: String,
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Token range `[fn_idx, body_close]`, inclusive.
+    pub end_idx: usize,
+    /// Concatenated doc-comment text attached above the item.
+    pub doc: String,
+}
+
+/// Finds every `fn` item with a body and its attached doc comment.
+pub fn function_extents(tokens: &[Tok]) -> Vec<FnExtent> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !is_ident(tokens, i, "fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else { continue };
+        if name_tok.kind != TokKind::Ident {
+            continue; // `fn` inside a type like `fn(` — not an item
+        }
+        // Body: the first `{` before any `;` (no body = trait method).
+        let mut j = i + 2;
+        let mut open = None;
+        while let Some(t) = tokens.get(j) {
+            if t.kind == TokKind::Punct {
+                if t.text == "{" {
+                    open = Some(j);
+                    break;
+                }
+                if t.text == ";" {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = matching(tokens, open, "{", "}").unwrap_or(tokens.len() - 1);
+        out.push(FnExtent {
+            name: name_tok.text.clone(),
+            line: tokens[i].line,
+            fn_idx: i,
+            end_idx: close,
+            doc: attached_doc(tokens, i),
+        });
+    }
+    out
+}
+
+/// Walks back from the `fn` keyword over visibility/qualifier tokens and
+/// attributes, collecting contiguous doc comments.
+fn attached_doc(tokens: &[Tok], fn_idx: usize) -> String {
+    const QUALIFIERS: [&str; 8] =
+        ["pub", "crate", "super", "self", "in", "unsafe", "async", "const"];
+    let mut i = fn_idx;
+    let mut docs: Vec<&str> = Vec::new();
+    while i > 0 {
+        let prev = &tokens[i - 1];
+        match prev.kind {
+            TokKind::Ident if QUALIFIERS.contains(&prev.text.as_str()) => i -= 1,
+            TokKind::Punct if prev.text == ")" || prev.text == "(" => i -= 1, // pub(crate)
+            TokKind::Punct if prev.text == "]" => {
+                // Attribute: scan back to its `#[`.
+                let mut depth = 1;
+                let mut j = i - 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match tokens[j].text.as_str() {
+                        "]" if tokens[j].kind == TokKind::Punct => depth += 1,
+                        "[" if tokens[j].kind == TokKind::Punct => depth -= 1,
+                        _ => {}
+                    }
+                }
+                i = j.saturating_sub(1); // the `#`
+            }
+            TokKind::DocComment => {
+                docs.push(&prev.text);
+                i -= 1;
+            }
+            _ => break,
+        }
+    }
+    docs.reverse();
+    docs.join("\n")
+}
+
+// ---- L1: no panics in crash-safety modules -------------------------------
+
+const ASSERT_MACROS: [&str; 6] =
+    ["assert", "assert_eq", "assert_ne", "debug_assert", "debug_assert_eq", "debug_assert_ne"];
+
+fn check_l1(file: &str, lexed: &Lexed, skip: &[(usize, usize)]) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let mut findings = Vec::new();
+    let mut assert_until: Option<usize> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        if in_regions(skip, i) {
+            i += 1;
+            continue;
+        }
+        // Asserts are *deliberate* panics; indexing inside them is the
+        // assertion itself, not an accidental crash path.
+        if assert_until.is_some_and(|end| i <= end) {
+            i += 1;
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident
+            && ASSERT_MACROS.contains(&t.text.as_str())
+            && is_punct(tokens, i + 1, "!")
+        {
+            if let Some(open) = find_punct_from(tokens, i + 1, "(") {
+                assert_until = matching(tokens, open, "(", ")");
+            }
+        }
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && is_punct(tokens, i - 1, ".")
+            && is_punct(tokens, i + 1, "(")
+        {
+            findings.push(Finding {
+                rule: "l1".into(),
+                file: file.into(),
+                line: t.line,
+                message: format!(
+                    "`.{}()` in a crash-safety module — corrupt bytes must surface as errors, not panics",
+                    t.text
+                ),
+            });
+        }
+        // Slice/map indexing: `expr[...]` — `[` directly after an
+        // identifier, `)`, or `]`. Types (`<[`), arrays (`= [`),
+        // attributes (`#[`) and macro brackets (`vec![`) don't match.
+        if t.kind == TokKind::Punct && t.text == "[" && i > 0 {
+            let prev = &tokens[i - 1];
+            let indexes = match prev.kind {
+                TokKind::Ident => !is_keyword_before_bracket(&prev.text),
+                TokKind::Punct => prev.text == ")" || prev.text == "]",
+                _ => false,
+            };
+            if indexes {
+                findings.push(Finding {
+                    rule: "l1".into(),
+                    file: file.into(),
+                    line: t.line,
+                    message: "slice/collection indexing in a crash-safety module — use `.get()` and return an error".into(),
+                });
+            }
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// Idents that legitimately precede `[` without indexing.
+fn is_keyword_before_bracket(text: &str) -> bool {
+    matches!(text, "mut" | "dyn" | "return" | "in" | "as" | "break" | "else" | "match" | "if")
+}
+
+// ---- L2: the publish_order section stays short ---------------------------
+
+fn check_l2(file: &str, lexed: &Lexed, rule: &RuleConfig, fns: &[FnExtent]) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_ident(tokens, i, "publish_order")
+            || !is_punct(tokens, i + 1, ".")
+            || !is_ident(tokens, i + 2, "lock")
+        {
+            i += 1;
+            continue;
+        }
+        // An unterminated section is reported at the end of its function,
+        // not hunted through the rest of the file.
+        let fn_end = fns
+            .iter()
+            .rfind(|f| i >= f.fn_idx && i <= f.end_idx)
+            .map_or(tokens.len() - 1, |f| f.end_idx);
+        // Guard name: `let <name> = ... publish_order.lock()`.
+        let guard = (0..i)
+            .rev()
+            .take(8)
+            .find(|&j| is_ident(tokens, j, "let"))
+            .and_then(|j| tokens.get(j + 1))
+            .map(|t| t.text.clone());
+        let Some(guard) = guard else {
+            findings.push(Finding {
+                rule: "l2".into(),
+                file: file.into(),
+                line: tokens[i].line,
+                message: "publish_order guard must be bound with `let` so its scope is explicit"
+                    .into(),
+            });
+            i += 3;
+            continue;
+        };
+        // Section extent: from the lock to `drop(<guard>)`.
+        let mut j = i + 3;
+        let mut closed = false;
+        while j <= fn_end {
+            if is_ident(tokens, j, "drop")
+                && is_punct(tokens, j + 1, "(")
+                && is_ident(tokens, j + 2, &guard)
+            {
+                closed = true;
+                break;
+            }
+            let t = &tokens[j];
+            if t.kind == TokKind::Ident && rule.deny.iter().any(|d| d == &t.text) {
+                findings.push(Finding {
+                    rule: "l2".into(),
+                    file: file.into(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` inside the publish_order critical section — it serializes every committer; hoist the work outside",
+                        t.text
+                    ),
+                });
+            }
+            j += 1;
+        }
+        if !closed {
+            findings.push(Finding {
+                rule: "l2".into(),
+                file: file.into(),
+                line: tokens[i].line,
+                message: format!(
+                    "publish_order section never reaches `drop({guard})` — end it explicitly"
+                ),
+            });
+        }
+        i = j + 1;
+    }
+    findings
+}
+
+// ---- L3: shard locks only via the ascending-order helpers ----------------
+
+fn check_l3(file: &str, lexed: &Lexed, rule: &RuleConfig, fns: &[FnExtent]) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let field = rule.triggers.first().map(String::as_str).unwrap_or("locks");
+    let mut findings = Vec::new();
+    for i in 0..tokens.len() {
+        if !is_ident(tokens, i, field) || !is_punct(tokens, i + 1, "[") {
+            continue;
+        }
+        let owner = fns.iter().rfind(|f| i >= f.fn_idx && i <= f.end_idx);
+        let sanctioned = owner.is_some_and(|f| rule.allow_in.iter().any(|a| a == &f.name));
+        if !sanctioned {
+            findings.push(Finding {
+                rule: "l3".into(),
+                file: file.into(),
+                line: tokens[i].line,
+                message: format!(
+                    "direct `{field}[...]` access outside {:?} — shard locks must be taken through the ascending-order helpers",
+                    rule.allow_in
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---- L4: no wall clock in virtual-time code ------------------------------
+
+fn check_l4(file: &str, lexed: &Lexed, rule: &RuleConfig, skip: &[(usize, usize)]) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let mut findings = Vec::new();
+    for i in 0..tokens.len() {
+        if in_regions(skip, i) {
+            continue;
+        }
+        // Match `Type::method` against deny entries like "Instant::now".
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_path = is_punct(tokens, i + 1, ":")
+            && is_punct(tokens, i + 2, ":")
+            && tokens.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident);
+        if !is_path {
+            continue;
+        }
+        let path = format!("{}::{}", t.text, tokens[i + 3].text);
+        if rule.deny.iter().any(|d| d == &path) {
+            findings.push(Finding {
+                rule: "l4".into(),
+                file: file.into(),
+                line: t.line,
+                message: format!(
+                    "`{path}` in virtual-clock code — simulated components must read the simulator's clock"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---- L5: commit-path functions document their lock order -----------------
+
+fn check_l5(
+    file: &str,
+    lexed: &Lexed,
+    rule: &RuleConfig,
+    fns: &[FnExtent],
+    skip: &[(usize, usize)],
+) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let marker = rule.marker.as_deref().unwrap_or("Lock order");
+    let mut findings = Vec::new();
+    for f in fns {
+        if in_regions(skip, f.fn_idx) {
+            continue;
+        }
+        let triggered = (f.fn_idx..=f.end_idx).any(|i| {
+            tokens
+                .get(i)
+                .is_some_and(|t| t.kind == TokKind::Ident && rule.triggers.contains(&t.text))
+        });
+        if triggered && !f.doc.contains(marker) {
+            findings.push(Finding {
+                rule: "l5".into(),
+                file: file.into(),
+                line: f.line,
+                message: format!(
+                    "`{}` touches the commit path but its doc comment has no `{marker}` note — state which locks it takes, in which position",
+                    f.name
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---- token helpers -------------------------------------------------------
+
+fn is_ident(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+fn is_punct(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+/// Index of the matching closer for the opener at `open_idx`.
+fn matching(tokens: &[Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.kind == TokKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn find_punct_from(tokens: &[Tok], from: usize, text: &str) -> Option<usize> {
+    (from..tokens.len()).find(|&i| is_punct(tokens, i, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globs() {
+        assert!(glob_match("crates/storage/src/*.rs", "crates/storage/src/wal.rs"));
+        assert!(!glob_match("crates/storage/src/*.rs", "crates/storage/src/sub/x.rs"));
+        assert!(glob_match("crates/**/*.rs", "crates/core/src/pass.rs"));
+        assert!(glob_match("**/sim.rs", "crates/net/src/sim.rs"));
+        assert!(!glob_match("crates/net/src/sim.rs", "crates/net/src/time.rs"));
+    }
+
+    #[test]
+    fn fn_extents_and_docs() {
+        let lexed = crate::lexer::lex(
+            "/// Does a thing.\n/// Lock order: none.\n#[inline]\npub(crate) fn f() { body(); }\nfn g() {}",
+        );
+        let fns = function_extents(&lexed.tokens);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "f");
+        assert!(fns[0].doc.contains("Lock order"));
+        assert_eq!(fns[1].name, "g");
+        assert!(fns[1].doc.is_empty());
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let lexed = crate::lexer::lex(
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }",
+        );
+        let findings = check_l1("f.rs", &lexed, &test_regions(&lexed.tokens));
+        assert_eq!(findings.len(), 1, "only the live unwrap is flagged: {findings:?}");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn asserts_do_not_count_as_indexing() {
+        let lexed =
+            crate::lexer::lex("fn f(w: &[u8]) { debug_assert!(w[0] < w[1]); let x = w[0]; }");
+        let findings = check_l1("f.rs", &lexed, &[]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+}

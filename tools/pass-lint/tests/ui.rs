@@ -1,0 +1,86 @@
+//! ui-style fixture tests: every directory under `tests/ui/` is a tiny
+//! source tree with its own `invariants.toml` and an `expected.txt` of
+//! diagnostics the binary must emit. Empty (or note-only) expectations
+//! mean the fixture must pass cleanly — so each rule is pinned from
+//! both sides: it fires on its `*_fail` fixture and stays silent on its
+//! `*_pass` twin.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_fixture(dir: &Path) -> (String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pass-lint"))
+        .arg("--workspace")
+        .arg("--root")
+        .arg(dir)
+        .arg("--config")
+        .arg(dir.join("invariants.toml"))
+        .output()
+        .expect("running pass-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.is_empty(), "{}: unexpected stderr:\n{stderr}", dir.display());
+    (stdout, out.status.code().expect("exit code"))
+}
+
+#[test]
+fn fixtures_match_expected_diagnostics() {
+    let ui = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/ui");
+    let mut cases: Vec<_> = std::fs::read_dir(&ui)
+        .expect("tests/ui exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.is_dir())
+        .collect();
+    cases.sort();
+    assert!(cases.len() >= 12, "expected the full fixture set, found {}", cases.len());
+
+    for dir in cases {
+        let name = dir.file_name().unwrap().to_string_lossy().into_owned();
+        let expected = std::fs::read_to_string(dir.join("expected.txt"))
+            .unwrap_or_else(|e| panic!("{name}: missing expected.txt: {e}"));
+        let expected_lines: Vec<&str> =
+            expected.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+        let expects_findings = expected_lines.iter().any(|l| !l.starts_with("note:"));
+
+        let (stdout, code) = run_fixture(&dir);
+        for line in &expected_lines {
+            assert!(
+                stdout.lines().any(|out| out.trim() == *line),
+                "{name}: missing diagnostic:\n  want: {line}\n  got:\n{stdout}"
+            );
+        }
+        if expects_findings {
+            assert_eq!(code, 1, "{name}: findings must fail the run:\n{stdout}");
+            // Exactly the expected findings — no extras.
+            let finding_count =
+                stdout.lines().filter(|l| l.contains(": [l") || l.contains(": [waiver]")).count();
+            let expected_count = expected_lines.iter().filter(|l| !l.starts_with("note:")).count();
+            assert_eq!(
+                finding_count, expected_count,
+                "{name}: extra findings beyond expected.txt:\n{stdout}"
+            );
+        } else {
+            assert_eq!(code, 0, "{name}: clean fixture must exit 0:\n{stdout}");
+        }
+    }
+}
+
+/// The binary's exit contract, pinned: 2 for unusable configs, not 0/1.
+#[test]
+fn bad_config_is_exit_code_2() {
+    let dir = std::env::temp_dir().join(format!("pass-lint-badcfg-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("invariants.toml"), "[rules.l1]\nfils = [\"x\"]\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pass-lint"))
+        .arg("--workspace")
+        .arg("--root")
+        .arg(&dir)
+        .arg("--config")
+        .arg(dir.join("invariants.toml"))
+        .output()
+        .expect("running pass-lint");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,8 @@
+//! A recovery path that panics on corrupt bytes — every construct here
+//! is an l1 finding.
+fn recover(buf: &[u8]) -> u32 {
+    let len = read_len(buf).unwrap();
+    let crc = read_crc(buf).expect("valid header");
+    let first = buf[0];
+    len + crc + u32::from(first)
+}

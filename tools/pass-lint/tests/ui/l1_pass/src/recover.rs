@@ -1,0 +1,19 @@
+//! The same path written honestly: errors, asserts, and test-only
+//! unwraps are all fine.
+fn recover(buf: &[u8]) -> Option<u32> {
+    debug_assert!(buf.len() < MAX, "caller bounds the buffer");
+    let len = read_len(buf)?;
+    let first = *buf.get(0)?;
+    let arr: [u8; 2] = [1, 2]; // array literal, not indexing
+    Some(len + u32::from(first) + u32::from(arr.len() as u8))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_recover() {
+        let buf = vec![1, 2, 3];
+        assert_eq!(buf[0], 1);
+        recover(&buf).unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! Storage work smuggled inside the publish_order section.
+fn commit(&self) {
+    let order = self.publish_order.lock();
+    self.store.apply(batch);
+    let bytes = record.encode_to_vec();
+    self.wal.sync_data();
+    self.publish(bytes);
+    drop(order);
+}
+
+fn leaky(&self) {
+    let order = self.publish_order.lock();
+    self.publish(x);
+}

@@ -1,0 +1,10 @@
+//! The section as it should be: publish + broadcast only; the apply
+//! and the encoding happen before the lock.
+fn commit(&self) {
+    self.store.apply(batch);
+    let delta = IndexDelta::prepare(&records);
+    let order = self.publish_order.lock();
+    let version = self.publish(delta);
+    self.hub.broadcast(version, make_logs);
+    drop(order);
+}

@@ -1,0 +1,13 @@
+//! Locks taken only through the helpers; other uses of the field
+//! (len, construction) are free.
+impl Sharding {
+    fn lock_one(&self, shard: usize) -> Guard {
+        self.locks[shard].lock()
+    }
+    fn lock_many(&self, shards: &[usize]) -> Vec<Guard> {
+        shards.iter().map(|&s| self.locks[s].lock()).collect()
+    }
+    fn count(&self) -> usize {
+        self.locks.len()
+    }
+}

@@ -1,0 +1,6 @@
+//! Wall-clock reads inside the simulator.
+fn step(&mut self) {
+    let started = std::time::Instant::now();
+    let wall = SystemTime::now();
+    self.advance(started, wall);
+}

@@ -1,0 +1,7 @@
+//! A commit-path function with no lock-order documentation.
+
+/// Attaches an annotation.
+pub fn annotate(&self, id: Id) {
+    let _commit = self.sharding.lock_one(self.sharding.shard_of(id));
+    self.publish(id);
+}

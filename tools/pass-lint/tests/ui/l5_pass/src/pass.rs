@@ -1,0 +1,14 @@
+//! The same function, documented.
+
+/// Attaches an annotation.
+///
+/// Lock order: one shard commit lock, then the publish write lock.
+pub fn annotate(&self, id: Id) {
+    let _commit = self.sharding.lock_one(self.sharding.shard_of(id));
+    self.publish(id);
+}
+
+/// No triggers in the body: no note required.
+pub fn read_only(&self) -> usize {
+    self.state.read().len()
+}

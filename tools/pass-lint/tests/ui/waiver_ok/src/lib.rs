@@ -1,0 +1,5 @@
+//! A reasoned waiver silences the finding and is counted.
+fn constant_table(&self, i: usize) -> u8 {
+    // pass-lint: allow(l1, reason="i is a compile-time constant index into a fixed-size table")
+    self.table[i]
+}

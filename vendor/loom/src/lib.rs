@@ -1,0 +1,283 @@
+//! Offline shim of the [`loom`](https://docs.rs/loom) model-checker API.
+//!
+//! The real loom exhaustively explores thread interleavings under a
+//! modeled scheduler with a C11 memory model. This offline stand-in
+//! keeps loom's *API* — `loom::model`, `loom::thread`, `loom::sync::*`
+//! — so model tests are written exactly as they would be upstream, but
+//! checks them by **bounded randomized interleaving exploration**:
+//!
+//! * `model(f)` runs `f` many times (`LOOM_ITERS`, default 128), each
+//!   with a distinct deterministic seed;
+//! * every shim primitive (`Mutex::lock`, atomic load/store/RMW,
+//!   `thread::spawn`/`yield_now`) is a *yield point* that consults the
+//!   iteration's seeded RNG and preempts the OS thread with some
+//!   probability, shaking out orderings a plain test would never hit;
+//! * a watchdog aborts an iteration that stops making progress
+//!   (`LOOM_TIMEOUT_MS`, default 10s) — the shim's deadlock detector.
+//!
+//! Bounded randomization finds strictly fewer bugs than exhaustive
+//! model checking: when the real crate is available (CI, not this
+//! offline container), delete this shim from `[workspace.members]` and
+//! the tests run unchanged under genuine loom.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering as StdOrdering};
+
+thread_local! {
+    /// Per-thread RNG state; children fork from the iteration seed.
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Seed shared with spawned threads for the current iteration.
+static ITER_SEED: AtomicU32 = AtomicU32::new(0);
+
+fn seed_thread(seed: u64) {
+    RNG.with(|r| r.set(seed | 1));
+}
+
+/// xorshift64* — deterministic, no external RNG crate needed.
+fn next_rand() -> u64 {
+    RNG.with(|r| {
+        let mut x = r.get();
+        if x == 0 {
+            // A thread that never got seeded (e.g. spawned outside
+            // `model`) forks from the iteration seed and its thread id.
+            x = u64::from(ITER_SEED.load(StdOrdering::Relaxed)) << 17 | 0x9e37;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        r.set(x);
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    })
+}
+
+/// A scheduling decision point: sometimes preempt the current thread.
+fn yield_point() {
+    match next_rand() % 8 {
+        0 | 1 => std::thread::yield_now(),
+        2 => {
+            // A longer preemption window: lets another thread run a
+            // whole critical section, not just a step.
+            std::thread::sleep(std::time::Duration::from_micros(next_rand() % 50));
+        }
+        _ => {}
+    }
+}
+
+/// Runs `f` under bounded randomized interleaving exploration.
+///
+/// Panics (failing the enclosing test) when any iteration panics or
+/// exceeds the watchdog timeout — the latter is reported as a suspected
+/// deadlock, loom's deadlock-freedom check.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters: u32 = std::env::var("LOOM_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(128);
+    let timeout_ms: u64 =
+        std::env::var("LOOM_TIMEOUT_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000);
+    let f = std::sync::Arc::new(f);
+    for iter in 0..iters {
+        ITER_SEED.store(iter.wrapping_add(1), StdOrdering::Relaxed);
+        let f = std::sync::Arc::clone(&f);
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let worker = std::thread::Builder::new()
+            .name(format!("loom-model-{iter}"))
+            .spawn(move || {
+                seed_thread((u64::from(iter) << 32) | 0x5eed);
+                f();
+                drop(done_tx); // disconnects the receiver = success
+            })
+            .unwrap_or_else(|e| panic!("loom shim: cannot spawn model thread: {e}"));
+        match done_rx.recv_timeout(std::time::Duration::from_millis(timeout_ms)) {
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // Worker finished (or panicked — join surfaces that).
+                if worker.join().is_err() {
+                    panic!("loom shim: model iteration {iter} panicked (seed {iter})");
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // The iteration stopped making progress. The stuck
+                // worker cannot be killed; abort so CI reports failure
+                // instead of hanging.
+                eprintln!(
+                    "loom shim: iteration {iter} exceeded {timeout_ms}ms — suspected deadlock"
+                );
+                std::process::abort();
+            }
+            Ok(()) => unreachable!("done_tx is only dropped, never sent on"),
+        }
+    }
+}
+
+pub mod thread {
+    //! `loom::thread` — spawn/join with yield points at the boundaries.
+
+    /// Handle mirroring `std::thread::JoinHandle`.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            super::yield_point();
+            self.inner.join()
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let seed = super::next_rand();
+        super::yield_point();
+        let inner = std::thread::Builder::new()
+            .spawn(move || {
+                super::seed_thread(seed);
+                super::yield_point();
+                f()
+            })
+            .unwrap_or_else(|e| panic!("loom shim: spawn failed: {e}"));
+        JoinHandle { inner }
+    }
+
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod sync {
+    //! `loom::sync` — std primitives wrapped with yield points.
+
+    pub use std::sync::Arc;
+
+    /// Mutex with scheduling points around acquisition, mirroring
+    /// `std::sync::Mutex`'s poisoning API (like real loom).
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex { inner: std::sync::Mutex::new(value) }
+        }
+
+        pub fn lock(&self) -> std::sync::LockResult<std::sync::MutexGuard<'_, T>> {
+            super::yield_point();
+            let guard = self.inner.lock();
+            super::yield_point();
+            guard
+        }
+
+        pub fn try_lock(&self) -> std::sync::TryLockResult<std::sync::MutexGuard<'_, T>> {
+            super::yield_point();
+            self.inner.try_lock()
+        }
+    }
+
+    /// Condvar passthrough (std's is already interleaving-sensitive).
+    pub use std::sync::Condvar;
+
+    pub mod atomic {
+        //! Atomics with yield points before and after every access.
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! shim_atomic {
+            ($name:ident, $std:ty, $prim:ty) => {
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    pub const fn new(v: $prim) -> Self {
+                        Self { inner: <$std>::new(v) }
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $prim {
+                        super::super::yield_point();
+                        self.inner.load(order)
+                    }
+
+                    pub fn store(&self, v: $prim, order: Ordering) {
+                        super::super::yield_point();
+                        self.inner.store(v, order);
+                        super::super::yield_point();
+                    }
+
+                    pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                        super::super::yield_point();
+                        self.inner.fetch_add(v, order)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        super::super::yield_point();
+                        self.inner.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// Bool atomic (no `fetch_add` — std doesn't have one either).
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            inner: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            pub const fn new(v: bool) -> Self {
+                Self { inner: std::sync::atomic::AtomicBool::new(v) }
+            }
+
+            pub fn load(&self, order: Ordering) -> bool {
+                super::super::yield_point();
+                self.inner.load(order)
+            }
+
+            pub fn store(&self, v: bool, order: Ordering) {
+                super::super::yield_point();
+                self.inner.store(v, order);
+                super::super::yield_point();
+            }
+
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                super::super::yield_point();
+                self.inner.swap(v, order)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_runs_and_interleaves() {
+        std::env::set_var("LOOM_ITERS", "8");
+        let hits = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let h = std::sync::Arc::clone(&hits);
+        super::model(move || {
+            let counter = crate::sync::Arc::new(crate::sync::Mutex::new(0u32));
+            let c2 = crate::sync::Arc::clone(&counter);
+            let t = crate::thread::spawn(move || {
+                *c2.lock().unwrap() += 1;
+            });
+            *counter.lock().unwrap() += 1;
+            t.join().unwrap();
+            assert_eq!(*counter.lock().unwrap(), 2);
+            h.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 8);
+    }
+}
