@@ -1,0 +1,49 @@
+//! E23: sustained-ingest read latency, baseline (no compaction) vs the
+//! background maintenance worker. Writes `BENCH_e23.json` at the repo
+//! root (override with `E23_OUT`).
+//!
+//! Knobs:
+//! * `E23_RECORDS` — records per regime (default 1,000,000);
+//! * `E23_ASSERT=1` — assert the maintenance run stayed flat: end
+//!   p99 ≤ 2× the p99 at 10% of ingest (plus a small absolute slack so
+//!   microsecond-scale noise cannot flip the verdict), and space
+//!   amplification after the drain ≤ 1.5×. This is the CI smoke gate.
+
+use pass_bench::exp_storage::{e23_json, e23_run};
+use std::path::PathBuf;
+
+fn main() {
+    let records: usize =
+        std::env::var("E23_RECORDS").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000_000);
+
+    let baseline = e23_run(records, false);
+    println!("{}", baseline.table());
+    let maintained = e23_run(records, true);
+    println!("{}", maintained.table());
+
+    let out: PathBuf = std::env::var("E23_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_e23.json"));
+    std::fs::write(&out, e23_json(&[baseline, maintained.clone()])).expect("write BENCH_e23.json");
+    println!("wrote {}", out.display());
+
+    if std::env::var("E23_ASSERT").as_deref() == Ok("1") {
+        let early = &maintained.checkpoints[0]; // the 10%-of-ingest sample
+        let end = maintained.checkpoints.last().expect("checkpoints exist");
+        assert!(
+            end.read_p99_us <= 2.0 * early.read_p99_us + 50.0,
+            "maintenance run degraded: end p99 {:.1}us vs early p99 {:.1}us",
+            end.read_p99_us,
+            early.read_p99_us,
+        );
+        assert!(
+            maintained.space_amp <= 1.5,
+            "space amplification {:.2}x exceeds 1.5x",
+            maintained.space_amp,
+        );
+        println!(
+            "e23 smoke ok: early p99 {:.1}us, end p99 {:.1}us, space amp {:.2}x",
+            early.read_p99_us, end.read_p99_us, maintained.space_amp,
+        );
+    }
+}

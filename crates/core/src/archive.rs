@@ -65,3 +65,16 @@ impl ImportStats {
         self.tuple_sets_added + self.records_added + self.data_restored + self.annotations_merged
     }
 }
+
+/// Result of one [`crate::Pass::age_data`] sweep: cold readings exported
+/// for archival and removed locally. The provenance records stay behind
+/// and keep answering queries (PASS property 4); an archive that holds
+/// the export can restore the readings later via
+/// [`crate::Pass::import_archive`].
+#[derive(Debug, Default)]
+pub struct AgeReport {
+    /// Tuple sets whose readings were exported and removed locally.
+    pub aged: usize,
+    /// The exported cold tuple sets (provenance + readings).
+    pub export: ArchiveExport,
+}

@@ -58,11 +58,12 @@ pub mod config;
 pub mod error;
 pub mod keyspace;
 pub mod pass;
+mod pins;
 pub mod shard;
 pub mod subscribe;
 
-pub use archive::{ArchiveExport, ImportStats};
-pub use config::{Backend, ClosureStrategy, PassConfig};
+pub use archive::{AgeReport, ArchiveExport, ImportStats};
+pub use config::{Backend, ClosureStrategy, MaintenanceConfig, PassConfig};
 pub use error::{PassError, Result};
 pub use pass::{ConsistencyReport, Pass, PassStats, Snapshot};
 pub use subscribe::{Event, Subscription, DEFAULT_SUBSCRIPTION_CAPACITY};

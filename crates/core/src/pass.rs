@@ -62,10 +62,11 @@
 //! store. `shards = 1` (the default) *is* the single-lock store, same
 //! on-disk layout byte for byte.
 
-use crate::archive::{ArchiveExport, ImportStats};
+use crate::archive::{AgeReport, ArchiveExport, ImportStats};
 use crate::config::{Backend, ClosureStrategy, PassConfig};
 use crate::error::{PassError, Result};
 use crate::keyspace;
+use crate::pins::{PinGuard, PinRegistry};
 use crate::shard::{self, Sharding};
 use crate::subscribe::{Hub, Subscription, WatchState, DEFAULT_SUBSCRIPTION_CAPACITY};
 use parking_lot::{Mutex, RwLock};
@@ -79,7 +80,10 @@ use pass_model::{
     TimeRange, Timestamp, ToolDescriptor, TupleSet, TupleSetId, Value,
 };
 use pass_query::{Cursor, LineageClause, PreparedQuery, Provider, Query, QueryEngine, QueryResult};
-use pass_storage::{KvStore, WriteBatch};
+use pass_storage::{
+    spawn_engine_worker, spawn_task_worker, KvStore, MaintenanceHandle, MaintenanceOptions,
+    WriteBatch,
+};
 use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -346,12 +350,23 @@ pub struct Pass {
     /// costs a short critical section, not commit-wide serialization.
     publish_order: Mutex<()>,
     closure: Arc<Mutex<ClosureCache>>,
-    version: AtomicU64,
+    /// Global commit version. Shared (`Arc`) because disk engines hold a
+    /// clone as their seal clock: every SSTable flush is stamped with
+    /// the version it was sealed at, which is what lets background
+    /// compaction compare tables against the snapshot pin floor.
+    version: Arc<AtomicU64>,
+    /// Commit versions still pinned by live snapshots/subscriptions —
+    /// the read-side state the storage GC consults (see [`crate::pins`]).
+    pins: Arc<PinRegistry>,
     metrics: Metrics,
     /// Live-subscription registry. Commits broadcast a per-commit
     /// changelog through it — one relaxed atomic load when nobody is
     /// subscribed (see [`crate::subscribe`]).
     hub: Arc<Hub>,
+    /// Background maintenance workers (one per disk shard when
+    /// [`crate::config::MaintenanceConfig::enabled`]); dropped — and
+    /// therefore joined — when the store drops.
+    maintenance: Vec<MaintenanceHandle>,
 }
 
 impl std::fmt::Debug for Pass {
@@ -365,14 +380,39 @@ impl std::fmt::Debug for Pass {
 
 impl Pass {
     /// Opens a store per `config`, rebuilding in-memory indexes from the
-    /// backend's contents.
+    /// backend's contents. Disk engines get the global commit version as
+    /// their seal clock, and — when maintenance is enabled — one
+    /// background compaction worker per shard, wired to the snapshot pin
+    /// floor for version GC.
     pub fn open(config: PassConfig) -> Result<Pass> {
         let requested = config.shards.max(1);
-        let (store, sharding) = match &config.backend {
-            Backend::Memory => shard::open_memory(requested)?,
-            Backend::Disk { dir, options } => shard::open_disk(dir, options, requested)?,
+        let version = Arc::new(AtomicU64::new(1));
+        let pins = Arc::new(PinRegistry::default());
+        let (store, sharding, engines) = match &config.backend {
+            Backend::Memory => {
+                let (store, sharding) = shard::open_memory(requested)?;
+                (store, sharding, Vec::new())
+            }
+            Backend::Disk { dir, options } => {
+                let mut options = options.clone();
+                options.seal_clock = Some(Arc::clone(&version));
+                shard::open_disk(dir, &options, requested)?
+            }
         };
-        Pass::open_internal(store, sharding, config)
+        let mut maintenance = Vec::new();
+        if config.maintenance.enabled {
+            for engine in &engines {
+                let registry = Arc::clone(&pins);
+                maintenance.push(spawn_engine_worker(
+                    Arc::clone(engine),
+                    MaintenanceOptions {
+                        tick: config.maintenance.tick,
+                        pin_floor: Some(Arc::new(move || registry.floor())),
+                    },
+                ));
+            }
+        }
+        Pass::open_internal(store, sharding, config, version, pins, maintenance)
     }
 
     /// Opens a store over a caller-supplied storage engine. This is the
@@ -382,7 +422,14 @@ impl Pass {
     /// layout `Pass::open` builds, not a property an arbitrary engine
     /// has.
     pub fn open_with_store(store: Arc<dyn KvStore>, config: PassConfig) -> Result<Pass> {
-        Pass::open_internal(store, Sharding::single(), config)
+        Pass::open_internal(
+            store,
+            Sharding::single(),
+            config,
+            Arc::new(AtomicU64::new(1)),
+            Arc::new(PinRegistry::default()),
+            Vec::new(),
+        )
     }
 
     /// Lock order: constructor — creates the `publish_order` mutex and
@@ -391,6 +438,9 @@ impl Pass {
         store: Arc<dyn KvStore>,
         sharding: Sharding,
         config: PassConfig,
+        version: Arc<AtomicU64>,
+        pins: Arc<PinRegistry>,
+        maintenance: Vec<MaintenanceHandle>,
     ) -> Result<Pass> {
         let pass = Pass {
             config,
@@ -399,9 +449,11 @@ impl Pass {
             sharding,
             publish_order: Mutex::new(()),
             closure: Arc::new(Mutex::new(ClosureCache { built: BuiltClosure::None, version: 0 })),
-            version: AtomicU64::new(1),
+            version,
+            pins,
             metrics: Metrics::default(),
             hub: Arc::new(Hub::default()),
+            maintenance,
         };
         pass.rebuild_indexes()?;
         Ok(pass)
@@ -488,16 +540,20 @@ impl Pass {
 
     // -- Snapshot reads ------------------------------------------------
 
-    /// An O(1), lock-free, repeatable-read view of the store. The
-    /// snapshot implements the query [`Provider`] and [`QueryEngine`]
-    /// traits and keeps answering consistently while ingest proceeds; it
-    /// holds the index state alive until dropped (writers then pay one
-    /// copy-on-write clone on their next commit).
+    /// An O(1), repeatable-read view of the store. The snapshot
+    /// implements the query [`Provider`] and [`QueryEngine`] traits and
+    /// keeps answering consistently while ingest proceeds; it holds the
+    /// index state alive until dropped (writers then pay one
+    /// copy-on-write clone on their next commit). It also pins its
+    /// commit version in the GC registry, so background compaction
+    /// keeps every storage version the snapshot can still read.
     pub fn snapshot(&self) -> Snapshot {
         let state = self.state.read().clone();
+        let pin = self.pins.pin(state.version);
         Snapshot {
             version: state.version,
             state,
+            _pin: pin,
             store: Arc::clone(&self.store),
             closure: Arc::clone(&self.closure),
             strategy: self.config.closure,
@@ -1130,6 +1186,10 @@ impl Pass {
                 return Err(e);
             }
         };
+        // The subscription outlives the snapshot it was armed from, so
+        // it takes its own pin on the same version: storage GC must not
+        // reclaim versions the tail consumer may still read through.
+        let pin = self.pins.pin(snapshot.version());
         Ok(Subscription::new(
             Arc::clone(&self.hub),
             channel,
@@ -1137,6 +1197,7 @@ impl Pass {
             snapshot.version(),
             query.filter.clone(),
             watch,
+            pin,
         ))
     }
 
@@ -1177,6 +1238,95 @@ impl Pass {
             batches: self.metrics.batches.load(Ordering::Relaxed),
             queries: self.metrics.queries.load(Ordering::Relaxed),
         }
+    }
+
+    /// The oldest commit version still pinned by a live snapshot or
+    /// subscription, or `None` when nothing is pinned. This is the GC
+    /// floor the background maintenance workers consult: tombstones in
+    /// SSTables sealed after it are retained by compaction.
+    pub fn pin_floor(&self) -> Option<u64> {
+        self.pins.floor()
+    }
+
+    /// Nudges every background maintenance worker outside its tick
+    /// (tests, or a caller that just deleted a lot of data).
+    pub fn wake_maintenance(&self) {
+        for worker in &self.maintenance {
+            worker.wake();
+        }
+    }
+
+    /// Total background maintenance errors across all shard workers.
+    /// Maintenance failure never fails a commit; poll this to surface
+    /// trouble.
+    pub fn maintenance_errors(&self) -> u64 {
+        self.maintenance.iter().map(|w| w.errors()).sum()
+    }
+
+    /// Ages cold readings out of local storage: every record created
+    /// before `older_than` whose data is still present has its readings
+    /// exported and then removed (PASS property 4 — the provenance
+    /// record stays and keeps answering queries). The returned
+    /// [`AgeReport`] carries the export; feeding it to another
+    /// installation's [`Pass::import_archive`] makes aging a *move* into
+    /// a long-term archive rather than a loss, and re-importing it here
+    /// restores the readings.
+    pub fn age_data(&self, older_than: Timestamp) -> Result<AgeReport> {
+        let victims: Vec<(TupleSetId, Vec<Reading>)> = {
+            let snapshot = self.snapshot();
+            let mut cold = Vec::new();
+            for record in snapshot.state.records.values() {
+                if record.created_at < older_than
+                    && snapshot.state.data_present.contains(&record.id)
+                {
+                    if let Some(readings) = snapshot.get_data(record.id)? {
+                        cold.push((record.id, readings));
+                    }
+                }
+            }
+            cold
+            // Snapshot (and its GC pin) drops here, before the removals
+            // below start generating garbage versions.
+        };
+        let mut export = ArchiveExport::default();
+        let mut aged = 0;
+        for (id, readings) in victims {
+            // Re-check under the commit path: a concurrent remove_data
+            // already did the work, and records can never un-exist.
+            if self.remove_data(id)? {
+                let Some(record) = self.get_record(id) else { continue };
+                export.tuple_sets.push(TupleSet::new_unchecked(record, readings));
+                aged += 1;
+            }
+        }
+        export.tuple_sets.sort_by_key(|t| t.provenance.id);
+        Ok(AgeReport { aged, export })
+    }
+
+    /// Spawns a background worker that periodically ages cold readings
+    /// (see [`Pass::age_data`]): every `tick` it computes `cutoff()` and
+    /// hands the resulting non-empty exports to `sink` — typically an
+    /// uplink that ships them to an archive installation. The worker
+    /// holds only a weak reference, so it never keeps the store alive;
+    /// it idles once the `Pass` drops and stops when the returned handle
+    /// drops.
+    pub fn spawn_aging(
+        self: &Arc<Self>,
+        tick: std::time::Duration,
+        cutoff: impl Fn() -> Timestamp + Send + 'static,
+        mut sink: impl FnMut(ArchiveExport) + Send + 'static,
+    ) -> MaintenanceHandle {
+        let weak = Arc::downgrade(self);
+        spawn_task_worker("pass-aging", tick, move || {
+            let Some(pass) = weak.upgrade() else { return };
+            // A failed sweep (e.g. storage error mid-removal) is retried
+            // on the next tick; aging is idempotent over what remains.
+            if let Ok(report) = pass.age_data(cutoff()) {
+                if !report.export.is_empty() {
+                    sink(report.export);
+                }
+            }
+        })
     }
 
     /// Audits storage against the invariants (see [`ConsistencyReport`]).
@@ -1238,9 +1388,10 @@ struct SnapshotCounters {
     queries: u64,
 }
 
-/// An immutable, lock-free view of a [`Pass`] at one version.
+/// An immutable view of a [`Pass`] at one version.
 ///
-/// Obtained from [`Pass::snapshot`] (an O(1) `Arc` clone). Implements
+/// Obtained from [`Pass::snapshot`] (an O(1) `Arc` clone plus one pin
+/// registration — see below; reads themselves take no locks). Implements
 /// the query [`Provider`] and [`QueryEngine`] traits, so the executor —
 /// and any caller — gets repeatable reads: every lookup answers from the
 /// same index state no matter how much ingest has happened since, and
@@ -1255,6 +1406,12 @@ struct SnapshotCounters {
 /// versioned; [`Snapshot::has_data`] answers from the pinned index
 /// state, so after a concurrent [`Pass::remove_data`] the two can
 /// briefly disagree.
+///
+/// While the snapshot lives it also pins its commit version for the
+/// storage GC: background compaction will not drop tombstones from
+/// SSTables sealed after the oldest pinned version, so the shared
+/// storage caveat above never extends to *resurrecting* data the
+/// snapshot should not see.
 pub struct Snapshot {
     state: Arc<State>,
     store: Arc<dyn KvStore>,
@@ -1262,6 +1419,8 @@ pub struct Snapshot {
     strategy: ClosureStrategy,
     version: u64,
     counters: SnapshotCounters,
+    /// Keeps `version` in the GC pin registry until the snapshot drops.
+    _pin: PinGuard,
 }
 
 impl std::fmt::Debug for Snapshot {

@@ -1,0 +1,73 @@
+//! Version pin registry: which commit versions live readers still hold.
+//!
+//! Snapshots and subscriptions pin the version they were opened at; the
+//! storage maintenance worker reads the *floor* (the oldest pinned
+//! version) before every compaction and only drops tombstones from
+//! SSTables sealed at or below it. The registry is the one piece of
+//! read-side state the background GC consults, so it must be cheap:
+//! pin/unpin are one short mutex section over a `BTreeMap`, and the
+//! floor is its first key.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Reference-counted set of pinned commit versions.
+#[derive(Default)]
+pub(crate) struct PinRegistry {
+    /// version → number of live readers pinning it.
+    pins: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl PinRegistry {
+    /// Pins `version` until the returned guard drops.
+    pub(crate) fn pin(self: &Arc<Self>, version: u64) -> PinGuard {
+        *self.pins.lock().entry(version).or_insert(0) += 1;
+        PinGuard { registry: Arc::clone(self), version }
+    }
+
+    /// The oldest pinned version, or `None` when nothing is pinned
+    /// (everything below the current commit version is reclaimable).
+    pub(crate) fn floor(&self) -> Option<u64> {
+        self.pins.lock().keys().next().copied()
+    }
+}
+
+/// Keeps one version pinned; dropping it releases the pin.
+pub(crate) struct PinGuard {
+    registry: Arc<PinRegistry>,
+    version: u64,
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        let mut pins = self.registry.pins.lock();
+        if let Some(count) = pins.get_mut(&self.version) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                pins.remove(&self.version);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_tracks_oldest_live_pin() {
+        let reg = Arc::new(PinRegistry::default());
+        assert_eq!(reg.floor(), None);
+        let old = reg.pin(5);
+        let newer = reg.pin(9);
+        let also_old = reg.pin(5);
+        assert_eq!(reg.floor(), Some(5));
+        drop(old);
+        assert_eq!(reg.floor(), Some(5), "second reader still pins 5");
+        drop(also_old);
+        assert_eq!(reg.floor(), Some(9));
+        drop(newer);
+        assert_eq!(reg.floor(), None);
+    }
+}

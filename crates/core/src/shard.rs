@@ -126,20 +126,24 @@ impl Sharding {
     }
 }
 
+/// What `open_disk` hands back: the routed store, the shard structure,
+/// and the typed engine handles (one per shard) so `Pass::open` can
+/// attach a maintenance worker to each.
+pub(crate) type DiskBackend = (Arc<dyn KvStore>, Sharding, Vec<Arc<LsmEngine>>);
+
 /// Opens the disk backend honoring the sharding layout rules: the
 /// persisted layout (a `SHARDS` file, or a pre-sharding single-engine
 /// directory) wins over `requested`; only a fresh directory adopts the
-/// requested count. Returns the routed store and the shard structure.
+/// requested count.
 pub(crate) fn open_disk(
     dir: &Path,
     options: &EngineOptions,
     requested: usize,
-) -> Result<(Arc<dyn KvStore>, Sharding)> {
+) -> Result<DiskBackend> {
     let effective = effective_shards(dir, requested)?;
     if effective == 1 {
-        let engine: Arc<dyn KvStore> =
-            Arc::new(LsmEngine::open(dir.to_path_buf(), options.clone())?);
-        return Ok((engine, Sharding::single()));
+        let engine = Arc::new(LsmEngine::open(dir.to_path_buf(), options.clone())?);
+        return Ok((Arc::clone(&engine) as Arc<dyn KvStore>, Sharding::single(), vec![engine]));
     }
     std::fs::create_dir_all(dir)
         .map_err(|e| StorageError::io(format!("creating store dir {}", dir.display()), e))?;
@@ -148,16 +152,19 @@ pub(crate) fn open_disk(
         std::fs::write(&marker, format!("{effective}\n"))
             .map_err(|e| StorageError::io("writing SHARDS marker", e))?;
     }
+    let mut typed: Vec<Arc<LsmEngine>> = Vec::with_capacity(effective);
     let mut engines: Vec<Arc<dyn KvStore>> = Vec::with_capacity(effective);
     for i in 0..effective {
         let shard_dir = dir.join(format!("shard-{i:02}"));
-        engines.push(Arc::new(LsmEngine::open(shard_dir, options.clone())?));
+        let engine = Arc::new(LsmEngine::open(shard_dir, options.clone())?);
+        engines.push(Arc::clone(&engine) as Arc<dyn KvStore>);
+        typed.push(engine);
     }
     let router: pass_storage::ShardRouter =
         Box::new(move |key: &[u8]| keyspace::shard_of_key(key, effective));
     let sharded =
         Arc::new(ShardedStore::open(engines, router, Some(dir.join(XLOG_FILE)), options.sync)?);
-    Ok((Arc::clone(&sharded) as Arc<dyn KvStore>, Sharding::over(sharded)))
+    Ok((Arc::clone(&sharded) as Arc<dyn KvStore>, Sharding::over(sharded), typed))
 }
 
 /// Opens the memory backend with `requested` shards (no layout to
@@ -190,8 +197,12 @@ fn effective_shards(dir: &Path, requested: usize) -> Result<usize> {
         }
         return Ok(n);
     }
-    // A pre-sharding store has its engine rooted at `dir` directly.
-    if dir.join("MANIFEST").exists() || dir.join("wal.log").exists() {
+    // A pre-sharding store has its engine rooted at `dir` directly —
+    // recognizable by its manifest log, a legacy `MANIFEST`, or a WAL.
+    if dir.join("MANIFEST.log").exists()
+        || dir.join("MANIFEST").exists()
+        || dir.join("wal.log").exists()
+    {
         return Ok(1);
     }
     Ok(requested.max(1))

@@ -358,6 +358,9 @@ pub struct Subscription {
     watch: Option<WatchState>,
     /// Matches decoded from absorbed changelogs, not yet delivered.
     pending: VecDeque<ProvenanceRecord>,
+    /// Pins `from_version` in the storage-GC registry for the life of
+    /// the subscription (see [`crate::pins`]).
+    _pin: crate::pins::PinGuard,
 }
 
 impl std::fmt::Debug for Subscription {
@@ -377,6 +380,7 @@ impl Subscription {
         from_version: u64,
         filter: Predicate,
         watch: Option<WatchState>,
+        pin: crate::pins::PinGuard,
     ) -> Subscription {
         Subscription {
             hub,
@@ -387,6 +391,7 @@ impl Subscription {
             filter,
             watch,
             pending: VecDeque::new(),
+            _pin: pin,
         }
     }
 

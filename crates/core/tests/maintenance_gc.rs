@@ -1,0 +1,196 @@
+//! Background maintenance through the `Pass` API: compaction keeps the
+//! on-disk table set bounded under sustained ingest, snapshot and
+//! subscription pins hold the storage-GC floor down while they live,
+//! and tiered aging moves cold readings into an archive export without
+//! losing their provenance (PASS property 4).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code asserts by panicking
+
+use pass_core::{Backend, Pass, PassConfig};
+use pass_model::{Attributes, Reading, SensorId, SiteId, Timestamp};
+use pass_storage::tempdir::TempDir;
+use pass_storage::EngineOptions;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Disk config with a tiny memtable so every few records seal a table,
+/// and background maintenance on a fast tick.
+fn churn_config(dir: &Path) -> PassConfig {
+    let options = EngineOptions { memtable_bytes: 2 << 10, ..EngineOptions::default() };
+    let mut config = PassConfig {
+        backend: Backend::Disk { dir: dir.to_path_buf(), options },
+        ..PassConfig::memory(SiteId(3))
+    };
+    config.maintenance.tick = Duration::from_millis(20);
+    config.with_maintenance()
+}
+
+fn capture_round(pass: &Pass, round: u64, count: u64) {
+    let batch = (0..count).map(|i| {
+        let at = Timestamp(round * 10_000 + i);
+        let readings = vec![Reading::new(SensorId(1), at).with("v", (round * count + i) as i64)];
+        let attrs = Attributes::new().with("round", round as i64).with("i", i as i64);
+        (attrs, readings, at)
+    });
+    pass.capture_batch(batch).unwrap();
+}
+
+fn sst_count(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().ends_with(".sst"))
+        .count()
+}
+
+/// Sustained ingest with the worker on: the live table count stays
+/// bounded (tiered merges run between commits), every record stays
+/// readable, and no background errors accumulate.
+#[test]
+fn maintenance_bounds_tables_under_sustained_ingest() {
+    let dir = TempDir::new("maint-bounds");
+    let pass = Pass::open(churn_config(dir.path())).unwrap();
+    for round in 0..12 {
+        capture_round(&pass, round, 40);
+        pass.flush().unwrap();
+    }
+    pass.wake_maintenance();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while sst_count(dir.path()) > 8 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(sst_count(dir.path()) <= 8, "worker keeps the table set bounded");
+    assert_eq!(pass.maintenance_errors(), 0);
+    assert_eq!(pass.len(), 12 * 40, "every captured record still present");
+    let snap = pass.snapshot();
+    for id in pass.ids() {
+        assert!(snap.get_tuple_set(id).unwrap().is_some(), "readings survive compaction");
+    }
+}
+
+/// Snapshots and subscriptions pin the GC floor at their version; the
+/// floor rises only as the oldest pin drops.
+#[test]
+fn pin_floor_tracks_snapshots_and_subscriptions() {
+    let dir = TempDir::new("maint-pins");
+    let pass = Pass::open(churn_config(dir.path())).unwrap();
+    assert_eq!(pass.pin_floor(), None, "fresh store has no pinned readers");
+
+    capture_round(&pass, 0, 10);
+    let snap = pass.snapshot();
+    capture_round(&pass, 1, 10);
+    let sub = pass.subscribe_text("SUBSCRIBE FIND").unwrap();
+    capture_round(&pass, 2, 10);
+
+    let floor = pass.pin_floor().expect("two live pins");
+    assert_eq!(floor, snap.version(), "oldest pin wins");
+    assert!(floor < pass.snapshot().version(), "ingest moved past the pinned version");
+
+    drop(snap);
+    let floor = pass.pin_floor().expect("subscription still pinned");
+    assert!(floor > 0);
+    drop(sub);
+    // Only the probe snapshots above ever pinned anything else, and
+    // they were temporaries: the registry must drain to empty.
+    assert_eq!(pass.pin_floor(), None, "all pins released");
+}
+
+/// A snapshot opened before heavy ingest keeps answering from its
+/// version while the worker compacts behind it — repeatable reads under
+/// background churn.
+#[test]
+fn snapshot_reads_stay_repeatable_while_maintenance_churns() {
+    let dir = TempDir::new("maint-repeatable");
+    let pass = Pass::open(churn_config(dir.path())).unwrap();
+    capture_round(&pass, 0, 25);
+    let snap = pass.snapshot();
+    let seen: Vec<_> = pass.ids();
+    assert_eq!(snap.len(), 25);
+
+    for round in 1..10 {
+        capture_round(&pass, round, 40);
+        pass.flush().unwrap();
+        pass.wake_maintenance();
+    }
+    // The snapshot still answers exactly its edition...
+    assert_eq!(snap.len(), 25, "snapshot does not see later ingest");
+    for id in &seen {
+        assert!(snap.get_tuple_set(*id).unwrap().is_some(), "pinned reads stay whole");
+    }
+    // ...while the live store moved on.
+    assert_eq!(pass.len(), 25 + 9 * 40);
+    assert_eq!(pass.maintenance_errors(), 0);
+    drop(snap);
+    assert_eq!(pass.pin_floor(), None);
+}
+
+/// `age_data` implements tiered aging: readings created before the
+/// cutoff are exported and removed, their provenance records stay
+/// queryable, and importing the export restores the readings — aging is
+/// a move, not a loss.
+#[test]
+fn age_data_moves_cold_readings_into_a_restorable_export() {
+    let dir = TempDir::new("maint-age");
+    let pass = Pass::open(churn_config(dir.path())).unwrap();
+    let cold = pass
+        .capture(Attributes::new().with("era", "cold"), vec![reading(100)], Timestamp(100))
+        .unwrap();
+    let warm = pass
+        .capture(Attributes::new().with("era", "warm"), vec![reading(900)], Timestamp(900))
+        .unwrap();
+
+    let report = pass.age_data(Timestamp(500)).unwrap();
+    assert_eq!(report.aged, 1);
+    assert_eq!(report.export.tuple_sets.len(), 1);
+    assert_eq!(report.export.tuple_sets[0].provenance.id, cold);
+
+    // PASS property 4: the record outlives its data.
+    assert!(pass.contains(cold), "provenance survives aging");
+    assert!(!pass.has_data(cold), "cold readings left the hot store");
+    assert!(pass.has_data(warm), "records past the cutoff are untouched");
+    assert_eq!(pass.query_text(r#"FIND WHERE era = "cold""#).unwrap().ids(), vec![cold]);
+
+    // Aging again is a no-op: the data is already gone.
+    assert_eq!(pass.age_data(Timestamp(500)).unwrap().aged, 0);
+
+    // The export restores the readings — round trip complete.
+    let stats = pass.import_archive(&report.export).unwrap();
+    assert_eq!(stats.data_restored, 1);
+    assert!(pass.has_data(cold));
+    assert!(pass.get_tuple_set(cold).unwrap().is_some());
+}
+
+/// The aging worker sweeps on its own tick and hands exports to the
+/// sink; it holds only a weak reference and stops with its handle.
+#[test]
+fn spawn_aging_sweeps_in_the_background() {
+    use std::sync::{Arc, Mutex};
+
+    let dir = TempDir::new("maint-age-worker");
+    let pass = Arc::new(Pass::open(churn_config(dir.path())).unwrap());
+    let cold = pass
+        .capture(Attributes::new().with("era", "old"), vec![reading(10)], Timestamp(10))
+        .unwrap();
+
+    let shipped: Arc<Mutex<Vec<pass_core::ArchiveExport>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&shipped);
+    let worker = pass.spawn_aging(
+        Duration::from_millis(10),
+        || Timestamp(500),
+        move |export| sink.lock().unwrap().push(export),
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while shipped.lock().unwrap().is_empty() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    worker.shutdown();
+
+    let shipped = shipped.lock().unwrap();
+    assert_eq!(shipped.len(), 1, "one sweep shipped the cold set, later sweeps found nothing");
+    assert_eq!(shipped[0].tuple_sets[0].provenance.id, cold);
+    assert!(pass.contains(cold) && !pass.has_data(cold));
+}
+
+fn reading(at: u64) -> Reading {
+    Reading::new(SensorId(2), Timestamp(at)).with("v", at as i64)
+}

@@ -1,33 +1,43 @@
 //! The durable log-structured engine.
 //!
-//! A classic single-writer LSM shape, kept deliberately synchronous so
-//! tests and crash-injection sweeps are deterministic:
+//! A classic LSM shape, kept deliberately synchronous on the write path
+//! so tests and crash-injection sweeps are deterministic:
 //!
 //! * writes append a batch to the WAL, then apply to the memtable;
 //! * a full memtable flushes to a new SSTable and resets the WAL;
-//! * when enough tables accumulate, a full merge compacts them into one,
-//!   dropping tombstones;
-//! * the `MANIFEST` file (written via temp-file + rename, which POSIX
-//!   makes atomic) names the live tables, so a crash mid-flush or
-//!   mid-compaction leaves only garbage files that the next open deletes.
+//! * the live table set is owned by the crash-safe manifest log
+//!   ([`crate::manifest`]): flushes and compactions commit by appending
+//!   an edit, so a crash leaves either the old or the new edition —
+//!   never a mix — and files the manifest does not name are debris the
+//!   next open deletes;
+//! * compaction runs either inline (no worker attached: a full merge
+//!   once [`EngineOptions::compact_at`] tables accumulate, preserving
+//!   the original single-writer behavior) or in the background through
+//!   [`LsmEngine::maybe_compact`], which follows the tiered
+//!   [`CompactionPolicy`] and merges *outside* the write lock;
+//! * point reads and range scans go through the shared
+//!   [`BlockCache`] when [`EngineOptions::cache`] is set.
 //!
-//! Recovery order on open: read manifest → open listed tables → delete
-//! unlisted table files → replay the WAL's valid prefix into the memtable.
+//! Recovery order on open: replay manifest → open listed tables →
+//! delete unlisted table files → replay the WAL's valid prefix into the
+//! memtable.
 
-use crate::batch::{put_varint, take_u32_le, take_varint, WriteBatch};
-use crate::crc::crc32c;
+use crate::batch::WriteBatch;
+use crate::cache::BlockCache;
+use crate::compaction::{self, CompactionPolicy, TableInfo};
 use crate::error::{Result, StorageError};
 use crate::iter::{MergeIter, Source};
 use crate::kv::KvStore;
+use crate::maintenance::Signal;
+use crate::manifest::{Manifest, ManifestEdit, TableMeta};
 use crate::memtable::MemTable;
-use crate::sstable::{SsTable, TableBuilder, TableOptions};
+use crate::sstable::{SsTable, TableOptions};
 use crate::wal::{self, SyncPolicy, Wal};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-const MANIFEST: &str = "MANIFEST";
-const MANIFEST_TMP: &str = "MANIFEST.tmp";
 const WAL_FILE: &str = "wal.log";
 
 /// Engine tuning.
@@ -39,8 +49,18 @@ pub struct EngineOptions {
     pub table: TableOptions,
     /// WAL durability policy.
     pub sync: SyncPolicy,
-    /// Run a full compaction once this many tables are live.
+    /// Inline fallback: run a full compaction once this many tables are
+    /// live. Only fires when no maintenance worker is attached.
     pub compact_at: usize,
+    /// Tiered policy driving [`LsmEngine::maybe_compact`].
+    pub compaction: CompactionPolicy,
+    /// Shared cache for decoded data blocks; `None` ⇒ uncached reads.
+    /// Share one [`Arc`] across shard engines to give them one budget.
+    pub cache: Option<Arc<BlockCache>>,
+    /// External version clock stamped onto tables at flush
+    /// (`seal_version`). `pass-core` wires its commit version in so
+    /// compaction can compare tables against the snapshot pin floor.
+    pub seal_clock: Option<Arc<AtomicU64>>,
 }
 
 impl Default for EngineOptions {
@@ -50,7 +70,18 @@ impl Default for EngineOptions {
             table: TableOptions::default(),
             sync: SyncPolicy::OnWrite,
             compact_at: 8,
+            compaction: CompactionPolicy::default(),
+            cache: None,
+            seal_clock: None,
         }
+    }
+}
+
+impl EngineOptions {
+    /// Convenience: attach a fresh block cache of `bytes` capacity.
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache = Some(Arc::new(BlockCache::new(bytes)));
+        self
     }
 }
 
@@ -65,12 +96,24 @@ pub struct EngineStats {
     pub num_tables: usize,
     /// Entries across live SSTables (tombstones included).
     pub table_entries: u64,
+    /// On-disk bytes across live SSTables.
+    pub live_table_bytes: u64,
     /// Flushes performed since open.
     pub flushes: u64,
     /// Compactions performed since open.
     pub compactions: u64,
+    /// Block-cache hits (shared cache totals when engines share one).
+    pub cache_hits: u64,
+    /// Block-cache misses.
+    pub cache_misses: u64,
     /// True when the last open found (and discarded) a torn WAL tail.
     pub recovered_torn_tail: bool,
+}
+
+/// One live table plus its manifest bookkeeping.
+struct TableHandle {
+    table: Arc<SsTable>,
+    meta: TableMeta,
 }
 
 struct Inner {
@@ -78,17 +121,30 @@ struct Inner {
     opts: EngineOptions,
     wal: Wal,
     mem: MemTable,
-    /// Live tables, newest first.
-    tables: Vec<Arc<SsTable>>,
+    /// Live tables, newest first (mirrors the manifest order).
+    tables: Vec<TableHandle>,
+    manifest: Manifest,
     next_id: u64,
     flushes: u64,
     compactions: u64,
     recovered_torn_tail: bool,
+    /// When set, flushes poke the maintenance worker instead of
+    /// compacting inline.
+    flush_signal: Option<Arc<Signal>>,
+}
+
+impl Inner {
+    fn metas(&self) -> Vec<TableMeta> {
+        self.tables.iter().map(|h| h.meta).collect()
+    }
 }
 
 /// A durable [`KvStore`] rooted at a directory.
 pub struct LsmEngine {
     inner: RwLock<Inner>,
+    /// Serializes compactions (background worker vs forced) so at most
+    /// one merge is in flight per engine.
+    compact_lock: Mutex<()>,
 }
 
 impl std::fmt::Debug for LsmEngine {
@@ -108,28 +164,23 @@ impl LsmEngine {
         std::fs::create_dir_all(&dir)
             .map_err(|e| StorageError::io(format!("creating engine dir {}", dir.display()), e))?;
 
-        let live_ids = read_manifest(&dir)?;
+        // One directory listing serves the manifest's corruption
+        // heuristic and the debris sweep below.
+        let on_disk = list_table_files(&dir)?;
+        let (manifest, mstate) = Manifest::open(&dir, !on_disk.is_empty())?;
 
-        // Open listed tables (newest = highest id first).
-        let mut ids = live_ids.clone();
-        ids.sort_unstable_by(|a, b| b.cmp(a));
-        let mut tables = Vec::with_capacity(ids.len());
-        for id in &ids {
-            tables.push(Arc::new(SsTable::open(table_path(&dir, *id))?));
+        let mut tables = Vec::with_capacity(mstate.tables.len());
+        for meta in &mstate.tables {
+            let table = SsTable::open_with_cache(table_path(&dir, meta.id), opts.cache.clone())?;
+            tables.push(TableHandle { table: Arc::new(table), meta: *meta });
         }
 
-        // Remove table files the manifest does not know about (debris from
-        // a crash mid-flush/compaction).
-        for entry in
-            std::fs::read_dir(&dir).map_err(|e| StorageError::io("listing engine dir", e))?
-        {
-            let entry = entry.map_err(|e| StorageError::io("listing engine dir", e))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if let Some(id) = parse_table_name(name) {
-                if !live_ids.contains(&id) {
-                    let _ = std::fs::remove_file(entry.path());
-                }
+        // Remove table files the manifest does not know about: debris
+        // from a crash mid-flush (never registered) or mid-compaction
+        // cleanup (already replaced).
+        for (id, path) in &on_disk {
+            if !mstate.tables.iter().any(|t| t.id == *id) {
+                let _ = std::fs::remove_file(path);
             }
         }
 
@@ -151,7 +202,6 @@ impl LsmEngine {
             Wal::create(&wal_path, opts.sync)?
         };
 
-        let next_id = live_ids.iter().copied().max().map_or(0, |m| m + 1);
         Ok(LsmEngine {
             inner: RwLock::new(Inner {
                 dir,
@@ -159,11 +209,14 @@ impl LsmEngine {
                 wal,
                 mem,
                 tables,
-                next_id,
+                manifest,
+                next_id: mstate.next_id,
                 flushes: 0,
                 compactions: 0,
-                recovered_torn_tail: recovery.torn_tail,
+                recovered_torn_tail: recovery.torn_tail || mstate.recovered_torn_tail,
+                flush_signal: None,
             }),
+            compact_lock: Mutex::new(()),
         })
     }
 
@@ -175,13 +228,17 @@ impl LsmEngine {
     /// Current counters.
     pub fn stats(&self) -> EngineStats {
         let inner = self.inner.read();
+        let cache = inner.opts.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
         EngineStats {
             memtable_bytes: inner.mem.approx_bytes(),
             memtable_entries: inner.mem.len(),
             num_tables: inner.tables.len(),
-            table_entries: inner.tables.iter().map(|t| t.entry_count()).sum(),
+            table_entries: inner.tables.iter().map(|h| h.table.entry_count()).sum(),
+            live_table_bytes: inner.tables.iter().map(|h| h.table.file_len()).sum(),
             flushes: inner.flushes,
             compactions: inner.compactions,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
             recovered_torn_tail: inner.recovered_torn_tail,
         }
     }
@@ -192,10 +249,135 @@ impl LsmEngine {
         flush_locked(&mut inner)
     }
 
-    /// Forces a full compaction (normally triggered by table count).
+    /// Forces a full compaction into one table, dropping tombstones
+    /// (normally compaction is tiered and pin-gated; this is the
+    /// explicit everything-now variant for tests and tools).
     pub fn force_compact(&self) -> Result<()> {
+        let _serialize = self.compact_lock.lock();
         let mut inner = self.inner.write();
-        compact_locked(&mut inner)
+        compact_all_locked(&mut inner, None)
+    }
+
+    /// Attaches (or with `None` detaches) a maintenance worker's flush
+    /// signal. While attached, flushes notify the worker instead of
+    /// compacting inline.
+    pub fn set_flush_signal(&self, signal: Option<Arc<Signal>>) {
+        self.inner.write().flush_signal = signal;
+    }
+
+    /// Write backpressure: parks this writer (off-lock) until the
+    /// maintenance worker drains the table backlog below the stall
+    /// threshold. Bounded by a deadline so a dead or detached worker
+    /// can never wedge ingest; a still-behind worker just re-stalls the
+    /// writer at its next flush.
+    fn stall_for_backlog(&self) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(1);
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let inner = self.inner.read();
+            let drained = inner.flush_signal.is_none()
+                || inner.tables.len() < inner.opts.compaction.stall_tables;
+            drop(inner);
+            if drained || std::time::Instant::now() >= deadline {
+                return;
+            }
+        }
+    }
+
+    /// Runs at most one tiered compaction if the policy picks one,
+    /// returning whether a merge happened. `pin_floor` is the oldest
+    /// version a live snapshot/subscription still pins: tombstones are
+    /// only dropped when the picked run reaches the oldest table *and*
+    /// every input was sealed at or below the floor.
+    ///
+    /// Lock order: takes the engine's compaction mutex for the whole
+    /// call; takes the state write lock briefly to snapshot inputs and
+    /// allocate the output id, releases it for the merge itself, then
+    /// re-takes it to commit the manifest edit and install the swap.
+    pub fn maybe_compact(&self, pin_floor: Option<u64>) -> Result<bool> {
+        let _serialize = self.compact_lock.lock();
+
+        // Phase 1 (locked): pick a run and snapshot its inputs.
+        let (inputs, removed_ids, out_id, out_seal, drop_tombstones, dir, topts) = {
+            let mut inner = self.inner.write();
+            let infos: Vec<TableInfo> = inner
+                .tables
+                .iter()
+                .map(|h| TableInfo {
+                    id: h.meta.id,
+                    bytes: h.table.file_len(),
+                    seal_version: h.meta.seal_version,
+                })
+                .collect();
+            let Some(pick) = inner.opts.compaction.pick(&infos) else {
+                return Ok(false);
+            };
+            let run = match inner.tables.get(pick.range.clone()) {
+                Some(run) if !run.is_empty() => run,
+                _ => return Ok(false),
+            };
+            let inputs: Vec<Arc<SsTable>> = run.iter().map(|h| Arc::clone(&h.table)).collect();
+            let removed_ids: Vec<u64> = run.iter().map(|h| h.meta.id).collect();
+            let max_seal = run.iter().map(|h| h.meta.seal_version).max().unwrap_or(0);
+            let drop_tombstones = pick.includes_oldest(inner.tables.len())
+                && pin_floor.is_none_or(|floor| max_seal <= floor);
+            let out_id = inner.next_id;
+            inner.next_id += 1;
+            (
+                inputs,
+                removed_ids,
+                out_id,
+                max_seal,
+                drop_tombstones,
+                inner.dir.clone(),
+                inner.opts.table.clone(),
+            )
+        };
+
+        // Phase 2 (unlocked): merge. Inputs are immutable files; writers
+        // keep committing concurrently.
+        let out_path = table_path(&dir, out_id);
+        if let Err(e) = compaction::merge_tables(&out_path, &inputs, &topts, drop_tombstones) {
+            let _ = std::fs::remove_file(&out_path);
+            return Err(e);
+        }
+
+        // Phase 3 (locked): commit the edition swap.
+        let mut inner = self.inner.write();
+        let Some(start) = position_of_run(&inner.tables, &removed_ids) else {
+            // The run vanished (a forced full compaction raced us): the
+            // output is unregistered debris, discard it.
+            drop(inner);
+            let _ = std::fs::remove_file(&out_path);
+            return Ok(false);
+        };
+        let added = TableMeta { id: out_id, seal_version: out_seal };
+        let out_table = Arc::new(SsTable::open_with_cache(&out_path, inner.opts.cache.clone())?);
+
+        let mut metas = inner.metas();
+        metas.splice(start..start + removed_ids.len(), std::iter::once(added));
+        let next_id = inner.next_id;
+        inner.manifest.append(
+            &ManifestEdit::Compact { added, removed: removed_ids.clone() },
+            &metas,
+            next_id,
+        )?;
+
+        let old_paths: Vec<PathBuf> = inner
+            .tables
+            .get(start..start + removed_ids.len())
+            .map(|run| run.iter().map(|h| h.table.path().to_path_buf()).collect())
+            .unwrap_or_default();
+        inner.tables.splice(
+            start..start + removed_ids.len(),
+            std::iter::once(TableHandle { table: out_table, meta: added }),
+        );
+        inner.compactions += 1;
+        drop(inner);
+        for old in old_paths {
+            let _ = std::fs::remove_file(old);
+        }
+        Ok(true)
     }
 
     /// The engine directory.
@@ -210,8 +392,8 @@ impl KvStore for LsmEngine {
         if let Some(hit) = inner.mem.get(key) {
             return Ok(hit.map(<[u8]>::to_vec));
         }
-        for table in &inner.tables {
-            if let Some(hit) = table.get(key)? {
+        for handle in &inner.tables {
+            if let Some(hit) = handle.table.get(key)? {
                 return Ok(hit);
             }
         }
@@ -223,11 +405,20 @@ impl KvStore for LsmEngine {
         if batch.is_empty() {
             return Ok(());
         }
-        let mut inner = self.inner.write();
-        inner.wal.append(&batch.encode())?;
-        apply_to_memtable(&mut inner.mem, batch);
-        if inner.mem.approx_bytes() >= inner.opts.memtable_bytes {
-            flush_locked(&mut inner)?;
+        let stall = {
+            let mut inner = self.inner.write();
+            inner.wal.append(&batch.encode())?;
+            apply_to_memtable(&mut inner.mem, batch);
+            if inner.mem.approx_bytes() >= inner.opts.memtable_bytes {
+                flush_locked(&mut inner)?;
+                inner.flush_signal.is_some()
+                    && inner.tables.len() >= inner.opts.compaction.stall_tables
+            } else {
+                false
+            }
+        };
+        if stall {
+            self.stall_for_backlog();
         }
         Ok(())
     }
@@ -244,8 +435,8 @@ impl KvStore for LsmEngine {
             .map(|(k, v)| Ok((k.to_vec(), v.map(<[u8]>::to_vec))))
             .collect();
         sources.push(Box::new(mem_entries.into_iter()));
-        for table in &inner.tables {
-            let entries = table.scan_range(start, end)?;
+        for handle in &inner.tables {
+            let entries = handle.table.scan_range(start, end)?;
             sources.push(Box::new(entries.into_iter().map(Ok)));
         }
         let mut out = Vec::new();
@@ -283,56 +474,68 @@ fn flush_locked(inner: &mut Inner) -> Result<()> {
     let id = inner.next_id;
     inner.next_id += 1;
     let path = table_path(&inner.dir, id);
-    let mut builder = TableBuilder::create(&path, inner.mem.len(), inner.opts.table.clone())?;
+    let mut builder =
+        crate::sstable::TableBuilder::create(&path, inner.mem.len(), inner.opts.table.clone())?;
     for (key, value) in inner.mem.iter() {
         builder.add(key, value)?;
     }
     builder.finish()?;
 
-    // Commit point: the manifest now names the new table.
-    let mut ids = Vec::with_capacity(inner.tables.len() + 1);
-    for table in &inner.tables {
-        ids.push(table_id(table.path())?);
-    }
-    ids.push(id);
-    write_manifest(&inner.dir, &ids)?;
+    // Commit point: the manifest edit registers the (fsynced) table.
+    let seal_version =
+        inner.opts.seal_clock.as_ref().map_or(0, |clock| clock.load(Ordering::Acquire));
+    let meta = TableMeta { id, seal_version };
+    let mut metas = Vec::with_capacity(inner.tables.len() + 1);
+    metas.push(meta);
+    metas.extend(inner.tables.iter().map(|h| h.meta));
+    let next_id = inner.next_id;
+    inner.manifest.append(&ManifestEdit::Flush { table: meta }, &metas, next_id)?;
 
-    inner.tables.insert(0, Arc::new(SsTable::open(&path)?));
+    let table = SsTable::open_with_cache(&path, inner.opts.cache.clone())?;
+    inner.tables.insert(0, TableHandle { table: Arc::new(table), meta });
     inner.mem.clear();
     // The WAL's contents are now durable in the table; start a fresh log.
     inner.wal = Wal::create(inner.dir.join(WAL_FILE), inner.opts.sync)?;
     inner.flushes += 1;
 
-    if inner.tables.len() >= inner.opts.compact_at {
-        compact_locked(inner)?;
+    match &inner.flush_signal {
+        // A maintenance worker owns compaction: wake it and return.
+        Some(signal) => signal.notify(),
+        // No worker: preserve the original inline full-merge behavior.
+        None => {
+            if inner.tables.len() >= inner.opts.compact_at {
+                compact_all_locked(inner, None)?;
+            }
+        }
     }
     Ok(())
 }
 
-fn compact_locked(inner: &mut Inner) -> Result<()> {
+/// Full merge of every live table into one, under the state write lock.
+/// `pin_floor` gates tombstone dropping exactly as in
+/// [`LsmEngine::maybe_compact`]; `None` ⇒ nothing pinned, drop freely.
+fn compact_all_locked(inner: &mut Inner, pin_floor: Option<u64>) -> Result<()> {
     if inner.tables.len() < 2 {
         return Ok(());
     }
     let id = inner.next_id;
     inner.next_id += 1;
     let path = table_path(&inner.dir, id);
-    let expected: u64 = inner.tables.iter().map(|t| t.entry_count()).sum();
-    let mut builder = TableBuilder::create(&path, expected as usize, inner.opts.table.clone())?;
+    let inputs: Vec<Arc<SsTable>> = inner.tables.iter().map(|h| Arc::clone(&h.table)).collect();
+    let removed: Vec<u64> = inner.tables.iter().map(|h| h.meta.id).collect();
+    let max_seal = inner.tables.iter().map(|h| h.meta.seal_version).max().unwrap_or(0);
+    let drop_tombstones = pin_floor.is_none_or(|floor| max_seal <= floor);
+    compaction::merge_tables(&path, &inputs, &inner.opts.table, drop_tombstones)?;
 
-    let sources: Vec<Source> = inner.tables.iter().map(|t| Box::new(t.iter()) as Source).collect();
-    for item in MergeIter::new(sources) {
-        let (key, value) = item?;
-        // Merging *all* tables: a tombstone shadows nothing older, drop it.
-        if let Some(value) = value {
-            builder.add(&key, Some(&value))?;
-        }
-    }
-    builder.finish()?;
-
-    let old_paths: Vec<PathBuf> = inner.tables.iter().map(|t| t.path().to_path_buf()).collect();
+    let added = TableMeta { id, seal_version: max_seal };
+    let next_id = inner.next_id;
     // Commit point.
-    write_manifest(&inner.dir, &[id])?;
-    inner.tables = vec![Arc::new(SsTable::open(&path)?)];
+    inner.manifest.append(&ManifestEdit::Compact { added, removed }, &[added], next_id)?;
+
+    let old_paths: Vec<PathBuf> =
+        inner.tables.iter().map(|h| h.table.path().to_path_buf()).collect();
+    let table = SsTable::open_with_cache(&path, inner.opts.cache.clone())?;
+    inner.tables = vec![TableHandle { table: Arc::new(table), meta: added }];
     inner.compactions += 1;
     for old in old_paths {
         let _ = std::fs::remove_file(old);
@@ -340,78 +543,41 @@ fn compact_locked(inner: &mut Inner) -> Result<()> {
     Ok(())
 }
 
-fn table_path(dir: &Path, id: u64) -> PathBuf {
-    dir.join(format!("sst-{id:010}.sst"))
+/// Index of `ids` as a contiguous newest-first run in `tables`, `None`
+/// when the run no longer exists as picked.
+fn position_of_run(tables: &[TableHandle], ids: &[u64]) -> Option<usize> {
+    let first = ids.first()?;
+    let start = tables.iter().position(|h| h.meta.id == *first)?;
+    let window = tables.get(start..start + ids.len())?;
+    window.iter().zip(ids).all(|(h, id)| h.meta.id == *id).then_some(start)
 }
 
-fn table_id(path: &Path) -> Result<u64> {
-    path.file_name()
-        .and_then(|n| n.to_str())
-        .and_then(parse_table_name)
-        .ok_or_else(|| StorageError::corrupt(path, "live table with a non-engine file name"))
+fn table_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("sst-{id:010}.sst"))
 }
 
 fn parse_table_name(name: &str) -> Option<u64> {
     name.strip_prefix("sst-")?.strip_suffix(".sst")?.parse().ok()
 }
 
-fn write_manifest(dir: &Path, ids: &[u64]) -> Result<()> {
-    let mut payload = Vec::with_capacity(ids.len() * 4 + 4);
-    put_varint(&mut payload, ids.len() as u64);
-    for id in ids {
-        put_varint(&mut payload, *id);
+/// Lists `(id, path)` of every table file in `dir`.
+fn list_table_files(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| StorageError::io("listing engine dir", e))? {
+        let entry = entry.map_err(|e| StorageError::io("listing engine dir", e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(id) = parse_table_name(name) {
+            out.push((id, entry.path()));
+        }
     }
-    let mut buf = Vec::with_capacity(payload.len() + 8);
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    buf.extend_from_slice(&crc32c(&payload).to_le_bytes());
-    buf.extend_from_slice(&payload);
-
-    let tmp = dir.join(MANIFEST_TMP);
-    std::fs::write(&tmp, &buf).map_err(|e| StorageError::io("writing manifest temp", e))?;
-    // Rename is the atomic commit point.
-    std::fs::rename(&tmp, dir.join(MANIFEST))
-        .map_err(|e| StorageError::io("committing manifest", e))
-}
-
-fn read_manifest(dir: &Path) -> Result<Vec<u64>> {
-    let path = dir.join(MANIFEST);
-    let buf = match std::fs::read(&path) {
-        Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(StorageError::io("reading manifest", e)),
-    };
-    if buf.len() < 8 {
-        return Err(StorageError::corrupt(&path, "manifest shorter than header"));
-    }
-    let len = take_u32_le(&buf, 0)
-        .ok_or_else(|| StorageError::corrupt(&path, "manifest length field"))?
-        as usize;
-    let crc =
-        take_u32_le(&buf, 4).ok_or_else(|| StorageError::corrupt(&path, "manifest crc field"))?;
-    if buf.len() != 8 + len {
-        return Err(StorageError::corrupt(&path, "manifest length mismatch"));
-    }
-    let payload =
-        buf.get(8..).ok_or_else(|| StorageError::corrupt(&path, "manifest shorter than header"))?;
-    if crc32c(payload) != crc {
-        return Err(StorageError::ChecksumMismatch { path, offset: 8 });
-    }
-    let mut pos = 0usize;
-    let count = take_varint(payload, &mut pos)
-        .ok_or_else(|| StorageError::corrupt(&path, "manifest count"))? as usize;
-    let mut ids = Vec::with_capacity(count);
-    for _ in 0..count {
-        ids.push(
-            take_varint(payload, &mut pos)
-                .ok_or_else(|| StorageError::corrupt(&path, "manifest id"))?,
-        );
-    }
-    Ok(ids)
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::maintenance::{spawn_engine_worker, MaintenanceOptions};
     use crate::tempdir::TempDir;
 
     fn small_opts() -> EngineOptions {
@@ -568,5 +734,122 @@ mod tests {
         assert!(db.stats().recovered_torn_tail);
         assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
         assert_eq!(db.get(b"b").unwrap(), None, "torn record discarded");
+    }
+
+    #[test]
+    fn maybe_compact_is_a_no_op_when_healthy() {
+        let dir = TempDir::new("lsm-nocompact");
+        let db = LsmEngine::open(dir.path(), small_opts()).unwrap();
+        db.put(b"k", b"v").unwrap();
+        db.force_flush().unwrap();
+        assert!(!db.maybe_compact(None).unwrap(), "one table needs no merge");
+    }
+
+    #[test]
+    fn maybe_compact_merges_and_preserves_reads() {
+        let dir = TempDir::new("lsm-tiered");
+        let mut opts = small_opts();
+        opts.compact_at = usize::MAX; // keep the inline path out of the way
+        let db = LsmEngine::open(dir.path(), opts).unwrap();
+        for round in 0..5u32 {
+            for i in 0..200u32 {
+                db.put(format!("key-{i:05}").as_bytes(), format!("r{round}").as_bytes()).unwrap();
+            }
+            db.force_flush().unwrap();
+        }
+        assert!(db.stats().num_tables >= 3);
+        // Drain the picker like the worker would.
+        while db.maybe_compact(None).unwrap() {}
+        let stats = db.stats();
+        assert!(stats.compactions > 0);
+        assert!(stats.num_tables < 3, "merged down: {stats:?}");
+        for i in 0..200u32 {
+            assert_eq!(
+                db.get(format!("key-{i:05}").as_bytes()).unwrap(),
+                Some(b"r4".to_vec()),
+                "newest version survives the merge"
+            );
+        }
+        // Reopen: the manifest edition matches.
+        drop(db);
+        let db = LsmEngine::open(dir.path(), small_opts()).unwrap();
+        assert_eq!(db.get(b"key-00007").unwrap(), Some(b"r4".to_vec()));
+    }
+
+    #[test]
+    fn pin_floor_blocks_tombstone_drop_until_released() {
+        let build = |dir: &TempDir, floor: Option<u64>| -> u64 {
+            let clock = Arc::new(AtomicU64::new(0));
+            let mut opts = small_opts();
+            opts.compact_at = usize::MAX;
+            opts.seal_clock = Some(Arc::clone(&clock));
+            let db = LsmEngine::open(dir.path(), opts).unwrap();
+            clock.store(5, Ordering::Release);
+            db.put(b"victim", b"v1").unwrap();
+            db.force_flush().unwrap();
+            clock.store(9, Ordering::Release);
+            db.delete(b"victim").unwrap();
+            db.force_flush().unwrap();
+            while db.maybe_compact(floor).unwrap() {}
+            assert_eq!(db.get(b"victim").unwrap(), None, "shadowing holds either way");
+            db.stats().table_entries
+        };
+        // A pin at version 7 predates the tombstone's seal (9): the
+        // tombstone must survive the merge.
+        let dir = TempDir::new("lsm-pin-held");
+        assert_eq!(build(&dir, Some(7)), 1, "tombstone retained under the pin");
+        // No pins: the tombstone (and the shadowed value) are reclaimed.
+        let dir = TempDir::new("lsm-pin-free");
+        assert_eq!(build(&dir, None), 0, "tombstone dropped once unpinned");
+    }
+
+    #[test]
+    fn background_worker_compacts_behind_flushes() {
+        let dir = TempDir::new("lsm-worker");
+        let mut opts = small_opts();
+        opts.compact_at = usize::MAX; // the worker owns compaction
+        let db = Arc::new(LsmEngine::open(dir.path(), opts).unwrap());
+        let handle = spawn_engine_worker(
+            Arc::clone(&db),
+            MaintenanceOptions { tick: std::time::Duration::from_millis(20), pin_floor: None },
+        );
+        for i in 0..3_000u32 {
+            db.put(format!("key-{i:05}").as_bytes(), &[7u8; 64]).unwrap();
+        }
+        db.force_flush().unwrap();
+        handle.wake();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            let stats = db.stats();
+            if stats.compactions > 0 && stats.num_tables <= 4 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let stats = db.stats();
+        assert!(stats.compactions > 0, "worker compacted: {stats:?}");
+        assert_eq!(handle.errors(), 0, "no background errors: {:?}", handle.last_error());
+        drop(handle); // clean shutdown + detach
+        for i in (0..3_000u32).step_by(83) {
+            assert_eq!(db.get(format!("key-{i:05}").as_bytes()).unwrap(), Some(vec![7u8; 64]));
+        }
+        // Detached: the inline path is back in charge on the next flush.
+        assert!(db.inner.read().flush_signal.is_none());
+    }
+
+    #[test]
+    fn cache_counters_surface_through_stats() {
+        let dir = TempDir::new("lsm-cachestats");
+        let mut opts = small_opts();
+        opts.cache = Some(Arc::new(BlockCache::new(1 << 20)));
+        let db = LsmEngine::open(dir.path(), opts).unwrap();
+        db.put(b"hot", b"value").unwrap();
+        db.force_flush().unwrap();
+        for _ in 0..10 {
+            assert_eq!(db.get(b"hot").unwrap(), Some(b"value".to_vec()));
+        }
+        let stats = db.stats();
+        assert!(stats.cache_hits > 0, "{stats:?}");
+        assert!(stats.live_table_bytes > 0, "{stats:?}");
     }
 }

@@ -6,8 +6,11 @@
 //! torn WAL tails, orphaned SSTables, corrupt blocks — instead of mocks.
 //!
 //! Shape: WAL ([`wal`]) → memtable ([`memtable`]) → SSTables ([`sstable`])
-//! with bloom filters ([`bloom`]), full-merge compaction, and an atomic
-//! `MANIFEST`. Everything is CRC-32C checksummed ([`crc`]).
+//! with bloom filters ([`bloom`]), tiered compaction ([`compaction`])
+//! driven by a background maintenance worker ([`maintenance`]), a
+//! crash-safe append-only manifest ([`manifest`]) owning the live table
+//! set, and a sharded block cache ([`cache`]) on the read path.
+//! Everything is CRC-32C checksummed ([`crc`]).
 //!
 //! Two backends implement the [`KvStore`] trait:
 //! [`LsmEngine`] (durable) and [`MemEngine`] (volatile, for simulations
@@ -30,11 +33,15 @@
 
 pub mod batch;
 pub mod bloom;
+pub mod cache;
+pub mod compaction;
 pub mod crc;
 pub mod engine;
 pub mod error;
 pub mod iter;
 pub mod kv;
+pub mod maintenance;
+pub mod manifest;
 pub mod mem;
 pub mod memtable;
 pub mod sharded;
@@ -43,9 +50,15 @@ pub mod tempdir;
 pub mod wal;
 
 pub use batch::{Op, WriteBatch};
+pub use cache::{BlockCache, CacheStats};
+pub use compaction::{CompactionPolicy, Pick, PickReason, TableInfo};
 pub use engine::{EngineOptions, EngineStats, LsmEngine};
 pub use error::{Result, StorageError};
 pub use kv::{prefix_successor, KvStore};
+pub use maintenance::{
+    spawn_engine_worker, spawn_task_worker, MaintenanceHandle, MaintenanceOptions, PinFloor, Signal,
+};
+pub use manifest::{Manifest, ManifestEdit, ManifestState, TableMeta};
 pub use mem::MemEngine;
 pub use sharded::{ShardRouter, ShardedStore};
 pub use wal::SyncPolicy;

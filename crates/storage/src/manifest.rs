@@ -1,0 +1,603 @@
+//! Crash-safe manifest: the append-only edit log that owns the live
+//! SSTable set.
+//!
+//! Before this module the engine's table set was directory-scan-owned:
+//! a single-record `MANIFEST` file listed the ids, and anything on disk
+//! that wasn't listed was debris. That shape cannot express compaction
+//! safely — replacing K tables with one needs an *atomic* transition
+//! between two editions of the table set, and rewriting a whole file
+//! per flush is wasteful under sustained ingest.
+//!
+//! The manifest here is a WAL-framed log (`MANIFEST.log`): each record
+//! is `[len u32 LE][crc32c u32 LE][payload]`, the same framing as
+//! [`crate::wal`]. Payloads are versioned edits:
+//!
+//! * **snapshot** (tag 1) — the full table set + the id allocator.
+//!   Written when the log is created and as a periodic checkpoint
+//!   (rewrite via temp file + rename, so the prefix is always one
+//!   complete snapshot).
+//! * **flush** (tag 2) — one new table pushed at the newest position.
+//! * **compact** (tag 3) — one added table replacing a contiguous run
+//!   of removed ids, at the position of the newest removed table.
+//!
+//! Recovery replays the log in order. A record that extends past EOF is
+//! the ordinary crash artifact (the edit never committed): it is
+//! discarded and the file truncated. A *complete* record whose CRC
+//! fails, or a checksummed record that does not decode, is corruption
+//! past the commit point and fails the open — losing a mid-file edit
+//! silently would unregister live tables and let the debris sweep
+//! delete real data.
+//!
+//! Ordering invariant: the table list is kept newest-first, and every
+//! edit preserves recency order (a compaction output sits exactly where
+//! its newest input sat). Readers rely on this for newest-wins shadowing.
+//!
+//! Bootstrap: a directory with the legacy single-record `MANIFEST` (or
+//! with no manifest at all) is converted on open — the legacy set is
+//! replayed into a fresh `MANIFEST.log` snapshot and the legacy file
+//! removed once the log is durable. `shards = 1` layouts written before
+//! this module reopen unchanged.
+
+use crate::batch::{put_varint, take_u32_le, take_varint};
+use crate::crc::crc32c;
+use crate::error::{Result, StorageError};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Current manifest log file name.
+pub const MANIFEST_NAME: &str = "MANIFEST.log";
+/// Temp name used during checkpoint rewrite (renamed over the log).
+const TMP_NAME: &str = "MANIFEST.log.tmp";
+/// Pre-log single-record manifest name, still recognized for bootstrap.
+const LEGACY_NAME: &str = "MANIFEST";
+
+/// Edits accumulated since the last checkpoint before the log is
+/// rewritten as a single snapshot.
+const CHECKPOINT_EVERY: usize = 64;
+
+/// Largest manifest record accepted (the table set at snapshot time;
+/// far beyond any realistic size).
+const MAX_RECORD_LEN: u32 = 64 << 20;
+
+const TAG_SNAPSHOT: u64 = 1;
+const TAG_FLUSH: u64 = 2;
+const TAG_COMPACT: u64 = 3;
+
+/// One live SSTable as the manifest tracks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableMeta {
+    /// File id (the `sst-<id>.sst` name).
+    pub id: u64,
+    /// Engine version the table was sealed at (0 when no version clock
+    /// is wired in). Compaction uses it to gate tombstone drops against
+    /// the pin floor.
+    pub seal_version: u64,
+}
+
+/// One durable transition of the table set.
+#[derive(Debug, Clone)]
+pub enum ManifestEdit {
+    /// A memtable flush produced `table`; it becomes the newest.
+    Flush {
+        /// The newly sealed table.
+        table: TableMeta,
+    },
+    /// A compaction replaced the contiguous run `removed` (listed
+    /// newest-first) with `added`, at the newest removed position.
+    Compact {
+        /// The merge output.
+        added: TableMeta,
+        /// Input table ids, newest-first; must be live and contiguous.
+        removed: Vec<u64>,
+    },
+}
+
+/// The recovered table set.
+#[derive(Debug, Clone, Default)]
+pub struct ManifestState {
+    /// Live tables, newest-first.
+    pub tables: Vec<TableMeta>,
+    /// Next table id to allocate.
+    pub next_id: u64,
+    /// True when a torn (uncommitted) trailing record was discarded.
+    pub recovered_torn_tail: bool,
+}
+
+/// Open handle to the manifest log; owns appends and checkpoints.
+#[derive(Debug)]
+pub struct Manifest {
+    dir: PathBuf,
+    file: File,
+    edits_since_checkpoint: usize,
+}
+
+impl Manifest {
+    /// Opens (or bootstraps) the manifest for `dir` and returns the
+    /// recovered table set.
+    ///
+    /// `have_tables` tells the corruption heuristic whether any
+    /// `sst-*.sst` files exist: a manifest log with *zero* decodable
+    /// records is a benign create-crash only when there is nothing on
+    /// disk it could have been tracking.
+    pub fn open(dir: &Path, have_tables: bool) -> Result<(Manifest, ManifestState)> {
+        let log_path = dir.join(MANIFEST_NAME);
+        let tmp_path = dir.join(TMP_NAME);
+        if tmp_path.exists() {
+            // A checkpoint that never reached its rename; the log (or
+            // legacy file) is still authoritative.
+            std::fs::remove_file(&tmp_path)
+                .map_err(|e| StorageError::io("removing stale manifest temp file", e))?;
+        }
+
+        if log_path.exists() {
+            return Self::open_existing(dir, &log_path, have_tables);
+        }
+
+        // Bootstrap: legacy single-record MANIFEST, or a fresh directory.
+        let legacy_path = dir.join(LEGACY_NAME);
+        let state = if legacy_path.exists() {
+            read_legacy(&legacy_path)?
+        } else {
+            ManifestState { tables: Vec::new(), next_id: 1, recovered_torn_tail: false }
+        };
+        let manifest = Self::create_checkpoint(dir, &state)?;
+        if legacy_path.exists() {
+            std::fs::remove_file(&legacy_path)
+                .map_err(|e| StorageError::io("removing legacy manifest", e))?;
+        }
+        Ok((manifest, state))
+    }
+
+    fn open_existing(
+        dir: &Path,
+        log_path: &Path,
+        have_tables: bool,
+    ) -> Result<(Manifest, ManifestState)> {
+        let bytes =
+            std::fs::read(log_path).map_err(|e| StorageError::io("reading manifest log", e))?;
+        let scan = scan_frames(log_path, &bytes)?;
+        if scan.records.is_empty() && have_tables {
+            // A log in which nothing decodes, next to real tables: this
+            // is not a create-crash (checkpoints install via rename, so
+            // a legitimate log always starts with one complete
+            // snapshot), it is a destroyed manifest. Refuse rather than
+            // sweep the tables as debris.
+            return Err(StorageError::corrupt(
+                log_path,
+                "manifest log holds tables' history but no decodable records",
+            ));
+        }
+        let mut state = ManifestState {
+            next_id: 1,
+            recovered_torn_tail: scan.torn_tail,
+            ..ManifestState::default()
+        };
+        for payload in &scan.records {
+            apply_record(log_path, payload, &mut state)?;
+        }
+        // The allocator can never sit at or below a live id.
+        let max_live = state.tables.iter().map(|t| t.id).max().unwrap_or(0);
+        state.next_id = state.next_id.max(max_live + 1);
+
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(log_path)
+            .map_err(|e| StorageError::io("opening manifest log for append", e))?;
+        if scan.torn_tail {
+            file.set_len(scan.valid_len)
+                .map_err(|e| StorageError::io("truncating torn manifest tail", e))?;
+        }
+        file.seek(SeekFrom::End(0)).map_err(|e| StorageError::io("seeking manifest log", e))?;
+        let manifest = Manifest {
+            dir: dir.to_path_buf(),
+            file,
+            edits_since_checkpoint: scan.records.len().saturating_sub(1),
+        };
+        Ok((manifest, state))
+    }
+
+    /// Appends one edit durably (write + fsync). This is the commit
+    /// point for the table-set transition the edit describes: callers
+    /// must have fsynced any added table files *before* this call, and
+    /// must delete removed files only *after* it returns.
+    ///
+    /// `live` and `next_id` describe the post-edit state; they feed the
+    /// periodic checkpoint rewrite.
+    pub fn append(&mut self, edit: &ManifestEdit, live: &[TableMeta], next_id: u64) -> Result<()> {
+        let payload = encode_edit(edit, next_id);
+        self.file
+            .write_all(&frame(&payload))
+            .map_err(|e| StorageError::io("appending manifest edit", e))?;
+        self.file.sync_data().map_err(|e| StorageError::io("syncing manifest edit", e))?;
+        self.edits_since_checkpoint += 1;
+        if self.edits_since_checkpoint >= CHECKPOINT_EVERY {
+            self.checkpoint(live, next_id)?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log as a single snapshot record via temp + rename.
+    fn checkpoint(&mut self, live: &[TableMeta], next_id: u64) -> Result<()> {
+        let state = ManifestState { tables: live.to_vec(), next_id, recovered_torn_tail: false };
+        let fresh = Self::create_checkpoint(&self.dir, &state)?;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// Writes a new log containing one snapshot record and atomically
+    /// installs it, returning the open handle.
+    fn create_checkpoint(dir: &Path, state: &ManifestState) -> Result<Manifest> {
+        let tmp_path = dir.join(TMP_NAME);
+        let log_path = dir.join(MANIFEST_NAME);
+        let payload = encode_snapshot(state);
+        {
+            let mut tmp = File::create(&tmp_path)
+                .map_err(|e| StorageError::io("creating manifest checkpoint", e))?;
+            tmp.write_all(&frame(&payload))
+                .map_err(|e| StorageError::io("writing manifest checkpoint", e))?;
+            tmp.sync_data().map_err(|e| StorageError::io("syncing manifest checkpoint", e))?;
+        }
+        std::fs::rename(&tmp_path, &log_path)
+            .map_err(|e| StorageError::io("installing manifest checkpoint", e))?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&log_path)
+            .map_err(|e| StorageError::io("reopening manifest log", e))?;
+        file.seek(SeekFrom::End(0)).map_err(|e| StorageError::io("seeking manifest log", e))?;
+        Ok(Manifest { dir: dir.to_path_buf(), file, edits_since_checkpoint: 0 })
+    }
+}
+
+/// Wraps `payload` in the `[len][crc][payload]` frame.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+struct FrameScan {
+    records: Vec<Vec<u8>>,
+    valid_len: u64,
+    torn_tail: bool,
+}
+
+/// Walks the framed records in `bytes`. A frame that extends past EOF
+/// is a torn tail (discarded, `torn_tail` set); a *complete* frame with
+/// a CRC mismatch is corruption and fails the scan.
+fn scan_frames(path: &Path, bytes: &[u8]) -> Result<FrameScan> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos == bytes.len() {
+            return Ok(FrameScan { records, valid_len: pos as u64, torn_tail: false });
+        }
+        let (Some(len), Some(crc)) = (take_u32_le(bytes, pos), take_u32_le(bytes, pos + 4)) else {
+            // Half a header: torn.
+            return Ok(FrameScan { records, valid_len: pos as u64, torn_tail: true });
+        };
+        if len > MAX_RECORD_LEN {
+            return Err(StorageError::corrupt(
+                path,
+                format!("manifest record length {len} exceeds limit"),
+            ));
+        }
+        let start = pos + 8;
+        let Some(end) = start.checked_add(len as usize) else {
+            return Err(StorageError::corrupt(path, "manifest record length overflows"));
+        };
+        let Some(payload) = bytes.get(start..end) else {
+            // Payload cut short by the crash: torn.
+            return Ok(FrameScan { records, valid_len: pos as u64, torn_tail: true });
+        };
+        if crc32c(payload) != crc {
+            return Err(StorageError::ChecksumMismatch {
+                path: path.to_path_buf(),
+                offset: pos as u64,
+            });
+        }
+        records.push(payload.to_vec());
+        pos = end;
+    }
+}
+
+fn encode_snapshot(state: &ManifestState) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, TAG_SNAPSHOT);
+    put_varint(&mut out, state.next_id);
+    put_varint(&mut out, state.tables.len() as u64);
+    for t in &state.tables {
+        put_varint(&mut out, t.id);
+        put_varint(&mut out, t.seal_version);
+    }
+    out
+}
+
+fn encode_edit(edit: &ManifestEdit, next_id: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    match edit {
+        ManifestEdit::Flush { table } => {
+            put_varint(&mut out, TAG_FLUSH);
+            put_varint(&mut out, next_id);
+            put_varint(&mut out, table.id);
+            put_varint(&mut out, table.seal_version);
+        }
+        ManifestEdit::Compact { added, removed } => {
+            put_varint(&mut out, TAG_COMPACT);
+            put_varint(&mut out, next_id);
+            put_varint(&mut out, added.id);
+            put_varint(&mut out, added.seal_version);
+            put_varint(&mut out, removed.len() as u64);
+            for id in removed {
+                put_varint(&mut out, *id);
+            }
+        }
+    }
+    out
+}
+
+/// Applies one decoded record to `state`. Any malformed payload is
+/// corruption (its CRC already passed).
+fn apply_record(path: &Path, payload: &[u8], state: &mut ManifestState) -> Result<()> {
+    let bad = |detail: &str| StorageError::corrupt(path, detail);
+    let mut pos = 0usize;
+    let tag = take_varint(payload, &mut pos).ok_or_else(|| bad("manifest record missing tag"))?;
+    let next_id =
+        take_varint(payload, &mut pos).ok_or_else(|| bad("manifest record missing next_id"))?;
+    match tag {
+        TAG_SNAPSHOT => {
+            let count = take_varint(payload, &mut pos)
+                .ok_or_else(|| bad("manifest snapshot missing table count"))?;
+            let mut tables = Vec::new();
+            for _ in 0..count {
+                let id = take_varint(payload, &mut pos)
+                    .ok_or_else(|| bad("manifest snapshot truncated table id"))?;
+                let seal_version = take_varint(payload, &mut pos)
+                    .ok_or_else(|| bad("manifest snapshot truncated seal version"))?;
+                tables.push(TableMeta { id, seal_version });
+            }
+            state.tables = tables;
+        }
+        TAG_FLUSH => {
+            let id = take_varint(payload, &mut pos)
+                .ok_or_else(|| bad("manifest flush missing table id"))?;
+            let seal_version = take_varint(payload, &mut pos)
+                .ok_or_else(|| bad("manifest flush missing seal version"))?;
+            state.tables.insert(0, TableMeta { id, seal_version });
+        }
+        TAG_COMPACT => {
+            let added_id = take_varint(payload, &mut pos)
+                .ok_or_else(|| bad("manifest compact missing added id"))?;
+            let seal_version = take_varint(payload, &mut pos)
+                .ok_or_else(|| bad("manifest compact missing seal version"))?;
+            let count = take_varint(payload, &mut pos)
+                .ok_or_else(|| bad("manifest compact missing removed count"))?;
+            let mut removed = Vec::new();
+            for _ in 0..count {
+                removed.push(
+                    take_varint(payload, &mut pos)
+                        .ok_or_else(|| bad("manifest compact truncated removed id"))?,
+                );
+            }
+            if removed.is_empty() {
+                return Err(bad("manifest compact removes nothing"));
+            }
+            let at = state
+                .tables
+                .iter()
+                .position(|t| Some(t.id) == removed.first().copied())
+                .ok_or_else(|| bad("manifest compact removes an unknown table"))?;
+            for id in &removed {
+                let idx = state
+                    .tables
+                    .iter()
+                    .position(|t| t.id == *id)
+                    .ok_or_else(|| bad("manifest compact removes an unknown table"))?;
+                state.tables.remove(idx);
+            }
+            state
+                .tables
+                .insert(at.min(state.tables.len()), TableMeta { id: added_id, seal_version });
+        }
+        _ => return Err(bad("manifest record with unknown tag")),
+    }
+    if pos != payload.len() {
+        return Err(bad("manifest record carries trailing bytes"));
+    }
+    state.next_id = next_id;
+    Ok(())
+}
+
+/// Reads the legacy single-record `MANIFEST`:
+/// `[len u32 LE][crc32c u32 LE][payload: varint count, count × varint id]`.
+/// Tables are ordered newest-first by id (the pre-compaction invariant);
+/// seal versions are unknown and recorded as 0.
+fn read_legacy(path: &Path) -> Result<ManifestState> {
+    let bytes = std::fs::read(path).map_err(|e| StorageError::io("reading legacy manifest", e))?;
+    let (Some(len), Some(crc)) = (take_u32_le(&bytes, 0), take_u32_le(&bytes, 4)) else {
+        return Err(StorageError::corrupt(path, "legacy manifest shorter than header"));
+    };
+    let payload = bytes
+        .get(8..8usize.saturating_add(len as usize))
+        .filter(|p| p.len() == len as usize)
+        .ok_or_else(|| StorageError::corrupt(path, "legacy manifest shorter than its length"))?;
+    if crc32c(payload) != crc {
+        return Err(StorageError::ChecksumMismatch { path: path.to_path_buf(), offset: 0 });
+    }
+    let mut pos = 0usize;
+    let count = take_varint(payload, &mut pos)
+        .ok_or_else(|| StorageError::corrupt(path, "legacy manifest missing count"))?;
+    let mut ids = Vec::new();
+    for _ in 0..count {
+        ids.push(
+            take_varint(payload, &mut pos)
+                .ok_or_else(|| StorageError::corrupt(path, "legacy manifest truncated id"))?,
+        );
+    }
+    if pos != payload.len() {
+        return Err(StorageError::corrupt(path, "legacy manifest carries trailing bytes"));
+    }
+    ids.sort_unstable_by(|a, b| b.cmp(a));
+    let next_id = ids.first().copied().unwrap_or(0) + 1;
+    let tables = ids.into_iter().map(|id| TableMeta { id, seal_version: 0 }).collect();
+    Ok(ManifestState { tables, next_id, recovered_torn_tail: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn meta(id: u64, seal: u64) -> TableMeta {
+        TableMeta { id, seal_version: seal }
+    }
+
+    #[test]
+    fn fresh_open_then_edits_replay() {
+        let dir = TempDir::new("manifest-fresh");
+        let (mut m, state) = Manifest::open(dir.path(), false).unwrap();
+        assert!(state.tables.is_empty());
+        assert_eq!(state.next_id, 1);
+
+        m.append(&ManifestEdit::Flush { table: meta(1, 10) }, &[meta(1, 10)], 2).unwrap();
+        m.append(&ManifestEdit::Flush { table: meta(2, 20) }, &[meta(2, 20), meta(1, 10)], 3)
+            .unwrap();
+        drop(m);
+
+        let (_, state) = Manifest::open(dir.path(), true).unwrap();
+        assert_eq!(state.tables, vec![meta(2, 20), meta(1, 10)]);
+        assert_eq!(state.next_id, 3);
+        assert!(!state.recovered_torn_tail);
+    }
+
+    #[test]
+    fn compact_edit_preserves_recency_position() {
+        let dir = TempDir::new("manifest-compact");
+        let (mut m, _) = Manifest::open(dir.path(), false).unwrap();
+        let full = [meta(4, 40), meta(3, 30), meta(2, 20), meta(1, 10)];
+        for (i, t) in full.iter().rev().enumerate() {
+            m.append(&ManifestEdit::Flush { table: *t }, &full[full.len() - 1 - i..], t.id + 1)
+                .unwrap();
+        }
+        // Merge the middle run [3, 2] into table 5.
+        m.append(
+            &ManifestEdit::Compact { added: meta(5, 30), removed: vec![3, 2] },
+            &[meta(4, 40), meta(5, 30), meta(1, 10)],
+            6,
+        )
+        .unwrap();
+        drop(m);
+
+        let (_, state) = Manifest::open(dir.path(), true).unwrap();
+        assert_eq!(state.tables, vec![meta(4, 40), meta(5, 30), meta(1, 10)]);
+        assert_eq!(state.next_id, 6);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_truncated() {
+        let dir = TempDir::new("manifest-torn");
+        let (mut m, _) = Manifest::open(dir.path(), false).unwrap();
+        m.append(&ManifestEdit::Flush { table: meta(1, 1) }, &[meta(1, 1)], 2).unwrap();
+        drop(m);
+        // Simulate a crash mid-append: half a header.
+        let path = dir.path().join(MANIFEST_NAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let before = bytes.len();
+        bytes.extend_from_slice(&[9, 0, 0]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, state) = Manifest::open(dir.path(), true).unwrap();
+        assert_eq!(state.tables, vec![meta(1, 1)]);
+        assert!(state.recovered_torn_tail);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before as u64);
+    }
+
+    #[test]
+    fn complete_record_with_bad_crc_is_corruption() {
+        let dir = TempDir::new("manifest-badcrc");
+        let (mut m, _) = Manifest::open(dir.path(), false).unwrap();
+        m.append(&ManifestEdit::Flush { table: meta(1, 1) }, &[meta(1, 1)], 2).unwrap();
+        drop(m);
+        let path = dir.path().join(MANIFEST_NAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Manifest::open(dir.path(), true).is_err());
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_log() {
+        let dir = TempDir::new("manifest-checkpoint");
+        let (mut m, _) = Manifest::open(dir.path(), false).unwrap();
+        let live = [meta(1, 1)];
+        for _ in 0..(CHECKPOINT_EVERY + 3) {
+            m.append(&ManifestEdit::Flush { table: meta(1, 1) }, &live, 2).unwrap();
+        }
+        drop(m);
+        let path = dir.path().join(MANIFEST_NAME);
+        let bytes = std::fs::read(&path).unwrap();
+        // Far smaller than CHECKPOINT_EVERY appended records.
+        assert!(bytes.len() < CHECKPOINT_EVERY * 8, "log was checkpointed: {}", bytes.len());
+        let (_, state) = Manifest::open(dir.path(), true).unwrap();
+        assert_eq!(state.next_id, 2);
+    }
+
+    #[test]
+    fn legacy_manifest_bootstraps_and_is_removed() {
+        let dir = TempDir::new("manifest-legacy");
+        // Hand-build the legacy format listing tables 2 and 1.
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 2);
+        put_varint(&mut payload, 1);
+        put_varint(&mut payload, 2);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32c(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(dir.path().join(LEGACY_NAME), &bytes).unwrap();
+
+        let (_, state) = Manifest::open(dir.path(), true).unwrap();
+        assert_eq!(state.tables, vec![meta(2, 0), meta(1, 0)]);
+        assert_eq!(state.next_id, 3);
+        assert!(!dir.path().join(LEGACY_NAME).exists(), "legacy file replaced by the log");
+        assert!(dir.path().join(MANIFEST_NAME).exists());
+    }
+
+    #[test]
+    fn truncated_legacy_manifest_is_an_error() {
+        let dir = TempDir::new("manifest-legacy-short");
+        std::fs::write(dir.path().join(LEGACY_NAME), [7u8, 0, 0]).unwrap();
+        assert!(Manifest::open(dir.path(), true).is_err());
+    }
+
+    #[test]
+    fn destroyed_log_with_tables_is_an_error_but_fresh_crash_is_not() {
+        let dir = TempDir::new("manifest-destroyed");
+        std::fs::write(dir.path().join(MANIFEST_NAME), [3u8, 0]).unwrap();
+        // No tables on disk: a crash during the very first create.
+        let (_, state) = Manifest::open(dir.path(), false).unwrap();
+        assert!(state.tables.is_empty());
+        drop(state);
+
+        let dir = TempDir::new("manifest-destroyed-tables");
+        std::fs::write(dir.path().join(MANIFEST_NAME), [3u8, 0]).unwrap();
+        assert!(Manifest::open(dir.path(), true).is_err());
+    }
+
+    #[test]
+    fn stale_tmp_file_is_cleaned_up() {
+        let dir = TempDir::new("manifest-tmp");
+        let (mut m, _) = Manifest::open(dir.path(), false).unwrap();
+        m.append(&ManifestEdit::Flush { table: meta(1, 1) }, &[meta(1, 1)], 2).unwrap();
+        drop(m);
+        std::fs::write(dir.path().join(TMP_NAME), b"half a checkpoint").unwrap();
+        let (_, state) = Manifest::open(dir.path(), true).unwrap();
+        assert_eq!(state.tables, vec![meta(1, 1)]);
+        assert!(!dir.path().join(TMP_NAME).exists());
+    }
+}

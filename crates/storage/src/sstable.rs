@@ -17,12 +17,14 @@
 
 use crate::batch::{put_varint, take_u32_le, take_u64_le, take_varint};
 use crate::bloom::BloomFilter;
+use crate::cache::BlockCache;
 use crate::crc::crc32c;
 use crate::error::{Result, StorageError};
 use parking_lot::Mutex;
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"PASSSST1";
 const FOOTER_LEN: u64 = 8 + 8 + 4 + 8 + 8 + 4 + 8 + 8;
@@ -200,6 +202,12 @@ pub struct SsTable {
     bloom: BloomFilter,
     entry_count: u64,
     data_len: u64,
+    file_len: u64,
+    /// Shared block cache for point reads; `None` ⇒ every read hits disk.
+    cache: Option<Arc<BlockCache>>,
+    /// Process-unique cache key component (fresh per open — see
+    /// [`crate::cache`]).
+    cache_id: u64,
 }
 
 impl std::fmt::Debug for SsTable {
@@ -213,8 +221,17 @@ impl std::fmt::Debug for SsTable {
 }
 
 impl SsTable {
-    /// Opens and validates a table file.
+    /// Opens and validates a table file with no block cache.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        Self::open_with_cache(path, None)
+    }
+
+    /// Opens and validates a table file; point reads and range scans go
+    /// through `cache` when one is given.
+    pub fn open_with_cache(
+        path: impl Into<PathBuf>,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<Self> {
         let path = path.into();
         let mut file = File::open(&path)
             .map_err(|e| StorageError::io(format!("opening SSTable {}", path.display()), e))?;
@@ -262,7 +279,17 @@ impl SsTable {
         let bloom = BloomFilter::decode(&bloom_buf)
             .ok_or_else(|| StorageError::corrupt(&path, "malformed bloom filter"))?;
 
-        Ok(SsTable { path, file: Mutex::new(file), index, bloom, entry_count, data_len: index_off })
+        Ok(SsTable {
+            path,
+            file: Mutex::new(file),
+            index,
+            bloom,
+            entry_count,
+            data_len: index_off,
+            file_len,
+            cache,
+            cache_id: crate::cache::next_table_id(),
+        })
     }
 
     /// Total entries in the table (tombstones included).
@@ -273,6 +300,11 @@ impl SsTable {
     /// Bytes of data blocks (excludes index/bloom/footer).
     pub fn data_len(&self) -> u64 {
         self.data_len
+    }
+
+    /// Total on-disk size of the table file.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
     }
 
     /// The file path.
@@ -291,16 +323,33 @@ impl SsTable {
         if idx == 0 {
             return Ok(None);
         }
-        let entries = self.read_block(idx - 1)?;
-        for (k, v) in entries {
+        let entries = self.load_block(idx - 1)?;
+        for (k, v) in entries.iter() {
             if k == key {
-                return Ok(Some(v));
+                return Ok(Some(v.clone()));
             }
         }
         Ok(None)
     }
 
-    /// Reads and verifies block `i`.
+    /// Reads block `i` through the cache. Misses decode from disk and
+    /// populate; sequential readers ([`TableIter`]) use
+    /// [`Self::read_block`] instead so full scans and compactions don't
+    /// flush the hot set.
+    fn load_block(&self, i: usize) -> Result<Arc<Vec<Entry>>> {
+        let Some(cache) = &self.cache else {
+            return Ok(Arc::new(self.read_block(i)?));
+        };
+        let block_no = u32::try_from(i).unwrap_or(u32::MAX);
+        if let Some(hit) = cache.get(self.cache_id, block_no) {
+            return Ok(hit);
+        }
+        let entries = Arc::new(self.read_block(i)?);
+        cache.insert(self.cache_id, block_no, Arc::clone(&entries));
+        Ok(entries)
+    }
+
+    /// Reads and verifies block `i` from the file (no cache).
     fn read_block(&self, i: usize) -> Result<Vec<Entry>> {
         let &(_, offset, len) = self
             .index
@@ -344,7 +393,7 @@ impl SsTable {
                     break;
                 }
             }
-            for (k, v) in self.read_block(i)? {
+            for (k, v) in self.load_block(i)?.iter() {
                 if k.as_slice() < start {
                     continue;
                 }
@@ -353,7 +402,7 @@ impl SsTable {
                         return Ok(out);
                     }
                 }
-                out.push((k, v));
+                out.push((k.clone(), v.clone()));
             }
         }
         Ok(out)
@@ -558,6 +607,32 @@ mod tests {
         assert_eq!(table.entry_count(), 0);
         assert_eq!(table.get(b"x").unwrap(), None);
         assert!(table.iter().next().is_none());
+    }
+
+    #[test]
+    fn cached_reads_hit_after_first_touch() {
+        let dir = TempDir::new("sst-cache");
+        let entries = sample_entries(500);
+        let path = dir.path().join("t.sst");
+        let mut b = TableBuilder::create(&path, entries.len(), TableOptions::default()).unwrap();
+        for (k, v) in &entries {
+            b.add(k, v.as_deref()).unwrap();
+        }
+        b.finish().unwrap();
+        let cache = Arc::new(crate::cache::BlockCache::new(1 << 20));
+        let table = SsTable::open_with_cache(&path, Some(Arc::clone(&cache))).unwrap();
+
+        for (k, v) in &entries {
+            assert_eq!(table.get(k).unwrap(), Some(v.clone()));
+        }
+        let cold = cache.stats();
+        assert!(cold.misses > 0);
+        for (k, v) in &entries {
+            assert_eq!(table.get(k).unwrap(), Some(v.clone()));
+        }
+        let warm = cache.stats();
+        assert!(warm.hits >= cold.misses, "second pass served from cache: {warm:?}");
+        assert_eq!(warm.misses, cold.misses, "no new disk reads on the warm pass");
     }
 
     #[test]

@@ -58,16 +58,34 @@ fn torn_intent_header_recovers_cleanly() {
     assert_eq!(store.get(&[0]).unwrap(), None);
 }
 
-/// A manifest too short to hold its own length/CRC header must error.
+/// A manifest log truncated below any decodable record, in a directory
+/// that demonstrably held tables, is destroyed metadata: the open must
+/// error, not silently start a fresh (empty) edition over live data.
 #[test]
 fn truncated_manifest_is_an_error_not_a_panic() {
     let dir = TempDir::new("corrupt-manifest");
-    // Create a real store so the directory looks like an engine root…
-    drop(LsmEngine::open(dir.path().to_path_buf(), EngineOptions::default()).unwrap());
-    // …then truncate the manifest below its 8-byte header.
+    {
+        let db = LsmEngine::open(dir.path().to_path_buf(), EngineOptions::default()).unwrap();
+        db.put(b"k", b"v").unwrap();
+        db.flush().unwrap(); // seal a table so the directory isn't empty
+    }
+    // Truncate the manifest log below its first frame header.
+    std::fs::write(dir.path().join("MANIFEST.log"), [7u8, 0, 0]).unwrap();
+    let err = LsmEngine::open(dir.path().to_path_buf(), EngineOptions::default())
+        .expect_err("destroyed manifest must fail the open");
+    let msg = err.to_string();
+    assert!(msg.to_lowercase().contains("manifest") || msg.contains("corrupt"), "{msg}");
+}
+
+/// A pre-manifest-log `MANIFEST` too short to hold its own header must
+/// fail the legacy bootstrap, not panic in the decoder.
+#[test]
+fn truncated_legacy_manifest_is_an_error_not_a_panic() {
+    let dir = TempDir::new("corrupt-legacy-manifest");
+    std::fs::create_dir_all(dir.path()).unwrap();
     std::fs::write(dir.path().join("MANIFEST"), [7u8, 0, 0]).unwrap();
     let err = LsmEngine::open(dir.path().to_path_buf(), EngineOptions::default())
-        .expect_err("short manifest must fail the open");
+        .expect_err("short legacy manifest must fail the open");
     let msg = err.to_string();
     assert!(msg.to_lowercase().contains("manifest") || msg.contains("corrupt"), "{msg}");
 }
