@@ -1,0 +1,528 @@
+//! The workspace call graph for the interprocedural rules (L6/L7).
+//!
+//! Resolution is deliberately simple — and its approximations are part
+//! of the rule contract (see README "Checked invariants"):
+//!
+//! * **name-based**: a call `x.apply(..)` resolves to every function
+//!   item named `apply` the caller could plausibly reach — no receiver
+//!   types, no trait-object resolution;
+//! * **crate-direction-scoped**: candidates are restricted to the
+//!   caller's crate and its (transitive) `path`-dependency crates, read
+//!   from the workspace `Cargo.toml`s, so `crates/storage` code never
+//!   "calls into" `crates/core`;
+//! * **generic names are ignored**: `[callgraph] ignore_calls` in
+//!   `invariants.toml` drops names like `get`/`insert`/`clone` whose
+//!   name-based resolution would wire unrelated types together;
+//! * `#[cfg(test)]` functions are neither callers nor callees.
+//!
+//! Over-approximation is acceptable for deny rules (extra candidates
+//! can only create findings a human reviews once), under-approximation
+//! is the price of zero dependencies — the lexical rules L1–L5 still
+//! backstop the directly-named sites.
+
+use crate::lexer::Lexed;
+use crate::parse::{self, FileSyms};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// A function in the workspace: `(file index, fn index within file)`.
+pub type FnRef = (usize, usize);
+
+/// One file in the call-graph corpus.
+pub struct WsFile<'a> {
+    /// Lint-root-relative path with `/` separators.
+    pub path: &'a str,
+    pub lexed: &'a Lexed,
+    pub syms: FileSyms,
+    /// Index into [`Workspace::crates`], `None` when the file sits
+    /// outside every discovered crate (fixture trees, stray files).
+    pub krate: Option<usize>,
+}
+
+/// A crate discovered from a `Cargo.toml`: its root directory and the
+/// transitive closure of its path dependencies.
+#[derive(Debug)]
+pub struct CrateInfo {
+    pub name: String,
+    /// Lint-root-relative directory, `/`-separated, no trailing slash.
+    pub dir: String,
+    /// Transitive path-dependency crate indices (not including self).
+    pub deps: BTreeSet<usize>,
+}
+
+/// The parsed workspace: files, crates, and the function name index.
+pub struct Workspace<'a> {
+    pub files: Vec<WsFile<'a>>,
+    pub crates: Vec<CrateInfo>,
+    /// fn name → every non-test definition site.
+    fn_index: BTreeMap<String, Vec<FnRef>>,
+    ignore_calls: BTreeSet<String>,
+}
+
+impl<'a> Workspace<'a> {
+    /// Builds the graph corpus from the already-lexed files in call-graph
+    /// scope. `root` is scanned for `Cargo.toml`s to recover the crate
+    /// dependency direction; a tree without any (ui fixtures) becomes a
+    /// single anonymous crate in which every name resolves.
+    pub fn build(
+        root: &Path,
+        files: impl IntoIterator<Item = (&'a str, &'a Lexed)>,
+        ignore_calls: &[String],
+    ) -> Workspace<'a> {
+        let crates = discover_crates(root);
+        let mut ws = Workspace {
+            files: Vec::new(),
+            crates,
+            fn_index: BTreeMap::new(),
+            ignore_calls: ignore_calls.iter().cloned().collect(),
+        };
+        for (path, lexed) in files {
+            let syms = parse::parse_file(lexed);
+            let krate = ws
+                .crates
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    // A root-level manifest (empty dir) owns everything
+                    // not claimed by a deeper crate.
+                    c.dir.is_empty()
+                        || (path.starts_with(&c.dir) && path[c.dir.len()..].starts_with('/'))
+                })
+                .max_by_key(|(_, c)| c.dir.len())
+                .map(|(i, _)| i);
+            let file_idx = ws.files.len();
+            for (fn_idx, f) in syms.fns.iter().enumerate() {
+                if !f.in_test {
+                    ws.fn_index.entry(f.name.clone()).or_default().push((file_idx, fn_idx));
+                }
+            }
+            ws.files.push(WsFile { path, lexed, syms, krate });
+        }
+        ws
+    }
+
+    /// Candidate definitions for a call to `callee` made from
+    /// `caller_file`: same crate or a transitive dependency; anonymous
+    /// files resolve only within the anonymous pool.
+    pub fn resolve(&self, caller_file: usize, callee: &str) -> Vec<FnRef> {
+        if self.ignore_calls.contains(callee) {
+            return Vec::new();
+        }
+        let Some(candidates) = self.fn_index.get(callee) else {
+            return Vec::new();
+        };
+        let caller_crate = self.files[caller_file].krate;
+        candidates
+            .iter()
+            .copied()
+            .filter(|&(file, _)| {
+                let callee_crate = self.files[file].krate;
+                match (caller_crate, callee_crate) {
+                    (None, None) => true,
+                    (Some(from), Some(to)) => from == to || self.crates[from].deps.contains(&to),
+                    _ => false,
+                }
+            })
+            .collect()
+    }
+
+    /// `Type::name` / `name` for diagnostics.
+    pub fn display(&self, (file, idx): FnRef) -> String {
+        self.files[file].syms.fns[idx].display()
+    }
+
+    /// `(path, line)` of a function's definition.
+    pub fn site(&self, (file, idx): FnRef) -> (&str, u32) {
+        (self.files[file].path, self.files[file].syms.fns[idx].line)
+    }
+}
+
+/// L6: no fsync-class call reachable from inside a `publish_order`
+/// critical section through the call graph. The lexical L2 already
+/// flags *directly named* denied identifiers inside the section; L6
+/// follows resolved calls any number of hops and reports the entry call
+/// with the full witness chain. Calls whose own name is denied are left
+/// to L2 so the two rules never double-report one site.
+pub fn check_l6(
+    rule: &crate::config::RuleConfig,
+    ws: &Workspace<'_>,
+) -> Vec<crate::rules::Finding> {
+    use crate::rules::{glob_match, publish_sections, Finding};
+
+    /// Why a function is considered a sink.
+    enum Sink {
+        /// It calls a denied name itself.
+        Direct { name: String, line: u32 },
+        /// It calls a function that is a sink.
+        Via(FnRef),
+    }
+    // Seed: functions that call a denied name directly.
+    let mut sinks: BTreeMap<FnRef, Sink> = BTreeMap::new();
+    for (file_idx, file) in ws.files.iter().enumerate() {
+        for (fn_idx, f) in file.syms.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            if let Some(call) =
+                file.syms.calls[fn_idx].iter().find(|c| rule.deny.iter().any(|d| d == &c.callee))
+            {
+                sinks.insert(
+                    (file_idx, fn_idx),
+                    Sink::Direct { name: call.callee.clone(), line: call.line },
+                );
+            }
+        }
+    }
+    // Fixpoint: propagate sink-ness backwards along resolved calls.
+    loop {
+        let mut grew = false;
+        for (file_idx, file) in ws.files.iter().enumerate() {
+            for (fn_idx, f) in file.syms.fns.iter().enumerate() {
+                if f.in_test || sinks.contains_key(&(file_idx, fn_idx)) {
+                    continue;
+                }
+                'calls: for call in &file.syms.calls[fn_idx] {
+                    for callee in ws.resolve(file_idx, &call.callee) {
+                        if callee != (file_idx, fn_idx) && sinks.contains_key(&callee) {
+                            sinks.insert((file_idx, fn_idx), Sink::Via(callee));
+                            grew = true;
+                            break 'calls;
+                        }
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Witness text: follow the Via chain down to the denied call.
+    let describe = |start: FnRef| -> String {
+        let mut names = vec![format!("`{}`", ws.display(start))];
+        let mut cur = start;
+        let mut hops = 0;
+        loop {
+            match sinks.get(&cur) {
+                Some(Sink::Via(next)) if hops < 16 => {
+                    cur = *next;
+                    names.push(format!("`{}`", ws.display(cur)));
+                    hops += 1;
+                }
+                Some(Sink::Direct { name, line }) => {
+                    let (f, _) = ws.site(cur);
+                    return format!("reaches `{name}` ({f}:{line}) via {}", names.join(" -> "));
+                }
+                _ => return format!("reaches a denied call via {}", names.join(" -> ")),
+            }
+        }
+    };
+    // Flag resolved calls made inside each publish_order section of the
+    // rule's files whose target is (or reaches) a sink.
+    let mut findings = Vec::new();
+    for (file_idx, file) in ws.files.iter().enumerate() {
+        if !rule.files.iter().any(|g| glob_match(g, file.path)) {
+            continue;
+        }
+        for section in publish_sections(&file.lexed.tokens, &file.syms.fns) {
+            if section.in_test {
+                continue;
+            }
+            let Some(fn_pos) = file
+                .syms
+                .fns
+                .iter()
+                .rposition(|f| section.lock_idx >= f.fn_idx && section.lock_idx <= f.end_idx)
+            else {
+                continue;
+            };
+            for call in &file.syms.calls[fn_pos] {
+                // Strictly inside: after the `.lock(` tokens, before the
+                // terminating `drop(guard)` (which sits at `section.end`).
+                if call.tok_idx <= section.lock_idx + 2 || call.tok_idx >= section.end {
+                    continue;
+                }
+                if rule.deny.iter().any(|d| d == &call.callee) {
+                    continue; // L2's finding, not ours
+                }
+                let Some(sink) =
+                    ws.resolve(file_idx, &call.callee).into_iter().find(|c| sinks.contains_key(c))
+                else {
+                    continue;
+                };
+                findings.push(Finding {
+                    rule: "l6".into(),
+                    file: file.path.to_string(),
+                    line: call.line,
+                    message: format!(
+                        "calling `{}` inside the publish_order critical section {} — blocking I/O serializes every committer; hoist it outside the section",
+                        call.callee,
+                        describe(sink)
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Finds every `Cargo.toml` under `root` (skipping `target/` and hidden
+/// directories) and extracts `[package] name` plus `path = "..."`
+/// dependencies, then closes the dependency relation transitively.
+/// IO errors are treated as "no crate there" — the graph degrades to
+/// the anonymous pool rather than failing the lint run.
+fn discover_crates(root: &Path) -> Vec<CrateInfo> {
+    let mut manifests = Vec::new();
+    collect_manifests(root, root, &mut manifests);
+    manifests.sort();
+    let mut crates: Vec<(CrateInfo, Vec<String>)> = Vec::new();
+    for rel in &manifests {
+        let Ok(src) = std::fs::read_to_string(root.join(rel)) else { continue };
+        let dir = match rel.rfind('/') {
+            Some(cut) => rel[..cut].to_string(),
+            None => String::new(), // workspace-root manifest
+        };
+        if let Some((name, dep_paths)) = parse_manifest(&src) {
+            let dep_dirs = dep_paths.iter().map(|p| normalize(&dir, p)).collect();
+            crates.push((CrateInfo { name, dir, deps: BTreeSet::new() }, dep_dirs));
+        }
+    }
+    // Dep paths → crate indices, then transitive closure.
+    let dir_to_idx: BTreeMap<String, usize> =
+        crates.iter().enumerate().map(|(i, (c, _))| (c.dir.clone(), i)).collect();
+    let direct: Vec<BTreeSet<usize>> = crates
+        .iter()
+        .map(|(_, dep_dirs)| dep_dirs.iter().filter_map(|d| dir_to_idx.get(d).copied()).collect())
+        .collect();
+    let n = crates.len();
+    let mut closed = direct.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let mut add = BTreeSet::new();
+            for &d in &closed[i] {
+                for &dd in &closed[d] {
+                    if dd != i && !closed[i].contains(&dd) {
+                        add.insert(dd);
+                    }
+                }
+            }
+            if !add.is_empty() {
+                closed[i].extend(add);
+                changed = true;
+            }
+        }
+    }
+    crates
+        .into_iter()
+        .zip(closed)
+        .map(|((mut c, _), deps)| {
+            c.deps = deps;
+            c
+        })
+        .collect()
+}
+
+fn collect_manifests(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_manifests(root, &path, out);
+        } else if name == "Cargo.toml" {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+/// Minimal `Cargo.toml` reader: `[package] name = "..."` plus every
+/// `path = "..."` inside a `[*dependencies*]` section (inline dep
+/// tables included). Returns `None` for manifests without a `[package]`
+/// (pure workspace roots).
+fn parse_manifest(src: &str) -> Option<(String, Vec<String>)> {
+    let mut name = None;
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = header.trim().to_string();
+            continue;
+        }
+        if section == "package" {
+            if let Some(rest) = line.strip_prefix("name") {
+                if let Some(v) = quoted_value(rest) {
+                    name = Some(v);
+                }
+            }
+        }
+        if section.contains("dependencies") {
+            // `foo = { path = "../bar" }` or, in a `[dependencies.foo]`
+            // section, a bare `path = "../bar"` line.
+            if let Some(at) = line.find("path") {
+                if let Some(v) = quoted_value(&line[at + "path".len()..]) {
+                    deps.push(v);
+                }
+            }
+        }
+    }
+    name.map(|n| (n, deps))
+}
+
+/// The first `= "..."` value in `rest`, if it starts with `=` (after
+/// whitespace) — rejects e.g. `name-suffix = ...` lines.
+fn quoted_value(rest: &str) -> Option<String> {
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('=')?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    rest.split('"').next().map(str::to_string)
+}
+
+/// Joins `dir` and a relative `path`, resolving `.` and `..` textually.
+fn normalize(dir: &str, path: &str) -> String {
+    let mut parts: Vec<&str> = dir.split('/').filter(|p| !p.is_empty()).collect();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            other => parts.push(other),
+        }
+    }
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn manifest_parsing() {
+        let (name, deps) = parse_manifest(
+            "[package]\nname = \"pass-core\"\n\n[dependencies]\npass-model = { path = \"../model\" }\nparking_lot = \"0.12\"\n[dependencies.pass-storage]\npath = \"../storage\"\n",
+        )
+        .unwrap();
+        assert_eq!(name, "pass-core");
+        assert_eq!(deps, vec!["../model", "../storage"]);
+        assert!(parse_manifest("[workspace]\nmembers = [\"a\"]\n").is_none());
+    }
+
+    #[test]
+    fn normalize_resolves_dotdot() {
+        assert_eq!(normalize("crates/core", "../model"), "crates/model");
+        assert_eq!(normalize("crates/core", "./sub"), "crates/core/sub");
+    }
+
+    #[test]
+    fn anonymous_pool_resolves_freely() {
+        let a = lex("fn caller() { helper(); }");
+        let b = lex("fn helper() { leaf(); }");
+        let ws = Workspace::build(
+            Path::new("/nonexistent-for-test"),
+            vec![("a.rs", &a), ("b.rs", &b)],
+            &[],
+        );
+        let targets = ws.resolve(0, "helper");
+        assert_eq!(targets.len(), 1);
+        assert_eq!(ws.display(targets[0]), "helper");
+        assert_eq!(ws.site(targets[0]).0, "b.rs");
+    }
+
+    #[test]
+    fn ignore_list_blocks_resolution() {
+        let a = lex("fn caller() { get(); }");
+        let b = lex("fn get() {}");
+        let ws = Workspace::build(
+            Path::new("/nonexistent-for-test"),
+            vec![("a.rs", &a), ("b.rs", &b)],
+            &["get".to_string()],
+        );
+        assert!(ws.resolve(0, "get").is_empty());
+    }
+
+    fn run_l6(sources: &[(&str, &str)], deny: &[&str]) -> Vec<crate::rules::Finding> {
+        let lexed: Vec<(String, crate::lexer::Lexed)> =
+            sources.iter().map(|(p, s)| (p.to_string(), lex(s))).collect();
+        let ws = Workspace::build(
+            Path::new("/nonexistent-for-test"),
+            lexed.iter().map(|(p, l)| (p.as_str(), l)),
+            &[],
+        );
+        let rule = crate::config::RuleConfig {
+            files: vec!["**".to_string()],
+            deny: deny.iter().map(|s| s.to_string()).collect(),
+            ..crate::config::RuleConfig::default()
+        };
+        check_l6(&rule, &ws)
+    }
+
+    #[test]
+    fn l6_two_hop_reachability_with_witness() {
+        let findings = run_l6(
+            &[
+                (
+                    "pass.rs",
+                    "fn commit(&self) { let order = self.publish_order.lock(); helper(); drop(order); }",
+                ),
+                ("a.rs", "fn helper() { persist(); }"),
+                ("b.rs", "fn persist(f: &File) { f.sync_all(); }"),
+            ],
+            &["sync_all"],
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("calling `helper`"), "{findings:?}");
+        assert!(
+            findings[0].message.contains("reaches `sync_all` (b.rs:1) via `helper` -> `persist`"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn l6_ignores_calls_outside_the_section() {
+        let findings = run_l6(
+            &[
+                (
+                    "pass.rs",
+                    "fn commit(&self) { let order = self.publish_order.lock(); bump(); drop(order); persist(); }",
+                ),
+                ("b.rs", "fn persist(f: &File) { f.sync_all(); }\nfn bump() { counter_add(); }"),
+            ],
+            &["sync_all"],
+        );
+        assert!(findings.is_empty(), "persist() after drop(order) is fine: {findings:?}");
+    }
+
+    #[test]
+    fn l6_leaves_directly_denied_names_to_l2() {
+        let findings = run_l6(
+            &[(
+                "pass.rs",
+                "fn commit(&self, f: &File) { let order = self.publish_order.lock(); f.sync_all(); drop(order); }",
+            )],
+            &["sync_all"],
+        );
+        assert!(findings.is_empty(), "direct denied call is L2's finding: {findings:?}");
+    }
+
+    #[test]
+    fn test_fns_are_not_callees() {
+        let a = lex("fn caller() { helper(); }");
+        let b = lex("#[cfg(test)]\nmod t { fn helper() {} }");
+        let ws = Workspace::build(
+            Path::new("/nonexistent-for-test"),
+            vec![("a.rs", &a), ("b.rs", &b)],
+            &[],
+        );
+        assert!(ws.resolve(0, "helper").is_empty());
+    }
+}

@@ -31,12 +31,41 @@ pub struct RuleConfig {
     pub allow_in: Vec<String>,
     /// Required doc-comment marker (L5).
     pub marker: Option<String>,
+    /// Lock-domain specs (L7): `"name:pattern[@glob]"` entries.
+    pub domains: Vec<String>,
+    /// Declared lock-domain acquisition order (L7) — the
+    /// machine-readable form of the L5 prose notes.
+    pub order: Vec<String>,
+    /// Domains safe to re-acquire while held because an internal order
+    /// exists (L7) — e.g. shard commit locks, taken ascending.
+    pub nestable: Vec<String>,
 }
 
-/// The full config: rule id (`l1`…`l5`) → its settings.
+/// `[callgraph]`: the corpus and resolution knobs for the
+/// interprocedural rules (L6/L7).
+#[derive(Debug, Clone)]
+pub struct CallgraphConfig {
+    /// Glob patterns selecting the call-graph corpus. Defaults to
+    /// `["**"]`; the real workspace narrows it to `crates/*/src/**` so
+    /// fixtures and tooling never join the graph.
+    pub files: Vec<String>,
+    /// Method/function names too generic for name-based resolution
+    /// (`get`, `insert`, `clone`, …) — calls to them resolve to nothing.
+    pub ignore_calls: Vec<String>,
+}
+
+impl Default for CallgraphConfig {
+    fn default() -> Self {
+        CallgraphConfig { files: vec!["**".to_string()], ignore_calls: Vec::new() }
+    }
+}
+
+/// The full config: rule id (`l1`…`l8`) → its settings, plus the
+/// call-graph corpus definition.
 #[derive(Debug, Default)]
 pub struct Config {
     pub rules: BTreeMap<String, RuleConfig>,
+    pub callgraph: CallgraphConfig,
 }
 
 /// A config-file problem, with its line number.
@@ -61,20 +90,37 @@ impl Config {
         let raw = parse_toml_subset(src)?;
         let mut config = Config::default();
         for ((table, key), (value, line)) in raw {
+            let err = |message: String| ConfigError { line, message };
+            if table == "callgraph" {
+                match (key.as_str(), value) {
+                    ("files", Value::List(v)) => config.callgraph.files = v,
+                    ("ignore_calls", Value::List(v)) => config.callgraph.ignore_calls = v,
+                    (other, _) => {
+                        return Err(err(format!(
+                            "unknown or mistyped key `{other}` in [callgraph]"
+                        )))
+                    }
+                }
+                continue;
+            }
             let Some(rule_id) = table.strip_prefix("rules.") else {
                 return Err(ConfigError {
                     line,
-                    message: format!("unexpected table [{table}] — rules live under [rules.*]"),
+                    message: format!(
+                        "unexpected table [{table}] — expected [rules.*] or [callgraph]"
+                    ),
                 });
             };
             let rule = config.rules.entry(rule_id.to_string()).or_default();
-            let err = |message: String| ConfigError { line, message };
             match (key.as_str(), value) {
                 ("files", Value::List(v)) => rule.files = v,
                 ("deny", Value::List(v)) => rule.deny = v,
                 ("triggers", Value::List(v)) => rule.triggers = v,
                 ("allow_in", Value::List(v)) => rule.allow_in = v,
                 ("marker", Value::Str(s)) => rule.marker = Some(s),
+                ("domains", Value::List(v)) => rule.domains = v,
+                ("order", Value::List(v)) => rule.order = v,
+                ("nestable", Value::List(v)) => rule.nestable = v,
                 (other, _) => {
                     return Err(err(format!("unknown or mistyped key `{other}` in [{table}]")))
                 }
@@ -200,5 +246,19 @@ marker = "Lock order"
         assert!(Config::parse("[rules.l1]\nderp = \"x\"").is_err());
         assert!(Config::parse("[rules.l1]\ndeny = [\"x\"]").is_err(), "files required");
         assert!(Config::parse("[other]\nfiles = [\"x\"]").is_err(), "tables live under rules.*");
+    }
+
+    #[test]
+    fn parses_callgraph_and_l7_keys() {
+        let cfg = Config::parse(
+            "[callgraph]\nfiles = [\"crates/*/src/**\"]\nignore_calls = [\"get\", \"insert\"]\n\n[rules.l7]\nfiles = [\"crates/**\"]\ndomains = [\"state:state.read@crates/core/src/pass.rs\"]\norder = [\"shard_commit\", \"state\"]\nnestable = [\"shard_commit\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.callgraph.files, vec!["crates/*/src/**"]);
+        assert_eq!(cfg.callgraph.ignore_calls.len(), 2);
+        assert_eq!(cfg.rules["l7"].domains.len(), 1);
+        assert_eq!(cfg.rules["l7"].order, vec!["shard_commit", "state"]);
+        assert_eq!(cfg.rules["l7"].nestable, vec!["shard_commit"]);
+        assert!(Config::parse("[callgraph]\nfils = [\"x\"]").is_err());
     }
 }

@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! pass-lint --workspace [--root DIR] [--config PATH]
+//!           [--json PATH|-] [--sarif PATH] [--audit-waivers]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage/config/IO error.
+//! `--json -` replaces the human-readable report on stdout with the
+//! versioned JSON report; `--json PATH`/`--sarif PATH` write the
+//! machine-readable reports alongside the normal output. Exit codes:
+//! `0` clean, `1` findings, `2` usage/config/IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -13,10 +17,14 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
     let mut workspace = false;
+    let mut json_out: Option<String> = None;
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut options = pass_lint::RunOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
+            "--audit-waivers" => options.audit_waivers = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage("--root needs a directory"),
@@ -25,8 +33,18 @@ fn main() -> ExitCode {
                 Some(p) => config_path = Some(PathBuf::from(p)),
                 None => return usage("--config needs a path"),
             },
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(p),
+                None => return usage("--json needs a path (or `-` for stdout)"),
+            },
+            "--sarif" => match args.next() {
+                Some(p) => sarif_out = Some(PathBuf::from(p)),
+                None => return usage("--sarif needs a path"),
+            },
             "--help" | "-h" => {
-                println!("pass-lint --workspace [--root DIR] [--config PATH]");
+                println!(
+                    "pass-lint --workspace [--root DIR] [--config PATH] [--json PATH|-] [--sarif PATH] [--audit-waivers]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -52,7 +70,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match pass_lint::run(&root, &config) {
+    let report = match pass_lint::run(&root, &config, &options) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("pass-lint: {e}");
@@ -60,18 +78,36 @@ fn main() -> ExitCode {
         }
     };
 
-    for finding in &report.findings {
-        println!("{finding}");
+    if let Some(path) = &sarif_out {
+        if let Err(e) = std::fs::write(path, pass_lint::sarif::to_sarif(&report)) {
+            eprintln!("pass-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
     }
-    for (file, rule, line) in &report.waivers {
-        println!("note: waiver honored at {file}:{line} [{rule}]");
+    match json_out.as_deref() {
+        Some("-") => print!("{}", pass_lint::sarif::to_json(&report)),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, pass_lint::sarif::to_json(&report)) {
+                eprintln!("pass-lint: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => {}
     }
-    println!(
-        "pass-lint: {} file(s) checked, {} finding(s), {} waiver(s) honored",
-        report.files_checked,
-        report.findings.len(),
-        report.waivers.len()
-    );
+    if json_out.as_deref() != Some("-") {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        for (file, rule, line) in &report.waivers {
+            println!("note: waiver honored at {file}:{line} [{rule}]");
+        }
+        println!(
+            "pass-lint: {} file(s) checked, {} finding(s), {} waiver(s) honored",
+            report.files_checked,
+            report.findings.len(),
+            report.waivers.len()
+        );
+    }
     if report.clean() {
         ExitCode::SUCCESS
     } else {
@@ -81,6 +117,8 @@ fn main() -> ExitCode {
 
 fn usage(message: &str) -> ExitCode {
     eprintln!("pass-lint: {message}");
-    eprintln!("usage: pass-lint --workspace [--root DIR] [--config PATH]");
+    eprintln!(
+        "usage: pass-lint --workspace [--root DIR] [--config PATH] [--json PATH|-] [--sarif PATH] [--audit-waivers]"
+    );
     ExitCode::from(2)
 }

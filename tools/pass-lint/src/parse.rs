@@ -1,0 +1,430 @@
+//! Parsing layer on top of [`crate::lexer`]: function items (with their
+//! `impl` type and attached doc comment), call sites, and the block
+//! structure the lock analysis needs. Same zero-dependency discipline
+//! as the lexer — no `syn`, no rustc: a token-pattern parser that
+//! extracts exactly the structure rules L1–L8 consume.
+//!
+//! Known approximations (shared with [`crate::callgraph`]):
+//! * method calls are recorded by *name* only — no receiver types, so
+//!   `x.apply(..)` later resolves to every workspace `fn apply`;
+//! * trait objects and closures called through variables (`f()`) do not
+//!   resolve at all;
+//! * macro bodies contribute their input tokens, not their expansion.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A function item with a body, as found in one file's token stream.
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// The `Type` of the enclosing `impl Type` / `impl Trait for Type`
+    /// block, when there is one — used for `Type::name` diagnostics.
+    pub impl_type: Option<String>,
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token range `[fn_idx, body_close]`, inclusive.
+    pub end_idx: usize,
+    /// Concatenated doc-comment text attached above the item.
+    pub doc: String,
+    /// Inside a `#[cfg(test)]` region or `#[test]` function.
+    pub in_test: bool,
+}
+
+impl FnItem {
+    /// `Type::name` when the impl type is known, else `name`.
+    pub fn display(&self) -> String {
+        match &self.impl_type {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `callee(...)` or `.callee(...)` site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub callee: String,
+    /// Token index of the callee identifier.
+    pub tok_idx: usize,
+    pub line: u32,
+}
+
+/// Everything the interprocedural rules need from one file.
+#[derive(Debug, Default)]
+pub struct FileSyms {
+    pub fns: Vec<FnItem>,
+    /// Call sites per function, parallel to `fns`.
+    pub calls: Vec<Vec<CallSite>>,
+    /// All `{`/`}` pairs, as `(open_idx, close_idx)` sorted by open.
+    pub braces: Vec<(usize, usize)>,
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+const NON_CALL_KEYWORDS: [&str; 10] =
+    ["if", "match", "while", "for", "return", "loop", "fn", "let", "in", "move"];
+
+/// Asserts panic deliberately; rules skip their argument tokens.
+pub const ASSERT_MACROS: [&str; 6] =
+    ["assert", "assert_eq", "assert_ne", "debug_assert", "debug_assert_eq", "debug_assert_ne"];
+
+/// Parses one lexed file into its symbol structure.
+pub fn parse_file(lexed: &crate::lexer::Lexed) -> FileSyms {
+    let tokens = &lexed.tokens;
+    let test = test_regions(tokens);
+    let impls = impl_extents(tokens);
+    let mut syms = FileSyms { braces: brace_pairs(tokens), ..FileSyms::default() };
+    for f in function_extents(tokens) {
+        let impl_type = impls
+            .iter()
+            .filter(|(open, close, _)| f.fn_idx > *open && f.end_idx <= *close)
+            .min_by_key(|(open, close, _)| close - open)
+            .map(|(_, _, ty)| ty.clone());
+        let in_test = in_regions(&test, f.fn_idx);
+        let calls = call_sites(tokens, f.body_open, f.end_idx);
+        syms.fns.push(FnItem { impl_type, in_test, ..f });
+        syms.calls.push(calls);
+    }
+    syms
+}
+
+/// Finds every `fn` item with a body and its attached doc comment.
+pub fn function_extents(tokens: &[Tok]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !is_ident(tokens, i, "fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else { continue };
+        if name_tok.kind != TokKind::Ident {
+            continue; // `fn` inside a type like `fn(` — not an item
+        }
+        // Body: the first `{` before any `;` (no body = trait method).
+        let mut j = i + 2;
+        let mut open = None;
+        while let Some(t) = tokens.get(j) {
+            if t.kind == TokKind::Punct {
+                if t.text == "{" {
+                    open = Some(j);
+                    break;
+                }
+                if t.text == ";" {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = matching(tokens, open, "{", "}").unwrap_or(tokens.len().saturating_sub(1));
+        out.push(FnItem {
+            name: name_tok.text.clone(),
+            impl_type: None,
+            line: tokens[i].line,
+            fn_idx: i,
+            body_open: open,
+            end_idx: close,
+            doc: attached_doc(tokens, i),
+            in_test: false,
+        });
+    }
+    out
+}
+
+/// `impl` block extents with their self type: `(open_idx, close_idx, Type)`.
+fn impl_extents(tokens: &[Tok]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !is_ident(tokens, i, "impl") {
+            continue;
+        }
+        let Some(open) = find_punct_from(tokens, i, "{") else { continue };
+        let Some(close) = matching(tokens, open, "{", "}") else { continue };
+        // Self type: the first identifier after `for` (trait impls), or
+        // the first identifier at angle-depth 0 (inherent impls).
+        let header = &tokens[i + 1..open];
+        let for_pos = header.iter().position(|t| t.kind == TokKind::Ident && t.text == "for");
+        let scan = match for_pos {
+            Some(p) => &header[p + 1..],
+            None => header,
+        };
+        let mut angle = 0i32;
+        let mut ty = None;
+        for t in scan {
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "<") => angle += 1,
+                (TokKind::Punct, ">") => angle -= 1,
+                (TokKind::Ident, "where") if angle <= 0 => break,
+                (TokKind::Ident, "dyn" | "mut" | "const") => {}
+                (TokKind::Ident, _) if angle <= 0 => {
+                    ty = Some(t.text.clone());
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if let Some(ty) = ty {
+            out.push((open, close, ty));
+        }
+    }
+    out
+}
+
+/// Call sites in `(from, to]`: identifiers directly followed by `(`,
+/// excluding control-flow keywords, macro invocations (`name!`), and
+/// `fn` definitions.
+fn call_sites(tokens: &[Tok], from: usize, to: usize) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for i in from + 1..=to.min(tokens.len().saturating_sub(1)) {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident
+            || NON_CALL_KEYWORDS.contains(&t.text.as_str())
+            || !is_punct(tokens, i + 1, "(")
+        {
+            continue;
+        }
+        if i > 0 && is_ident(tokens, i - 1, "fn") {
+            continue; // nested item definition
+        }
+        out.push(CallSite { callee: t.text.clone(), tok_idx: i, line: t.line });
+    }
+    out
+}
+
+/// All `{`/`}` pairs in the stream, sorted by opening index.
+pub fn brace_pairs(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut stack = Vec::new();
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => stack.push(i),
+            "}" => {
+                if let Some(open) = stack.pop() {
+                    out.push((open, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The closing index of the innermost block containing `idx`, or
+/// `tokens_len - 1` when `idx` sits outside every block.
+pub fn enclosing_block_end(braces: &[(usize, usize)], idx: usize, tokens_len: usize) -> usize {
+    braces
+        .iter()
+        .filter(|&&(open, close)| idx > open && idx < close)
+        .min_by_key(|&&(open, close)| close - open)
+        .map(|&(_, close)| close)
+        .unwrap_or(tokens_len.saturating_sub(1))
+}
+
+/// Token-index ranges under `#[cfg(test)]` items or `#[test]` functions:
+/// test code asserts by panicking, so the panic rules skip it.
+pub fn test_regions(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(tokens, i, "#") && is_punct(tokens, i + 1, "[") {
+            let is_cfg_test = is_ident(tokens, i + 2, "cfg")
+                && is_punct(tokens, i + 3, "(")
+                && (i + 4..i + 8).any(|j| is_ident(tokens, j, "test"));
+            let is_test_attr = is_ident(tokens, i + 2, "test") && is_punct(tokens, i + 3, "]");
+            if is_cfg_test || is_test_attr {
+                // Skip to the end of the attribute, then of the item body.
+                let attr_end = matching(tokens, i + 1, "[", "]").unwrap_or(i + 1);
+                if let Some(open) = find_punct_from(tokens, attr_end, "{") {
+                    let close =
+                        matching(tokens, open, "{", "}").unwrap_or(tokens.len().saturating_sub(1));
+                    regions.push((i, close));
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+pub fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(a, b)| idx >= a && idx <= b)
+}
+
+/// Walks back from the `fn` keyword over visibility/qualifier tokens and
+/// attributes, collecting contiguous doc comments.
+fn attached_doc(tokens: &[Tok], fn_idx: usize) -> String {
+    const QUALIFIERS: [&str; 8] =
+        ["pub", "crate", "super", "self", "in", "unsafe", "async", "const"];
+    let mut i = fn_idx;
+    let mut docs: Vec<&str> = Vec::new();
+    while i > 0 {
+        let prev = &tokens[i - 1];
+        match prev.kind {
+            TokKind::Ident if QUALIFIERS.contains(&prev.text.as_str()) => i -= 1,
+            TokKind::Punct if prev.text == ")" || prev.text == "(" => i -= 1, // pub(crate)
+            TokKind::Punct if prev.text == "]" => {
+                // Attribute: scan back to its `#[`.
+                let mut depth = 1;
+                let mut j = i - 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match tokens[j].text.as_str() {
+                        "]" if tokens[j].kind == TokKind::Punct => depth += 1,
+                        "[" if tokens[j].kind == TokKind::Punct => depth -= 1,
+                        _ => {}
+                    }
+                }
+                i = j.saturating_sub(1); // the `#`
+            }
+            TokKind::DocComment => {
+                docs.push(&prev.text);
+                i -= 1;
+            }
+            _ => break,
+        }
+    }
+    docs.reverse();
+    docs.join("\n")
+}
+
+// ---- token helpers -------------------------------------------------------
+
+pub fn is_ident(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+pub fn is_punct(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+/// Index of the matching closer for the opener at `open_idx`.
+pub fn matching(tokens: &[Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.kind == TokKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+    }
+    None
+}
+
+pub fn find_punct_from(tokens: &[Tok], from: usize, text: &str) -> Option<usize> {
+    (from..tokens.len()).find(|&i| is_punct(tokens, i, text))
+}
+
+/// The end of the statement containing `from`: the first `;` at or
+/// below the starting nesting depth, or the index where the enclosing
+/// block closes. Used for temporary-guard extents.
+pub fn statement_end(tokens: &[Tok], from: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(from) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            ";" if depth <= 0 => return i,
+            _ => {}
+        }
+        if depth < 0 {
+            return i;
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fn_extents_and_docs() {
+        let lexed = lex(
+            "/// Does a thing.\n/// Lock order: none.\n#[inline]\npub(crate) fn f() { body(); }\nfn g() {}",
+        );
+        let fns = function_extents(&lexed.tokens);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "f");
+        assert!(fns[0].doc.contains("Lock order"));
+        assert_eq!(fns[1].name, "g");
+        assert!(fns[1].doc.is_empty());
+    }
+
+    #[test]
+    fn impl_types_attach_to_methods() {
+        let lexed = lex(
+            "impl Engine { fn go(&self) { helper(); } }\nimpl KvStore for Routed<T> { fn apply(&self) {} }\nfn free() {}",
+        );
+        let syms = parse_file(&lexed);
+        assert_eq!(syms.fns[0].display(), "Engine::go");
+        assert_eq!(syms.fns[1].display(), "Routed::apply");
+        assert_eq!(syms.fns[2].display(), "free");
+    }
+
+    #[test]
+    fn call_sites_skip_keywords_and_macros() {
+        let lexed =
+            lex("fn f() { if cond(x) { vec![1]; g(); h.method(y); assert!(t(z)); return (1); } }");
+        let syms = parse_file(&lexed);
+        let names: Vec<&str> = syms.calls[0].iter().map(|c| c.callee.as_str()).collect();
+        // `vec!` is a macro, `if`/`return` are keywords; `assert` is an
+        // ident followed by `!` so it never looks like a call, but its
+        // argument `t(z)` does.
+        assert_eq!(names, vec!["cond", "g", "method", "t"]);
+    }
+
+    #[test]
+    fn statement_end_respects_nesting() {
+        let lexed = lex("fn f() { let a = g(h(); i()); j(); }");
+        // `;` inside the g(...) parens is at depth > 0 — the statement
+        // ends at the `;` after the outer `)`.
+        let g_idx = lexed.tokens.iter().position(|t| t.text == "g").unwrap();
+        let end = statement_end(&lexed.tokens, g_idx);
+        let j_idx = lexed.tokens.iter().position(|t| t.text == "j").unwrap();
+        assert!(end < j_idx);
+        assert_eq!(lexed.tokens[end].text, ";");
+    }
+
+    #[test]
+    fn block_structure() {
+        let lexed = lex("fn f() { { inner(); } tail(); }");
+        let braces = brace_pairs(&lexed.tokens);
+        assert_eq!(braces.len(), 2);
+        let inner_idx = lexed.tokens.iter().position(|t| t.text == "inner").unwrap();
+        let end = enclosing_block_end(&braces, inner_idx, lexed.tokens.len());
+        let tail_idx = lexed.tokens.iter().position(|t| t.text == "tail").unwrap();
+        assert!(end < tail_idx, "inner block closes before tail()");
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let lexed = lex("fn live() { x.f(); }\n#[cfg(test)]\nmod tests { fn t() { y.f(); } }");
+        let regions = test_regions(&lexed.tokens);
+        assert_eq!(regions.len(), 1);
+        let syms = parse_file(&lexed);
+        assert!(!syms.fns[0].in_test);
+        assert!(syms.fns[1].in_test);
+    }
+}

@@ -1,6 +1,6 @@
-//! The PASS invariant rules, evaluated over [`crate::lexer`] token
-//! streams. Rule ids are stable (`l1`…`l5`) — they appear in waiver
-//! comments and CI output:
+//! The per-file PASS invariant rules, evaluated over [`crate::lexer`]
+//! token streams and the [`crate::parse`] symbol layer. Rule ids are
+//! stable — they appear in waiver comments and CI output:
 //!
 //! * **l1** — no `unwrap`/`expect`/slice-index panics in crash-safety
 //!   modules. Recovery code must surface corrupt bytes as errors.
@@ -12,14 +12,24 @@
 //!   in simulator/virtual-clock code.
 //! * **l5** — every function on the commit path documents its
 //!   lock-ordering position (a `Lock order` doc-comment marker).
+//! * **l8** — crash-path modules must not silently drop I/O errors:
+//!   `let _ = ...`, `.ok()` / `.unwrap_or*()` on a `Result`-returning
+//!   I/O call, and short-write-prone bare `write(..)?` are findings.
 //!
-//! Waivers: `// pass-lint: allow(<rule>, reason="...")` on the finding
-//! line or the line above. Waivers without a reason are themselves
-//! findings; honored waivers are counted and reported.
+//! The interprocedural rules live elsewhere: **l6** (publish-order
+//! reachability) in [`crate::callgraph`], **l7** (lock-order graph) in
+//! [`crate::locks`]. Waiver syntax is shared by all rules:
+//! `// pass-lint: allow(<rule>, reason="...")` on the finding line or
+//! the line above. Waivers without a reason are themselves findings;
+//! honored waivers are counted and reported, and `--audit-waivers`
+//! turns waivers that suppress nothing into `stale-waiver` findings.
 
 use crate::config::{Config, RuleConfig};
 use crate::lexer::{Comment, Lexed, Tok, TokKind};
-use std::collections::BTreeSet;
+use crate::parse::{
+    find_punct_from, in_regions, is_ident, is_punct, matching, statement_end, FileSyms, FnItem,
+    ASSERT_MACROS,
+};
 
 /// One rule violation.
 #[derive(Debug, Clone)]
@@ -37,20 +47,12 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// The outcome of linting one file.
-#[derive(Debug, Default)]
-pub struct FileReport {
-    pub findings: Vec<Finding>,
-    /// `(rule, line)` of each honored waiver.
-    pub waivers_honored: Vec<(String, u32)>,
-}
-
 /// A parsed `pass-lint: allow(rule, reason="…")` comment.
 #[derive(Debug)]
-struct Waiver {
-    rule: String,
-    line: u32,
-    reason_ok: bool,
+pub struct Waiver {
+    pub rule: String,
+    pub line: u32,
+    pub reason_ok: bool,
 }
 
 /// Matches `path` (with `/` separators) against a glob supporting `*`
@@ -96,20 +98,11 @@ pub fn glob_match(pattern: &str, path: &str) -> bool {
     rec(&segs(pattern), &segs(path))
 }
 
-/// Lints one file against every rule whose globs match `rel_path`.
-pub fn check_file(config: &Config, rel_path: &str, lexed: &Lexed) -> FileReport {
-    let mut report = FileReport::default();
-    // A file outside every rule's scope is fully inert — its waiver
-    // comments are not validated either (they waive nothing), which
-    // keeps e.g. the linter's own ui fixtures out of a workspace run.
-    if !config.rules.values().any(|r| r.files.iter().any(|g| glob_match(g, rel_path))) {
-        return report;
-    }
-    let (waivers, waiver_findings) = parse_waivers(&lexed.comments, rel_path);
-    report.findings.extend(waiver_findings);
-    let skip = test_regions(&lexed.tokens);
-    let fns = function_extents(&lexed.tokens);
-
+/// Runs every *per-file* rule whose globs match `rel_path`, returning
+/// raw (un-waived) findings. Waiver application happens in
+/// [`crate::run`], once, over per-file and workspace findings alike.
+pub fn check_file(config: &Config, rel_path: &str, lexed: &Lexed, syms: &FileSyms) -> Vec<Finding> {
+    let skip = crate::parse::test_regions(&lexed.tokens);
     let mut raw: Vec<Finding> = Vec::new();
     for (rule_id, rule) in &config.rules {
         if !rule.files.iter().any(|g| glob_match(g, rel_path)) {
@@ -117,10 +110,13 @@ pub fn check_file(config: &Config, rel_path: &str, lexed: &Lexed) -> FileReport 
         }
         let findings = match rule_id.as_str() {
             "l1" => check_l1(rel_path, lexed, &skip),
-            "l2" => check_l2(rel_path, lexed, rule, &fns),
-            "l3" => check_l3(rel_path, lexed, rule, &fns),
+            "l2" => check_l2(rel_path, lexed, rule, &syms.fns),
+            "l3" => check_l3(rel_path, lexed, rule, &syms.fns),
             "l4" => check_l4(rel_path, lexed, rule, &skip),
-            "l5" => check_l5(rel_path, lexed, rule, &fns, &skip),
+            "l5" => check_l5(rel_path, lexed, rule, &syms.fns, &skip),
+            "l8" => check_l8(rel_path, lexed, rule, &skip),
+            // Workspace-level rules: handled once per run, not per file.
+            "l6" | "l7" => Vec::new(),
             other => vec![Finding {
                 rule: other.to_string(),
                 file: rel_path.to_string(),
@@ -130,29 +126,12 @@ pub fn check_file(config: &Config, rel_path: &str, lexed: &Lexed) -> FileReport 
         };
         raw.extend(findings);
     }
-
-    // Apply waivers: a finding is waived by a matching-rule waiver on
-    // its own line or the line directly above.
-    let mut honored: BTreeSet<(String, u32)> = BTreeSet::new();
-    for finding in raw {
-        let waived = waivers.iter().find(|w| {
-            w.rule == finding.rule
-                && w.reason_ok
-                && (w.line == finding.line || w.line + 1 == finding.line)
-        });
-        match waived {
-            Some(w) => {
-                honored.insert((w.rule.clone(), w.line));
-            }
-            None => report.findings.push(finding),
-        }
-    }
-    report.waivers_honored = honored.into_iter().collect();
-    report.findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
-    report
+    raw
 }
 
-fn parse_waivers(comments: &[Comment], file: &str) -> (Vec<Waiver>, Vec<Finding>) {
+/// Extracts waiver comments. Malformed or reason-less waivers come back
+/// as findings (they are never themselves waivable).
+pub fn parse_waivers(comments: &[Comment], file: &str) -> (Vec<Waiver>, Vec<Finding>) {
     let mut waivers = Vec::new();
     let mut findings = Vec::new();
     for c in comments {
@@ -195,130 +174,7 @@ fn parse_waivers(comments: &[Comment], file: &str) -> (Vec<Waiver>, Vec<Finding>
     (waivers, findings)
 }
 
-/// Token-index ranges under `#[cfg(test)]` items or `#[test]` functions:
-/// test code asserts by panicking, so l1/l4 skip it.
-fn test_regions(tokens: &[Tok]) -> Vec<(usize, usize)> {
-    let mut regions = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        if is_punct(tokens, i, "#") && is_punct(tokens, i + 1, "[") {
-            let is_cfg_test = is_ident(tokens, i + 2, "cfg")
-                && is_punct(tokens, i + 3, "(")
-                && (i + 4..i + 8).any(|j| is_ident(tokens, j, "test"));
-            let is_test_attr = is_ident(tokens, i + 2, "test") && is_punct(tokens, i + 3, "]");
-            if is_cfg_test || is_test_attr {
-                // Skip to the end of the attribute, then of the item body.
-                let attr_end = matching(tokens, i + 1, "[", "]").unwrap_or(i + 1);
-                if let Some(open) = find_punct_from(tokens, attr_end, "{") {
-                    let close = matching(tokens, open, "{", "}").unwrap_or(tokens.len() - 1);
-                    regions.push((i, close));
-                    i = close + 1;
-                    continue;
-                }
-            }
-        }
-        i += 1;
-    }
-    regions
-}
-
-fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
-    regions.iter().any(|&(a, b)| idx >= a && idx <= b)
-}
-
-/// A function's extent in the token stream.
-#[derive(Debug)]
-pub struct FnExtent {
-    pub name: String,
-    pub line: u32,
-    /// Token index of the `fn` keyword.
-    pub fn_idx: usize,
-    /// Token range `[fn_idx, body_close]`, inclusive.
-    pub end_idx: usize,
-    /// Concatenated doc-comment text attached above the item.
-    pub doc: String,
-}
-
-/// Finds every `fn` item with a body and its attached doc comment.
-pub fn function_extents(tokens: &[Tok]) -> Vec<FnExtent> {
-    let mut out = Vec::new();
-    for i in 0..tokens.len() {
-        if !is_ident(tokens, i, "fn") {
-            continue;
-        }
-        let Some(name_tok) = tokens.get(i + 1) else { continue };
-        if name_tok.kind != TokKind::Ident {
-            continue; // `fn` inside a type like `fn(` — not an item
-        }
-        // Body: the first `{` before any `;` (no body = trait method).
-        let mut j = i + 2;
-        let mut open = None;
-        while let Some(t) = tokens.get(j) {
-            if t.kind == TokKind::Punct {
-                if t.text == "{" {
-                    open = Some(j);
-                    break;
-                }
-                if t.text == ";" {
-                    break;
-                }
-            }
-            j += 1;
-        }
-        let Some(open) = open else { continue };
-        let close = matching(tokens, open, "{", "}").unwrap_or(tokens.len() - 1);
-        out.push(FnExtent {
-            name: name_tok.text.clone(),
-            line: tokens[i].line,
-            fn_idx: i,
-            end_idx: close,
-            doc: attached_doc(tokens, i),
-        });
-    }
-    out
-}
-
-/// Walks back from the `fn` keyword over visibility/qualifier tokens and
-/// attributes, collecting contiguous doc comments.
-fn attached_doc(tokens: &[Tok], fn_idx: usize) -> String {
-    const QUALIFIERS: [&str; 8] =
-        ["pub", "crate", "super", "self", "in", "unsafe", "async", "const"];
-    let mut i = fn_idx;
-    let mut docs: Vec<&str> = Vec::new();
-    while i > 0 {
-        let prev = &tokens[i - 1];
-        match prev.kind {
-            TokKind::Ident if QUALIFIERS.contains(&prev.text.as_str()) => i -= 1,
-            TokKind::Punct if prev.text == ")" || prev.text == "(" => i -= 1, // pub(crate)
-            TokKind::Punct if prev.text == "]" => {
-                // Attribute: scan back to its `#[`.
-                let mut depth = 1;
-                let mut j = i - 1;
-                while j > 0 && depth > 0 {
-                    j -= 1;
-                    match tokens[j].text.as_str() {
-                        "]" if tokens[j].kind == TokKind::Punct => depth += 1,
-                        "[" if tokens[j].kind == TokKind::Punct => depth -= 1,
-                        _ => {}
-                    }
-                }
-                i = j.saturating_sub(1); // the `#`
-            }
-            TokKind::DocComment => {
-                docs.push(&prev.text);
-                i -= 1;
-            }
-            _ => break,
-        }
-    }
-    docs.reverse();
-    docs.join("\n")
-}
-
 // ---- L1: no panics in crash-safety modules -------------------------------
-
-const ASSERT_MACROS: [&str; 6] =
-    ["assert", "assert_eq", "assert_ne", "debug_assert", "debug_assert_eq", "debug_assert_ne"];
 
 fn check_l1(file: &str, lexed: &Lexed, skip: &[(usize, usize)]) -> Vec<Finding> {
     let tokens = &lexed.tokens;
@@ -392,9 +248,13 @@ fn is_keyword_before_bracket(text: &str) -> bool {
 
 // ---- L2: the publish_order section stays short ---------------------------
 
-fn check_l2(file: &str, lexed: &Lexed, rule: &RuleConfig, fns: &[FnExtent]) -> Vec<Finding> {
-    let tokens = &lexed.tokens;
-    let mut findings = Vec::new();
+/// Finds each `publish_order.lock()` critical section in the token
+/// stream: `(lock site index, guard name, section end index)`. The end
+/// is the matching `drop(<guard>)`, or the end of the owning function
+/// when the section is never explicitly closed (`closed = false`).
+/// Shared by the lexical L2 and the interprocedural L6.
+pub fn publish_sections(tokens: &[Tok], fns: &[FnItem]) -> Vec<PublishSection> {
+    let mut out = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
         if !is_ident(tokens, i, "publish_order")
@@ -404,12 +264,11 @@ fn check_l2(file: &str, lexed: &Lexed, rule: &RuleConfig, fns: &[FnExtent]) -> V
             i += 1;
             continue;
         }
-        // An unterminated section is reported at the end of its function,
+        // An unterminated section is capped at the end of its function,
         // not hunted through the rest of the file.
-        let fn_end = fns
-            .iter()
-            .rfind(|f| i >= f.fn_idx && i <= f.end_idx)
-            .map_or(tokens.len() - 1, |f| f.end_idx);
+        let owner = fns.iter().rfind(|f| i >= f.fn_idx && i <= f.end_idx);
+        let fn_end = owner.map_or(tokens.len() - 1, |f| f.end_idx);
+        let in_test = owner.is_some_and(|f| f.in_test);
         // Guard name: `let <name> = ... publish_order.lock()`.
         let guard = (0..i)
             .rev()
@@ -417,29 +276,59 @@ fn check_l2(file: &str, lexed: &Lexed, rule: &RuleConfig, fns: &[FnExtent]) -> V
             .find(|&j| is_ident(tokens, j, "let"))
             .and_then(|j| tokens.get(j + 1))
             .map(|t| t.text.clone());
-        let Some(guard) = guard else {
+        let mut end = fn_end;
+        let mut closed = false;
+        if let Some(guard_name) = &guard {
+            let mut j = i + 3;
+            while j <= fn_end {
+                if is_ident(tokens, j, "drop")
+                    && is_punct(tokens, j + 1, "(")
+                    && is_ident(tokens, j + 2, guard_name)
+                {
+                    end = j;
+                    closed = true;
+                    break;
+                }
+                j += 1;
+            }
+        }
+        out.push(PublishSection { lock_idx: i, line: tokens[i].line, guard, end, closed, in_test });
+        i = end + 1;
+    }
+    out
+}
+
+/// One `publish_order` critical section (see [`publish_sections`]).
+#[derive(Debug)]
+pub struct PublishSection {
+    /// Token index of the `publish_order` identifier.
+    pub lock_idx: usize,
+    pub line: u32,
+    /// `let` binding name of the guard, when bound.
+    pub guard: Option<String>,
+    /// Last token index inside the section (the `drop` call, or the
+    /// function end when unterminated).
+    pub end: usize,
+    pub closed: bool,
+    /// The section sits inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+fn check_l2(file: &str, lexed: &Lexed, rule: &RuleConfig, fns: &[FnItem]) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let mut findings = Vec::new();
+    for section in publish_sections(tokens, fns) {
+        let Some(guard) = &section.guard else {
             findings.push(Finding {
                 rule: "l2".into(),
                 file: file.into(),
-                line: tokens[i].line,
+                line: section.line,
                 message: "publish_order guard must be bound with `let` so its scope is explicit"
                     .into(),
             });
-            i += 3;
             continue;
         };
-        // Section extent: from the lock to `drop(<guard>)`.
-        let mut j = i + 3;
-        let mut closed = false;
-        while j <= fn_end {
-            if is_ident(tokens, j, "drop")
-                && is_punct(tokens, j + 1, "(")
-                && is_ident(tokens, j + 2, &guard)
-            {
-                closed = true;
-                break;
-            }
-            let t = &tokens[j];
+        for t in tokens.iter().take(section.end + 1).skip(section.lock_idx + 3) {
             if t.kind == TokKind::Ident && rule.deny.iter().any(|d| d == &t.text) {
                 findings.push(Finding {
                     rule: "l2".into(),
@@ -451,26 +340,24 @@ fn check_l2(file: &str, lexed: &Lexed, rule: &RuleConfig, fns: &[FnExtent]) -> V
                     ),
                 });
             }
-            j += 1;
         }
-        if !closed {
+        if !section.closed {
             findings.push(Finding {
                 rule: "l2".into(),
                 file: file.into(),
-                line: tokens[i].line,
+                line: section.line,
                 message: format!(
                     "publish_order section never reaches `drop({guard})` — end it explicitly"
                 ),
             });
         }
-        i = j + 1;
     }
     findings
 }
 
 // ---- L3: shard locks only via the ascending-order helpers ----------------
 
-fn check_l3(file: &str, lexed: &Lexed, rule: &RuleConfig, fns: &[FnExtent]) -> Vec<Finding> {
+fn check_l3(file: &str, lexed: &Lexed, rule: &RuleConfig, fns: &[FnItem]) -> Vec<Finding> {
     let tokens = &lexed.tokens;
     let field = rule.triggers.first().map(String::as_str).unwrap_or("locks");
     let mut findings = Vec::new();
@@ -536,14 +423,14 @@ fn check_l5(
     file: &str,
     lexed: &Lexed,
     rule: &RuleConfig,
-    fns: &[FnExtent],
+    fns: &[FnItem],
     skip: &[(usize, usize)],
 ) -> Vec<Finding> {
     let tokens = &lexed.tokens;
     let marker = rule.marker.as_deref().unwrap_or("Lock order");
     let mut findings = Vec::new();
     for f in fns {
-        if in_regions(skip, f.fn_idx) {
+        if f.in_test || in_regions(skip, f.fn_idx) {
             continue;
         }
         let triggered = (f.fn_idx..=f.end_idx).any(|i| {
@@ -566,41 +453,131 @@ fn check_l5(
     findings
 }
 
-// ---- token helpers -------------------------------------------------------
+// ---- L8: crash paths must not silently drop I/O errors -------------------
 
-fn is_ident(tokens: &[Tok], i: usize, text: &str) -> bool {
-    tokens.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
-}
+/// `.method()` chains that discard a `Result`'s error silently.
+const DROP_CHAIN: [&str; 3] = ["ok", "unwrap_or_default", "unwrap_or"];
 
-fn is_punct(tokens: &[Tok], i: usize, text: &str) -> bool {
-    tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
-}
-
-/// Index of the matching closer for the opener at `open_idx`.
-fn matching(tokens: &[Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
-    let mut depth = 0usize;
-    for (i, t) in tokens.iter().enumerate().skip(open_idx) {
-        if t.kind == TokKind::Punct {
-            if t.text == open {
-                depth += 1;
-            } else if t.text == close {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(i);
+fn check_l8(file: &str, lexed: &Lexed, rule: &RuleConfig, skip: &[(usize, usize)]) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if in_regions(skip, i) {
+            i += 1;
+            continue;
+        }
+        // Pattern A: `let _ = <stmt containing an I/O call>;` — the
+        // classic silent drop. Reported once per statement, at the
+        // first denied call it contains.
+        if is_ident(tokens, i, "let")
+            && tokens.get(i + 1).is_some_and(|t| t.text == "_" && t.kind == TokKind::Ident)
+            && is_punct(tokens, i + 2, "=")
+        {
+            let end = statement_end(tokens, i + 3);
+            if let Some((name, line)) = first_denied_call(tokens, i + 3, end, &rule.deny) {
+                findings.push(Finding {
+                    rule: "l8".into(),
+                    file: file.into(),
+                    line,
+                    message: format!(
+                        "`let _ =` discards the `{name}` result — a crash-path I/O error must be handled or propagated"
+                    ),
+                });
+            }
+            i = end + 1;
+            continue;
+        }
+        // Patterns B/C/D anchor on the denied call itself.
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident
+            && rule.deny.iter().any(|d| d == &t.text)
+            && is_punct(tokens, i + 1, "(")
+            && !(i >= 1 && is_ident(tokens, i - 1, "fn"))
+        {
+            if let Some(close) = matching(tokens, i + 1, "(", ")") {
+                // B/C: `io_call(..).ok()` / `.unwrap_or_default()` /
+                // `.unwrap_or(..)` — converts the error away silently.
+                if is_punct(tokens, close + 1, ".")
+                    && tokens.get(close + 2).is_some_and(|m| {
+                        m.kind == TokKind::Ident && DROP_CHAIN.contains(&m.text.as_str())
+                    })
+                    && is_punct(tokens, close + 3, "(")
+                {
+                    findings.push(Finding {
+                        rule: "l8".into(),
+                        file: file.into(),
+                        line: t.line,
+                        message: format!(
+                            "`.{}()` on the `{}` result silently drops the I/O error — crash-path errors must be handled or propagated",
+                            tokens[close + 2].text, t.text
+                        ),
+                    });
+                }
+                // D: bare `write(..)?` — propagates the error but drops
+                // the *count*: a short write is silent data loss on the
+                // crash path. Only `write` is short-write-prone.
+                if t.text == "write"
+                    && i >= 1
+                    && is_punct(tokens, i - 1, ".")
+                    && is_punct(tokens, close + 1, "?")
+                    && !statement_binds_result(tokens, i)
+                {
+                    findings.push(Finding {
+                        rule: "l8".into(),
+                        file: file.into(),
+                        line: t.line,
+                        message: "`write(..)?` ignores the bytes-written count — a short write is silent truncation; use `write_all` or check the returned length".into(),
+                    });
                 }
             }
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// First call to a denied name in `[from, to]`, as `(name, line)`.
+fn first_denied_call(
+    tokens: &[Tok],
+    from: usize,
+    to: usize,
+    deny: &[String],
+) -> Option<(String, u32)> {
+    for i in from..=to.min(tokens.len().saturating_sub(1)) {
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident
+            && deny.iter().any(|d| d == &t.text)
+            && is_punct(tokens, i + 1, "(")
+        {
+            return Some((t.text.clone(), t.line));
         }
     }
     None
 }
 
-fn find_punct_from(tokens: &[Tok], from: usize, text: &str) -> Option<usize> {
-    (from..tokens.len()).find(|&i| is_punct(tokens, i, text))
+/// Whether the statement containing `site` binds its value to a named
+/// place (`let name = ...` with `name != _`) — in which case the caller
+/// is presumed to inspect the result.
+fn statement_binds_result(tokens: &[Tok], site: usize) -> bool {
+    let mut j = site;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            return false;
+        }
+        if t.kind == TokKind::Ident && t.text == "let" {
+            return tokens.get(j + 1).is_some_and(|n| n.kind == TokKind::Ident && n.text != "_");
+        }
+    }
+    false
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parse::{parse_file, test_regions};
 
     #[test]
     fn globs() {
@@ -609,19 +586,6 @@ mod tests {
         assert!(glob_match("crates/**/*.rs", "crates/core/src/pass.rs"));
         assert!(glob_match("**/sim.rs", "crates/net/src/sim.rs"));
         assert!(!glob_match("crates/net/src/sim.rs", "crates/net/src/time.rs"));
-    }
-
-    #[test]
-    fn fn_extents_and_docs() {
-        let lexed = crate::lexer::lex(
-            "/// Does a thing.\n/// Lock order: none.\n#[inline]\npub(crate) fn f() { body(); }\nfn g() {}",
-        );
-        let fns = function_extents(&lexed.tokens);
-        assert_eq!(fns.len(), 2);
-        assert_eq!(fns[0].name, "f");
-        assert!(fns[0].doc.contains("Lock order"));
-        assert_eq!(fns[1].name, "g");
-        assert!(fns[1].doc.is_empty());
     }
 
     #[test]
@@ -640,5 +604,71 @@ mod tests {
             crate::lexer::lex("fn f(w: &[u8]) { debug_assert!(w[0] < w[1]); let x = w[0]; }");
         let findings = check_l1("f.rs", &lexed, &[]);
         assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn publish_section_extents() {
+        let lexed = crate::lexer::lex(
+            "fn good(&self) { let order = self.publish_order.lock(); work(); drop(order); after(); }\n\
+             fn bad(&self) { let order = self.publish_order.lock(); work(); }",
+        );
+        let syms = parse_file(&lexed);
+        let sections = publish_sections(&lexed.tokens, &syms.fns);
+        assert_eq!(sections.len(), 2);
+        assert!(sections[0].closed);
+        let after_idx = lexed.tokens.iter().position(|t| t.text == "after").unwrap();
+        assert!(sections[0].end < after_idx, "section ends at drop(order)");
+        assert!(!sections[1].closed);
+    }
+
+    fn l8(src: &str, deny: &[&str]) -> Vec<Finding> {
+        let lexed = crate::lexer::lex(src);
+        let rule = RuleConfig {
+            deny: deny.iter().map(|s| s.to_string()).collect(),
+            ..RuleConfig::default()
+        };
+        check_l8("f.rs", &lexed, &rule, &test_regions(&lexed.tokens))
+    }
+
+    #[test]
+    fn l8_let_underscore_drop() {
+        let findings = l8("fn f(&mut self) { let _ = self.file.flush(); }", &["flush"]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`let _ =` discards the `flush` result"));
+        // A named binding is fine — the caller can inspect it.
+        assert!(
+            l8("fn f(&mut self) { let r = self.file.flush(); r.unwrap(); }", &["flush"]).is_empty()
+        );
+    }
+
+    #[test]
+    fn l8_ok_and_unwrap_or_chains() {
+        let findings = l8("fn f(&mut self) { self.file.sync_all().ok(); }", &["sync_all", "flush"]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("`.ok()` on the `sync_all` result"));
+        let findings = l8("fn f(&mut self) { w.write(buf).unwrap_or_default(); }", &["write"]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        // `?` propagation is the sanctioned pattern.
+        assert!(
+            l8("fn f(&mut self) -> R { self.file.sync_all()?; Ok(()) }", &["sync_all"]).is_empty()
+        );
+    }
+
+    #[test]
+    fn l8_short_write() {
+        let findings = l8("fn f(w: &mut W) -> R { w.write(&buf)?; Ok(()) }", &["write"]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("short write"));
+        assert!(l8("fn f(w: &mut W) -> R { let n = w.write(&buf)?; Ok(n) }", &["write"]).is_empty());
+        assert!(l8("fn f(w: &mut W) -> R { w.write_all(&buf)?; Ok(()) }", &["write"]).is_empty());
+    }
+
+    #[test]
+    fn l8_skips_test_code() {
+        let findings = l8(
+            "#[cfg(test)]\nmod t { fn f(&mut self) { let _ = self.file.flush(); } }",
+            &["flush"],
+        );
+        assert!(findings.is_empty(), "{findings:?}");
     }
 }

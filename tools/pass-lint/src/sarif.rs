@@ -1,0 +1,185 @@
+//! Machine-readable output: a versioned JSON report (pinned by a
+//! snapshot test) and SARIF 2.1.0 for GitHub code-scanning
+//! annotations. Hand-rolled serialization — the linter has no serde.
+
+use crate::RunReport;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The pass-lint JSON report, schema version 1:
+///
+/// ```json
+/// {
+///   "schema": 1,
+///   "files_checked": N,
+///   "findings": [{"rule": "...", "file": "...", "line": N, "message": "..."}],
+///   "waivers": [{"rule": "...", "file": "...", "line": N}],
+///   "summary": {"findings": N, "waivers": N}
+/// }
+/// ```
+///
+/// Stale-waiver findings (from `--audit-waivers`) appear in `findings`
+/// under the rule id `stale-waiver`. Changing any field name or shape
+/// requires bumping `schema` and the ui snapshot.
+pub fn to_json(report: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    let _ = writeln!(out, "  \"files_checked\": {},", report.files_checked);
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let sep = if i + 1 < report.findings.len() { "," } else { "" };
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{sep}",
+            esc(&f.rule),
+            esc(&f.file),
+            f.line,
+            esc(&f.message)
+        );
+    }
+    out.push_str(if report.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"waivers\": [");
+    for (i, (file, rule, line)) in report.waivers.iter().enumerate() {
+        let sep = if i + 1 < report.waivers.len() { "," } else { "" };
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {line}}}{sep}",
+            esc(rule),
+            esc(file)
+        );
+    }
+    out.push_str(if report.waivers.is_empty() { "],\n" } else { "\n  ],\n" });
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"findings\": {}, \"waivers\": {}}}",
+        report.findings.len(),
+        report.waivers.len()
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Rule metadata for the SARIF `tool.driver.rules` array.
+const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    ("l1", "no unwrap/expect/slice-index panics in crash-safety modules"),
+    ("l2", "no fsync/blocking-I/O/bulk-encode calls in the publish_order section"),
+    ("l3", "shard locks only via the ascending-order helpers"),
+    ("l4", "no wall-clock reads in simulator/virtual-clock code"),
+    ("l5", "commit-path functions document their lock-ordering position"),
+    ("l6", "no fsync-class call reachable from the publish_order section through the call graph"),
+    ("l7", "the held-while-acquiring graph over lock domains is acyclic and follows the declared order"),
+    ("l8", "crash-path modules must not silently drop I/O errors"),
+    ("waiver", "malformed pass-lint waiver comment"),
+    ("stale-waiver", "waiver no longer suppresses any finding"),
+];
+
+/// Minimal SARIF 2.1.0: one run, one result per finding, `error` level
+/// (the lint is deny-by-default — anything surviving waivers fails CI).
+pub fn to_sarif(report: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"pass-lint\",\n");
+    out.push_str("          \"informationUri\": \"tools/pass-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in RULE_DESCRIPTIONS.iter().enumerate() {
+        let sep = if i + 1 < RULE_DESCRIPTIONS.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "            {{\"id\": \"{id}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{sep}",
+            esc(desc)
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let sep = if i + 1 < report.findings.len() { "," } else { "" };
+        let _ = write!(
+            out,
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]\n        }}{sep}",
+            esc(&f.rule),
+            esc(&f.message),
+            esc(&f.file),
+            f.line.max(1)
+        );
+    }
+    out.push_str(if report.findings.is_empty() { "]\n" } else { "\n      ]\n" });
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    fn sample() -> RunReport {
+        RunReport {
+            files_checked: 2,
+            findings: vec![Finding {
+                rule: "l8".into(),
+                file: "crates/storage/src/wal.rs".into(),
+                line: 7,
+                message: "`.ok()` silently drops the `flush` result — \"quoted\"".into(),
+            }],
+            waivers: vec![("crates/core/src/shard.rs".into(), "l1".into(), 79)],
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = to_json(&sample());
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains(r#"\"quoted\""#), "inner quotes escaped: {json}");
+        assert!(json.contains("\"line\": 79"));
+        // Crude structural check: balanced braces/brackets.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn sarif_lists_rules_and_results() {
+        let sarif = to_sarif(&sample());
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\": \"l8\""));
+        assert!(sarif.contains("\"startLine\": 7"));
+        assert!(sarif.contains("\"id\": \"l6\""));
+        let opens = sarif.matches(['{', '[']).count();
+        let closes = sarif.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{sarif}");
+    }
+
+    #[test]
+    fn empty_report_stays_valid() {
+        let report = RunReport::default();
+        let json = to_json(&report);
+        assert!(json.contains("\"findings\": [],"));
+        let sarif = to_sarif(&report);
+        assert!(sarif.contains("\"results\": []"));
+    }
+}

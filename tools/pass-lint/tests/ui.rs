@@ -11,12 +11,16 @@ use std::path::Path;
 use std::process::Command;
 
 fn run_fixture(dir: &Path) -> (String, i32) {
+    // A fixture may carry extra CLI flags (e.g. `--audit-waivers`) in an
+    // optional args.txt, one or more whitespace-separated arguments.
+    let extra = std::fs::read_to_string(dir.join("args.txt")).unwrap_or_default();
     let out = Command::new(env!("CARGO_BIN_EXE_pass-lint"))
         .arg("--workspace")
         .arg("--root")
         .arg(dir)
         .arg("--config")
         .arg(dir.join("invariants.toml"))
+        .args(extra.split_whitespace())
         .output()
         .expect("running pass-lint");
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
@@ -34,7 +38,7 @@ fn fixtures_match_expected_diagnostics() {
         .filter(|p| p.is_dir())
         .collect();
     cases.sort();
-    assert!(cases.len() >= 12, "expected the full fixture set, found {}", cases.len());
+    assert!(cases.len() >= 20, "expected the full fixture set, found {}", cases.len());
 
     for dir in cases {
         let name = dir.file_name().unwrap().to_string_lossy().into_owned();
@@ -53,9 +57,10 @@ fn fixtures_match_expected_diagnostics() {
         }
         if expects_findings {
             assert_eq!(code, 1, "{name}: findings must fail the run:\n{stdout}");
-            // Exactly the expected findings — no extras.
-            let finding_count =
-                stdout.lines().filter(|l| l.contains(": [l") || l.contains(": [waiver]")).count();
+            // Exactly the expected findings — no extras. Finding lines
+            // are `file:line: [rule] message` (note lines put the rule
+            // tag after a space, not a `: `, so they don't match).
+            let finding_count = stdout.lines().filter(|l| l.contains(": [")).count();
             let expected_count = expected_lines.iter().filter(|l| !l.starts_with("note:")).count();
             assert_eq!(
                 finding_count, expected_count,
@@ -65,6 +70,28 @@ fn fixtures_match_expected_diagnostics() {
             assert_eq!(code, 0, "{name}: clean fixture must exit 0:\n{stdout}");
         }
     }
+}
+
+/// The `--json -` report is pinned byte-for-byte against a snapshot so
+/// schema drift (renamed fields, reordered keys) fails loudly — bump
+/// `schema` and the snapshot together.
+#[test]
+fn json_snapshot_pins_the_output_schema() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/ui/l8_fail");
+    let out = Command::new(env!("CARGO_BIN_EXE_pass-lint"))
+        .arg("--workspace")
+        .arg("--root")
+        .arg(&dir)
+        .arg("--config")
+        .arg(dir.join("invariants.toml"))
+        .arg("--json")
+        .arg("-")
+        .output()
+        .expect("running pass-lint");
+    assert_eq!(out.status.code(), Some(1), "l8_fail has findings");
+    let got = String::from_utf8_lossy(&out.stdout);
+    let want = std::fs::read_to_string(dir.join("expected.json")).expect("snapshot exists");
+    assert_eq!(got, want, "JSON report drifted from the schema snapshot");
 }
 
 /// The binary's exit contract, pinned: 2 for unusable configs, not 0/1.

@@ -1,0 +1,5 @@
+//! A waiver left behind after the indexing it once silenced was fixed.
+fn first_byte(&self, buf: &[u8]) -> Option<u8> {
+    // pass-lint: allow(l1, reason="length is checked by the caller")
+    buf.first().copied()
+}

@@ -1,0 +1,5 @@
+//! A live waiver suppresses a real finding and is not stale.
+fn table_probe(&self, i: usize) -> u8 {
+    // pass-lint: allow(l1, reason="index is masked to the table size by the caller")
+    self.table[i]
+}

@@ -1,0 +1,7 @@
+//! Publish under the lock calls a helper that fsyncs two hops away.
+fn commit(&self) {
+    let order = self.publish_order.lock();
+    self.publish(version);
+    persist_index(&self.dir);
+    drop(order);
+}

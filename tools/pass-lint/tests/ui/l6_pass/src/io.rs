@@ -1,0 +1,9 @@
+//! Helpers the publish path reaches transitively.
+fn persist_index(dir: &Path) {
+    write_snapshot(dir);
+}
+
+fn write_snapshot(dir: &Path) {
+    let file = open_index(dir);
+    file.sync_all();
+}

@@ -1,0 +1,7 @@
+//! The same helper called outside the section is not a finding.
+fn commit(&self) {
+    let order = self.publish_order.lock();
+    self.publish(version);
+    drop(order);
+    persist_index(&self.dir);
+}

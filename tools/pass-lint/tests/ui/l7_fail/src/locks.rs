@@ -1,0 +1,14 @@
+//! Two paths acquire the same pair of locks in opposite orders.
+fn forward(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+fn backward(&self) {
+    let b = self.beta.lock();
+    let a = self.alpha.lock();
+    drop(a);
+    drop(b);
+}

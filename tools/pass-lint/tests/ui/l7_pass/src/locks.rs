@@ -1,0 +1,15 @@
+//! Both paths acquire alpha before beta — consistent with the order.
+fn forward(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+fn also_forward(&self) {
+    let a = self.alpha.lock();
+    self.touch();
+    let b = self.beta.lock();
+    drop(b);
+    drop(a);
+}

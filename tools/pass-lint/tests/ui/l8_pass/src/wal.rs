@@ -1,0 +1,9 @@
+//! Every I/O result on the crash path is propagated or inspected.
+fn append(&mut self, rec: &[u8]) -> io::Result<()> {
+    self.file.write_all(rec)?;
+    self.file.flush()?;
+    self.file.sync_data()?;
+    let n = self.file.write(rec)?;
+    ensure_full_write(n, rec.len())?;
+    Ok(())
+}
