@@ -1,0 +1,88 @@
+//! E24: open-loop serving-layer latency across the knee. Writes
+//! `BENCH_e24.json` at the repo root (override with `E24_OUT`).
+//!
+//! Knobs:
+//! * `E24_DURATION_MS` — measurement window per sweep point (default
+//!   5000);
+//! * `E24_CONNS` — client connections (default 16);
+//! * `E24_MULTS` — comma-separated knee multipliers (default
+//!   `0.3,0.6,0.9,1.2,2.0`);
+//! * `E24_ASSERT=1` — CI smoke gate: the top multiplier must shed
+//!   (`Overloaded` observed, client and server counts agreeing) while
+//!   the p99 of *admitted* work stays bounded, and the below-knee
+//!   points must commit everything they sent.
+//! * `E24_OUT` — output path for the JSON report.
+
+use pass_bench::exp_server::{e24_calibrate, e24_json, e24_run, E24Config};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn main() {
+    let duration_ms: u64 =
+        std::env::var("E24_DURATION_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(5_000);
+    let connections: usize =
+        std::env::var("E24_CONNS").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
+    let multipliers: Vec<f64> = std::env::var("E24_MULTS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|m| m.trim().parse().ok()).collect())
+        .filter(|v: &Vec<f64>| !v.is_empty())
+        .unwrap_or_else(|| vec![0.3, 0.6, 0.9, 1.2, 2.0]);
+
+    let config = E24Config {
+        connections,
+        duration: Duration::from_millis(duration_ms),
+        multipliers,
+        ..E24Config::default()
+    };
+
+    // Calibration window: long enough to swamp connection setup, short
+    // enough not to dominate the run.
+    let knee = e24_calibrate(&config, Duration::from_millis(duration_ms.clamp(500, 2_000)));
+    println!("calibrated knee: {knee:.0} publishes/s over {} connections", config.connections);
+
+    let report = e24_run(&config, knee);
+    println!("{}", report.table());
+
+    let out: PathBuf = std::env::var("E24_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_e24.json"));
+    std::fs::write(&out, e24_json(&report)).expect("write BENCH_e24.json");
+    println!("wrote {}", out.display());
+
+    if std::env::var("E24_ASSERT").as_deref() == Ok("1") {
+        let top = report
+            .points
+            .iter()
+            .max_by(|a, b| a.mult.total_cmp(&b.mult))
+            .expect("sweep has points");
+        assert!(top.mult >= 1.5, "smoke sweep must include a point well above the knee");
+        assert!(
+            top.overloaded > 0,
+            "at {:.1}x the knee the admission gate must shed (offered {:.0}/s, committed {})",
+            top.mult,
+            top.offered,
+            top.committed
+        );
+        assert_eq!(
+            top.server_rejected, top.overloaded,
+            "server-side rejection counter must agree with client-observed sheds"
+        );
+        assert!(
+            top.p99_ms <= 1_000.0,
+            "p99 of admitted work must stay bounded under overload, got {:.1} ms",
+            top.p99_ms
+        );
+        for p in report.points.iter().filter(|p| p.mult <= 0.7) {
+            assert_eq!(
+                p.unanswered, 0,
+                "below the knee ({:.1}x) every publish must be answered",
+                p.mult
+            );
+            assert!(p.errors == 0, "below the knee ({:.1}x) the run must be error-free", p.mult);
+        }
+        println!(
+            "e24 smoke ok: top point {:.1}x shed {} of {} with p99 {:.1} ms",
+            top.mult, top.overloaded, top.sent, top.p99_ms
+        );
+    }
+}

@@ -36,6 +36,7 @@ pub mod outcome;
 pub mod replicated;
 pub mod runner;
 pub mod softstate;
+pub mod wire;
 
 pub use arch::Architecture;
 pub use centralized::Centralized;
@@ -49,3 +50,4 @@ pub use outcome::{LatencyStats, Outcome, ResultQuality};
 pub use replicated::{Replicated, ReplicationStrategy};
 pub use runner::{build_arch, build_corpus, run_workload, ArchKind, ArchReport, WorkloadSpec};
 pub use softstate::SoftState;
+pub use wire::{StatsBody, WireMsg, PROTO_VERSION};

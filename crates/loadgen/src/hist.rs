@@ -1,0 +1,212 @@
+//! Log-bucketed latency histogram.
+//!
+//! HDR-style layout: 64 linear sub-buckets per power of two of
+//! microseconds, giving ≤ ~1.6% relative error per bucket across the
+//! whole range — plenty for p50/p99/p999 over runs of 10³–10⁷ samples,
+//! with O(1) record and a few KiB of memory.
+
+const SUB_BITS: u32 = 6;
+const SUB: usize = 1 << SUB_BITS; // 64 sub-buckets per octave
+const OCTAVES: usize = 43; // covers > 2^42 µs ≈ 50 days
+const BUCKETS: usize = SUB * OCTAVES;
+
+/// A latency histogram over microsecond values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    max: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: vec![0; BUCKETS], count: 0, max: 0, sum: 0 }
+    }
+
+    fn bucket_of(micros: u64) -> usize {
+        if micros < SUB as u64 {
+            return micros as usize;
+        }
+        let octave = (63 - micros.leading_zeros()) as usize - SUB_BITS as usize;
+        let base = (octave + 1) * SUB;
+        let sub = (micros >> octave) as usize - SUB;
+        (base + sub).min(BUCKETS - 1)
+    }
+
+    /// The representative (upper-edge) value for a bucket index.
+    fn value_of(bucket: usize) -> u64 {
+        if bucket < SUB {
+            return bucket as u64;
+        }
+        let octave = bucket / SUB - 1;
+        let sub = (bucket % SUB) as u64;
+        (SUB as u64 + sub) << octave
+    }
+
+    /// Records one latency sample (in microseconds).
+    pub fn record(&mut self, micros: u64) {
+        let at = Self::bucket_of(micros);
+        if let Some(slot) = self.counts.get_mut(at) {
+            *slot += 1;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(micros);
+        self.max = self.max.max(micros);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed), in microseconds.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, in microseconds.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, in microseconds (bucketed;
+    /// `q = 1.0` returns the exact max). Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (at, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::value_of(at).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// The quantile summary E24 reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: u64,
+    /// Mean, milliseconds.
+    pub mean_ms: f64,
+    /// Median, milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th percentile, milliseconds.
+    pub p999_ms: f64,
+    /// Maximum, milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram in milliseconds.
+    pub fn of(hist: &Histogram) -> LatencySummary {
+        let ms = |micros: u64| micros as f64 / 1_000.0;
+        LatencySummary {
+            count: hist.count(),
+            mean_ms: hist.mean() / 1_000.0,
+            p50_ms: ms(hist.quantile(0.50)),
+            p99_ms: ms(hist.quantile(0.99)),
+            p999_ms: ms(hist.quantile(0.999)),
+            max_ms: ms(hist.max()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // ≤ ~1.6% bucket error plus the upper-edge convention.
+        assert!((4_900..=5_200).contains(&p50), "p50 {p50}");
+        assert!((9_700..=10_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 63] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 0..1_000u64 {
+            let scaled = v * 37 + 5;
+            if v % 2 == 0 {
+                a.record(scaled)
+            } else {
+                b.record(scaled)
+            }
+            both.record(scaled);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.max(), both.max());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow_buckets() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // Sub-1.0 quantiles are bucketed (the top octave's edge sits
+        // far below u64::MAX); only q >= 1.0 promises the exact max.
+        assert!(h.quantile(0.9999) >= h.quantile(0.5));
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+}

@@ -1,0 +1,30 @@
+//! `pass-loadgen` — open-loop load generation for the serving layer.
+//!
+//! Closed-loop clients (send, wait, send again) measure a different
+//! system than the one production sees: when the server slows down, a
+//! closed loop obligingly offers less load. The experiments in E24 need
+//! the opposite — a fixed *offered* rate that keeps arriving whether or
+//! not the server keeps up — so the generator here is open-loop:
+//!
+//! * [`schedule`] turns an offered rate into a Poisson arrival plan,
+//!   fixed before the run starts;
+//! * [`mod@run`] replays that plan against a live `pass-server`, measuring
+//!   each reply against its **scheduled** arrival instant
+//!   (coordinated-omission-safe — a request delayed by backlog is
+//!   charged for the wait);
+//! * [`hist`] holds the log-bucketed histogram behind the reported
+//!   p50/p99/p999.
+//!
+//! Like `pass-server`, this crate reads wall clocks by design and is
+//! exempt from the determinism rule (L4).
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod run;
+pub mod schedule;
+pub mod workload;
+
+pub use hist::{Histogram, LatencySummary};
+pub use run::{run, LoadConfig, LoadReport};
+pub use schedule::poisson_offsets;

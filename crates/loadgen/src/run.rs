@@ -1,0 +1,307 @@
+//! The open-loop runner: schedules, sends, and measures.
+//!
+//! Each connection gets a **sender** thread and a **receiver** thread
+//! over one socket. The sender walks a precomputed Poisson schedule of
+//! absolute send instants and writes publish frames; the receiver
+//! decodes replies and attributes each one to its scheduled arrival.
+//!
+//! **Coordinated omission** is the classic closed-loop measurement bug:
+//! when the server stalls, a closed-loop client stops *issuing*
+//! requests, so the stall hurts only the one in-flight sample and the
+//! histogram silently under-reports. Two properties here prevent it:
+//!
+//! 1. the schedule never slips — if the sender falls behind it sends
+//!    late, it does not re-plan; and
+//! 2. latency is measured from the **scheduled** arrival instant, not
+//!    from the moment the bytes happened to leave. A request that
+//!    waited in the sender because the socket was backed up *counts*
+//!    that wait.
+
+use crate::hist::{Histogram, LatencySummary};
+use crate::schedule::poisson_offsets;
+use crate::workload;
+use pass_distrib::wire::WireMsg;
+use pass_server::frame::{encode_msg, FrameDecoder};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Offered publish rate across all connections, per second.
+    pub offered_rate: f64,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Client connections; the rate splits evenly across them.
+    pub connections: usize,
+    /// Tuple sets per publish batch.
+    pub sets_per_batch: usize,
+    /// Readings per tuple set.
+    pub readings_per_set: usize,
+    /// RNG seed (schedules and payloads are deterministic per seed).
+    pub seed: u64,
+    /// Extra time after the window to wait for straggler replies.
+    pub drain: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            offered_rate: 500.0,
+            duration: Duration::from_secs(5),
+            connections: 4,
+            sets_per_batch: 4,
+            readings_per_set: 4,
+            seed: 24,
+            drain: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The configured offered rate (publishes/s).
+    pub offered_rate: f64,
+    /// Arrivals the schedule contained.
+    pub scheduled: u64,
+    /// Publishes actually written to sockets.
+    pub sent: u64,
+    /// Publishes acknowledged `PublishOk`.
+    pub committed: u64,
+    /// Publishes shed with `Overloaded`.
+    pub overloaded: u64,
+    /// Protocol or transport errors observed by receivers.
+    pub errors: u64,
+    /// Publishes never answered within the drain window.
+    pub unanswered: u64,
+    /// Committed publishes per second of measurement window.
+    pub goodput: f64,
+    /// Latency of committed publishes, scheduled-arrival → reply.
+    pub latency: LatencySummary,
+    /// Latency of shed publishes (the cost of a rejection).
+    pub shed_latency: LatencySummary,
+}
+
+struct ConnOutcome {
+    committed: u64,
+    overloaded: u64,
+    errors: u64,
+    ok_hist: Histogram,
+    shed_hist: Histogram,
+}
+
+/// Runs one open-loop load experiment against a served address.
+pub fn run(addr: SocketAddr, config: &LoadConfig) -> std::io::Result<LoadReport> {
+    assert!(config.connections > 0, "at least one connection");
+    let per_conn_rate = config.offered_rate / config.connections as f64;
+
+    // Plan and pre-encode everything before the clock starts: encoding
+    // cost must not eat into send punctuality.
+    let mut plans = Vec::with_capacity(config.connections);
+    for conn in 0..config.connections {
+        let seed = config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(conn as u64);
+        let offsets = poisson_offsets(per_conn_rate, config.duration, seed);
+        let frames: Vec<Vec<u8>> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let sets = workload::batch(
+                    conn as u32,
+                    i as u64,
+                    config.sets_per_batch,
+                    config.readings_per_set,
+                );
+                encode_msg(&WireMsg::Publish { op: i as u64 + 1, sets })
+            })
+            .collect();
+        plans.push((Arc::new(offsets), frames));
+    }
+    let scheduled: u64 = plans.iter().map(|(o, _)| o.len() as u64).sum();
+
+    let start = Instant::now() + Duration::from_millis(50);
+    let deadline = start + config.duration + config.drain;
+
+    let mut handles = Vec::with_capacity(config.connections);
+    for (offsets, frames) in plans {
+        let read_half = TcpStream::connect(addr)?;
+        read_half.set_nodelay(true)?;
+        read_half.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let write_half = read_half.try_clone()?;
+
+        let send_offsets = Arc::clone(&offsets);
+        let sender =
+            std::thread::spawn(move || sender_loop(write_half, &send_offsets, frames, start));
+        let expect = offsets.len() as u64;
+        let receiver =
+            std::thread::spawn(move || receiver_loop(read_half, &offsets, start, expect, deadline));
+        handles.push((sender, receiver));
+    }
+
+    let mut ok_hist = Histogram::new();
+    let mut shed_hist = Histogram::new();
+    let mut report = LoadReport {
+        offered_rate: config.offered_rate,
+        scheduled,
+        sent: 0,
+        committed: 0,
+        overloaded: 0,
+        errors: 0,
+        unanswered: 0,
+        goodput: 0.0,
+        latency: LatencySummary::default(),
+        shed_latency: LatencySummary::default(),
+    };
+    for (sender, receiver) in handles {
+        let sent = sender.join().unwrap_or(0);
+        let outcome = receiver.join().unwrap_or_else(|_| ConnOutcome {
+            committed: 0,
+            overloaded: 0,
+            errors: 1,
+            ok_hist: Histogram::new(),
+            shed_hist: Histogram::new(),
+        });
+        report.sent += sent;
+        report.committed += outcome.committed;
+        report.overloaded += outcome.overloaded;
+        report.errors += outcome.errors;
+        report.unanswered += sent.saturating_sub(outcome.committed + outcome.overloaded);
+        ok_hist.merge(&outcome.ok_hist);
+        shed_hist.merge(&outcome.shed_hist);
+    }
+    report.goodput = report.committed as f64 / config.duration.as_secs_f64();
+    report.latency = LatencySummary::of(&ok_hist);
+    report.shed_latency = LatencySummary::of(&shed_hist);
+    Ok(report)
+}
+
+/// Writes each pre-encoded frame at (or as soon as possible after) its
+/// scheduled instant. Returns how many were written.
+fn sender_loop(
+    mut stream: TcpStream,
+    offsets: &[Duration],
+    frames: Vec<Vec<u8>>,
+    start: Instant,
+) -> u64 {
+    let mut sent = 0u64;
+    for (offset, frame) in offsets.iter().zip(&frames) {
+        let due = start + *offset;
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        // Behind schedule: send immediately, never re-plan. The reply
+        // will be measured against `due`, charging the backlog.
+        if stream.write_all(frame).is_err() {
+            break;
+        }
+        sent += 1;
+    }
+    // Half-close so the server's reader sees EOF once the schedule is
+    // done; the read half stays open for straggler replies.
+    if let Err(_e) = stream.shutdown(std::net::Shutdown::Write) {
+        // Already closed by the peer — the receiver will observe it.
+    }
+    sent
+}
+
+/// Decodes reply frames and attributes each to its scheduled arrival.
+fn receiver_loop(
+    mut stream: TcpStream,
+    offsets: &[Duration],
+    start: Instant,
+    expect: u64,
+    deadline: Instant,
+) -> ConnOutcome {
+    let mut outcome = ConnOutcome {
+        committed: 0,
+        overloaded: 0,
+        errors: 0,
+        ok_hist: Histogram::new(),
+        shed_hist: Histogram::new(),
+    };
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 16 << 10];
+    let mut answered = 0u64;
+    'outer: while answered < expect && Instant::now() < deadline {
+        loop {
+            let frame = match decoder.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(_) => {
+                    outcome.errors += 1;
+                    break 'outer;
+                }
+            };
+            let msg = match WireMsg::decode_body(frame.kind, &frame.payload) {
+                Ok(msg) => msg,
+                Err(_) => {
+                    outcome.errors += 1;
+                    continue;
+                }
+            };
+            let scheduled_at =
+                |op: u64| offsets.get(op.checked_sub(1)? as usize).map(|offset| start + *offset);
+            match msg {
+                WireMsg::PublishOk { op, .. } => {
+                    if let Some(due) = scheduled_at(op) {
+                        let lat = Instant::now().saturating_duration_since(due);
+                        outcome.ok_hist.record(lat.as_micros() as u64);
+                        outcome.committed += 1;
+                        answered += 1;
+                    }
+                }
+                WireMsg::Overloaded { op } => {
+                    if let Some(due) = scheduled_at(op) {
+                        let lat = Instant::now().saturating_duration_since(due);
+                        outcome.shed_hist.record(lat.as_micros() as u64);
+                        outcome.overloaded += 1;
+                        answered += 1;
+                    }
+                }
+                WireMsg::Error { .. } => {
+                    outcome.errors += 1;
+                    answered += 1;
+                }
+                WireMsg::Goodbye { .. } => break 'outer,
+                _ => {}
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => decoder.extend(buf.get(..n).unwrap_or_default()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                outcome.errors += 1;
+                break;
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn workload_batches_are_unique_and_valid() {
+        let a = workload::batch(0, 0, 3, 2);
+        let b = workload::batch(0, 1, 3, 2);
+        let c = workload::batch(1, 0, 3, 2);
+        assert_eq!(a.len(), 3);
+        let id = |sets: &[pass_model::TupleSet]| sets[0].provenance.id;
+        assert_ne!(id(&a), id(&b));
+        assert_ne!(id(&a), id(&c));
+        for set in a.iter().chain(&b).chain(&c) {
+            // Round-trips the content-digest invariant TupleSet::new checks.
+            pass_model::TupleSet::new(set.provenance.clone(), set.readings.clone())
+                .expect("digest-consistent workload");
+        }
+    }
+}

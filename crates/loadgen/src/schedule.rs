@@ -1,0 +1,75 @@
+//! Poisson arrival schedules.
+//!
+//! An open-loop generator decides *when* requests arrive before the run
+//! starts: arrivals are a Poisson process at the offered rate, so
+//! inter-arrival gaps are exponential with mean `1/rate`. The server
+//! being slow does not slow the schedule down — that is the whole
+//! point. When the experiment splits the offered rate across N
+//! connections, each connection runs an independent Poisson process at
+//! `rate/N`; their superposition is again Poisson at `rate` (the
+//! superposition property), so per-connection scheduling loses nothing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Precomputed arrival offsets (from the run's start instant) for one
+/// connection: a Poisson process at `rate_per_sec`, truncated to
+/// `duration`. Deterministic per seed.
+pub fn poisson_offsets(rate_per_sec: f64, duration: Duration, seed: u64) -> Vec<Duration> {
+    assert!(rate_per_sec > 0.0, "offered rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = duration.as_secs_f64();
+    let mut at = 0.0f64;
+    let mut out = Vec::with_capacity((rate_per_sec * horizon) as usize + 8);
+    loop {
+        // Inverse-CDF exponential sample. `gen::<f64>()` is in [0, 1);
+        // flip to (0, 1] so ln never sees zero.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        at += -u.ln() / rate_per_sec;
+        if at >= horizon {
+            return out;
+        }
+        out.push(Duration::from_secs_f64(at));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn mean_rate_tracks_offered() {
+        let rate = 500.0;
+        let offsets = poisson_offsets(rate, Duration::from_secs(20), 7);
+        let n = offsets.len() as f64;
+        // 10k expected arrivals; the count should be within a few std
+        // deviations (sigma = sqrt(10000) = 100).
+        assert!((n - rate * 20.0).abs() < 500.0, "arrival count {n}");
+        // Strictly increasing within the horizon.
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert!(offsets.last().unwrap() < &Duration::from_secs(20));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = poisson_offsets(100.0, Duration::from_secs(2), 3);
+        let b = poisson_offsets(100.0, Duration::from_secs(2), 3);
+        let c = poisson_offsets(100.0, Duration::from_secs(2), 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaps_look_exponential() {
+        // Coefficient of variation of exponential gaps is 1; uniform
+        // gaps would give ~0.58. A loose band distinguishes the two.
+        let offsets = poisson_offsets(1_000.0, Duration::from_secs(10), 11);
+        let gaps: Vec<f64> = offsets.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((0.85..1.15).contains(&cv), "coefficient of variation {cv}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic publish workload.
+//!
+//! Batches must be *unique* — the store is content-addressed, so
+//! resending identical readings would dedup into cheap idempotent
+//! commits and flatter the latency numbers. Every tuple set here is
+//! keyed by `(connection, sequence, slot)` down to its reading times
+//! and field values.
+
+use pass_model::{ProvenanceBuilder, Reading, SensorId, SiteId, Timestamp, TupleSet};
+
+/// Builds one publish batch for connection `conn`, batch sequence
+/// number `seq`: `sets` tuple sets of `readings` readings each.
+pub fn batch(conn: u32, seq: u64, sets: usize, readings: usize) -> Vec<TupleSet> {
+    (0..sets.max(1))
+        .map(|slot| {
+            let base = seq * 1_000 + slot as u64 * 100;
+            let readings: Vec<Reading> = (0..readings.max(1))
+                .map(|r| {
+                    Reading::new(
+                        SensorId(u64::from(conn) * 10_000 + slot as u64),
+                        Timestamp(base + r as u64),
+                    )
+                    .with("v", base as f64 + r as f64 * 0.5)
+                })
+                .collect();
+            let record = ProvenanceBuilder::new(SiteId(conn), Timestamp(base))
+                .attr("domain", "loadgen")
+                .attr("conn", conn as i64)
+                .attr("seq", seq as i64)
+                .build(TupleSet::content_digest_of(&readings));
+            TupleSet::new_unchecked(record, readings)
+        })
+        .collect()
+}

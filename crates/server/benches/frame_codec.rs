@@ -1,0 +1,36 @@
+//! Frame codec throughput: encode and incremental-decode of publish
+//! frames at several batch sizes. This is the per-request CPU floor the
+//! serving layer pays before any storage work happens.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pass_distrib::wire::WireMsg;
+use pass_loadgen::workload;
+use pass_server::frame::{encode_msg, FrameDecoder};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_codec");
+    group.sample_size(20);
+    for sets in [1usize, 8, 64] {
+        let msg = WireMsg::Publish { op: 1, sets: workload::batch(1, 1, sets, 4) };
+        let bytes = encode_msg(&msg);
+        group.bench_with_input(BenchmarkId::new("encode", sets), &msg, |b, msg| {
+            b.iter(|| black_box(encode_msg(black_box(msg))))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", sets), &bytes, |b, bytes| {
+            b.iter(|| {
+                let mut decoder = FrameDecoder::new();
+                decoder.extend(black_box(bytes));
+                let frame =
+                    decoder.next_frame().expect("well-formed frame").expect("complete frame");
+                black_box(
+                    WireMsg::decode_body(frame.kind, &frame.payload).expect("well-formed body"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! A small blocking client for the framed protocol.
+//!
+//! One socket, one thread: requests are written inline and replies read
+//! until the matching `op` arrives. Frames for *other* ops seen along
+//! the way (subscription pushes, mostly) are buffered and surfaced via
+//! [`Client::next_push`] — enough for tests, examples, and tools. The
+//! open-loop load generator does **not** use this type: it needs
+//! decoupled sender/receiver halves (see `pass-loadgen`).
+
+use crate::error::{Result, ServerError};
+use crate::frame::{encode_msg, FrameDecoder};
+use pass_distrib::wire::{StatsBody, WireMsg};
+use pass_model::{TupleSet, TupleSetId};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Outcome of a publish: committed, or explicitly shed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishOutcome {
+    /// Committed; the content-addressed ids, in batch order.
+    Committed(Vec<TupleSetId>),
+    /// Shed by admission control — retry later.
+    Overloaded,
+}
+
+/// Blocking protocol client.
+pub struct Client {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    pending: VecDeque<WireMsg>,
+    next_op: u64,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Connects with the default 5 s reply timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connects with an explicit reply timeout.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        Ok(Client {
+            stream,
+            decoder: FrameDecoder::new(),
+            pending: VecDeque::new(),
+            next_op: 1,
+            timeout,
+        })
+    }
+
+    fn fresh_op(&mut self) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        op
+    }
+
+    /// Sends raw bytes on the socket — deliberately *not* framed, so
+    /// tests can speak garbage, torn frames, and half-messages.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Sends one message as a frame.
+    pub fn send(&mut self, msg: &WireMsg) -> Result<()> {
+        self.send_raw(&encode_msg(msg))
+    }
+
+    /// Reads the next frame from the wire (buffered pushes first),
+    /// waiting up to `timeout`. `Ok(None)` means the timeout passed.
+    pub fn next_msg(&mut self, timeout: Duration) -> Result<Option<WireMsg>> {
+        if let Some(msg) = self.pending.pop_front() {
+            return Ok(Some(msg));
+        }
+        self.read_msg(timeout)
+    }
+
+    /// Reads the next frame from the *socket*, ignoring the pending
+    /// buffer. [`Client::wait_reply`] must use this: it stashes
+    /// non-matching frames into `pending` itself, so consulting
+    /// `pending` here would hand it the same frame back forever and
+    /// starve the socket.
+    fn read_msg(&mut self, timeout: Duration) -> Result<Option<WireMsg>> {
+        let deadline = Instant::now() + timeout;
+        let mut buf = [0u8; 16 << 10];
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return Ok(Some(WireMsg::decode_body(frame.kind, &frame.payload)?));
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    if self.decoder.mid_frame() {
+                        return Err(ServerError::Frame(self.decoder.torn()));
+                    }
+                    return Err(ServerError::Closed);
+                }
+                Ok(n) => self.decoder.extend(buf.get(..n).unwrap_or_default()),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(ServerError::Io(e)),
+            }
+        }
+    }
+
+    /// Reads until a reply for `op` arrives; everything else is buffered
+    /// for [`Client::next_push`].
+    fn wait_reply(&mut self, op: u64) -> Result<WireMsg> {
+        let deadline = Instant::now() + self.timeout;
+        // Drain buffered frames for this op first.
+        if let Some(at) = self.pending.iter().position(|m| m.op() == op) {
+            if let Some(msg) = self.pending.remove(at) {
+                return Ok(msg);
+            }
+        }
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(ServerError::Timeout);
+            }
+            match self.read_msg(left)? {
+                Some(msg) if msg.op() == op => return Ok(msg),
+                Some(msg) => self.pending.push_back(msg),
+                None => return Err(ServerError::Timeout),
+            }
+        }
+    }
+
+    /// Publishes a batch of captured tuple sets.
+    pub fn publish(&mut self, sets: Vec<TupleSet>) -> Result<PublishOutcome> {
+        let op = self.fresh_op();
+        self.send(&WireMsg::Publish { op, sets })?;
+        match self.wait_reply(op)? {
+            WireMsg::PublishOk { ids, .. } => Ok(PublishOutcome::Committed(ids)),
+            WireMsg::Overloaded { .. } => Ok(PublishOutcome::Overloaded),
+            WireMsg::Error { message, .. } => {
+                Err(ServerError::Wire(pass_model::ModelError::Invalid(message)))
+            }
+            other => Err(ServerError::UnexpectedFrame { kind: other.kind() }),
+        }
+    }
+
+    /// Runs one page of a query; returns `(ids, done)`.
+    pub fn query_page(
+        &mut self,
+        query: &str,
+        after: Option<TupleSetId>,
+        limit: u64,
+    ) -> Result<(Vec<TupleSetId>, bool)> {
+        let op = self.fresh_op();
+        self.send(&WireMsg::QueryPage { op, query: query.into(), after, limit })?;
+        match self.wait_reply(op)? {
+            WireMsg::ResultPage { ids, done, .. } => Ok((ids, done)),
+            WireMsg::Error { message, .. } => {
+                Err(ServerError::Wire(pass_model::ModelError::Invalid(message)))
+            }
+            other => Err(ServerError::UnexpectedFrame { kind: other.kind() }),
+        }
+    }
+
+    /// Pages through a whole query, concatenating pages.
+    pub fn query_all(&mut self, query: &str, page: u64) -> Result<Vec<TupleSetId>> {
+        let mut out: Vec<TupleSetId> = Vec::new();
+        let mut after = None;
+        loop {
+            let (ids, done) = self.query_page(query, after, page)?;
+            after = ids.last().copied();
+            out.extend(ids);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Opens a standing subscription; returns its op for matching the
+    /// pushes surfaced by [`Client::next_push`].
+    pub fn subscribe(&mut self, statement: &str) -> Result<u64> {
+        let op = self.fresh_op();
+        self.send(&WireMsg::Subscribe { op, statement: statement.into() })?;
+        Ok(op)
+    }
+
+    /// The next server push (or any frame not consumed by a blocking
+    /// call), waiting up to `timeout`.
+    pub fn next_push(&mut self, timeout: Duration) -> Result<Option<WireMsg>> {
+        self.next_msg(timeout)
+    }
+
+    /// Fetches the server's counter snapshot.
+    pub fn stats(&mut self) -> Result<StatsBody> {
+        let op = self.fresh_op();
+        self.send(&WireMsg::Stats { op })?;
+        match self.wait_reply(op)? {
+            WireMsg::StatsReply { stats, .. } => Ok(stats),
+            WireMsg::Error { message, .. } => {
+                Err(ServerError::Wire(pass_model::ModelError::Invalid(message)))
+            }
+            other => Err(ServerError::UnexpectedFrame { kind: other.kind() }),
+        }
+    }
+}

@@ -1,0 +1,578 @@
+//! Per-connection machinery: one reader thread, one writer thread, and
+//! a bounded send queue between every producer and the socket.
+//!
+//! # Threading model
+//!
+//! Each accepted connection owns exactly two OS threads:
+//!
+//! * the **reader** blocks on the socket (with a short timeout so it can
+//!   observe drain), decodes frames, and *dispatches inline* — publishes
+//!   commit on the reader thread itself, so a connection's requests are
+//!   processed in order and server-wide ingest concurrency equals the
+//!   number of busy connections (the shard locks underneath provide the
+//!   actual parallelism);
+//! * the **writer** drains the send queue and owns all socket writes.
+//!
+//! Subscription pushes come from per-subscription **pump** threads that
+//! drain a [`pass_core::Subscription`] and enqueue `Notify` frames.
+//!
+//! # Flow control
+//!
+//! The send queue is bounded in frames and bytes. The two producer
+//! classes differ in what happens at the bound:
+//!
+//! * **replies** (responses to requests) wait for space — this is
+//!   backpressure on the reader, and therefore on the client's request
+//!   stream. A client that never drains its socket stalls its own
+//!   replies and is disconnected after [`ConnConfig::reply_stall`];
+//! * **pushes** (subscription notifications) are *shed*: ingest must
+//!   never block on a slow subscriber, so the frame is dropped, the
+//!   shed is counted, and the subscriber receives a `Lagged` frame
+//!   accounting for the missed records once space reappears — the same
+//!   contract as the in-process subscription queues.
+
+use crate::admission::AdmissionGate;
+use crate::frame::{encode_msg, FrameDecoder};
+use crate::stats::ServerStats;
+use pass_core::{Event, Pass};
+use pass_distrib::wire::WireMsg;
+use pass_model::codec::Reader;
+use pass_model::TupleSetId;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-connection tuning. Embedded in `ServerConfig`.
+#[derive(Debug, Clone)]
+pub struct ConnConfig {
+    /// Send-queue capacity in frames.
+    pub send_queue_frames: usize,
+    /// Send-queue capacity in bytes (whichever bound hits first).
+    pub send_queue_bytes: usize,
+    /// Socket read timeout: the reader's drain-check cadence, and the
+    /// bound on how long a mid-frame stall can hold the thread.
+    pub read_timeout: Duration,
+    /// How long a reply may wait for send-queue space before the
+    /// connection is declared dead (client not draining its socket).
+    pub reply_stall: Duration,
+    /// Page size used when a `QueryPage` request asks for `limit = 0`.
+    pub default_page: usize,
+    /// Hard cap on a single result page.
+    pub max_page: usize,
+    /// Capacity (ids) of one `Notify` frame; matches are coalesced up
+    /// to this many per push.
+    pub notify_batch: usize,
+}
+
+impl Default for ConnConfig {
+    fn default() -> Self {
+        ConnConfig {
+            send_queue_frames: 512,
+            send_queue_bytes: 8 << 20,
+            read_timeout: Duration::from_millis(50),
+            reply_stall: Duration::from_secs(10),
+            default_page: 32,
+            max_page: 4096,
+            notify_batch: 256,
+        }
+    }
+}
+
+/// Outcome of a non-blocking push enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushOutcome {
+    /// Queued for the writer.
+    Queued,
+    /// Dropped: the queue was at capacity.
+    Shed,
+    /// The connection is closed.
+    Closed,
+}
+
+/// Result of a writer-side dequeue.
+enum Pop {
+    Frame(Vec<u8>),
+    Empty,
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    frames: VecDeque<Vec<u8>>,
+    bytes: usize,
+    closed: bool,
+}
+
+/// Bounded frame queue between producers (reader, pumps) and the writer.
+#[derive(Debug)]
+pub(crate) struct SendQueue {
+    /// Lock order: leaf — nothing else is acquired while this is held.
+    sendq: Mutex<QueueInner>,
+    space: Condvar,
+    ready: Condvar,
+    cap_frames: usize,
+    cap_bytes: usize,
+}
+
+impl SendQueue {
+    pub(crate) fn new(cap_frames: usize, cap_bytes: usize) -> Arc<Self> {
+        Arc::new(SendQueue {
+            sendq: Mutex::new(QueueInner::default()),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+            cap_frames,
+            cap_bytes,
+        })
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        self.sendq.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Frames currently queued (the admission gate's queue-depth input).
+    pub(crate) fn depth(&self) -> usize {
+        self.locked().frames.len()
+    }
+
+    /// Enqueues a reply, waiting up to `stall` for space. `Err` means
+    /// the connection is closed or the client stalled too long.
+    pub(crate) fn push_reply(&self, frame: Vec<u8>, stall: Duration) -> Result<(), ()> {
+        let deadline = Instant::now() + stall;
+        let mut inner = self.locked();
+        loop {
+            if inner.closed {
+                return Err(());
+            }
+            if inner.frames.len() < self.cap_frames && inner.bytes < self.cap_bytes {
+                inner.bytes += frame.len();
+                inner.frames.push_back(frame);
+                self.ready.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(());
+            }
+            let (guard, _timeout) = self
+                .space
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    /// Enqueues a push if space allows; sheds otherwise.
+    pub(crate) fn try_push(&self, frame: Vec<u8>) -> PushOutcome {
+        let mut inner = self.locked();
+        if inner.closed {
+            return PushOutcome::Closed;
+        }
+        if inner.frames.len() >= self.cap_frames || inner.bytes >= self.cap_bytes {
+            return PushOutcome::Shed;
+        }
+        inner.bytes += frame.len();
+        inner.frames.push_back(frame);
+        self.ready.notify_one();
+        PushOutcome::Queued
+    }
+
+    /// Marks the queue closed. Already-queued frames are still drained
+    /// by the writer; producers fail from now on.
+    pub(crate) fn close(&self) {
+        let mut inner = self.locked();
+        inner.closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Writer-side dequeue with a timeout.
+    fn pop_timeout(&self, timeout: Duration) -> Pop {
+        let mut inner = self.locked();
+        if let Some(frame) = inner.frames.pop_front() {
+            inner.bytes -= frame.len();
+            self.space.notify_all();
+            return Pop::Frame(frame);
+        }
+        if inner.closed {
+            return Pop::Closed;
+        }
+        let (mut guard, _timeout) =
+            self.ready.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
+        match guard.frames.pop_front() {
+            Some(frame) => {
+                guard.bytes -= frame.len();
+                self.space.notify_all();
+                Pop::Frame(frame)
+            }
+            None if guard.closed => Pop::Closed,
+            None => Pop::Empty,
+        }
+    }
+}
+
+/// State shared between one connection's threads.
+pub(crate) struct ConnShared {
+    pub(crate) sendq: Arc<SendQueue>,
+    /// Set once the reader has exited (registry reaping).
+    pub(crate) done: AtomicBool,
+}
+
+/// Everything a connection needs from the server.
+pub(crate) struct ServerCtx {
+    pub(crate) pass: Arc<Pass>,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) gate: Arc<AdmissionGate>,
+    pub(crate) draining: Arc<AtomicBool>,
+    pub(crate) config: ConnConfig,
+}
+
+struct Pump {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+/// Why the reader loop ended (drives the teardown frames).
+enum ReaderExit {
+    /// Clean client close or client-side error: no farewell owed.
+    Peer,
+    /// Server drain: finish in-flight work, say goodbye.
+    Drain,
+    /// The send queue died (writer error / reply stall).
+    QueueDead,
+}
+
+/// The reader thread body: frame decode loop + inline dispatch.
+pub(crate) fn reader_loop(mut stream: TcpStream, conn: Arc<ConnShared>, ctx: Arc<ServerCtx>) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = vec![0u8; 16 << 10];
+    let mut pumps: Vec<Pump> = Vec::new();
+    let mut exit = ReaderExit::Peer;
+
+    'conn: loop {
+        if ctx.draining.load(Ordering::Acquire) {
+            exit = ReaderExit::Drain;
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                // Clean EOF between frames, torn frame inside one. A
+                // torn frame is a protocol error, but the peer is gone:
+                // there is nobody left to send it to, so it only ends
+                // the connection (never panics, never hangs — the read
+                // timeout bounds every wait).
+                break;
+            }
+            Ok(n) => {
+                ServerStats::add(&ctx.stats.bytes_in, n as u64);
+                dec.extend(buf.get(..n).unwrap_or_default());
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(frame)) => {
+                            match dispatch(&frame.kind, &frame.payload, &conn, &ctx, &mut pumps) {
+                                Ok(()) => {}
+                                Err(()) => {
+                                    exit = ReaderExit::QueueDead;
+                                    break 'conn;
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            // Framing is unrecoverable: the stream can
+                            // no longer be trusted. Tell the client why
+                            // (best effort) and drop the connection.
+                            let farewell =
+                                encode_msg(&WireMsg::Error { op: 0, message: e.to_string() });
+                            let _queued = conn.sendq.try_push(farewell);
+                            break 'conn;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+
+    // Teardown. Order matters: pumps first (each sends its terminal
+    // SubClosed), then the connection-terminal Goodbye on drain, then
+    // close the queue so the writer flushes and exits.
+    for pump in &pumps {
+        pump.stop.store(true, Ordering::Release);
+    }
+    for pump in pumps {
+        let _joined = pump.handle.join();
+    }
+    if matches!(exit, ReaderExit::Drain) {
+        let _queued =
+            conn.sendq.push_reply(encode_msg(&WireMsg::Goodbye { op: 0 }), ctx.config.reply_stall);
+    }
+    conn.sendq.close();
+    if let Err(_e) = stream.shutdown(Shutdown::Read) {
+        // Peer already gone; the writer half closes the rest.
+    }
+    ServerStats::drop_gauge(&ctx.stats.conns_active);
+    conn.done.store(true, Ordering::Release);
+}
+
+/// The writer thread body: drain the queue, own all socket writes.
+pub(crate) fn writer_loop(mut stream: TcpStream, sendq: Arc<SendQueue>, stats: Arc<ServerStats>) {
+    loop {
+        match sendq.pop_timeout(Duration::from_millis(100)) {
+            Pop::Frame(bytes) => match stream.write_all(&bytes) {
+                Ok(()) => ServerStats::add(&stats.bytes_out, bytes.len() as u64),
+                Err(_) => {
+                    // Peer unreachable: close the queue so producers
+                    // fail fast instead of queueing into the void.
+                    sendq.close();
+                    break;
+                }
+            },
+            Pop::Empty => continue,
+            Pop::Closed => {
+                if let Err(_e) = stream.flush() {
+                    // Peer already gone; nothing further to deliver.
+                }
+                break;
+            }
+        }
+    }
+    if let Err(_e) = stream.shutdown(Shutdown::Write) {
+        // Already closed by the peer or the reader half.
+    }
+}
+
+/// Handles one decoded frame on the reader thread. `Err(())` means the
+/// connection is dead (send queue closed or reply stalled out).
+fn dispatch(
+    kind: &u8,
+    payload: &[u8],
+    conn: &Arc<ConnShared>,
+    ctx: &Arc<ServerCtx>,
+    pumps: &mut Vec<Pump>,
+) -> Result<(), ()> {
+    let reply = |msg: &WireMsg| conn.sendq.push_reply(encode_msg(msg), ctx.config.reply_stall);
+
+    // Peek the op (always the body's first varint) so sheds and decode
+    // errors can name the operation without decoding the whole body.
+    let op = {
+        let mut r = Reader::new(payload);
+        match r.take_varint("wire op") {
+            Ok(op) => op,
+            Err(e) => return reply(&WireMsg::Error { op: 0, message: e.to_string() }),
+        }
+    };
+
+    // Admission control, before the batch is even decoded: shedding
+    // must stay cheap when the server is busiest.
+    if *kind == 0x01 {
+        let permit = ctx.gate.try_admit(payload.len() as u64, conn.sendq.depth());
+        let Some(_permit) = permit else {
+            ServerStats::bump(&ctx.stats.publishes_rejected);
+            return reply(&WireMsg::Overloaded { op });
+        };
+        let msg = match WireMsg::decode_body(*kind, payload) {
+            Ok(msg) => msg,
+            Err(e) => return reply(&WireMsg::Error { op, message: e.to_string() }),
+        };
+        let WireMsg::Publish { op, sets } = msg else {
+            return reply(&WireMsg::Error { op, message: "kind/body mismatch".into() });
+        };
+        return match ctx.pass.ingest_batch(&sets) {
+            Ok(ids) => {
+                ServerStats::bump(&ctx.stats.publishes_ok);
+                ServerStats::add(&ctx.stats.records_ingested, sets.len() as u64);
+                reply(&WireMsg::PublishOk { op, ids })
+            }
+            Err(e) => reply(&WireMsg::Error { op, message: e.to_string() }),
+        };
+    }
+
+    let msg = match WireMsg::decode_body(*kind, payload) {
+        Ok(msg) => msg,
+        Err(e) => return reply(&WireMsg::Error { op, message: e.to_string() }),
+    };
+    match msg {
+        WireMsg::QueryPage { op, query, after, limit } => {
+            ServerStats::bump(&ctx.stats.queries);
+            let page = match limit as usize {
+                0 => ctx.config.default_page,
+                n => n.min(ctx.config.max_page),
+            };
+            let mut parsed = match pass_query::parse(&query) {
+                Ok(q) => q,
+                Err(e) => return reply(&WireMsg::Error { op, message: e.to_string() }),
+            };
+            parsed.limit = Some(page);
+            if after.is_some() {
+                parsed.after = after;
+            }
+            match ctx.pass.query(&parsed) {
+                Ok(result) => {
+                    let ids: Vec<TupleSetId> = result.ids();
+                    let done = ids.len() < page;
+                    reply(&WireMsg::ResultPage { op, ids, done })
+                }
+                Err(e) => reply(&WireMsg::Error { op, message: e.to_string() }),
+            }
+        }
+        WireMsg::Subscribe { op, statement } => match ctx.pass.subscribe_text(&statement) {
+            Ok(sub) => {
+                ServerStats::bump(&ctx.stats.subscriptions);
+                let stop = Arc::new(AtomicBool::new(false));
+                let handle = spawn_pump(op, sub, Arc::clone(&stop), Arc::clone(conn), ctx);
+                pumps.push(Pump { stop, handle });
+                Ok(())
+            }
+            Err(e) => reply(&WireMsg::Error { op, message: e.to_string() }),
+        },
+        WireMsg::Stats { op } => reply(&WireMsg::StatsReply { op, stats: ctx.stats.snapshot() }),
+        other => reply(&WireMsg::Error {
+            op: other.op(),
+            message: format!("kind 0x{:02x} is not a request", other.kind()),
+        }),
+    }
+}
+
+/// Spawns the pump thread for one subscription: drains events, coalesces
+/// matches into `Notify` frames, sheds to `Lagged` when the send queue
+/// is full, and always terminates the stream with `SubClosed`.
+fn spawn_pump(
+    op: u64,
+    mut sub: pass_core::Subscription,
+    stop: Arc<AtomicBool>,
+    conn: Arc<ConnShared>,
+    ctx: &Arc<ServerCtx>,
+) -> JoinHandle<()> {
+    let ctx = Arc::clone(ctx);
+    std::thread::spawn(move || {
+        // Records the pump knows were missed: queue sheds here, plus
+        // in-process subscription lag. Reported in the next Lagged
+        // frame that fits.
+        let mut owed_lag: u64 = 0;
+        'pump: loop {
+            if stop.load(Ordering::Acquire) || ctx.draining.load(Ordering::Acquire) {
+                break;
+            }
+            // Settle any lag debt first, so Lagged frames keep their
+            // position in the stream.
+            if owed_lag > 0 {
+                match conn.sendq.try_push(encode_msg(&WireMsg::Lagged { op, missed: owed_lag })) {
+                    PushOutcome::Queued => owed_lag = 0,
+                    PushOutcome::Shed => {
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
+                    }
+                    PushOutcome::Closed => break,
+                }
+            }
+            let first = match sub.next_timeout(Duration::from_millis(50)) {
+                Some(event) => event,
+                None => continue,
+            };
+            match first {
+                Event::CaughtUp { version } => {
+                    match conn.sendq.try_push(encode_msg(&WireMsg::SubCaughtUp { op, version })) {
+                        PushOutcome::Queued => {}
+                        PushOutcome::Shed => {
+                            // CaughtUp is a position marker; a shed here
+                            // degrades to lag like anything else.
+                            owed_lag += 1;
+                        }
+                        PushOutcome::Closed => break 'pump,
+                    }
+                }
+                Event::Lagged(n) => owed_lag += n,
+                Event::Match(record) => {
+                    let mut ids = vec![record.id];
+                    let mut caught_up = None;
+                    while ids.len() < ctx.config.notify_batch {
+                        match sub.try_next() {
+                            Some(Event::Match(r)) => ids.push(r.id),
+                            Some(Event::Lagged(n)) => {
+                                owed_lag += n;
+                                break;
+                            }
+                            Some(Event::CaughtUp { version }) => {
+                                // Seen mid-coalesce (catch-up matches end
+                                // here); the marker frame goes out right
+                                // after this Notify.
+                                caught_up = Some(version);
+                                break;
+                            }
+                            None => break,
+                        }
+                    }
+                    let missed = ids.len() as u64;
+                    match conn.sendq.try_push(encode_msg(&WireMsg::Notify { op, ids })) {
+                        PushOutcome::Queued => {}
+                        PushOutcome::Shed => {
+                            ServerStats::add(&ctx.stats.queue_shed, 1);
+                            owed_lag += missed;
+                        }
+                        PushOutcome::Closed => break 'pump,
+                    }
+                    if let Some(version) = caught_up {
+                        match conn.sendq.try_push(encode_msg(&WireMsg::SubCaughtUp { op, version }))
+                        {
+                            PushOutcome::Queued => {}
+                            PushOutcome::Shed => owed_lag += 1,
+                            PushOutcome::Closed => break 'pump,
+                        }
+                    }
+                }
+            }
+        }
+        // Terminal frame: subscribers can rely on SubClosed (or the
+        // connection-level Goodbye) ending every subscription stream.
+        let _queued =
+            conn.sendq.push_reply(encode_msg(&WireMsg::SubClosed { op }), Duration::from_secs(1));
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn send_queue_sheds_pushes_but_blocks_replies() {
+        let q = SendQueue::new(2, 1 << 20);
+        assert_eq!(q.try_push(vec![1]), PushOutcome::Queued);
+        assert_eq!(q.try_push(vec![2]), PushOutcome::Queued);
+        assert_eq!(q.try_push(vec![3]), PushOutcome::Shed);
+        // A reply waits for space and times out when nobody drains.
+        assert!(q.push_reply(vec![4], Duration::from_millis(30)).is_err());
+        // Drain one; both producer classes fit again.
+        assert!(matches!(q.pop_timeout(Duration::from_millis(10)), Pop::Frame(_)));
+        assert_eq!(q.try_push(vec![5]), PushOutcome::Queued);
+    }
+
+    #[test]
+    fn closed_queue_fails_producers_and_drains_consumers() {
+        let q = SendQueue::new(8, 1 << 20);
+        assert_eq!(q.try_push(vec![1]), PushOutcome::Queued);
+        q.close();
+        assert_eq!(q.try_push(vec![2]), PushOutcome::Closed);
+        assert!(q.push_reply(vec![3], Duration::from_millis(10)).is_err());
+        assert!(matches!(q.pop_timeout(Duration::from_millis(10)), Pop::Frame(_)));
+        assert!(matches!(q.pop_timeout(Duration::from_millis(10)), Pop::Closed));
+    }
+
+    #[test]
+    fn byte_cap_bounds_queue() {
+        let q = SendQueue::new(100, 10);
+        assert_eq!(q.try_push(vec![0; 10]), PushOutcome::Queued);
+        assert_eq!(q.try_push(vec![0; 1]), PushOutcome::Shed);
+    }
+}

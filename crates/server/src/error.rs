@@ -1,0 +1,82 @@
+//! Error surface of the serving layer.
+
+use crate::frame::FrameError;
+use std::fmt;
+
+/// Anything that can go wrong speaking the protocol or serving requests.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Framing-layer failure (bad magic/version/CRC, torn frame, …).
+    Frame(FrameError),
+    /// A structurally valid frame whose body failed to decode.
+    Wire(pass_model::ModelError),
+    /// The underlying store rejected the operation.
+    Pass(pass_core::PassError),
+    /// The connection (or its send queue) is closed.
+    Closed,
+    /// A frame arrived whose kind makes no sense in this direction or
+    /// state (e.g. a response kind sent by a client).
+    UnexpectedFrame {
+        /// The offending kind tag.
+        kind: u8,
+    },
+    /// A blocking client call ran out of time.
+    Timeout,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o error: {e}"),
+            ServerError::Frame(e) => write!(f, "frame error: {e}"),
+            ServerError::Wire(e) => write!(f, "wire decode error: {e}"),
+            ServerError::Pass(e) => write!(f, "store error: {e}"),
+            ServerError::Closed => write!(f, "connection closed"),
+            ServerError::UnexpectedFrame { kind } => {
+                write!(f, "unexpected frame kind 0x{kind:02x}")
+            }
+            ServerError::Timeout => write!(f, "timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Frame(e) => Some(e),
+            ServerError::Wire(e) => Some(e),
+            ServerError::Pass(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<FrameError> for ServerError {
+    fn from(e: FrameError) -> Self {
+        ServerError::Frame(e)
+    }
+}
+
+impl From<pass_model::ModelError> for ServerError {
+    fn from(e: pass_model::ModelError) -> Self {
+        ServerError::Wire(e)
+    }
+}
+
+impl From<pass_core::PassError> for ServerError {
+    fn from(e: pass_core::PassError) -> Self {
+        ServerError::Pass(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServerError>;

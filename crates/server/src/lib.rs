@@ -1,0 +1,49 @@
+//! `pass-server` — the concurrent serving layer for PASS.
+//!
+//! Everything before this crate runs in one process: capture, commit,
+//! query, and the simulated distribution layer. This crate puts a real
+//! socket in front of [`pass_core::Pass`]:
+//!
+//! * **Framing** ([`frame`]): length-prefixed frames with a versioned
+//!   12-byte header and a CRC32C over header metadata + payload. The
+//!   decoder is incremental and panic-free on arbitrary bytes.
+//! * **Messages** ([`pass_distrib::wire`]): the canonical binary codec
+//!   for the request/response vocabulary (publish, paged query,
+//!   subscribe, stats) that mirrors the simulator's `ArchMsg` shapes.
+//! * **Connections** ([`conn`]): one reader and one writer thread per
+//!   connection; requests dispatch inline on the reader, replies and
+//!   pushes go through a bounded send queue. Replies apply
+//!   backpressure; subscription pushes shed to `Lagged` frames so a
+//!   slow subscriber never blocks ingest.
+//! * **Admission control** ([`admission`]): global in-flight-byte and
+//!   per-connection queue-depth thresholds. Over the line, publishes
+//!   are refused with an explicit `Overloaded` reply instead of
+//!   queueing toward collapse — the open-loop experiments (E24) measure
+//!   exactly this knee.
+//! * **Lifecycle** ([`server`]): accept loop, connection registry, and
+//!   a graceful SIGTERM-style drain that finishes in-flight commits,
+//!   closes subscriptions with a terminal frame, and flushes WALs.
+//! * **Client** ([`client`]): a small blocking client for tests, tools,
+//!   and examples.
+//!
+//! This crate is deliberately excluded from the determinism rule (L4):
+//! it fronts real sockets and legitimately reads wall clocks for
+//! timeouts. The simulation crates stay clock-free.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod conn;
+pub mod error;
+pub mod frame;
+pub mod server;
+pub mod stats;
+
+pub use admission::{AdmissionConfig, AdmissionGate, AdmissionPermit};
+pub use client::{Client, PublishOutcome};
+pub use conn::ConnConfig;
+pub use error::{Result, ServerError};
+pub use frame::{encode_msg, Frame, FrameDecoder, FrameError, HEADER_LEN, MAX_FRAME};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use stats::ServerStats;

@@ -1,0 +1,22 @@
+//! Shared helpers for the server integration tests.
+#![allow(dead_code, clippy::unwrap_used, clippy::expect_used)]
+
+use pass_core::Pass;
+use pass_model::SiteId;
+use pass_server::{serve, ServerConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Starts a server over a fresh in-memory store on an ephemeral port.
+pub fn start_memory_server(config: ServerConfig) -> (ServerHandle, SocketAddr, Arc<Pass>) {
+    let pass = Arc::new(Pass::open_memory(SiteId(1)));
+    let server = serve("127.0.0.1:0", Arc::clone(&pass), config).expect("bind ephemeral");
+    let addr = server.addr();
+    (server, addr, pass)
+}
+
+/// A small unique publish batch (delegates to the loadgen workload
+/// builder so test payloads match what E24 sends).
+pub fn batch(conn: u32, seq: u64) -> Vec<pass_model::TupleSet> {
+    pass_loadgen::workload::batch(conn, seq, 2, 2)
+}

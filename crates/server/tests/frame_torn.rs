@@ -1,0 +1,156 @@
+//! Decoder robustness over real sockets: garbage, torn frames,
+//! oversized length prefixes, CRC flips, and mid-frame disconnects must
+//! surface as protocol errors (or clean closes) — never panics, never
+//! hangs, and never poisoning *other* connections.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+mod common;
+
+use common::{batch, start_memory_server};
+use pass_distrib::wire::{WireMsg, PROTO_VERSION};
+use pass_server::frame::{encode_msg, MAGIC};
+use pass_server::{Client, PublishOutcome, ServerConfig, ServerError};
+use std::time::Duration;
+
+/// Sends `bytes` raw and expects an `Error` reply followed by a closed
+/// connection.
+fn expect_protocol_error(addr: std::net::SocketAddr, bytes: &[u8], expect_in_message: &str) {
+    let mut client = Client::connect(addr).expect("connect");
+    client.send_raw(bytes).expect("send raw bytes");
+    let mut saw_error = false;
+    loop {
+        match client.next_msg(Duration::from_secs(5)) {
+            Ok(Some(WireMsg::Error { message, .. })) => {
+                assert!(
+                    message.contains(expect_in_message),
+                    "error message {message:?} should mention {expect_in_message:?}"
+                );
+                saw_error = true;
+            }
+            Ok(Some(other)) => panic!("unexpected reply {other:?}"),
+            Ok(None) => panic!("server went silent instead of replying or closing"),
+            Err(ServerError::Closed) | Err(ServerError::Io(_)) | Err(ServerError::Frame(_)) => {
+                break;
+            }
+            Err(other) => panic!("unexpected client error {other}"),
+        }
+    }
+    assert!(saw_error, "server explained the protocol error before closing");
+}
+
+#[test]
+fn garbage_bytes_get_error_then_close() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+    expect_protocol_error(addr, &[0xde, 0xad, 0xbe, 0xef, 0, 1, 2, 3, 4, 5, 6, 7], "magic");
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn wrong_version_gets_error_then_close() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+    let mut bytes = encode_msg(&WireMsg::Stats { op: 1 });
+    bytes[2] = PROTO_VERSION + 9;
+    expect_protocol_error(addr, &bytes, "version");
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn oversized_length_prefix_fails_fast() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+    // A header declaring a 1 GiB payload, with no payload following. The
+    // server must reject on the header alone — within the 5 s client
+    // timeout — rather than buffering toward a gigabyte that never comes.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.push(PROTO_VERSION);
+    bytes.push(0x01);
+    bytes.extend_from_slice(&(1u32 << 30).to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 4]);
+    expect_protocol_error(addr, &bytes, "exceeds");
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn crc_flip_is_rejected() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+    let mut bytes = encode_msg(&WireMsg::Publish { op: 7, sets: batch(1, 0) });
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    expect_protocol_error(addr, &bytes, "crc");
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn mid_frame_disconnect_leaves_server_healthy() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+
+    // Half a frame, then vanish.
+    {
+        let mut rude = Client::connect(addr).expect("connect");
+        let bytes = encode_msg(&WireMsg::Publish { op: 1, sets: batch(1, 0) });
+        rude.send_raw(&bytes[..bytes.len() / 2]).expect("send half frame");
+    } // dropped here: TCP FIN mid-frame
+
+    // The server shrugs it off; a well-behaved client is unaffected.
+    let mut polite = Client::connect(addr).expect("connect after rude peer");
+    match polite.publish(batch(1, 1)).expect("publish") {
+        PublishOutcome::Committed(ids) => assert_eq!(ids.len(), 2),
+        PublishOutcome::Overloaded => panic!("default thresholds should admit"),
+    }
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn stalled_mid_frame_peer_does_not_block_others() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+
+    // A peer that sends half a frame and then just… waits.
+    let mut stalled = Client::connect(addr).expect("connect staller");
+    let bytes = encode_msg(&WireMsg::Publish { op: 1, sets: batch(2, 0) });
+    stalled.send_raw(&bytes[..bytes.len() - 5]).expect("send most of a frame");
+
+    // Meanwhile other connections make full round trips.
+    let mut worker = Client::connect(addr).expect("connect worker");
+    for seq in 0..3u64 {
+        match worker.publish(batch(3, seq)).expect("publish") {
+            PublishOutcome::Committed(_) => {}
+            PublishOutcome::Overloaded => panic!("default thresholds should admit"),
+        }
+    }
+
+    // The staller can still finish its frame later — a slow peer is not
+    // a protocol error.
+    stalled.send_raw(&bytes[bytes.len() - 5..]).expect("finish frame");
+    match stalled.next_msg(Duration::from_secs(5)).expect("reply") {
+        Some(WireMsg::PublishOk { op, ids }) => {
+            assert_eq!(op, 1);
+            assert_eq!(ids.len(), 2);
+        }
+        other => panic!("expected PublishOk, got {other:?}"),
+    }
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn valid_then_garbage_processes_the_valid_frame_first() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let mut bytes = encode_msg(&WireMsg::Publish { op: 5, sets: batch(4, 0) });
+    bytes.extend_from_slice(&[0xff; 16]);
+    client.send_raw(&bytes).expect("send frame + garbage");
+
+    match client.next_msg(Duration::from_secs(5)).expect("first reply") {
+        Some(WireMsg::PublishOk { op, .. }) => assert_eq!(op, 5),
+        other => panic!("expected PublishOk, got {other:?}"),
+    }
+    match client.next_msg(Duration::from_secs(5)) {
+        Ok(Some(WireMsg::Error { message, .. })) => {
+            assert!(message.contains("magic"), "{message:?}")
+        }
+        Ok(other) => panic!("expected Error for trailing garbage, got {other:?}"),
+        Err(ServerError::Closed) | Err(ServerError::Io(_)) => {}
+        Err(other) => panic!("unexpected client error {other}"),
+    }
+    server.shutdown().expect("clean shutdown");
+}

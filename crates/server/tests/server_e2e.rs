@@ -1,0 +1,177 @@
+//! End-to-end protocol tests over real sockets: publish, paged query,
+//! subscription push, and stats.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+mod common;
+
+use common::{batch, start_memory_server};
+use pass_distrib::wire::WireMsg;
+use pass_server::{Client, PublishOutcome, ServerConfig};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+#[test]
+fn publish_then_query_round_trip() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let sets = batch(1, 0);
+    let want: usize = sets.len();
+    let outcome = client.publish(sets).expect("publish");
+    let PublishOutcome::Committed(ids) = outcome else {
+        panic!("expected commit, got {outcome:?}");
+    };
+    assert_eq!(ids.len(), want);
+
+    let (got, done) =
+        client.query_page(r#"FIND WHERE domain = "loadgen""#, None, 16).expect("query");
+    assert!(done);
+    assert_eq!(
+        got.iter().collect::<BTreeSet<_>>(),
+        ids.iter().collect::<BTreeSet<_>>(),
+        "query returns exactly the published sets"
+    );
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn query_pages_cover_everything_exactly_once() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let mut published = BTreeSet::new();
+    for seq in 0..20u64 {
+        match client.publish(batch(2, seq)).expect("publish") {
+            PublishOutcome::Committed(ids) => published.extend(ids),
+            PublishOutcome::Overloaded => panic!("default thresholds should admit"),
+        }
+    }
+    assert_eq!(published.len(), 40, "20 batches x 2 sets, all unique");
+
+    // Page size 7 exercises several partial pages and the final short one.
+    let all = client.query_all(r#"FIND WHERE domain = "loadgen""#, 7).expect("paged query");
+    assert_eq!(all.len(), published.len(), "no duplicates, no gaps");
+    assert_eq!(all.iter().collect::<BTreeSet<_>>(), published.iter().collect());
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn subscription_pushes_matches() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+    let mut publisher = Client::connect(addr).expect("connect publisher");
+    let mut subscriber = Client::connect(addr).expect("connect subscriber");
+
+    let sub_op =
+        subscriber.subscribe(r#"SUBSCRIBE FIND WHERE domain = "loadgen""#).expect("subscribe");
+
+    // The subscription starts against an empty store; it signals
+    // caught-up before live matches flow.
+    let mut caught_up = false;
+    let mut notified = BTreeSet::new();
+    let published: BTreeSet<_> = match publisher.publish(batch(3, 0)).expect("publish") {
+        PublishOutcome::Committed(ids) => ids.into_iter().collect(),
+        PublishOutcome::Overloaded => panic!("default thresholds should admit"),
+    };
+
+    // Order depends on timing: a pre-subscription commit arrives as a
+    // catch-up Notify *before* SubCaughtUp; a post-subscription commit
+    // arrives after it. Collect until both have been seen.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while (!caught_up || notified.len() < published.len()) && std::time::Instant::now() < deadline {
+        match subscriber.next_push(Duration::from_millis(200)).expect("push stream") {
+            Some(WireMsg::SubCaughtUp { op, .. }) => {
+                assert_eq!(op, sub_op);
+                caught_up = true;
+            }
+            Some(WireMsg::Notify { op, ids }) => {
+                assert_eq!(op, sub_op);
+                notified.extend(ids);
+            }
+            Some(other) => panic!("unexpected push {other:?}"),
+            None => {}
+        }
+    }
+    assert!(caught_up, "subscription reported catch-up");
+    assert_eq!(notified, published, "every committed set was pushed");
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn stats_frame_reports_server_counters() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    for seq in 0..3u64 {
+        client.publish(batch(4, seq)).expect("publish");
+    }
+    client.query_page(r#"FIND WHERE domain = "loadgen""#, None, 8).expect("query");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.publishes_ok, 3);
+    assert_eq!(stats.records_ingested, 6);
+    assert_eq!(stats.queries, 1);
+    assert_eq!(stats.conns_accepted, 1);
+    assert_eq!(stats.conns_active, 1);
+    assert_eq!(stats.publishes_rejected, 0);
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+
+    // The in-process snapshot and the wire snapshot agree.
+    let local = server.stats();
+    assert_eq!(local.publishes_ok, stats.publishes_ok);
+    assert_eq!(local.records_ingested, stats.records_ingested);
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn malformed_statement_gets_error_not_disconnect() {
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let err = client.query_page("THIS IS NOT A QUERY", None, 8);
+    assert!(err.is_err(), "parse failure surfaces as an Error reply");
+
+    // The connection survives a bad statement: only framing errors are
+    // terminal.
+    match client.publish(batch(5, 0)).expect("publish after error") {
+        PublishOutcome::Committed(ids) => assert_eq!(ids.len(), 2),
+        PublishOutcome::Overloaded => panic!("default thresholds should admit"),
+    }
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn same_connection_publishes_while_subscribed() {
+    // Regression: with a subscription pushing frames on the SAME
+    // connection, `wait_reply` once re-read its own pending buffer
+    // instead of the socket and spun until timeout. Interleave pushes
+    // and replies on one connection and require both to flow.
+    let (server, addr, _pass) = start_memory_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let sub_op = client.subscribe(r#"SUBSCRIBE FIND WHERE domain = "loadgen""#).expect("subscribe");
+
+    let mut published = BTreeSet::new();
+    for seq in 0..3 {
+        match client.publish(batch(6, seq)).expect("publish with live subscription") {
+            PublishOutcome::Committed(ids) => published.extend(ids),
+            PublishOutcome::Overloaded => panic!("default thresholds should admit"),
+        }
+    }
+
+    // Every commit also comes back as a push on the same connection
+    // (catch-up or live, depending on timing).
+    let mut notified = BTreeSet::new();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while notified.len() < published.len() && std::time::Instant::now() < deadline {
+        match client.next_push(Duration::from_millis(200)).expect("push stream") {
+            Some(WireMsg::Notify { op, ids }) => {
+                assert_eq!(op, sub_op);
+                notified.extend(ids);
+            }
+            Some(WireMsg::SubCaughtUp { op, .. }) => assert_eq!(op, sub_op),
+            Some(other) => panic!("unexpected push {other:?}"),
+            None => {}
+        }
+    }
+    assert_eq!(notified, published, "pushes and replies share the connection");
+    server.shutdown().expect("clean shutdown");
+}

@@ -11,6 +11,9 @@
 //! * [`sensor`] — synthetic workloads for the paper's five sensor domains.
 //! * [`policy`] — the §V privacy agenda: sensitivity labels, policy
 //!   enforcement with audit, k-anonymous aggregation, redacted lineage.
+//! * [`server`] — the TCP serving layer (length-framed CRC-checked wire
+//!   protocol, admission control, subscription push) and [`loadgen`],
+//!   its open-loop load harness.
 //!
 //! This repository reproduces *Provenance-Aware Sensor Data Storage*
 //! (Ledlie et al., NetDB'05 / ICDE 2005); `DESIGN.md` maps every paper
@@ -20,9 +23,11 @@ pub use pass_core as core;
 pub use pass_dht as dht;
 pub use pass_distrib as distrib;
 pub use pass_index as index;
+pub use pass_loadgen as loadgen;
 pub use pass_model as model;
 pub use pass_net as net;
 pub use pass_policy as policy;
 pub use pass_query as query;
 pub use pass_sensor as sensor;
+pub use pass_server as server;
 pub use pass_storage as storage;
